@@ -1,0 +1,54 @@
+// Ablation (paper §5.3): checkpoint frequency — the trade between
+// checkpoint overhead during healthy training and the work lost when a
+// server fails and recovers from the last checkpoint.
+
+#include "bench/bench_common.h"
+#include "data/classification_gen.h"
+#include "data/presets.h"
+#include "dcv/dcv_context.h"
+#include "ml/logreg.h"
+
+int main() {
+  using namespace ps2;
+  bench::Header("Ablation: PS checkpoint interval",
+                "overhead while healthy vs loss-of-work on server failure");
+  const double scale = bench::Scale();
+  ClassificationSpec ds = presets::KddbLike(scale);
+
+  std::printf("%-20s %-16s %-16s %-14s\n", "checkpoint every",
+              "total time(s)", "checkpoints", "overhead vs off");
+  SimTime baseline = 0;
+  for (int every : {0, 50, 20, 5}) {
+    ClusterSpec spec;
+    spec.num_workers = 20;
+    spec.num_servers = 20;
+    Cluster cluster(spec);
+    Dataset<Example> data = MakeClassificationDataset(&cluster, ds).Cache();
+    data.Count();
+    DcvContext ctx(&cluster);
+    GlmOptions options;
+    options.dim = ds.dim;
+    options.optimizer.kind = OptimizerKind::kAdam;
+    options.optimizer.learning_rate = 0.03;
+    options.batch_fraction = 0.01;
+    options.iterations = 100;
+    options.checkpoint_every = every;
+    Result<TrainReport> report = TrainGlmPs2(&ctx, data, options);
+    if (!report.ok()) {
+      std::printf("%-20d FAILED: %s\n", every,
+                  report.status().ToString().c_str());
+      continue;
+    }
+    if (every == 0) baseline = report->total_time;
+    std::printf("%-20s %-16.3f %-16llu %+.1f%%\n",
+                every == 0 ? "off" : std::to_string(every).c_str(),
+                report->total_time,
+                static_cast<unsigned long long>(
+                    cluster.metrics().Get("ps.checkpoints")),
+                100.0 * (report->total_time - baseline) / baseline);
+  }
+  std::printf("\nrecovery semantics: a failed server restores its latest "
+              "checkpointed shard,\nlosing at most checkpoint_every "
+              "iterations of its slice (see tests/ps/checkpoint_test.cc).\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+#pragma once
+
+// Shared helpers for the figure/table reproduction binaries.
+//
+// Every bench prints (a) what the paper reported, (b) what this build
+// measured, in plain fixed-width text, so EXPERIMENTS.md rows can be pasted
+// from the output. Scale is controlled by the PS2_BENCH_SCALE environment
+// variable (default 1.0 = the laptop-sized presets in data/presets.h).
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "ml/train_report.h"
+
+namespace ps2 {
+namespace bench {
+
+/// Global dataset scale multiplier from $PS2_BENCH_SCALE (default 1).
+inline double Scale() {
+  const char* env = std::getenv("PS2_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+inline void Header(const std::string& title, const std::string& paper_note) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("paper: %s\n", paper_note.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Prints a loss-vs-time curve, thinned to ~`points` rows.
+inline void PrintCurve(const TrainReport& report, size_t points = 10) {
+  std::printf("-- %s (%zu iterations, %.3f virtual s total)\n",
+              report.system.c_str(), report.curve.size(), report.total_time);
+  if (report.curve.empty()) return;
+  size_t stride = std::max<size_t>(1, report.curve.size() / points);
+  std::printf("   %-6s %-12s %-10s\n", "iter", "time(s)", "loss");
+  for (size_t i = 0; i < report.curve.size(); i += stride) {
+    const TrainPoint& p = report.curve[i];
+    std::printf("   %-6d %-12.4f %-10.4f\n", p.iteration, p.time, p.loss);
+  }
+  const TrainPoint& last = report.curve.back();
+  std::printf("   %-6d %-12.4f %-10.4f  (final)\n", last.iteration, last.time,
+              last.loss);
+}
+
+/// Prints "A is Nx faster than B [to reach loss target]".
+inline void PrintSpeedup(const TrainReport& fast, const TrainReport& slow,
+                         double target_loss) {
+  SimTime t_fast = fast.TimeToLoss(target_loss);
+  SimTime t_slow = slow.TimeToLoss(target_loss);
+  if (std::isinf(t_fast) || std::isinf(t_slow)) {
+    std::printf("   time-to-loss %.3f: %s=%s, %s=%s\n", target_loss,
+                fast.system.c_str(),
+                std::isinf(t_fast) ? "never" : "reached",
+                slow.system.c_str(),
+                std::isinf(t_slow) ? "never" : "reached");
+    std::printf("   (falling back to total-time ratio) %s vs %s: %.2fx\n",
+                fast.system.c_str(), slow.system.c_str(),
+                slow.total_time / fast.total_time);
+    return;
+  }
+  std::printf("   time to loss %.3f: %s %.3fs | %s %.3fs -> %.2fx\n",
+              target_loss, fast.system.c_str(), t_fast, slow.system.c_str(),
+              t_slow, t_slow / t_fast);
+}
+
+}  // namespace bench
+}  // namespace ps2

@@ -1,0 +1,67 @@
+// Figure 1 (paper §2): Spark MLlib's per-iteration time and its breakdown
+// into the four steps (broadcast, gradient calc, aggregation, update) as the
+// feature count grows. The paper observes a 168x degradation from 40K to
+// 60,000K features with gradient aggregation dominating.
+//
+// Default dims are scaled 1/10 from the paper's sweep (4K..6,000K) to stay
+// laptop-friendly; set PS2_BENCH_SCALE=10 for the full 40K..60,000K sweep.
+
+#include <vector>
+
+#include "baselines/mllib_lr.h"
+#include "bench/bench_common.h"
+#include "data/classification_gen.h"
+#include "data/presets.h"
+
+int main() {
+  using namespace ps2;
+  bench::Header(
+      "Figure 1: Spark MLlib analysis — time per iteration & step breakdown",
+      "Fig 1(a): 168x slowdown from 40K to 60,000K features; Fig 1(b): "
+      "gradient aggregation dominates at high dims");
+
+  const double scale = bench::Scale();
+  std::vector<uint64_t> dims = {
+      static_cast<uint64_t>(4000 * scale), static_cast<uint64_t>(300000 * scale),
+      static_cast<uint64_t>(3000000 * scale),
+      static_cast<uint64_t>(6000000 * scale)};
+
+  std::printf("%-12s %-12s %-10s %-10s %-10s %-10s\n", "#features",
+              "s/iteration", "broadcast", "compute", "aggregate", "update");
+  std::vector<double> per_iter_times;
+  for (uint64_t dim : dims) {
+    ClusterSpec spec;
+    spec.num_workers = 20;  // paper: 20 executors
+    spec.num_servers = 20;
+    Cluster cluster(spec);
+    ClassificationSpec ds = presets::FeatureSweep(dim, 40000);
+    Dataset<Example> data = MakeClassificationDataset(&cluster, ds).Cache();
+    data.Count();
+
+    GlmOptions options;
+    options.dim = dim;
+    options.optimizer.kind = OptimizerKind::kSgd;
+    options.batch_fraction = 0.01;  // paper: mini batch fraction 0.01
+    options.iterations = 3;
+    Result<MllibReport> result = TrainGlmMllib(&cluster, data, options);
+    if (!result.ok()) {
+      std::printf("%-12llu FAILED: %s\n",
+                  static_cast<unsigned long long>(dim),
+                  result.status().ToString().c_str());
+      continue;
+    }
+    const MllibStepBreakdown& b = result->breakdown;
+    double per_iter = b.Total() / options.iterations;
+    per_iter_times.push_back(per_iter);
+    std::printf("%-12llu %-12.4f %-10.1f%% %-9.1f%% %-9.1f%% %-9.1f%%\n",
+                static_cast<unsigned long long>(dim), per_iter,
+                100 * b.broadcast / b.Total(), 100 * b.compute / b.Total(),
+                100 * b.aggregate / b.Total(), 100 * b.update / b.Total());
+  }
+  if (per_iter_times.size() >= 2) {
+    std::printf("\nslowdown smallest -> largest dim: %.1fx (paper: 168x for "
+                "40K -> 60,000K)\n",
+                per_iter_times.back() / per_iter_times.front());
+  }
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Figure 12 (paper §6.3.3): LDA comparison.
+//  (a) PubMED-like, K=1000: PS2 vs Petuum vs Glint  (paper: 3.7x, 9x)
+//  (b) PubMED-like, K=100:  PS2 vs Spark MLlib      (paper: 17x)
+//  (c) App-like (the largest corpus): PS2 only — the other systems cannot
+//      run it; we demonstrate feasibility and report throughput.
+
+#include "baselines/glint_lda.h"
+#include "baselines/mllib_lda.h"
+#include "baselines/petuum_lda.h"
+#include "bench/bench_common.h"
+#include "data/corpus_gen.h"
+#include "data/presets.h"
+#include "dcv/dcv_context.h"
+#include "ml/lda/lda_trainer.h"
+
+int main() {
+  using namespace ps2;
+  const double scale = bench::Scale();
+
+  bench::Header("Figure 12(a): LDA PubMED-like, K=1000 — PS2/Petuum/Glint",
+                "PS2 3.7x faster than Petuum, 9x faster than Glint");
+  {
+    ClusterSpec spec;
+    spec.num_workers = 20;
+    spec.num_servers = 20;
+    Cluster cluster(spec);
+    CorpusSpec corpus = presets::PubmedLike(scale * 0.2);  // K=1000 is heavy
+    Dataset<Document> docs = MakeCorpusDataset(&cluster, corpus).Cache();
+    docs.Count();
+    LdaOptions options;
+    options.vocab_size = corpus.vocab_size;
+    options.num_topics = 1000;
+    options.iterations = 5;
+
+    DcvContext ctx_ps2(&cluster);
+    TrainReport ps2 = *TrainLdaPs2(&ctx_ps2, docs, options);
+    DcvContext ctx_petuum(&cluster);
+    TrainReport petuum = *TrainLdaPetuum(&ctx_petuum, docs, options);
+    DcvContext ctx_glint(&cluster);
+    TrainReport glint = *TrainLdaGlint(&ctx_glint, docs, options, 20);
+
+    bench::PrintCurve(ps2, 5);
+    bench::PrintCurve(petuum, 5);
+    bench::PrintCurve(glint, 5);
+    std::printf("   total time: PS2 %.2fs | Petuum %.2fs (%.2fx) | Glint "
+                "%.2fs (%.2fx)   [paper: 3.7x, 9x]\n",
+                ps2.total_time, petuum.total_time,
+                petuum.total_time / ps2.total_time, glint.total_time,
+                glint.total_time / ps2.total_time);
+  }
+
+  bench::Header("Figure 12(b): LDA PubMED-like, K=100 — PS2 vs Spark MLlib",
+                "PS2 17x faster; MLlib cannot run K>100 (OOM)");
+  {
+    ClusterSpec spec;
+    spec.num_workers = 20;
+    spec.num_servers = 20;
+    Cluster cluster(spec);
+    CorpusSpec corpus = presets::PubmedLike(scale);
+    Dataset<Document> docs = MakeCorpusDataset(&cluster, corpus).Cache();
+    docs.Count();
+    LdaOptions options;
+    options.vocab_size = corpus.vocab_size;
+    options.num_topics = 100;
+    options.iterations = 8;
+
+    DcvContext ctx(&cluster);
+    TrainReport ps2 = *TrainLdaPs2(&ctx, docs, options);
+    TrainReport mllib = *TrainLdaMllib(&cluster, docs, options);
+    bench::PrintCurve(ps2, 5);
+    bench::PrintCurve(mllib, 5);
+    std::printf("   total time: PS2 %.2fs | MLlib %.2fs -> %.2fx   "
+                "[paper: 17x]\n",
+                ps2.total_time, mllib.total_time,
+                mllib.total_time / ps2.total_time);
+    // Confirm the OOM behaviour at large K.
+    LdaOptions big = options;
+    big.num_topics = 1000;
+    Result<TrainReport> oom = TrainLdaMllib(&cluster, docs, big);
+    std::printf("   MLlib at K=1000: %s\n",
+                oom.ok() ? "unexpectedly ran"
+                         : oom.status().ToString().c_str());
+  }
+
+  bench::Header("Figure 12(c): LDA App-like at K=1000 — PS2 only",
+                "only PS2 can train the largest corpus");
+  {
+    ClusterSpec spec;
+    spec.num_workers = 20;
+    spec.num_servers = 20;
+    Cluster cluster(spec);
+    CorpusSpec corpus = presets::AppLike(scale * 0.1);
+    Dataset<Document> docs = MakeCorpusDataset(&cluster, corpus).Cache();
+    size_t n_docs = docs.Count();
+    LdaOptions options;
+    options.vocab_size = corpus.vocab_size;
+    options.num_topics = 1000;
+    options.iterations = 4;
+    DcvContext ctx(&cluster);
+    TrainReport ps2 = *TrainLdaPs2(&ctx, docs, options);
+    bench::PrintCurve(ps2, 4);
+    std::printf("   %zu docs, K=1000: converging (loss %.4f -> %.4f) in "
+                "%.2f virtual s\n",
+                n_docs, ps2.curve.front().loss, ps2.final_loss,
+                ps2.total_time);
+  }
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Wall-clock microbenchmarks of the DCV operator set (google-benchmark).
+// These measure the real in-process implementation cost (serialization,
+// routing, server kernels), complementing the virtual-time figure benches.
+
+#include <benchmark/benchmark.h>
+
+#include "dcv/dcv_context.h"
+
+namespace ps2 {
+namespace {
+
+struct Fixture {
+  Fixture() : cluster(MakeSpec()), ctx(&cluster) {}
+
+  static ClusterSpec MakeSpec() {
+    ClusterSpec spec;
+    spec.num_workers = 8;
+    spec.num_servers = 8;
+    return spec;
+  }
+
+  Cluster cluster;
+  DcvContext ctx;
+};
+
+void BM_PushDense(benchmark::State& state) {
+  Fixture f;
+  const uint64_t dim = state.range(0);
+  Dcv v = *f.ctx.Dense(dim, 2);
+  std::vector<double> values(dim, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.Push(values));
+  }
+  state.SetBytesProcessed(state.iterations() * dim * 8);
+}
+BENCHMARK(BM_PushDense)->Arg(1000)->Arg(100000)->Arg(1000000);
+
+void BM_PullDense(benchmark::State& state) {
+  Fixture f;
+  const uint64_t dim = state.range(0);
+  Dcv v = *f.ctx.Dense(dim, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.Pull());
+  }
+  state.SetBytesProcessed(state.iterations() * dim * 8);
+}
+BENCHMARK(BM_PullDense)->Arg(1000)->Arg(100000)->Arg(1000000);
+
+void BM_PullSparse(benchmark::State& state) {
+  Fixture f;
+  const uint64_t dim = 1000000;
+  Dcv v = *f.ctx.Dense(dim, 2);
+  std::vector<uint64_t> indices;
+  for (uint64_t i = 0; i < static_cast<uint64_t>(state.range(0)); ++i) {
+    indices.push_back(i * (dim / state.range(0)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.PullSparse(indices));
+  }
+  state.SetItemsProcessed(state.iterations() * indices.size());
+}
+BENCHMARK(BM_PullSparse)->Arg(100)->Arg(10000);
+
+void BM_Dot(benchmark::State& state) {
+  Fixture f;
+  const uint64_t dim = state.range(0);
+  Dcv a = *f.ctx.Dense(dim, 2);
+  Dcv b = *f.ctx.Derive(a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Dot(b));
+  }
+  state.SetItemsProcessed(state.iterations() * dim);
+}
+BENCHMARK(BM_Dot)->Arg(100000)->Arg(1000000);
+
+void BM_ZipAdamStyle(benchmark::State& state) {
+  Fixture f;
+  const uint64_t dim = state.range(0);
+  Dcv w = *f.ctx.Dense(dim, 4);
+  Dcv s = *f.ctx.Derive(w);
+  Dcv v = *f.ctx.Derive(w);
+  Dcv g = *f.ctx.Derive(w);
+  int udf = f.ctx.RegisterZip(
+      [](const std::vector<double*>& rows, size_t n, uint64_t) -> uint64_t {
+        for (size_t i = 0; i < n; ++i) {
+          rows[1][i] = 0.999 * rows[1][i] + 0.001 * rows[3][i] * rows[3][i];
+          rows[2][i] = 0.9 * rows[2][i] + 0.1 * rows[3][i];
+          rows[0][i] -= 0.05 * rows[2][i];
+        }
+        return 8 * n;
+      });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.Zip({s, v, g}, udf));
+  }
+  state.SetItemsProcessed(state.iterations() * dim * 4);
+}
+BENCHMARK(BM_ZipAdamStyle)->Arg(100000)->Arg(1000000);
+
+void BM_DotBatch(benchmark::State& state) {
+  Fixture f;
+  const uint32_t rows = 1000;
+  std::vector<Dcv> embeddings = *f.ctx.DenseMatrix(100, rows, 0.1, 1);
+  std::vector<std::pair<RowRef, RowRef>> pairs;
+  for (uint32_t i = 0; i < static_cast<uint32_t>(state.range(0)); ++i) {
+    pairs.push_back({embeddings[i % rows].ref(),
+                     embeddings[(i * 7 + 1) % rows].ref()});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.ctx.client()->DotBatch(pairs));
+  }
+  state.SetItemsProcessed(state.iterations() * pairs.size());
+}
+BENCHMARK(BM_DotBatch)->Arg(512);
+
+}  // namespace
+}  // namespace ps2
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Table 2 (paper §6.1): dataset statistics — the paper's numbers next to
+// the synthetic presets this reproduction uses in their place.
+
+#include "bench/bench_common.h"
+#include "data/presets.h"
+
+int main() {
+  using namespace ps2;
+  using namespace ps2::presets;
+  bench::Header("Table 2: dataset statistics",
+                "paper datasets vs this build's shape-matched presets");
+
+  std::printf("%-10s %-9s %-9s %-9s %-8s %-8s\n", "model", "dataset", "#rows",
+              "#cols", "#nnz", "size");
+  for (const PaperDatasetRow& row : PaperTable2()) {
+    std::printf("%-10s %-9s %-9s %-9s %-8s %-8s\n", row.model.c_str(),
+                row.dataset.c_str(), row.rows.c_str(), row.cols.c_str(),
+                row.nnz.c_str(), row.size.c_str());
+  }
+
+  const double scale = bench::Scale();
+  std::printf("\npresets at PS2_BENCH_SCALE=%.2f:\n", scale);
+  std::printf("%-14s %-12s %-12s %-12s\n", "preset", "rows", "cols/vocab",
+              "nnz/row");
+  auto print_cls = [](const char* name, const ClassificationSpec& s) {
+    std::printf("%-14s %-12llu %-12llu %-12u\n", name,
+                static_cast<unsigned long long>(s.rows),
+                static_cast<unsigned long long>(s.dim), s.avg_nnz);
+  };
+  print_cls("KDDB-like", KddbLike(scale));
+  print_cls("KDD12-like", Kdd12Like(scale));
+  print_cls("CTR-like", CtrLike(scale));
+  print_cls("Gender-like", GenderLike(scale));
+  auto print_corpus = [](const char* name, const CorpusSpec& s) {
+    std::printf("%-14s %-12llu %-12u %-12u\n", name,
+                static_cast<unsigned long long>(s.num_docs), s.vocab_size,
+                s.avg_doc_length);
+  };
+  print_corpus("PubMED-like", PubmedLike(scale));
+  print_corpus("App-like", AppLike(scale));
+  auto print_graph = [](const char* name, const GraphSpec& s) {
+    std::printf("%-14s %-12u %-12llu (walks)\n", name, s.num_vertices,
+                static_cast<unsigned long long>(s.num_walks));
+  };
+  print_graph("Graph1-like", Graph1Like(scale));
+  print_graph("Graph2-like", Graph2Like(scale));
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Table 3 (paper §6.1): algorithms supported by the compared systems.
+
+#include <cstdio>
+
+#include "baselines/support_matrix.h"
+#include "bench/bench_common.h"
+
+int main() {
+  ps2::bench::Header("Table 3: algorithms supported by different systems",
+                     "only PS2 covers LR + DeepWalk + GBDT + LDA");
+  std::printf("%s", ps2::FormatSupportMatrix(ps2::PaperTable3()).c_str());
+  std::printf(
+      "\nAll six systems' strategies are implemented in this repository:\n"
+      "  PS2         src/ml + src/dcv (DCV server-side computation)\n"
+      "  Spark MLlib src/baselines/mllib_lr.cc, mllib_lda.cc (driver model)\n"
+      "  DistML      src/baselines/distml_lr.cc (stale snapshot quirk)\n"
+      "  Glint       src/baselines/glint_lda.cc (per-batch row pulls)\n"
+      "  Petuum      src/baselines/petuum_lr.cc, petuum_lda.cc (full pulls)\n"
+      "  XGBoost     src/baselines/xgboost_gbdt.cc (histogram allreduce)\n");
+  return 0;
+}

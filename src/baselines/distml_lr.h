@@ -1,0 +1,35 @@
+#pragma once
+
+// DistML-style GLM baseline (paper §6.3.1, Fig. 10).
+//
+// DistML is the other pioneering Spark+PS system the paper compares
+// against. Like Petuum it pulls the full dense model; additionally the
+// paper observes it "is not robust": on KDDB it fails to converge no matter
+// how hyperparameters are tuned, and it crashes outright on CTR. We emulate
+// the documented misbehaviour with two classic bugs of early Spark+PS
+// integrations:
+//   1. per-worker gradient normalization before the push, so the summed
+//      update is effectively multiplied by the number of workers, and
+//   2. a stale model snapshot — workers only re-pull the model every
+//      `kModelRefreshPeriod` iterations.
+// Separately each is survivable; together (big steps taken against stale
+// weights) they oscillate or diverge on skewed, high-nnz data like KDDB
+// while still limping to convergence on milder data like KDD12 — the exact
+// Fig. 10 picture. The CTR-scale crash is surfaced as Unavailable.
+
+#include "common/result.h"
+#include "data/types.h"
+#include "dataflow/dataset.h"
+#include "dcv/dcv_context.h"
+#include "ml/logreg.h"
+#include "ml/train_report.h"
+
+namespace ps2 {
+
+/// Trains a GLM the DistML way (SGD only; see header comment for the
+/// deliberately reproduced aggregation quirk).
+Result<TrainReport> TrainGlmDistml(DcvContext* ctx,
+                                   const Dataset<Example>& data,
+                                   const GlmOptions& options);
+
+}  // namespace ps2

@@ -1,0 +1,26 @@
+#pragma once
+
+// Glint-style LDA baseline (paper §6.3.3, Fig. 12(a); Glint is "an
+// asynchronous parameter server implementation on Spark for LDA" [14]).
+//
+// Glint's LDA pulls the word-topic counts per document minibatch — without
+// deduplicating the hot words that recur in every batch, and without count
+// compression — so it moves the most redundant bytes of the PS contenders
+// and lands 9x behind PS2 / ~2.4x behind Petuum in Fig. 12(a).
+
+#include "common/result.h"
+#include "data/types.h"
+#include "dataflow/dataset.h"
+#include "dcv/dcv_context.h"
+#include "ml/lda/lda_model.h"
+#include "ml/train_report.h"
+
+namespace ps2 {
+
+/// Trains LDA the Glint way; `docs_per_batch` controls the pull granularity.
+Result<TrainReport> TrainLdaGlint(DcvContext* ctx,
+                                  const Dataset<Document>& docs,
+                                  const LdaOptions& options,
+                                  size_t docs_per_batch = 100);
+
+}  // namespace ps2

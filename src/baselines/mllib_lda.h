@@ -1,0 +1,26 @@
+#pragma once
+
+// Spark MLlib-style LDA baseline (paper §6.3.3, Fig. 12(b)).
+//
+// MLlib manages the topic model on the driver: each iteration it broadcasts
+// the dense vocab x topics matrix to every executor and gathers every
+// executor's dense count-delta matrix back — the same single-node pattern
+// as its GLM path, at topic-model scale. The paper reports PS2 17x faster
+// (and MLlib OOMs beyond K = 100; we surface that as a status).
+
+#include "common/result.h"
+#include "data/types.h"
+#include "dataflow/dataset.h"
+#include "ml/lda/lda_model.h"
+#include "ml/train_report.h"
+
+namespace ps2 {
+
+/// Trains LDA with driver-managed counts (MLlib pattern). Fails with
+/// ResourceExhausted-style Unavailable for large K, as observed in the
+/// paper ("Spark MLlib cannot deal with large models").
+Result<TrainReport> TrainLdaMllib(Cluster* cluster,
+                                  const Dataset<Document>& docs,
+                                  const LdaOptions& options);
+
+}  // namespace ps2

@@ -1,0 +1,49 @@
+#pragma once
+
+// Spark MLlib-style GLM training (the paper's §2 baseline, "Spark-" in
+// Fig. 9).
+//
+// Per iteration, exactly the four steps the paper profiles:
+//   (1) model broadcast    — driver torrent-broadcasts the dense weights,
+//   (2) gradient calc      — executors compute batch gradients,
+//   (3) gradient aggregate — the single-node driver gathers every
+//                            executor's gradient (the bottleneck),
+//   (4) model update       — the driver updates the model locally.
+//
+// Cumulative per-step virtual times are reported so Fig. 1(b)'s breakdown
+// can be regenerated.
+
+#include <vector>
+
+#include "common/result.h"
+#include "data/types.h"
+#include "dataflow/dataset.h"
+#include "ml/logreg.h"
+#include "ml/train_report.h"
+
+namespace ps2 {
+
+/// \brief Cumulative virtual time spent in each MLlib step.
+struct MllibStepBreakdown {
+  SimTime broadcast = 0;
+  SimTime compute = 0;
+  SimTime aggregate = 0;
+  SimTime update = 0;
+
+  SimTime Total() const { return broadcast + compute + aggregate + update; }
+};
+
+/// \brief MLlib training outcome: loss curve plus the step breakdown.
+struct MllibReport {
+  TrainReport report;
+  MllibStepBreakdown breakdown;
+};
+
+/// Trains a GLM the Spark MLlib way (driver-managed model).
+/// `weights_out`, if non-null, receives the final dense weights.
+Result<MllibReport> TrainGlmMllib(Cluster* cluster,
+                                  const Dataset<Example>& data,
+                                  const GlmOptions& options,
+                                  std::vector<double>* weights_out = nullptr);
+
+}  // namespace ps2

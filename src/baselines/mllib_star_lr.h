@@ -1,0 +1,35 @@
+#pragma once
+
+// MLlib*-style GLM baseline (paper §7, reference [34]: "MLlib* further
+// optimizes MLlib by integrating MLlib with model averaging and AllReduce
+// implementation in the context of generalized linear models").
+//
+// Included as an extension baseline between MLlib and the PS systems: each
+// worker keeps a local model replica, takes several local SGD steps per
+// round on its own partition, and the replicas are averaged with a ring
+// allreduce — no driver bottleneck and no parameter servers. Fast per
+// round, but model averaging changes the statistical trajectory (local
+// steps diverge between averages), which is why PS architectures still win
+// on sparse high-dimensional models: the allreduce buffer is the FULL dense
+// model regardless of batch sparsity.
+
+#include "common/result.h"
+#include "data/types.h"
+#include "dataflow/dataset.h"
+#include "ml/logreg.h"
+#include "ml/train_report.h"
+
+namespace ps2 {
+
+/// \brief MLlib* options: GLM options plus the local-steps-per-round knob.
+struct MllibStarOptions {
+  GlmOptions glm;
+  int local_steps_per_round = 4;
+};
+
+/// Trains a GLM with model averaging + ring allreduce (MLlib* pattern).
+Result<TrainReport> TrainGlmMllibStar(Cluster* cluster,
+                                      const Dataset<Example>& data,
+                                      const MllibStarOptions& options);
+
+}  // namespace ps2

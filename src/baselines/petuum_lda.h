@@ -1,0 +1,25 @@
+#pragma once
+
+// Petuum-style LDA baseline (paper §6.3.3, Fig. 12(a)).
+//
+// Same Gibbs sweep as PS2; the communication difference under test: Petuum
+// pulls the FULL dense word-topic rows every iteration (no sparse pulls, no
+// count compression). PS2's 3.7x edge in Fig. 12(a) is attributed to "a
+// more careful engineering effort for its sparse communication
+// implementation and message compression technique" — exactly the two knobs
+// disabled here.
+
+#include "common/result.h"
+#include "data/types.h"
+#include "dataflow/dataset.h"
+#include "dcv/dcv_context.h"
+#include "ml/lda/lda_model.h"
+#include "ml/train_report.h"
+
+namespace ps2 {
+
+Result<TrainReport> TrainLdaPetuum(DcvContext* ctx,
+                                   const Dataset<Document>& docs,
+                                   const LdaOptions& options);
+
+}  // namespace ps2

@@ -1,0 +1,26 @@
+#pragma once
+
+// Petuum-style GLM baseline (paper §6.3.1).
+//
+// Petuum is a general-purpose parameter-server system, but — as the paper
+// points out — "Petuum has to pull all of the model": every worker pulls the
+// FULL dense weight vector each iteration instead of only the coordinates
+// its batch touches. The 1.6-2.3x edge PS2 shows in Fig. 10 is exactly this
+// sparse-versus-dense communication gap; everything else (SGD math, batch
+// schedule) is held identical.
+
+#include "common/result.h"
+#include "data/types.h"
+#include "dataflow/dataset.h"
+#include "dcv/dcv_context.h"
+#include "ml/logreg.h"
+#include "ml/train_report.h"
+
+namespace ps2 {
+
+/// Trains a GLM the Petuum way: full-model pulls, SGD only.
+Result<TrainReport> TrainGlmPetuum(DcvContext* ctx,
+                                   const Dataset<Example>& data,
+                                   const GlmOptions& options);
+
+}  // namespace ps2

@@ -1,0 +1,29 @@
+#pragma once
+
+// "PS-DeepWalk": DeepWalk on parameter servers with ONLY pull/push (paper
+// §6.2.2's baseline).
+//
+// Without server-side dot/axpy, every batch must pull the full K-dimensional
+// embedding vectors of all touched vertices, compute the skip-gram updates
+// locally, and push the deltas back — O(K) bytes per vertex per direction
+// where PS2 moves O(1) scalars. Fig. 9(c)/(d) measure exactly this gap (5x
+// on a small cluster, shrinking to 1.4x at 30 servers, where per-message
+// costs dominate both systems).
+
+#include "common/result.h"
+#include "data/types.h"
+#include "dataflow/dataset.h"
+#include "dcv/dcv_context.h"
+#include "ml/deepwalk.h"
+#include "ml/train_report.h"
+
+namespace ps2 {
+
+/// Trains DeepWalk with pull/push only; statistically equivalent batches and
+/// negative sampling to TrainDeepWalkPs2.
+Result<TrainReport> TrainDeepWalkPsPullPush(
+    DcvContext* ctx, const Dataset<VertexPair>& pairs,
+    const std::vector<double>& vertex_frequencies,
+    const DeepWalkOptions& options);
+
+}  // namespace ps2

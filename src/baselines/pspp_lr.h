@@ -1,0 +1,27 @@
+#pragma once
+
+// "PS-" GLM baseline: PS2's parameter servers with ONLY pull/push (paper
+// §6.2's middle contender, e.g. "PS-Adam").
+//
+// Without server-side computation, the optimizer step itself must round-trip
+// through workers: after gradients are aggregated on the servers, update
+// tasks pull the touched slices of [w, s, v, g], apply the optimizer
+// locally, and push the deltas back. Statistically identical to PS2 (same
+// batches, same aggregated-gradient update); the difference — what Fig. 9
+// isolates — is pure model-movement traffic.
+
+#include "common/result.h"
+#include "data/types.h"
+#include "dataflow/dataset.h"
+#include "dcv/dcv_context.h"
+#include "ml/logreg.h"
+#include "ml/train_report.h"
+
+namespace ps2 {
+
+/// Trains a GLM on parameter servers restricted to pull/push.
+Result<TrainReport> TrainGlmPsPullPush(DcvContext* ctx,
+                                       const Dataset<Example>& data,
+                                       const GlmOptions& options);
+
+}  // namespace ps2

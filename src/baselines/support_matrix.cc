@@ -1,0 +1,33 @@
+#include "baselines/support_matrix.h"
+
+#include <sstream>
+
+namespace ps2 {
+
+std::vector<SystemSupport> PaperTable3() {
+  return {
+      {"Spark MLlib", true, false, true, true},
+      {"DistML", true, false, false, true},
+      {"Glint", false, false, false, true},
+      {"Petuum", true, false, false, true},
+      {"XGBoost", false, false, true, false},
+      {"PS2", true, true, true, true},
+  };
+}
+
+std::string FormatSupportMatrix(const std::vector<SystemSupport>& rows) {
+  std::ostringstream os;
+  os << "System        LR   DeepWalk GBDT LDA\n";
+  for (const SystemSupport& row : rows) {
+    os << row.system;
+    for (size_t i = row.system.size(); i < 14; ++i) os << ' ';
+    os << (row.lr ? "yes  " : "no   ");
+    os << (row.deepwalk ? "yes      " : "no       ");
+    os << (row.gbdt ? "yes  " : "no   ");
+    os << (row.lda ? "yes" : "no");
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ps2

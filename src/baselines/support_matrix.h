@@ -1,0 +1,25 @@
+#pragma once
+
+// The system/algorithm support matrix of paper Table 3.
+
+#include <string>
+#include <vector>
+
+namespace ps2 {
+
+/// \brief One row of Table 3: which models a system can train.
+struct SystemSupport {
+  std::string system;
+  bool lr = false;
+  bool deepwalk = false;
+  bool gbdt = false;
+  bool lda = false;
+};
+
+/// The paper's Table 3, verbatim.
+std::vector<SystemSupport> PaperTable3();
+
+/// Renders the matrix as fixed-width text (checkmark/cross per cell).
+std::string FormatSupportMatrix(const std::vector<SystemSupport>& rows);
+
+}  // namespace ps2

@@ -1,0 +1,92 @@
+#include "baselines/xgboost_gbdt.h"
+
+#include <mutex>
+
+#include "common/logging.h"
+
+namespace ps2 {
+
+namespace {
+
+/// Keeps per-level local histograms in worker memory, charges a tree
+/// allreduce for their union, and scans the global histogram on the driver
+/// (standing in for every worker's identical local scan).
+class XgboostHistogramAggregator final : public HistogramAggregator {
+ public:
+  XgboostHistogramAggregator(Cluster* cluster, const GbdtOptions& options)
+      : cluster_(cluster), options_(options) {}
+
+  Status OnLevelStart(const std::vector<GbdtFrontierNode>& frontier) override {
+    const size_t hist_size = static_cast<size_t>(options_.num_features) *
+                             options_.num_bins;
+    global_grad_.assign(frontier.size(),
+                        std::vector<double>(hist_size, 0.0));
+    global_hess_.assign(frontier.size(),
+                        std::vector<double>(hist_size, 0.0));
+    published_nodes_ = 0;
+    return Status::OK();
+  }
+
+  void PublishLocal(TaskContext& task, TaskHistograms histograms) override {
+    // Local merge into the (logically allreduced) global histogram. The
+    // traffic is charged at the level barrier, as allreduce rounds.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < histograms.frontier_indices.size(); ++i) {
+      size_t k = histograms.frontier_indices[i];
+      std::vector<double>& g = global_grad_[k];
+      std::vector<double>& h = global_hess_[k];
+      for (size_t j = 0; j < g.size(); ++j) {
+        g[j] += histograms.grad_hists[i][j];
+        h[j] += histograms.hess_hists[i][j];
+      }
+      task.AddWorkerOps(2 * g.size());
+      ++published_nodes_;
+    }
+  }
+
+  Status OnLevelCollected(
+      const std::vector<GbdtFrontierNode>& frontier) override {
+    // Every worker allreduces the full per-level histogram buffer: frontier
+    // nodes x (grad + hess) x features x bins x 8 bytes.
+    const uint64_t bytes = static_cast<uint64_t>(frontier.size()) * 2 *
+                           options_.num_features * options_.num_bins * 8;
+    cluster_->AdvanceClock(
+        cluster_->cost().TreeAllReduce(cluster_->num_workers(), bytes));
+    cluster_->metrics().Add("xgboost.allreduce_bytes", bytes);
+    // Post-allreduce, every worker scans the full histogram; charged once
+    // (they scan in parallel).
+    cluster_->AdvanceClock(cluster_->cost().WorkerCompute(
+        static_cast<uint64_t>(frontier.size()) * 2 * options_.num_features *
+        options_.num_bins));
+    return Status::OK();
+  }
+
+  Result<SplitCandidate> FindSplit(size_t frontier_index,
+                                   const GbdtFrontierNode& node) override {
+    return BestSplitInRange(global_grad_[frontier_index].data(),
+                            global_hess_[frontier_index].data(), 0,
+                            options_.num_features, options_.num_bins,
+                            node.grad_sum, node.hess_sum, options_.lambda,
+                            options_.min_child_hess);
+  }
+
+ private:
+  Cluster* cluster_;
+  GbdtOptions options_;
+  std::mutex mu_;
+  std::vector<std::vector<double>> global_grad_;
+  std::vector<std::vector<double>> global_hess_;
+  size_t published_nodes_ = 0;
+};
+
+}  // namespace
+
+Result<GbdtReport> TrainGbdtXgboost(Cluster* cluster,
+                                    const Dataset<GbdtRow>& data,
+                                    const GbdtOptions& options) {
+  XgboostHistogramAggregator aggregator(cluster, options);
+  return TrainGbdtWithAggregator(cluster, data, options, &aggregator,
+                                 "XGBoost");
+}
+
+}  // namespace ps2

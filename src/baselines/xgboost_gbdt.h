@@ -1,0 +1,25 @@
+#pragma once
+
+// XGBoost-style GBDT baseline (paper §6.3.2, Fig. 11).
+//
+// Identical trees to TrainGbdtPs2 (same sketch, histograms, split rule and
+// seeds); the difference under test is the aggregation pattern: XGBoost
+// AllReduces the FULL gradient/hessian histogram of every frontier node
+// among all workers each level — "conducted by AllReduce, which generates
+// vast communication cost" — then every worker scans it locally. PS2
+// instead ships local histograms to sharded servers once and gets back one
+// split candidate per server.
+
+#include "common/result.h"
+#include "data/gbdt_gen.h"
+#include "dataflow/dataset.h"
+#include "ml/gbdt/gbdt.h"
+
+namespace ps2 {
+
+/// Trains GBDT with allreduce histogram aggregation ("XGBoost").
+Result<GbdtReport> TrainGbdtXgboost(Cluster* cluster,
+                                    const Dataset<GbdtRow>& data,
+                                    const GbdtOptions& options);
+
+}  // namespace ps2

@@ -1,0 +1,78 @@
+#pragma once
+
+// Minimal glog-flavoured logging and checking.
+//
+//   PS2_LOG(INFO) << "loaded " << n << " rows";
+//   PS2_CHECK(x > 0) << "x must be positive, got " << x;
+//   PS2_CHECK_OK(DoThing());
+//
+// CHECK failures abort; they indicate programming errors, not runtime errors
+// (runtime errors travel via Status/Result).
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace ps2 {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Global log threshold; messages below it are discarded. Default: kInfo.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when a log statement is compiled out.
+struct LogMessageVoidify {
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace internal
+}  // namespace ps2
+
+#define PS2_LOG_INTERNAL(level) \
+  ::ps2::internal::LogMessage(::ps2::LogLevel::level, __FILE__, __LINE__)
+
+#define PS2_LOG(severity) PS2_LOG_INTERNAL(k##severity)
+
+#define PS2_CHECK(cond)                                      \
+  (cond) ? (void)0                                           \
+         : ::ps2::internal::LogMessageVoidify() &            \
+               PS2_LOG(Fatal) << "Check failed: " #cond " "
+
+#define PS2_CHECK_OK(expr)                                          \
+  do {                                                              \
+    ::ps2::Status _ps2_check_status = (expr);                       \
+    PS2_CHECK(_ps2_check_status.ok())                               \
+        << "'" #expr "' failed: " << _ps2_check_status.ToString(); \
+  } while (false)
+
+#define PS2_CHECK_EQ(a, b) PS2_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define PS2_CHECK_NE(a, b) PS2_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define PS2_CHECK_LT(a, b) PS2_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define PS2_CHECK_LE(a, b) PS2_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define PS2_CHECK_GT(a, b) PS2_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define PS2_CHECK_GE(a, b) PS2_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#define PS2_DCHECK(cond) PS2_CHECK(cond)

@@ -1,0 +1,41 @@
+#include "common/metrics.h"
+
+#include <sstream>
+
+namespace ps2 {
+
+void MetricsRegistry::Add(const std::string& name, uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::Set(const std::string& name, uint64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] = value;
+}
+
+uint64_t MetricsRegistry::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+}
+
+std::map<std::string, uint64_t> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+std::string MetricsRegistry::ToString() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : Snapshot()) {
+    os << name << " = " << value << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ps2

@@ -1,0 +1,35 @@
+#pragma once
+
+// Lightweight metrics: named monotonically increasing counters and gauges.
+// Used to report traffic (bytes pushed/pulled, messages), task retries,
+// checkpoint counts, etc. in tests and benches.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace ps2 {
+
+/// \brief Thread-safe registry of named counters.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  void Add(const std::string& name, uint64_t delta);
+  void Set(const std::string& name, uint64_t value);
+  uint64_t Get(const std::string& name) const;
+  void Reset();
+
+  /// Snapshot of all counters (sorted by name).
+  std::map<std::string, uint64_t> Snapshot() const;
+
+  /// Human-readable dump, one "name = value" per line.
+  std::string ToString() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, uint64_t> counters_;
+};
+
+}  // namespace ps2

@@ -1,0 +1,78 @@
+#pragma once
+
+// Arrow-style Result<T>: either a value or an error Status.
+
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace ps2 {
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// Accessing the value of an errored Result is a checked fatal error, so use
+/// ok() / status() (or PS2_ASSIGN_OR_RETURN) before dereferencing.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Implicit construction from a value.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a (non-OK) Status.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    PS2_CHECK(!std::get<Status>(repr_).ok())
+        << "Result<T> must not be constructed from an OK Status";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status, or OK if a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  const T& ValueOrDie() const& {
+    PS2_CHECK(ok()) << "ValueOrDie on errored Result: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    PS2_CHECK(ok()) << "ValueOrDie on errored Result: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    PS2_CHECK(ok()) << "ValueOrDie on errored Result: " << status().ToString();
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  T&& operator*() && { return std::move(*this).ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Moves the value out, or returns `alternative` on error.
+  T ValueOr(T alternative) && {
+    return ok() ? std::get<T>(std::move(repr_)) : std::move(alternative);
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace ps2
+
+#define PS2_RESULT_CONCAT_IMPL(x, y) x##y
+#define PS2_RESULT_CONCAT(x, y) PS2_RESULT_CONCAT_IMPL(x, y)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the Status, otherwise
+/// assigns the value to `lhs` (which may include a declaration).
+#define PS2_ASSIGN_OR_RETURN(lhs, rexpr)                                     \
+  PS2_ASSIGN_OR_RETURN_IMPL(PS2_RESULT_CONCAT(_ps2_result_, __LINE__), lhs,  \
+                            rexpr)
+
+#define PS2_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).ValueOrDie()

@@ -1,0 +1,154 @@
+#pragma once
+
+// Binary serialization for RPC payloads.
+//
+// All worker<->server and driver<->executor payloads in PS2 pass through
+// these writers/readers so that the network model charges for *real* bytes —
+// e.g. the advantage of sparse pulls (indices + values) over dense pulls is
+// measured from actual encoded sizes, not assumed.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ps2 {
+
+/// \brief Append-only little-endian byte buffer writer.
+class BufferWriter {
+ public:
+  BufferWriter() = default;
+  explicit BufferWriter(size_t reserve) { buf_.reserve(reserve); }
+
+  void WriteU8(uint8_t v) { buf_.push_back(v); }
+  void WriteU32(uint32_t v) { AppendRaw(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { AppendRaw(&v, sizeof(v)); }
+  void WriteI32(int32_t v) { AppendRaw(&v, sizeof(v)); }
+  void WriteI64(int64_t v) { AppendRaw(&v, sizeof(v)); }
+  void WriteF32(float v) { AppendRaw(&v, sizeof(v)); }
+  void WriteF64(double v) { AppendRaw(&v, sizeof(v)); }
+
+  /// Bulk doubles without a length prefix (caller knows the count).
+  void WriteF64Span(const double* data, size_t n) {
+    AppendRaw(data, n * sizeof(double));
+  }
+
+  /// Zigzag-encoded signed varint (small magnitudes take 1-2 bytes).
+  void WriteSignedVarint(int64_t v) {
+    WriteVarint((static_cast<uint64_t>(v) << 1) ^
+                static_cast<uint64_t>(v >> 63));
+  }
+
+  /// Unsigned LEB128; small values (typical for counts/ids) take 1-2 bytes.
+  void WriteVarint(uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<uint8_t>(v));
+  }
+
+  void WriteString(const std::string& s) {
+    WriteVarint(s.size());
+    AppendRaw(s.data(), s.size());
+  }
+
+  /// Length-prefixed POD array.
+  template <typename T>
+  void WritePodVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteVarint(v.size());
+    AppendRaw(v.data(), v.size() * sizeof(T));
+  }
+
+  /// Length-prefixed array of varint-encoded integers (compact for sorted or
+  /// small index sets once delta-encoded by the caller).
+  void WriteVarintVector(const std::vector<uint64_t>& v) {
+    WriteVarint(v.size());
+    for (uint64_t x : v) WriteVarint(x);
+  }
+
+  size_t size() const { return buf_.size(); }
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+  std::vector<uint8_t> Release() { return std::move(buf_); }
+
+ private:
+  void AppendRaw(const void* data, size_t n) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  std::vector<uint8_t> buf_;
+};
+
+/// \brief Bounds-checked reader over a byte buffer.
+class BufferReader {
+ public:
+  BufferReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit BufferReader(const std::vector<uint8_t>& buf)
+      : BufferReader(buf.data(), buf.size()) {}
+
+  Result<uint8_t> ReadU8();
+  Result<uint32_t> ReadU32() { return ReadPod<uint32_t>(); }
+  Result<uint64_t> ReadU64() { return ReadPod<uint64_t>(); }
+  Result<int32_t> ReadI32() { return ReadPod<int32_t>(); }
+  Result<int64_t> ReadI64() { return ReadPod<int64_t>(); }
+  Result<float> ReadF32() { return ReadPod<float>(); }
+  Result<double> ReadF64() { return ReadPod<double>(); }
+  Result<uint64_t> ReadVarint();
+  Result<int64_t> ReadSignedVarint() {
+    PS2_ASSIGN_OR_RETURN(uint64_t raw, ReadVarint());
+    return static_cast<int64_t>((raw >> 1) ^ (0ULL - (raw & 1)));
+  }
+  Result<std::string> ReadString();
+
+  template <typename T>
+  Result<std::vector<T>> ReadPodVector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    PS2_ASSIGN_OR_RETURN(uint64_t n, ReadVarint());
+    if (n > (size_ - pos_) / sizeof(T)) {
+      return Status::OutOfRange("pod vector length exceeds buffer");
+    }
+    std::vector<T> out(n);
+    std::memcpy(out.data(), data_ + pos_, n * sizeof(T));
+    pos_ += n * sizeof(T);
+    return out;
+  }
+
+  Result<std::vector<uint64_t>> ReadVarintVector();
+
+  /// Bulk doubles without a length prefix.
+  Result<std::vector<double>> ReadF64Span(size_t n) {
+    if (n > remaining() / sizeof(double)) {
+      return Status::OutOfRange("f64 span exceeds buffer");
+    }
+    std::vector<double> out(n);
+    std::memcpy(out.data(), data_ + pos_, n * sizeof(double));
+    pos_ += n * sizeof(double);
+    return out;
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  template <typename T>
+  Result<T> ReadPod() {
+    if (remaining() < sizeof(T)) {
+      return Status::OutOfRange("read past end of buffer");
+    }
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace ps2

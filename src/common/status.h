@@ -1,0 +1,115 @@
+#pragma once
+
+// Arrow/RocksDB-style Status for error handling without exceptions.
+//
+// Library code returns Status (or Result<T>, see result.h) instead of
+// throwing. Use the PS2_RETURN_NOT_OK / PS2_ASSIGN_OR_RETURN macros to
+// propagate errors, and PS2_CHECK / PS2_CHECK_OK for invariants whose
+// violation is a programming error.
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace ps2 {
+
+enum class StatusCode : int8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kIOError = 5,
+  kFailedPrecondition = 6,
+  kUnavailable = 7,
+  kNotImplemented = 8,
+  kInternal = 9,
+};
+
+/// \brief Outcome of an operation: OK, or an error code plus message.
+///
+/// Statuses are cheap to copy in the OK case (no allocation) and cheap to
+/// move always.
+class Status {
+ public:
+  /// Creates an OK status.
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string msg);
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  /// Error message; empty for OK.
+  const std::string& message() const;
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  // nullptr means OK; shared so copies are cheap.
+  std::shared_ptr<const State> state_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+const char* StatusCodeName(StatusCode code);
+
+}  // namespace ps2
+
+/// Propagates a non-OK Status from the enclosing function.
+#define PS2_RETURN_NOT_OK(expr)                 \
+  do {                                          \
+    ::ps2::Status _ps2_status = (expr);         \
+    if (!_ps2_status.ok()) return _ps2_status;  \
+  } while (false)

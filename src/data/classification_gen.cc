@@ -1,0 +1,90 @@
+#include "data/classification_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ps2 {
+
+double HiddenWeight(uint64_t feature, uint64_t seed) {
+  // One splitmix64-seeded gaussian per feature; only a sparse subset of
+  // features is "active" so the hidden model is realistic and learnable.
+  Rng rng(seed ^ (feature * 0x9E3779B97F4A7C15ULL));
+  if (rng.NextDouble() > 0.2) return 0.0;  // 80% of features carry no signal
+  return rng.NextGaussian();
+}
+
+uint64_t SampleSkewedFeature(Rng* rng, uint64_t dim, double skew) {
+  // rank = floor(dim * u^skew): density ~ rank^(1/skew - 1), i.e. small
+  // ranks (popular features) are sampled disproportionately often. The rank
+  // is then scattered over the id space with a fixed hash permutation —
+  // real feature ids are not sorted by popularity, and without scattering
+  // one contiguous PS range would own every hot key.
+  double u = rng->NextDouble();
+  double x = std::pow(u, skew);
+  uint64_t rank = std::min(static_cast<uint64_t>(x * static_cast<double>(dim)),
+                           dim - 1);
+  uint64_t h = rank * 0x9E3779B97F4A7C15ULL;
+  h ^= h >> 29;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 32;
+  return h % dim;
+}
+
+std::vector<Example> GenerateClassificationPartition(
+    const ClassificationSpec& spec, size_t partition, size_t num_partitions,
+    Rng* rng) {
+  PS2_CHECK_GT(num_partitions, 0u);
+  const uint64_t base = spec.rows / num_partitions;
+  const uint64_t extra = partition < spec.rows % num_partitions ? 1 : 0;
+  const uint64_t rows = base + extra;
+
+  std::vector<Example> out;
+  out.reserve(rows);
+  std::vector<uint64_t> idx;
+  for (uint64_t r = 0; r < rows; ++r) {
+    // Row nnz ~ 1 + Poisson-ish around avg_nnz (geometric mix keeps it
+    // simple and deterministic).
+    uint32_t nnz = 1 + static_cast<uint32_t>(
+                           rng->NextUint64(2 * spec.avg_nnz - 1));
+    idx.clear();
+    for (uint32_t k = 0; k < nnz; ++k) {
+      idx.push_back(SampleSkewedFeature(rng, spec.dim, spec.skew));
+    }
+    std::sort(idx.begin(), idx.end());
+    idx.erase(std::unique(idx.begin(), idx.end()), idx.end());
+
+    Example ex;
+    double margin = 0.0;
+    {
+      std::vector<double> vals(idx.size(), 1.0);
+      for (uint64_t j : idx) margin += HiddenWeight(j, spec.seed);
+      ex.features = SparseVector(idx, std::move(vals));
+    }
+    double p = 1.0 / (1.0 + std::exp(-margin));
+    bool label = rng->NextDouble() < p;
+    if (rng->NextBernoulli(spec.label_noise)) label = !label;
+    ex.label = label ? 1.0 : 0.0;
+    out.push_back(std::move(ex));
+  }
+  return out;
+}
+
+Dataset<Example> MakeClassificationDataset(Cluster* cluster,
+                                           const ClassificationSpec& spec,
+                                           size_t num_partitions) {
+  if (num_partitions == 0) {
+    num_partitions = static_cast<size_t>(cluster->num_workers());
+  }
+  ClassificationSpec copy = spec;
+  size_t parts = num_partitions;
+  return Dataset<Example>::FromGenerator(
+      cluster, parts,
+      [copy, parts](size_t pid, Rng& rng) {
+        return GenerateClassificationPartition(copy, pid, parts, &rng);
+      },
+      copy.io_bytes_per_example, /*node_seed=*/copy.seed);
+}
+
+}  // namespace ps2

@@ -1,0 +1,54 @@
+#pragma once
+
+// Synthetic sparse classification data.
+//
+// The paper's LR datasets (KDDB, KDD12, CTR) are huge, sparse, and heavily
+// skewed: a few features appear in almost every row, most features almost
+// never (ad/user id one-hot encodings). The generator reproduces that shape:
+// feature ids are drawn from a truncated power law over [0, dim), values are
+// 1.0 (one-hot style), and labels come from a hidden sparse linear model
+// plus noise — so logistic regression genuinely converges on it.
+//
+// The hidden model is *hash-derived*: weight(j) is computed from j on the
+// fly, so a 60M-dimension dataset needs no 60M-entry array (Fig. 13(b)
+// sweeps to 60,000K features).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/types.h"
+#include "dataflow/dataset.h"
+
+namespace ps2 {
+
+/// \brief Shape parameters for a synthetic classification dataset.
+struct ClassificationSpec {
+  uint64_t rows = 100000;    ///< total examples across all partitions
+  uint64_t dim = 1000000;    ///< feature dimension
+  uint32_t avg_nnz = 30;     ///< mean non-zeros per row
+  double skew = 2.0;         ///< power-law skew of feature popularity (>= 1)
+  double label_noise = 0.05; ///< probability of flipping a label
+  uint64_t seed = 7;
+  /// Approximate on-disk bytes per example (charges input IO).
+  uint64_t io_bytes_per_example = 200;
+};
+
+/// Hidden model weight of feature j (deterministic, hash-derived).
+double HiddenWeight(uint64_t feature, uint64_t seed);
+
+/// Draws a power-law-skewed feature id in [0, dim).
+uint64_t SampleSkewedFeature(Rng* rng, uint64_t dim, double skew);
+
+/// Generates the examples of one partition (rows split evenly).
+std::vector<Example> GenerateClassificationPartition(
+    const ClassificationSpec& spec, size_t partition, size_t num_partitions,
+    Rng* rng);
+
+/// Builds a distributed Dataset over the cluster (`num_partitions` 0 = one
+/// partition per worker).
+Dataset<Example> MakeClassificationDataset(Cluster* cluster,
+                                           const ClassificationSpec& spec,
+                                           size_t num_partitions = 0);
+
+}  // namespace ps2

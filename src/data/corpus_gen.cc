@@ -1,0 +1,119 @@
+#include "data/corpus_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/logging.h"
+#include "data/graph_gen.h"  // AliasTable
+
+namespace ps2 {
+
+namespace {
+
+// Hidden per-topic word distributions, cached per (seed, vocab, topics).
+struct TopicModel {
+  std::vector<AliasTable> topic_words;  // one sampler per hidden topic
+};
+
+std::mutex g_topic_cache_mu;
+
+std::shared_ptr<const TopicModel> GetTopicModel(const CorpusSpec& spec) {
+  static auto* cache =
+      new std::map<std::tuple<uint64_t, uint32_t, uint32_t>,
+                   std::shared_ptr<const TopicModel>>;
+  std::lock_guard<std::mutex> lock(g_topic_cache_mu);
+  auto key = std::make_tuple(spec.seed, spec.vocab_size, spec.true_topics);
+  auto it = cache->find(key);
+  if (it != cache->end()) return it->second;
+
+  auto model = std::make_shared<TopicModel>();
+  Rng rng(spec.seed ^ 0x70B1C000ULL);
+  for (uint32_t t = 0; t < spec.true_topics; ++t) {
+    // Each topic favours a random permutation window of the vocabulary with
+    // power-law weights: realistic "bursty" topics.
+    std::vector<double> weights(spec.vocab_size, 1e-3);
+    uint32_t hot_words = spec.vocab_size / spec.true_topics + 10;
+    for (uint32_t k = 0; k < hot_words; ++k) {
+      uint32_t w = static_cast<uint32_t>(rng.NextUint64(spec.vocab_size));
+      weights[w] += std::pow(1.0 + static_cast<double>(k), -spec.word_skew) *
+                    spec.vocab_size;
+    }
+    model->topic_words.emplace_back(weights);
+  }
+  (*cache)[key] = model;
+  return model;
+}
+
+}  // namespace
+
+std::vector<Document> GenerateCorpusPartition(const CorpusSpec& spec,
+                                              size_t partition,
+                                              size_t num_partitions,
+                                              Rng* rng) {
+  PS2_CHECK_GT(num_partitions, 0u);
+  std::shared_ptr<const TopicModel> model = GetTopicModel(spec);
+  const uint64_t base = spec.num_docs / num_partitions;
+  const uint64_t extra = partition < spec.num_docs % num_partitions ? 1 : 0;
+  const uint64_t docs = base + extra;
+
+  std::vector<Document> out;
+  out.reserve(docs);
+  std::vector<double> theta(spec.true_topics);
+  for (uint64_t d = 0; d < docs; ++d) {
+    // theta ~ Dirichlet(alpha) via normalized Gamma draws (Marsaglia-Tsang
+    // would be overkill; for alpha < 1 use the Weibull-like inverse trick).
+    double sum = 0.0;
+    for (uint32_t t = 0; t < spec.true_topics; ++t) {
+      // Gamma(alpha, 1) approximation: -log(u) * u2^(1/alpha) is a standard
+      // Ahrens-Dieter style draw for small alpha.
+      double u1 = rng->NextDouble();
+      double u2 = rng->NextDouble();
+      theta[t] = -std::log(std::max(u1, 1e-12)) *
+                 std::pow(std::max(u2, 1e-12), 1.0 / spec.doc_topic_alpha);
+      sum += theta[t];
+    }
+    for (double& t : theta) t /= sum;
+
+    uint32_t length =
+        1 + static_cast<uint32_t>(rng->NextUint64(2 * spec.avg_doc_length - 1));
+    Document doc;
+    doc.tokens.reserve(length);
+    for (uint32_t i = 0; i < length; ++i) {
+      // Draw topic from theta.
+      double u = rng->NextDouble();
+      uint32_t topic = 0;
+      double acc = 0.0;
+      for (uint32_t t = 0; t < spec.true_topics; ++t) {
+        acc += theta[t];
+        if (u <= acc) {
+          topic = t;
+          break;
+        }
+      }
+      doc.tokens.push_back(model->topic_words[topic].Sample(rng));
+    }
+    out.push_back(std::move(doc));
+  }
+  return out;
+}
+
+Dataset<Document> MakeCorpusDataset(Cluster* cluster, const CorpusSpec& spec,
+                                    size_t num_partitions) {
+  if (num_partitions == 0) {
+    num_partitions = static_cast<size_t>(cluster->num_workers());
+  }
+  CorpusSpec copy = spec;
+  size_t parts = num_partitions;
+  return Dataset<Document>::FromGenerator(
+      cluster, parts,
+      [copy, parts](size_t pid, Rng& rng) {
+        return GenerateCorpusPartition(copy, pid, parts, &rng);
+      },
+      copy.io_bytes_per_token * copy.avg_doc_length,
+      /*node_seed=*/copy.seed);
+}
+
+}  // namespace ps2

@@ -1,0 +1,41 @@
+#pragma once
+
+// Synthetic document corpora for LDA.
+//
+// Documents are synthesized from a hidden topic model: `true_topics` topic
+// distributions over the vocabulary (power-law shaped, as natural language
+// is), per-document topic mixtures drawn from a Dirichlet. A Gibbs sampler
+// trained on this corpus genuinely recovers structure, so log-likelihood
+// curves are meaningful — shaped like the paper's PubMED/App workloads.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/types.h"
+#include "dataflow/dataset.h"
+
+namespace ps2 {
+
+/// \brief Shape parameters for a synthetic LDA corpus.
+struct CorpusSpec {
+  uint64_t num_docs = 20000;
+  uint32_t vocab_size = 5000;
+  uint32_t true_topics = 20;      ///< hidden topics the data is made from
+  uint32_t avg_doc_length = 64;
+  double doc_topic_alpha = 0.3;   ///< Dirichlet concentration for mixtures
+  double word_skew = 1.5;         ///< power-law skew of per-topic word dists
+  uint64_t seed = 13;
+  uint64_t io_bytes_per_token = 4;
+};
+
+/// Generates the documents of one partition.
+std::vector<Document> GenerateCorpusPartition(const CorpusSpec& spec,
+                                              size_t partition,
+                                              size_t num_partitions, Rng* rng);
+
+/// Builds the distributed corpus.
+Dataset<Document> MakeCorpusDataset(Cluster* cluster, const CorpusSpec& spec,
+                                    size_t num_partitions = 0);
+
+}  // namespace ps2

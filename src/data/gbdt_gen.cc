@@ -1,0 +1,72 @@
+#include "data/gbdt_gen.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ps2 {
+
+std::vector<GbdtRow> GenerateGbdtPartition(const GbdtDataSpec& spec,
+                                           size_t partition,
+                                           size_t num_partitions, Rng* rng) {
+  PS2_CHECK_GT(num_partitions, 0u);
+  // Hidden model: per informative feature, a threshold and a coefficient,
+  // derived deterministically from the spec seed (shared by all partitions).
+  Rng model_rng(spec.seed ^ 0x6BD7A000ULL);
+  std::vector<uint32_t> info_features;
+  std::vector<double> thresholds, coefs;
+  for (uint32_t k = 0;
+       k < std::min(spec.informative_features, spec.num_features); ++k) {
+    info_features.push_back(
+        static_cast<uint32_t>(model_rng.NextUint64(spec.num_features)));
+    thresholds.push_back(model_rng.NextDouble(0.2, 0.8));
+    coefs.push_back(model_rng.NextGaussian());
+  }
+
+  const uint64_t base = spec.rows / num_partitions;
+  const uint64_t extra = partition < spec.rows % num_partitions ? 1 : 0;
+  const uint64_t rows = base + extra;
+
+  std::vector<GbdtRow> out;
+  out.reserve(rows);
+  for (uint64_t r = 0; r < rows; ++r) {
+    GbdtRow row;
+    row.features.resize(spec.num_features);
+    for (uint32_t f = 0; f < spec.num_features; ++f) {
+      row.features[f] = static_cast<float>(rng->NextDouble());
+    }
+    double score = 0;
+    for (size_t k = 0; k < info_features.size(); ++k) {
+      // Smooth step: tree ensembles learn these thresholds quickly.
+      score += coefs[k] *
+               std::tanh(6.0 * (row.features[info_features[k]] -
+                                thresholds[k]));
+    }
+    double p = 1.0 / (1.0 + std::exp(-score));
+    bool label = rng->NextDouble() < p;
+    if (rng->NextBernoulli(spec.label_noise)) label = !label;
+    row.label = label ? 1.0f : 0.0f;
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+Dataset<GbdtRow> MakeGbdtDataset(Cluster* cluster, const GbdtDataSpec& spec,
+                                 size_t num_partitions) {
+  if (num_partitions == 0) {
+    num_partitions = static_cast<size_t>(cluster->num_workers());
+  }
+  GbdtDataSpec copy = spec;
+  size_t parts = num_partitions;
+  uint64_t io_bytes = copy.io_bytes_per_row != 0
+                          ? copy.io_bytes_per_row
+                          : 4ULL * copy.num_features;
+  return Dataset<GbdtRow>::FromGenerator(
+      cluster, parts,
+      [copy, parts](size_t pid, Rng& rng) {
+        return GenerateGbdtPartition(copy, pid, parts, &rng);
+      },
+      io_bytes, /*node_seed=*/copy.seed);
+}
+
+}  // namespace ps2

@@ -1,0 +1,44 @@
+#pragma once
+
+// Synthetic dense numeric data for GBDT.
+//
+// The paper's Gender dataset (122M x 330K, §6.3.2) is a dense-ish numeric
+// classification task. The generator produces rows whose labels come from a
+// hidden *threshold* model — a sum of smooth step functions over a few
+// informative features — which is exactly the structure gradient-boosted
+// trees learn well, so train-loss curves are meaningful.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "dataflow/dataset.h"
+
+namespace ps2 {
+
+/// \brief One dense training row for GBDT.
+struct GbdtRow {
+  std::vector<float> features;
+  float label = 0;  ///< {0,1}
+};
+
+/// \brief Shape parameters for the synthetic GBDT dataset.
+struct GbdtDataSpec {
+  uint64_t rows = 50000;
+  uint32_t num_features = 200;
+  uint32_t informative_features = 25;  ///< features that carry signal
+  double label_noise = 0.05;
+  uint64_t seed = 17;
+  uint64_t io_bytes_per_row = 0;  ///< set to 4*num_features to charge IO
+};
+
+/// Generates the rows of one partition.
+std::vector<GbdtRow> GenerateGbdtPartition(const GbdtDataSpec& spec,
+                                           size_t partition,
+                                           size_t num_partitions, Rng* rng);
+
+/// Builds the distributed dataset.
+Dataset<GbdtRow> MakeGbdtDataset(Cluster* cluster, const GbdtDataSpec& spec,
+                                 size_t num_partitions = 0);
+
+}  // namespace ps2

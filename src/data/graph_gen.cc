@@ -1,0 +1,183 @@
+#include "data/graph_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <mutex>
+
+#include "common/logging.h"
+
+namespace ps2 {
+
+namespace {
+
+// Graph construction is deterministic per spec; cache it so that every
+// partition generator (and recomputation after failures) shares one copy.
+struct GraphCacheKey {
+  uint32_t vertices;
+  uint64_t seed;
+  bool operator<(const GraphCacheKey& o) const {
+    return std::tie(vertices, seed) < std::tie(o.vertices, o.seed);
+  }
+};
+
+std::mutex g_graph_cache_mu;
+std::map<GraphCacheKey, std::shared_ptr<const Graph>>& GraphCache() {
+  static auto* cache = new std::map<GraphCacheKey, std::shared_ptr<const Graph>>;
+  return *cache;
+}
+
+}  // namespace
+
+std::shared_ptr<const Graph> Graph::Generate(const GraphSpec& spec) {
+  GraphCacheKey key{spec.num_vertices, spec.seed};
+  {
+    std::lock_guard<std::mutex> lock(g_graph_cache_mu);
+    auto it = GraphCache().find(key);
+    if (it != GraphCache().end()) return it->second;
+  }
+
+  auto graph = std::make_shared<Graph>();
+  graph->adjacency_.resize(spec.num_vertices);
+  Rng rng(spec.seed ^ 0x6EA9A000ULL);
+
+  // Chung-Lu flavoured: vertex weight ~ power law; edges connect endpoints
+  // drawn proportionally to weight.
+  const uint64_t target_edges = static_cast<uint64_t>(
+      spec.avg_degree * spec.num_vertices / 2.0);
+  auto draw_vertex = [&]() -> uint32_t {
+    double u = rng.NextDouble();
+    double x = std::pow(u, spec.degree_skew);
+    return std::min(static_cast<uint32_t>(x * spec.num_vertices),
+                    spec.num_vertices - 1);
+  };
+  for (uint64_t e = 0; e < target_edges; ++e) {
+    uint32_t a = draw_vertex();
+    uint32_t b = draw_vertex();
+    if (a == b) continue;
+    graph->adjacency_[a].push_back(b);
+    graph->adjacency_[b].push_back(a);
+    ++graph->num_edges_;
+  }
+  // Ensure no isolated vertices (walks must be able to start anywhere).
+  for (uint32_t v = 0; v < spec.num_vertices; ++v) {
+    if (graph->adjacency_[v].empty()) {
+      uint32_t peer = draw_vertex();
+      if (peer == v) peer = (v + 1) % spec.num_vertices;
+      graph->adjacency_[v].push_back(peer);
+      graph->adjacency_[peer].push_back(v);
+      ++graph->num_edges_;
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(g_graph_cache_mu);
+  GraphCache()[key] = graph;
+  return graph;
+}
+
+std::vector<uint32_t> Graph::RandomWalk(uint32_t start, uint32_t length,
+                                        Rng* rng) const {
+  std::vector<uint32_t> walk;
+  walk.reserve(length);
+  uint32_t cur = start;
+  walk.push_back(cur);
+  for (uint32_t i = 1; i < length; ++i) {
+    const auto& nbrs = adjacency_[cur];
+    if (nbrs.empty()) break;
+    cur = nbrs[rng->NextUint64(nbrs.size())];
+    walk.push_back(cur);
+  }
+  return walk;
+}
+
+void WalkToPairs(const std::vector<uint32_t>& walk, uint32_t window,
+                 std::vector<VertexPair>* out) {
+  for (size_t i = 0; i < walk.size(); ++i) {
+    size_t lo = i >= window ? i - window : 0;
+    size_t hi = std::min(walk.size() - 1, i + window);
+    for (size_t j = lo; j <= hi; ++j) {
+      if (j == i) continue;
+      out->push_back(VertexPair{walk[i], walk[j]});
+    }
+  }
+}
+
+Dataset<VertexPair> MakeWalkPairDataset(Cluster* cluster,
+                                        const GraphSpec& spec,
+                                        size_t num_partitions) {
+  if (num_partitions == 0) {
+    num_partitions = static_cast<size_t>(cluster->num_workers());
+  }
+  GraphSpec copy = spec;
+  size_t parts = num_partitions;
+  return Dataset<VertexPair>::FromGenerator(
+      cluster, parts,
+      [copy, parts](size_t pid, Rng& rng) {
+        std::shared_ptr<const Graph> graph = Graph::Generate(copy);
+        uint64_t base = copy.num_walks / parts;
+        uint64_t extra = pid < copy.num_walks % parts ? 1 : 0;
+        std::vector<VertexPair> pairs;
+        for (uint64_t w = 0; w < base + extra; ++w) {
+          uint32_t start =
+              static_cast<uint32_t>(rng.NextUint64(graph->num_vertices()));
+          std::vector<uint32_t> walk =
+              graph->RandomWalk(start, copy.walk_length, &rng);
+          WalkToPairs(walk, copy.window, &pairs);
+        }
+        return pairs;
+      },
+      copy.io_bytes_per_pair, /*node_seed=*/copy.seed);
+}
+
+std::vector<double> CorpusVertexFrequencies(const GraphSpec& spec) {
+  // Stationary visit frequency is proportional to degree for unbiased random
+  // walks on undirected graphs; use degree^0.75 (word2vec's unigram^0.75).
+  std::shared_ptr<const Graph> graph = Graph::Generate(spec);
+  std::vector<double> freq(graph->num_vertices());
+  for (uint32_t v = 0; v < graph->num_vertices(); ++v) {
+    freq[v] = std::pow(static_cast<double>(graph->Neighbors(v).size()), 0.75);
+  }
+  return freq;
+}
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  PS2_CHECK_GT(n, 0u);
+  prob_.resize(n);
+  alias_.resize(n);
+  double total = 0.0;
+  for (double w : weights) total += w;
+  PS2_CHECK_GT(total, 0.0);
+
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) scaled[i] = weights[i] * n / total;
+  std::vector<uint32_t> small, large;
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = scaled[l] + scaled[s] - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (uint32_t i : small) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+  for (uint32_t i : large) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+}
+
+uint32_t AliasTable::Sample(Rng* rng) const {
+  uint32_t i = static_cast<uint32_t>(rng->NextUint64(prob_.size()));
+  return rng->NextDouble() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace ps2

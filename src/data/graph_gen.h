@@ -1,0 +1,82 @@
+#pragma once
+
+// Synthetic graphs and random-walk corpora for DeepWalk.
+//
+// The paper's Graph1/Graph2 are pre-sampled random walks from Tencent social
+// graphs ("we do not have the original graph; the users from business unit
+// do the sampling of random walks"). We mirror that pipeline: generate a
+// power-law graph (Chung-Lu style), sample fixed-length random walks from
+// it, and expand walks into skip-gram vertex pairs with a context window —
+// the input format DeepWalk training consumes.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/types.h"
+#include "dataflow/dataset.h"
+
+namespace ps2 {
+
+/// \brief Shape parameters for a synthetic graph + walk corpus.
+struct GraphSpec {
+  uint32_t num_vertices = 10000;
+  double avg_degree = 10.0;
+  double degree_skew = 2.0;      ///< power-law exponent-ish skew
+  uint64_t num_walks = 12000;    ///< total walks (paper: #walks column)
+  uint32_t walk_length = 8;      ///< paper Appendix A: length_of_random_walk
+  uint32_t window = 4;           ///< paper Appendix A: window_size
+  uint64_t seed = 11;
+  uint64_t io_bytes_per_pair = 16;
+};
+
+/// \brief An undirected graph as adjacency lists (deterministic from spec).
+class Graph {
+ public:
+  static std::shared_ptr<const Graph> Generate(const GraphSpec& spec);
+
+  uint32_t num_vertices() const {
+    return static_cast<uint32_t>(adjacency_.size());
+  }
+  const std::vector<uint32_t>& Neighbors(uint32_t v) const {
+    return adjacency_[v];
+  }
+  uint64_t num_edges() const { return num_edges_; }
+
+  /// One random walk of `length` vertices starting at `start`.
+  std::vector<uint32_t> RandomWalk(uint32_t start, uint32_t length,
+                                   Rng* rng) const;
+
+ private:
+  std::vector<std::vector<uint32_t>> adjacency_;
+  uint64_t num_edges_ = 0;
+};
+
+/// Expands a walk into skip-gram pairs with the given window.
+void WalkToPairs(const std::vector<uint32_t>& walk, uint32_t window,
+                 std::vector<VertexPair>* out);
+
+/// Builds the distributed pair corpus: each partition samples its share of
+/// walks from the (shared, deterministic) graph and expands them.
+Dataset<VertexPair> MakeWalkPairDataset(Cluster* cluster,
+                                        const GraphSpec& spec,
+                                        size_t num_partitions = 0);
+
+/// Vertex frequency table of the corpus, for negative sampling (unigram^0.75
+/// as in word2vec/DeepWalk). Index = vertex id.
+std::vector<double> CorpusVertexFrequencies(const GraphSpec& spec);
+
+/// \brief Alias-method sampler over a discrete distribution.
+class AliasTable {
+ public:
+  explicit AliasTable(const std::vector<double>& weights);
+  uint32_t Sample(Rng* rng) const;
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace ps2

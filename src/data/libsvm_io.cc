@@ -1,0 +1,92 @@
+#include "data/libsvm_io.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace ps2 {
+
+Result<Example> ParseLibsvmLine(const std::string& line) {
+  std::istringstream is(line);
+  std::string label_token;
+  if (!(is >> label_token)) {
+    return Status::InvalidArgument("empty libsvm line");
+  }
+  Example ex;
+  if (label_token == "+1" || label_token == "1" || label_token == "1.0") {
+    ex.label = 1.0;
+  } else if (label_token == "-1" || label_token == "0" ||
+             label_token == "0.0") {
+    ex.label = 0.0;
+  } else {
+    char* end = nullptr;
+    double v = std::strtod(label_token.c_str(), &end);
+    if (end == label_token.c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad label: " + label_token);
+    }
+    ex.label = v > 0 ? 1.0 : 0.0;
+  }
+
+  std::vector<uint64_t> indices;
+  std::vector<double> values;
+  std::string pair;
+  while (is >> pair) {
+    size_t colon = pair.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("bad feature token: " + pair);
+    }
+    char* end = nullptr;
+    uint64_t idx = std::strtoull(pair.c_str(), &end, 10);
+    if (end != pair.c_str() + colon) {
+      return Status::InvalidArgument("bad feature index: " + pair);
+    }
+    if (idx == 0) {
+      return Status::InvalidArgument("libsvm indices are 1-based: " + pair);
+    }
+    double val = std::strtod(pair.c_str() + colon + 1, &end);
+    if (end == pair.c_str() + colon + 1) {
+      return Status::InvalidArgument("bad feature value: " + pair);
+    }
+    indices.push_back(idx - 1);
+    values.push_back(val);
+  }
+  ex.features = SparseVector(std::move(indices), std::move(values));
+  return ex;
+}
+
+std::string FormatLibsvmLine(const Example& example) {
+  std::ostringstream os;
+  os << (example.label > 0.5 ? "1" : "0");
+  const auto& idx = example.features.indices();
+  const auto& val = example.features.values();
+  for (size_t k = 0; k < idx.size(); ++k) {
+    os << ' ' << (idx[k] + 1) << ':' << val[k];
+  }
+  return os.str();
+}
+
+Result<std::vector<Example>> ReadLibsvmFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::vector<Example> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    PS2_ASSIGN_OR_RETURN(Example ex, ParseLibsvmLine(line));
+    out.push_back(std::move(ex));
+  }
+  return out;
+}
+
+Status WriteLibsvmFile(const std::string& path,
+                       const std::vector<Example>& examples) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  for (const Example& ex : examples) {
+    out << FormatLibsvmLine(ex) << '\n';
+  }
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace ps2

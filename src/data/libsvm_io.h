@@ -1,0 +1,31 @@
+#pragma once
+
+// LIBSVM-format text IO for classification examples.
+//
+// The paper's public datasets (KDDB, KDD12) ship in LIBSVM format
+// ("label idx:val idx:val ..."), so the examples and tools read/write it.
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/types.h"
+
+namespace ps2 {
+
+/// Parses one LIBSVM line ("1 5:0.5 17:1.0"). Labels "+1"/"1" -> 1.0,
+/// "-1"/"0" -> 0.0. Indices in the file are 1-based (LIBSVM convention) and
+/// converted to 0-based.
+Result<Example> ParseLibsvmLine(const std::string& line);
+
+/// Formats an example as a LIBSVM line (1-based indices).
+std::string FormatLibsvmLine(const Example& example);
+
+/// Reads a whole LIBSVM file.
+Result<std::vector<Example>> ReadLibsvmFile(const std::string& path);
+
+/// Writes examples to a LIBSVM file.
+Status WriteLibsvmFile(const std::string& path,
+                       const std::vector<Example>& examples);
+
+}  // namespace ps2

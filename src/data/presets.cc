@@ -1,0 +1,134 @@
+#include "data/presets.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ps2 {
+namespace presets {
+
+namespace {
+uint64_t Scaled(uint64_t value, double scale, uint64_t min_value = 1) {
+  return std::max<uint64_t>(min_value,
+                            static_cast<uint64_t>(value * scale));
+}
+}  // namespace
+
+ClassificationSpec KddbLike(double scale) {
+  ClassificationSpec spec;
+  // Paper: 19M rows x 29M cols, 585M nnz (~31 nnz/row), 4.8 GB.
+  spec.rows = Scaled(120000, scale, 1000);
+  spec.dim = Scaled(200000, scale, 1000);
+  spec.avg_nnz = 31;
+  spec.skew = 2.0;
+  spec.seed = 101;
+  return spec;
+}
+
+ClassificationSpec Kdd12Like(double scale) {
+  ClassificationSpec spec;
+  // Paper: 149M rows x 54.6M cols, 1.64B nnz (~11 nnz/row), 21 GB.
+  spec.rows = Scaled(200000, scale, 1000);
+  spec.dim = Scaled(400000, scale, 1000);
+  spec.avg_nnz = 11;
+  spec.skew = 2.2;
+  spec.seed = 102;
+  return spec;
+}
+
+ClassificationSpec CtrLike(double scale) {
+  ClassificationSpec spec;
+  // Paper: 343M rows x 1.7B cols, 57B nnz (~166 nnz/row), 662.4 GB. The
+  // defining trait: cols >> rows (ids), very wide model.
+  spec.rows = Scaled(150000, scale, 1000);
+  spec.dim = Scaled(2000000, scale, 1000);
+  spec.avg_nnz = 80;
+  spec.skew = 2.5;
+  spec.seed = 103;
+  return spec;
+}
+
+ClassificationSpec FeatureSweep(uint64_t dim, uint64_t rows) {
+  ClassificationSpec spec;
+  spec.rows = rows;
+  spec.dim = dim;
+  spec.avg_nnz = 30;
+  spec.skew = 2.0;
+  spec.seed = 104;
+  return spec;
+}
+
+CorpusSpec PubmedLike(double scale) {
+  CorpusSpec spec;
+  // Paper: PubMED 8.2M docs x 141K vocab, 737M tokens (~90 tokens/doc).
+  spec.num_docs = Scaled(20000, scale, 200);
+  spec.vocab_size = static_cast<uint32_t>(Scaled(8000, scale, 200));
+  spec.true_topics = 20;
+  spec.avg_doc_length = 90;
+  spec.seed = 105;
+  return spec;
+}
+
+CorpusSpec AppLike(double scale) {
+  CorpusSpec spec;
+  // Paper: App 2.3B docs x 558K vocab, 161B tokens (~70 tokens/doc): the
+  // "only PS2 can run it" scale point. Kept larger than PubMED-like.
+  spec.num_docs = Scaled(60000, scale, 500);
+  spec.vocab_size = static_cast<uint32_t>(Scaled(20000, scale, 500));
+  spec.true_topics = 40;
+  spec.avg_doc_length = 70;
+  spec.seed = 106;
+  return spec;
+}
+
+ClassificationSpec GenderLike(double scale) {
+  ClassificationSpec spec;
+  // Paper: Gender 122M rows x 330K cols, 12.17B nnz (~100 nnz/row), 145 GB,
+  // used for GBDT. Dense-ish numeric features relative to the LR sets.
+  spec.rows = Scaled(60000, scale, 1000);
+  spec.dim = Scaled(2000, scale, 50);
+  spec.avg_nnz = 100;
+  spec.skew = 1.2;
+  spec.seed = 107;
+  return spec;
+}
+
+GraphSpec Graph1Like(double scale) {
+  GraphSpec spec;
+  // Paper: 254K vertices, 308K walks, 100 MB.
+  spec.num_vertices = static_cast<uint32_t>(Scaled(12000, scale, 100));
+  spec.num_walks = Scaled(15000, scale, 100);
+  spec.avg_degree = 10;
+  spec.walk_length = 8;
+  spec.window = 4;
+  spec.seed = 108;
+  return spec;
+}
+
+GraphSpec Graph2Like(double scale) {
+  GraphSpec spec;
+  // Paper: 115M vertices, 156M walks, 10.5 GB — much larger than Graph1 and
+  // evaluated with 30 servers (Fig. 9(d)).
+  spec.num_vertices = static_cast<uint32_t>(Scaled(60000, scale, 500));
+  spec.num_walks = Scaled(80000, scale, 500);
+  spec.avg_degree = 12;
+  spec.walk_length = 8;
+  spec.window = 4;
+  spec.seed = 109;
+  return spec;
+}
+
+std::vector<PaperDatasetRow> PaperTable2() {
+  return {
+      {"LR", "KDDB", "19M", "29M", "585M", "4.8GB"},
+      {"LR", "KDD12", "149M", "54.6M", "1.64B", "21GB"},
+      {"LR", "CTR", "343M", "1.7B", "57B", "662.4GB"},
+      {"LDA", "PubMED", "8.2M", "141K", "737M", "4GB"},
+      {"LDA", "App", "2.3B", "558K", "161B", "797GB"},
+      {"GBDT", "Gender", "122M", "330K", "12.17B", "145GB"},
+      {"DeepWalk", "Graph1", "254K", "308K walks", "-", "100MB"},
+      {"DeepWalk", "Graph2", "115M", "156M walks", "-", "10.5GB"},
+  };
+}
+
+}  // namespace presets
+}  // namespace ps2

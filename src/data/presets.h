@@ -1,0 +1,57 @@
+#pragma once
+
+// Bench-scale presets shaped like the paper's Table 2 datasets.
+//
+// We cannot use Tencent's data (or load 662 GB on one machine), so every
+// preset keeps the paper dataset's *shape* — column/row ratio, sparsity,
+// skew — at a laptop-friendly default scale. `scale` in (0, 1] shrinks rows
+// and dims proportionally; benches print the preset alongside the paper's
+// original statistics so the substitution is explicit.
+
+#include <string>
+#include <vector>
+
+#include "data/classification_gen.h"
+#include "data/corpus_gen.h"
+#include "data/graph_gen.h"
+
+namespace ps2 {
+namespace presets {
+
+// --- LR datasets (Table 2: KDDB 19M x 29M, KDD12 149M x 54.6M,
+//     CTR 343M x 1.7B) ---
+ClassificationSpec KddbLike(double scale = 1.0);
+ClassificationSpec Kdd12Like(double scale = 1.0);
+ClassificationSpec CtrLike(double scale = 1.0);
+
+/// Fig. 1 / Fig. 13(b) sweep: a dataset with exactly `dim` features
+/// (paper: 40K, 3000K, 30000K, 60000K).
+ClassificationSpec FeatureSweep(uint64_t dim, uint64_t rows = 40000);
+
+// --- LDA corpora (Table 2: PubMED 8.2M x 141K, App 2.3B x 558K) ---
+CorpusSpec PubmedLike(double scale = 1.0);
+CorpusSpec AppLike(double scale = 1.0);
+
+// --- GBDT dataset (Table 2: Gender 122M x 330K) ---
+ClassificationSpec GenderLike(double scale = 1.0);
+
+// --- DeepWalk graphs (Table 2: Graph1 254K vertices / 308K walks,
+//     Graph2 115M vertices / 156M walks) ---
+GraphSpec Graph1Like(double scale = 1.0);
+GraphSpec Graph2Like(double scale = 1.0);
+
+/// \brief One row of the paper's Table 2, for printing next to our preset.
+struct PaperDatasetRow {
+  std::string model;
+  std::string dataset;
+  std::string rows;
+  std::string cols;
+  std::string nnz;
+  std::string size;
+};
+
+/// The paper's Table 2 verbatim.
+std::vector<PaperDatasetRow> PaperTable2();
+
+}  // namespace presets
+}  // namespace ps2

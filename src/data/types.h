@@ -1,0 +1,29 @@
+#pragma once
+
+// Record types shared by the data generators and the ML trainers.
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/sparse_vector.h"
+
+namespace ps2 {
+
+/// \brief One labeled training example (classification / regression).
+struct Example {
+  SparseVector features;
+  double label = 0.0;  ///< {0,1} for classification
+};
+
+/// \brief A document as a bag of word ids (LDA).
+struct Document {
+  std::vector<uint32_t> tokens;
+};
+
+/// \brief A skip-gram training pair sampled from random walks (DeepWalk).
+struct VertexPair {
+  uint32_t u = 0;  ///< center vertex
+  uint32_t v = 0;  ///< context vertex
+};
+
+}  // namespace ps2

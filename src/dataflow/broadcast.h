@@ -1,0 +1,44 @@
+#pragma once
+
+// Broadcast variables (Spark TorrentBroadcast analogue).
+//
+// Broadcasting charges the cluster clock with the torrent-broadcast cost for
+// the serialized size and hands tasks a shared read-only handle. The MLlib
+// baseline uses this for its per-iteration model broadcast (paper §2 step 1).
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "dataflow/cluster.h"
+
+namespace ps2 {
+
+/// \brief Read-only handle to a value shipped to all executors.
+template <typename T>
+class Broadcast {
+ public:
+  Broadcast() = default;
+  Broadcast(std::shared_ptr<const T> value, uint64_t bytes)
+      : value_(std::move(value)), bytes_(bytes) {}
+
+  const T& value() const { return *value_; }
+  uint64_t serialized_bytes() const { return bytes_; }
+  bool valid() const { return value_ != nullptr; }
+
+ private:
+  std::shared_ptr<const T> value_;
+  uint64_t bytes_ = 0;
+};
+
+/// Ships `value` (serialized size `bytes`) to every executor, charging the
+/// torrent-broadcast cost.
+template <typename T>
+Broadcast<T> BroadcastValue(Cluster* cluster, T value, uint64_t bytes) {
+  cluster->AdvanceClock(
+      cluster->cost().BroadcastTorrent(cluster->num_workers(), bytes));
+  cluster->metrics().Add("net.broadcast_bytes", bytes);
+  return Broadcast<T>(std::make_shared<const T>(std::move(value)), bytes);
+}
+
+}  // namespace ps2

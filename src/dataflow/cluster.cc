@@ -1,0 +1,89 @@
+#include "dataflow/cluster.h"
+
+#include "common/logging.h"
+
+namespace ps2 {
+
+Cluster::Cluster(const ClusterSpec& spec)
+    : spec_(spec),
+      cost_(spec),
+      failures_(spec.task_failure_prob, spec.seed),
+      pool_(ThreadPool::Global()),
+      root_rng_(spec.seed) {
+  PS2_CHECK(spec.Valid()) << "invalid ClusterSpec";
+}
+
+void Cluster::RunStage(const std::string& name, size_t ntasks,
+                       const std::function<void(TaskContext&)>& body) {
+  // Pre-draw failure attempts serially so results do not depend on thread
+  // scheduling.
+  std::vector<std::vector<double>> retry_fractions(ntasks);
+  for (size_t i = 0; i < ntasks; ++i) {
+    while (failures_.ShouldFailTask()) {
+      retry_fractions[i].push_back(failures_.FailurePoint());
+    }
+  }
+
+  std::vector<TaskTraffic> per_task(ntasks);
+  const uint64_t stage_index = stages_run_;
+  pool_->ParallelFor(ntasks, [&](size_t i) {
+    TaskContext ctx;
+    ctx.task_id = i;
+    ctx.executor_id = ExecutorForPartition(i);
+    ctx.attempt = static_cast<int>(retry_fractions[i].size());
+    ctx.rng = root_rng_.Split((stage_index << 20) ^ (i + 1));
+    ctx.traffic = &per_task[i];
+    ctx.cluster = this;
+    TrafficScope scope(&per_task[i]);
+    body(ctx);
+  });
+
+  StageCostBreakdown breakdown = StageCost(cost_, per_task, retry_fractions);
+  clock_.Advance(breakdown.elapsed);
+  last_stage_cost_ = breakdown;
+  ++stages_run_;
+
+  uint64_t bytes_to = 0, bytes_from = 0, msgs = 0, retries = 0;
+  for (size_t i = 0; i < ntasks; ++i) {
+    bytes_to += per_task[i].TotalBytesToServers();
+    bytes_from += per_task[i].TotalBytesFromServers();
+    msgs += per_task[i].TotalMsgs();
+    retries += retry_fractions[i].size();
+  }
+  metrics_.Add("cluster.stages", 1);
+  metrics_.Add("cluster.tasks", ntasks);
+  metrics_.Add("cluster.task_retries", retries);
+  metrics_.Add("net.bytes_worker_to_server", bytes_to);
+  metrics_.Add("net.bytes_server_to_worker", bytes_from);
+  metrics_.Add("net.messages", msgs);
+  (void)name;
+}
+
+void Cluster::ChargeDriver(SimTime seconds) {
+  PS2_CHECK_GE(seconds, 0.0);
+  clock_.Advance(seconds);
+}
+
+void Cluster::AdvanceClock(SimTime seconds) {
+  PS2_CHECK_GE(seconds, 0.0);
+  clock_.Advance(seconds);
+}
+
+void Cluster::KillExecutor(int executor_id) {
+  PS2_CHECK_GE(executor_id, 0);
+  PS2_CHECK_LT(executor_id, spec_.num_workers);
+  std::vector<std::function<void(int)>> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(callbacks_mu_);
+    callbacks = cache_invalidation_callbacks_;
+  }
+  for (auto& cb : callbacks) cb(executor_id);
+  metrics_.Add("cluster.executor_failures", 1);
+}
+
+void Cluster::RegisterCacheInvalidation(std::function<void(int)> callback) {
+  std::lock_guard<std::mutex> lock(callbacks_mu_);
+  cache_invalidation_callbacks_.push_back(std::move(callback));
+}
+
+}  // namespace ps2

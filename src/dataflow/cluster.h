@@ -1,0 +1,106 @@
+#pragma once
+
+// The simulated cluster runtime ("sparklite").
+//
+// A Cluster plays the role of a Spark deployment: one logical driver, N
+// logical executors (workers), and — once a PsGroup is attached (see
+// ps/ps_master.h) — P parameter servers. Task bodies execute with real
+// parallelism on a thread pool; *reported* time is virtual and advances at
+// stage barriers from the traffic each task recorded (net/network_model.h).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "net/network_model.h"
+#include "sim/cost_model.h"
+#include "sim/failure_injector.h"
+#include "sim/sim_clock.h"
+
+namespace ps2 {
+
+class Cluster;
+
+/// \brief Context handed to every task body.
+struct TaskContext {
+  size_t task_id = 0;
+  int executor_id = 0;
+  int attempt = 0;
+  Rng rng{0};                    ///< deterministic per-(stage, task) stream
+  TaskTraffic* traffic = nullptr;
+  Cluster* cluster = nullptr;
+
+  /// Charges `ops` scalar operations of worker-local compute.
+  void AddWorkerOps(uint64_t ops) { traffic->worker_ops += ops; }
+  /// Charges `bytes` of input IO (e.g. reading a partition from storage).
+  void AddIoBytes(uint64_t bytes) { traffic->io_bytes += bytes; }
+};
+
+/// \brief Top-level simulated cluster: clock, cost model, stage scheduler,
+/// failure injection and executor bookkeeping.
+class Cluster {
+ public:
+  explicit Cluster(const ClusterSpec& spec);
+
+  const ClusterSpec& spec() const { return spec_; }
+  SimClock& clock() { return clock_; }
+  const CostModel& cost() const { return cost_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  FailureInjector& failures() { return failures_; }
+  ThreadPool* pool() { return pool_; }
+
+  int num_workers() const { return spec_.num_workers; }
+  int num_servers() const { return spec_.num_servers; }
+
+  /// Deterministic RNG stream `stream` derived from the cluster seed.
+  Rng MakeRng(uint64_t stream) const { return root_rng_.Split(stream); }
+
+  /// Runs `ntasks` task bodies as one BSP stage: bodies run in parallel on
+  /// the thread pool, traffic is recorded per task, injected task failures
+  /// are charged and retried (the failed attempt dies *before* its final
+  /// push, so bodies still execute exactly once — the paper's push-is-last
+  /// argument), and the clock advances by the stage's modeled elapsed time.
+  void RunStage(const std::string& name, size_t ntasks,
+                const std::function<void(TaskContext&)>& body);
+
+  /// Advances the clock for driver-side work (e.g. MLlib model update).
+  void ChargeDriver(SimTime seconds);
+
+  /// Advances the clock by an explicitly modeled collective (e.g. a
+  /// broadcast or an allreduce charged by a baseline trainer).
+  void AdvanceClock(SimTime seconds);
+
+  /// Simulates the loss of an executor: all dataset partitions cached on it
+  /// are dropped and will be recomputed through lineage on next access.
+  void KillExecutor(int executor_id);
+
+  /// Cached datasets register a callback invoked with the failed executor id.
+  void RegisterCacheInvalidation(std::function<void(int)> callback);
+
+  int ExecutorForPartition(size_t pid) const {
+    return static_cast<int>(pid % static_cast<size_t>(spec_.num_workers));
+  }
+
+  uint64_t stages_run() const { return stages_run_; }
+  const StageCostBreakdown& last_stage_cost() const { return last_stage_cost_; }
+
+ private:
+  ClusterSpec spec_;
+  SimClock clock_;
+  CostModel cost_;
+  MetricsRegistry metrics_;
+  FailureInjector failures_;
+  ThreadPool* pool_;
+  Rng root_rng_;
+  uint64_t stages_run_ = 0;
+  StageCostBreakdown last_stage_cost_;
+  std::vector<std::function<void(int)>> cache_invalidation_callbacks_;
+  std::mutex callbacks_mu_;
+};
+
+}  // namespace ps2

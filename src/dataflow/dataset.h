@@ -1,0 +1,384 @@
+#pragma once
+
+// Dataset<T>: the RDD analogue of sparklite.
+//
+// A Dataset is an immutable, lazily evaluated, partitioned collection with
+// lineage: each node knows how to (re)compute any partition, so a simulated
+// executor failure just drops cached partitions and the next access rebuilds
+// them — exactly Spark's fault-tolerance story (paper §5.3, "Executor
+// Failure").
+//
+// Transformations (Map, Filter, Sample, MapPartitions, Cache) build the
+// lineage graph; actions (Collect, Count, Reduce, ForeachPartition,
+// MapPartitionsCollect) run one BSP stage on the cluster, charging virtual
+// time for compute, IO and any PS traffic the task bodies generate.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "dataflow/cluster.h"
+
+namespace ps2 {
+
+namespace internal {
+
+/// Per-element virtual compute charge for generic transformations.
+constexpr uint64_t kOpsPerElement = 1;
+
+template <typename T>
+using Elements = std::shared_ptr<const std::vector<T>>;
+
+template <typename T>
+class DatasetNode {
+ public:
+  DatasetNode(Cluster* cluster, size_t num_partitions)
+      : cluster_(cluster), num_partitions_(num_partitions) {
+    PS2_CHECK(cluster != nullptr);
+    PS2_CHECK_GT(num_partitions, 0u);
+  }
+  virtual ~DatasetNode() = default;
+
+  /// Computes (possibly recomputes, via lineage) partition `pid`.
+  virtual Elements<T> Compute(size_t pid, TaskContext& ctx) = 0;
+
+  Cluster* cluster() const { return cluster_; }
+  size_t num_partitions() const { return num_partitions_; }
+
+ protected:
+  Cluster* cluster_;
+  size_t num_partitions_;
+};
+
+template <typename T>
+class SourceNode final : public DatasetNode<T> {
+ public:
+  using GenFn = std::function<std::vector<T>(size_t pid, Rng& rng)>;
+
+  SourceNode(Cluster* cluster, size_t num_partitions, GenFn gen,
+             uint64_t io_bytes_per_element, uint64_t node_seed)
+      : DatasetNode<T>(cluster, num_partitions),
+        gen_(std::move(gen)),
+        io_bytes_per_element_(io_bytes_per_element),
+        node_seed_(node_seed) {}
+
+  Elements<T> Compute(size_t pid, TaskContext& ctx) override {
+    // Partition content depends only on (node_seed, pid): recomputation
+    // after failure reproduces identical data.
+    Rng rng = this->cluster_->MakeRng(node_seed_ ^ (0x50A5C000ULL + pid));
+    auto data = std::make_shared<std::vector<T>>(gen_(pid, rng));
+    ctx.AddIoBytes(io_bytes_per_element_ * data->size());
+    ctx.AddWorkerOps(data->size() * kOpsPerElement);
+    return data;
+  }
+
+ private:
+  GenFn gen_;
+  uint64_t io_bytes_per_element_;
+  uint64_t node_seed_;
+};
+
+template <typename T, typename U>
+class MapNode final : public DatasetNode<U> {
+ public:
+  MapNode(std::shared_ptr<DatasetNode<T>> parent, std::function<U(const T&)> fn)
+      : DatasetNode<U>(parent->cluster(), parent->num_partitions()),
+        parent_(std::move(parent)),
+        fn_(std::move(fn)) {}
+
+  Elements<U> Compute(size_t pid, TaskContext& ctx) override {
+    Elements<T> in = parent_->Compute(pid, ctx);
+    auto out = std::make_shared<std::vector<U>>();
+    out->reserve(in->size());
+    for (const T& x : *in) out->push_back(fn_(x));
+    ctx.AddWorkerOps(in->size() * kOpsPerElement);
+    return out;
+  }
+
+ private:
+  std::shared_ptr<DatasetNode<T>> parent_;
+  std::function<U(const T&)> fn_;
+};
+
+template <typename T>
+class FilterNode final : public DatasetNode<T> {
+ public:
+  FilterNode(std::shared_ptr<DatasetNode<T>> parent,
+             std::function<bool(const T&)> pred)
+      : DatasetNode<T>(parent->cluster(), parent->num_partitions()),
+        parent_(std::move(parent)),
+        pred_(std::move(pred)) {}
+
+  Elements<T> Compute(size_t pid, TaskContext& ctx) override {
+    Elements<T> in = parent_->Compute(pid, ctx);
+    auto out = std::make_shared<std::vector<T>>();
+    for (const T& x : *in) {
+      if (pred_(x)) out->push_back(x);
+    }
+    ctx.AddWorkerOps(in->size() * kOpsPerElement);
+    return out;
+  }
+
+ private:
+  std::shared_ptr<DatasetNode<T>> parent_;
+  std::function<bool(const T&)> pred_;
+};
+
+template <typename T, typename U>
+class MapPartitionsNode final : public DatasetNode<U> {
+ public:
+  using Fn = std::function<std::vector<U>(TaskContext&, const std::vector<T>&)>;
+
+  MapPartitionsNode(std::shared_ptr<DatasetNode<T>> parent, Fn fn)
+      : DatasetNode<U>(parent->cluster(), parent->num_partitions()),
+        parent_(std::move(parent)),
+        fn_(std::move(fn)) {}
+
+  Elements<U> Compute(size_t pid, TaskContext& ctx) override {
+    Elements<T> in = parent_->Compute(pid, ctx);
+    return std::make_shared<std::vector<U>>(fn_(ctx, *in));
+  }
+
+ private:
+  std::shared_ptr<DatasetNode<T>> parent_;
+  Fn fn_;
+};
+
+template <typename T>
+class SampleNode final : public DatasetNode<T> {
+ public:
+  SampleNode(std::shared_ptr<DatasetNode<T>> parent, double fraction,
+             uint64_t seed)
+      : DatasetNode<T>(parent->cluster(), parent->num_partitions()),
+        parent_(std::move(parent)),
+        fraction_(fraction),
+        seed_(seed) {
+    PS2_CHECK_GE(fraction, 0.0);
+    PS2_CHECK_LE(fraction, 1.0);
+  }
+
+  Elements<T> Compute(size_t pid, TaskContext& ctx) override {
+    Elements<T> in = parent_->Compute(pid, ctx);
+    Rng rng(seed_ ^ (0x5A111E00ULL + pid));
+    auto out = std::make_shared<std::vector<T>>();
+    out->reserve(static_cast<size_t>(in->size() * fraction_) + 1);
+    for (const T& x : *in) {
+      if (rng.NextBernoulli(fraction_)) out->push_back(x);
+    }
+    ctx.AddWorkerOps(in->size());
+    return out;
+  }
+
+ private:
+  std::shared_ptr<DatasetNode<T>> parent_;
+  double fraction_;
+  uint64_t seed_;
+};
+
+template <typename T>
+class CacheNode final : public DatasetNode<T>,
+                        public std::enable_shared_from_this<CacheNode<T>> {
+ public:
+  explicit CacheNode(std::shared_ptr<DatasetNode<T>> parent)
+      : DatasetNode<T>(parent->cluster(), parent->num_partitions()),
+        parent_(std::move(parent)) {}
+
+  /// Registers lineage-invalidation with the cluster; must be called once
+  /// after construction (shared_from_this is unavailable in the ctor).
+  void RegisterWithCluster() {
+    std::weak_ptr<CacheNode<T>> weak = this->shared_from_this();
+    this->cluster_->RegisterCacheInvalidation([weak](int executor_id) {
+      if (auto self = weak.lock()) self->DropExecutorPartitions(executor_id);
+    });
+  }
+
+  Elements<T> Compute(size_t pid, TaskContext& ctx) override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = cache_.find(pid);
+      if (it != cache_.end()) return it->second;
+    }
+    Elements<T> data = parent_->Compute(pid, ctx);
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_[pid] = data;
+    return data;
+  }
+
+  void DropExecutorPartitions(int executor_id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = cache_.begin(); it != cache_.end();) {
+      if (this->cluster_->ExecutorForPartition(it->first) == executor_id) {
+        it = cache_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  size_t cached_partitions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.size();
+  }
+
+ private:
+  std::shared_ptr<DatasetNode<T>> parent_;
+  mutable std::mutex mu_;
+  std::map<size_t, Elements<T>> cache_;
+};
+
+}  // namespace internal
+
+/// \brief Lazily evaluated partitioned dataset with lineage-based recovery.
+template <typename T>
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Creates a source dataset whose partition `pid` is produced by
+  /// `gen(pid, rng)` with a deterministic per-partition RNG.
+  /// `io_bytes_per_element` models the cost of reading the input (0 = free).
+  static Dataset FromGenerator(
+      Cluster* cluster, size_t num_partitions,
+      std::function<std::vector<T>(size_t, Rng&)> gen,
+      uint64_t io_bytes_per_element = 0, uint64_t node_seed = 0x0DA7A5E7) {
+    return Dataset(std::make_shared<internal::SourceNode<T>>(
+        cluster, num_partitions, std::move(gen), io_bytes_per_element,
+        node_seed));
+  }
+
+  /// Distributes an in-memory vector round-robin over `num_partitions`.
+  static Dataset Parallelize(Cluster* cluster, std::vector<T> data,
+                             size_t num_partitions) {
+    auto shared = std::make_shared<std::vector<T>>(std::move(data));
+    return FromGenerator(
+        cluster, num_partitions,
+        [shared, num_partitions](size_t pid, Rng&) {
+          std::vector<T> part;
+          for (size_t i = pid; i < shared->size(); i += num_partitions) {
+            part.push_back((*shared)[i]);
+          }
+          return part;
+        });
+  }
+
+  template <typename U>
+  Dataset<U> Map(std::function<U(const T&)> fn) const {
+    return Dataset<U>(
+        std::make_shared<internal::MapNode<T, U>>(node_, std::move(fn)));
+  }
+
+  Dataset<T> Filter(std::function<bool(const T&)> pred) const {
+    return Dataset<T>(
+        std::make_shared<internal::FilterNode<T>>(node_, std::move(pred)));
+  }
+
+  template <typename U>
+  Dataset<U> MapPartitions(
+      std::function<std::vector<U>(TaskContext&, const std::vector<T>&)> fn)
+      const {
+    return Dataset<U>(std::make_shared<internal::MapPartitionsNode<T, U>>(
+        node_, std::move(fn)));
+  }
+
+  /// Bernoulli sample; pass a fresh seed per iteration for SGD mini-batches.
+  Dataset<T> Sample(double fraction, uint64_t seed) const {
+    return Dataset<T>(
+        std::make_shared<internal::SampleNode<T>>(node_, fraction, seed));
+  }
+
+  /// Marks this dataset cached: partitions materialize on first access and
+  /// survive across stages until their executor "fails".
+  Dataset<T> Cache() const {
+    auto cache_node = std::make_shared<internal::CacheNode<T>>(node_);
+    cache_node->RegisterWithCluster();
+    return Dataset<T>(cache_node);
+  }
+
+  // ---- Actions (each runs one stage) ----
+
+  /// Runs `fn` once per partition; any PS traffic inside is charged to the
+  /// stage. This is the Spark `mapPartitions{...}.foreach()` idiom from the
+  /// paper's code samples.
+  void ForeachPartition(
+      const std::function<void(TaskContext&, const std::vector<T>&)>& fn)
+      const {
+    auto node = node_;
+    cluster()->RunStage("foreachPartition", num_partitions(),
+                        [&](TaskContext& ctx) {
+                          auto data = node->Compute(ctx.task_id, ctx);
+                          fn(ctx, *data);
+                        });
+  }
+
+  /// Runs `fn` per partition and collects one result per partition at the
+  /// driver (in partition order).
+  template <typename R>
+  std::vector<R> MapPartitionsCollect(
+      const std::function<R(TaskContext&, const std::vector<T>&)>& fn) const {
+    std::vector<R> results(num_partitions());
+    auto node = node_;
+    cluster()->RunStage("mapPartitionsCollect", num_partitions(),
+                        [&](TaskContext& ctx) {
+                          auto data = node->Compute(ctx.task_id, ctx);
+                          results[ctx.task_id] = fn(ctx, *data);
+                        });
+    return results;
+  }
+
+  std::vector<T> Collect() const {
+    std::vector<std::vector<T>> parts(num_partitions());
+    auto node = node_;
+    cluster()->RunStage("collect", num_partitions(), [&](TaskContext& ctx) {
+      parts[ctx.task_id] = *node->Compute(ctx.task_id, ctx);
+    });
+    std::vector<T> out;
+    for (auto& p : parts) {
+      out.insert(out.end(), p.begin(), p.end());
+    }
+    return out;
+  }
+
+  size_t Count() const {
+    std::vector<size_t> counts = MapPartitionsCollect<size_t>(
+        [](TaskContext&, const std::vector<T>& data) { return data.size(); });
+    size_t total = 0;
+    for (size_t c : counts) total += c;
+    return total;
+  }
+
+  /// Driver-side fold of per-partition reductions.
+  T Reduce(const std::function<T(const T&, const T&)>& fn, T identity) const {
+    std::vector<T> partials = MapPartitionsCollect<T>(
+        [&fn, identity](TaskContext& ctx, const std::vector<T>& data) {
+          T acc = identity;
+          for (const T& x : data) acc = fn(acc, x);
+          ctx.AddWorkerOps(data.size());
+          return acc;
+        });
+    T acc = identity;
+    for (const T& p : partials) acc = fn(acc, p);
+    return acc;
+  }
+
+  size_t num_partitions() const { return node_->num_partitions(); }
+  Cluster* cluster() const { return node_->cluster(); }
+  bool valid() const { return node_ != nullptr; }
+
+  // Internal: wraps an existing node (used by transformations).
+  explicit Dataset(std::shared_ptr<internal::DatasetNode<T>> node)
+      : node_(std::move(node)) {}
+
+ private:
+  template <typename U>
+  friend class Dataset;
+
+  std::shared_ptr<internal::DatasetNode<T>> node_;
+};
+
+}  // namespace ps2

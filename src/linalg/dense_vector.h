@@ -1,0 +1,63 @@
+#pragma once
+
+// Dense vector math used by model storage and server-side kernels.
+// Values are double throughout (PS2 stores model values as 8-byte floats on
+// the wire; the serde layer measures exactly that).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ps2 {
+
+/// \brief A dense double vector plus the element-wise kernels the DCV column
+/// ops are built from. Every kernel returns the number of scalar operations
+/// it performed so callers can charge virtual compute time.
+class DenseVector {
+ public:
+  DenseVector() = default;
+  explicit DenseVector(size_t dim, double value = 0.0) : data_(dim, value) {}
+  explicit DenseVector(std::vector<double> data) : data_(std::move(data)) {}
+
+  size_t dim() const { return data_.size(); }
+  double operator[](size_t i) const { return data_[i]; }
+  double& operator[](size_t i) { return data_[i]; }
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+  double* raw() { return data_.data(); }
+  const double* raw() const { return data_.data(); }
+
+  void Fill(double value);
+  void Resize(size_t dim) { data_.resize(dim, 0.0); }
+
+  /// this += alpha * other. Returns op count.
+  uint64_t Axpy(const DenseVector& other, double alpha);
+  /// this *= alpha.
+  uint64_t Scale(double alpha);
+
+  double Dot(const DenseVector& other) const;
+  double Sum() const;
+  double Norm2() const;  ///< Euclidean norm
+  size_t Nnz() const;    ///< exact-zero-excluded count
+
+ private:
+  std::vector<double> data_;
+};
+
+// Raw-pointer kernels shared by DCV server-side column ops. Each processes
+// `n` elements and returns the scalar op count.
+namespace kernels {
+
+uint64_t Add(double* dst, const double* a, const double* b, size_t n);
+uint64_t Sub(double* dst, const double* a, const double* b, size_t n);
+uint64_t Mul(double* dst, const double* a, const double* b, size_t n);
+/// dst = a / b with b==0 mapped to 0 (server-side div is total).
+uint64_t Div(double* dst, const double* a, const double* b, size_t n);
+uint64_t Axpy(double* y, const double* x, double alpha, size_t n);
+uint64_t Copy(double* dst, const double* src, size_t n);
+uint64_t Fill(double* dst, double value, size_t n);
+/// Returns partial dot in *out.
+uint64_t Dot(const double* a, const double* b, size_t n, double* out);
+
+}  // namespace kernels
+}  // namespace ps2

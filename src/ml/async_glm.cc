@@ -1,0 +1,101 @@
+#include "ml/async_glm.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "ml/metrics.h"
+
+namespace ps2 {
+
+Result<TrainReport> TrainGlmPs2Async(DcvContext* ctx,
+                                     const Dataset<Example>& data,
+                                     const GlmOptions& options,
+                                     int steps_per_stage) {
+  PS2_RETURN_NOT_OK(options.Validate());
+  if (steps_per_stage <= 0) {
+    return Status::InvalidArgument("steps_per_stage must be positive");
+  }
+  if (options.optimizer.kind != OptimizerKind::kSgd) {
+    return Status::NotImplemented(
+        "async training composes additive deltas; only SGD qualifies");
+  }
+  Cluster* cluster = ctx->cluster();
+  PS2_ASSIGN_OR_RETURN(Dcv weight,
+                       ctx->Dense(options.dim, 2, 1, 0, "async_glm.weight"));
+
+  TrainReport report;
+  report.system = "PS2-AsyncSGD";
+  const SimTime t0 = cluster->clock().Now();
+  const GlmLossKind loss_kind = options.loss;
+  const double lr = options.optimizer.learning_rate;
+  const int rounds =
+      (options.iterations + steps_per_stage - 1) / steps_per_stage;
+
+  for (int round = 0; round < rounds; ++round) {
+    // One stage, several local steps per task: pulls see whatever mixture
+    // of other workers' pushes has landed (bounded-staleness semantics).
+    std::vector<std::pair<double, uint64_t>> partials =
+        data.MapPartitionsCollect<std::pair<double, uint64_t>>(
+            [&](TaskContext& task, const std::vector<Example>& rows)
+                -> std::pair<double, uint64_t> {
+              double loss_sum = 0;
+              uint64_t count = 0;
+              for (int step = 0; step < steps_per_stage; ++step) {
+                // Local Bernoulli mini-batch, seeded like the sync trainer.
+                uint64_t batch_seed =
+                    options.seed * 1000003ULL +
+                    static_cast<uint64_t>(round * steps_per_stage + step);
+                Rng rng(batch_seed ^ (0x5A111E00ULL + task.task_id));
+                std::vector<Example> batch;
+                for (const Example& ex : rows) {
+                  if (rng.NextBernoulli(options.batch_fraction)) {
+                    batch.push_back(ex);
+                  }
+                }
+                if (batch.empty()) continue;
+                std::vector<uint64_t> indices = CollectBatchIndices(batch);
+                Result<std::vector<double>> pulled =
+                    weight.PullSparse(indices);
+                PS2_CHECK(pulled.ok()) << pulled.status();
+                std::unordered_map<uint64_t, double> w_local;
+                w_local.reserve(indices.size() * 2);
+                for (size_t k = 0; k < indices.size(); ++k) {
+                  w_local.emplace(indices[k], (*pulled)[k]);
+                }
+                BatchGradient bg = ComputeBatchGradient(
+                    batch,
+                    [&w_local](uint64_t j) {
+                      auto it = w_local.find(j);
+                      return it == w_local.end() ? 0.0 : it->second;
+                    },
+                    loss_kind);
+                task.AddWorkerOps(bg.ops + indices.size());
+                // Apply directly: push -lr/|batch| * g into the weights.
+                SparseVector delta = bg.gradient;
+                delta.ScaleInPlace(-lr / static_cast<double>(bg.count));
+                PS2_CHECK_OK(weight.Add(delta));
+                loss_sum += bg.loss_sum;
+                count += bg.count;
+              }
+              return {loss_sum, count};
+            });
+
+    double loss_sum = 0;
+    uint64_t count = 0;
+    for (const auto& [l, c] : partials) {
+      loss_sum += l;
+      count += c;
+    }
+    if (count == 0) continue;
+    TrainPoint point;
+    point.iteration = round;
+    point.time = cluster->clock().Now() - t0;
+    point.loss = loss_sum / static_cast<double>(count);
+    report.curve.push_back(point);
+    report.final_loss = point.loss;
+  }
+  report.total_time = cluster->clock().Now() - t0;
+  return report;
+}
+
+}  // namespace ps2

@@ -1,0 +1,35 @@
+#pragma once
+
+// Asynchronous (SSP-flavoured) GLM training on PS2.
+//
+// The paper's Fig. 3 flow is bulk-synchronous: one barrier per mini-batch.
+// Real parameter servers (Petuum's SSP, Angel's async mode) let workers run
+// several steps between synchronizations, trading gradient freshness for
+// barrier elimination. This extension bounds staleness at the stage level:
+// each task performs `steps_per_stage` local mini-batch SGD steps, pushing
+// `-lr * gradient` deltas straight into the weight DCV (servers apply
+// additively, so updates interleave across workers like an async PS). With
+// `steps_per_stage = 1` it degenerates to the paper's synchronous flow.
+//
+// `bench/ablation_async` sweeps the staleness knob: more local steps per
+// stage amortize the per-stage latency floor, while convergence per epoch
+// degrades gracefully.
+
+#include "common/result.h"
+#include "data/types.h"
+#include "dataflow/dataset.h"
+#include "dcv/dcv_context.h"
+#include "ml/logreg.h"
+#include "ml/train_report.h"
+
+namespace ps2 {
+
+/// Trains a GLM with stage-bounded asynchrony (SGD only: the update must be
+/// an additive delta for concurrent pushes to compose).
+/// `steps_per_stage` >= 1 controls the staleness bound.
+Result<TrainReport> TrainGlmPs2Async(DcvContext* ctx,
+                                     const Dataset<Example>& data,
+                                     const GlmOptions& options,
+                                     int steps_per_stage);
+
+}  // namespace ps2

@@ -1,0 +1,137 @@
+#include "ml/deepwalk.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/logging.h"
+#include "data/graph_gen.h"
+#include "dataflow/broadcast.h"
+#include "ml/metrics.h"
+
+namespace ps2 {
+
+namespace {
+
+/// One batch worth of skip-gram tasks: the pair list (positives followed by
+/// their negatives) plus labels.
+struct SkipGramBatch {
+  std::vector<std::pair<RowRef, RowRef>> dot_pairs;
+  std::vector<double> labels;
+};
+
+}  // namespace
+
+Result<TrainReport> TrainDeepWalkPs2(
+    DcvContext* ctx, const Dataset<VertexPair>& pairs,
+    const std::vector<double>& vertex_frequencies,
+    const DeepWalkOptions& options, DeepWalkModel* model_out) {
+  PS2_RETURN_NOT_OK(options.Validate());
+  if (vertex_frequencies.size() < options.num_vertices) {
+    return Status::InvalidArgument(
+        "vertex_frequencies must cover every vertex");
+  }
+  Cluster* cluster = ctx->cluster();
+  const uint32_t v_count = options.num_vertices;
+  const uint32_t k_dim = options.embedding_dim;
+
+  // Paper Fig. 6 line 2: DCV.dense(K, V*2) — one matrix, 2V co-located rows,
+  // initialized server-side. `num_servers` caps the spread (Fig. 9(d) uses
+  // 30 servers to show the DCV benefit shrinking).
+  PS2_ASSIGN_OR_RETURN(
+      std::vector<Dcv> rows,
+      ctx->DenseMatrix(k_dim, 2 * v_count, 0.5 / k_dim, options.seed,
+                       "deepwalk.embeddings", options.num_servers));
+  const int matrix_id = rows[0].ref().matrix_id;
+  DeepWalkModel model;
+  model.num_vertices = v_count;
+  model.rows = std::move(rows);
+
+  // Negative sampling table, broadcast to workers once (8 bytes/vertex).
+  auto neg_table = std::make_shared<const AliasTable>(std::vector<double>(
+      vertex_frequencies.begin(),
+      vertex_frequencies.begin() + options.num_vertices));
+  Broadcast<std::shared_ptr<const AliasTable>> bcast =
+      BroadcastValue(cluster, neg_table,
+                     static_cast<uint64_t>(v_count) * sizeof(double));
+
+  PsClient* client = ctx->client();
+  TrainReport report;
+  report.system = "PS2-DeepWalk";
+  const SimTime t0 = cluster->clock().Now();
+  const int negatives = options.negative_samples;
+  const double lr = options.learning_rate;
+  const uint32_t batch_size = options.batch_size;
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    std::vector<std::pair<double, uint64_t>> partials =
+        pairs.MapPartitionsCollect<std::pair<double, uint64_t>>(
+            [&](TaskContext& task, const std::vector<VertexPair>& rows)
+                -> std::pair<double, uint64_t> {
+              const AliasTable& table = *bcast.value();
+              double loss_sum = 0;
+              uint64_t trained = 0;
+              Rng rng = task.rng.Split(0xD33F + epoch);
+              SkipGramBatch batch;
+              for (size_t start = 0; start < rows.size();
+                   start += batch_size) {
+                size_t end = std::min(rows.size(), start + batch_size);
+                batch.dot_pairs.clear();
+                batch.labels.clear();
+                for (size_t i = start; i < end; ++i) {
+                  const VertexPair& p = rows[i];
+                  RowRef input{matrix_id, p.u};
+                  batch.dot_pairs.push_back(
+                      {input, RowRef{matrix_id, v_count + p.v}});
+                  batch.labels.push_back(1.0);
+                  for (int nk = 0; nk < negatives; ++nk) {
+                    uint32_t n = table.Sample(&rng);
+                    if (n == p.v) n = (n + 1) % v_count;
+                    batch.dot_pairs.push_back(
+                        {input, RowRef{matrix_id, v_count + n}});
+                    batch.labels.push_back(0.0);
+                  }
+                }
+                // Server-side partial dots, one round for the whole batch.
+                Result<std::vector<double>> dots =
+                    client->DotBatch(batch.dot_pairs);
+                PS2_CHECK(dots.ok()) << dots.status();
+                // Server-side symmetric axpy updates, one more round.
+                std::vector<PsClient::AxpyTask> updates;
+                updates.reserve(2 * batch.dot_pairs.size());
+                for (size_t i = 0; i < batch.dot_pairs.size(); ++i) {
+                  double sig = Sigmoid((*dots)[i]);
+                  double label = batch.labels[i];
+                  loss_sum += LogisticLoss((*dots)[i], label);
+                  double alpha = -lr * (sig - label);
+                  const auto& [a, b] = batch.dot_pairs[i];
+                  updates.push_back({a, b, alpha});
+                  updates.push_back({b, a, alpha});
+                }
+                PS2_CHECK_OK(client->AxpyBatch(updates));
+                task.AddWorkerOps(8 * batch.dot_pairs.size());
+                trained += end - start;
+              }
+              // Normalize per dot (positives + negatives).
+              return {loss_sum, trained * (1 + negatives)};
+            });
+
+    double loss_sum = 0;
+    uint64_t count = 0;
+    for (const auto& [l, c] : partials) {
+      loss_sum += l;
+      count += c;
+    }
+    if (count == 0) continue;
+    TrainPoint point;
+    point.iteration = epoch;
+    point.time = cluster->clock().Now() - t0;
+    point.loss = loss_sum / static_cast<double>(count);
+    report.curve.push_back(point);
+    report.final_loss = point.loss;
+  }
+  report.total_time = cluster->clock().Now() - t0;
+  if (model_out != nullptr) *model_out = std::move(model);
+  return report;
+}
+
+}  // namespace ps2

@@ -1,0 +1,80 @@
+#pragma once
+
+// DeepWalk graph embedding on PS2 (paper §3.1 Example 2, §5.2.2, Fig. 5/6).
+//
+// The model is 2V K-dimensional vectors (input + context embedding per
+// vertex), stored as the rows of one column-partitioned matrix so every
+// vector is dimension co-located with every other. Training follows the
+// skip-gram-with-negative-sampling update of paper Eq. (2):
+//
+//   for each sampled pair (u, v) and negatives n1..nk:
+//     dot  <- <emb_u, ctx_c>              (server-side partial dots)
+//     emb_u += -lr * (sigmoid(dot) - y) * ctx_c   (server-side iaxpy)
+//     ctx_c += -lr * (sigmoid(dot) - y) * emb_u
+//
+// Only per-pair scalars cross the network — "rather, only some scalars are
+// transferred" (paper §5.2.2). Pairs are processed in batches (Appendix A:
+// batch_size = 512) so each round trip carries a whole batch.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "data/types.h"
+#include "dataflow/dataset.h"
+#include "dcv/dcv_context.h"
+#include "ml/train_report.h"
+
+namespace ps2 {
+
+/// \brief DeepWalk hyperparameters (paper Appendix A defaults).
+struct DeepWalkOptions {
+  uint32_t num_vertices = 0;    ///< V (required)
+  uint32_t embedding_dim = 100; ///< K
+  double learning_rate = 0.01;  ///< paper Table 4
+  uint32_t batch_size = 512;    ///< paper Table 4
+  int negative_samples = 5;     ///< paper Table 4
+  int epochs = 5;
+  uint64_t seed = 3;
+  /// Spread the embedding matrix over at most this many servers (0 = all).
+  /// Fig. 9(d) uses 30 servers and shows the DCV benefit shrinking.
+  int num_servers = 0;
+
+  Status Validate() const {
+    if (num_vertices == 0) {
+      return Status::InvalidArgument("num_vertices must be set");
+    }
+    if (embedding_dim == 0) {
+      return Status::InvalidArgument("embedding_dim must be positive");
+    }
+    if (batch_size == 0) {
+      return Status::InvalidArgument("batch_size must be positive");
+    }
+    if (epochs <= 0) return Status::InvalidArgument("epochs must be positive");
+    if (negative_samples < 0) {
+      return Status::InvalidArgument("negative_samples must be >= 0");
+    }
+    return Status::OK();
+  }
+};
+
+/// \brief Embedding handles: input rows [0,V), context rows [V,2V).
+struct DeepWalkModel {
+  std::vector<Dcv> rows;  ///< 2V co-located DCVs
+  uint32_t num_vertices = 0;
+
+  const Dcv& Input(uint32_t v) const { return rows[v]; }
+  const Dcv& Context(uint32_t v) const { return rows[num_vertices + v]; }
+};
+
+/// Trains DeepWalk with PS2's server-side DCV ops ("PS2-DeepWalk").
+/// `vertex_frequencies` drives negative sampling (unigram^0.75, see
+/// data/graph_gen.h). If `model_out` is non-null it receives the live
+/// embedding handles.
+Result<TrainReport> TrainDeepWalkPs2(DcvContext* ctx,
+                                     const Dataset<VertexPair>& pairs,
+                                     const std::vector<double>& vertex_frequencies,
+                                     const DeepWalkOptions& options,
+                                     DeepWalkModel* model_out = nullptr);
+
+}  // namespace ps2

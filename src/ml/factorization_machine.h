@@ -1,0 +1,72 @@
+#pragma once
+
+// Factorization Machines on PS2.
+//
+// The paper's motivating workload list (§1: "classification models like
+// logistic regression or factorization machine are used" for user
+// profiling) includes FM, and FM is the sharpest showcase of the DCV
+// abstraction after Adam: the model is 1 + k co-located vectors — the
+// linear weights w plus k factor rows V_1..V_k — updated together each
+// iteration. With `derive`, the entire group shares one partitioning, so
+// per-batch traffic stays proportional to the batch's support times (k+1),
+// and the SGD update runs without moving the model.
+//
+// Model:  y(x) = <w, x> + 1/2 * sum_f [ (<V_f, x>)^2 - <V_f^2, x^2> ]
+// trained with logistic loss over labels {0,1}.
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "data/types.h"
+#include "dataflow/dataset.h"
+#include "dcv/dcv_context.h"
+#include "ml/train_report.h"
+
+namespace ps2 {
+
+/// \brief FM hyperparameters.
+struct FmOptions {
+  uint64_t dim = 0;        ///< feature dimension (required)
+  uint32_t factors = 8;    ///< k, the latent dimensionality
+  double learning_rate = 0.05;
+  double factor_init = 0.05;  ///< V ~ U(-init, init), server-side
+  double batch_fraction = 0.01;
+  int iterations = 100;
+  double l2_factors = 1e-4;
+  uint64_t seed = 21;
+
+  Status Validate() const {
+    if (dim == 0) return Status::InvalidArgument("dim must be set");
+    if (factors == 0 || factors > 256) {
+      return Status::InvalidArgument("factors must be in [1, 256]");
+    }
+    if (batch_fraction <= 0 || batch_fraction > 1) {
+      return Status::InvalidArgument("batch_fraction must be in (0,1]");
+    }
+    if (iterations <= 0) {
+      return Status::InvalidArgument("iterations must be positive");
+    }
+    return Status::OK();
+  }
+};
+
+/// \brief Live handles to a trained FM model on the servers.
+struct FmModel {
+  Dcv weights;              ///< w
+  std::vector<Dcv> factors; ///< V_1..V_k, co-located with w
+
+  /// Local prediction margin for one example given pulled parameters.
+  static double Margin(const SparseVector& x, const std::vector<double>& w,
+                       const std::vector<std::vector<double>>& v,
+                       const std::vector<uint64_t>& index_of,
+                       size_t support_size);
+};
+
+/// Trains a factorization machine with the PS2 execution flow (sparse pulls
+/// of the batch's support for all k+1 rows in one round, local gradients,
+/// sparse pushes). If `model_out` is non-null it receives the live handles.
+Result<TrainReport> TrainFmPs2(DcvContext* ctx, const Dataset<Example>& data,
+                               const FmOptions& options,
+                               FmModel* model_out = nullptr);
+
+}  // namespace ps2

@@ -1,0 +1,135 @@
+#pragma once
+
+// Distributed GBDT training (paper §5.2.3, Figs. 7/8; evaluation §6.3.2).
+//
+// Both the PS2 trainer and the XGBoost-style baseline grow identical trees
+// (same quantile sketch, same histograms, same split rule, same seeds); they
+// differ ONLY in how per-worker histograms become global ones and where
+// split finding runs:
+//
+//   PS2:     workers `add` local histograms into two co-located DCVs
+//            (grad/hess, feature-aligned partitioning); split finding runs
+//            server-side via zip-aggregate, so only one candidate per server
+//            returns to the driver (paper Fig. 8).
+//   XGBoost: workers allreduce the full histogram (charged as a tree
+//            allreduce) and scan it locally — the communication pattern the
+//            paper blames for XGBoost's 3.3x deficit (Fig. 11).
+//
+// The shared skeleton lives in TrainGbdtWithAggregator; the two systems
+// plug in a HistogramAggregator.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "data/gbdt_gen.h"
+#include "dataflow/dataset.h"
+#include "dcv/dcv_context.h"
+#include "ml/gbdt/histogram.h"
+#include "ml/gbdt/tree.h"
+#include "ml/train_report.h"
+
+namespace ps2 {
+
+/// \brief GBDT hyperparameters (paper Appendix A defaults).
+struct GbdtOptions {
+  uint32_t num_features = 0;   ///< required
+  int num_trees = 100;         ///< paper Table 4: number_of_trees
+  int max_depth = 7;           ///< paper Table 4
+  uint32_t num_bins = 100;     ///< paper Table 4: size_of_histogram
+  double learning_rate = 0.1;  ///< paper Table 4
+  double lambda = 1.0;
+  double min_child_hess = 1e-3;
+  double min_gain = 1e-9;
+  uint64_t seed = 5;
+  /// Histogram subtraction (PS2 path only): build local histograms for only
+  /// the lighter child of each split and derive the sibling server-side as
+  /// parent - child — one DCV `sub` instead of a second build+push. Roughly
+  /// halves per-level histogram traffic (see bench/ablation_hist_subtract).
+  bool histogram_subtraction = false;
+
+  Status Validate() const {
+    if (num_features == 0) {
+      return Status::InvalidArgument("num_features must be set");
+    }
+    if (num_trees <= 0) {
+      return Status::InvalidArgument("num_trees must be positive");
+    }
+    if (max_depth <= 0 || max_depth > 14) {
+      return Status::InvalidArgument("max_depth must be in [1, 14]");
+    }
+    if (num_bins < 2 || num_bins > 65535) {
+      return Status::InvalidArgument("num_bins must be in [2, 65535]");
+    }
+    return Status::OK();
+  }
+};
+
+/// \brief Training outcome: loss-per-tree curve plus the trained ensemble.
+struct GbdtReport {
+  TrainReport report;
+  GbdtModel model;
+};
+
+/// \brief One frontier node during level-wise growth.
+struct GbdtFrontierNode {
+  int tree_node = -1;  ///< index into the tree being built
+  double grad_sum = 0;
+  double hess_sum = 0;
+  int parent_index = -1;   ///< frontier index of the parent on the previous
+                           ///< level (-1 for the root)
+  int sibling_index = -1;  ///< frontier index of the sibling (-1 for root)
+};
+
+/// \brief Strategy for aggregating local histograms and finding splits.
+class HistogramAggregator {
+ public:
+  virtual ~HistogramAggregator() = default;
+
+  /// Histograms of the frontier nodes one task has data for.
+  struct TaskHistograms {
+    std::vector<size_t> frontier_indices;
+    std::vector<std::vector<double>> grad_hists;  ///< parallel to indices
+    std::vector<std::vector<double>> hess_hists;
+  };
+
+  /// Called at the start of each level with the frontier size.
+  virtual Status OnLevelStart(const std::vector<GbdtFrontierNode>& frontier) = 0;
+
+  /// Which frontier nodes need locally built histograms. The default builds
+  /// all; aggregators supporting histogram subtraction may skip siblings
+  /// they can derive. Returns a bitmap parallel to `frontier`.
+  virtual std::vector<bool> PlanLocalBuilds(
+      const std::vector<GbdtFrontierNode>& frontier) {
+    return std::vector<bool>(frontier.size(), true);
+  }
+
+  /// Called from INSIDE a build task, once, with all its local histograms;
+  /// ships (or stashes) them. Batching per task matters: it is one network
+  /// round instead of one per node.
+  virtual void PublishLocal(TaskContext& task,
+                            TaskHistograms histograms) = 0;
+
+  /// Called on the driver after the build stage barrier.
+  virtual Status OnLevelCollected(
+      const std::vector<GbdtFrontierNode>& frontier) = 0;
+
+  /// Returns the globally best split of frontier node `frontier_index`.
+  virtual Result<SplitCandidate> FindSplit(
+      size_t frontier_index, const GbdtFrontierNode& node) = 0;
+};
+
+/// Grows the ensemble with the given aggregation strategy. `system_name`
+/// labels the report curve.
+Result<GbdtReport> TrainGbdtWithAggregator(Cluster* cluster,
+                                           const Dataset<GbdtRow>& data,
+                                           const GbdtOptions& options,
+                                           HistogramAggregator* aggregator,
+                                           const std::string& system_name);
+
+/// Trains GBDT the PS2 way (DCV histograms + server-side split finding).
+Result<GbdtReport> TrainGbdtPs2(DcvContext* ctx, const Dataset<GbdtRow>& data,
+                                const GbdtOptions& options);
+
+}  // namespace ps2

@@ -1,0 +1,71 @@
+#include "ml/gbdt/histogram.h"
+
+#include "common/logging.h"
+
+namespace ps2 {
+
+void AccumulateHistogram(const std::vector<uint16_t>& bins,
+                         const std::vector<double>& grad,
+                         const std::vector<double>& hess,
+                         const std::vector<uint32_t>& rows_in_node,
+                         uint32_t num_features, uint32_t num_bins,
+                         std::vector<double>* grad_hist,
+                         std::vector<double>* hess_hist) {
+  const size_t hist_size =
+      static_cast<size_t>(num_features) * static_cast<size_t>(num_bins);
+  if (grad_hist->size() != hist_size) grad_hist->assign(hist_size, 0.0);
+  if (hess_hist->size() != hist_size) hess_hist->assign(hist_size, 0.0);
+  for (uint32_t i : rows_in_node) {
+    const uint16_t* row_bins = bins.data() + static_cast<size_t>(i) * num_features;
+    const double g = grad[i];
+    const double h = hess[i];
+    for (uint32_t f = 0; f < num_features; ++f) {
+      const size_t slot = static_cast<size_t>(f) * num_bins + row_bins[f];
+      (*grad_hist)[slot] += g;
+      (*hess_hist)[slot] += h;
+    }
+  }
+}
+
+SplitCandidate BestSplitInRange(const double* grad_hist,
+                                const double* hess_hist,
+                                uint32_t feature_begin, uint32_t feature_end,
+                                uint32_t num_bins, double total_grad,
+                                double total_hess, double lambda,
+                                double min_child_hess) {
+  SplitCandidate best;
+  const double parent_score =
+      total_grad * total_grad / (total_hess + lambda);
+  for (uint32_t f = feature_begin; f < feature_end; ++f) {
+    const double* g =
+        grad_hist + static_cast<size_t>(f - feature_begin) * num_bins;
+    const double* h =
+        hess_hist + static_cast<size_t>(f - feature_begin) * num_bins;
+    double gl = 0, hl = 0;
+    // The last bin offers no split (everything would go left).
+    for (uint32_t b = 0; b + 1 < num_bins; ++b) {
+      gl += g[b];
+      hl += h[b];
+      double gr = total_grad - gl;
+      double hr = total_hess - hl;
+      if (hl < min_child_hess || hr < min_child_hess) continue;
+      double gain = gl * gl / (hl + lambda) + gr * gr / (hr + lambda) -
+                    parent_score;
+      if (!best.valid || gain > best.gain) {
+        best.valid = true;
+        best.gain = gain;
+        best.feature = f;
+        best.bin = b;
+        best.left_grad = gl;
+        best.left_hess = hl;
+      }
+    }
+  }
+  return best;
+}
+
+double LeafWeight(double grad, double hess, double lambda) {
+  return -grad / (hess + lambda);
+}
+
+}  // namespace ps2

@@ -1,0 +1,53 @@
+#pragma once
+
+// Gradient/hessian histograms and split finding (paper §5.2.3, Fig. 7/8).
+//
+// A node's histogram is a flat array of num_features * num_bins slots; slot
+// f*B + b accumulates the gradient (or hessian) of every example in the node
+// whose feature f falls in bin b. Split gain follows the standard
+// second-order formula gain = GL^2/(HL+l) + GR^2/(HR+l) - G^2/(H+l).
+//
+// BestSplitInRange is shared by PS2 (inside the server-side zip-aggregate,
+// scanning only the server's feature range — paper Fig. 8's computeInfoGain)
+// and by the XGBoost baseline (scanning the full allreduced histogram).
+
+#include <cstdint>
+#include <vector>
+
+namespace ps2 {
+
+/// \brief A candidate split and its bookkeeping.
+struct SplitCandidate {
+  double gain = 0;
+  uint32_t feature = 0;
+  uint32_t bin = 0;  ///< go left if BinOf(value) <= bin
+  double left_grad = 0;
+  double left_hess = 0;
+  bool valid = false;
+};
+
+/// Accumulates `rows_in_node` into grad/hess histograms.
+/// `bins` is the example-major flattened bin matrix of the partition
+/// (example i, feature f at bins[i*num_features + f]).
+void AccumulateHistogram(const std::vector<uint16_t>& bins,
+                         const std::vector<double>& grad,
+                         const std::vector<double>& hess,
+                         const std::vector<uint32_t>& rows_in_node,
+                         uint32_t num_features, uint32_t num_bins,
+                         std::vector<double>* grad_hist,
+                         std::vector<double>* hess_hist);
+
+/// Scans features [feature_begin, feature_end) of a histogram slice for the
+/// best split. `grad_hist`/`hess_hist` point at the slice's first slot
+/// (feature_begin's bin 0). `total_grad/hess` are the node totals.
+SplitCandidate BestSplitInRange(const double* grad_hist,
+                                const double* hess_hist,
+                                uint32_t feature_begin, uint32_t feature_end,
+                                uint32_t num_bins, double total_grad,
+                                double total_hess, double lambda,
+                                double min_child_hess);
+
+/// Leaf weight -G / (H + lambda).
+double LeafWeight(double grad, double hess, double lambda);
+
+}  // namespace ps2

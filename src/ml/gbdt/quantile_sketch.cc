@@ -1,0 +1,66 @@
+#include "ml/gbdt/quantile_sketch.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ps2 {
+
+void FeatureSample::Add(float value, Rng* rng) {
+  ++seen_;
+  if (values_.size() < capacity_) {
+    values_.push_back(value);
+  } else {
+    // Reservoir replacement keeps the sample uniform over everything seen.
+    uint64_t slot = rng->NextUint64(seen_);
+    if (slot < capacity_) values_[slot] = value;
+  }
+}
+
+void FeatureSample::Merge(const FeatureSample& other, Rng* rng) {
+  for (float v : other.values_) Add(v, rng);
+  // `seen_` already advanced by Add; adjust to reflect true population.
+  seen_ += other.seen_ - other.values_.size();
+}
+
+BinCuts::BinCuts(uint32_t num_features, uint32_t num_bins)
+    : num_features_(num_features), num_bins_(num_bins) {
+  PS2_CHECK_GE(num_bins, 2u);
+  cuts_.assign(static_cast<size_t>(num_features) * (num_bins - 1), 0.0f);
+}
+
+uint32_t BinCuts::BinOf(uint32_t f, float value) const {
+  const float* begin = cuts_.data() + static_cast<size_t>(f) * (num_bins_ - 1);
+  const float* end = begin + (num_bins_ - 1);
+  return static_cast<uint32_t>(std::upper_bound(begin, end, value) - begin);
+}
+
+float BinCuts::CutValue(uint32_t f, uint32_t b) const {
+  PS2_CHECK_LT(b, num_bins_ - 1);
+  return cuts_[static_cast<size_t>(f) * (num_bins_ - 1) + b];
+}
+
+BinCuts BinCuts::FromSamples(const std::vector<FeatureSample>& samples,
+                             uint32_t num_bins) {
+  BinCuts cuts(static_cast<uint32_t>(samples.size()), num_bins);
+  for (uint32_t f = 0; f < samples.size(); ++f) {
+    std::vector<float> sorted = samples[f].values();
+    std::sort(sorted.begin(), sorted.end());
+    for (uint32_t b = 0; b + 1 < num_bins; ++b) {
+      size_t idx = sorted.empty()
+                       ? 0
+                       : std::min(sorted.size() - 1,
+                                  (sorted.size() * (b + 1)) / num_bins);
+      float cut = sorted.empty() ? 0.0f : sorted[idx];
+      cuts.cuts_[static_cast<size_t>(f) * (num_bins - 1) + b] = cut;
+    }
+    // Cuts must be non-decreasing for upper_bound to be meaningful.
+    float* begin = cuts.cuts_.data() + static_cast<size_t>(f) * (num_bins - 1);
+    for (uint32_t b = 1; b + 1 < num_bins; ++b) {
+      begin[b] = std::max(begin[b], begin[b - 1]);
+    }
+  }
+  return cuts;
+}
+
+}  // namespace ps2

@@ -1,0 +1,62 @@
+#pragma once
+
+// Approximate per-feature quantiles for GBDT histogram bin boundaries.
+//
+// Each worker contributes a bounded uniform sample per feature; the driver
+// merges the samples and takes evenly spaced quantiles as the candidate
+// split thresholds (the paper's size_of_histogram = 100 bins). Sample-merge
+// sketches are what production GBDT systems (XGBoost, DimBoost) effectively
+// compute; at our scales the approximation error is negligible.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ps2 {
+
+/// \brief Bounded reservoir sample of one feature's values.
+class FeatureSample {
+ public:
+  explicit FeatureSample(size_t capacity = 256) : capacity_(capacity) {}
+
+  void Add(float value, Rng* rng);
+  void Merge(const FeatureSample& other, Rng* rng);
+  const std::vector<float>& values() const { return values_; }
+  uint64_t seen() const { return seen_; }
+
+ private:
+  size_t capacity_;
+  uint64_t seen_ = 0;
+  std::vector<float> values_;
+};
+
+/// \brief Per-feature bin boundaries.
+///
+/// Feature f's bins are defined by `num_bins-1` increasing cut points; value
+/// v falls into the first bin whose cut exceeds it.
+class BinCuts {
+ public:
+  BinCuts() = default;
+  BinCuts(uint32_t num_features, uint32_t num_bins);
+
+  uint32_t num_features() const { return num_features_; }
+  uint32_t num_bins() const { return num_bins_; }
+
+  /// Bin index of `value` for feature `f`, in [0, num_bins).
+  uint32_t BinOf(uint32_t f, float value) const;
+
+  /// Upper cut value of bin `b` (split threshold "x <= cut goes left").
+  float CutValue(uint32_t f, uint32_t b) const;
+
+  /// Builds cuts from merged per-feature samples.
+  static BinCuts FromSamples(const std::vector<FeatureSample>& samples,
+                             uint32_t num_bins);
+
+ private:
+  uint32_t num_features_ = 0;
+  uint32_t num_bins_ = 0;
+  std::vector<float> cuts_;  // (num_bins-1) per feature, flattened
+};
+
+}  // namespace ps2

@@ -1,0 +1,33 @@
+#include "ml/gbdt/tree.h"
+
+namespace ps2 {
+
+double RegressionTree::Predict(const std::vector<float>& features) const {
+  if (nodes_.empty()) return 0.0;
+  int i = 0;
+  while (!nodes_[i].is_leaf) {
+    const TreeNode& n = nodes_[i];
+    i = features[n.feature] <= n.threshold ? n.left : n.right;
+  }
+  return nodes_[i].weight;
+}
+
+double RegressionTree::PredictBinned(const uint16_t* bins) const {
+  if (nodes_.empty()) return 0.0;
+  int i = 0;
+  while (!nodes_[i].is_leaf) {
+    const TreeNode& n = nodes_[i];
+    i = bins[n.feature] <= n.bin ? n.left : n.right;
+  }
+  return nodes_[i].weight;
+}
+
+double GbdtModel::PredictMargin(const std::vector<float>& features) const {
+  double margin = 0;
+  for (const RegressionTree& tree : trees) {
+    margin += learning_rate * tree.Predict(features);
+  }
+  return margin;
+}
+
+}  // namespace ps2

@@ -1,0 +1,53 @@
+#pragma once
+
+// Regression tree model (the ensemble member GBDT builds).
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/gbdt/quantile_sketch.h"
+
+namespace ps2 {
+
+/// \brief One node of a trained regression tree.
+struct TreeNode {
+  bool is_leaf = true;
+  uint32_t feature = 0;
+  uint32_t bin = 0;        ///< split on binned value (training-time routing)
+  float threshold = 0;     ///< split on raw value (inference-time routing)
+  double weight = 0;       ///< leaf output (unscaled; ensemble applies lr)
+  int left = -1;
+  int right = -1;
+};
+
+/// \brief A trained regression tree.
+class RegressionTree {
+ public:
+  int AddNode() {
+    nodes_.push_back(TreeNode{});
+    return static_cast<int>(nodes_.size()) - 1;
+  }
+  TreeNode& node(int i) { return nodes_[i]; }
+  const TreeNode& node(int i) const { return nodes_[i]; }
+  size_t size() const { return nodes_.size(); }
+
+  /// Routes raw feature values to a leaf and returns its weight.
+  double Predict(const std::vector<float>& features) const;
+
+  /// Routes a binned row (num_features uint16 bins) to a leaf.
+  double PredictBinned(const uint16_t* bins) const;
+
+ private:
+  std::vector<TreeNode> nodes_;
+};
+
+/// \brief A gradient-boosted ensemble: prediction = sum lr * tree(x).
+struct GbdtModel {
+  std::vector<RegressionTree> trees;
+  double learning_rate = 0.1;
+  BinCuts cuts;
+
+  double PredictMargin(const std::vector<float>& features) const;
+};
+
+}  // namespace ps2

@@ -1,0 +1,51 @@
+#pragma once
+
+// L-BFGS on PS2 (paper §3.1 and §5.2.4 list L-BFGS among the multi-vector
+// optimizers PS2 supports).
+//
+// This trainer is the clearest showcase of DCV column ops: the two-loop
+// recursion is nothing but dots and axpys over 2m+3 dimension co-located
+// vectors (weights, gradient, direction, and the s/y history), every one of
+// which executes server-side — the driver only sees scalars.
+
+#include "common/result.h"
+#include "data/types.h"
+#include "dataflow/dataset.h"
+#include "dcv/dcv_context.h"
+#include "ml/logreg.h"
+#include "ml/train_report.h"
+
+namespace ps2 {
+
+/// \brief L-BFGS options (full-batch; history size m).
+struct LbfgsOptions {
+  uint64_t dim = 0;     ///< required
+  int iterations = 50;
+  int history = 5;      ///< m
+  double initial_step = 1.0;
+  double backtrack_factor = 0.5;
+  int max_backtracks = 4;
+  GlmLossKind loss = GlmLossKind::kLogistic;
+  double l2 = 1e-6;     ///< keeps the Hessian approximation well-posed
+  uint64_t seed = 1;
+
+  Status Validate() const {
+    if (dim == 0) return Status::InvalidArgument("dim must be set");
+    if (iterations <= 0) {
+      return Status::InvalidArgument("iterations must be positive");
+    }
+    if (history <= 0 || history > 32) {
+      return Status::InvalidArgument("history must be in [1, 32]");
+    }
+    return Status::OK();
+  }
+};
+
+/// Trains a GLM with distributed L-BFGS; the entire two-loop recursion runs
+/// as server-side DCV column ops.
+Result<TrainReport> TrainLbfgsPs2(DcvContext* ctx,
+                                  const Dataset<Example>& data,
+                                  const LbfgsOptions& options,
+                                  Dcv* weight_out = nullptr);
+
+}  // namespace ps2

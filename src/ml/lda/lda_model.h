@@ -1,0 +1,45 @@
+#pragma once
+
+// LDA via collapsed Gibbs sampling (paper §5.2.4, evaluation §6.3.3).
+//
+// Model state is the word-topic count matrix N_wt (vocab x topics), the
+// topic totals N_t, and per-document topic counts N_dt (worker-local). On
+// PS2, N_wt is stored transposed as K co-located topic-row DCVs over the
+// vocabulary dimension, so a worker pulls exactly the columns of its local
+// vocabulary for all topics in one round — PS2's sparse communication —
+// with integer counts varint-compressed — PS2's message compression
+// (both called out in §6.3.3 as the source of its 3.7x / 9x edges).
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace ps2 {
+
+/// \brief LDA hyperparameters (paper Table 4: alpha = 0.5, beta = 0.01).
+struct LdaOptions {
+  uint32_t vocab_size = 0;  ///< required
+  uint32_t num_topics = 100;
+  double alpha = 0.5;
+  double beta = 0.01;
+  int iterations = 20;
+  uint64_t seed = 9;
+
+  Status Validate() const {
+    if (vocab_size == 0) {
+      return Status::InvalidArgument("vocab_size must be set");
+    }
+    if (num_topics == 0) {
+      return Status::InvalidArgument("num_topics must be positive");
+    }
+    if (iterations <= 0) {
+      return Status::InvalidArgument("iterations must be positive");
+    }
+    if (alpha <= 0 || beta <= 0) {
+      return Status::InvalidArgument("alpha and beta must be positive");
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace ps2

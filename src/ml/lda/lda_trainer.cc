@@ -1,0 +1,99 @@
+#include "ml/lda/lda_trainer.h"
+
+#include "common/logging.h"
+
+namespace ps2 {
+
+Result<TrainReport> TrainLdaPs2(DcvContext* ctx, const Dataset<Document>& docs,
+                                const LdaOptions& options,
+                                std::vector<Dcv>* topic_rows_out) {
+  PS2_RETURN_NOT_OK(options.Validate());
+  Cluster* cluster = ctx->cluster();
+  const uint32_t k_topics = options.num_topics;
+
+  // Word-topic counts: K co-located topic rows over the vocabulary; topic
+  // totals: one small dense DCV.
+  PS2_ASSIGN_OR_RETURN(
+      std::vector<Dcv> topic_rows,
+      ctx->DenseMatrix(options.vocab_size, k_topics, 0.0, 0,
+                       "lda.word_topic"));
+  PS2_ASSIGN_OR_RETURN(Dcv topic_totals,
+                       ctx->Dense(k_topics, 2, 1, 0, "lda.topic_totals"));
+  std::vector<RowRef> topic_refs;
+  topic_refs.reserve(k_topics);
+  for (const Dcv& row : topic_rows) topic_refs.push_back(row.ref());
+
+  const size_t num_partitions = docs.num_partitions();
+  std::vector<LdaPartitionState> states(num_partitions);
+  PsClient* client = ctx->client();
+
+  TrainReport report;
+  report.system = "PS2-LDA";
+  const SimTime t0 = cluster->clock().Now();
+
+  // Initialization: random assignments, push initial counts (sparse,
+  // compressed).
+  docs.ForeachPartition([&](TaskContext& task,
+                            const std::vector<Document>& rows) {
+    LdaPartitionState& state = states[task.task_id];
+    Rng rng = task.rng.Split(0x1DA0);
+    state.Initialize(rows, options, &rng);
+    task.AddWorkerOps(state.total_tokens() * 4);
+    PS2_CHECK_OK(client->PushSparseRows(
+        topic_refs, state.InitialTopicCounts(options),
+        /*compress_counts=*/true));
+    std::vector<double> totals = state.InitialTopicTotals(options);
+    PS2_CHECK_OK(topic_totals.Push(totals));
+  });
+
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    std::vector<std::pair<double, uint64_t>> partials =
+        docs.MapPartitionsCollect<std::pair<double, uint64_t>>(
+            [&](TaskContext& task, const std::vector<Document>& rows)
+                -> std::pair<double, uint64_t> {
+              (void)rows;  // documents live in the persistent Gibbs state
+              LdaPartitionState& state = states[task.task_id];
+              if (state.local_vocab().empty()) return {0.0, 0};
+
+              // Sparse pull of the local vocabulary's counts for every
+              // topic, one round, varint-compressed.
+              Result<std::vector<std::vector<double>>> pulled =
+                  client->PullSparseRows(topic_refs, state.local_vocab(),
+                                         /*compress_counts=*/true);
+              PS2_CHECK(pulled.ok()) << pulled.status();
+              Result<std::vector<double>> nt = topic_totals.Pull();
+              PS2_CHECK(nt.ok()) << nt.status();
+
+              Rng rng = task.rng.Split(0x1DA1 + iter);
+              LdaPartitionState::SweepResult sweep =
+                  state.Sweep(options, &*pulled, &*nt, &rng);
+              task.AddWorkerOps(sweep.tokens * (4 * k_topics + 8));
+
+              // Sparse compressed delta pushes (the last ops of the task).
+              PS2_CHECK_OK(client->PushSparseRows(topic_refs,
+                                                  sweep.topic_deltas,
+                                                  /*compress_counts=*/true));
+              PS2_CHECK_OK(topic_totals.Push(sweep.topic_total_deltas));
+              return {sweep.loglik_sum, sweep.tokens};
+            });
+
+    double loglik = 0;
+    uint64_t tokens = 0;
+    for (const auto& [l, c] : partials) {
+      loglik += l;
+      tokens += c;
+    }
+    if (tokens == 0) continue;
+    TrainPoint point;
+    point.iteration = iter;
+    point.time = cluster->clock().Now() - t0;
+    point.loss = -loglik / static_cast<double>(tokens);
+    report.curve.push_back(point);
+    report.final_loss = point.loss;
+  }
+  report.total_time = cluster->clock().Now() - t0;
+  if (topic_rows_out != nullptr) *topic_rows_out = std::move(topic_rows);
+  return report;
+}
+
+}  // namespace ps2

@@ -1,0 +1,35 @@
+#pragma once
+
+// LDA trainers. All four systems share the Gibbs sweep; they differ in the
+// movement of the word-topic counts:
+//
+//   PS2:    sparse pulls of only the worker's local vocabulary, for all K
+//           topic rows in one round, varint-compressed counts; sparse
+//           compressed delta pushes. (TrainLdaPs2)
+//   Petuum: full dense topic-row pulls every iteration (TrainLdaPetuum,
+//           baselines/petuum_lda.h).
+//   Glint:  per-document-minibatch row pulls, uncompressed, no dedup across
+//           batches (TrainLdaGlint, baselines/glint_lda.h).
+//   MLlib:  driver broadcasts the dense matrix; workers return dense count
+//           deltas gathered at the driver (TrainLdaMllib,
+//           baselines/mllib_lda.h).
+
+#include "common/result.h"
+#include "data/types.h"
+#include "dataflow/dataset.h"
+#include "dcv/dcv_context.h"
+#include "ml/lda/gibbs_sampler.h"
+#include "ml/lda/lda_model.h"
+#include "ml/train_report.h"
+
+namespace ps2 {
+
+/// Trains LDA on PS2. The report's loss is the negative mean per-token
+/// predictive log-likelihood (lower = better), the Gibbs analogue of the
+/// paper's convergence metric. If `topic_rows_out` is non-null it receives
+/// the K live word-topic DCV handles (pull them for the learned topics).
+Result<TrainReport> TrainLdaPs2(DcvContext* ctx, const Dataset<Document>& docs,
+                                const LdaOptions& options,
+                                std::vector<Dcv>* topic_rows_out = nullptr);
+
+}  // namespace ps2

@@ -1,0 +1,15 @@
+#include "ml/linear_svm.h"
+
+namespace ps2 {
+
+Result<TrainReport> TrainSvmPs2(DcvContext* ctx, const Dataset<Example>& data,
+                                GlmOptions options, Dcv* weight_out) {
+  options.loss = GlmLossKind::kHinge;
+  PS2_ASSIGN_OR_RETURN(TrainReport report,
+                       TrainGlmPs2(ctx, data, options, weight_out));
+  report.system = "PS2-SVM-" + std::string(OptimizerKindName(
+                                   options.optimizer.kind));
+  return report;
+}
+
+}  // namespace ps2

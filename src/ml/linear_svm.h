@@ -1,0 +1,21 @@
+#pragma once
+
+// Linear SVM on PS2 (paper §5.2.4: "we also implement other ML models like
+// LDA, Support Vector Machine, etc."). A thin specialization of the GLM
+// trainer with hinge loss; included so the support matrix of paper Table 3
+// is fully covered.
+
+#include "common/result.h"
+#include "data/types.h"
+#include "dataflow/dataset.h"
+#include "dcv/dcv_context.h"
+#include "ml/logreg.h"
+#include "ml/train_report.h"
+
+namespace ps2 {
+
+/// Trains a linear SVM (hinge loss) with the PS2 execution flow.
+Result<TrainReport> TrainSvmPs2(DcvContext* ctx, const Dataset<Example>& data,
+                                GlmOptions options, Dcv* weight_out = nullptr);
+
+}  // namespace ps2

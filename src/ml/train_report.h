@@ -1,0 +1,43 @@
+#pragma once
+
+// Training reports: loss-versus-virtual-time curves, the unit in which the
+// paper's evaluation figures are expressed.
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/sim_clock.h"
+
+namespace ps2 {
+
+/// \brief One sample of a training curve.
+struct TrainPoint {
+  int iteration = 0;
+  SimTime time = 0;   ///< virtual seconds since training start
+  double loss = 0;    ///< objective value (lower is better)
+};
+
+/// \brief Outcome of one training run on one system.
+struct TrainReport {
+  std::string system;  ///< e.g. "PS2-Adam", "Spark-Adam", "PS-Adam"
+  std::vector<TrainPoint> curve;
+  double final_loss = std::numeric_limits<double>::infinity();
+  SimTime total_time = 0;
+
+  /// First virtual time at which the loss reaches `target`, or +inf.
+  SimTime TimeToLoss(double target) const {
+    for (const TrainPoint& p : curve) {
+      if (p.loss <= target) return p.time;
+    }
+    return std::numeric_limits<double>::infinity();
+  }
+
+  /// Average virtual seconds per iteration.
+  SimTime TimePerIteration() const {
+    if (curve.empty()) return 0;
+    return total_time / static_cast<double>(curve.size());
+  }
+};
+
+}  // namespace ps2

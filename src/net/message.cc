@@ -1,0 +1,25 @@
+#include "net/message.h"
+
+namespace ps2 {
+
+const char* MessageKindName(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kPullRequest:
+      return "pull_request";
+    case MessageKind::kPullResponse:
+      return "pull_response";
+    case MessageKind::kPushRequest:
+      return "push_request";
+    case MessageKind::kPushAck:
+      return "push_ack";
+    case MessageKind::kColumnOpRequest:
+      return "column_op_request";
+    case MessageKind::kColumnOpResponse:
+      return "column_op_response";
+    case MessageKind::kControl:
+      return "control";
+  }
+  return "unknown";
+}
+
+}  // namespace ps2

@@ -1,0 +1,43 @@
+#pragma once
+
+// RPC message envelope.
+//
+// PS2's real implementation uses Netty + Protobuf; here every request and
+// response between workers, servers and the driver is materialized as a
+// Message with a genuinely serialized payload so that byte accounting is
+// exact. Delivery is an in-process method call; *cost* is charged through
+// the traffic recorder / cost model.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ps2 {
+
+/// \brief Kinds of RPC traffic, used for metrics breakdowns.
+enum class MessageKind : uint8_t {
+  kPullRequest,
+  kPullResponse,
+  kPushRequest,
+  kPushAck,
+  kColumnOpRequest,
+  kColumnOpResponse,
+  kControl,
+};
+
+const char* MessageKindName(MessageKind kind);
+
+/// \brief A serialized RPC message between two logical nodes.
+struct Message {
+  int src_node = -1;
+  int dst_node = -1;
+  MessageKind kind = MessageKind::kControl;
+  std::vector<uint8_t> payload;
+
+  /// Bytes on the wire: payload plus a fixed framing header (matches a
+  /// typical Netty frame: length, ids, kind, correlation id).
+  static constexpr uint64_t kHeaderBytes = 24;
+  uint64_t WireBytes() const { return kHeaderBytes + payload.size(); }
+};
+
+}  // namespace ps2

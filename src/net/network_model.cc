@@ -1,0 +1,149 @@
+#include "net/network_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ps2 {
+
+namespace {
+thread_local TaskTraffic* t_current_traffic = nullptr;
+}  // namespace
+
+void TaskTraffic::EnsureServers(size_t n) {
+  if (bytes_to_server.size() < n) {
+    bytes_to_server.resize(n, 0);
+    bytes_from_server.resize(n, 0);
+    msgs_to_server.resize(n, 0);
+    msgs_from_server.resize(n, 0);
+    server_ops.resize(n, 0);
+  }
+}
+
+void TaskTraffic::RecordExchange(int server, uint64_t bytes_out,
+                                 uint64_t bytes_in, uint64_t ops_on_server) {
+  PS2_CHECK_GE(server, 0);
+  EnsureServers(static_cast<size_t>(server) + 1);
+  bytes_to_server[server] += bytes_out;
+  msgs_to_server[server] += 1;
+  if (bytes_in > 0) {
+    bytes_from_server[server] += bytes_in;
+    msgs_from_server[server] += 1;
+  }
+  server_ops[server] += ops_on_server;
+}
+
+uint64_t TaskTraffic::TotalBytesToServers() const {
+  uint64_t total = 0;
+  for (uint64_t b : bytes_to_server) total += b;
+  return total;
+}
+
+uint64_t TaskTraffic::TotalBytesFromServers() const {
+  uint64_t total = 0;
+  for (uint64_t b : bytes_from_server) total += b;
+  return total;
+}
+
+uint64_t TaskTraffic::TotalMsgs() const {
+  uint64_t total = 0;
+  for (uint64_t m : msgs_to_server) total += m;
+  for (uint64_t m : msgs_from_server) total += m;
+  return total;
+}
+
+void TaskTraffic::MergeFrom(const TaskTraffic& other) {
+  worker_ops += other.worker_ops;
+  rounds += other.rounds;
+  io_bytes += other.io_bytes;
+  EnsureServers(other.bytes_to_server.size());
+  for (size_t s = 0; s < other.bytes_to_server.size(); ++s) {
+    bytes_to_server[s] += other.bytes_to_server[s];
+    bytes_from_server[s] += other.bytes_from_server[s];
+    msgs_to_server[s] += other.msgs_to_server[s];
+    msgs_from_server[s] += other.msgs_from_server[s];
+    server_ops[s] += other.server_ops[s];
+  }
+}
+
+void TaskTraffic::Clear() {
+  worker_ops = 0;
+  rounds = 0;
+  io_bytes = 0;
+  bytes_to_server.clear();
+  bytes_from_server.clear();
+  msgs_to_server.clear();
+  msgs_from_server.clear();
+  server_ops.clear();
+}
+
+TrafficScope::TrafficScope(TaskTraffic* traffic) : previous_(t_current_traffic) {
+  t_current_traffic = traffic;
+}
+
+TrafficScope::~TrafficScope() { t_current_traffic = previous_; }
+
+TaskTraffic* TrafficScope::Current() { return t_current_traffic; }
+
+SimTime TaskWorkerTime(const CostModel& cost, const TaskTraffic& t) {
+  const ClusterSpec& spec = cost.spec();
+  SimTime time = cost.WorkerCompute(t.worker_ops);
+  time += cost.RoundLatency(t.rounds);
+  time += cost.MessageOverhead(t.TotalMsgs());
+  time += static_cast<double>(t.TotalBytesToServers() +
+                              t.TotalBytesFromServers()) /
+          spec.net_bandwidth_bps;
+  time += static_cast<double>(t.io_bytes) / spec.io_bandwidth_bps;
+  return time;
+}
+
+StageCostBreakdown StageCost(
+    const CostModel& cost, const std::vector<TaskTraffic>& per_task,
+    const std::vector<std::vector<double>>& retry_fractions) {
+  const ClusterSpec& spec = cost.spec();
+  StageCostBreakdown out;
+
+  // --- Worker bound: round-robin assignment of tasks to executors.
+  const size_t num_workers = static_cast<size_t>(spec.num_workers);
+  std::vector<SimTime> executor_time(num_workers, 0.0);
+  for (size_t i = 0; i < per_task.size(); ++i) {
+    SimTime task_time = TaskWorkerTime(cost, per_task[i]);
+    SimTime charged = task_time;
+    if (i < retry_fractions.size()) {
+      for (double frac : retry_fractions[i]) {
+        charged += frac * task_time;
+        out.retry_penalty += frac * task_time;
+      }
+    }
+    executor_time[i % num_workers] += charged;
+  }
+  for (SimTime t : executor_time) out.worker_bound = std::max(out.worker_bound, t);
+
+  // --- Server bound: all tasks' requests serialize at each server.
+  size_t num_servers = 0;
+  for (const auto& t : per_task) {
+    num_servers = std::max(num_servers, t.bytes_to_server.size());
+  }
+  std::vector<SimTime> server_time(num_servers, 0.0);
+  for (const auto& t : per_task) {
+    for (size_t s = 0; s < t.bytes_to_server.size(); ++s) {
+      server_time[s] +=
+          static_cast<double>(t.bytes_to_server[s] + t.bytes_from_server[s]) /
+              spec.net_bandwidth_bps +
+          cost.MessageOverhead(t.msgs_to_server[s] + t.msgs_from_server[s]) +
+          cost.ServerCompute(t.server_ops[s]);
+    }
+  }
+  for (SimTime t : server_time) out.server_bound = std::max(out.server_bound, t);
+
+  // --- Driver dispatch: one scheduling round plus per-task launch overhead
+  // (Spark task serialization/launch; a couple of ms per task, pipelined
+  // across executors so it only bites for very short tasks).
+  out.dispatch = spec.rpc_latency_s +
+                 cost.MessageOverhead(2 * per_task.size());
+
+  out.elapsed = std::max(out.worker_bound, out.server_bound) + out.dispatch;
+  return out;
+}
+
+}  // namespace ps2

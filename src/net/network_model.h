@@ -1,0 +1,98 @@
+#pragma once
+
+// Traffic recording and stage costing.
+//
+// Execution model: the driver runs stages (sets of parallel tasks, one BSP
+// barrier at the end — Spark semantics). Inside a task, every PS interaction
+// records its traffic into the thread-local TaskTraffic. When the stage
+// completes, StageCost() converts the recorded per-task / per-server traffic
+// into virtual elapsed time:
+//
+//   worker side: tasks are assigned round-robin to executors; an executor's
+//     time is the sum of its tasks' (compute + egress/ingress + per-message
+//     overhead + dependent round latencies); the worker bound is the max
+//     over executors.
+//   server side: requests from all tasks serialize at each server; the
+//     server bound is the max over servers of (bytes/bw + msgs*overhead +
+//     server ops/flops).
+//   stage elapsed = max(worker bound, server bound) + driver dispatch.
+//
+// This makes the driver bottleneck, PS sharding benefit and server-side
+// compute benefit all fall out of the same accounting.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/cost_model.h"
+
+namespace ps2 {
+
+/// \brief Per-task record of network and compute activity.
+struct TaskTraffic {
+  uint64_t worker_ops = 0;   ///< scalar ops executed on the worker
+  uint64_t rounds = 0;       ///< dependent request/response round trips
+  uint64_t io_bytes = 0;     ///< input bytes read from (simulated) storage
+
+  // Per-server breakdown (indexed by server id; lazily sized).
+  std::vector<uint64_t> bytes_to_server;
+  std::vector<uint64_t> bytes_from_server;
+  std::vector<uint64_t> msgs_to_server;
+  std::vector<uint64_t> msgs_from_server;
+  std::vector<uint64_t> server_ops;
+
+  void EnsureServers(size_t n);
+
+  /// Records one request/response exchange with `server`.
+  void RecordExchange(int server, uint64_t bytes_out, uint64_t bytes_in,
+                      uint64_t ops_on_server);
+
+  /// Totals across servers.
+  uint64_t TotalBytesToServers() const;
+  uint64_t TotalBytesFromServers() const;
+  uint64_t TotalMsgs() const;
+
+  void MergeFrom(const TaskTraffic& other);
+  void Clear();
+};
+
+/// \brief Thread-local binding of the "current task" traffic record.
+///
+/// PS clients look this up so that DCV ops issued from inside a task body are
+/// charged to that task. RAII scope.
+class TrafficScope {
+ public:
+  explicit TrafficScope(TaskTraffic* traffic);
+  ~TrafficScope();
+
+  TrafficScope(const TrafficScope&) = delete;
+  TrafficScope& operator=(const TrafficScope&) = delete;
+
+  /// The active record, or nullptr outside any task.
+  static TaskTraffic* Current();
+
+ private:
+  TaskTraffic* previous_;
+};
+
+/// \brief Result of costing one stage.
+struct StageCostBreakdown {
+  SimTime worker_bound = 0;
+  SimTime server_bound = 0;
+  SimTime dispatch = 0;
+  SimTime retry_penalty = 0;
+  SimTime elapsed = 0;  ///< what the clock advances by
+};
+
+/// \brief Converts recorded traffic into elapsed virtual time.
+///
+/// `retry_fractions[i]` lists, for task i, the fraction of its cost charged
+/// for each failed attempt (empty if the task succeeded first try).
+StageCostBreakdown StageCost(
+    const CostModel& cost, const std::vector<TaskTraffic>& per_task,
+    const std::vector<std::vector<double>>& retry_fractions);
+
+/// Worker-side cost of a single task's recorded traffic.
+SimTime TaskWorkerTime(const CostModel& cost, const TaskTraffic& t);
+
+}  // namespace ps2

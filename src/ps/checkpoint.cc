@@ -1,0 +1,31 @@
+#include "ps/checkpoint.h"
+
+namespace ps2 {
+
+uint64_t CheckpointStore::Put(int server_id, std::vector<uint8_t> image) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t bytes = image.size();
+  images_[server_id] = std::move(image);
+  ++puts_;
+  return bytes;
+}
+
+std::vector<uint8_t> CheckpointStore::Get(int server_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = images_.find(server_id);
+  return it == images_.end() ? std::vector<uint8_t>{} : it->second;
+}
+
+bool CheckpointStore::Has(int server_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return images_.count(server_id) > 0;
+}
+
+uint64_t CheckpointStore::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [id, image] : images_) total += image.size();
+  return total;
+}
+
+}  // namespace ps2

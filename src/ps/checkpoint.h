@@ -1,0 +1,38 @@
+#pragma once
+
+// Checkpoint store: the "reliable external storage" of paper §5.3.
+//
+// PS-servers periodically serialize their shards here; after a simulated
+// server crash the master restores the latest checkpoint, losing only the
+// updates pushed since. The store is in-memory, but writes and reads charge
+// virtual IO time so checkpoint frequency has a visible cost.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "sim/sim_clock.h"
+
+namespace ps2 {
+
+/// \brief Durable (simulated) storage of per-server checkpoint images.
+class CheckpointStore {
+ public:
+  /// Stores a server image; returns its size in bytes.
+  uint64_t Put(int server_id, std::vector<uint8_t> image);
+
+  /// Latest image for a server, or empty if never checkpointed.
+  std::vector<uint8_t> Get(int server_id) const;
+
+  bool Has(int server_id) const;
+  uint64_t TotalBytes() const;
+  uint64_t checkpoints_taken() const { return puts_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<int, std::vector<uint8_t>> images_;
+  uint64_t puts_ = 0;
+};
+
+}  // namespace ps2

@@ -1,0 +1,57 @@
+#include "ps/partitioner.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ps2 {
+
+Result<ColumnPartitioner> ColumnPartitioner::Make(uint64_t dim, int num_servers,
+                                                  uint64_t alignment,
+                                                  int rotation) {
+  if (dim == 0) return Status::InvalidArgument("dim must be > 0");
+  if (num_servers <= 0) {
+    return Status::InvalidArgument("num_servers must be > 0");
+  }
+  if (alignment == 0) return Status::InvalidArgument("alignment must be > 0");
+  if (dim % alignment != 0) {
+    return Status::InvalidArgument(
+        "dim must be a multiple of alignment so no unit is split");
+  }
+  ColumnPartitioner p;
+  p.dim_ = dim;
+  p.num_servers_ = num_servers;
+  p.alignment_ = alignment;
+  p.rotation_ = ((rotation % num_servers) + num_servers) % num_servers;
+  p.units_ = dim / alignment;
+  p.units_per_part_ = (p.units_ + num_servers - 1) / num_servers;
+  return p;
+}
+
+uint64_t ColumnPartitioner::RangeBegin(int partition) const {
+  PS2_CHECK_GE(partition, 0);
+  PS2_CHECK_LT(partition, num_servers_);
+  uint64_t unit = std::min(units_, units_per_part_ * partition);
+  return unit * alignment_;
+}
+
+uint64_t ColumnPartitioner::RangeEnd(int partition) const {
+  PS2_CHECK_GE(partition, 0);
+  PS2_CHECK_LT(partition, num_servers_);
+  uint64_t unit = std::min(units_, units_per_part_ * (partition + 1));
+  return unit * alignment_;
+}
+
+int ColumnPartitioner::PartitionOfColumn(uint64_t col) const {
+  PS2_CHECK_LT(col, dim_);
+  uint64_t unit = col / alignment_;
+  int partition = static_cast<int>(unit / units_per_part_);
+  return std::min(partition, num_servers_ - 1);
+}
+
+bool ColumnPartitioner::CoLocatedWith(const ColumnPartitioner& other) const {
+  return dim_ == other.dim_ && num_servers_ == other.num_servers_ &&
+         alignment_ == other.alignment_ && rotation_ == other.rotation_;
+}
+
+}  // namespace ps2

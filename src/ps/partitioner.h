@@ -1,0 +1,74 @@
+#pragma once
+
+// Column-range partitioning of DCV matrices across parameter servers.
+//
+// A matrix of `num_rows` rows over logical dimension `dim` is split into
+// `num_servers` contiguous column ranges; each server stores *all rows* of
+// its range. This is the paper's column-partition strategy (§4.3): row
+// access ops parallelize across servers, and column access ops between rows
+// of the same matrix touch no other server.
+//
+// `alignment` forces range boundaries onto multiples of a unit (e.g. GBDT
+// keeps each feature's histogram bins on one server by aligning to the
+// histogram size).
+//
+// `rotation` shifts which server owns which range. Matrices created
+// independently get different rotations, so equal-range partitions still
+// land on *different* servers — exactly the "inefficient writing" of paper
+// Fig. 4. `derive` inherits the base matrix's rotation, restoring
+// co-location.
+
+#include <cstdint>
+
+#include "common/result.h"
+
+namespace ps2 {
+
+/// \brief Maps columns of a distributed matrix to servers.
+class ColumnPartitioner {
+ public:
+  ColumnPartitioner() = default;
+
+  static Result<ColumnPartitioner> Make(uint64_t dim, int num_servers,
+                                        uint64_t alignment = 1,
+                                        int rotation = 0);
+
+  uint64_t dim() const { return dim_; }
+  int num_servers() const { return num_servers_; }
+  uint64_t alignment() const { return alignment_; }
+  int rotation() const { return rotation_; }
+
+  /// Half-open column range [RangeBegin(p), RangeEnd(p)) of partition p.
+  /// Partitions are indexed 0..num_servers-1 in column order.
+  uint64_t RangeBegin(int partition) const;
+  uint64_t RangeEnd(int partition) const;
+  uint64_t RangeWidth(int partition) const {
+    return RangeEnd(partition) - RangeBegin(partition);
+  }
+
+  /// Server that stores partition p (applies the rotation).
+  int ServerOfPartition(int partition) const {
+    return (partition + rotation_) % num_servers_;
+  }
+
+  /// Partition containing column `col`.
+  int PartitionOfColumn(uint64_t col) const;
+
+  /// Server storing column `col`.
+  int ServerOfColumn(uint64_t col) const {
+    return ServerOfPartition(PartitionOfColumn(col));
+  }
+
+  /// True if `other` places every column on the same server as this.
+  bool CoLocatedWith(const ColumnPartitioner& other) const;
+
+ private:
+  uint64_t dim_ = 0;
+  int num_servers_ = 1;
+  uint64_t alignment_ = 1;
+  int rotation_ = 0;
+  uint64_t units_ = 0;             // ceil(dim / alignment)
+  uint64_t units_per_part_ = 0;    // ceil(units / num_servers)
+};
+
+}  // namespace ps2

@@ -1,0 +1,786 @@
+#include "ps/ps_client.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "linalg/dense_vector.h"
+#include "net/message.h"
+
+namespace ps2 {
+
+// ------------------------------------------------------------------- OpScope
+
+/// Binds the op to the ambient task's traffic record, or — when issued from
+/// the coordinator between stages — accumulates locally and charges the
+/// cluster clock with the collective fan-out cost on destruction.
+class PsClient::OpScope {
+ public:
+  explicit OpScope(Cluster* cluster) : cluster_(cluster) {
+    ambient_ = TrafficScope::Current();
+    traffic_ = ambient_ != nullptr ? ambient_ : &local_;
+  }
+
+  ~OpScope() {
+    if (ambient_ != nullptr) return;
+    const CostModel& cost = cluster_->cost();
+    const ClusterSpec& spec = cost.spec();
+    SimTime worst_server = 0;
+    for (size_t s = 0; s < local_.bytes_to_server.size(); ++s) {
+      SimTime t =
+          static_cast<double>(local_.bytes_to_server[s] +
+                              local_.bytes_from_server[s]) /
+              spec.net_bandwidth_bps +
+          cost.MessageOverhead(local_.msgs_to_server[s] +
+                               local_.msgs_from_server[s]) +
+          cost.ServerCompute(local_.server_ops[s]);
+      worst_server = std::max(worst_server, t);
+    }
+    SimTime elapsed = cost.RoundLatency(local_.rounds) + worst_server +
+                      cost.WorkerCompute(local_.worker_ops);
+    cluster_->AdvanceClock(elapsed);
+    cluster_->metrics().Add("net.bytes_worker_to_server",
+                            local_.TotalBytesToServers());
+    cluster_->metrics().Add("net.bytes_server_to_worker",
+                            local_.TotalBytesFromServers());
+    cluster_->metrics().Add("net.messages", local_.TotalMsgs());
+  }
+
+  TaskTraffic* traffic() { return traffic_; }
+
+ private:
+  Cluster* cluster_;
+  TaskTraffic* ambient_;
+  TaskTraffic local_;
+  TaskTraffic* traffic_;
+};
+
+// ------------------------------------------------------------------ PsClient
+
+PsClient::PsClient(PsMaster* master) : master_(master) {
+  PS2_CHECK(master != nullptr);
+}
+
+Result<PsServer::HandleResult> PsClient::Exchange(
+    TaskTraffic* traffic, int server, std::vector<uint8_t> request) {
+  const uint64_t request_bytes = request.size() + Message::kHeaderBytes;
+  PS2_ASSIGN_OR_RETURN(PsServer::HandleResult result,
+                       master_->server(server)->Handle(request));
+  const uint64_t response_bytes =
+      result.response.size() + Message::kHeaderBytes;
+  traffic->RecordExchange(server, request_bytes, response_bytes,
+                          result.server_ops);
+  return result;
+}
+
+Result<bool> PsClient::CoLocated(const std::vector<RowRef>& rows,
+                                 MatrixMeta* first_meta) {
+  PS2_CHECK(!rows.empty());
+  PS2_ASSIGN_OR_RETURN(*first_meta, master_->GetMeta(rows[0].matrix_id));
+  for (size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i].matrix_id == rows[0].matrix_id) continue;
+    PS2_ASSIGN_OR_RETURN(MatrixMeta meta, master_->GetMeta(rows[i].matrix_id));
+    if (!meta.partitioner.CoLocatedWith(first_meta->partitioner)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<std::vector<double>> PsClient::PullDense(RowRef ref, uint64_t begin,
+                                                uint64_t end) {
+  PS2_ASSIGN_OR_RETURN(MatrixMeta meta, master_->GetMeta(ref.matrix_id));
+  if (end == kWholeRow) end = meta.dim;
+  if (begin > end || end > meta.dim) {
+    return Status::OutOfRange("pull window out of range");
+  }
+  OpScope scope(master_->cluster());
+  scope.traffic()->rounds += 1;
+  std::vector<double> out(end - begin, 0.0);
+  const ColumnPartitioner& part = meta.partitioner;
+  for (int p = 0; p < part.num_servers(); ++p) {
+    uint64_t lo = std::max(begin, part.RangeBegin(p));
+    uint64_t hi = std::min(end, part.RangeEnd(p));
+    if (lo >= hi) continue;
+    BufferWriter writer;
+    writer.WriteU8(static_cast<uint8_t>(PsOpCode::kPullDense));
+    writer.WriteVarint(ref.matrix_id);
+    writer.WriteVarint(ref.row);
+    writer.WriteVarint(lo);
+    writer.WriteVarint(hi);
+    PS2_ASSIGN_OR_RETURN(
+        PsServer::HandleResult result,
+        Exchange(scope.traffic(), part.ServerOfPartition(p), writer.Release()));
+    BufferReader reader(result.response);
+    PS2_ASSIGN_OR_RETURN(uint64_t n, reader.ReadVarint());
+    if (n != hi - lo) return Status::Internal("pull window size mismatch");
+    PS2_ASSIGN_OR_RETURN(std::vector<double> values, reader.ReadF64Span(n));
+    std::copy(values.begin(), values.end(), out.begin() + (lo - begin));
+  }
+  return out;
+}
+
+Result<std::vector<double>> PsClient::PullSparse(
+    RowRef ref, const std::vector<uint64_t>& indices) {
+  PS2_ASSIGN_OR_RETURN(MatrixMeta meta, master_->GetMeta(ref.matrix_id));
+  OpScope scope(master_->cluster());
+  scope.traffic()->rounds += 1;
+  std::vector<double> out(indices.size(), 0.0);
+  const ColumnPartitioner& part = meta.partitioner;
+  // Sorted indices split into one contiguous run per partition.
+  size_t i = 0;
+  while (i < indices.size()) {
+    if (indices[i] >= meta.dim) {
+      return Status::OutOfRange("pull index out of range");
+    }
+    int p = part.PartitionOfColumn(indices[i]);
+    uint64_t range_end = part.RangeEnd(p);
+    size_t j = i;
+    while (j < indices.size() && indices[j] < range_end) ++j;
+    BufferWriter writer;
+    writer.WriteU8(static_cast<uint8_t>(PsOpCode::kPullSparse));
+    writer.WriteVarint(ref.matrix_id);
+    writer.WriteVarint(ref.row);
+    writer.WriteVarint(j - i);
+    uint64_t prev = 0;
+    for (size_t k = i; k < j; ++k) {
+      writer.WriteVarint(indices[k] - prev);
+      prev = indices[k];
+    }
+    PS2_ASSIGN_OR_RETURN(
+        PsServer::HandleResult result,
+        Exchange(scope.traffic(), part.ServerOfPartition(p), writer.Release()));
+    BufferReader reader(result.response);
+    PS2_ASSIGN_OR_RETURN(uint64_t n, reader.ReadVarint());
+    if (n != j - i) return Status::Internal("sparse pull count mismatch");
+    for (size_t k = i; k < j; ++k) {
+      PS2_ASSIGN_OR_RETURN(out[k], reader.ReadF64());
+    }
+    i = j;
+  }
+  return out;
+}
+
+Status PsClient::PushDense(RowRef ref, const std::vector<double>& delta,
+                           uint64_t begin) {
+  PS2_ASSIGN_OR_RETURN(MatrixMeta meta, master_->GetMeta(ref.matrix_id));
+  uint64_t end = begin + delta.size();
+  if (end > meta.dim) return Status::OutOfRange("push window out of range");
+  OpScope scope(master_->cluster());
+  scope.traffic()->rounds += 1;
+  const ColumnPartitioner& part = meta.partitioner;
+  for (int p = 0; p < part.num_servers(); ++p) {
+    uint64_t lo = std::max(begin, part.RangeBegin(p));
+    uint64_t hi = std::min(end, part.RangeEnd(p));
+    if (lo >= hi) continue;
+    BufferWriter writer;
+    writer.WriteU8(static_cast<uint8_t>(PsOpCode::kPushDense));
+    writer.WriteVarint(ref.matrix_id);
+    writer.WriteVarint(ref.row);
+    writer.WriteVarint(lo);
+    writer.WriteVarint(hi - lo);
+    writer.WriteF64Span(&delta[lo - begin], hi - lo);
+    PS2_ASSIGN_OR_RETURN(
+        PsServer::HandleResult result,
+        Exchange(scope.traffic(), part.ServerOfPartition(p), writer.Release()));
+    (void)result;
+  }
+  return Status::OK();
+}
+
+Status PsClient::PushSparse(RowRef ref, const SparseVector& delta) {
+  PS2_ASSIGN_OR_RETURN(MatrixMeta meta, master_->GetMeta(ref.matrix_id));
+  if (delta.nnz() > 0 && delta.indices().back() >= meta.dim) {
+    return Status::OutOfRange("push index out of range");
+  }
+  OpScope scope(master_->cluster());
+  scope.traffic()->rounds += 1;
+  const ColumnPartitioner& part = meta.partitioner;
+  const auto& idx = delta.indices();
+  const auto& val = delta.values();
+  size_t i = 0;
+  while (i < idx.size()) {
+    int p = part.PartitionOfColumn(idx[i]);
+    uint64_t range_end = part.RangeEnd(p);
+    size_t j = i;
+    while (j < idx.size() && idx[j] < range_end) ++j;
+    BufferWriter writer;
+    writer.WriteU8(static_cast<uint8_t>(PsOpCode::kPushSparse));
+    writer.WriteVarint(ref.matrix_id);
+    writer.WriteVarint(ref.row);
+    writer.WriteVarint(j - i);
+    uint64_t prev = 0;
+    for (size_t k = i; k < j; ++k) {
+      writer.WriteVarint(idx[k] - prev);
+      prev = idx[k];
+    }
+    for (size_t k = i; k < j; ++k) writer.WriteF64(val[k]);
+    PS2_ASSIGN_OR_RETURN(
+        PsServer::HandleResult result,
+        Exchange(scope.traffic(), part.ServerOfPartition(p), writer.Release()));
+    (void)result;
+    i = j;
+  }
+  return Status::OK();
+}
+
+Result<double> PsClient::RowAggregate(RowRef ref, RowAggKind kind) {
+  PS2_ASSIGN_OR_RETURN(MatrixMeta meta, master_->GetMeta(ref.matrix_id));
+  OpScope scope(master_->cluster());
+  scope.traffic()->rounds += 1;
+  double acc = kind == RowAggKind::kMax
+                   ? -std::numeric_limits<double>::infinity()
+                   : 0.0;
+  const ColumnPartitioner& part = meta.partitioner;
+  for (int p = 0; p < part.num_servers(); ++p) {
+    if (part.RangeWidth(p) == 0) continue;
+    BufferWriter writer;
+    writer.WriteU8(static_cast<uint8_t>(PsOpCode::kRowAgg));
+    writer.WriteVarint(ref.matrix_id);
+    writer.WriteVarint(ref.row);
+    writer.WriteU8(static_cast<uint8_t>(kind));
+    PS2_ASSIGN_OR_RETURN(
+        PsServer::HandleResult result,
+        Exchange(scope.traffic(), part.ServerOfPartition(p), writer.Release()));
+    BufferReader reader(result.response);
+    PS2_ASSIGN_OR_RETURN(double partial, reader.ReadF64());
+    if (kind == RowAggKind::kMax) {
+      acc = std::max(acc, partial);
+    } else {
+      acc += partial;
+    }
+  }
+  return acc;
+}
+
+Status PsClient::ColumnOp(ColOpKind kind, RowRef dst,
+                          const std::vector<RowRef>& srcs, double scalar) {
+  std::vector<RowRef> all{dst};
+  all.insert(all.end(), srcs.begin(), srcs.end());
+  MatrixMeta meta;
+  PS2_ASSIGN_OR_RETURN(bool colocated, CoLocated(all, &meta));
+  if (!colocated) {
+    master_->cluster()->metrics().Add("dcv.noncolocated_column_ops", 1);
+    return ColumnOpSlowPath(kind, dst, srcs, scalar);
+  }
+  OpScope scope(master_->cluster());
+  scope.traffic()->rounds += 1;
+  const ColumnPartitioner& part = meta.partitioner;
+  for (int p = 0; p < part.num_servers(); ++p) {
+    if (part.RangeWidth(p) == 0) continue;
+    BufferWriter writer;
+    writer.WriteU8(static_cast<uint8_t>(PsOpCode::kColumnOp));
+    writer.WriteU8(static_cast<uint8_t>(kind));
+    writer.WriteVarint(dst.matrix_id);
+    writer.WriteVarint(dst.row);
+    writer.WriteVarint(srcs.size());
+    for (const RowRef& src : srcs) {
+      writer.WriteVarint(src.matrix_id);
+      writer.WriteVarint(src.row);
+    }
+    writer.WriteF64(scalar);
+    PS2_ASSIGN_OR_RETURN(
+        PsServer::HandleResult result,
+        Exchange(scope.traffic(), part.ServerOfPartition(p), writer.Release()));
+    (void)result;
+  }
+  return Status::OK();
+}
+
+Status PsClient::ColumnOpSlowPath(ColOpKind kind, RowRef dst,
+                                  const std::vector<RowRef>& srcs,
+                                  double scalar) {
+  // The naive path of paper Fig. 4: pull full operand rows to the client,
+  // compute locally, write the result back. All that traffic is real and
+  // recorded; this is what non-co-located DCVs cost.
+  std::vector<std::vector<double>> pulled;
+  for (const RowRef& src : srcs) {
+    PS2_ASSIGN_OR_RETURN(std::vector<double> row, PullDense(src));
+    pulled.push_back(std::move(row));
+  }
+  PS2_ASSIGN_OR_RETURN(MatrixMeta dst_meta, master_->GetMeta(dst.matrix_id));
+  const uint64_t dim = dst_meta.dim;
+  std::vector<double> result(dim, 0.0);
+  auto need = [&](size_t k) -> Status {
+    if (pulled.size() != k) {
+      return Status::InvalidArgument("wrong operand count for column op");
+    }
+    for (const auto& row : pulled) {
+      if (row.size() != dim) {
+        return Status::InvalidArgument("column op dimension mismatch");
+      }
+    }
+    return Status::OK();
+  };
+  uint64_t ops = 0;
+  switch (kind) {
+    case ColOpKind::kAdd:
+      PS2_RETURN_NOT_OK(need(2));
+      ops = kernels::Add(result.data(), pulled[0].data(), pulled[1].data(),
+                         dim);
+      break;
+    case ColOpKind::kSub:
+      PS2_RETURN_NOT_OK(need(2));
+      ops = kernels::Sub(result.data(), pulled[0].data(), pulled[1].data(),
+                         dim);
+      break;
+    case ColOpKind::kMul:
+      PS2_RETURN_NOT_OK(need(2));
+      ops = kernels::Mul(result.data(), pulled[0].data(), pulled[1].data(),
+                         dim);
+      break;
+    case ColOpKind::kDiv:
+      PS2_RETURN_NOT_OK(need(2));
+      ops = kernels::Div(result.data(), pulled[0].data(), pulled[1].data(),
+                         dim);
+      break;
+    case ColOpKind::kCopy:
+      PS2_RETURN_NOT_OK(need(1));
+      ops = kernels::Copy(result.data(), pulled[0].data(), dim);
+      break;
+    case ColOpKind::kAxpy: {
+      PS2_RETURN_NOT_OK(need(1));
+      // dst += alpha*src: additive push works without reading dst.
+      std::vector<double> delta(dim);
+      for (uint64_t i = 0; i < dim; ++i) delta[i] = scalar * pulled[0][i];
+      {
+        OpScope scope(master_->cluster());
+        scope.traffic()->worker_ops += dim;
+      }
+      return PushDense(dst, delta);
+    }
+    case ColOpKind::kFill:
+    case ColOpKind::kScale:
+      // Fill/scale never need operands from other servers; they are always
+      // served by the fast path.
+      return Status::Internal("fill/scale cannot reach the slow path");
+  }
+  {
+    OpScope scope(master_->cluster());
+    scope.traffic()->worker_ops += ops;
+  }
+  // Overwrite dst: zero it server-side, then push the result additively.
+  PS2_RETURN_NOT_OK(ColumnOp(ColOpKind::kFill, dst, {}, 0.0));
+  return PushDense(dst, result);
+}
+
+Result<double> PsClient::Dot(RowRef a, RowRef b) {
+  MatrixMeta meta;
+  PS2_ASSIGN_OR_RETURN(bool colocated, CoLocated({a, b}, &meta));
+  if (!colocated) {
+    // Naive path: ship both full rows to the client (paper Fig. 4, lines
+    // 1-4 — "huge communication cost").
+    master_->cluster()->metrics().Add("dcv.noncolocated_dots", 1);
+    PS2_ASSIGN_OR_RETURN(std::vector<double> ra, PullDense(a));
+    PS2_ASSIGN_OR_RETURN(std::vector<double> rb, PullDense(b));
+    double out = 0.0;
+    uint64_t ops =
+        kernels::Dot(ra.data(), rb.data(), std::min(ra.size(), rb.size()),
+                     &out);
+    OpScope scope(master_->cluster());
+    scope.traffic()->worker_ops += ops;
+    return out;
+  }
+  OpScope scope(master_->cluster());
+  scope.traffic()->rounds += 1;
+  double total = 0.0;
+  const ColumnPartitioner& part = meta.partitioner;
+  for (int p = 0; p < part.num_servers(); ++p) {
+    if (part.RangeWidth(p) == 0) continue;
+    BufferWriter writer;
+    writer.WriteU8(static_cast<uint8_t>(PsOpCode::kDotPartial));
+    writer.WriteVarint(a.matrix_id);
+    writer.WriteVarint(a.row);
+    writer.WriteVarint(b.matrix_id);
+    writer.WriteVarint(b.row);
+    PS2_ASSIGN_OR_RETURN(
+        PsServer::HandleResult result,
+        Exchange(scope.traffic(), part.ServerOfPartition(p), writer.Release()));
+    BufferReader reader(result.response);
+    PS2_ASSIGN_OR_RETURN(double partial, reader.ReadF64());
+    total += partial;
+  }
+  return total;
+}
+
+Status PsClient::Zip(const std::vector<RowRef>& rows, int udf_id) {
+  if (rows.empty()) return Status::InvalidArgument("zip needs rows");
+  MatrixMeta meta;
+  PS2_ASSIGN_OR_RETURN(bool colocated, CoLocated(rows, &meta));
+  if (!colocated) {
+    return Status::FailedPrecondition(
+        "zip requires co-located DCVs; create them with derive");
+  }
+  OpScope scope(master_->cluster());
+  scope.traffic()->rounds += 1;
+  const ColumnPartitioner& part = meta.partitioner;
+  for (int p = 0; p < part.num_servers(); ++p) {
+    if (part.RangeWidth(p) == 0) continue;
+    BufferWriter writer;
+    writer.WriteU8(static_cast<uint8_t>(PsOpCode::kZip));
+    writer.WriteVarint(udf_id);
+    writer.WriteVarint(rows.size());
+    for (const RowRef& r : rows) {
+      writer.WriteVarint(r.matrix_id);
+      writer.WriteVarint(r.row);
+    }
+    PS2_ASSIGN_OR_RETURN(
+        PsServer::HandleResult result,
+        Exchange(scope.traffic(), part.ServerOfPartition(p), writer.Release()));
+    (void)result;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<double>>> PsClient::ZipAggregate(
+    const std::vector<RowRef>& rows, int udf_id) {
+  if (rows.empty()) return Status::InvalidArgument("zip-aggregate needs rows");
+  MatrixMeta meta;
+  PS2_ASSIGN_OR_RETURN(bool colocated, CoLocated(rows, &meta));
+  if (!colocated) {
+    return Status::FailedPrecondition(
+        "zip-aggregate requires co-located DCVs; create them with derive");
+  }
+  OpScope scope(master_->cluster());
+  scope.traffic()->rounds += 1;
+  const ColumnPartitioner& part = meta.partitioner;
+  std::vector<std::vector<double>> out;
+  for (int p = 0; p < part.num_servers(); ++p) {
+    if (part.RangeWidth(p) == 0) continue;
+    BufferWriter writer;
+    writer.WriteU8(static_cast<uint8_t>(PsOpCode::kZipAggregate));
+    writer.WriteVarint(udf_id);
+    writer.WriteVarint(rows.size());
+    for (const RowRef& r : rows) {
+      writer.WriteVarint(r.matrix_id);
+      writer.WriteVarint(r.row);
+    }
+    PS2_ASSIGN_OR_RETURN(
+        PsServer::HandleResult result,
+        Exchange(scope.traffic(), part.ServerOfPartition(p), writer.Release()));
+    BufferReader reader(result.response);
+    PS2_ASSIGN_OR_RETURN(std::vector<double> values,
+                         reader.ReadPodVector<double>());
+    out.push_back(std::move(values));
+  }
+  return out;
+}
+
+Result<std::vector<double>> PsClient::DotBatch(
+    const std::vector<std::pair<RowRef, RowRef>>& pairs) {
+  if (pairs.empty()) return std::vector<double>{};
+  std::vector<RowRef> all;
+  for (const auto& [a, b] : pairs) {
+    all.push_back(a);
+    all.push_back(b);
+  }
+  MatrixMeta meta;
+  PS2_ASSIGN_OR_RETURN(bool colocated, CoLocated(all, &meta));
+  if (!colocated) {
+    return Status::FailedPrecondition(
+        "dot-batch requires co-located DCVs; create them with derive");
+  }
+  OpScope scope(master_->cluster());
+  scope.traffic()->rounds += 1;
+  std::vector<double> out(pairs.size(), 0.0);
+  const ColumnPartitioner& part = meta.partitioner;
+  for (int p = 0; p < part.num_servers(); ++p) {
+    if (part.RangeWidth(p) == 0) continue;
+    BufferWriter writer;
+    writer.WriteU8(static_cast<uint8_t>(PsOpCode::kDotBatch));
+    writer.WriteVarint(pairs.size());
+    for (const auto& [a, b] : pairs) {
+      writer.WriteVarint(a.matrix_id);
+      writer.WriteVarint(a.row);
+      writer.WriteVarint(b.matrix_id);
+      writer.WriteVarint(b.row);
+    }
+    PS2_ASSIGN_OR_RETURN(
+        PsServer::HandleResult result,
+        Exchange(scope.traffic(), part.ServerOfPartition(p), writer.Release()));
+    BufferReader reader(result.response);
+    PS2_ASSIGN_OR_RETURN(uint64_t n, reader.ReadVarint());
+    if (n != pairs.size()) return Status::Internal("dot-batch count mismatch");
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      PS2_ASSIGN_OR_RETURN(double partial, reader.ReadF64());
+      out[i] += partial;
+    }
+  }
+  return out;
+}
+
+Status PsClient::AxpyBatch(const std::vector<AxpyTask>& tasks) {
+  if (tasks.empty()) return Status::OK();
+  std::vector<RowRef> all;
+  for (const auto& t : tasks) {
+    all.push_back(t.dst);
+    all.push_back(t.src);
+  }
+  MatrixMeta meta;
+  PS2_ASSIGN_OR_RETURN(bool colocated, CoLocated(all, &meta));
+  if (!colocated) {
+    return Status::FailedPrecondition(
+        "axpy-batch requires co-located DCVs; create them with derive");
+  }
+  OpScope scope(master_->cluster());
+  scope.traffic()->rounds += 1;
+  const ColumnPartitioner& part = meta.partitioner;
+  for (int p = 0; p < part.num_servers(); ++p) {
+    if (part.RangeWidth(p) == 0) continue;
+    BufferWriter writer;
+    writer.WriteU8(static_cast<uint8_t>(PsOpCode::kAxpyBatch));
+    writer.WriteVarint(tasks.size());
+    for (const auto& t : tasks) {
+      writer.WriteVarint(t.dst.matrix_id);
+      writer.WriteVarint(t.dst.row);
+      writer.WriteVarint(t.src.matrix_id);
+      writer.WriteVarint(t.src.row);
+      writer.WriteF64(t.alpha);
+    }
+    PS2_ASSIGN_OR_RETURN(
+        PsServer::HandleResult result,
+        Exchange(scope.traffic(), part.ServerOfPartition(p), writer.Release()));
+    (void)result;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<double>>> PsClient::PullRows(
+    const std::vector<RowRef>& rows) {
+  if (rows.empty()) return std::vector<std::vector<double>>{};
+  MatrixMeta meta;
+  PS2_ASSIGN_OR_RETURN(bool colocated, CoLocated(rows, &meta));
+  if (!colocated) {
+    return Status::FailedPrecondition("PullRows requires co-located rows");
+  }
+  OpScope scope(master_->cluster());
+  scope.traffic()->rounds += 1;
+  std::vector<std::vector<double>> out(rows.size());
+  for (auto& row : out) row.assign(meta.dim, 0.0);
+  const ColumnPartitioner& part = meta.partitioner;
+  for (int p = 0; p < part.num_servers(); ++p) {
+    uint64_t lo = part.RangeBegin(p);
+    uint64_t width = part.RangeWidth(p);
+    if (width == 0) continue;
+    BufferWriter writer;
+    writer.WriteU8(static_cast<uint8_t>(PsOpCode::kPullRowsBatch));
+    writer.WriteVarint(rows.size());
+    for (const RowRef& r : rows) {
+      writer.WriteVarint(r.matrix_id);
+      writer.WriteVarint(r.row);
+    }
+    PS2_ASSIGN_OR_RETURN(
+        PsServer::HandleResult result,
+        Exchange(scope.traffic(), part.ServerOfPartition(p), writer.Release()));
+    BufferReader reader(result.response);
+    PS2_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
+    if (count != rows.size()) {
+      return Status::Internal("row-batch pull count mismatch");
+    }
+    for (size_t i = 0; i < rows.size(); ++i) {
+      PS2_ASSIGN_OR_RETURN(uint64_t w, reader.ReadVarint());
+      if (w != width) return Status::Internal("row-batch width mismatch");
+      PS2_ASSIGN_OR_RETURN(std::vector<double> values, reader.ReadF64Span(w));
+      std::copy(values.begin(), values.end(), out[i].begin() + lo);
+    }
+  }
+  return out;
+}
+
+Status PsClient::PushRows(const std::vector<RowRef>& rows,
+                          const std::vector<std::vector<double>>& deltas) {
+  if (rows.empty()) return Status::OK();
+  if (rows.size() != deltas.size()) {
+    return Status::InvalidArgument("rows/deltas size mismatch");
+  }
+  MatrixMeta meta;
+  PS2_ASSIGN_OR_RETURN(bool colocated, CoLocated(rows, &meta));
+  if (!colocated) {
+    return Status::FailedPrecondition("PushRows requires co-located rows");
+  }
+  for (const auto& d : deltas) {
+    if (d.size() != meta.dim) {
+      return Status::InvalidArgument("row delta dimension mismatch");
+    }
+  }
+  OpScope scope(master_->cluster());
+  scope.traffic()->rounds += 1;
+  const ColumnPartitioner& part = meta.partitioner;
+  for (int p = 0; p < part.num_servers(); ++p) {
+    uint64_t lo = part.RangeBegin(p);
+    uint64_t width = part.RangeWidth(p);
+    if (width == 0) continue;
+    BufferWriter writer;
+    writer.WriteU8(static_cast<uint8_t>(PsOpCode::kPushRowsBatch));
+    writer.WriteVarint(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      writer.WriteVarint(rows[i].matrix_id);
+      writer.WriteVarint(rows[i].row);
+      writer.WriteVarint(width);
+      writer.WriteF64Span(&deltas[i][lo], width);
+    }
+    PS2_ASSIGN_OR_RETURN(
+        PsServer::HandleResult result,
+        Exchange(scope.traffic(), part.ServerOfPartition(p), writer.Release()));
+    (void)result;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<double>>> PsClient::PullSparseRows(
+    const std::vector<RowRef>& rows, const std::vector<uint64_t>& indices,
+    bool compress_counts) {
+  if (rows.empty() || indices.empty()) {
+    return std::vector<std::vector<double>>(rows.size());
+  }
+  MatrixMeta meta;
+  PS2_ASSIGN_OR_RETURN(bool colocated, CoLocated(rows, &meta));
+  if (!colocated) {
+    return Status::FailedPrecondition(
+        "PullSparseRows requires co-located rows");
+  }
+  OpScope scope(master_->cluster());
+  scope.traffic()->rounds += 1;
+  std::vector<std::vector<double>> out(
+      rows.size(), std::vector<double>(indices.size(), 0.0));
+  const ColumnPartitioner& part = meta.partitioner;
+  size_t i = 0;
+  while (i < indices.size()) {
+    if (indices[i] >= meta.dim) {
+      return Status::OutOfRange("pull index out of range");
+    }
+    int p = part.PartitionOfColumn(indices[i]);
+    uint64_t range_end = part.RangeEnd(p);
+    size_t j = i;
+    while (j < indices.size() && indices[j] < range_end) ++j;
+    BufferWriter writer;
+    writer.WriteU8(static_cast<uint8_t>(PsOpCode::kPullSparseRowsBatch));
+    writer.WriteU8(compress_counts ? 1 : 0);
+    writer.WriteVarint(j - i);
+    uint64_t prev = 0;
+    for (size_t k = i; k < j; ++k) {
+      writer.WriteVarint(indices[k] - prev);
+      prev = indices[k];
+    }
+    writer.WriteVarint(rows.size());
+    for (const RowRef& r : rows) {
+      writer.WriteVarint(r.matrix_id);
+      writer.WriteVarint(r.row);
+    }
+    PS2_ASSIGN_OR_RETURN(
+        PsServer::HandleResult result,
+        Exchange(scope.traffic(), part.ServerOfPartition(p), writer.Release()));
+    BufferReader reader(result.response);
+    PS2_ASSIGN_OR_RETURN(uint64_t n_rows, reader.ReadVarint());
+    if (n_rows != rows.size()) {
+      return Status::Internal("sparse-rows pull row count mismatch");
+    }
+    for (size_t r = 0; r < rows.size(); ++r) {
+      if (compress_counts) {
+        for (size_t k = i; k < j; ++k) {
+          PS2_ASSIGN_OR_RETURN(int64_t iv, reader.ReadSignedVarint());
+          out[r][k] = static_cast<double>(iv);
+        }
+      } else {
+        PS2_ASSIGN_OR_RETURN(std::vector<double> values,
+                             reader.ReadF64Span(j - i));
+        std::copy(values.begin(), values.end(), out[r].begin() + i);
+      }
+    }
+    i = j;
+  }
+  return out;
+}
+
+Status PsClient::PushSparseRows(const std::vector<RowRef>& rows,
+                                const std::vector<SparseVector>& deltas,
+                                bool compress_counts) {
+  if (rows.size() != deltas.size()) {
+    return Status::InvalidArgument("rows/deltas size mismatch");
+  }
+  if (rows.empty()) return Status::OK();
+  MatrixMeta meta;
+  PS2_ASSIGN_OR_RETURN(bool colocated, CoLocated(rows, &meta));
+  if (!colocated) {
+    return Status::FailedPrecondition(
+        "PushSparseRows requires co-located rows");
+  }
+  OpScope scope(master_->cluster());
+  scope.traffic()->rounds += 1;
+  const ColumnPartitioner& part = meta.partitioner;
+  // One request per server: for every row, the slice of its delta that the
+  // server owns.
+  for (int p = 0; p < part.num_servers(); ++p) {
+    uint64_t lo = part.RangeBegin(p);
+    uint64_t hi = part.RangeEnd(p);
+    if (lo >= hi) continue;
+    BufferWriter writer;
+    writer.WriteU8(static_cast<uint8_t>(PsOpCode::kPushSparseRowsBatch));
+    writer.WriteU8(compress_counts ? 1 : 0);
+    // Count rows with any entry in this range first.
+    size_t rows_here = 0;
+    std::vector<std::pair<size_t, size_t>> spans(rows.size());
+    for (size_t r = 0; r < rows.size(); ++r) {
+      const auto& idx = deltas[r].indices();
+      auto begin_it = std::lower_bound(idx.begin(), idx.end(), lo);
+      auto end_it = std::lower_bound(begin_it, idx.end(), hi);
+      spans[r] = {static_cast<size_t>(begin_it - idx.begin()),
+                  static_cast<size_t>(end_it - idx.begin())};
+      rows_here += spans[r].first != spans[r].second;
+    }
+    if (rows_here == 0) continue;
+    writer.WriteVarint(rows_here);
+    for (size_t r = 0; r < rows.size(); ++r) {
+      auto [sb, se] = spans[r];
+      if (sb == se) continue;
+      const auto& idx = deltas[r].indices();
+      const auto& val = deltas[r].values();
+      writer.WriteVarint(rows[r].matrix_id);
+      writer.WriteVarint(rows[r].row);
+      writer.WriteVarint(se - sb);
+      uint64_t prev = 0;
+      for (size_t k = sb; k < se; ++k) {
+        writer.WriteVarint(idx[k] - prev);
+        prev = idx[k];
+      }
+      if (compress_counts) {
+        for (size_t k = sb; k < se; ++k) {
+          writer.WriteSignedVarint(static_cast<int64_t>(std::llround(val[k])));
+        }
+      } else {
+        for (size_t k = sb; k < se; ++k) writer.WriteF64(val[k]);
+      }
+    }
+    PS2_ASSIGN_OR_RETURN(
+        PsServer::HandleResult result,
+        Exchange(scope.traffic(), part.ServerOfPartition(p), writer.Release()));
+    (void)result;
+  }
+  return Status::OK();
+}
+
+Status PsClient::MatrixInit(int matrix_id, uint32_t row_begin,
+                            uint32_t row_end, double scale, uint64_t seed) {
+  PS2_ASSIGN_OR_RETURN(MatrixMeta meta, master_->GetMeta(matrix_id));
+  OpScope scope(master_->cluster());
+  scope.traffic()->rounds += 1;
+  const ColumnPartitioner& part = meta.partitioner;
+  for (int p = 0; p < part.num_servers(); ++p) {
+    if (part.RangeWidth(p) == 0) continue;
+    BufferWriter writer;
+    writer.WriteU8(static_cast<uint8_t>(PsOpCode::kMatrixInit));
+    writer.WriteVarint(matrix_id);
+    writer.WriteVarint(row_begin);
+    writer.WriteVarint(row_end);
+    writer.WriteF64(scale);
+    writer.WriteU64(seed);
+    PS2_ASSIGN_OR_RETURN(
+        PsServer::HandleResult result,
+        Exchange(scope.traffic(), part.ServerOfPartition(p), writer.Release()));
+    (void)result;
+  }
+  return Status::OK();
+}
+
+}  // namespace ps2

@@ -1,0 +1,138 @@
+#pragma once
+
+// PS-client: the bridge between workers (or the coordinator) and PS-servers
+// (paper §5.1). Each operation
+//
+//   1. builds one serialized request per server whose column range it
+//      touches,
+//   2. executes it (an in-process PsServer::Handle call standing in for a
+//      Netty RPC), and
+//   3. records the exchange — request bytes, response bytes, server ops —
+//      into the ambient task's TaskTraffic. When no task is active (the
+//      coordinator issuing a DCV op between stages, e.g. the Adam update
+//      zip), the op charges the cluster clock directly with the collective
+//      cost of its fan-out.
+//
+// Column ops verify co-location; on non-co-located operands they fall back
+// to the naive pull-compute-push path, whose (large, measured) traffic is
+// exactly the inefficiency paper Fig. 4 warns about.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/sparse_vector.h"
+#include "ps/ps_master.h"
+#include "ps/ps_types.h"
+
+namespace ps2 {
+
+/// \brief Stateless, thread-safe client for PS operations.
+class PsClient {
+ public:
+  static constexpr uint64_t kWholeRow = ~0ULL;
+
+  explicit PsClient(PsMaster* master);
+
+  // ---- Row access ops (paper Table 1: pull, push, sum, nnz, norm2) ----
+
+  /// Pulls [begin, end) of a row as a dense vector (default: whole row).
+  Result<std::vector<double>> PullDense(RowRef ref, uint64_t begin = 0,
+                                        uint64_t end = kWholeRow);
+
+  /// Pulls the values at `indices` (sorted, unique). This is PS2's sparse
+  /// communication: only the needed parameters travel.
+  Result<std::vector<double>> PullSparse(RowRef ref,
+                                         const std::vector<uint64_t>& indices);
+
+  /// Adds `delta` into row columns [begin, begin+delta.size()).
+  Status PushDense(RowRef ref, const std::vector<double>& delta,
+                   uint64_t begin = 0);
+
+  /// Adds a sparse delta into the row (the DCV `add` used for gradients).
+  Status PushSparse(RowRef ref, const SparseVector& delta);
+
+  /// Distributed sum / nnz / squared-norm / max of a row.
+  Result<double> RowAggregate(RowRef ref, RowAggKind kind);
+
+  // ---- Column access ops (paper Table 1: axpy, dot, copy, sub, add, ...) --
+
+  /// dst = op(srcs...) element-wise, server-side when co-located.
+  Status ColumnOp(ColOpKind kind, RowRef dst, const std::vector<RowRef>& srcs,
+                  double scalar = 0.0);
+
+  /// Distributed dot product of two rows.
+  Result<double> Dot(RowRef a, RowRef b);
+
+  /// Runs a registered mutating UDF over the co-located rows, server-side.
+  Status Zip(const std::vector<RowRef>& rows, int udf_id);
+
+  /// Runs a registered aggregation UDF server-side; returns one result
+  /// vector per partition (in partition order).
+  Result<std::vector<std::vector<double>>> ZipAggregate(
+      const std::vector<RowRef>& rows, int udf_id);
+
+  /// Many dots in one round trip (DeepWalk batches).
+  Result<std::vector<double>> DotBatch(
+      const std::vector<std::pair<RowRef, RowRef>>& pairs);
+
+  struct AxpyTask {
+    RowRef dst;
+    RowRef src;
+    double alpha;
+  };
+  /// Many dst += alpha*src updates in one round trip (DeepWalk batches).
+  Status AxpyBatch(const std::vector<AxpyTask>& tasks);
+
+  /// Pulls many full rows in one round (all rows must be co-located).
+  /// Returns the rows in request order.
+  Result<std::vector<std::vector<double>>> PullRows(
+      const std::vector<RowRef>& rows);
+
+  /// Adds dense deltas into many rows in one round.
+  Status PushRows(const std::vector<RowRef>& rows,
+                  const std::vector<std::vector<double>>& deltas);
+
+  /// Pulls the values at the SHARED sorted `indices` from many co-located
+  /// rows in one round (LDA pulls its local vocabulary's counts for every
+  /// topic row this way). Result is [row][index].
+  /// With `compress_counts` the values travel as zigzag varints of their
+  /// rounded integer value (PS2's message compression; only valid for
+  /// integer-valued matrices such as LDA count tables).
+  Result<std::vector<std::vector<double>>> PullSparseRows(
+      const std::vector<RowRef>& rows, const std::vector<uint64_t>& indices,
+      bool compress_counts = false);
+
+  /// Adds per-row sparse deltas to many co-located rows in one round.
+  Status PushSparseRows(const std::vector<RowRef>& rows,
+                        const std::vector<SparseVector>& deltas,
+                        bool compress_counts = false);
+
+  /// Initializes rows [row_begin, row_end) of a matrix with deterministic
+  /// hash-uniform values in [-scale, scale], entirely server-side — the
+  /// bulk initializer for embedding matrices (2V rows would otherwise need
+  /// 2V pushes).
+  Status MatrixInit(int matrix_id, uint32_t row_begin, uint32_t row_end,
+                    double scale, uint64_t seed);
+
+  PsMaster* master() const { return master_; }
+
+ private:
+  class OpScope;
+
+  /// Sends `request` to `server`, recording the exchange into `traffic`.
+  Result<PsServer::HandleResult> Exchange(TaskTraffic* traffic, int server,
+                                          std::vector<uint8_t> request);
+
+  /// True if all rows' matrices place every column on the same server.
+  Result<bool> CoLocated(const std::vector<RowRef>& rows,
+                         MatrixMeta* first_meta);
+
+  Status ColumnOpSlowPath(ColOpKind kind, RowRef dst,
+                          const std::vector<RowRef>& srcs, double scalar);
+
+  PsMaster* master_;
+};
+
+}  // namespace ps2

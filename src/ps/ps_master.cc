@@ -1,0 +1,156 @@
+#include "ps/ps_master.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ps2 {
+
+PsMaster::PsMaster(Cluster* cluster) : cluster_(cluster) {
+  PS2_CHECK(cluster != nullptr);
+  const int n = cluster->num_servers();
+  servers_.reserve(n);
+  for (int s = 0; s < n; ++s) {
+    servers_.push_back(std::make_unique<PsServer>(s, &udfs_));
+  }
+}
+
+Result<int> PsMaster::CreateMatrixInternal(MatrixOptions options,
+                                           int rotation) {
+  if (options.dim == 0) return Status::InvalidArgument("dim must be > 0");
+  if (options.reserve_rows == 0) {
+    return Status::InvalidArgument("reserve_rows must be > 0");
+  }
+  int servers = options.num_servers > 0
+                    ? std::min(options.num_servers, num_servers())
+                    : num_servers();
+  // Never split an alignment unit, and don't spread a tiny matrix over more
+  // servers than it has units.
+  uint64_t units = options.dim / std::max<uint64_t>(1, options.alignment);
+  servers = static_cast<int>(
+      std::min<uint64_t>(static_cast<uint64_t>(servers), std::max<uint64_t>(units, 1)));
+
+  MatrixMeta meta;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    meta.id = next_matrix_id_++;
+  }
+  meta.name = options.name;
+  meta.dim = options.dim;
+  meta.num_rows = options.reserve_rows;
+  meta.storage = options.storage;
+  PS2_ASSIGN_OR_RETURN(
+      meta.partitioner,
+      ColumnPartitioner::Make(options.dim, servers, options.alignment,
+                              rotation % servers));
+
+  for (int s = 0; s < servers; ++s) {
+    PS2_RETURN_NOT_OK(servers_[s]->CreateMatrixShard(meta));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    matrices_.emplace(meta.id, MatrixState{meta, 1});
+  }
+  cluster_->metrics().Add("ps.matrices_created", 1);
+  return meta.id;
+}
+
+Result<int> PsMaster::CreateMatrix(const MatrixOptions& options) {
+  // Each independently created matrix gets its own rotation, so two equal
+  // shaped matrices do NOT share server placement (paper Fig. 4's trap).
+  int rotation;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rotation = next_matrix_id_;
+  }
+  return CreateMatrixInternal(options, rotation);
+}
+
+Result<int> PsMaster::CreateAlignedMatrix(int base_matrix_id,
+                                          const std::string& name,
+                                          uint32_t reserve_rows) {
+  PS2_ASSIGN_OR_RETURN(MatrixMeta base, GetMeta(base_matrix_id));
+  MatrixOptions options;
+  options.name = name;
+  options.dim = base.dim;
+  options.reserve_rows = reserve_rows;
+  options.storage = base.storage;
+  options.alignment = base.partitioner.alignment();
+  options.num_servers = base.partitioner.num_servers();
+  return CreateMatrixInternal(options, base.partitioner.rotation());
+}
+
+Result<MatrixMeta> PsMaster::GetMeta(int matrix_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = matrices_.find(matrix_id);
+  if (it == matrices_.end()) return Status::NotFound("unknown matrix id");
+  return it->second.meta;
+}
+
+Result<RowRef> PsMaster::AllocateRow(int matrix_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = matrices_.find(matrix_id);
+  if (it == matrices_.end()) return Status::NotFound("unknown matrix id");
+  MatrixState& state = it->second;
+  if (state.next_free_row >= state.meta.num_rows) {
+    return Status::OutOfRange("matrix row reservation exhausted");
+  }
+  RowRef ref;
+  ref.matrix_id = matrix_id;
+  ref.row = state.next_free_row++;
+  return ref;
+}
+
+Status PsMaster::FreeMatrix(int matrix_id) {
+  MatrixMeta meta;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = matrices_.find(matrix_id);
+    if (it == matrices_.end()) return Status::NotFound("unknown matrix id");
+    meta = it->second.meta;
+    matrices_.erase(it);
+  }
+  for (int s = 0; s < meta.partitioner.num_servers(); ++s) {
+    PS2_RETURN_NOT_OK(servers_[s]->FreeMatrixShard(matrix_id));
+  }
+  return Status::OK();
+}
+
+Status PsMaster::CheckpointAll() {
+  const ClusterSpec& spec = cluster_->spec();
+  uint64_t max_bytes = 0;
+  for (auto& server : servers_) {
+    std::vector<uint8_t> image = server->SerializeState();
+    max_bytes = std::max<uint64_t>(max_bytes, image.size());
+    checkpoint_store_.Put(server->id(), std::move(image));
+  }
+  // Servers write in parallel; the slowest bounds the stall.
+  cluster_->AdvanceClock(spec.rpc_latency_s +
+                         static_cast<double>(max_bytes) /
+                             spec.io_bandwidth_bps);
+  cluster_->metrics().Add("ps.checkpoints", 1);
+  return Status::OK();
+}
+
+Status PsMaster::KillAndRecoverServer(int server_id) {
+  if (server_id < 0 || server_id >= num_servers()) {
+    return Status::InvalidArgument("bad server id");
+  }
+  PsServer* server = servers_[server_id].get();
+  server->DropAllState();
+  uint64_t restored_bytes = 0;
+  if (checkpoint_store_.Has(server_id)) {
+    std::vector<uint8_t> image = checkpoint_store_.Get(server_id);
+    restored_bytes = image.size();
+    PS2_RETURN_NOT_OK(server->RestoreState(image));
+  }
+  const ClusterSpec& spec = cluster_->spec();
+  // Failure detection (a heartbeat interval), process restart, image load.
+  cluster_->AdvanceClock(10 * spec.rpc_latency_s +
+                         static_cast<double>(restored_bytes) /
+                             spec.io_bandwidth_bps);
+  cluster_->metrics().Add("ps.server_failures", 1);
+  return Status::OK();
+}
+
+}  // namespace ps2

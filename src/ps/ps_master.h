@@ -1,0 +1,101 @@
+#pragma once
+
+// PS-master: the coordinator-side module that manages parameter servers
+// (paper §5.1). It owns server lifetime, the matrix registry and routing
+// metadata, hands out rows for `derive`, and drives checkpoint / recovery.
+//
+// In PS2 the parameter servers run as a *separate application* from Spark;
+// here PsMaster attaches to an existing Cluster (using its spec, clock and
+// metrics) without touching the dataflow engine — mirroring the paper's
+// "no hacking of Spark's core" design point.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dataflow/cluster.h"
+#include "ps/checkpoint.h"
+#include "ps/ps_server.h"
+#include "ps/ps_types.h"
+
+namespace ps2 {
+
+/// \brief Options for creating a distributed matrix (a co-located DCV group).
+struct MatrixOptions {
+  std::string name = "matrix";
+  uint64_t dim = 0;
+  /// Rows pre-allocated for `derive` (the paper's k, default "usually small,
+  /// for example ten").
+  uint32_t reserve_rows = 10;
+  MatrixStorage storage = MatrixStorage::kDense;
+  /// Partition boundaries land on multiples of this (GBDT: histogram size).
+  uint64_t alignment = 1;
+  /// Servers to spread over; 0 = all servers in the cluster.
+  int num_servers = 0;
+};
+
+/// \brief Owns the PS-servers, matrix metadata and fault-tolerance machinery.
+class PsMaster {
+ public:
+  explicit PsMaster(Cluster* cluster);
+
+  Cluster* cluster() const { return cluster_; }
+  UdfRegistry* udfs() { return &udfs_; }
+  int num_servers() const { return static_cast<int>(servers_.size()); }
+  PsServer* server(int s) { return servers_[s].get(); }
+
+  /// Creates a matrix distributed over the servers. Row 0 is implicitly
+  /// allocated (it is the DCV the caller asked for); further rows are handed
+  /// out by AllocateRow. Independently created matrices receive different
+  /// partition rotations, so they are NOT co-located with each other.
+  Result<int> CreateMatrix(const MatrixOptions& options);
+
+  /// Creates a matrix co-located with `base_matrix_id` (same partitioner,
+  /// same rotation). Used when a DCV group outgrows its reserved rows.
+  Result<int> CreateAlignedMatrix(int base_matrix_id, const std::string& name,
+                                  uint32_t reserve_rows);
+
+  Result<MatrixMeta> GetMeta(int matrix_id) const;
+
+  /// Hands out the next free row of `matrix_id` (the `derive` operator);
+  /// returns OutOfRange when the reservation is exhausted.
+  Result<RowRef> AllocateRow(int matrix_id);
+
+  /// Frees a matrix on all servers.
+  Status FreeMatrix(int matrix_id);
+
+  // ---- Fault tolerance (paper §5.3, "Server Failure") ----
+
+  /// Checkpoints every server to the external store, charging IO time.
+  Status CheckpointAll();
+
+  /// Simulates a server crash + recovery: state dropped, new server process
+  /// started, latest checkpoint restored (or zeros if none). Charges the
+  /// detection + restore time.
+  Status KillAndRecoverServer(int server_id);
+
+  const CheckpointStore& checkpoints() const { return checkpoint_store_; }
+
+ private:
+  struct MatrixState {
+    MatrixMeta meta;
+    uint32_t next_free_row = 1;  // row 0 belongs to the creating DCV
+  };
+
+  Result<int> CreateMatrixInternal(MatrixOptions options, int rotation);
+
+  Cluster* cluster_;
+  UdfRegistry udfs_;
+  std::vector<std::unique_ptr<PsServer>> servers_;
+  CheckpointStore checkpoint_store_;
+
+  mutable std::mutex mu_;
+  std::map<int, MatrixState> matrices_;
+  int next_matrix_id_ = 0;
+};
+
+}  // namespace ps2

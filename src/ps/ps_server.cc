@@ -1,0 +1,807 @@
+#include "ps/ps_server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "linalg/dense_vector.h"
+
+namespace ps2 {
+
+// ---------------------------------------------------------------- UdfRegistry
+
+int UdfRegistry::RegisterZip(ZipFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  zip_fns_.push_back(std::move(fn));
+  return static_cast<int>(zip_fns_.size()) - 1;
+}
+
+int UdfRegistry::RegisterZipAggregate(ZipAggFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  zip_agg_fns_.push_back(std::move(fn));
+  return static_cast<int>(zip_agg_fns_.size()) - 1;
+}
+
+const ZipFn* UdfRegistry::GetZip(int id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || id >= static_cast<int>(zip_fns_.size())) return nullptr;
+  return &zip_fns_[id];
+}
+
+const ZipAggFn* UdfRegistry::GetZipAggregate(int id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || id >= static_cast<int>(zip_agg_fns_.size())) return nullptr;
+  return &zip_agg_fns_[id];
+}
+
+// ------------------------------------------------------------------- PsServer
+
+Status PsServer::CreateMatrixShard(const MatrixMeta& meta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shards_.count(meta.id) > 0) {
+    return Status::AlreadyExists("matrix shard already exists on server");
+  }
+  // Which partition does this server store? Invert the rotation.
+  const ColumnPartitioner& part = meta.partitioner;
+  int partition = -1;
+  for (int p = 0; p < part.num_servers(); ++p) {
+    if (part.ServerOfPartition(p) == id_) {
+      partition = p;
+      break;
+    }
+  }
+  if (partition < 0) {
+    return Status::InvalidArgument("server not covered by partitioner");
+  }
+  Shard shard;
+  shard.meta = meta;
+  shard.begin = part.RangeBegin(partition);
+  shard.end = part.RangeEnd(partition);
+  if (shard.dense()) {
+    shard.dense_rows.assign(meta.num_rows,
+                            std::vector<double>(shard.width(), 0.0));
+  } else {
+    shard.sparse_rows.assign(meta.num_rows, {});
+  }
+  shards_.emplace(meta.id, std::move(shard));
+  return Status::OK();
+}
+
+Status PsServer::FreeMatrixShard(int matrix_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shards_.erase(matrix_id) == 0) {
+    return Status::NotFound("matrix shard not found");
+  }
+  return Status::OK();
+}
+
+bool PsServer::HasMatrix(int matrix_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shards_.count(matrix_id) > 0;
+}
+
+Result<PsServer::Shard*> PsServer::FindShard(int matrix_id, uint32_t row) {
+  auto it = shards_.find(matrix_id);
+  if (it == shards_.end()) {
+    return Status::NotFound("matrix not found on server");
+  }
+  if (row >= it->second.meta.num_rows) {
+    return Status::OutOfRange("row out of range");
+  }
+  return &it->second;
+}
+
+Result<double*> PsServer::DenseRow(int matrix_id, uint32_t row, uint64_t* width,
+                                   uint64_t* begin) {
+  PS2_ASSIGN_OR_RETURN(Shard * shard, FindShard(matrix_id, row));
+  if (!shard->dense()) {
+    return Status::FailedPrecondition(
+        "operation requires dense matrix storage");
+  }
+  *width = shard->width();
+  *begin = shard->begin;
+  return shard->dense_rows[row].data();
+}
+
+Result<PsServer::HandleResult> PsServer::Handle(
+    const std::vector<uint8_t>& request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BufferReader in(request);
+  PS2_ASSIGN_OR_RETURN(uint8_t opcode, in.ReadU8());
+  switch (static_cast<PsOpCode>(opcode)) {
+    case PsOpCode::kPullDense:
+      return HandlePullDense(&in);
+    case PsOpCode::kPullSparse:
+      return HandlePullSparse(&in);
+    case PsOpCode::kPushDense:
+      return HandlePushDense(&in);
+    case PsOpCode::kPushSparse:
+      return HandlePushSparse(&in);
+    case PsOpCode::kRowAgg:
+      return HandleRowAgg(&in);
+    case PsOpCode::kColumnOp:
+      return HandleColumnOp(&in);
+    case PsOpCode::kDotPartial:
+      return HandleDotPartial(&in);
+    case PsOpCode::kZip:
+      return HandleZip(&in);
+    case PsOpCode::kZipAggregate:
+      return HandleZipAggregate(&in);
+    case PsOpCode::kDotBatch:
+      return HandleDotBatch(&in);
+    case PsOpCode::kAxpyBatch:
+      return HandleAxpyBatch(&in);
+    case PsOpCode::kMatrixInit:
+      return HandleMatrixInit(&in);
+    case PsOpCode::kPullRowsBatch:
+      return HandlePullRowsBatch(&in);
+    case PsOpCode::kPushRowsBatch:
+      return HandlePushRowsBatch(&in);
+    case PsOpCode::kPullSparseRowsBatch:
+      return HandlePullSparseRowsBatch(&in);
+    case PsOpCode::kPushSparseRowsBatch:
+      return HandlePushSparseRowsBatch(&in);
+  }
+  return Status::InvalidArgument("unknown opcode");
+}
+
+Result<PsServer::HandleResult> PsServer::HandlePullDense(BufferReader* in) {
+  PS2_ASSIGN_OR_RETURN(uint64_t matrix_id, in->ReadVarint());
+  PS2_ASSIGN_OR_RETURN(uint64_t row, in->ReadVarint());
+  PS2_ASSIGN_OR_RETURN(uint64_t begin, in->ReadVarint());
+  PS2_ASSIGN_OR_RETURN(uint64_t end, in->ReadVarint());
+  PS2_ASSIGN_OR_RETURN(Shard * shard,
+                       FindShard(static_cast<int>(matrix_id),
+                                 static_cast<uint32_t>(row)));
+  uint64_t lo = std::max(begin, shard->begin);
+  uint64_t hi = std::min(end, shard->end);
+  HandleResult out;
+  BufferWriter writer;
+  if (lo >= hi) {
+    writer.WriteVarint(0);
+    out.response = writer.Release();
+    return out;
+  }
+  uint64_t n = hi - lo;
+  writer.WriteVarint(n);
+  if (shard->dense()) {
+    writer.WriteF64Span(shard->dense_rows[row].data() + (lo - shard->begin),
+                        n);
+  } else {
+    const auto& map = shard->sparse_rows[row];
+    // Materialize the dense window from the sparse map.
+    std::vector<double> window(n, 0.0);
+    for (auto it = map.lower_bound(lo); it != map.end() && it->first < hi;
+         ++it) {
+      window[it->first - lo] = it->second;
+    }
+    writer.WriteF64Span(window.data(), window.size());
+  }
+  out.server_ops = n;
+  out.response = writer.Release();
+  return out;
+}
+
+Result<PsServer::HandleResult> PsServer::HandlePullSparse(BufferReader* in) {
+  PS2_ASSIGN_OR_RETURN(uint64_t matrix_id, in->ReadVarint());
+  PS2_ASSIGN_OR_RETURN(uint64_t row, in->ReadVarint());
+  PS2_ASSIGN_OR_RETURN(uint64_t n, in->ReadVarint());
+  if (n > in->remaining()) {
+    return Status::OutOfRange("index count exceeds request buffer");
+  }
+  PS2_ASSIGN_OR_RETURN(Shard * shard,
+                       FindShard(static_cast<int>(matrix_id),
+                                 static_cast<uint32_t>(row)));
+  HandleResult out;
+  BufferWriter writer;
+  writer.WriteVarint(n);
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    PS2_ASSIGN_OR_RETURN(uint64_t delta, in->ReadVarint());
+    uint64_t col = prev + delta;
+    prev = col;
+    if (col < shard->begin || col >= shard->end) {
+      return Status::OutOfRange("pull index outside server range");
+    }
+    double value;
+    if (shard->dense()) {
+      value = shard->dense_rows[row][col - shard->begin];
+    } else {
+      const auto& map = shard->sparse_rows[row];
+      auto it = map.find(col);
+      value = it == map.end() ? 0.0 : it->second;
+    }
+    writer.WriteF64(value);
+  }
+  out.server_ops = n;
+  out.response = writer.Release();
+  return out;
+}
+
+Result<PsServer::HandleResult> PsServer::HandlePushDense(BufferReader* in) {
+  PS2_ASSIGN_OR_RETURN(uint64_t matrix_id, in->ReadVarint());
+  PS2_ASSIGN_OR_RETURN(uint64_t row, in->ReadVarint());
+  PS2_ASSIGN_OR_RETURN(uint64_t begin, in->ReadVarint());
+  PS2_ASSIGN_OR_RETURN(uint64_t n, in->ReadVarint());
+  PS2_ASSIGN_OR_RETURN(Shard * shard,
+                       FindShard(static_cast<int>(matrix_id),
+                                 static_cast<uint32_t>(row)));
+  if (begin < shard->begin || begin + n > shard->end) {
+    return Status::OutOfRange("push window outside server range");
+  }
+  PS2_ASSIGN_OR_RETURN(std::vector<double> values, in->ReadF64Span(n));
+  if (shard->dense()) {
+    double* dst = shard->dense_rows[row].data() + (begin - shard->begin);
+    for (uint64_t i = 0; i < n; ++i) dst[i] += values[i];
+  } else {
+    for (uint64_t i = 0; i < n; ++i) {
+      if (values[i] != 0.0) shard->sparse_rows[row][begin + i] += values[i];
+    }
+  }
+  HandleResult out;
+  out.server_ops = n;
+  return out;
+}
+
+Result<PsServer::HandleResult> PsServer::HandlePushSparse(BufferReader* in) {
+  PS2_ASSIGN_OR_RETURN(uint64_t matrix_id, in->ReadVarint());
+  PS2_ASSIGN_OR_RETURN(uint64_t row, in->ReadVarint());
+  PS2_ASSIGN_OR_RETURN(uint64_t n, in->ReadVarint());
+  if (n > in->remaining()) {
+    return Status::OutOfRange("index count exceeds request buffer");
+  }
+  PS2_ASSIGN_OR_RETURN(Shard * shard,
+                       FindShard(static_cast<int>(matrix_id),
+                                 static_cast<uint32_t>(row)));
+  std::vector<uint64_t> cols(n);
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    PS2_ASSIGN_OR_RETURN(uint64_t delta, in->ReadVarint());
+    prev += delta;
+    cols[i] = prev;
+    if (prev < shard->begin || prev >= shard->end) {
+      return Status::OutOfRange("push index outside server range");
+    }
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    PS2_ASSIGN_OR_RETURN(double v, in->ReadF64());
+    if (shard->dense()) {
+      shard->dense_rows[row][cols[i] - shard->begin] += v;
+    } else if (v != 0.0) {
+      shard->sparse_rows[row][cols[i]] += v;
+    }
+  }
+  HandleResult out;
+  out.server_ops = n;
+  return out;
+}
+
+Result<PsServer::HandleResult> PsServer::HandleRowAgg(BufferReader* in) {
+  PS2_ASSIGN_OR_RETURN(uint64_t matrix_id, in->ReadVarint());
+  PS2_ASSIGN_OR_RETURN(uint64_t row, in->ReadVarint());
+  PS2_ASSIGN_OR_RETURN(uint8_t kind_raw, in->ReadU8());
+  PS2_ASSIGN_OR_RETURN(Shard * shard,
+                       FindShard(static_cast<int>(matrix_id),
+                                 static_cast<uint32_t>(row)));
+  double result = 0.0;
+  uint64_t touched = 0;
+  auto apply = [&](double v) {
+    switch (static_cast<RowAggKind>(kind_raw)) {
+      case RowAggKind::kSum:
+        result += v;
+        break;
+      case RowAggKind::kNnz:
+        result += (v != 0.0) ? 1.0 : 0.0;
+        break;
+      case RowAggKind::kNorm2Squared:
+        result += v * v;
+        break;
+      case RowAggKind::kMax:
+        result = std::max(result, v);
+        break;
+    }
+  };
+  if (static_cast<RowAggKind>(kind_raw) == RowAggKind::kMax) {
+    result = -std::numeric_limits<double>::infinity();
+  }
+  if (shard->dense()) {
+    for (double v : shard->dense_rows[row]) apply(v);
+    touched = shard->width();
+  } else {
+    // Sparse rows: zeros contribute nothing to sum/nnz/norm2; for max they
+    // contribute only if the row has implicit zeros.
+    for (const auto& [col, v] : shard->sparse_rows[row]) apply(v);
+    touched = shard->sparse_rows[row].size();
+    if (static_cast<RowAggKind>(kind_raw) == RowAggKind::kMax &&
+        touched < shard->width()) {
+      apply(0.0);
+    }
+  }
+  HandleResult out;
+  BufferWriter writer;
+  writer.WriteF64(result);
+  out.response = writer.Release();
+  out.server_ops = touched;
+  return out;
+}
+
+Result<PsServer::HandleResult> PsServer::HandleColumnOp(BufferReader* in) {
+  PS2_ASSIGN_OR_RETURN(uint8_t kind_raw, in->ReadU8());
+  PS2_ASSIGN_OR_RETURN(uint64_t dst_matrix, in->ReadVarint());
+  PS2_ASSIGN_OR_RETURN(uint64_t dst_row, in->ReadVarint());
+  PS2_ASSIGN_OR_RETURN(uint64_t n_src, in->ReadVarint());
+  if (n_src > in->remaining()) {
+    return Status::OutOfRange("operand count exceeds request buffer");
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> srcs(n_src);
+  for (auto& [m, r] : srcs) {
+    PS2_ASSIGN_OR_RETURN(m, in->ReadVarint());
+    PS2_ASSIGN_OR_RETURN(r, in->ReadVarint());
+  }
+  PS2_ASSIGN_OR_RETURN(double scalar, in->ReadF64());
+
+  uint64_t width = 0, begin = 0;
+  PS2_ASSIGN_OR_RETURN(double* dst,
+                       DenseRow(static_cast<int>(dst_matrix),
+                                static_cast<uint32_t>(dst_row), &width,
+                                &begin));
+  std::vector<const double*> src_ptrs;
+  for (const auto& [m, r] : srcs) {
+    uint64_t w = 0, b = 0;
+    PS2_ASSIGN_OR_RETURN(double* p, DenseRow(static_cast<int>(m),
+                                             static_cast<uint32_t>(r), &w, &b));
+    if (w != width || b != begin) {
+      return Status::FailedPrecondition(
+          "column op operands are not co-located on this server");
+    }
+    src_ptrs.push_back(p);
+  }
+
+  auto need = [&](size_t k) -> Status {
+    if (src_ptrs.size() != k) {
+      return Status::InvalidArgument("wrong operand count for column op");
+    }
+    return Status::OK();
+  };
+
+  HandleResult out;
+  switch (static_cast<ColOpKind>(kind_raw)) {
+    case ColOpKind::kAdd:
+      PS2_RETURN_NOT_OK(need(2));
+      out.server_ops = kernels::Add(dst, src_ptrs[0], src_ptrs[1], width);
+      break;
+    case ColOpKind::kSub:
+      PS2_RETURN_NOT_OK(need(2));
+      out.server_ops = kernels::Sub(dst, src_ptrs[0], src_ptrs[1], width);
+      break;
+    case ColOpKind::kMul:
+      PS2_RETURN_NOT_OK(need(2));
+      out.server_ops = kernels::Mul(dst, src_ptrs[0], src_ptrs[1], width);
+      break;
+    case ColOpKind::kDiv:
+      PS2_RETURN_NOT_OK(need(2));
+      out.server_ops = kernels::Div(dst, src_ptrs[0], src_ptrs[1], width);
+      break;
+    case ColOpKind::kCopy:
+      PS2_RETURN_NOT_OK(need(1));
+      out.server_ops = kernels::Copy(dst, src_ptrs[0], width);
+      break;
+    case ColOpKind::kAxpy:
+      PS2_RETURN_NOT_OK(need(1));
+      out.server_ops = kernels::Axpy(dst, src_ptrs[0], scalar, width);
+      break;
+    case ColOpKind::kFill:
+      PS2_RETURN_NOT_OK(need(0));
+      out.server_ops = kernels::Fill(dst, scalar, width);
+      break;
+    case ColOpKind::kScale:
+      PS2_RETURN_NOT_OK(need(0));
+      for (uint64_t i = 0; i < width; ++i) dst[i] *= scalar;
+      out.server_ops = width;
+      break;
+    default:
+      return Status::InvalidArgument("unknown column op kind");
+  }
+  return out;
+}
+
+Result<PsServer::HandleResult> PsServer::HandleDotPartial(BufferReader* in) {
+  PS2_ASSIGN_OR_RETURN(uint64_t ma, in->ReadVarint());
+  PS2_ASSIGN_OR_RETURN(uint64_t ra, in->ReadVarint());
+  PS2_ASSIGN_OR_RETURN(uint64_t mb, in->ReadVarint());
+  PS2_ASSIGN_OR_RETURN(uint64_t rb, in->ReadVarint());
+  uint64_t wa = 0, ba = 0, wb = 0, bb = 0;
+  PS2_ASSIGN_OR_RETURN(double* a, DenseRow(static_cast<int>(ma),
+                                           static_cast<uint32_t>(ra), &wa,
+                                           &ba));
+  PS2_ASSIGN_OR_RETURN(double* b, DenseRow(static_cast<int>(mb),
+                                           static_cast<uint32_t>(rb), &wb,
+                                           &bb));
+  if (wa != wb || ba != bb) {
+    return Status::FailedPrecondition(
+        "dot operands are not co-located on this server");
+  }
+  double partial = 0.0;
+  HandleResult out;
+  out.server_ops = kernels::Dot(a, b, wa, &partial);
+  BufferWriter writer;
+  writer.WriteF64(partial);
+  out.response = writer.Release();
+  return out;
+}
+
+Result<PsServer::HandleResult> PsServer::HandleZip(BufferReader* in) {
+  PS2_ASSIGN_OR_RETURN(uint64_t udf_id, in->ReadVarint());
+  PS2_ASSIGN_OR_RETURN(uint64_t k, in->ReadVarint());
+  std::vector<double*> rows;
+  uint64_t width = 0, begin = 0;
+  for (uint64_t i = 0; i < k; ++i) {
+    PS2_ASSIGN_OR_RETURN(uint64_t m, in->ReadVarint());
+    PS2_ASSIGN_OR_RETURN(uint64_t r, in->ReadVarint());
+    uint64_t w = 0, b = 0;
+    PS2_ASSIGN_OR_RETURN(double* p, DenseRow(static_cast<int>(m),
+                                             static_cast<uint32_t>(r), &w, &b));
+    if (i == 0) {
+      width = w;
+      begin = b;
+    } else if (w != width || b != begin) {
+      return Status::FailedPrecondition(
+          "zip operands are not co-located on this server");
+    }
+    rows.push_back(p);
+  }
+  const ZipFn* fn = udfs_->GetZip(static_cast<int>(udf_id));
+  if (fn == nullptr) return Status::NotFound("zip udf not registered");
+  HandleResult out;
+  out.server_ops = (*fn)(rows, width, begin);
+  return out;
+}
+
+Result<PsServer::HandleResult> PsServer::HandleZipAggregate(BufferReader* in) {
+  PS2_ASSIGN_OR_RETURN(uint64_t udf_id, in->ReadVarint());
+  PS2_ASSIGN_OR_RETURN(uint64_t k, in->ReadVarint());
+  std::vector<const double*> rows;
+  uint64_t width = 0, begin = 0;
+  for (uint64_t i = 0; i < k; ++i) {
+    PS2_ASSIGN_OR_RETURN(uint64_t m, in->ReadVarint());
+    PS2_ASSIGN_OR_RETURN(uint64_t r, in->ReadVarint());
+    uint64_t w = 0, b = 0;
+    PS2_ASSIGN_OR_RETURN(double* p, DenseRow(static_cast<int>(m),
+                                             static_cast<uint32_t>(r), &w, &b));
+    if (i == 0) {
+      width = w;
+      begin = b;
+    } else if (w != width || b != begin) {
+      return Status::FailedPrecondition(
+          "zip operands are not co-located on this server");
+    }
+    rows.push_back(p);
+  }
+  const ZipAggFn* fn = udfs_->GetZipAggregate(static_cast<int>(udf_id));
+  if (fn == nullptr) return Status::NotFound("zip-aggregate udf not registered");
+  std::vector<double> result = (*fn)(rows, width, begin);
+  HandleResult out;
+  out.server_ops = k * width;  // conservative: reads every operand element
+  BufferWriter writer;
+  writer.WritePodVector(result);
+  out.response = writer.Release();
+  return out;
+}
+
+Result<PsServer::HandleResult> PsServer::HandleDotBatch(BufferReader* in) {
+  PS2_ASSIGN_OR_RETURN(uint64_t count, in->ReadVarint());
+  HandleResult out;
+  BufferWriter writer;
+  writer.WriteVarint(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    PS2_ASSIGN_OR_RETURN(uint64_t ma, in->ReadVarint());
+    PS2_ASSIGN_OR_RETURN(uint64_t ra, in->ReadVarint());
+    PS2_ASSIGN_OR_RETURN(uint64_t mb, in->ReadVarint());
+    PS2_ASSIGN_OR_RETURN(uint64_t rb, in->ReadVarint());
+    uint64_t wa = 0, ba = 0, wb = 0, bb = 0;
+    PS2_ASSIGN_OR_RETURN(double* a, DenseRow(static_cast<int>(ma),
+                                             static_cast<uint32_t>(ra), &wa,
+                                             &ba));
+    PS2_ASSIGN_OR_RETURN(double* b, DenseRow(static_cast<int>(mb),
+                                             static_cast<uint32_t>(rb), &wb,
+                                             &bb));
+    if (wa != wb || ba != bb) {
+      return Status::FailedPrecondition(
+          "dot-batch operands are not co-located on this server");
+    }
+    double partial = 0.0;
+    out.server_ops += kernels::Dot(a, b, wa, &partial);
+    writer.WriteF64(partial);
+  }
+  out.response = writer.Release();
+  return out;
+}
+
+Result<PsServer::HandleResult> PsServer::HandleAxpyBatch(BufferReader* in) {
+  PS2_ASSIGN_OR_RETURN(uint64_t count, in->ReadVarint());
+  HandleResult out;
+  for (uint64_t i = 0; i < count; ++i) {
+    PS2_ASSIGN_OR_RETURN(uint64_t md, in->ReadVarint());
+    PS2_ASSIGN_OR_RETURN(uint64_t rd, in->ReadVarint());
+    PS2_ASSIGN_OR_RETURN(uint64_t ms, in->ReadVarint());
+    PS2_ASSIGN_OR_RETURN(uint64_t rs, in->ReadVarint());
+    PS2_ASSIGN_OR_RETURN(double alpha, in->ReadF64());
+    uint64_t wd = 0, bd = 0, ws = 0, bs = 0;
+    PS2_ASSIGN_OR_RETURN(double* dst, DenseRow(static_cast<int>(md),
+                                               static_cast<uint32_t>(rd), &wd,
+                                               &bd));
+    PS2_ASSIGN_OR_RETURN(double* src, DenseRow(static_cast<int>(ms),
+                                               static_cast<uint32_t>(rs), &ws,
+                                               &bs));
+    if (wd != ws || bd != bs) {
+      return Status::FailedPrecondition(
+          "axpy-batch operands are not co-located on this server");
+    }
+    out.server_ops += kernels::Axpy(dst, src, alpha, wd);
+  }
+  return out;
+}
+
+Result<PsServer::HandleResult> PsServer::HandleMatrixInit(BufferReader* in) {
+  PS2_ASSIGN_OR_RETURN(uint64_t matrix_id, in->ReadVarint());
+  PS2_ASSIGN_OR_RETURN(uint64_t row_begin, in->ReadVarint());
+  PS2_ASSIGN_OR_RETURN(uint64_t row_end, in->ReadVarint());
+  PS2_ASSIGN_OR_RETURN(double scale, in->ReadF64());
+  PS2_ASSIGN_OR_RETURN(uint64_t seed, in->ReadU64());
+  auto it = shards_.find(static_cast<int>(matrix_id));
+  if (it == shards_.end()) return Status::NotFound("matrix not found");
+  Shard& shard = it->second;
+  if (!shard.dense()) {
+    return Status::FailedPrecondition("matrix init requires dense storage");
+  }
+  row_end = std::min<uint64_t>(row_end, shard.meta.num_rows);
+  HandleResult out;
+  for (uint64_t r = row_begin; r < row_end; ++r) {
+    double* data = shard.dense_rows[r].data();
+    for (uint64_t c = 0; c < shard.width(); ++c) {
+      // Value depends only on (seed, row, global column): every server
+      // produces the same overall matrix regardless of partitioning.
+      uint64_t x = seed ^ (r * 0x9E3779B97F4A7C15ULL) ^
+                   ((shard.begin + c) * 0xC2B2AE3D27D4EB4FULL);
+      x ^= x >> 33;
+      x *= 0xFF51AFD7ED558CCDULL;
+      x ^= x >> 33;
+      double u = static_cast<double>(x >> 11) * 0x1.0p-53;  // [0,1)
+      data[c] = (2.0 * u - 1.0) * scale;
+    }
+  }
+  out.server_ops = (row_end - row_begin) * shard.width();
+  return out;
+}
+
+Result<PsServer::HandleResult> PsServer::HandlePullRowsBatch(
+    BufferReader* in) {
+  PS2_ASSIGN_OR_RETURN(uint64_t count, in->ReadVarint());
+  HandleResult out;
+  BufferWriter writer;
+  writer.WriteVarint(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    PS2_ASSIGN_OR_RETURN(uint64_t m, in->ReadVarint());
+    PS2_ASSIGN_OR_RETURN(uint64_t r, in->ReadVarint());
+    uint64_t w = 0, b = 0;
+    PS2_ASSIGN_OR_RETURN(double* p, DenseRow(static_cast<int>(m),
+                                             static_cast<uint32_t>(r), &w,
+                                             &b));
+    writer.WriteVarint(w);
+    writer.WriteF64Span(p, w);
+    out.server_ops += w;
+  }
+  out.response = writer.Release();
+  return out;
+}
+
+Result<PsServer::HandleResult> PsServer::HandlePushRowsBatch(
+    BufferReader* in) {
+  PS2_ASSIGN_OR_RETURN(uint64_t count, in->ReadVarint());
+  HandleResult out;
+  for (uint64_t i = 0; i < count; ++i) {
+    PS2_ASSIGN_OR_RETURN(uint64_t m, in->ReadVarint());
+    PS2_ASSIGN_OR_RETURN(uint64_t r, in->ReadVarint());
+    PS2_ASSIGN_OR_RETURN(uint64_t n, in->ReadVarint());
+    uint64_t w = 0, b = 0;
+    PS2_ASSIGN_OR_RETURN(double* p, DenseRow(static_cast<int>(m),
+                                             static_cast<uint32_t>(r), &w,
+                                             &b));
+    if (n != w) return Status::OutOfRange("row push width mismatch");
+    PS2_ASSIGN_OR_RETURN(std::vector<double> values, in->ReadF64Span(w));
+    for (uint64_t c = 0; c < w; ++c) p[c] += values[c];
+    out.server_ops += w;
+  }
+  return out;
+}
+
+Result<PsServer::HandleResult> PsServer::HandlePullSparseRowsBatch(
+    BufferReader* in) {
+  // Shared delta-encoded index list, then the row list; response is
+  // rows x indices values (row-major). With compress=1, values travel as
+  // zigzag varints of llround(value) — PS2's message compression for
+  // integer count matrices (LDA).
+  PS2_ASSIGN_OR_RETURN(uint8_t compress, in->ReadU8());
+  PS2_ASSIGN_OR_RETURN(uint64_t n_idx, in->ReadVarint());
+  if (n_idx > in->remaining()) {
+    return Status::OutOfRange("index count exceeds request buffer");
+  }
+  std::vector<uint64_t> cols(n_idx);
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < n_idx; ++i) {
+    PS2_ASSIGN_OR_RETURN(uint64_t delta, in->ReadVarint());
+    prev += delta;
+    cols[i] = prev;
+  }
+  PS2_ASSIGN_OR_RETURN(uint64_t n_rows, in->ReadVarint());
+  HandleResult out;
+  BufferWriter writer;
+  writer.WriteVarint(n_rows);
+  std::vector<double> values(n_idx);
+  for (uint64_t r = 0; r < n_rows; ++r) {
+    PS2_ASSIGN_OR_RETURN(uint64_t m, in->ReadVarint());
+    PS2_ASSIGN_OR_RETURN(uint64_t row, in->ReadVarint());
+    uint64_t w = 0, b = 0;
+    PS2_ASSIGN_OR_RETURN(double* p, DenseRow(static_cast<int>(m),
+                                             static_cast<uint32_t>(row), &w,
+                                             &b));
+    for (uint64_t i = 0; i < n_idx; ++i) {
+      if (cols[i] < b || cols[i] >= b + w) {
+        return Status::OutOfRange("pull index outside server range");
+      }
+      values[i] = p[cols[i] - b];
+    }
+    if (compress != 0) {
+      for (uint64_t i = 0; i < n_idx; ++i) {
+        writer.WriteSignedVarint(static_cast<int64_t>(std::llround(values[i])));
+      }
+    } else {
+      writer.WriteF64Span(values.data(), n_idx);
+    }
+    out.server_ops += n_idx;
+  }
+  out.response = writer.Release();
+  return out;
+}
+
+Result<PsServer::HandleResult> PsServer::HandlePushSparseRowsBatch(
+    BufferReader* in) {
+  PS2_ASSIGN_OR_RETURN(uint8_t compress, in->ReadU8());
+  PS2_ASSIGN_OR_RETURN(uint64_t n_rows, in->ReadVarint());
+  HandleResult out;
+  for (uint64_t r = 0; r < n_rows; ++r) {
+    PS2_ASSIGN_OR_RETURN(uint64_t m, in->ReadVarint());
+    PS2_ASSIGN_OR_RETURN(uint64_t row, in->ReadVarint());
+    PS2_ASSIGN_OR_RETURN(uint64_t nnz, in->ReadVarint());
+    if (nnz > in->remaining()) {
+      return Status::OutOfRange("delta count exceeds request buffer");
+    }
+    uint64_t w = 0, b = 0;
+    PS2_ASSIGN_OR_RETURN(double* p, DenseRow(static_cast<int>(m),
+                                             static_cast<uint32_t>(row), &w,
+                                             &b));
+    uint64_t prev = 0;
+    std::vector<uint64_t> cols(nnz);
+    for (uint64_t i = 0; i < nnz; ++i) {
+      PS2_ASSIGN_OR_RETURN(uint64_t delta, in->ReadVarint());
+      prev += delta;
+      if (prev < b || prev >= b + w) {
+        return Status::OutOfRange("push index outside server range");
+      }
+      cols[i] = prev - b;
+    }
+    for (uint64_t i = 0; i < nnz; ++i) {
+      double v;
+      if (compress != 0) {
+        PS2_ASSIGN_OR_RETURN(int64_t iv, in->ReadSignedVarint());
+        v = static_cast<double>(iv);
+      } else {
+        PS2_ASSIGN_OR_RETURN(double fv, in->ReadF64());
+        v = fv;
+      }
+      p[cols[i]] += v;
+    }
+    out.server_ops += nnz;
+  }
+  return out;
+}
+
+std::vector<uint8_t> PsServer::SerializeState() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  BufferWriter writer;
+  writer.WriteVarint(shards_.size());
+  for (const auto& [id, shard] : shards_) {
+    writer.WriteVarint(static_cast<uint64_t>(id));
+    writer.WriteU8(static_cast<uint8_t>(shard.meta.storage));
+    if (shard.dense()) {
+      writer.WriteVarint(shard.dense_rows.size());
+      for (const auto& row : shard.dense_rows) writer.WritePodVector(row);
+    } else {
+      writer.WriteVarint(shard.sparse_rows.size());
+      for (const auto& row : shard.sparse_rows) {
+        writer.WriteVarint(row.size());
+        uint64_t prev = 0;
+        for (const auto& [col, v] : row) {
+          writer.WriteVarint(col - prev);
+          prev = col;
+          writer.WriteF64(v);
+        }
+      }
+    }
+  }
+  return writer.Release();
+}
+
+Status PsServer::RestoreState(const std::vector<uint8_t>& buffer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BufferReader in(buffer);
+  PS2_ASSIGN_OR_RETURN(uint64_t n_shards, in.ReadVarint());
+  for (uint64_t s = 0; s < n_shards; ++s) {
+    PS2_ASSIGN_OR_RETURN(uint64_t id, in.ReadVarint());
+    PS2_ASSIGN_OR_RETURN(uint8_t storage, in.ReadU8());
+    auto it = shards_.find(static_cast<int>(id));
+    if (it == shards_.end()) {
+      return Status::NotFound("checkpoint contains unknown matrix shard");
+    }
+    Shard& shard = it->second;
+    if (static_cast<MatrixStorage>(storage) != shard.meta.storage) {
+      return Status::Internal("checkpoint storage kind mismatch");
+    }
+    PS2_ASSIGN_OR_RETURN(uint64_t n_rows, in.ReadVarint());
+    if (n_rows != shard.meta.num_rows) {
+      return Status::Internal("checkpoint row count mismatch");
+    }
+    if (shard.dense()) {
+      for (uint64_t r = 0; r < n_rows; ++r) {
+        PS2_ASSIGN_OR_RETURN(std::vector<double> row,
+                             in.ReadPodVector<double>());
+        if (row.size() != shard.width()) {
+          return Status::Internal("checkpoint row width mismatch");
+        }
+        shard.dense_rows[r] = std::move(row);
+      }
+    } else {
+      for (uint64_t r = 0; r < n_rows; ++r) {
+        PS2_ASSIGN_OR_RETURN(uint64_t nnz, in.ReadVarint());
+        shard.sparse_rows[r].clear();
+        uint64_t prev = 0;
+        for (uint64_t i = 0; i < nnz; ++i) {
+          PS2_ASSIGN_OR_RETURN(uint64_t delta, in.ReadVarint());
+          prev += delta;
+          PS2_ASSIGN_OR_RETURN(double v, in.ReadF64());
+          shard.sparse_rows[r][prev] = v;
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void PsServer::DropAllState() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, shard] : shards_) {
+    if (shard.dense()) {
+      for (auto& row : shard.dense_rows) {
+        std::fill(row.begin(), row.end(), 0.0);
+      }
+    } else {
+      for (auto& row : shard.sparse_rows) row.clear();
+    }
+  }
+}
+
+uint64_t PsServer::StoredValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [id, shard] : shards_) {
+    if (shard.dense()) {
+      total += shard.meta.num_rows * shard.width();
+    } else {
+      for (const auto& row : shard.sparse_rows) total += row.size();
+    }
+  }
+  return total;
+}
+
+}  // namespace ps2

@@ -1,0 +1,123 @@
+#pragma once
+
+// PS-server: stores matrix shards and executes row/column operations.
+//
+// A server owns, for every matrix, *all rows* of one contiguous column range
+// (see ps/partitioner.h). Requests arrive as serialized buffers (built by
+// PsClient) and responses leave as serialized buffers, so the traffic the
+// network model charges is exactly what a Netty/Protobuf implementation
+// would put on the wire. Server-side user functions (the `zip` operator of
+// paper Figs. 3/8) are looked up in a UdfRegistry — standing in for code
+// pre-deployed to the servers in the real system.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/result.h"
+#include "common/serde.h"
+#include "common/status.h"
+#include "ps/ps_types.h"
+
+namespace ps2 {
+
+/// Mutating server-side function over aligned row slices.
+/// `rows` are the local slices (one pointer per DCV, `n` elements each),
+/// `col_offset` is the global column index of element 0. Returns op count.
+using ZipFn = std::function<uint64_t(const std::vector<double*>& rows, size_t n,
+                                     uint64_t col_offset)>;
+
+/// Read-only server-side aggregation returning a small result vector.
+using ZipAggFn = std::function<std::vector<double>(
+    const std::vector<const double*>& rows, size_t n, uint64_t col_offset)>;
+
+/// \brief Registry of server-side functions, shared by all servers.
+class UdfRegistry {
+ public:
+  int RegisterZip(ZipFn fn);
+  int RegisterZipAggregate(ZipAggFn fn);
+  const ZipFn* GetZip(int id) const;
+  const ZipAggFn* GetZipAggregate(int id) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<ZipFn> zip_fns_;
+  std::vector<ZipAggFn> zip_agg_fns_;
+};
+
+/// \brief One parameter server: matrix shards + request execution.
+class PsServer {
+ public:
+  PsServer(int id, const UdfRegistry* udfs) : id_(id), udfs_(udfs) {}
+
+  int id() const { return id_; }
+
+  /// Control plane (issued by the master, not on the data path).
+  Status CreateMatrixShard(const MatrixMeta& meta);
+  Status FreeMatrixShard(int matrix_id);
+  bool HasMatrix(int matrix_id) const;
+
+  struct HandleResult {
+    std::vector<uint8_t> response;
+    uint64_t server_ops = 0;
+  };
+
+  /// Data plane: executes one serialized request.
+  Result<HandleResult> Handle(const std::vector<uint8_t>& request);
+
+  /// Serializes all shards (for checkpointing).
+  std::vector<uint8_t> SerializeState() const;
+  /// Replaces all shard contents from a checkpoint buffer.
+  Status RestoreState(const std::vector<uint8_t>& buffer);
+  /// Drops all shard *contents* (simulated crash); metadata survives at the
+  /// master, which recreates shards before restoring the checkpoint.
+  void DropAllState();
+
+  /// Total doubles stored (tests / memory accounting).
+  uint64_t StoredValues() const;
+
+ private:
+  struct Shard {
+    MatrixMeta meta;
+    uint64_t begin = 0;  ///< global column of local element 0
+    uint64_t end = 0;
+    // Dense storage: rows x (end-begin).
+    std::vector<std::vector<double>> dense_rows;
+    // Sparse storage: per-row map global column -> value.
+    std::vector<std::map<uint64_t, double>> sparse_rows;
+
+    uint64_t width() const { return end - begin; }
+    bool dense() const { return meta.storage == MatrixStorage::kDense; }
+  };
+
+  Result<Shard*> FindShard(int matrix_id, uint32_t row);
+  Result<double*> DenseRow(int matrix_id, uint32_t row, uint64_t* width,
+                           uint64_t* begin);
+
+  Result<HandleResult> HandlePullDense(BufferReader* in);
+  Result<HandleResult> HandlePullSparse(BufferReader* in);
+  Result<HandleResult> HandlePushDense(BufferReader* in);
+  Result<HandleResult> HandlePushSparse(BufferReader* in);
+  Result<HandleResult> HandleRowAgg(BufferReader* in);
+  Result<HandleResult> HandleColumnOp(BufferReader* in);
+  Result<HandleResult> HandleDotPartial(BufferReader* in);
+  Result<HandleResult> HandleZip(BufferReader* in);
+  Result<HandleResult> HandleZipAggregate(BufferReader* in);
+  Result<HandleResult> HandleDotBatch(BufferReader* in);
+  Result<HandleResult> HandleAxpyBatch(BufferReader* in);
+  Result<HandleResult> HandleMatrixInit(BufferReader* in);
+  Result<HandleResult> HandlePullRowsBatch(BufferReader* in);
+  Result<HandleResult> HandlePushRowsBatch(BufferReader* in);
+  Result<HandleResult> HandlePullSparseRowsBatch(BufferReader* in);
+  Result<HandleResult> HandlePushSparseRowsBatch(BufferReader* in);
+
+  int id_;
+  const UdfRegistry* udfs_;
+  mutable std::mutex mu_;
+  std::map<int, Shard> shards_;
+};
+
+}  // namespace ps2

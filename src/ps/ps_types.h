@@ -1,0 +1,73 @@
+#pragma once
+
+// Shared types of the parameter-server module.
+
+#include <cstdint>
+#include <string>
+
+#include "ps/partitioner.h"
+
+namespace ps2 {
+
+/// \brief Storage layout of a matrix on the servers.
+enum class MatrixStorage : uint8_t {
+  kDense = 0,   ///< contiguous doubles per (row, range)
+  kSparse = 1,  ///< hash map per row; for very high-dim rarely-touched rows
+};
+
+/// \brief Metadata of a distributed matrix (a group of co-located DCVs).
+struct MatrixMeta {
+  int id = -1;
+  std::string name;
+  uint64_t dim = 0;        ///< columns (feature dimension)
+  uint32_t num_rows = 0;   ///< reserved rows; `derive` hands these out
+  MatrixStorage storage = MatrixStorage::kDense;
+  ColumnPartitioner partitioner;
+};
+
+/// \brief Identifies one row (one DCV) of a distributed matrix.
+struct RowRef {
+  int matrix_id = -1;
+  uint32_t row = 0;
+
+  bool operator==(const RowRef& other) const {
+    return matrix_id == other.matrix_id && row == other.row;
+  }
+};
+
+/// \brief Row-aggregation kinds (paper's sum / nnz / norm2 row-access ops).
+enum class RowAggKind : uint8_t { kSum = 0, kNnz = 1, kNorm2Squared = 2, kMax = 3 };
+
+/// \brief Built-in element-wise column-op kinds (paper Table 1).
+enum class ColOpKind : uint8_t {
+  kAdd = 0,   ///< dst = a + b
+  kSub = 1,   ///< dst = a - b
+  kMul = 2,   ///< dst = a * b
+  kDiv = 3,   ///< dst = a / b   (b==0 -> 0)
+  kCopy = 4,  ///< dst = a
+  kAxpy = 5,  ///< dst += scalar * a
+  kFill = 6,  ///< dst = scalar
+  kScale = 7  ///< dst *= scalar
+};
+
+/// \brief Wire opcodes understood by PsServer::Handle.
+enum class PsOpCode : uint8_t {
+  kPullDense = 0,
+  kPullSparse = 1,
+  kPushDense = 2,
+  kPushSparse = 3,
+  kRowAgg = 4,
+  kColumnOp = 5,
+  kDotPartial = 6,
+  kZip = 7,
+  kZipAggregate = 8,
+  kDotBatch = 9,    ///< many row-pair partial dots in one round (DeepWalk)
+  kAxpyBatch = 10,  ///< many dst += alpha*src updates in one round (DeepWalk)
+  kMatrixInit = 11,    ///< hash-random init of whole-matrix row ranges
+  kPullRowsBatch = 12,       ///< many full-row pulls in one round
+  kPushRowsBatch = 13,       ///< many dense row (delta) pushes in one round
+  kPullSparseRowsBatch = 14, ///< many rows at shared indices, one round
+  kPushSparseRowsBatch = 15, ///< many per-row sparse deltas, one round
+};
+
+}  // namespace ps2

@@ -1,0 +1,83 @@
+#include "sim/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ps2 {
+
+namespace {
+int CeilLog2(int n) {
+  int bits = 0;
+  int v = 1;
+  while (v < n) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+}  // namespace
+
+SimTime CostModel::PointToPoint(uint64_t bytes) const {
+  return spec_.rpc_latency_s + spec_.per_msg_overhead_s +
+         static_cast<double>(bytes) / spec_.net_bandwidth_bps;
+}
+
+SimTime CostModel::GatherAtOne(int n_senders, uint64_t bytes_each) const {
+  // Senders transmit in parallel; receiver ingress serializes them.
+  const double sender = static_cast<double>(bytes_each) / spec_.net_bandwidth_bps;
+  const double receiver = static_cast<double>(n_senders) *
+                          static_cast<double>(bytes_each) /
+                          spec_.net_bandwidth_bps;
+  return spec_.rpc_latency_s +
+         spec_.per_msg_overhead_s * static_cast<double>(n_senders) +
+         std::max(sender, receiver);
+}
+
+SimTime CostModel::ScatterFromOne(int n_receivers, uint64_t bytes) const {
+  return spec_.rpc_latency_s +
+         spec_.per_msg_overhead_s * static_cast<double>(n_receivers) +
+         static_cast<double>(n_receivers) * static_cast<double>(bytes) /
+             spec_.net_bandwidth_bps;
+}
+
+SimTime CostModel::BroadcastTorrent(int n_receivers, uint64_t bytes) const {
+  const double depth = static_cast<double>(CeilLog2(n_receivers + 1));
+  return depth * (spec_.rpc_latency_s + spec_.per_msg_overhead_s) +
+         2.0 * static_cast<double>(bytes) / spec_.net_bandwidth_bps;
+}
+
+SimTime CostModel::TreeAllReduce(int n, uint64_t bytes) const {
+  const double rounds = 2.0 * static_cast<double>(CeilLog2(n));
+  return rounds * (spec_.rpc_latency_s + spec_.per_msg_overhead_s +
+                   static_cast<double>(bytes) / spec_.net_bandwidth_bps);
+}
+
+SimTime CostModel::RingAllReduce(int n, uint64_t bytes) const {
+  if (n <= 1) return 0.0;
+  const double steps = 2.0 * static_cast<double>(n - 1);
+  return steps * (spec_.rpc_latency_s + spec_.per_msg_overhead_s +
+                  static_cast<double>(bytes) /
+                      (static_cast<double>(n) * spec_.net_bandwidth_bps));
+}
+
+SimTime CostModel::WorkerCompute(uint64_t ops) const {
+  return static_cast<double>(ops) / spec_.worker_flops;
+}
+
+SimTime CostModel::ServerCompute(uint64_t ops) const {
+  return static_cast<double>(ops) / spec_.server_flops;
+}
+
+SimTime CostModel::DriverCompute(uint64_t ops) const {
+  return static_cast<double>(ops) / spec_.driver_flops;
+}
+
+SimTime CostModel::MessageOverhead(uint64_t n) const {
+  return spec_.per_msg_overhead_s * static_cast<double>(n);
+}
+
+SimTime CostModel::RoundLatency(uint64_t rounds) const {
+  return spec_.rpc_latency_s * static_cast<double>(rounds);
+}
+
+}  // namespace ps2

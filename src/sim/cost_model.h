@@ -1,0 +1,98 @@
+#pragma once
+
+// Network / compute cost model for the simulated cluster.
+//
+// The model is deliberately simple — per-endpoint bandwidth, per-RPC latency,
+// per-message fixed CPU/NIC overhead, and a scalar op throughput — because
+// every effect the paper measures is a first-order consequence of these
+// parameters:
+//
+//  * MLlib's "single-node driver" bottleneck: N workers gather O(dim) bytes
+//    into one endpoint -> time ~ N*bytes/bandwidth (Fig. 1, Fig. 13(b)).
+//  * PS sharding: the same gather over P servers -> time ~ N*bytes/(P*bw).
+//  * DCV server-side ops: only scalars cross the network, but each op costs
+//    one message per server, so the benefit shrinks as P grows — exactly the
+//    Fig. 9(d) crossover narrative.
+//  * XGBoost allreduce vs PS2 sharded push for GBDT histograms (Fig. 11).
+
+#include <cstdint>
+
+#include "sim/sim_clock.h"
+
+namespace ps2 {
+
+/// \brief Static description of the simulated cluster hardware.
+///
+/// Defaults approximate the paper's testbed: 10 Gbps Ethernet, 2.2 GHz
+/// 12-core nodes (expressed as an effective scalar-op throughput).
+struct ClusterSpec {
+  int num_workers = 20;
+  int num_servers = 20;
+
+  double net_bandwidth_bps = 1.25e9;  ///< bytes/sec per endpoint (10 Gbps)
+  double io_bandwidth_bps = 3e8;      ///< bytes/sec reading input (HDFS-ish)
+  double rpc_latency_s = 2e-4;        ///< one-way latency per round (same-rack RPC)
+  double per_msg_overhead_s = 1e-5;   ///< fixed CPU/NIC cost per message
+  double worker_flops = 1e10;  ///< effective scalar ops/sec per worker
+  double server_flops = 1e10;  ///< effective scalar ops/sec per server
+  double driver_flops = 1e10;  ///< driver update throughput (MLlib path)
+
+  /// Probability that a task attempt fails (Fig. 13(c)); 0 disables.
+  double task_failure_prob = 0.0;
+
+  uint64_t seed = 42;
+
+  /// Returns InvalidArgument-style reasons as a bool+message free check.
+  bool Valid() const {
+    return num_workers > 0 && num_servers > 0 && net_bandwidth_bps > 0 &&
+           rpc_latency_s >= 0 && per_msg_overhead_s >= 0 && worker_flops > 0 &&
+           server_flops > 0 && driver_flops > 0 && task_failure_prob >= 0 &&
+           task_failure_prob < 1.0;
+  }
+};
+
+/// \brief Converts byte/op counts into virtual seconds.
+class CostModel {
+ public:
+  explicit CostModel(const ClusterSpec& spec) : spec_(spec) {}
+
+  const ClusterSpec& spec() const { return spec_; }
+
+  /// Point-to-point transfer of `bytes`.
+  SimTime PointToPoint(uint64_t bytes) const;
+
+  /// N senders each deliver `bytes_each` into one receiver (MLlib driver
+  /// aggregation). Receiver ingress is the bottleneck.
+  SimTime GatherAtOne(int n_senders, uint64_t bytes_each) const;
+
+  /// One sender delivers `bytes` to each of N receivers, naively.
+  SimTime ScatterFromOne(int n_receivers, uint64_t bytes) const;
+
+  /// BitTorrent-style broadcast (Spark TorrentBroadcast): pipelined chunks,
+  /// every node both sends and receives, ~2x the payload per endpoint plus a
+  /// log-depth latency term.
+  SimTime BroadcastTorrent(int n_receivers, uint64_t bytes) const;
+
+  /// Tree allreduce over n participants of a `bytes` buffer (XGBoost/rabbit
+  /// style): 2*ceil(log2 n) rounds, full buffer per round.
+  SimTime TreeAllReduce(int n, uint64_t bytes) const;
+
+  /// Ring allreduce over n participants (bandwidth-optimal reference point).
+  SimTime RingAllReduce(int n, uint64_t bytes) const;
+
+  /// `ops` scalar operations on one worker / server / driver.
+  SimTime WorkerCompute(uint64_t ops) const;
+  SimTime ServerCompute(uint64_t ops) const;
+  SimTime DriverCompute(uint64_t ops) const;
+
+  /// Fixed cost of `n` messages at one endpoint.
+  SimTime MessageOverhead(uint64_t n) const;
+
+  /// One-way latency for `rounds` dependent request/response rounds.
+  SimTime RoundLatency(uint64_t rounds) const;
+
+ private:
+  ClusterSpec spec_;
+};
+
+}  // namespace ps2

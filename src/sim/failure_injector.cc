@@ -1,0 +1,26 @@
+#include "sim/failure_injector.h"
+
+#include "common/logging.h"
+
+namespace ps2 {
+
+FailureInjector::FailureInjector(double task_failure_prob, uint64_t seed)
+    : prob_(task_failure_prob), rng_(seed ^ 0xFA17FA17FA17FA17ULL) {
+  PS2_CHECK_GE(prob_, 0.0);
+  PS2_CHECK_LT(prob_, 1.0);
+}
+
+bool FailureInjector::ShouldFailTask() {
+  if (prob_ <= 0.0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  bool fail = rng_.NextBernoulli(prob_);
+  if (fail) injected_.fetch_add(1);
+  return fail;
+}
+
+double FailureInjector::FailurePoint() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rng_.NextDouble();
+}
+
+}  // namespace ps2

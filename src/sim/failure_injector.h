@@ -1,0 +1,40 @@
+#pragma once
+
+// Deterministic failure injection (paper Fig. 13(c) and §5.3).
+//
+// The injector decides, per task attempt, whether the attempt fails. A failed
+// attempt charges a random fraction of the task's cost (the work done before
+// dying) and the scheduler retries. Separate hooks simulate executor and
+// server crashes for the lineage-reload and checkpoint-recovery paths.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "common/rng.h"
+
+namespace ps2 {
+
+/// \brief Seeded source of injected failures, thread-safe.
+class FailureInjector {
+ public:
+  FailureInjector(double task_failure_prob, uint64_t seed);
+
+  /// Should this task attempt fail? (Draws are serialized for determinism
+  /// given a fixed task order.)
+  bool ShouldFailTask();
+
+  /// Fraction of the task's cost consumed before the injected failure.
+  double FailurePoint();
+
+  uint64_t injected_task_failures() const { return injected_; }
+  double task_failure_prob() const { return prob_; }
+
+ private:
+  double prob_;
+  std::mutex mu_;
+  Rng rng_;
+  std::atomic<uint64_t> injected_{0};
+};
+
+}  // namespace ps2

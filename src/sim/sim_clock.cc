@@ -1,0 +1,12 @@
+#include "sim/sim_clock.h"
+
+#include "common/logging.h"
+
+namespace ps2 {
+
+void SimClock::Advance(SimTime dt) {
+  PS2_CHECK_GE(dt, 0.0) << "clock cannot run backwards";
+  now_ += dt;
+}
+
+}  // namespace ps2

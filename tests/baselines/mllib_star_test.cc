@@ -1,0 +1,86 @@
+#include "baselines/mllib_star_lr.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/mllib_lr.h"
+#include "data/classification_gen.h"
+
+namespace ps2 {
+namespace {
+
+class MllibStarTest : public ::testing::Test {
+ protected:
+  MllibStarTest() {
+    ClusterSpec spec;
+    spec.num_workers = 4;
+    spec.num_servers = 4;
+    cluster_ = std::make_unique<Cluster>(spec);
+    ClassificationSpec ds;
+    ds.rows = 4000;
+    ds.dim = 200000;
+    ds.avg_nnz = 30;
+    data_ = MakeClassificationDataset(cluster_.get(), ds).Cache();
+    data_.Count();
+  }
+
+  MllibStarOptions Options() {
+    MllibStarOptions options;
+    options.glm.dim = 200000;
+    options.glm.optimizer.kind = OptimizerKind::kSgd;
+    options.glm.optimizer.learning_rate = 10.0;
+    options.glm.batch_fraction = 0.05;
+    options.glm.iterations = 40;
+    options.local_steps_per_round = 4;
+    return options;
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  Dataset<Example> data_;
+};
+
+TEST_F(MllibStarTest, Converges) {
+  TrainReport report = *TrainGlmMllibStar(cluster_.get(), data_, Options());
+  EXPECT_EQ(report.system, "MLlibStar-SGD");
+  EXPECT_LT(report.final_loss, report.curve.front().loss);
+}
+
+TEST_F(MllibStarTest, FasterThanDriverMllibAtScale) {
+  // Model averaging trades statistical efficiency for removing the driver
+  // bottleneck: per-epoch time must beat plain MLlib's at high dims.
+  MllibStarOptions options = Options();
+  TrainReport star = *TrainGlmMllibStar(cluster_.get(), data_, options);
+  MllibReport mllib = *TrainGlmMllib(cluster_.get(), data_, options.glm);
+  double star_per_step =
+      star.total_time / (options.glm.iterations);
+  double mllib_per_step = mllib.report.total_time / options.glm.iterations;
+  EXPECT_LT(star_per_step, mllib_per_step);
+}
+
+TEST_F(MllibStarTest, RejectsNonSgd) {
+  MllibStarOptions options = Options();
+  options.glm.optimizer.kind = OptimizerKind::kAdam;
+  EXPECT_TRUE(TrainGlmMllibStar(cluster_.get(), data_, options)
+                  .status()
+                  .IsNotImplemented());
+}
+
+TEST_F(MllibStarTest, RejectsBadLocalSteps) {
+  MllibStarOptions options = Options();
+  options.local_steps_per_round = 0;
+  EXPECT_TRUE(TrainGlmMllibStar(cluster_.get(), data_, options)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(MllibStarTest, MoreLocalStepsFewerRounds) {
+  MllibStarOptions few = Options();
+  few.local_steps_per_round = 2;
+  MllibStarOptions many = Options();
+  many.local_steps_per_round = 8;
+  TrainReport a = *TrainGlmMllibStar(cluster_.get(), data_, few);
+  TrainReport b = *TrainGlmMllibStar(cluster_.get(), data_, many);
+  EXPECT_GT(a.curve.size(), b.curve.size());  // rounds = iters/local_steps
+}
+
+}  // namespace
+}  // namespace ps2

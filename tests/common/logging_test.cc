@@ -1,0 +1,65 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace ps2 {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LoggingTest, LevelRoundTrips) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+}
+
+TEST(LoggingTest, BelowThresholdMessagesAreCheap) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  // Streaming into a disabled message must not evaluate to output (and must
+  // not crash); we mainly assert it compiles and runs for all levels.
+  PS2_LOG(Debug) << "invisible " << 42;
+  PS2_LOG(Info) << "invisible " << 42;
+  PS2_LOG(Warning) << "invisible " << 42;
+}
+
+TEST(LoggingTest, CheckPassesOnTrue) {
+  PS2_CHECK(1 + 1 == 2) << "never shown";
+  PS2_CHECK_EQ(4, 4);
+  PS2_CHECK_NE(4, 5);
+  PS2_CHECK_LT(1, 2);
+  PS2_CHECK_LE(2, 2);
+  PS2_CHECK_GT(3, 2);
+  PS2_CHECK_GE(3, 3);
+  PS2_CHECK_OK(Status::OK());
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ PS2_CHECK(false) << "boom"; }, "Check failed");
+}
+
+TEST(LoggingDeathTest, CheckEqFailureShowsValues) {
+  EXPECT_DEATH({ PS2_CHECK_EQ(3, 4); }, "3 vs 4");
+}
+
+TEST(LoggingDeathTest, CheckOkFailureShowsStatus) {
+  EXPECT_DEATH({ PS2_CHECK_OK(Status::IOError("disk gone")); }, "disk gone");
+}
+
+TEST(LoggingDeathTest, FatalLogAborts) {
+  EXPECT_DEATH({ PS2_LOG(Fatal) << "fatal path"; }, "fatal path");
+}
+
+}  // namespace
+}  // namespace ps2

@@ -1,0 +1,66 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace ps2 {
+namespace {
+
+TEST(MetricsTest, GetUnknownIsZero) {
+  MetricsRegistry m;
+  EXPECT_EQ(m.Get("missing"), 0u);
+}
+
+TEST(MetricsTest, AddAccumulates) {
+  MetricsRegistry m;
+  m.Add("bytes", 10);
+  m.Add("bytes", 5);
+  EXPECT_EQ(m.Get("bytes"), 15u);
+}
+
+TEST(MetricsTest, SetOverwrites) {
+  MetricsRegistry m;
+  m.Add("x", 10);
+  m.Set("x", 3);
+  EXPECT_EQ(m.Get("x"), 3u);
+}
+
+TEST(MetricsTest, ResetClears) {
+  MetricsRegistry m;
+  m.Add("x", 1);
+  m.Reset();
+  EXPECT_EQ(m.Get("x"), 0u);
+  EXPECT_TRUE(m.Snapshot().empty());
+}
+
+TEST(MetricsTest, SnapshotSortedByName) {
+  MetricsRegistry m;
+  m.Add("zebra", 1);
+  m.Add("alpha", 2);
+  auto snap = m.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap.begin()->first, "alpha");
+}
+
+TEST(MetricsTest, ToStringContainsEntries) {
+  MetricsRegistry m;
+  m.Add("net.bytes", 123);
+  EXPECT_NE(m.ToString().find("net.bytes = 123"), std::string::npos);
+}
+
+TEST(MetricsTest, ConcurrentAddsAreAtomic) {
+  MetricsRegistry m;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&m] {
+      for (int i = 0; i < 1000; ++i) m.Add("counter", 1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(m.Get("counter"), 8000u);
+}
+
+}  // namespace
+}  // namespace ps2

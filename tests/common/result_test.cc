@@ -1,0 +1,89 @@
+#include "common/result.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ps2 {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(ResultTest, ValueOrReturnsAlternativeOnError) {
+  Result<int> err = Status::Internal("x");
+  EXPECT_EQ(std::move(err).ValueOr(-1), -1);
+  Result<int> ok = 5;
+  EXPECT_EQ(std::move(ok).ValueOr(-1), 5);
+}
+
+TEST(ResultTest, AssignOrReturnMacroPropagatesError) {
+  auto inner = []() -> Result<int> { return Status::OutOfRange("too big"); };
+  auto outer = [&]() -> Result<int> {
+    PS2_ASSIGN_OR_RETURN(int v, inner());
+    return v + 1;
+  };
+  Result<int> r = outer();
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsOutOfRange());
+}
+
+TEST(ResultTest, AssignOrReturnMacroAssignsValue) {
+  auto inner = []() -> Result<int> { return 10; };
+  auto outer = [&]() -> Result<int> {
+    PS2_ASSIGN_OR_RETURN(int v, inner());
+    return v + 1;
+  };
+  Result<int> r = outer();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 11);
+}
+
+TEST(ResultTest, AssignOrReturnWorksTwiceInOneFunction) {
+  auto inner = [](int x) -> Result<int> { return x; };
+  auto outer = [&]() -> Result<int> {
+    PS2_ASSIGN_OR_RETURN(int a, inner(1));
+    PS2_ASSIGN_OR_RETURN(int b, inner(2));
+    return a + b;
+  };
+  EXPECT_EQ(*outer(), 3);
+}
+
+TEST(ResultTest, VectorValue) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 3u);
+  EXPECT_EQ((*r)[2], 3);
+}
+
+TEST(ResultDeathTest, ValueOrDieOnErrorAborts) {
+  Result<int> r = Status::Internal("fatal");
+  EXPECT_DEATH({ r.ValueOrDie(); }, "ValueOrDie");
+}
+
+}  // namespace
+}  // namespace ps2

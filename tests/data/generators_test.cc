@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "data/classification_gen.h"
+#include "data/corpus_gen.h"
+#include "data/gbdt_gen.h"
+#include "data/graph_gen.h"
+#include "data/presets.h"
+#include "ml/deepwalk.h"
+#include "ml/gbdt/gbdt.h"
+#include "ml/lda/lda_model.h"
+#include "ml/logreg.h"
+
+namespace ps2 {
+namespace {
+
+TEST(ClassificationGenTest, RowCountsSplitAcrossPartitions) {
+  ClassificationSpec spec;
+  spec.rows = 1003;
+  spec.dim = 1000;
+  Rng rng(1);
+  size_t total = 0;
+  for (size_t p = 0; p < 4; ++p) {
+    Rng prng = rng.Split(p);
+    total += GenerateClassificationPartition(spec, p, 4, &prng).size();
+  }
+  EXPECT_EQ(total, 1003u);
+}
+
+TEST(ClassificationGenTest, FeaturesWithinDim) {
+  ClassificationSpec spec;
+  spec.rows = 500;
+  spec.dim = 777;
+  Rng rng(2);
+  auto rows = GenerateClassificationPartition(spec, 0, 1, &rng);
+  for (const Example& ex : rows) {
+    for (uint64_t idx : ex.features.indices()) {
+      EXPECT_LT(idx, spec.dim);
+    }
+    EXPECT_TRUE(ex.label == 0.0 || ex.label == 1.0);
+    EXPECT_GE(ex.features.nnz(), 1u);
+  }
+}
+
+TEST(ClassificationGenTest, DeterministicForSeed) {
+  ClassificationSpec spec;
+  spec.rows = 100;
+  spec.dim = 1000;
+  Rng a(3), b(3);
+  auto ra = GenerateClassificationPartition(spec, 0, 2, &a);
+  auto rb = GenerateClassificationPartition(spec, 0, 2, &b);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].features, rb[i].features);
+    EXPECT_EQ(ra[i].label, rb[i].label);
+  }
+}
+
+TEST(ClassificationGenTest, SkewProducesHotFeatures) {
+  ClassificationSpec spec;
+  spec.rows = 2000;
+  spec.dim = 100000;
+  spec.skew = 2.5;
+  Rng rng(4);
+  auto rows = GenerateClassificationPartition(spec, 0, 1, &rng);
+  std::map<uint64_t, uint64_t> freq;
+  uint64_t total = 0;
+  for (const Example& ex : rows) {
+    for (uint64_t idx : ex.features.indices()) {
+      freq[idx] += 1;
+      ++total;
+    }
+  }
+  // Power-law skew: a small head of features covers a large share of
+  // occurrences...
+  std::vector<uint64_t> counts;
+  for (const auto& [id, c] : freq) counts.push_back(c);
+  std::sort(counts.rbegin(), counts.rend());
+  uint64_t head = 0;
+  for (size_t i = 0; i < counts.size() / 10; ++i) head += counts[i];
+  EXPECT_GT(static_cast<double>(head) / total, 0.25);  // ~3x a uniform head
+  // ...but the hot ids are scattered across the id space (no hot PS range).
+  uint64_t low_ids = 0;
+  for (const Example& ex : rows) {
+    for (uint64_t idx : ex.features.indices()) {
+      low_ids += idx < spec.dim / 10;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(low_ids) / total, 0.1, 0.05);
+}
+
+TEST(ClassificationGenTest, HiddenWeightSparseAndDeterministic) {
+  int nonzero = 0;
+  for (uint64_t j = 0; j < 1000; ++j) {
+    double w = HiddenWeight(j, 7);
+    EXPECT_EQ(w, HiddenWeight(j, 7));
+    nonzero += w != 0.0;
+  }
+  EXPECT_GT(nonzero, 100);
+  EXPECT_LT(nonzero, 350);  // ~20% active
+}
+
+TEST(ClassificationGenTest, LabelsCorrelateWithHiddenModel) {
+  ClassificationSpec spec;
+  spec.rows = 4000;
+  spec.dim = 10000;
+  spec.label_noise = 0.0;
+  Rng rng(5);
+  auto rows = GenerateClassificationPartition(spec, 0, 1, &rng);
+  int agree = 0;
+  for (const Example& ex : rows) {
+    double margin = 0;
+    for (uint64_t idx : ex.features.indices()) {
+      margin += HiddenWeight(idx, spec.seed);
+    }
+    agree += (margin > 0) == (ex.label > 0.5);
+  }
+  EXPECT_GT(static_cast<double>(agree) / rows.size(), 0.75);
+}
+
+TEST(GraphGenTest, GraphDeterministicAndConnectedEnough) {
+  GraphSpec spec;
+  spec.num_vertices = 500;
+  spec.avg_degree = 6;
+  auto g1 = Graph::Generate(spec);
+  auto g2 = Graph::Generate(spec);
+  EXPECT_EQ(g1.get(), g2.get());  // cached instance
+  EXPECT_EQ(g1->num_vertices(), 500u);
+  for (uint32_t v = 0; v < 500; ++v) {
+    EXPECT_FALSE(g1->Neighbors(v).empty());
+  }
+}
+
+TEST(GraphGenTest, RandomWalkStaysOnEdges) {
+  GraphSpec spec;
+  spec.num_vertices = 200;
+  auto graph = Graph::Generate(spec);
+  Rng rng(6);
+  std::vector<uint32_t> walk = graph->RandomWalk(10, 8, &rng);
+  ASSERT_EQ(walk.size(), 8u);
+  EXPECT_EQ(walk[0], 10u);
+  for (size_t i = 1; i < walk.size(); ++i) {
+    const auto& nbrs = graph->Neighbors(walk[i - 1]);
+    EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), walk[i]), nbrs.end());
+  }
+}
+
+TEST(GraphGenTest, WalkToPairsRespectsWindow) {
+  std::vector<uint32_t> walk{0, 1, 2, 3, 4};
+  std::vector<VertexPair> pairs;
+  WalkToPairs(walk, 2, &pairs);
+  for (const VertexPair& p : pairs) {
+    auto pos_u = std::find(walk.begin(), walk.end(), p.u) - walk.begin();
+    auto pos_v = std::find(walk.begin(), walk.end(), p.v) - walk.begin();
+    EXPECT_LE(std::abs(pos_u - pos_v), 2);
+    EXPECT_NE(p.u, p.v);
+  }
+  // Center vertex 2 pairs with 4 neighbors; ends with 2.
+  EXPECT_EQ(pairs.size(), 2u + 3u + 4u + 3u + 2u);
+}
+
+TEST(GraphGenTest, AliasTableMatchesDistribution) {
+  std::vector<double> weights{1.0, 3.0, 6.0};
+  AliasTable table(weights);
+  Rng rng(7);
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[table.Sample(&rng)] += 1;
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(GraphGenTest, FrequenciesCoverAllVertices) {
+  GraphSpec spec;
+  spec.num_vertices = 300;
+  std::vector<double> freq = CorpusVertexFrequencies(spec);
+  ASSERT_EQ(freq.size(), 300u);
+  for (double f : freq) EXPECT_GT(f, 0.0);
+}
+
+TEST(CorpusGenTest, DocumentsWithinVocab) {
+  CorpusSpec spec;
+  spec.num_docs = 200;
+  spec.vocab_size = 500;
+  Rng rng(8);
+  auto docs = GenerateCorpusPartition(spec, 0, 1, &rng);
+  EXPECT_EQ(docs.size(), 200u);
+  for (const Document& d : docs) {
+    EXPECT_GE(d.tokens.size(), 1u);
+    for (uint32_t w : d.tokens) EXPECT_LT(w, spec.vocab_size);
+  }
+}
+
+TEST(CorpusGenTest, TopicStructureConcentratesWords) {
+  // Documents from a topic model reuse words: the corpus must have far
+  // fewer distinct words per doc than tokens.
+  CorpusSpec spec;
+  spec.num_docs = 100;
+  spec.vocab_size = 10000;
+  spec.avg_doc_length = 200;
+  Rng rng(9);
+  auto docs = GenerateCorpusPartition(spec, 0, 1, &rng);
+  double repeat_ratio = 0;
+  for (const Document& d : docs) {
+    std::set<uint32_t> distinct(d.tokens.begin(), d.tokens.end());
+    repeat_ratio += static_cast<double>(distinct.size()) / d.tokens.size();
+  }
+  EXPECT_LT(repeat_ratio / docs.size(), 0.9);
+}
+
+TEST(GbdtGenTest, FeaturesInUnitIntervalAndLearnable) {
+  GbdtDataSpec spec;
+  spec.rows = 2000;
+  spec.num_features = 20;
+  spec.label_noise = 0.0;
+  Rng rng(10);
+  auto rows = GenerateGbdtPartition(spec, 0, 1, &rng);
+  EXPECT_EQ(rows.size(), 2000u);
+  int positives = 0;
+  for (const GbdtRow& r : rows) {
+    EXPECT_EQ(r.features.size(), 20u);
+    for (float f : r.features) {
+      EXPECT_GE(f, 0.0f);
+      EXPECT_LT(f, 1.0f);
+    }
+    positives += r.label > 0.5f;
+  }
+  // Roughly balanced labels.
+  EXPECT_GT(positives, 300);
+  EXPECT_LT(positives, 1700);
+}
+
+TEST(PresetsTest, ScaleShrinksProportionally) {
+  ClassificationSpec full = presets::KddbLike(1.0);
+  ClassificationSpec half = presets::KddbLike(0.5);
+  EXPECT_NEAR(static_cast<double>(half.rows) / full.rows, 0.5, 0.01);
+  EXPECT_NEAR(static_cast<double>(half.dim) / full.dim, 0.5, 0.01);
+  EXPECT_EQ(half.avg_nnz, full.avg_nnz);  // sparsity shape preserved
+}
+
+TEST(PresetsTest, ShapesMirrorTable2Ratios) {
+  // CTR has cols >> rows; KDDB has cols ~ rows.
+  ClassificationSpec ctr = presets::CtrLike();
+  EXPECT_GT(ctr.dim, ctr.rows * 10);
+  ClassificationSpec kddb = presets::KddbLike();
+  EXPECT_LT(kddb.dim, kddb.rows * 5);
+  // Graph2 is much larger than Graph1.
+  EXPECT_GT(presets::Graph2Like().num_vertices,
+            presets::Graph1Like().num_vertices * 3);
+}
+
+TEST(PresetsTest, PaperTable2HasEightRows) {
+  EXPECT_EQ(presets::PaperTable2().size(), 8u);
+}
+
+TEST(PresetsTest, FeatureSweepSetsExactDim) {
+  EXPECT_EQ(presets::FeatureSweep(60000000).dim, 60000000u);
+  EXPECT_EQ(presets::FeatureSweep(40000).dim, 40000u);
+}
+
+TEST(PresetsTest, AppendixHyperparametersAreDefaults) {
+  // Paper Table 4 defaults must be encoded in the options structs.
+  OptimizerOptions opt;
+  EXPECT_DOUBLE_EQ(opt.learning_rate, 0.618);
+  EXPECT_DOUBLE_EQ(opt.beta1, 0.9);
+  EXPECT_DOUBLE_EQ(opt.beta2, 0.999);
+  EXPECT_DOUBLE_EQ(opt.epsilon, 1e-8);
+
+  GlmOptions glm;
+  EXPECT_DOUBLE_EQ(glm.batch_fraction, 0.01);  // mini_batch_fraction
+
+  DeepWalkOptions dw;
+  EXPECT_EQ(dw.batch_size, 512u);
+  EXPECT_DOUBLE_EQ(dw.learning_rate, 0.01);
+  EXPECT_EQ(dw.negative_samples, 5);
+
+  GraphSpec graph;
+  EXPECT_EQ(graph.walk_length, 8u);   // length_of_random_walk
+  EXPECT_EQ(graph.window, 4u);        // window_size
+
+  GbdtOptions gbdt;
+  EXPECT_DOUBLE_EQ(gbdt.learning_rate, 0.1);
+  EXPECT_EQ(gbdt.num_trees, 100);
+  EXPECT_EQ(gbdt.max_depth, 7);
+  EXPECT_EQ(gbdt.num_bins, 100u);     // size_of_histogram
+
+  LdaOptions lda;
+  EXPECT_DOUBLE_EQ(lda.alpha, 0.5);
+  EXPECT_DOUBLE_EQ(lda.beta, 0.01);
+}
+
+}  // namespace
+}  // namespace ps2

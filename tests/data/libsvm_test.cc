@@ -1,0 +1,86 @@
+#include "data/libsvm_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace ps2 {
+namespace {
+
+TEST(LibsvmTest, ParseBasicLine) {
+  Example ex = *ParseLibsvmLine("1 3:0.5 17:1.25");
+  EXPECT_EQ(ex.label, 1.0);
+  EXPECT_EQ(ex.features.nnz(), 2u);
+  EXPECT_EQ(ex.features.Get(2), 0.5);    // 1-based -> 0-based
+  EXPECT_EQ(ex.features.Get(16), 1.25);
+}
+
+TEST(LibsvmTest, ParseLabels) {
+  EXPECT_EQ(ParseLibsvmLine("+1 1:1")->label, 1.0);
+  EXPECT_EQ(ParseLibsvmLine("-1 1:1")->label, 0.0);
+  EXPECT_EQ(ParseLibsvmLine("0 1:1")->label, 0.0);
+  EXPECT_EQ(ParseLibsvmLine("0.0 1:1")->label, 0.0);
+}
+
+TEST(LibsvmTest, ParseLabelOnlyLine) {
+  Example ex = *ParseLibsvmLine("1");
+  EXPECT_EQ(ex.features.nnz(), 0u);
+}
+
+TEST(LibsvmTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseLibsvmLine("").ok());
+  EXPECT_FALSE(ParseLibsvmLine("abc 1:1").ok());
+  EXPECT_FALSE(ParseLibsvmLine("1 nocolon").ok());
+  EXPECT_FALSE(ParseLibsvmLine("1 0:1").ok());  // 1-based indices
+  EXPECT_FALSE(ParseLibsvmLine("1 5:xyz").ok());
+}
+
+TEST(LibsvmTest, FormatRoundTrip) {
+  Example ex;
+  ex.label = 1.0;
+  ex.features = SparseVector({0, 9}, {0.5, 2.0});
+  std::string line = FormatLibsvmLine(ex);
+  EXPECT_EQ(line, "1 1:0.5 10:2");
+  Example decoded = *ParseLibsvmLine(line);
+  EXPECT_EQ(decoded.label, ex.label);
+  EXPECT_EQ(decoded.features, ex.features);
+}
+
+TEST(LibsvmTest, FileRoundTrip) {
+  std::vector<Example> examples(3);
+  examples[0].label = 1.0;
+  examples[0].features = SparseVector({1, 5}, {1.0, -2.0});
+  examples[1].label = 0.0;
+  examples[1].features = SparseVector({0}, {3.5});
+  examples[2].label = 1.0;
+
+  std::string path = ::testing::TempDir() + "/libsvm_roundtrip.txt";
+  ASSERT_TRUE(WriteLibsvmFile(path, examples).ok());
+  std::vector<Example> loaded = *ReadLibsvmFile(path);
+  ASSERT_EQ(loaded.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(loaded[i].label, examples[i].label);
+    EXPECT_EQ(loaded[i].features, examples[i].features);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LibsvmTest, ReadSkipsEmptyLines) {
+  std::string path = ::testing::TempDir() + "/libsvm_empty_lines.txt";
+  {
+    std::ofstream out(path);
+    out << "1 1:1\n\n0 2:2\n";
+  }
+  std::vector<Example> loaded = *ReadLibsvmFile(path);
+  EXPECT_EQ(loaded.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(LibsvmTest, MissingFileFails) {
+  EXPECT_TRUE(
+      ReadLibsvmFile("/nonexistent/file.txt").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace ps2

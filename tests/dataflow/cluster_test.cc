@@ -1,0 +1,135 @@
+#include "dataflow/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "dataflow/dataset.h"
+
+namespace ps2 {
+namespace {
+
+TEST(ClusterTest, RunStageExecutesEveryTaskOnce) {
+  ClusterSpec spec;
+  spec.num_workers = 3;
+  Cluster cluster(spec);
+  std::vector<std::atomic<int>> hits(10);
+  cluster.RunStage("test", 10,
+                   [&](TaskContext& ctx) { hits[ctx.task_id].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ClusterTest, TaskContextFieldsPopulated) {
+  ClusterSpec spec;
+  spec.num_workers = 4;
+  Cluster cluster(spec);
+  cluster.RunStage("test", 8, [&](TaskContext& ctx) {
+    EXPECT_EQ(ctx.executor_id,
+              static_cast<int>(ctx.task_id % 4));
+    EXPECT_EQ(ctx.cluster, &cluster);
+    EXPECT_NE(ctx.traffic, nullptr);
+  });
+}
+
+TEST(ClusterTest, StageAdvancesClockByComputeCharge) {
+  ClusterSpec spec;
+  spec.num_workers = 2;
+  spec.worker_flops = 1e9;
+  Cluster cluster(spec);
+  cluster.RunStage("test", 2, [&](TaskContext& ctx) {
+    ctx.AddWorkerOps(1000000000);  // 1 virtual second
+  });
+  EXPECT_NEAR(cluster.clock().Now(), 1.0, 0.05);
+}
+
+TEST(ClusterTest, PerTaskRngIsDeterministicAcrossStagesWithSameIndex) {
+  ClusterSpec spec;
+  spec.seed = 5;
+  Cluster a(spec), b(spec);
+  uint64_t va = 0, vb = 0;
+  a.RunStage("s", 1, [&](TaskContext& ctx) { va = ctx.rng.Next(); });
+  b.RunStage("s", 1, [&](TaskContext& ctx) { vb = ctx.rng.Next(); });
+  EXPECT_EQ(va, vb);
+}
+
+TEST(ClusterTest, PerTaskRngDiffersAcrossStages) {
+  ClusterSpec spec;
+  Cluster cluster(spec);
+  uint64_t first = 0, second = 0;
+  cluster.RunStage("s1", 1, [&](TaskContext& ctx) { first = ctx.rng.Next(); });
+  cluster.RunStage("s2", 1, [&](TaskContext& ctx) { second = ctx.rng.Next(); });
+  EXPECT_NE(first, second);
+}
+
+TEST(ClusterTest, MetricsTrackStages) {
+  ClusterSpec spec;
+  Cluster cluster(spec);
+  cluster.RunStage("a", 5, [](TaskContext&) {});
+  cluster.RunStage("b", 3, [](TaskContext&) {});
+  EXPECT_EQ(cluster.metrics().Get("cluster.stages"), 2u);
+  EXPECT_EQ(cluster.metrics().Get("cluster.tasks"), 8u);
+  EXPECT_EQ(cluster.stages_run(), 2u);
+}
+
+TEST(ClusterTest, ChargeDriverAdvancesClock) {
+  Cluster cluster(ClusterSpec{});
+  SimTime before = cluster.clock().Now();
+  cluster.ChargeDriver(0.25);
+  EXPECT_DOUBLE_EQ(cluster.clock().Now(), before + 0.25);
+}
+
+TEST(ClusterTest, FailureInjectionChargesRetriesButRunsBodiesOnce) {
+  ClusterSpec spec;
+  spec.num_workers = 4;
+  spec.task_failure_prob = 0.3;
+  spec.worker_flops = 1e9;
+  Cluster with_failures(spec);
+  spec.task_failure_prob = 0.0;
+  Cluster without(spec);
+
+  std::atomic<int> body_runs{0};
+  auto body = [&](TaskContext& ctx) {
+    body_runs.fetch_add(1);
+    ctx.AddWorkerOps(100000000);
+  };
+  for (int i = 0; i < 10; ++i) with_failures.RunStage("f", 8, body);
+  int with_runs = body_runs.exchange(0);
+  for (int i = 0; i < 10; ++i) without.RunStage("f", 8, body);
+  int without_runs = body_runs.load();
+
+  EXPECT_EQ(with_runs, without_runs);  // bodies never re-execute
+  EXPECT_GT(with_failures.metrics().Get("cluster.task_retries"), 0u);
+  EXPECT_GT(with_failures.clock().Now(), without.clock().Now());
+}
+
+TEST(ClusterTest, KillExecutorInvalidatesCachedPartitions) {
+  ClusterSpec spec;
+  spec.num_workers = 2;
+  Cluster cluster(spec);
+  std::atomic<int> generator_runs{0};
+  Dataset<int> data =
+      Dataset<int>::FromGenerator(&cluster, 4,
+                                  [&](size_t, Rng&) {
+                                    generator_runs.fetch_add(1);
+                                    return std::vector<int>{1, 2, 3};
+                                  })
+          .Cache();
+  EXPECT_EQ(data.Count(), 12u);
+  EXPECT_EQ(generator_runs.load(), 4);
+  EXPECT_EQ(data.Count(), 12u);
+  EXPECT_EQ(generator_runs.load(), 4);  // cache hits
+
+  cluster.KillExecutor(0);  // partitions 0 and 2 live on executor 0
+  EXPECT_EQ(data.Count(), 12u);
+  EXPECT_EQ(generator_runs.load(), 6);  // two partitions recomputed
+  EXPECT_EQ(cluster.metrics().Get("cluster.executor_failures"), 1u);
+}
+
+TEST(ClusterDeathTest, RejectsInvalidSpec) {
+  ClusterSpec spec;
+  spec.num_servers = -1;
+  EXPECT_DEATH({ Cluster cluster(spec); }, "invalid ClusterSpec");
+}
+
+}  // namespace
+}  // namespace ps2

@@ -1,0 +1,202 @@
+#include "dataflow/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "dataflow/broadcast.h"
+
+namespace ps2 {
+namespace {
+
+ClusterSpec SmallSpec() {
+  ClusterSpec spec;
+  spec.num_workers = 4;
+  spec.num_servers = 2;
+  return spec;
+}
+
+Dataset<int> Range(Cluster* cluster, int n, size_t parts) {
+  return Dataset<int>::FromGenerator(
+      cluster, parts,
+      [n, parts](size_t pid, Rng&) {
+        std::vector<int> out;
+        for (int i = static_cast<int>(pid); i < n;
+             i += static_cast<int>(parts)) {
+          out.push_back(i);
+        }
+        return out;
+      });
+}
+
+TEST(DatasetTest, CollectReturnsAllElements) {
+  Cluster cluster(SmallSpec());
+  std::vector<int> all = Range(&cluster, 100, 4).Collect();
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(all[i], i);
+}
+
+TEST(DatasetTest, CountMatches) {
+  Cluster cluster(SmallSpec());
+  EXPECT_EQ(Range(&cluster, 57, 4).Count(), 57u);
+}
+
+TEST(DatasetTest, MapTransformsEveryElement) {
+  Cluster cluster(SmallSpec());
+  Dataset<int> doubled =
+      Range(&cluster, 10, 2).Map<int>([](const int& x) { return 2 * x; });
+  std::vector<int> all = doubled.Collect();
+  std::sort(all.begin(), all.end());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(all[i], 2 * i);
+}
+
+TEST(DatasetTest, MapChangesElementType) {
+  Cluster cluster(SmallSpec());
+  Dataset<double> halves = Range(&cluster, 4, 2).Map<double>(
+      [](const int& x) { return x / 2.0; });
+  std::vector<double> all = halves.Collect();
+  EXPECT_EQ(all.size(), 4u);
+}
+
+TEST(DatasetTest, FilterKeepsMatching) {
+  Cluster cluster(SmallSpec());
+  Dataset<int> evens =
+      Range(&cluster, 100, 4).Filter([](const int& x) { return x % 2 == 0; });
+  EXPECT_EQ(evens.Count(), 50u);
+}
+
+TEST(DatasetTest, ReduceSums) {
+  Cluster cluster(SmallSpec());
+  int total = Range(&cluster, 101, 4)
+                  .Reduce([](const int& a, const int& b) { return a + b; }, 0);
+  EXPECT_EQ(total, 100 * 101 / 2);
+}
+
+TEST(DatasetTest, MapPartitionsSeesWholePartition) {
+  Cluster cluster(SmallSpec());
+  Dataset<size_t> sizes = Range(&cluster, 100, 4)
+                              .MapPartitions<size_t>(
+                                  [](TaskContext&, const std::vector<int>& p) {
+                                    return std::vector<size_t>{p.size()};
+                                  });
+  std::vector<size_t> all = sizes.Collect();
+  size_t total = std::accumulate(all.begin(), all.end(), size_t{0});
+  EXPECT_EQ(total, 100u);
+  EXPECT_EQ(all.size(), 4u);
+}
+
+TEST(DatasetTest, MapPartitionsCollectOrderedByPartition) {
+  Cluster cluster(SmallSpec());
+  std::vector<size_t> pids =
+      Range(&cluster, 8, 4).MapPartitionsCollect<size_t>(
+          [](TaskContext& ctx, const std::vector<int>&) {
+            return ctx.task_id;
+          });
+  ASSERT_EQ(pids.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(pids[i], i);
+}
+
+TEST(DatasetTest, SampleFractionApproximate) {
+  Cluster cluster(SmallSpec());
+  Dataset<int> data = Range(&cluster, 20000, 4);
+  size_t count = data.Sample(0.1, 99).Count();
+  EXPECT_GT(count, 1700u);
+  EXPECT_LT(count, 2300u);
+}
+
+TEST(DatasetTest, SampleIsDeterministicPerSeed) {
+  Cluster cluster(SmallSpec());
+  Dataset<int> data = Range(&cluster, 1000, 4);
+  auto a = data.Sample(0.2, 7).Collect();
+  auto b = data.Sample(0.2, 7).Collect();
+  auto c = data.Sample(0.2, 8).Collect();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(DatasetTest, SampleZeroAndOne) {
+  Cluster cluster(SmallSpec());
+  Dataset<int> data = Range(&cluster, 100, 4);
+  EXPECT_EQ(data.Sample(0.0, 1).Count(), 0u);
+  EXPECT_EQ(data.Sample(1.0, 1).Count(), 100u);
+}
+
+TEST(DatasetTest, ParallelizeRoundRobin) {
+  Cluster cluster(SmallSpec());
+  Dataset<int> data =
+      Dataset<int>::Parallelize(&cluster, {1, 2, 3, 4, 5}, 2);
+  EXPECT_EQ(data.num_partitions(), 2u);
+  std::vector<int> all = data.Collect();
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(DatasetTest, GeneratorIsDeterministicAcrossRecomputes) {
+  Cluster cluster(SmallSpec());
+  Dataset<int> data = Dataset<int>::FromGenerator(
+      &cluster, 3,
+      [](size_t, Rng& rng) {
+        std::vector<int> out;
+        for (int i = 0; i < 10; ++i) {
+          out.push_back(static_cast<int>(rng.NextUint64(1000)));
+        }
+        return out;
+      });
+  EXPECT_EQ(data.Collect(), data.Collect());
+}
+
+TEST(DatasetTest, CacheReturnsSameData) {
+  Cluster cluster(SmallSpec());
+  Dataset<int> data = Range(&cluster, 50, 4).Cache();
+  EXPECT_EQ(data.Collect(), data.Collect());
+  EXPECT_EQ(data.Count(), 50u);
+}
+
+TEST(DatasetTest, ActionsAdvanceVirtualClock) {
+  Cluster cluster(SmallSpec());
+  Dataset<int> data = Range(&cluster, 1000, 4);
+  SimTime before = cluster.clock().Now();
+  data.Count();
+  EXPECT_GT(cluster.clock().Now(), before);
+}
+
+TEST(DatasetTest, IoBytesCharged) {
+  Cluster cluster(SmallSpec());
+  Dataset<int> free_data = Range(&cluster, 10000, 4);
+  Dataset<int> charged = Dataset<int>::FromGenerator(
+      &cluster, 4,
+      [](size_t, Rng&) { return std::vector<int>(2500, 1); },
+      /*io_bytes_per_element=*/1000);
+  SimTime t0 = cluster.clock().Now();
+  free_data.Count();
+  SimTime free_elapsed = cluster.clock().Now() - t0;
+  t0 = cluster.clock().Now();
+  charged.Count();
+  SimTime charged_elapsed = cluster.clock().Now() - t0;
+  EXPECT_GT(charged_elapsed, free_elapsed * 5);
+}
+
+TEST(BroadcastTest, ValueVisibleAndClockCharged) {
+  Cluster cluster(SmallSpec());
+  SimTime before = cluster.clock().Now();
+  Broadcast<std::vector<int>> b =
+      BroadcastValue(&cluster, std::vector<int>{1, 2, 3}, 1 << 20);
+  EXPECT_GT(cluster.clock().Now(), before);
+  EXPECT_EQ(b.value().size(), 3u);
+  EXPECT_EQ(b.serialized_bytes(), 1u << 20);
+}
+
+TEST(DatasetTest, ChainedTransformations) {
+  Cluster cluster(SmallSpec());
+  int result = Range(&cluster, 100, 4)
+                   .Filter([](const int& x) { return x % 3 == 0; })
+                   .Map<int>([](const int& x) { return x * x; })
+                   .Reduce([](const int& a, const int& b) { return a + b; }, 0);
+  int expected = 0;
+  for (int i = 0; i < 100; i += 3) expected += i * i;
+  EXPECT_EQ(result, expected);
+}
+
+}  // namespace
+}  // namespace ps2

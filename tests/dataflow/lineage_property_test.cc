@@ -1,0 +1,99 @@
+// Property tests of lineage-based recovery: for ANY sequence of executor
+// kills interleaved with accesses, a cached dataset must always return
+// exactly the data its lineage defines.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/rng.h"
+#include "dataflow/dataset.h"
+
+namespace ps2 {
+namespace {
+
+class LineageSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LineageSweep, RandomKillScheduleNeverChangesData) {
+  ClusterSpec spec;
+  spec.num_workers = 4;
+  Cluster cluster(spec);
+  std::atomic<int> recomputes{0};
+  Dataset<int> data =
+      Dataset<int>::FromGenerator(&cluster, 8,
+                                  [&](size_t pid, Rng& rng) {
+                                    recomputes.fetch_add(1);
+                                    std::vector<int> out;
+                                    for (int i = 0; i < 50; ++i) {
+                                      out.push_back(static_cast<int>(
+                                          rng.NextUint64(1000) + pid));
+                                    }
+                                    return out;
+                                  })
+          .Cache();
+  std::vector<int> reference = data.Collect();
+
+  Rng rng(GetParam());
+  for (int step = 0; step < 20; ++step) {
+    if (rng.NextBernoulli(0.5)) {
+      cluster.KillExecutor(static_cast<int>(rng.NextUint64(4)));
+    }
+    EXPECT_EQ(data.Collect(), reference) << "step " << step;
+  }
+  EXPECT_GE(recomputes.load(), 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedules, LineageSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(LineagePropertyTest, DerivedDatasetsRecomputeThroughWholeChain) {
+  ClusterSpec spec;
+  spec.num_workers = 2;
+  Cluster cluster(spec);
+  Dataset<int> base =
+      Dataset<int>::FromGenerator(&cluster, 4,
+                                  [](size_t pid, Rng&) {
+                                    return std::vector<int>(
+                                        10, static_cast<int>(pid));
+                                  })
+          .Cache();
+  Dataset<int> chained = base.Map<int>([](const int& x) { return x + 1; })
+                             .Filter([](const int& x) { return x % 2 == 1; })
+                             .Cache();
+  std::vector<int> reference = chained.Collect();
+  cluster.KillExecutor(0);
+  cluster.KillExecutor(1);
+  EXPECT_EQ(chained.Collect(), reference);
+}
+
+TEST(LineagePropertyTest, KillDuringIterativeUseIsTransparent) {
+  // Interleave kills with sampled accesses (the SGD pattern).
+  ClusterSpec spec;
+  spec.num_workers = 3;
+  Cluster cluster(spec);
+  Dataset<int> data =
+      Dataset<int>::FromGenerator(&cluster, 6,
+                                  [](size_t pid, Rng& rng) {
+                                    std::vector<int> out;
+                                    for (int i = 0; i < 100; ++i) {
+                                      out.push_back(static_cast<int>(
+                                          rng.NextUint64(100) + pid));
+                                    }
+                                    return out;
+                                  })
+          .Cache();
+  std::vector<size_t> clean_counts, faulty_counts;
+  for (int mode = 0; mode < 2; ++mode) {
+    for (int iter = 0; iter < 10; ++iter) {
+      if (mode == 1 && iter % 3 == 1) {
+        cluster.KillExecutor(iter % 3);
+      }
+      size_t count = data.Sample(0.3, 42 + iter).Count();
+      (mode == 0 ? clean_counts : faulty_counts).push_back(count);
+    }
+  }
+  EXPECT_EQ(clean_counts, faulty_counts);
+}
+
+}  // namespace
+}  // namespace ps2

@@ -1,0 +1,240 @@
+#include "dcv/dcv.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dcv/dcv_context.h"
+
+namespace ps2 {
+namespace {
+
+class DcvTest : public ::testing::Test {
+ protected:
+  DcvTest() {
+    ClusterSpec spec;
+    spec.num_workers = 4;
+    spec.num_servers = 3;
+    cluster_ = std::make_unique<Cluster>(spec);
+    ctx_ = std::make_unique<DcvContext>(cluster_.get());
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<DcvContext> ctx_;
+};
+
+TEST_F(DcvTest, DenseCreatesZeroedVector) {
+  Dcv v = *ctx_->Dense(100);
+  EXPECT_EQ(v.dim(), 100u);
+  EXPECT_TRUE(v.valid());
+  std::vector<double> pulled = *v.Pull();
+  EXPECT_EQ(pulled, std::vector<double>(100, 0.0));
+}
+
+TEST_F(DcvTest, SetOverwritesPushAdds) {
+  Dcv v = *ctx_->Dense(10);
+  ASSERT_TRUE(v.Set(std::vector<double>(10, 2.0)).ok());
+  ASSERT_TRUE(v.Push(std::vector<double>(10, 1.0)).ok());
+  EXPECT_EQ((*v.Pull())[0], 3.0);
+  ASSERT_TRUE(v.Set(std::vector<double>(10, 5.0)).ok());
+  EXPECT_EQ((*v.Pull())[0], 5.0);
+}
+
+TEST_F(DcvTest, SparseAddAndPull) {
+  Dcv v = *ctx_->Dense(1000);
+  ASSERT_TRUE(v.Add(SparseVector({1, 999}, {1.0, 2.0})).ok());
+  std::vector<double> pulled = *v.PullSparse({0, 1, 999});
+  EXPECT_EQ(pulled, (std::vector<double>{0, 1, 2}));
+}
+
+TEST_F(DcvTest, RowAggregates) {
+  Dcv v = *ctx_->Dense(100);
+  std::vector<double> values(100, 0.0);
+  values[3] = 3.0;
+  values[97] = -4.0;
+  ASSERT_TRUE(v.Set(values).ok());
+  EXPECT_DOUBLE_EQ(*v.Sum(), -1.0);
+  EXPECT_DOUBLE_EQ(*v.Nnz(), 2.0);
+  EXPECT_DOUBLE_EQ(*v.Norm2(), 5.0);
+  EXPECT_DOUBLE_EQ(*v.Max(), 3.0);
+}
+
+TEST_F(DcvTest, DeriveSharesDimensionAndCoLocation) {
+  Dcv base = *ctx_->Dense(64, 4);
+  Dcv derived = *ctx_->Derive(base);
+  EXPECT_EQ(derived.dim(), 64u);
+  EXPECT_TRUE(base.CoLocatedWith(derived));
+  EXPECT_TRUE(derived.CoLocatedWith(base));
+  EXPECT_EQ(base.ref().matrix_id, derived.ref().matrix_id);
+  EXPECT_NE(base.ref().row, derived.ref().row);
+}
+
+TEST_F(DcvTest, DuplicateIsDeriveAlias) {
+  Dcv base = *ctx_->Dense(32, 3);
+  Dcv dup = *ctx_->Duplicate(base);
+  EXPECT_TRUE(base.CoLocatedWith(dup));
+}
+
+TEST_F(DcvTest, DeriveBeyondReservationExtendsGroup) {
+  // reserve_rows = 2: base + 1 derive; the 2nd derive must allocate an
+  // aligned extension matrix and stay co-located (paper §4.3).
+  Dcv base = *ctx_->Dense(64, 2);
+  Dcv first = *ctx_->Derive(base);
+  Dcv second = *ctx_->Derive(base);
+  Dcv third = *ctx_->Derive(base);
+  EXPECT_TRUE(base.CoLocatedWith(first));
+  EXPECT_TRUE(base.CoLocatedWith(second));
+  EXPECT_TRUE(base.CoLocatedWith(third));
+  EXPECT_NE(second.ref().matrix_id, base.ref().matrix_id);
+  // Element-wise ops across the extension still work (no slow path).
+  ASSERT_TRUE(base.Fill(2.0).ok());
+  ASSERT_TRUE(second.Fill(3.0).ok());
+  uint64_t noncolocated_before =
+      cluster_->metrics().Get("dcv.noncolocated_column_ops");
+  ASSERT_TRUE(third.MulOf(base, second).ok());
+  EXPECT_EQ(cluster_->metrics().Get("dcv.noncolocated_column_ops"),
+            noncolocated_before);
+  EXPECT_EQ((*third.Pull())[10], 6.0);
+}
+
+TEST_F(DcvTest, IndependentDenseNotCoLocated) {
+  Dcv a = *ctx_->Dense(64);
+  Dcv b = *ctx_->Dense(64);
+  EXPECT_FALSE(a.CoLocatedWith(b));
+}
+
+TEST_F(DcvTest, ColumnOpsElementWise) {
+  Dcv a = *ctx_->Dense(30, 6);
+  Dcv b = *ctx_->Derive(a);
+  Dcv c = *ctx_->Derive(a);
+  ASSERT_TRUE(a.Fill(6.0).ok());
+  ASSERT_TRUE(b.Fill(3.0).ok());
+  ASSERT_TRUE(c.AddOf(a, b).ok());
+  EXPECT_EQ((*c.Pull())[0], 9.0);
+  ASSERT_TRUE(c.SubOf(a, b).ok());
+  EXPECT_EQ((*c.Pull())[0], 3.0);
+  ASSERT_TRUE(c.MulOf(a, b).ok());
+  EXPECT_EQ((*c.Pull())[0], 18.0);
+  ASSERT_TRUE(c.DivOf(a, b).ok());
+  EXPECT_EQ((*c.Pull())[0], 2.0);
+  ASSERT_TRUE(c.CopyFrom(a).ok());
+  EXPECT_EQ((*c.Pull())[0], 6.0);
+  ASSERT_TRUE(c.Axpy(b, 2.0).ok());
+  EXPECT_EQ((*c.Pull())[0], 12.0);
+  ASSERT_TRUE(c.Scale(0.5).ok());
+  EXPECT_EQ((*c.Pull())[0], 6.0);
+  ASSERT_TRUE(c.Zero().ok());
+  EXPECT_EQ((*c.Pull())[0], 0.0);
+}
+
+TEST_F(DcvTest, DivByZeroYieldsZero) {
+  Dcv a = *ctx_->Dense(10, 4);
+  Dcv b = *ctx_->Derive(a);
+  Dcv c = *ctx_->Derive(a);
+  ASSERT_TRUE(a.Fill(1.0).ok());
+  ASSERT_TRUE(c.DivOf(a, b).ok());  // b is zero
+  EXPECT_EQ((*c.Pull())[0], 0.0);
+}
+
+TEST_F(DcvTest, DotOfCoLocatedVectors) {
+  Dcv a = *ctx_->Dense(100, 4);
+  Dcv b = *ctx_->Derive(a);
+  ASSERT_TRUE(a.Fill(2.0).ok());
+  ASSERT_TRUE(b.Fill(3.0).ok());
+  EXPECT_DOUBLE_EQ(*a.Dot(b), 600.0);
+}
+
+TEST_F(DcvTest, ZipAppliesUdfOverAllVectors) {
+  Dcv w = *ctx_->Dense(50, 4);
+  Dcv g = *ctx_->Derive(w);
+  ASSERT_TRUE(w.Fill(1.0).ok());
+  ASSERT_TRUE(g.Fill(0.25).ok());
+  int udf = ctx_->RegisterZip(
+      [](const std::vector<double*>& rows, size_t n, uint64_t) -> uint64_t {
+        for (size_t i = 0; i < n; ++i) rows[0][i] -= rows[1][i];
+        return 2 * n;
+      });
+  ASSERT_TRUE(w.Zip({g}, udf).ok());
+  EXPECT_EQ((*w.Pull())[49], 0.75);
+}
+
+TEST_F(DcvTest, ZipSeesGlobalColumnOffsets) {
+  Dcv v = *ctx_->Dense(90, 2);
+  int udf = ctx_->RegisterZip(
+      [](const std::vector<double*>& rows, size_t n,
+         uint64_t col_offset) -> uint64_t {
+        for (size_t i = 0; i < n; ++i) {
+          rows[0][i] = static_cast<double>(col_offset + i);
+        }
+        return n;
+      });
+  ASSERT_TRUE(v.Zip({}, udf).ok());
+  std::vector<double> pulled = *v.Pull();
+  for (size_t i = 0; i < 90; ++i) {
+    EXPECT_EQ(pulled[i], static_cast<double>(i));
+  }
+}
+
+TEST_F(DcvTest, ZipAggregateCombinesPerServer) {
+  Dcv v = *ctx_->Dense(90, 2);
+  ASSERT_TRUE(v.Fill(1.0).ok());
+  int udf = ctx_->RegisterZipAggregate(
+      [](const std::vector<const double*>& rows, size_t n,
+         uint64_t) -> std::vector<double> {
+        double s = 0;
+        for (size_t i = 0; i < n; ++i) s += rows[0][i];
+        return {s};
+      });
+  std::vector<std::vector<double>> partials = *v.ZipAggregate({}, udf);
+  double total = 0;
+  for (const auto& p : partials) total += p[0];
+  EXPECT_DOUBLE_EQ(total, 90.0);
+}
+
+TEST_F(DcvTest, InvalidHandleFailsGracefully) {
+  Dcv invalid;
+  EXPECT_FALSE(invalid.valid());
+  EXPECT_TRUE(invalid.Pull().status().IsFailedPrecondition());
+  EXPECT_TRUE(invalid.Fill(1.0).IsFailedPrecondition());
+}
+
+TEST_F(DcvTest, SparseStorageVector) {
+  Dcv v = *ctx_->Sparse(1000000);
+  ASSERT_TRUE(v.Add(SparseVector({999999}, {2.0})).ok());
+  EXPECT_EQ((*v.PullSparse({999999}))[0], 2.0);
+  EXPECT_DOUBLE_EQ(*v.Nnz(), 1.0);
+}
+
+TEST_F(DcvTest, DenseMatrixRowsAreCoLocatedAndInitialized) {
+  std::vector<Dcv> rows = *ctx_->DenseMatrix(16, 8, 0.25, 42);
+  ASSERT_EQ(rows.size(), 8u);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_TRUE(rows[0].CoLocatedWith(rows[i]));
+  }
+  bool any = false;
+  for (const Dcv& row : rows) {
+    std::vector<double> values = *row.Pull();
+    for (double v : values) {
+      EXPECT_LE(std::abs(v), 0.25);
+      any |= v != 0;
+    }
+  }
+  EXPECT_TRUE(any);
+}
+
+TEST_F(DcvTest, SpanServersRespectsCap) {
+  Dcv narrow = *ctx_->Dense(100, 2, 1, 2);
+  EXPECT_EQ(*ctx_->SpanServers(narrow), 2);
+  Dcv wide = *ctx_->Dense(100, 2, 1, 0);
+  EXPECT_EQ(*ctx_->SpanServers(wide), 3);
+}
+
+TEST_F(DcvTest, TinyDimSpansFewerServersThanCluster) {
+  Dcv tiny = *ctx_->Dense(2, 2);
+  EXPECT_LE(*ctx_->SpanServers(tiny), 2);
+  ASSERT_TRUE(tiny.Fill(4.0).ok());
+  EXPECT_DOUBLE_EQ(*tiny.Sum(), 8.0);
+}
+
+}  // namespace
+}  // namespace ps2

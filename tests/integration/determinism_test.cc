@@ -1,0 +1,134 @@
+// Determinism guarantees (DESIGN.md §7): for a fixed seed, two independent
+// clusters must produce identical virtual times, identical traffic byte
+// counts, and — for single-writer training flows — identical loss curves.
+
+#include <gtest/gtest.h>
+
+#include "data/classification_gen.h"
+#include "data/gbdt_gen.h"
+#include "dcv/dcv_context.h"
+#include "ml/gbdt/gbdt.h"
+#include "ml/logreg.h"
+
+namespace ps2 {
+namespace {
+
+struct RunOutcome {
+  std::vector<double> losses;
+  std::vector<SimTime> times;
+  uint64_t bytes_to;
+  uint64_t bytes_from;
+  uint64_t messages;
+};
+
+RunOutcome RunLr(uint64_t seed) {
+  ClusterSpec spec;
+  spec.num_workers = 4;
+  spec.num_servers = 3;
+  spec.seed = seed;
+  Cluster cluster(spec);
+  ClassificationSpec ds;
+  ds.rows = 2000;
+  ds.dim = 10000;
+  ds.seed = seed;
+  Dataset<Example> data = MakeClassificationDataset(&cluster, ds).Cache();
+  data.Count();
+  DcvContext ctx(&cluster);
+  GlmOptions options;
+  options.dim = ds.dim;
+  options.optimizer.kind = OptimizerKind::kAdam;
+  options.optimizer.learning_rate = 0.05;
+  options.batch_fraction = 0.1;
+  options.iterations = 15;
+  options.seed = seed;
+  TrainReport report = *TrainGlmPs2(&ctx, data, options);
+  RunOutcome out;
+  for (const TrainPoint& p : report.curve) {
+    out.losses.push_back(p.loss);
+    out.times.push_back(p.time);
+  }
+  out.bytes_to = cluster.metrics().Get("net.bytes_worker_to_server");
+  out.bytes_from = cluster.metrics().Get("net.bytes_server_to_worker");
+  out.messages = cluster.metrics().Get("net.messages");
+  return out;
+}
+
+TEST(DeterminismTest, LrRunsAreDeterministicAcrossClusters) {
+  RunOutcome a = RunLr(7);
+  RunOutcome b = RunLr(7);
+  // Losses agree up to floating-point summation order (concurrent gradient
+  // pushes land in scheduling order); everything the cost model consumes —
+  // byte counts, message counts, and therefore virtual times — is exact.
+  ASSERT_EQ(a.losses.size(), b.losses.size());
+  for (size_t i = 0; i < a.losses.size(); ++i) {
+    EXPECT_NEAR(a.losses[i], b.losses[i], 1e-9);
+  }
+  EXPECT_EQ(a.times, b.times);
+  EXPECT_EQ(a.bytes_to, b.bytes_to);
+  EXPECT_EQ(a.bytes_from, b.bytes_from);
+  EXPECT_EQ(a.messages, b.messages);
+}
+
+TEST(DeterminismTest, DifferentSeedsDiverge) {
+  RunOutcome a = RunLr(7);
+  RunOutcome b = RunLr(8);
+  double max_gap = 0;
+  for (size_t i = 0; i < std::min(a.losses.size(), b.losses.size()); ++i) {
+    max_gap = std::max(max_gap, std::abs(a.losses[i] - b.losses[i]));
+  }
+  EXPECT_GT(max_gap, 1e-4);
+}
+
+TEST(DeterminismTest, GbdtRunsAreBitIdenticalAcrossClusters) {
+  auto run = [] {
+    ClusterSpec spec;
+    spec.num_workers = 4;
+    spec.num_servers = 4;
+    Cluster cluster(spec);
+    GbdtDataSpec ds;
+    ds.rows = 1500;
+    ds.num_features = 20;
+    Dataset<GbdtRow> data = MakeGbdtDataset(&cluster, ds).Cache();
+    data.Count();
+    DcvContext ctx(&cluster);
+    GbdtOptions options;
+    options.num_features = 20;
+    options.num_trees = 4;
+    options.max_depth = 4;
+    options.num_bins = 8;
+    GbdtReport report = *TrainGbdtPs2(&ctx, data, options);
+    std::pair<std::vector<double>, SimTime> out;
+    for (const TrainPoint& p : report.report.curve) {
+      out.first.push_back(p.loss);
+    }
+    out.second = report.report.total_time;
+    return out;
+  };
+  auto a = run();
+  auto b = run();
+  ASSERT_EQ(a.first.size(), b.first.size());
+  for (size_t i = 0; i < a.first.size(); ++i) {
+    EXPECT_NEAR(a.first[i], b.first[i], 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(a.second, b.second);
+}
+
+TEST(DeterminismTest, FailureScheduleIsSeeded) {
+  auto run = [](uint64_t seed) {
+    ClusterSpec spec;
+    spec.num_workers = 4;
+    spec.task_failure_prob = 0.2;
+    spec.seed = seed;
+    Cluster cluster(spec);
+    for (int i = 0; i < 20; ++i) {
+      cluster.RunStage("s", 8, [](TaskContext&) {});
+    }
+    return std::make_pair(cluster.metrics().Get("cluster.task_retries"),
+                          cluster.clock().Now());
+  };
+  EXPECT_EQ(run(3), run(3));
+  EXPECT_NE(run(3).first, run(4).first);
+}
+
+}  // namespace
+}  // namespace ps2

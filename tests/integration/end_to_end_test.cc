@@ -1,0 +1,134 @@
+// End-to-end integration tests: the headline system-level behaviours the
+// paper's evaluation rests on, checked at test scale.
+
+#include <gtest/gtest.h>
+
+#include "baselines/mllib_lr.h"
+#include "data/classification_gen.h"
+#include "data/presets.h"
+#include "dcv/dcv_context.h"
+#include "ml/logreg.h"
+
+namespace ps2 {
+namespace {
+
+GlmOptions SgdOptions(uint64_t dim, int iterations) {
+  GlmOptions options;
+  options.dim = dim;
+  options.optimizer.kind = OptimizerKind::kSgd;
+  options.optimizer.learning_rate = 1.0;
+  options.batch_fraction = 0.05;
+  options.iterations = iterations;
+  return options;
+}
+
+TEST(EndToEndTest, Ps2SpeedupOverMllibGrowsWithModelSize) {
+  // The core paper claim (Fig. 1 / Fig. 13(b)): MLlib degrades with feature
+  // count while PS2 stays nearly flat, so the speedup grows.
+  double speedup_small = 0, speedup_large = 0;
+  for (uint64_t dim : {20000ULL, 400000ULL}) {
+    ClusterSpec spec;
+    spec.num_workers = 8;
+    spec.num_servers = 8;
+    Cluster cluster(spec);
+    ClassificationSpec ds;
+    ds.rows = 4000;
+    ds.dim = dim;
+    Dataset<Example> data = MakeClassificationDataset(&cluster, ds).Cache();
+    data.Count();  // materialize
+
+    DcvContext ctx(&cluster);
+    TrainReport ps2 = *TrainGlmPs2(&ctx, data, SgdOptions(dim, 10));
+    MllibReport mllib =
+        *TrainGlmMllib(&cluster, data, SgdOptions(dim, 10));
+    double speedup = mllib.report.total_time / ps2.total_time;
+    (dim == 20000 ? speedup_small : speedup_large) = speedup;
+  }
+  EXPECT_GT(speedup_large, speedup_small);
+  EXPECT_GT(speedup_large, 3.0);
+}
+
+TEST(EndToEndTest, MoreServersReduceTrainingTime) {
+  // Fig. 13(a): adding servers spreads PS load.
+  SimTime time_few = 0, time_many = 0;
+  for (int servers : {2, 8}) {
+    ClusterSpec spec;
+    spec.num_workers = 8;
+    spec.num_servers = servers;
+    // Make PS traffic the bottleneck so the server axis is what's measured.
+    spec.net_bandwidth_bps = 1.25e8;
+    Cluster cluster(spec);
+    ClassificationSpec ds;
+    ds.rows = 4000;
+    ds.dim = 200000;
+    ds.avg_nnz = 60;
+    Dataset<Example> data = MakeClassificationDataset(&cluster, ds).Cache();
+    data.Count();
+    DcvContext ctx(&cluster);
+    GlmOptions options = SgdOptions(ds.dim, 10);
+    options.batch_fraction = 0.2;
+    TrainReport report = *TrainGlmPs2(&ctx, data, options);
+    (servers == 2 ? time_few : time_many) = report.total_time;
+  }
+  EXPECT_GT(time_few, time_many);
+}
+
+TEST(EndToEndTest, MoreWorkersReduceComputeTime) {
+  SimTime time_few = 0, time_many = 0;
+  for (int workers : {2, 8}) {
+    ClusterSpec spec;
+    spec.num_workers = workers;
+    spec.num_servers = 4;
+    Cluster cluster(spec);
+    ClassificationSpec ds;
+    ds.rows = 8000;
+    ds.dim = 50000;
+    Dataset<Example> data =
+        MakeClassificationDataset(&cluster, ds, 8).Cache();
+    data.Count();
+    DcvContext ctx(&cluster);
+    GlmOptions options = SgdOptions(ds.dim, 10);
+    options.batch_fraction = 0.3;
+    TrainReport report = *TrainGlmPs2(&ctx, data, options);
+    (workers == 2 ? time_few : time_many) = report.total_time;
+  }
+  EXPECT_GT(time_few, time_many);
+}
+
+TEST(EndToEndTest, TwoTrainersShareOneClusterCleanly) {
+  // The PS application is separate from the dataflow engine: two DcvContexts
+  // (two PS "applications") can coexist against one cluster.
+  ClusterSpec spec;
+  spec.num_workers = 4;
+  spec.num_servers = 4;
+  Cluster cluster(spec);
+  ClassificationSpec ds;
+  ds.rows = 2000;
+  ds.dim = 10000;
+  Dataset<Example> data = MakeClassificationDataset(&cluster, ds).Cache();
+  DcvContext ctx_a(&cluster);
+  DcvContext ctx_b(&cluster);
+  TrainReport a = *TrainGlmPs2(&ctx_a, data, SgdOptions(ds.dim, 5));
+  TrainReport b = *TrainGlmPs2(&ctx_b, data, SgdOptions(ds.dim, 5));
+  EXPECT_NEAR(a.final_loss, b.final_loss, 1e-6);
+}
+
+TEST(EndToEndTest, MetricsExposeSystemActivity) {
+  ClusterSpec spec;
+  spec.num_workers = 4;
+  spec.num_servers = 4;
+  Cluster cluster(spec);
+  ClassificationSpec ds;
+  ds.rows = 2000;
+  ds.dim = 10000;
+  Dataset<Example> data = MakeClassificationDataset(&cluster, ds).Cache();
+  DcvContext ctx(&cluster);
+  ASSERT_TRUE(TrainGlmPs2(&ctx, data, SgdOptions(ds.dim, 5)).ok());
+  EXPECT_GT(cluster.metrics().Get("cluster.stages"), 0u);
+  EXPECT_GT(cluster.metrics().Get("net.bytes_worker_to_server"), 0u);
+  EXPECT_GT(cluster.metrics().Get("net.messages"), 0u);
+  EXPECT_GT(cluster.metrics().Get("ps.matrices_created"), 0u);
+}
+
+}  // namespace
+}  // namespace ps2

@@ -1,0 +1,138 @@
+// Fault-tolerance integration tests (paper §5.3 and Fig. 13(c)): task
+// failures slow training but do not change the solution; executor failures
+// recover via lineage; server failures recover from checkpoints.
+
+#include <gtest/gtest.h>
+
+#include "data/classification_gen.h"
+#include "dcv/dcv_context.h"
+#include "ml/logreg.h"
+
+namespace ps2 {
+namespace {
+
+ClassificationSpec SmallData() {
+  ClassificationSpec spec;
+  spec.rows = 3000;
+  spec.dim = 10000;
+  return spec;
+}
+
+GlmOptions Options() {
+  GlmOptions options;
+  options.dim = SmallData().dim;
+  options.optimizer.kind = OptimizerKind::kAdam;
+  options.optimizer.learning_rate = 0.05;
+  options.batch_fraction = 0.05;
+  options.iterations = 40;
+  return options;
+}
+
+TrainReport TrainWithFailureProb(double prob) {
+  ClusterSpec spec;
+  spec.num_workers = 4;
+  spec.num_servers = 4;
+  spec.task_failure_prob = prob;
+  Cluster cluster(spec);
+  Dataset<Example> data =
+      MakeClassificationDataset(&cluster, SmallData()).Cache();
+  data.Count();
+  DcvContext ctx(&cluster);
+  return *TrainGlmPs2(&ctx, data, Options());
+}
+
+TEST(FaultToleranceTest, TaskFailuresSlowButDoNotBreakTraining) {
+  // Fig. 13(c): p in {0, 0.01, 0.1} -> increasing time, same solution.
+  TrainReport clean = TrainWithFailureProb(0.0);
+  TrainReport mild = TrainWithFailureProb(0.01);
+  TrainReport harsh = TrainWithFailureProb(0.1);
+
+  EXPECT_LT(clean.total_time, mild.total_time);
+  EXPECT_LT(mild.total_time, harsh.total_time);
+  // "all these three cases can converge to the same solution"
+  EXPECT_NEAR(clean.final_loss, mild.final_loss, 1e-6);
+  EXPECT_NEAR(clean.final_loss, harsh.final_loss, 1e-6);
+}
+
+TEST(FaultToleranceTest, PushIsLastOpSoRetriesNeverDoublePush) {
+  // With failure injection on, gradients must not be double-counted: the
+  // loss trajectory matches the failure-free run exactly.
+  TrainReport clean = TrainWithFailureProb(0.0);
+  TrainReport harsh = TrainWithFailureProb(0.2);
+  ASSERT_EQ(clean.curve.size(), harsh.curve.size());
+  for (size_t i = 0; i < clean.curve.size(); ++i) {
+    EXPECT_NEAR(clean.curve[i].loss, harsh.curve[i].loss, 1e-6);
+  }
+}
+
+TEST(FaultToleranceTest, ExecutorFailureMidTrainingRecoversViaLineage) {
+  ClusterSpec spec;
+  spec.num_workers = 4;
+  spec.num_servers = 4;
+  Cluster cluster(spec);
+  Dataset<Example> data =
+      MakeClassificationDataset(&cluster, SmallData()).Cache();
+  data.Count();
+  DcvContext ctx(&cluster);
+
+  GlmOptions options = Options();
+  options.iterations = 10;
+  TrainReport first = *TrainGlmPs2(&ctx, data, options);
+
+  cluster.KillExecutor(1);  // drops its cached partitions
+
+  DcvContext fresh(&cluster);
+  TrainReport second = *TrainGlmPs2(&fresh, data, options);
+  // Lineage recomputes identical partitions: same training trajectory.
+  ASSERT_EQ(first.curve.size(), second.curve.size());
+  for (size_t i = 0; i < first.curve.size(); ++i) {
+    EXPECT_NEAR(first.curve[i].loss, second.curve[i].loss, 1e-6);
+  }
+}
+
+TEST(FaultToleranceTest, ServerFailureMidTrainingContinuesFromCheckpoint) {
+  ClusterSpec spec;
+  spec.num_workers = 4;
+  spec.num_servers = 4;
+  Cluster cluster(spec);
+  Dataset<Example> data =
+      MakeClassificationDataset(&cluster, SmallData()).Cache();
+  data.Count();
+  DcvContext ctx(&cluster);
+
+  GlmOptions options = Options();
+  options.iterations = 30;
+  TrainReport before_failure = *TrainGlmPs2(&ctx, data, options);
+  double trained_loss = before_failure.final_loss;
+
+  // Checkpoint, crash a server, recover, keep training with a new trainer
+  // over the SAME model state (fresh trainer = fresh vectors, so instead we
+  // verify model-state recovery directly through a DCV).
+  Dcv probe = *ctx.Dense(1000, 2);
+  ASSERT_TRUE(probe.Set(std::vector<double>(1000, 1.5)).ok());
+  ASSERT_TRUE(ctx.master()->CheckpointAll().ok());
+  ASSERT_TRUE(ctx.master()->KillAndRecoverServer(2).ok());
+  std::vector<double> recovered = *probe.Pull();
+  for (double v : recovered) EXPECT_EQ(v, 1.5);
+
+  // And the system remains fully trainable afterwards.
+  DcvContext fresh(&cluster);
+  TrainReport after = *TrainGlmPs2(&fresh, data, options);
+  EXPECT_NEAR(after.final_loss, trained_loss, 0.05);
+}
+
+TEST(FaultToleranceTest, RecoveryWithoutCheckpointLosesServerShard) {
+  ClusterSpec spec;
+  spec.num_workers = 2;
+  spec.num_servers = 2;
+  Cluster cluster(spec);
+  DcvContext ctx(&cluster);
+  Dcv v = *ctx.Dense(100, 2);
+  ASSERT_TRUE(v.Set(std::vector<double>(100, 2.0)).ok());
+  ASSERT_TRUE(ctx.master()->KillAndRecoverServer(0).ok());
+  double sum = *v.Sum();
+  EXPECT_NEAR(sum, 100.0, 1e-9);  // half the mass (one shard) is gone
+}
+
+}  // namespace
+}  // namespace ps2

@@ -1,0 +1,122 @@
+// Failure injection across every workload: task failures must slow, never
+// corrupt, DeepWalk / GBDT / LDA training (the paper only demonstrates LR).
+
+#include <gtest/gtest.h>
+
+#include "data/corpus_gen.h"
+#include "data/gbdt_gen.h"
+#include "data/graph_gen.h"
+#include "dcv/dcv_context.h"
+#include "ml/deepwalk.h"
+#include "ml/gbdt/gbdt.h"
+#include "ml/lda/lda_trainer.h"
+
+namespace ps2 {
+namespace {
+
+ClusterSpec SpecWithFailures(double p) {
+  ClusterSpec spec;
+  spec.num_workers = 4;
+  spec.num_servers = 4;
+  spec.task_failure_prob = p;
+  return spec;
+}
+
+TEST(WorkloadFaultTest, GbdtIdenticalTreesUnderTaskFailures) {
+  GbdtDataSpec ds;
+  ds.rows = 3000;
+  ds.num_features = 30;
+  GbdtOptions options;
+  options.num_features = 30;
+  options.num_trees = 5;
+  options.max_depth = 4;
+  options.num_bins = 16;
+
+  std::vector<double> clean_losses, faulty_losses;
+  SimTime clean_time = 0, faulty_time = 0;
+  for (double p : {0.0, 0.15}) {
+    Cluster cluster(SpecWithFailures(p));
+    Dataset<GbdtRow> data = MakeGbdtDataset(&cluster, ds).Cache();
+    data.Count();
+    DcvContext ctx(&cluster);
+    GbdtReport report = *TrainGbdtPs2(&ctx, data, options);
+    std::vector<double>& losses = p == 0.0 ? clean_losses : faulty_losses;
+    for (const TrainPoint& point : report.report.curve) {
+      losses.push_back(point.loss);
+    }
+    (p == 0.0 ? clean_time : faulty_time) = report.report.total_time;
+  }
+  ASSERT_EQ(clean_losses.size(), faulty_losses.size());
+  for (size_t i = 0; i < clean_losses.size(); ++i) {
+    EXPECT_NEAR(clean_losses[i], faulty_losses[i], 1e-9);
+  }
+  EXPECT_GT(faulty_time, clean_time);
+}
+
+TEST(WorkloadFaultTest, LdaConvergesUnderTaskFailures) {
+  CorpusSpec corpus;
+  corpus.num_docs = 400;
+  corpus.vocab_size = 1000;
+  LdaOptions options;
+  options.vocab_size = 1000;
+  options.num_topics = 8;
+  options.iterations = 6;
+
+  Cluster cluster(SpecWithFailures(0.1));
+  Dataset<Document> docs = MakeCorpusDataset(&cluster, corpus).Cache();
+  docs.Count();
+  DcvContext ctx(&cluster);
+  TrainReport report = *TrainLdaPs2(&ctx, docs, options);
+  EXPECT_LT(report.final_loss, report.curve.front().loss);
+  EXPECT_GT(cluster.metrics().Get("cluster.task_retries"), 0u);
+}
+
+TEST(WorkloadFaultTest, DeepWalkConvergesUnderTaskFailures) {
+  GraphSpec graph;
+  graph.num_vertices = 300;
+  graph.num_walks = 400;
+  DeepWalkOptions options;
+  options.num_vertices = 300;
+  options.embedding_dim = 8;
+  options.epochs = 4;
+  options.learning_rate = 0.02;
+
+  Cluster cluster(SpecWithFailures(0.1));
+  Dataset<VertexPair> pairs = MakeWalkPairDataset(&cluster, graph).Cache();
+  pairs.Count();
+  DcvContext ctx(&cluster);
+  TrainReport report = *TrainDeepWalkPs2(
+      &ctx, pairs, CorpusVertexFrequencies(graph), options);
+  EXPECT_LE(report.final_loss, report.curve.front().loss + 1e-6);
+  EXPECT_GT(cluster.metrics().Get("cluster.task_retries"), 0u);
+}
+
+TEST(WorkloadFaultTest, ExecutorFailureMidGbdtRecovers) {
+  GbdtDataSpec ds;
+  ds.rows = 2000;
+  ds.num_features = 20;
+  GbdtOptions options;
+  options.num_features = 20;
+  options.num_trees = 3;
+  options.max_depth = 3;
+  options.num_bins = 8;
+
+  Cluster cluster(SpecWithFailures(0.0));
+  Dataset<GbdtRow> data = MakeGbdtDataset(&cluster, ds).Cache();
+  data.Count();
+  DcvContext ctx(&cluster);
+  GbdtReport first = *TrainGbdtPs2(&ctx, data, options);
+
+  cluster.KillExecutor(2);  // lineage must rebuild identical partitions
+
+  DcvContext fresh(&cluster);
+  GbdtReport second = *TrainGbdtPs2(&fresh, data, options);
+  ASSERT_EQ(first.report.curve.size(), second.report.curve.size());
+  for (size_t i = 0; i < first.report.curve.size(); ++i) {
+    EXPECT_NEAR(first.report.curve[i].loss, second.report.curve[i].loss,
+                1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace ps2

@@ -1,0 +1,91 @@
+#include "linalg/dense_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ps2 {
+namespace {
+
+TEST(DenseVectorTest, ConstructionAndFill) {
+  DenseVector v(5, 2.0);
+  EXPECT_EQ(v.dim(), 5u);
+  EXPECT_EQ(v[3], 2.0);
+  v.Fill(-1.0);
+  EXPECT_EQ(v[0], -1.0);
+}
+
+TEST(DenseVectorTest, AxpyAndScale) {
+  DenseVector y(4, 1.0);
+  DenseVector x(std::vector<double>{1, 2, 3, 4});
+  uint64_t ops = y.Axpy(x, 2.0);
+  EXPECT_EQ(ops, 8u);
+  EXPECT_EQ(y[0], 3.0);
+  EXPECT_EQ(y[3], 9.0);
+  y.Scale(0.5);
+  EXPECT_EQ(y[3], 4.5);
+}
+
+TEST(DenseVectorTest, DotSumNormNnz) {
+  DenseVector a(std::vector<double>{1, 0, -2});
+  DenseVector b(std::vector<double>{3, 5, 1});
+  EXPECT_DOUBLE_EQ(a.Dot(b), 1.0);
+  EXPECT_DOUBLE_EQ(a.Sum(), -1.0);
+  EXPECT_DOUBLE_EQ(a.Norm2(), std::sqrt(5.0));
+  EXPECT_EQ(a.Nnz(), 2u);
+}
+
+TEST(DenseVectorTest, MismatchedDimsUseMinLength) {
+  DenseVector a(std::vector<double>{1, 1, 1});
+  DenseVector b(std::vector<double>{2, 2});
+  EXPECT_DOUBLE_EQ(a.Dot(b), 4.0);
+  a.Axpy(b, 1.0);
+  EXPECT_EQ(a[2], 1.0);  // untouched beyond min length
+}
+
+TEST(KernelsTest, ElementWiseOps) {
+  std::vector<double> a{6, 8}, b{2, 4}, dst(2);
+  kernels::Add(dst.data(), a.data(), b.data(), 2);
+  EXPECT_EQ(dst, (std::vector<double>{8, 12}));
+  kernels::Sub(dst.data(), a.data(), b.data(), 2);
+  EXPECT_EQ(dst, (std::vector<double>{4, 4}));
+  kernels::Mul(dst.data(), a.data(), b.data(), 2);
+  EXPECT_EQ(dst, (std::vector<double>{12, 32}));
+  kernels::Div(dst.data(), a.data(), b.data(), 2);
+  EXPECT_EQ(dst, (std::vector<double>{3, 2}));
+}
+
+TEST(KernelsTest, DivByZeroIsZero) {
+  std::vector<double> a{1}, b{0}, dst(1, 99);
+  kernels::Div(dst.data(), a.data(), b.data(), 1);
+  EXPECT_EQ(dst[0], 0.0);
+}
+
+TEST(KernelsTest, CopyFillDot) {
+  std::vector<double> src{1, 2, 3}, dst(3);
+  kernels::Copy(dst.data(), src.data(), 3);
+  EXPECT_EQ(dst, src);
+  kernels::Fill(dst.data(), 7.0, 3);
+  EXPECT_EQ(dst, (std::vector<double>{7, 7, 7}));
+  double out = 0;
+  uint64_t ops = kernels::Dot(src.data(), src.data(), 3, &out);
+  EXPECT_DOUBLE_EQ(out, 14.0);
+  EXPECT_EQ(ops, 6u);
+}
+
+TEST(KernelsTest, AxpyInPlace) {
+  std::vector<double> y{1, 1}, x{10, 20};
+  kernels::Axpy(y.data(), x.data(), 0.1, 2);
+  EXPECT_DOUBLE_EQ(y[0], 2.0);
+  EXPECT_DOUBLE_EQ(y[1], 3.0);
+}
+
+TEST(KernelsTest, ZeroLengthIsNoop) {
+  EXPECT_EQ(kernels::Add(nullptr, nullptr, nullptr, 0), 0u);
+  double out = 5;
+  kernels::Dot(nullptr, nullptr, 0, &out);
+  EXPECT_EQ(out, 0.0);
+}
+
+}  // namespace
+}  // namespace ps2

@@ -1,0 +1,109 @@
+#include "ml/factorization_machine.h"
+
+#include <gtest/gtest.h>
+
+#include "data/classification_gen.h"
+#include "ml/logreg.h"
+#include "ml/metrics.h"
+
+namespace ps2 {
+namespace {
+
+class FmTest : public ::testing::Test {
+ protected:
+  FmTest() {
+    ClusterSpec spec;
+    spec.num_workers = 4;
+    spec.num_servers = 4;
+    cluster_ = std::make_unique<Cluster>(spec);
+    ClassificationSpec ds;
+    ds.rows = 4000;
+    ds.dim = 8000;
+    ds.avg_nnz = 15;
+    data_ = MakeClassificationDataset(cluster_.get(), ds).Cache();
+    ctx_ = std::make_unique<DcvContext>(cluster_.get());
+  }
+
+  FmOptions Options() {
+    FmOptions options;
+    options.dim = 8000;
+    options.factors = 4;
+    options.learning_rate = 2.0;
+    options.batch_fraction = 0.1;
+    options.iterations = 80;
+    return options;
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  Dataset<Example> data_;
+  std::unique_ptr<DcvContext> ctx_;
+};
+
+TEST_F(FmTest, ValidationCatchesBadOptions) {
+  FmOptions options;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());  // dim unset
+  options.dim = 10;
+  options.factors = 0;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+  options.factors = 4;
+  options.batch_fraction = 2.0;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+}
+
+TEST_F(FmTest, LossDecreases) {
+  TrainReport report = *TrainFmPs2(ctx_.get(), data_, Options());
+  EXPECT_EQ(report.system, "PS2-FM");
+  EXPECT_NEAR(report.curve.front().loss, 0.693, 0.02);
+  EXPECT_LT(report.final_loss, 0.5);
+}
+
+TEST_F(FmTest, ModelRowsAreCoLocated) {
+  FmModel model;
+  ASSERT_TRUE(TrainFmPs2(ctx_.get(), data_, Options(), &model).ok());
+  ASSERT_EQ(model.factors.size(), 4u);
+  for (const Dcv& f : model.factors) {
+    EXPECT_TRUE(model.weights.CoLocatedWith(f));
+  }
+}
+
+TEST_F(FmTest, FactorsAreNonZeroAfterInit) {
+  // V = 0 is a saddle point; the server-side init must leave them nonzero.
+  FmOptions options = Options();
+  options.iterations = 1;
+  FmModel model;
+  ASSERT_TRUE(TrainFmPs2(ctx_.get(), data_, options, &model).ok());
+  double norm = *model.factors[0].Norm2();
+  EXPECT_GT(norm, 0.0);
+}
+
+TEST_F(FmTest, TrafficStaysSparse) {
+  cluster_->metrics().Reset();
+  FmOptions options = Options();
+  options.iterations = 5;
+  options.batch_fraction = 0.01;
+  ASSERT_TRUE(TrainFmPs2(ctx_.get(), data_, options).ok());
+  uint64_t bytes = cluster_->metrics().Get("net.bytes_worker_to_server") +
+                   cluster_->metrics().Get("net.bytes_server_to_worker");
+  // 5 iterations x (k+1) rows over a tiny support must stay far below five
+  // full-model round trips.
+  EXPECT_LT(bytes, 5ull * (options.factors + 1) * options.dim * 8);
+}
+
+TEST_F(FmTest, BeatsLinearModelOnInteractionData) {
+  // FM's pairwise term captures structure linear LR cannot once the data
+  // has co-occurrence signal; at minimum FM must not be worse on the same
+  // budget.
+  TrainReport fm = *TrainFmPs2(ctx_.get(), data_, Options());
+  GlmOptions glm;
+  glm.dim = 8000;
+  glm.optimizer.kind = OptimizerKind::kSgd;
+  glm.optimizer.learning_rate = 2.0;
+  glm.batch_fraction = 0.1;
+  glm.iterations = 80;
+  DcvContext fresh(cluster_.get());
+  TrainReport lr = *TrainGlmPs2(&fresh, data_, glm);
+  EXPECT_LT(fm.final_loss, lr.final_loss + 0.05);
+}
+
+}  // namespace
+}  // namespace ps2

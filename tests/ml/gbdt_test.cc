@@ -1,0 +1,253 @@
+#include "ml/gbdt/gbdt.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/xgboost_gbdt.h"
+#include "ml/gbdt/histogram.h"
+#include "ml/gbdt/quantile_sketch.h"
+#include "ml/metrics.h"
+
+namespace ps2 {
+namespace {
+
+TEST(QuantileSketchTest, ReservoirKeepsCapacity) {
+  FeatureSample sample(16);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) sample.Add(static_cast<float>(i), &rng);
+  EXPECT_EQ(sample.values().size(), 16u);
+  EXPECT_EQ(sample.seen(), 1000u);
+}
+
+TEST(QuantileSketchTest, CutsAreMonotone) {
+  std::vector<FeatureSample> samples(3, FeatureSample(128));
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    for (auto& s : samples) s.Add(static_cast<float>(rng.NextDouble()), &rng);
+  }
+  BinCuts cuts = BinCuts::FromSamples(samples, 16);
+  for (uint32_t f = 0; f < 3; ++f) {
+    for (uint32_t b = 1; b + 1 < 16; ++b) {
+      EXPECT_GE(cuts.CutValue(f, b), cuts.CutValue(f, b - 1));
+    }
+  }
+}
+
+TEST(QuantileSketchTest, UniformDataGetsRoughlyEqualBins) {
+  std::vector<FeatureSample> samples(1, FeatureSample(512));
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    samples[0].Add(static_cast<float>(rng.NextDouble()), &rng);
+  }
+  BinCuts cuts = BinCuts::FromSamples(samples, 10);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    counts[cuts.BinOf(0, static_cast<float>(rng.NextDouble()))] += 1;
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 500);
+    EXPECT_LT(c, 1600);
+  }
+}
+
+TEST(QuantileSketchTest, BinOfRespectsCuts) {
+  BinCuts cuts(1, 4);  // all cuts zero -> everything above 0 in last bin
+  EXPECT_EQ(cuts.BinOf(0, -1.0f), 0u);
+  EXPECT_EQ(cuts.BinOf(0, 1.0f), 3u);
+}
+
+TEST(HistogramTest, AccumulateCountsGradients) {
+  std::vector<uint16_t> bins{0, 1, 1, 0};  // 2 examples x 2 features
+  std::vector<double> grad{1.0, 10.0};
+  std::vector<double> hess{0.5, 0.25};
+  std::vector<uint32_t> rows{0, 1};
+  std::vector<double> gh, hh;
+  AccumulateHistogram(bins, grad, hess, rows, 2, 2, &gh, &hh);
+  // feature 0: example0 bin0 (g=1), example1 bin1 (g=10)
+  EXPECT_EQ(gh[0], 1.0);
+  EXPECT_EQ(gh[1], 10.0);
+  // feature 1: example0 bin1, example1 bin0
+  EXPECT_EQ(gh[2], 10.0);
+  EXPECT_EQ(gh[3], 1.0);
+  EXPECT_EQ(hh[0], 0.5);
+}
+
+TEST(HistogramTest, BestSplitSeparatesSignal) {
+  // Feature 0 perfectly separates positives (bin 0, grad -1) from negatives
+  // (bin 1, grad +1); feature 1 is uninformative.
+  const uint32_t bins = 4;
+  std::vector<double> gh(2 * bins, 0.0), hh(2 * bins, 0.25);
+  gh[0] = -50;   // f0 bin0
+  gh[1] = 50;    // f0 bin1
+  gh[4] = 0;     // f1 spread evenly
+  gh[5] = 0;
+  hh[0] = hh[1] = 25;
+  SplitCandidate best =
+      BestSplitInRange(gh.data(), hh.data(), 0, 2, bins, 0.0, 50.0, 1.0, 1e-3);
+  ASSERT_TRUE(best.valid);
+  EXPECT_EQ(best.feature, 0u);
+  EXPECT_EQ(best.bin, 0u);
+  EXPECT_NEAR(best.left_grad, -50.0, 1e-12);
+}
+
+TEST(HistogramTest, MinChildHessBlocksTinySplits) {
+  const uint32_t bins = 2;
+  std::vector<double> gh(bins, 0.0), hh(bins, 0.0);
+  gh[0] = -5;
+  hh[0] = 1e-6;  // tiny left child
+  gh[1] = 5;
+  hh[1] = 10;
+  SplitCandidate best =
+      BestSplitInRange(gh.data(), hh.data(), 0, 1, bins, 0.0, 10.0, 1.0, 1e-3);
+  EXPECT_FALSE(best.valid);
+}
+
+TEST(HistogramTest, FeatureRangeOffsets) {
+  // Scanning features [3, 5) with a slice pointer must report global ids.
+  const uint32_t bins = 2;
+  std::vector<double> gh(2 * bins, 0.0), hh(2 * bins, 1.0);
+  gh[2] = -10;  // local feature 1 (global 4), bin 0
+  gh[3] = 10;
+  SplitCandidate best =
+      BestSplitInRange(gh.data(), hh.data(), 3, 5, bins, 0.0, 2.0, 1.0, 1e-3);
+  ASSERT_TRUE(best.valid);
+  EXPECT_EQ(best.feature, 4u);
+}
+
+TEST(TreeTest, PredictRoutesBinnedAndRaw) {
+  RegressionTree tree;
+  int root = tree.AddNode();
+  int left = tree.AddNode();
+  int right = tree.AddNode();
+  TreeNode& r = tree.node(root);
+  r.is_leaf = false;
+  r.feature = 1;
+  r.bin = 3;
+  r.threshold = 0.5f;
+  r.left = left;
+  r.right = right;
+  tree.node(left).weight = -1.0;
+  tree.node(right).weight = 2.0;
+
+  uint16_t bins_left[2] = {0, 3};
+  uint16_t bins_right[2] = {0, 4};
+  EXPECT_EQ(tree.PredictBinned(bins_left), -1.0);
+  EXPECT_EQ(tree.PredictBinned(bins_right), 2.0);
+  EXPECT_EQ(tree.Predict({0.9f, 0.4f}), -1.0);
+  EXPECT_EQ(tree.Predict({0.9f, 0.6f}), 2.0);
+}
+
+TEST(GbdtOptionsTest, Validation) {
+  GbdtOptions options;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());  // num_features unset
+  options.num_features = 10;
+  EXPECT_TRUE(options.Validate().ok());
+  options.max_depth = 0;
+  EXPECT_FALSE(options.Validate().ok());
+  options.max_depth = 5;
+  options.num_bins = 1;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+class GbdtTrainTest : public ::testing::Test {
+ protected:
+  GbdtTrainTest() {
+    ClusterSpec spec;
+    spec.num_workers = 4;
+    spec.num_servers = 4;
+    cluster_ = std::make_unique<Cluster>(spec);
+    GbdtDataSpec ds;
+    ds.rows = 6000;
+    ds.num_features = 200;
+    data_ = MakeGbdtDataset(cluster_.get(), ds).Cache();
+    ctx_ = std::make_unique<DcvContext>(cluster_.get());
+    options_.num_features = 200;
+    options_.num_trees = 10;
+    options_.max_depth = 5;
+    options_.num_bins = 32;
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  Dataset<GbdtRow> data_;
+  std::unique_ptr<DcvContext> ctx_;
+  GbdtOptions options_;
+};
+
+TEST_F(GbdtTrainTest, LossDecreasesPerTree) {
+  GbdtReport report = *TrainGbdtPs2(ctx_.get(), data_, options_);
+  ASSERT_EQ(report.report.curve.size(), 10u);
+  EXPECT_LT(report.report.final_loss, 0.6);
+  for (size_t i = 1; i < report.report.curve.size(); ++i) {
+    EXPECT_LE(report.report.curve[i].loss,
+              report.report.curve[i - 1].loss + 1e-6);
+  }
+}
+
+TEST_F(GbdtTrainTest, ModelPredictsTrainingData) {
+  GbdtReport report = *TrainGbdtPs2(ctx_.get(), data_, options_);
+  std::vector<GbdtRow> rows = data_.Collect();
+  int correct = 0;
+  for (const GbdtRow& row : rows) {
+    double margin = report.model.PredictMargin(row.features);
+    correct += (margin > 0) == (row.label > 0.5f);
+  }
+  EXPECT_GT(static_cast<double>(correct) / rows.size(), 0.75);
+}
+
+TEST_F(GbdtTrainTest, XgboostBaselineGrowsIdenticalTrees) {
+  GbdtReport ps2 = *TrainGbdtPs2(ctx_.get(), data_, options_);
+  GbdtReport xgb = *TrainGbdtXgboost(cluster_.get(), data_, options_);
+  ASSERT_EQ(ps2.report.curve.size(), xgb.report.curve.size());
+  for (size_t i = 0; i < ps2.report.curve.size(); ++i) {
+    EXPECT_NEAR(ps2.report.curve[i].loss, xgb.report.curve[i].loss, 1e-9);
+  }
+  EXPECT_EQ(ps2.model.trees.size(), xgb.model.trees.size());
+}
+
+TEST_F(GbdtTrainTest, Ps2FasterThanXgboost) {
+  GbdtReport ps2 = *TrainGbdtPs2(ctx_.get(), data_, options_);
+  GbdtReport xgb = *TrainGbdtXgboost(cluster_.get(), data_, options_);
+  EXPECT_GT(xgb.report.total_time, ps2.report.total_time);
+}
+
+TEST_F(GbdtTrainTest, HistogramSubtractionGrowsIdenticalTrees) {
+  GbdtReport plain = *TrainGbdtPs2(ctx_.get(), data_, options_);
+  cluster_->metrics().Reset();
+  GbdtOptions subtract = options_;
+  subtract.histogram_subtraction = true;
+  DcvContext fresh(cluster_.get());
+  GbdtReport derived = *TrainGbdtPs2(&fresh, data_, subtract);
+  ASSERT_EQ(plain.report.curve.size(), derived.report.curve.size());
+  for (size_t i = 0; i < plain.report.curve.size(); ++i) {
+    EXPECT_NEAR(plain.report.curve[i].loss, derived.report.curve[i].loss,
+                1e-9);
+  }
+}
+
+TEST_F(GbdtTrainTest, HistogramSubtractionReducesPushTraffic) {
+  cluster_->metrics().Reset();
+  GbdtReport plain = *TrainGbdtPs2(ctx_.get(), data_, options_);
+  uint64_t plain_bytes =
+      cluster_->metrics().Get("net.bytes_worker_to_server");
+  cluster_->metrics().Reset();
+  GbdtOptions subtract = options_;
+  subtract.histogram_subtraction = true;
+  DcvContext fresh(cluster_.get());
+  GbdtReport derived = *TrainGbdtPs2(&fresh, data_, subtract);
+  uint64_t derived_bytes =
+      cluster_->metrics().Get("net.bytes_worker_to_server");
+  EXPECT_LT(derived_bytes, plain_bytes * 4 / 5);
+  EXPECT_LE(derived.report.total_time, plain.report.total_time);
+}
+
+TEST_F(GbdtTrainTest, DepthOneProducesSingleLeafTrees) {
+  options_.max_depth = 1;
+  options_.num_trees = 2;
+  GbdtReport report = *TrainGbdtPs2(ctx_.get(), data_, options_);
+  for (const RegressionTree& tree : report.model.trees) {
+    EXPECT_EQ(tree.size(), 1u);
+    EXPECT_TRUE(tree.node(0).is_leaf);
+  }
+}
+
+}  // namespace
+}  // namespace ps2

@@ -1,0 +1,86 @@
+#include "ml/lbfgs.h"
+
+#include <gtest/gtest.h>
+
+#include "data/classification_gen.h"
+#include "ml/metrics.h"
+
+namespace ps2 {
+namespace {
+
+class LbfgsTest : public ::testing::Test {
+ protected:
+  LbfgsTest() {
+    ClusterSpec spec;
+    spec.num_workers = 4;
+    spec.num_servers = 3;
+    cluster_ = std::make_unique<Cluster>(spec);
+    ClassificationSpec ds;
+    ds.rows = 4000;
+    ds.dim = 10000;
+    ds.avg_nnz = 20;
+    data_ = MakeClassificationDataset(cluster_.get(), ds).Cache();
+    ctx_ = std::make_unique<DcvContext>(cluster_.get());
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  Dataset<Example> data_;
+  std::unique_ptr<DcvContext> ctx_;
+};
+
+TEST_F(LbfgsTest, ValidationCatchesBadOptions) {
+  LbfgsOptions options;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());  // dim unset
+  options.dim = 10;
+  options.history = 0;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+  options.history = 5;
+  options.iterations = -1;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+}
+
+TEST_F(LbfgsTest, ConvergesFastOnLogisticLoss) {
+  LbfgsOptions options;
+  options.dim = 10000;
+  options.iterations = 20;
+  TrainReport report = *TrainLbfgsPs2(ctx_.get(), data_, options);
+  EXPECT_EQ(report.system, "PS2-LBFGS");
+  EXPECT_LT(report.final_loss, 0.15);
+}
+
+TEST_F(LbfgsTest, MonotoneNonIncreasingLoss) {
+  // Backtracking line search only accepts improving steps.
+  LbfgsOptions options;
+  options.dim = 10000;
+  options.iterations = 15;
+  TrainReport report = *TrainLbfgsPs2(ctx_.get(), data_, options);
+  for (size_t i = 1; i < report.curve.size(); ++i) {
+    EXPECT_LE(report.curve[i].loss, report.curve[i - 1].loss + 1e-9);
+  }
+}
+
+TEST_F(LbfgsTest, BeatsPlainGradientDescentPerIteration) {
+  LbfgsOptions lbfgs_options;
+  lbfgs_options.dim = 10000;
+  lbfgs_options.iterations = 10;
+  TrainReport lbfgs = *TrainLbfgsPs2(ctx_.get(), data_, lbfgs_options);
+
+  // One-entry history degenerates toward (scaled) gradient descent.
+  LbfgsOptions weak = lbfgs_options;
+  weak.history = 1;
+  TrainReport gd = *TrainLbfgsPs2(ctx_.get(), data_, weak);
+  EXPECT_LE(lbfgs.final_loss, gd.final_loss + 0.05);
+}
+
+TEST_F(LbfgsTest, WeightsPredictWell) {
+  LbfgsOptions options;
+  options.dim = 10000;
+  options.iterations = 20;
+  Dcv weight;
+  ASSERT_TRUE(TrainLbfgsPs2(ctx_.get(), data_, options, &weight).ok());
+  std::vector<double> w = *weight.Pull();
+  EXPECT_GT(Accuracy(data_.Collect(), w), 0.9);
+}
+
+}  // namespace
+}  // namespace ps2

@@ -1,0 +1,209 @@
+#include "ml/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ps2 {
+namespace {
+
+TEST(OptimizerTest, StateVectorCounts) {
+  EXPECT_EQ(OptimizerStateVectors(OptimizerKind::kSgd), 0);
+  EXPECT_EQ(OptimizerStateVectors(OptimizerKind::kAdagrad), 1);
+  EXPECT_EQ(OptimizerStateVectors(OptimizerKind::kRmsProp), 1);
+  EXPECT_EQ(OptimizerStateVectors(OptimizerKind::kAdam), 2);
+}
+
+TEST(OptimizerTest, KindNames) {
+  EXPECT_STREQ(OptimizerKindName(OptimizerKind::kSgd), "SGD");
+  EXPECT_STREQ(OptimizerKindName(OptimizerKind::kAdam), "Adam");
+}
+
+TEST(OptimizerTest, SgdStep) {
+  OptimizerOptions opt;
+  opt.kind = OptimizerKind::kSgd;
+  opt.learning_rate = 0.1;
+  double w[2] = {1.0, -1.0};
+  double g[2] = {2.0, -4.0};
+  ApplyOptimizerStep(opt, 1, w, g, nullptr, nullptr, 2);
+  EXPECT_DOUBLE_EQ(w[0], 0.8);
+  EXPECT_DOUBLE_EQ(w[1], -0.6);
+}
+
+TEST(OptimizerTest, SgdWithL2ShrinksWeights) {
+  OptimizerOptions opt;
+  opt.kind = OptimizerKind::kSgd;
+  opt.learning_rate = 0.1;
+  opt.l2 = 1.0;
+  double w[1] = {1.0};
+  double g[1] = {0.0};
+  ApplyOptimizerStep(opt, 1, w, g, nullptr, nullptr, 1);
+  EXPECT_DOUBLE_EQ(w[0], 0.9);
+}
+
+TEST(OptimizerTest, AdagradAccumulatesSquares) {
+  OptimizerOptions opt;
+  opt.kind = OptimizerKind::kAdagrad;
+  opt.learning_rate = 1.0;
+  opt.epsilon = 0.0;
+  double w[1] = {0.0};
+  double g[1] = {2.0};
+  double s[1] = {0.0};
+  ApplyOptimizerStep(opt, 1, w, g, s, nullptr, 1);
+  EXPECT_DOUBLE_EQ(s[0], 4.0);
+  EXPECT_DOUBLE_EQ(w[0], -1.0);  // -lr * g / sqrt(s)
+  ApplyOptimizerStep(opt, 2, w, g, s, nullptr, 1);
+  EXPECT_DOUBLE_EQ(s[0], 8.0);
+  EXPECT_NEAR(w[0], -1.0 - 2.0 / std::sqrt(8.0), 1e-12);
+}
+
+TEST(OptimizerTest, RmsPropDecaysSecondMoment) {
+  OptimizerOptions opt;
+  opt.kind = OptimizerKind::kRmsProp;
+  opt.learning_rate = 1.0;
+  opt.rho = 0.5;
+  opt.epsilon = 0.0;
+  double w[1] = {0.0};
+  double g[1] = {2.0};
+  double s[1] = {8.0};
+  ApplyOptimizerStep(opt, 1, w, g, s, nullptr, 1);
+  EXPECT_DOUBLE_EQ(s[0], 0.5 * 8.0 + 0.5 * 4.0);
+  EXPECT_NEAR(w[0], -2.0 / std::sqrt(6.0), 1e-12);
+}
+
+TEST(OptimizerTest, AdamFirstStepIsBiasCorrected) {
+  OptimizerOptions opt;
+  opt.kind = OptimizerKind::kAdam;
+  opt.learning_rate = 0.1;
+  double w[1] = {0.0};
+  double g[1] = {3.0};
+  double s[1] = {0.0};
+  double v[1] = {0.0};
+  ApplyOptimizerStep(opt, 1, w, g, s, v, 1);
+  // After bias correction the first step is ~-lr * sign(g) regardless of g.
+  EXPECT_NEAR(w[0], -0.1, 1e-6);
+}
+
+TEST(OptimizerTest, AdamStationaryCoordinateStaysPut) {
+  // Once a coordinate's gradient goes (and stays) zero, its weight must not
+  // drift — the failure mode of the paper's as-written Eq. (1).
+  OptimizerOptions opt;
+  opt.kind = OptimizerKind::kAdam;
+  opt.learning_rate = 0.1;
+  double w[1] = {0.0};
+  double s[1] = {0.0};
+  double v[1] = {0.0};
+  double g_hot[1] = {1.0};
+  double g_zero[1] = {0.0};
+  ApplyOptimizerStep(opt, 1, w, g_hot, s, v, 1);
+  double after_hot = w[0];
+  for (int t = 2; t <= 500; ++t) {
+    ApplyOptimizerStep(opt, t, w, g_zero, s, v, 1);
+  }
+  // Standard Adam's momentum tail moves the coordinate a bounded amount
+  // (here well under 1.0); the paper-as-written variant explodes to ~lr*t.
+  EXPECT_LT(std::abs(w[0] - after_hot), 1.0);
+  EXPECT_TRUE(std::isfinite(w[0]));
+}
+
+TEST(OptimizerTest, AdamConvergesOnQuadratic) {
+  // Minimize f(w) = 0.5*(w-3)^2; gradient = w-3.
+  OptimizerOptions opt;
+  opt.kind = OptimizerKind::kAdam;
+  opt.learning_rate = 0.1;
+  double w[1] = {0.0};
+  double s[1] = {0.0};
+  double v[1] = {0.0};
+  for (int t = 1; t <= 500; ++t) {
+    double g[1] = {w[0] - 3.0};
+    ApplyOptimizerStep(opt, t, w, g, s, v, 1);
+  }
+  EXPECT_NEAR(w[0], 3.0, 0.05);
+}
+
+TEST(OptimizerTest, ZipUdfMatchesDirectApplication) {
+  OptimizerOptions opt;
+  opt.kind = OptimizerKind::kAdam;
+  opt.learning_rate = 0.05;
+  auto step = std::make_shared<std::atomic<int64_t>>(0);
+  ZipFn zip = MakeOptimizerZip(opt, step);
+
+  const size_t n = 16;
+  std::vector<double> w_zip(n, 0.1), s_zip(n, 0.0), v_zip(n, 0.0),
+      g(n, 0.5);
+  std::vector<double> w_ref = w_zip, s_ref = s_zip, v_ref = v_zip;
+  for (int t = 1; t <= 3; ++t) {
+    step->fetch_add(1);
+    std::vector<double*> rows{w_zip.data(), s_zip.data(), v_zip.data(),
+                              g.data()};
+    zip(rows, n, 0);
+    ApplyOptimizerStep(opt, t, w_ref.data(), g.data(), s_ref.data(),
+                       v_ref.data(), n);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(w_zip[i], w_ref[i]);
+    EXPECT_DOUBLE_EQ(s_zip[i], s_ref[i]);
+    EXPECT_DOUBLE_EQ(v_zip[i], v_ref[i]);
+  }
+}
+
+TEST(OptimizerTest, SgdZipUsesTwoRows) {
+  OptimizerOptions opt;
+  opt.kind = OptimizerKind::kSgd;
+  opt.learning_rate = 1.0;
+  auto step = std::make_shared<std::atomic<int64_t>>(1);
+  ZipFn zip = MakeOptimizerZip(opt, step);
+  std::vector<double> w{1.0}, g{0.25};
+  std::vector<double*> rows{w.data(), g.data()};
+  zip(rows, 1, 0);
+  EXPECT_DOUBLE_EQ(w[0], 0.75);
+}
+
+class OptimizerConvergenceSweep
+    : public ::testing::TestWithParam<OptimizerKind> {};
+
+TEST_P(OptimizerConvergenceSweep, ReducesQuadraticLoss) {
+  OptimizerOptions opt;
+  opt.kind = GetParam();
+  switch (opt.kind) {
+    case OptimizerKind::kSgd:
+      opt.learning_rate = 0.3;
+      break;
+    case OptimizerKind::kAdagrad:
+      opt.learning_rate = 1.0;  // Adagrad's shrinking steps need a big base
+      break;
+    default:
+      opt.learning_rate = 0.1;
+      break;
+  }
+  const size_t n = 8;
+  std::vector<double> w(n, 5.0), s(n, 0.0), v(n, 0.0), g(n);
+  auto loss = [&] {
+    double total = 0;
+    for (double x : w) total += 0.5 * x * x;
+    return total;
+  };
+  double initial = loss();
+  for (int t = 1; t <= 200; ++t) {
+    for (size_t i = 0; i < n; ++i) g[i] = w[i];
+    ApplyOptimizerStep(opt, t, w.data(), g.data(),
+                       OptimizerStateVectors(opt.kind) >= 1 ? s.data()
+                                                            : nullptr,
+                       OptimizerStateVectors(opt.kind) >= 2 ? v.data()
+                                                            : nullptr,
+                       n);
+  }
+  EXPECT_LT(loss(), initial * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, OptimizerConvergenceSweep,
+                         ::testing::Values(OptimizerKind::kSgd,
+                                           OptimizerKind::kAdagrad,
+                                           OptimizerKind::kRmsProp,
+                                           OptimizerKind::kAdam),
+                         [](const auto& info) {
+                           return OptimizerKindName(info.param);
+                         });
+
+}  // namespace
+}  // namespace ps2

@@ -1,0 +1,158 @@
+#include "ps/partitioner.h"
+
+#include <gtest/gtest.h>
+
+namespace ps2 {
+namespace {
+
+TEST(PartitionerTest, RangesCoverDimension) {
+  ColumnPartitioner p = *ColumnPartitioner::Make(100, 4);
+  uint64_t covered = 0;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(p.RangeBegin(i), covered);
+    covered = p.RangeEnd(i);
+  }
+  EXPECT_EQ(covered, 100u);
+}
+
+TEST(PartitionerTest, RangesBalanced) {
+  ColumnPartitioner p = *ColumnPartitioner::Make(103, 4);
+  uint64_t min_w = 1000, max_w = 0;
+  uint64_t total = 0;
+  for (int i = 0; i < 4; ++i) {
+    uint64_t w = p.RangeWidth(i);
+    total += w;
+    min_w = std::min(min_w, w);
+    max_w = std::max(max_w, w);
+  }
+  EXPECT_EQ(total, 103u);
+  EXPECT_LE(max_w - min_w, 26u);
+}
+
+TEST(PartitionerTest, PartitionOfColumnConsistentWithRanges) {
+  ColumnPartitioner p = *ColumnPartitioner::Make(1000, 7);
+  for (uint64_t col = 0; col < 1000; ++col) {
+    int part = p.PartitionOfColumn(col);
+    EXPECT_GE(col, p.RangeBegin(part));
+    EXPECT_LT(col, p.RangeEnd(part));
+  }
+}
+
+TEST(PartitionerTest, AlignmentKeepsUnitsTogether) {
+  // 10 units of 16 columns over 3 servers: no unit may straddle a boundary.
+  ColumnPartitioner p = *ColumnPartitioner::Make(160, 3, 16);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(p.RangeBegin(i) % 16, 0u);
+    EXPECT_EQ(p.RangeEnd(i) % 16, 0u);
+  }
+  // All 16 columns of each unit resolve to one server.
+  for (uint64_t unit = 0; unit < 10; ++unit) {
+    int server = p.ServerOfColumn(unit * 16);
+    for (uint64_t c = 1; c < 16; ++c) {
+      EXPECT_EQ(p.ServerOfColumn(unit * 16 + c), server);
+    }
+  }
+}
+
+TEST(PartitionerTest, RejectsUnalignedDim) {
+  EXPECT_FALSE(ColumnPartitioner::Make(100, 4, 16).ok());
+}
+
+TEST(PartitionerTest, RejectsZeroDim) {
+  EXPECT_TRUE(
+      ColumnPartitioner::Make(0, 4).status().IsInvalidArgument());
+}
+
+TEST(PartitionerTest, RejectsZeroServers) {
+  EXPECT_FALSE(ColumnPartitioner::Make(10, 0).ok());
+}
+
+TEST(PartitionerTest, RotationShiftsServerAssignment) {
+  ColumnPartitioner a = *ColumnPartitioner::Make(100, 4, 1, 0);
+  ColumnPartitioner b = *ColumnPartitioner::Make(100, 4, 1, 1);
+  EXPECT_EQ(a.ServerOfPartition(0), 0);
+  EXPECT_EQ(b.ServerOfPartition(0), 1);
+  EXPECT_EQ(b.ServerOfPartition(3), 0);
+  // Ranges themselves are unchanged by rotation.
+  EXPECT_EQ(a.RangeBegin(2), b.RangeBegin(2));
+}
+
+TEST(PartitionerTest, CoLocationRequiresSameRotation) {
+  ColumnPartitioner a = *ColumnPartitioner::Make(100, 4, 1, 0);
+  ColumnPartitioner b = *ColumnPartitioner::Make(100, 4, 1, 0);
+  ColumnPartitioner c = *ColumnPartitioner::Make(100, 4, 1, 1);
+  EXPECT_TRUE(a.CoLocatedWith(b));
+  EXPECT_FALSE(a.CoLocatedWith(c));
+}
+
+TEST(PartitionerTest, CoLocationRequiresSameShape) {
+  ColumnPartitioner a = *ColumnPartitioner::Make(100, 4);
+  ColumnPartitioner b = *ColumnPartitioner::Make(100, 5);
+  ColumnPartitioner c = *ColumnPartitioner::Make(200, 4);
+  EXPECT_FALSE(a.CoLocatedWith(b));
+  EXPECT_FALSE(a.CoLocatedWith(c));
+}
+
+TEST(PartitionerTest, RotationNormalized) {
+  ColumnPartitioner p = *ColumnPartitioner::Make(100, 4, 1, 7);
+  EXPECT_EQ(p.rotation(), 3);
+  ColumnPartitioner q = *ColumnPartitioner::Make(100, 4, 1, -1);
+  EXPECT_EQ(q.rotation(), 3);
+}
+
+TEST(PartitionerTest, MoreServersThanUnitsLeavesEmptyRanges) {
+  // dim 3 over 8 servers: partitions beyond the units are empty, never
+  // out of bounds.
+  ColumnPartitioner p = *ColumnPartitioner::Make(3, 8);
+  uint64_t total = 0;
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_LE(p.RangeBegin(i), p.RangeEnd(i));
+    total += p.RangeWidth(i);
+  }
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(PartitionerTest, SingleServerOwnsEverything) {
+  ColumnPartitioner p = *ColumnPartitioner::Make(42, 1);
+  EXPECT_EQ(p.RangeBegin(0), 0u);
+  EXPECT_EQ(p.RangeEnd(0), 42u);
+  EXPECT_EQ(p.ServerOfColumn(41), 0);
+}
+
+class PartitionerSweep
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int, uint64_t>> {};
+
+TEST_P(PartitionerSweep, InvariantsHold) {
+  auto [dim, servers, alignment] = GetParam();
+  if (dim % alignment != 0) GTEST_SKIP();
+  Result<ColumnPartitioner> result =
+      ColumnPartitioner::Make(dim, servers, alignment);
+  ASSERT_TRUE(result.ok());
+  const ColumnPartitioner& p = *result;
+  // Coverage and monotonicity.
+  uint64_t covered = 0;
+  for (int i = 0; i < servers; ++i) {
+    EXPECT_EQ(p.RangeBegin(i), covered);
+    EXPECT_LE(p.RangeBegin(i), p.RangeEnd(i));
+    covered = p.RangeEnd(i);
+  }
+  EXPECT_EQ(covered, dim);
+  // Column resolution stays in range for a sample of columns.
+  for (uint64_t col = 0; col < dim; col += std::max<uint64_t>(1, dim / 97)) {
+    int part = p.PartitionOfColumn(col);
+    EXPECT_GE(col, p.RangeBegin(part));
+    EXPECT_LT(col, p.RangeEnd(part));
+    int server = p.ServerOfPartition(part);
+    EXPECT_GE(server, 0);
+    EXPECT_LT(server, servers);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PartitionerSweep,
+    ::testing::Combine(::testing::Values<uint64_t>(1, 16, 100, 1024, 999936),
+                       ::testing::Values(1, 2, 3, 8, 20, 64),
+                       ::testing::Values<uint64_t>(1, 4, 16)));
+
+}  // namespace
+}  // namespace ps2

@@ -1,0 +1,286 @@
+#include "ps/ps_client.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dataflow/cluster.h"
+#include "ps/ps_master.h"
+
+namespace ps2 {
+namespace {
+
+class PsClientTest : public ::testing::Test {
+ protected:
+  PsClientTest() {
+    ClusterSpec spec;
+    spec.num_workers = 4;
+    spec.num_servers = 3;
+    cluster_ = std::make_unique<Cluster>(spec);
+    master_ = std::make_unique<PsMaster>(cluster_.get());
+    client_ = std::make_unique<PsClient>(master_.get());
+  }
+
+  RowRef NewMatrix(uint64_t dim, uint32_t rows = 4) {
+    MatrixOptions options;
+    options.dim = dim;
+    options.reserve_rows = rows;
+    return RowRef{*master_->CreateMatrix(options), 0};
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<PsMaster> master_;
+  std::unique_ptr<PsClient> client_;
+};
+
+TEST_F(PsClientTest, PushPullDenseAcrossServers) {
+  RowRef w = NewMatrix(100);
+  std::vector<double> values(100);
+  for (size_t i = 0; i < 100; ++i) values[i] = static_cast<double>(i);
+  ASSERT_TRUE(client_->PushDense(w, values).ok());
+  std::vector<double> pulled = *client_->PullDense(w);
+  EXPECT_EQ(pulled, values);
+}
+
+TEST_F(PsClientTest, PullWindow) {
+  RowRef w = NewMatrix(100);
+  std::vector<double> values(100, 1.0);
+  ASSERT_TRUE(client_->PushDense(w, values).ok());
+  // A window straddling server boundaries (100/3 -> 34/34/32).
+  std::vector<double> window = *client_->PullDense(w, 30, 70);
+  EXPECT_EQ(window.size(), 40u);
+  for (double v : window) EXPECT_EQ(v, 1.0);
+}
+
+TEST_F(PsClientTest, PushWindowWithOffset) {
+  RowRef w = NewMatrix(100);
+  ASSERT_TRUE(client_->PushDense(w, {5.0, 6.0}, 50).ok());
+  std::vector<double> pulled = *client_->PullDense(w, 49, 53);
+  EXPECT_EQ(pulled, (std::vector<double>{0, 5, 6, 0}));
+}
+
+TEST_F(PsClientTest, SparsePullReturnsRequestedIndices) {
+  RowRef w = NewMatrix(1000);
+  SparseVector delta({3, 400, 999}, {1.0, 2.0, 3.0});
+  ASSERT_TRUE(client_->PushSparse(w, delta).ok());
+  std::vector<double> pulled = *client_->PullSparse(w, {3, 4, 400, 999});
+  EXPECT_EQ(pulled, (std::vector<double>{1, 0, 2, 3}));
+}
+
+TEST_F(PsClientTest, SparsePushAccumulates) {
+  RowRef w = NewMatrix(50);
+  ASSERT_TRUE(client_->PushSparse(w, SparseVector({7}, {1.5})).ok());
+  ASSERT_TRUE(client_->PushSparse(w, SparseVector({7}, {2.5})).ok());
+  EXPECT_EQ((*client_->PullSparse(w, {7}))[0], 4.0);
+}
+
+TEST_F(PsClientTest, OutOfRangeIndexRejected) {
+  RowRef w = NewMatrix(10);
+  EXPECT_TRUE(client_->PullSparse(w, {10}).status().IsOutOfRange());
+  EXPECT_TRUE(
+      client_->PushDense(w, std::vector<double>(11, 0.0)).IsOutOfRange());
+}
+
+TEST_F(PsClientTest, RowAggregatesAcrossServers) {
+  RowRef w = NewMatrix(100);
+  std::vector<double> values(100, 0.0);
+  values[10] = 3.0;
+  values[50] = -4.0;
+  values[90] = 12.0;
+  ASSERT_TRUE(client_->PushDense(w, values).ok());
+  EXPECT_DOUBLE_EQ(*client_->RowAggregate(w, RowAggKind::kSum), 11.0);
+  EXPECT_DOUBLE_EQ(*client_->RowAggregate(w, RowAggKind::kNnz), 3.0);
+  EXPECT_DOUBLE_EQ(*client_->RowAggregate(w, RowAggKind::kNorm2Squared),
+                   169.0);
+  EXPECT_DOUBLE_EQ(*client_->RowAggregate(w, RowAggKind::kMax), 12.0);
+}
+
+TEST_F(PsClientTest, ColumnOpsOnDerivedRows) {
+  RowRef a = NewMatrix(60);
+  RowRef b = *master_->AllocateRow(a.matrix_id);
+  RowRef c = *master_->AllocateRow(a.matrix_id);
+  ASSERT_TRUE(client_->PushDense(a, std::vector<double>(60, 2.0)).ok());
+  ASSERT_TRUE(client_->PushDense(b, std::vector<double>(60, 3.0)).ok());
+  ASSERT_TRUE(client_->ColumnOp(ColOpKind::kMul, c, {a, b}).ok());
+  std::vector<double> pulled = *client_->PullDense(c);
+  for (double v : pulled) EXPECT_EQ(v, 6.0);
+  ASSERT_TRUE(client_->ColumnOp(ColOpKind::kAxpy, c, {a}, 10.0).ok());
+  pulled = *client_->PullDense(c);
+  for (double v : pulled) EXPECT_EQ(v, 26.0);
+}
+
+TEST_F(PsClientTest, DotAcrossServers) {
+  RowRef a = NewMatrix(100);
+  RowRef b = *master_->AllocateRow(a.matrix_id);
+  std::vector<double> va(100), vb(100);
+  double expected = 0;
+  for (int i = 0; i < 100; ++i) {
+    va[i] = i * 0.5;
+    vb[i] = 100 - i;
+    expected += va[i] * vb[i];
+  }
+  ASSERT_TRUE(client_->PushDense(a, va).ok());
+  ASSERT_TRUE(client_->PushDense(b, vb).ok());
+  EXPECT_NEAR(*client_->Dot(a, b), expected, 1e-9);
+}
+
+TEST_F(PsClientTest, NonCoLocatedDotStillCorrectButCounted) {
+  RowRef a = NewMatrix(100);
+  RowRef b = NewMatrix(100);  // separate creation -> different rotation
+  ASSERT_TRUE(client_->PushDense(a, std::vector<double>(100, 1.0)).ok());
+  ASSERT_TRUE(client_->PushDense(b, std::vector<double>(100, 2.0)).ok());
+  EXPECT_NEAR(*client_->Dot(a, b), 200.0, 1e-9);
+  EXPECT_EQ(cluster_->metrics().Get("dcv.noncolocated_dots"), 1u);
+}
+
+TEST_F(PsClientTest, NonCoLocatedColumnOpFallsBackCorrectly) {
+  RowRef a = NewMatrix(50);
+  RowRef dst = NewMatrix(50);
+  ASSERT_TRUE(client_->PushDense(a, std::vector<double>(50, 4.0)).ok());
+  ASSERT_TRUE(client_->ColumnOp(ColOpKind::kCopy, dst, {a}).ok());
+  std::vector<double> pulled = *client_->PullDense(dst);
+  for (double v : pulled) EXPECT_EQ(v, 4.0);
+  EXPECT_GE(cluster_->metrics().Get("dcv.noncolocated_column_ops"), 1u);
+}
+
+TEST_F(PsClientTest, ZipRequiresCoLocation) {
+  RowRef a = NewMatrix(50);
+  RowRef b = NewMatrix(50);
+  int udf = master_->udfs()->RegisterZip(
+      [](const std::vector<double*>&, size_t n, uint64_t) -> uint64_t {
+        return n;
+      });
+  EXPECT_TRUE(client_->Zip({a, b}, udf).IsFailedPrecondition());
+}
+
+TEST_F(PsClientTest, ZipAggregateReturnsPerPartitionResults) {
+  RowRef a = NewMatrix(90);
+  ASSERT_TRUE(client_->PushDense(a, std::vector<double>(90, 1.0)).ok());
+  int udf = master_->udfs()->RegisterZipAggregate(
+      [](const std::vector<const double*>& rows, size_t n,
+         uint64_t) -> std::vector<double> {
+        double sum = 0;
+        for (size_t i = 0; i < n; ++i) sum += rows[0][i];
+        return {sum};
+      });
+  std::vector<std::vector<double>> results = *client_->ZipAggregate({a}, udf);
+  EXPECT_EQ(results.size(), 3u);  // one per server
+  double total = 0;
+  for (const auto& r : results) total += r[0];
+  EXPECT_DOUBLE_EQ(total, 90.0);
+}
+
+TEST_F(PsClientTest, DotBatch) {
+  RowRef a = NewMatrix(40, 6);
+  RowRef b = *master_->AllocateRow(a.matrix_id);
+  RowRef c = *master_->AllocateRow(a.matrix_id);
+  ASSERT_TRUE(client_->PushDense(a, std::vector<double>(40, 1.0)).ok());
+  ASSERT_TRUE(client_->PushDense(b, std::vector<double>(40, 2.0)).ok());
+  ASSERT_TRUE(client_->PushDense(c, std::vector<double>(40, 3.0)).ok());
+  std::vector<double> dots = *client_->DotBatch({{a, b}, {b, c}, {a, c}});
+  EXPECT_DOUBLE_EQ(dots[0], 80.0);
+  EXPECT_DOUBLE_EQ(dots[1], 240.0);
+  EXPECT_DOUBLE_EQ(dots[2], 120.0);
+}
+
+TEST_F(PsClientTest, AxpyBatchAppliesSequentially) {
+  RowRef a = NewMatrix(10, 4);
+  RowRef b = *master_->AllocateRow(a.matrix_id);
+  ASSERT_TRUE(client_->PushDense(a, std::vector<double>(10, 1.0)).ok());
+  ASSERT_TRUE(client_->PushDense(b, std::vector<double>(10, 1.0)).ok());
+  // b += 2a (b becomes 3), then a += b (a becomes 4): order matters.
+  ASSERT_TRUE(client_->AxpyBatch({{b, a, 2.0}, {a, b, 1.0}}).ok());
+  EXPECT_EQ((*client_->PullDense(a))[0], 4.0);
+  EXPECT_EQ((*client_->PullDense(b))[0], 3.0);
+}
+
+TEST_F(PsClientTest, PullRowsAndPushRows) {
+  RowRef a = NewMatrix(30, 3);
+  RowRef b = *master_->AllocateRow(a.matrix_id);
+  ASSERT_TRUE(client_->PushDense(a, std::vector<double>(30, 1.0)).ok());
+  std::vector<std::vector<double>> rows = *client_->PullRows({a, b});
+  EXPECT_EQ(rows[0], std::vector<double>(30, 1.0));
+  EXPECT_EQ(rows[1], std::vector<double>(30, 0.0));
+  ASSERT_TRUE(client_
+                  ->PushRows({a, b}, {std::vector<double>(30, 1.0),
+                                      std::vector<double>(30, 5.0)})
+                  .ok());
+  rows = *client_->PullRows({a, b});
+  EXPECT_EQ(rows[0], std::vector<double>(30, 2.0));
+  EXPECT_EQ(rows[1], std::vector<double>(30, 5.0));
+}
+
+TEST_F(PsClientTest, PullSparseRowsSharedIndices) {
+  RowRef a = NewMatrix(200, 3);
+  RowRef b = *master_->AllocateRow(a.matrix_id);
+  ASSERT_TRUE(client_->PushSparse(a, SparseVector({5, 150}, {1, 2})).ok());
+  ASSERT_TRUE(client_->PushSparse(b, SparseVector({5, 199}, {7, 8})).ok());
+  std::vector<std::vector<double>> rows =
+      *client_->PullSparseRows({a, b}, {5, 150, 199});
+  EXPECT_EQ(rows[0], (std::vector<double>{1, 2, 0}));
+  EXPECT_EQ(rows[1], (std::vector<double>{7, 0, 8}));
+}
+
+TEST_F(PsClientTest, CompressedSparseRowsRoundTripIntegers) {
+  RowRef a = NewMatrix(100, 3);
+  RowRef b = *master_->AllocateRow(a.matrix_id);
+  ASSERT_TRUE(client_
+                  ->PushSparseRows({a, b},
+                                   {SparseVector({1, 50}, {3, -2}),
+                                    SparseVector({99}, {1000000})},
+                                   /*compress_counts=*/true)
+                  .ok());
+  std::vector<std::vector<double>> rows = *client_->PullSparseRows(
+      {a, b}, {1, 50, 99}, /*compress_counts=*/true);
+  EXPECT_EQ(rows[0], (std::vector<double>{3, -2, 0}));
+  EXPECT_EQ(rows[1], (std::vector<double>{0, 0, 1000000}));
+}
+
+TEST_F(PsClientTest, CompressionShrinksTraffic) {
+  RowRef a = NewMatrix(10000, 3);
+  std::vector<uint64_t> indices;
+  for (uint64_t i = 0; i < 10000; i += 10) indices.push_back(i);
+  cluster_->metrics().Reset();
+  ASSERT_TRUE(client_->PullSparseRows({a}, indices, false).ok());
+  uint64_t uncompressed =
+      cluster_->metrics().Get("net.bytes_server_to_worker");
+  cluster_->metrics().Reset();
+  ASSERT_TRUE(client_->PullSparseRows({a}, indices, true).ok());
+  uint64_t compressed = cluster_->metrics().Get("net.bytes_server_to_worker");
+  EXPECT_LT(compressed * 3, uncompressed);  // zero counts: 1 byte vs 8
+}
+
+TEST_F(PsClientTest, MatrixInitFillsAllRows) {
+  RowRef a = NewMatrix(50, 2);
+  ASSERT_TRUE(client_->MatrixInit(a.matrix_id, 0, 2, 0.1, 9).ok());
+  std::vector<double> row = *client_->PullDense(a);
+  bool any = false;
+  for (double v : row) {
+    EXPECT_LE(std::abs(v), 0.1);
+    any |= v != 0;
+  }
+  EXPECT_TRUE(any);
+}
+
+TEST_F(PsClientTest, DriverOpsAdvanceClock) {
+  RowRef a = NewMatrix(1000);
+  SimTime before = cluster_->clock().Now();
+  ASSERT_TRUE(client_->PushDense(a, std::vector<double>(1000, 1.0)).ok());
+  EXPECT_GT(cluster_->clock().Now(), before);
+}
+
+TEST_F(PsClientTest, TaskScopedOpsChargeTaskNotClockDirectly) {
+  RowRef a = NewMatrix(1000);
+  TaskTraffic traffic;
+  SimTime before = cluster_->clock().Now();
+  {
+    TrafficScope scope(&traffic);
+    ASSERT_TRUE(client_->PushDense(a, std::vector<double>(1000, 1.0)).ok());
+  }
+  EXPECT_EQ(cluster_->clock().Now(), before);  // charged at stage end instead
+  EXPECT_GT(traffic.TotalBytesToServers(), 0u);
+  EXPECT_EQ(traffic.rounds, 1u);
+}
+
+}  // namespace
+}  // namespace ps2

@@ -1,0 +1,284 @@
+#include "ps/ps_server.h"
+
+#include <gtest/gtest.h>
+
+#include "common/serde.h"
+#include "ps/partitioner.h"
+
+namespace ps2 {
+namespace {
+
+MatrixMeta MakeMeta(int id, uint64_t dim, uint32_t rows, int servers,
+                    MatrixStorage storage = MatrixStorage::kDense) {
+  MatrixMeta meta;
+  meta.id = id;
+  meta.name = "m";
+  meta.dim = dim;
+  meta.num_rows = rows;
+  meta.storage = storage;
+  meta.partitioner = *ColumnPartitioner::Make(dim, servers);
+  return meta;
+}
+
+class PsServerTest : public ::testing::Test {
+ protected:
+  // One server owning the whole dimension keeps wire-level tests simple.
+  PsServerTest() : server_(0, &udfs_) {
+    EXPECT_TRUE(server_.CreateMatrixShard(MakeMeta(0, 16, 3, 1)).ok());
+  }
+
+  PsServer::HandleResult Call(const BufferWriter& w) {
+    Result<PsServer::HandleResult> r = server_.Handle(w.buffer());
+    EXPECT_TRUE(r.ok()) << r.status();
+    return std::move(r).ValueOrDie();
+  }
+
+  std::vector<double> Pull(int matrix, uint32_t row, uint64_t begin,
+                           uint64_t end) {
+    BufferWriter w;
+    w.WriteU8(static_cast<uint8_t>(PsOpCode::kPullDense));
+    w.WriteVarint(matrix);
+    w.WriteVarint(row);
+    w.WriteVarint(begin);
+    w.WriteVarint(end);
+    PsServer::HandleResult result = Call(w);
+    BufferReader r(result.response);
+    uint64_t n = *r.ReadVarint();
+    return *r.ReadF64Span(n);
+  }
+
+  void PushDense(int matrix, uint32_t row, uint64_t begin,
+                 const std::vector<double>& values) {
+    BufferWriter w;
+    w.WriteU8(static_cast<uint8_t>(PsOpCode::kPushDense));
+    w.WriteVarint(matrix);
+    w.WriteVarint(row);
+    w.WriteVarint(begin);
+    w.WriteVarint(values.size());
+    w.WriteF64Span(values.data(), values.size());
+    Call(w);
+  }
+
+  UdfRegistry udfs_;
+  PsServer server_;
+};
+
+TEST_F(PsServerTest, FreshShardIsZero) {
+  std::vector<double> row = Pull(0, 0, 0, 16);
+  for (double v : row) EXPECT_EQ(v, 0.0);
+}
+
+TEST_F(PsServerTest, PushIsAdditive) {
+  PushDense(0, 1, 4, {1.0, 2.0});
+  PushDense(0, 1, 5, {10.0});
+  std::vector<double> row = Pull(0, 1, 0, 16);
+  EXPECT_EQ(row[4], 1.0);
+  EXPECT_EQ(row[5], 12.0);
+  EXPECT_EQ(row[6], 0.0);
+}
+
+TEST_F(PsServerTest, PullWindowIntersectsRange) {
+  PushDense(0, 0, 0, std::vector<double>(16, 3.0));
+  std::vector<double> window = Pull(0, 0, 10, 14);
+  EXPECT_EQ(window.size(), 4u);
+  for (double v : window) EXPECT_EQ(v, 3.0);
+}
+
+TEST_F(PsServerTest, RowAggSum) {
+  PushDense(0, 2, 0, {1, 2, 3});
+  BufferWriter w;
+  w.WriteU8(static_cast<uint8_t>(PsOpCode::kRowAgg));
+  w.WriteVarint(0);
+  w.WriteVarint(2);
+  w.WriteU8(static_cast<uint8_t>(RowAggKind::kSum));
+  PsServer::HandleResult result = Call(w);
+  BufferReader r(result.response);
+  EXPECT_DOUBLE_EQ(*r.ReadF64(), 6.0);
+}
+
+TEST_F(PsServerTest, RowAggNnzAndNorm2AndMax) {
+  PushDense(0, 2, 0, {3, 0, -4});
+  auto agg = [&](RowAggKind kind) {
+    BufferWriter w;
+    w.WriteU8(static_cast<uint8_t>(PsOpCode::kRowAgg));
+    w.WriteVarint(0);
+    w.WriteVarint(2);
+    w.WriteU8(static_cast<uint8_t>(kind));
+    PsServer::HandleResult result = Call(w);
+    BufferReader r(result.response);
+    return *r.ReadF64();
+  };
+  EXPECT_DOUBLE_EQ(agg(RowAggKind::kNnz), 2.0);
+  EXPECT_DOUBLE_EQ(agg(RowAggKind::kNorm2Squared), 25.0);
+  EXPECT_DOUBLE_EQ(agg(RowAggKind::kMax), 3.0);
+}
+
+TEST_F(PsServerTest, ColumnOpAdd) {
+  PushDense(0, 0, 0, {1, 1, 1});
+  PushDense(0, 1, 0, {2, 3, 4});
+  BufferWriter w;
+  w.WriteU8(static_cast<uint8_t>(PsOpCode::kColumnOp));
+  w.WriteU8(static_cast<uint8_t>(ColOpKind::kAdd));
+  w.WriteVarint(0);  // dst matrix
+  w.WriteVarint(2);  // dst row
+  w.WriteVarint(2);  // two sources
+  w.WriteVarint(0);
+  w.WriteVarint(0);
+  w.WriteVarint(0);
+  w.WriteVarint(1);
+  w.WriteF64(0.0);
+  Call(w);
+  std::vector<double> row = Pull(0, 2, 0, 3);
+  EXPECT_EQ(row, (std::vector<double>{3, 4, 5}));
+}
+
+TEST_F(PsServerTest, DotPartial) {
+  PushDense(0, 0, 0, {1, 2, 3});
+  PushDense(0, 1, 0, {4, 5, 6});
+  BufferWriter w;
+  w.WriteU8(static_cast<uint8_t>(PsOpCode::kDotPartial));
+  w.WriteVarint(0);
+  w.WriteVarint(0);
+  w.WriteVarint(0);
+  w.WriteVarint(1);
+  PsServer::HandleResult result = Call(w);
+  BufferReader r(result.response);
+  EXPECT_DOUBLE_EQ(*r.ReadF64(), 32.0);
+}
+
+TEST_F(PsServerTest, ZipRunsRegisteredUdf) {
+  PushDense(0, 0, 0, {1, 2, 3});
+  int udf = udfs_.RegisterZip(
+      [](const std::vector<double*>& rows, size_t n, uint64_t) -> uint64_t {
+        for (size_t i = 0; i < n; ++i) rows[0][i] *= 10;
+        return n;
+      });
+  BufferWriter w;
+  w.WriteU8(static_cast<uint8_t>(PsOpCode::kZip));
+  w.WriteVarint(udf);
+  w.WriteVarint(1);
+  w.WriteVarint(0);
+  w.WriteVarint(0);
+  Call(w);
+  std::vector<double> row = Pull(0, 0, 0, 3);
+  EXPECT_EQ(row[0], 10.0);
+  EXPECT_EQ(row[2], 30.0);
+}
+
+TEST_F(PsServerTest, ZipUnknownUdfFails) {
+  BufferWriter w;
+  w.WriteU8(static_cast<uint8_t>(PsOpCode::kZip));
+  w.WriteVarint(99);
+  w.WriteVarint(1);
+  w.WriteVarint(0);
+  w.WriteVarint(0);
+  EXPECT_TRUE(server_.Handle(w.buffer()).status().IsNotFound());
+}
+
+TEST_F(PsServerTest, UnknownMatrixFails) {
+  BufferWriter w;
+  w.WriteU8(static_cast<uint8_t>(PsOpCode::kPullDense));
+  w.WriteVarint(42);
+  w.WriteVarint(0);
+  w.WriteVarint(0);
+  w.WriteVarint(4);
+  EXPECT_TRUE(server_.Handle(w.buffer()).status().IsNotFound());
+}
+
+TEST_F(PsServerTest, RowOutOfRangeFails) {
+  BufferWriter w;
+  w.WriteU8(static_cast<uint8_t>(PsOpCode::kPullDense));
+  w.WriteVarint(0);
+  w.WriteVarint(99);
+  w.WriteVarint(0);
+  w.WriteVarint(4);
+  EXPECT_TRUE(server_.Handle(w.buffer()).status().IsOutOfRange());
+}
+
+TEST_F(PsServerTest, GarbageOpcodeFails) {
+  BufferWriter w;
+  w.WriteU8(200);
+  EXPECT_TRUE(server_.Handle(w.buffer()).status().IsInvalidArgument());
+}
+
+TEST_F(PsServerTest, DuplicateShardRejected) {
+  EXPECT_TRUE(
+      server_.CreateMatrixShard(MakeMeta(0, 16, 3, 1)).IsAlreadyExists());
+}
+
+TEST_F(PsServerTest, FreeShardRemoves) {
+  EXPECT_TRUE(server_.FreeMatrixShard(0).ok());
+  EXPECT_FALSE(server_.HasMatrix(0));
+  EXPECT_TRUE(server_.FreeMatrixShard(0).IsNotFound());
+}
+
+TEST_F(PsServerTest, CheckpointRoundTrip) {
+  PushDense(0, 0, 0, {7, 8, 9});
+  std::vector<uint8_t> image = server_.SerializeState();
+  PushDense(0, 0, 0, {100});  // diverge after the checkpoint
+  EXPECT_TRUE(server_.RestoreState(image).ok());
+  std::vector<double> row = Pull(0, 0, 0, 3);
+  EXPECT_EQ(row, (std::vector<double>{7, 8, 9}));
+}
+
+TEST_F(PsServerTest, DropAllStateZeroes) {
+  PushDense(0, 0, 0, {7, 8, 9});
+  server_.DropAllState();
+  std::vector<double> row = Pull(0, 0, 0, 3);
+  EXPECT_EQ(row, (std::vector<double>{0, 0, 0}));
+  EXPECT_TRUE(server_.HasMatrix(0));  // metadata survives a crash
+}
+
+TEST_F(PsServerTest, StoredValuesCountsDenseCells) {
+  EXPECT_EQ(server_.StoredValues(), 3u * 16u);
+}
+
+TEST_F(PsServerTest, SparseStoragePushPull) {
+  ASSERT_TRUE(server_
+                  .CreateMatrixShard(
+                      MakeMeta(1, 1000000, 2, 1, MatrixStorage::kSparse))
+                  .ok());
+  PushDense(1, 0, 999990, {5.0});
+  std::vector<double> window = Pull(1, 0, 999989, 999992);
+  EXPECT_EQ(window, (std::vector<double>{0, 5, 0}));
+  EXPECT_EQ(server_.StoredValues(), 3u * 16u + 1u);
+}
+
+TEST_F(PsServerTest, SparseStorageRejectsColumnOps) {
+  ASSERT_TRUE(server_
+                  .CreateMatrixShard(
+                      MakeMeta(2, 100, 2, 1, MatrixStorage::kSparse))
+                  .ok());
+  BufferWriter w;
+  w.WriteU8(static_cast<uint8_t>(PsOpCode::kColumnOp));
+  w.WriteU8(static_cast<uint8_t>(ColOpKind::kFill));
+  w.WriteVarint(2);
+  w.WriteVarint(0);
+  w.WriteVarint(0);
+  w.WriteF64(1.0);
+  EXPECT_TRUE(server_.Handle(w.buffer()).status().IsFailedPrecondition());
+}
+
+TEST_F(PsServerTest, MatrixInitDeterministicAcrossCalls) {
+  BufferWriter w;
+  w.WriteU8(static_cast<uint8_t>(PsOpCode::kMatrixInit));
+  w.WriteVarint(0);
+  w.WriteVarint(0);
+  w.WriteVarint(3);
+  w.WriteF64(0.5);
+  w.WriteU64(123);
+  Call(w);
+  std::vector<double> first = Pull(0, 0, 0, 16);
+  Call(w);
+  std::vector<double> second = Pull(0, 0, 0, 16);
+  EXPECT_EQ(first, second);
+  bool any_nonzero = false;
+  for (double v : first) {
+    EXPECT_LE(std::abs(v), 0.5);
+    any_nonzero |= v != 0.0;
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+}  // namespace
+}  // namespace ps2

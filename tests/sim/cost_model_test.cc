@@ -1,0 +1,129 @@
+#include "sim/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace ps2 {
+namespace {
+
+ClusterSpec SimpleSpec() {
+  ClusterSpec spec;
+  spec.net_bandwidth_bps = 1e9;
+  spec.rpc_latency_s = 1e-3;
+  spec.per_msg_overhead_s = 1e-5;
+  spec.worker_flops = 1e9;
+  spec.server_flops = 2e9;
+  spec.driver_flops = 4e9;
+  return spec;
+}
+
+TEST(CostModelTest, PointToPointScalesWithBytes) {
+  CostModel cost(SimpleSpec());
+  SimTime small = cost.PointToPoint(1000);
+  SimTime big = cost.PointToPoint(1000000);
+  EXPECT_GT(big, small);
+  // The bandwidth term should dominate for the big payload.
+  EXPECT_NEAR(big - small, (1000000.0 - 1000.0) / 1e9, 1e-12);
+}
+
+TEST(CostModelTest, GatherReceiverBound) {
+  CostModel cost(SimpleSpec());
+  // 10 senders x 1 MB into one endpoint: receiver ingress = 10 MB / 1 GB/s.
+  SimTime t = cost.GatherAtOne(10, 1000000);
+  EXPECT_GT(t, 10.0 * 1e6 / 1e9);
+  EXPECT_LT(t, 10.0 * 1e6 / 1e9 + 0.01);
+}
+
+TEST(CostModelTest, GatherGrowsLinearlyInSenders) {
+  CostModel cost(SimpleSpec());
+  SimTime t10 = cost.GatherAtOne(10, 64 << 20);
+  SimTime t20 = cost.GatherAtOne(20, 64 << 20);
+  EXPECT_NEAR(t20 / t10, 2.0, 0.05);
+}
+
+TEST(CostModelTest, TorrentBroadcastBeatsNaiveScatterForManyReceivers) {
+  CostModel cost(SimpleSpec());
+  const uint64_t bytes = 10 << 20;
+  EXPECT_LT(cost.BroadcastTorrent(50, bytes), cost.ScatterFromOne(50, bytes));
+}
+
+TEST(CostModelTest, TorrentBroadcastNearlyFlatInReceivers) {
+  CostModel cost(SimpleSpec());
+  const uint64_t bytes = 10 << 20;
+  SimTime t8 = cost.BroadcastTorrent(8, bytes);
+  SimTime t64 = cost.BroadcastTorrent(64, bytes);
+  EXPECT_LT(t64 / t8, 1.5);  // only the log-latency term grows
+}
+
+TEST(CostModelTest, TreeAllReduceGrowsWithLogParticipants) {
+  CostModel cost(SimpleSpec());
+  const uint64_t bytes = 1 << 20;
+  SimTime t2 = cost.TreeAllReduce(2, bytes);
+  SimTime t16 = cost.TreeAllReduce(16, bytes);
+  EXPECT_NEAR(t16 / t2, 4.0, 0.2);  // log2(16)/log2(2)
+}
+
+TEST(CostModelTest, RingAllReduceBandwidthOptimal) {
+  ClusterSpec spec = SimpleSpec();
+  spec.rpc_latency_s = 0;
+  spec.per_msg_overhead_s = 0;
+  CostModel cost(spec);
+  const uint64_t bytes = 100 << 20;
+  // Ring allreduce moves ~2x the buffer regardless of n.
+  SimTime t4 = cost.RingAllReduce(4, bytes);
+  SimTime t32 = cost.RingAllReduce(32, bytes);
+  EXPECT_NEAR(t4 / t32, 0.77, 0.1);  // 2*(n-1)/n ratio: 1.5 vs 1.9375
+}
+
+TEST(CostModelTest, RingAllReduceSingleNodeFree) {
+  CostModel cost(SimpleSpec());
+  EXPECT_EQ(cost.RingAllReduce(1, 1 << 20), 0.0);
+}
+
+TEST(CostModelTest, ComputeChargesUseTheRightThroughput) {
+  CostModel cost(SimpleSpec());
+  EXPECT_DOUBLE_EQ(cost.WorkerCompute(1000000000), 1.0);
+  EXPECT_DOUBLE_EQ(cost.ServerCompute(1000000000), 0.5);
+  EXPECT_DOUBLE_EQ(cost.DriverCompute(1000000000), 0.25);
+}
+
+TEST(CostModelTest, MessageOverheadLinear) {
+  CostModel cost(SimpleSpec());
+  EXPECT_DOUBLE_EQ(cost.MessageOverhead(100), 100 * 1e-5);
+}
+
+TEST(CostModelTest, RoundLatencyLinear) {
+  CostModel cost(SimpleSpec());
+  EXPECT_DOUBLE_EQ(cost.RoundLatency(5), 5e-3);
+}
+
+TEST(ClusterSpecTest, DefaultIsValid) {
+  EXPECT_TRUE(ClusterSpec{}.Valid());
+}
+
+TEST(ClusterSpecTest, RejectsNonPositiveWorkers) {
+  ClusterSpec spec;
+  spec.num_workers = 0;
+  EXPECT_FALSE(spec.Valid());
+}
+
+TEST(ClusterSpecTest, RejectsFailureProbabilityOne) {
+  ClusterSpec spec;
+  spec.task_failure_prob = 1.0;
+  EXPECT_FALSE(spec.Valid());
+}
+
+// The driver bottleneck in one inequality: aggregating at 1 endpoint is ~P
+// times slower than sharding over P servers' aggregate ingress.
+TEST(CostModelTest, ShardingRemovesTheSingleNodeBottleneck) {
+  CostModel cost(SimpleSpec());
+  const int workers = 20;
+  const uint64_t bytes_each = 8 << 20;
+  SimTime driver = cost.GatherAtOne(workers, bytes_each);
+  // Sharded: each server receives workers*bytes_each/P.
+  const int servers = 20;
+  SimTime sharded = cost.GatherAtOne(workers, bytes_each / servers);
+  EXPECT_GT(driver / sharded, 10.0);
+}
+
+}  // namespace
+}  // namespace ps2

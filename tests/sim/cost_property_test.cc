@@ -1,0 +1,98 @@
+// Property sweeps over the cost model: every primitive must be monotone in
+// its load parameters and improve (weakly) with better hardware — the
+// invariants the figure benches implicitly rely on.
+
+#include <gtest/gtest.h>
+
+#include "sim/cost_model.h"
+
+namespace ps2 {
+namespace {
+
+struct HardwareGrid {
+  double bandwidth;
+  double latency;
+  double overhead;
+};
+
+class CostMonotonicity : public ::testing::TestWithParam<HardwareGrid> {
+ protected:
+  CostModel Make() const {
+    ClusterSpec spec;
+    spec.net_bandwidth_bps = GetParam().bandwidth;
+    spec.rpc_latency_s = GetParam().latency;
+    spec.per_msg_overhead_s = GetParam().overhead;
+    return CostModel(spec);
+  }
+};
+
+TEST_P(CostMonotonicity, TransfersMonotoneInBytes) {
+  CostModel cost = Make();
+  uint64_t prev_bytes = 0;
+  for (uint64_t bytes : {0ULL, 1000ULL, 1000000ULL, 1000000000ULL}) {
+    EXPECT_GE(cost.PointToPoint(bytes), cost.PointToPoint(prev_bytes));
+    EXPECT_GE(cost.GatherAtOne(8, bytes), cost.GatherAtOne(8, prev_bytes));
+    EXPECT_GE(cost.BroadcastTorrent(8, bytes),
+              cost.BroadcastTorrent(8, prev_bytes));
+    EXPECT_GE(cost.TreeAllReduce(8, bytes), cost.TreeAllReduce(8, prev_bytes));
+    EXPECT_GE(cost.RingAllReduce(8, bytes), cost.RingAllReduce(8, prev_bytes));
+    prev_bytes = bytes;
+  }
+}
+
+TEST_P(CostMonotonicity, CollectivesMonotoneInParticipants) {
+  CostModel cost = Make();
+  const uint64_t bytes = 1 << 20;
+  for (int n = 2; n <= 64; n *= 2) {
+    EXPECT_GE(cost.GatherAtOne(2 * n, bytes), cost.GatherAtOne(n, bytes));
+    EXPECT_GE(cost.ScatterFromOne(2 * n, bytes),
+              cost.ScatterFromOne(n, bytes));
+    EXPECT_GE(cost.TreeAllReduce(2 * n, bytes), cost.TreeAllReduce(n, bytes));
+    EXPECT_GE(cost.BroadcastTorrent(2 * n, bytes),
+              cost.BroadcastTorrent(n, bytes));
+  }
+}
+
+TEST_P(CostMonotonicity, EverythingNonNegative) {
+  CostModel cost = Make();
+  EXPECT_GE(cost.PointToPoint(0), 0.0);
+  EXPECT_GE(cost.GatherAtOne(1, 0), 0.0);
+  EXPECT_GE(cost.TreeAllReduce(1, 0), 0.0);
+  EXPECT_GE(cost.RingAllReduce(1, 0), 0.0);
+  EXPECT_GE(cost.WorkerCompute(0), 0.0);
+  EXPECT_GE(cost.MessageOverhead(0), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Hardware, CostMonotonicity,
+    ::testing::Values(HardwareGrid{1.25e9, 2e-4, 1e-5},
+                      HardwareGrid{1.25e8, 1e-3, 1e-4},
+                      HardwareGrid{1e10, 1e-5, 0.0},
+                      HardwareGrid{1e6, 1e-2, 1e-3}));
+
+TEST(CostHardwareTest, FasterNetworkIsNeverSlower) {
+  ClusterSpec slow_spec;
+  slow_spec.net_bandwidth_bps = 1e8;
+  ClusterSpec fast_spec = slow_spec;
+  fast_spec.net_bandwidth_bps = 1e10;
+  CostModel slow(slow_spec), fast(fast_spec);
+  for (uint64_t bytes : {1000ULL, 1000000ULL, 1000000000ULL}) {
+    EXPECT_LE(fast.PointToPoint(bytes), slow.PointToPoint(bytes));
+    EXPECT_LE(fast.GatherAtOne(16, bytes), slow.GatherAtOne(16, bytes));
+    EXPECT_LE(fast.TreeAllReduce(16, bytes), slow.TreeAllReduce(16, bytes));
+  }
+}
+
+TEST(CostHardwareTest, FasterComputeIsNeverSlower) {
+  ClusterSpec slow_spec;
+  slow_spec.worker_flops = 1e8;
+  ClusterSpec fast_spec = slow_spec;
+  fast_spec.worker_flops = 1e11;
+  CostModel slow(slow_spec), fast(fast_spec);
+  for (uint64_t ops : {1000ULL, 1000000000ULL}) {
+    EXPECT_LT(fast.WorkerCompute(ops), slow.WorkerCompute(ops));
+  }
+}
+
+}  // namespace
+}  // namespace ps2

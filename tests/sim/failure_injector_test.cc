@@ -1,0 +1,46 @@
+#include "sim/failure_injector.h"
+
+#include <gtest/gtest.h>
+
+namespace ps2 {
+namespace {
+
+TEST(FailureInjectorTest, ZeroProbabilityNeverFails) {
+  FailureInjector injector(0.0, 42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(injector.ShouldFailTask());
+  }
+  EXPECT_EQ(injector.injected_task_failures(), 0u);
+}
+
+TEST(FailureInjectorTest, FailureRateMatchesProbability) {
+  FailureInjector injector(0.1, 42);
+  int failures = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) failures += injector.ShouldFailTask();
+  EXPECT_NEAR(static_cast<double>(failures) / n, 0.1, 0.01);
+  EXPECT_EQ(injector.injected_task_failures(), static_cast<uint64_t>(failures));
+}
+
+TEST(FailureInjectorTest, DeterministicForSeed) {
+  FailureInjector a(0.2, 7), b(0.2, 7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.ShouldFailTask(), b.ShouldFailTask());
+  }
+}
+
+TEST(FailureInjectorTest, FailurePointInUnitInterval) {
+  FailureInjector injector(0.5, 3);
+  for (int i = 0; i < 1000; ++i) {
+    double p = injector.FailurePoint();
+    EXPECT_GE(p, 0.0);
+    EXPECT_LT(p, 1.0);
+  }
+}
+
+TEST(FailureInjectorDeathTest, RejectsProbabilityOne) {
+  EXPECT_DEATH({ FailureInjector injector(1.0, 1); }, "");
+}
+
+}  // namespace
+}  // namespace ps2

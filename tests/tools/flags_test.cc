@@ -1,0 +1,66 @@
+#include "tools/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace ps2 {
+namespace tools {
+namespace {
+
+Flags ParseArgs(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  argv.push_back(storage.empty() ? nullptr : storage[0].data());
+  for (size_t i = 1; i < storage.size(); ++i) argv.push_back(storage[i].data());
+  return Flags::Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, ParsesCommandAndValues) {
+  Flags flags = ParseArgs({"ps2run", "lr", "--dim=100", "--lr=0.5",
+                           "--optimizer=adam"});
+  EXPECT_EQ(flags.command(), "lr");
+  EXPECT_EQ(flags.GetInt("dim", 0), 100);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("lr", 0), 0.5);
+  EXPECT_EQ(flags.GetString("optimizer", ""), "adam");
+  EXPECT_TRUE(flags.errors().empty());
+}
+
+TEST(FlagsTest, MissingKeysFallBack) {
+  Flags flags = ParseArgs({"ps2run", "lr"});
+  EXPECT_EQ(flags.GetInt("workers", 8), 8);
+  EXPECT_EQ(flags.GetString("system", "ps2"), "ps2");
+  EXPECT_FALSE(flags.Has("workers"));
+}
+
+TEST(FlagsTest, BareFlagIsTrue) {
+  Flags flags = ParseArgs({"ps2run", "lda", "--verbose"});
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_FALSE(flags.GetBool("quiet", false));
+}
+
+TEST(FlagsTest, NoCommand) {
+  Flags flags = ParseArgs({"ps2run", "--dim=5"});
+  EXPECT_TRUE(flags.command().empty());
+  EXPECT_EQ(flags.GetInt("dim", 0), 5);
+}
+
+TEST(FlagsTest, BadArgumentsCollected) {
+  Flags flags = ParseArgs({"ps2run", "lr", "oops", "-x"});
+  EXPECT_EQ(flags.errors().size(), 2u);
+}
+
+TEST(FlagsTest, UnusedKeysDetectsTypos) {
+  Flags flags = ParseArgs({"ps2run", "lr", "--dmi=100"});
+  std::vector<std::string> unused = flags.UnusedKeys({"dim", "lr"});
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "dmi");
+}
+
+TEST(FlagsTest, EqualsInValuePreserved) {
+  Flags flags = ParseArgs({"ps2run", "lr", "--note=a=b"});
+  EXPECT_EQ(flags.GetString("note", ""), "a=b");
+}
+
+}  // namespace
+}  // namespace tools
+}  // namespace ps2

@@ -1,0 +1,87 @@
+#pragma once
+
+// Tiny --key=value flag parser for the ps2run CLI.
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ps2 {
+namespace tools {
+
+/// \brief Parsed command line: a subcommand plus --key=value flags.
+class Flags {
+ public:
+  /// Parses argv[1] as the subcommand and the rest as flags. Unparsable
+  /// arguments are collected in errors().
+  static Flags Parse(int argc, char** argv) {
+    Flags flags;
+    if (argc >= 2 && argv[1][0] != '-') flags.command_ = argv[1];
+    for (int i = flags.command_.empty() ? 1 : 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        flags.errors_.push_back("unexpected argument: " + arg);
+        continue;
+      }
+      std::string body = arg.substr(2);
+      size_t eq = body.find('=');
+      if (eq == std::string::npos) {
+        flags.values_[body] = "true";
+      } else {
+        flags.values_[body.substr(0, eq)] = body.substr(eq + 1);
+      }
+    }
+    return flags;
+  }
+
+  const std::string& command() const { return command_; }
+  const std::vector<std::string>& errors() const { return errors_; }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback
+                               : std::strtoll(it->second.c_str(), nullptr, 10);
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback
+                               : std::strtod(it->second.c_str(), nullptr);
+  }
+
+  bool GetBool(const std::string& key, bool fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return it->second == "true" || it->second == "1";
+  }
+
+  /// Flags the caller never consumed (typo detection).
+  std::vector<std::string> UnusedKeys(
+      const std::vector<std::string>& known) const {
+    std::vector<std::string> unused;
+    for (const auto& [key, value] : values_) {
+      bool found = false;
+      for (const std::string& k : known) found |= k == key;
+      if (!found) unused.push_back(key);
+    }
+    return unused;
+  }
+
+ private:
+  std::string command_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace tools
+}  // namespace ps2

@@ -1,0 +1,271 @@
+// ps2run: command-line driver for every PS2 workload.
+//
+//   ps2run lr        --dim=100000 --rows=50000 --optimizer=adam --lr=0.05
+//   ps2run svm       --dim=100000 --rows=50000 --lr=0.5
+//   ps2run lbfgs     --dim=100000 --rows=50000 --iterations=20
+//   ps2run fm        --dim=100000 --rows=50000 --factors=8
+//   ps2run deepwalk  --vertices=5000 --walks=8000 --embedding-dim=64
+//   ps2run gbdt      --rows=20000 --features=100 --trees=30
+//   ps2run lda       --docs=5000 --vocab=10000 --topics=50
+//
+// Common flags: --workers, --servers, --iterations, --seed,
+// --failure-prob (task failure injection), --system=ps2|mllib|petuum|...
+// (where the workload has baselines). Prints the loss curve and the
+// cluster's traffic metrics.
+
+#include <cstdio>
+#include <string>
+
+#include "baselines/mllib_lr.h"
+#include "baselines/petuum_lr.h"
+#include "baselines/pspp_lr.h"
+#include "baselines/xgboost_gbdt.h"
+#include "data/classification_gen.h"
+#include "data/corpus_gen.h"
+#include "data/gbdt_gen.h"
+#include "data/graph_gen.h"
+#include "dcv/dcv_context.h"
+#include "ml/deepwalk.h"
+#include "ml/factorization_machine.h"
+#include "ml/gbdt/gbdt.h"
+#include "ml/lbfgs.h"
+#include "ml/lda/lda_trainer.h"
+#include "ml/linear_svm.h"
+#include "ml/logreg.h"
+#include "tools/flags.h"
+
+namespace ps2 {
+namespace tools {
+namespace {
+
+void PrintReport(const TrainReport& report, Cluster* cluster) {
+  std::printf("system: %s\n", report.system.c_str());
+  std::printf("%-8s %-12s %-10s\n", "iter", "time(s)", "loss");
+  size_t stride = std::max<size_t>(1, report.curve.size() / 12);
+  for (size_t i = 0; i < report.curve.size(); i += stride) {
+    const TrainPoint& p = report.curve[i];
+    std::printf("%-8d %-12.4f %-10.4f\n", p.iteration, p.time, p.loss);
+  }
+  std::printf("final loss %.4f in %.3f virtual seconds\n", report.final_loss,
+              report.total_time);
+  std::printf("\nmetrics:\n%s", cluster->metrics().ToString().c_str());
+}
+
+ClusterSpec SpecFromFlags(const Flags& flags) {
+  ClusterSpec spec;
+  spec.num_workers = static_cast<int>(flags.GetInt("workers", 8));
+  spec.num_servers = static_cast<int>(flags.GetInt("servers", 8));
+  spec.task_failure_prob = flags.GetDouble("failure-prob", 0.0);
+  spec.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  return spec;
+}
+
+int RunGlmFamily(const Flags& flags, const std::string& family) {
+  ClusterSpec spec = SpecFromFlags(flags);
+  Cluster cluster(spec);
+  ClassificationSpec ds;
+  ds.rows = static_cast<uint64_t>(flags.GetInt("rows", 50000));
+  ds.dim = static_cast<uint64_t>(flags.GetInt("dim", 100000));
+  ds.avg_nnz = static_cast<uint32_t>(flags.GetInt("nnz", 30));
+  ds.seed = spec.seed;
+  Dataset<Example> data = MakeClassificationDataset(&cluster, ds).Cache();
+  std::printf("data: %zu examples x %llu features\n", data.Count(),
+              static_cast<unsigned long long>(ds.dim));
+  DcvContext ctx(&cluster);
+
+  if (family == "lbfgs") {
+    LbfgsOptions options;
+    options.dim = ds.dim;
+    options.iterations = static_cast<int>(flags.GetInt("iterations", 20));
+    options.history = static_cast<int>(flags.GetInt("history", 5));
+    Result<TrainReport> report = TrainLbfgsPs2(&ctx, data, options);
+    if (!report.ok()) {
+      std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    PrintReport(*report, &cluster);
+    return 0;
+  }
+
+  if (family == "fm") {
+    FmOptions options;
+    options.dim = ds.dim;
+    options.factors = static_cast<uint32_t>(flags.GetInt("factors", 8));
+    options.learning_rate = flags.GetDouble("lr", 1.0);
+    options.batch_fraction = flags.GetDouble("batch-fraction", 0.05);
+    options.iterations = static_cast<int>(flags.GetInt("iterations", 100));
+    Result<TrainReport> report = TrainFmPs2(&ctx, data, options);
+    if (!report.ok()) {
+      std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    PrintReport(*report, &cluster);
+    return 0;
+  }
+
+  GlmOptions options;
+  options.dim = ds.dim;
+  std::string optimizer = flags.GetString("optimizer", "adam");
+  options.optimizer.kind =
+      optimizer == "sgd"       ? OptimizerKind::kSgd
+      : optimizer == "adagrad" ? OptimizerKind::kAdagrad
+      : optimizer == "rmsprop" ? OptimizerKind::kRmsProp
+                               : OptimizerKind::kAdam;
+  options.optimizer.learning_rate =
+      flags.GetDouble("lr", optimizer == "sgd" ? 2.0 : 0.05);
+  options.batch_fraction = flags.GetDouble("batch-fraction", 0.01);
+  options.iterations = static_cast<int>(flags.GetInt("iterations", 100));
+
+  std::string system = flags.GetString("system", "ps2");
+  Result<TrainReport> report = Status::Internal("unset");
+  if (family == "svm") {
+    report = TrainSvmPs2(&ctx, data, options);
+  } else if (system == "ps2") {
+    report = TrainGlmPs2(&ctx, data, options);
+  } else if (system == "pspp") {
+    report = TrainGlmPsPullPush(&ctx, data, options);
+  } else if (system == "petuum") {
+    report = TrainGlmPetuum(&ctx, data, options);
+  } else if (system == "mllib") {
+    Result<MllibReport> mllib = TrainGlmMllib(&cluster, data, options);
+    if (!mllib.ok()) {
+      std::fprintf(stderr, "error: %s\n", mllib.status().ToString().c_str());
+      return 1;
+    }
+    PrintReport(mllib->report, &cluster);
+    std::printf("step breakdown: broadcast %.3fs compute %.3fs aggregate "
+                "%.3fs update %.3fs\n",
+                mllib->breakdown.broadcast, mllib->breakdown.compute,
+                mllib->breakdown.aggregate, mllib->breakdown.update);
+    return 0;
+  } else {
+    std::fprintf(stderr, "unknown --system=%s\n", system.c_str());
+    return 2;
+  }
+  if (!report.ok()) {
+    std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  PrintReport(*report, &cluster);
+  return 0;
+}
+
+int RunDeepWalk(const Flags& flags) {
+  ClusterSpec spec = SpecFromFlags(flags);
+  Cluster cluster(spec);
+  GraphSpec graph;
+  graph.num_vertices = static_cast<uint32_t>(flags.GetInt("vertices", 5000));
+  graph.num_walks = static_cast<uint64_t>(flags.GetInt("walks", 8000));
+  graph.seed = spec.seed;
+  Dataset<VertexPair> pairs = MakeWalkPairDataset(&cluster, graph).Cache();
+  std::printf("corpus: %zu pairs from %u vertices\n", pairs.Count(),
+              graph.num_vertices);
+  DcvContext ctx(&cluster);
+  DeepWalkOptions options;
+  options.num_vertices = graph.num_vertices;
+  options.embedding_dim =
+      static_cast<uint32_t>(flags.GetInt("embedding-dim", 64));
+  options.epochs = static_cast<int>(flags.GetInt("iterations", 5));
+  options.learning_rate = flags.GetDouble("lr", 0.01);
+  Result<TrainReport> report = TrainDeepWalkPs2(
+      &ctx, pairs, CorpusVertexFrequencies(graph), options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  PrintReport(*report, &cluster);
+  return 0;
+}
+
+int RunGbdt(const Flags& flags) {
+  ClusterSpec spec = SpecFromFlags(flags);
+  Cluster cluster(spec);
+  GbdtDataSpec ds;
+  ds.rows = static_cast<uint64_t>(flags.GetInt("rows", 20000));
+  ds.num_features = static_cast<uint32_t>(flags.GetInt("features", 100));
+  ds.seed = spec.seed;
+  Dataset<GbdtRow> data = MakeGbdtDataset(&cluster, ds).Cache();
+  std::printf("data: %zu rows x %u features\n", data.Count(),
+              ds.num_features);
+  GbdtOptions options;
+  options.num_features = ds.num_features;
+  options.num_trees = static_cast<int>(flags.GetInt("trees", 30));
+  options.max_depth = static_cast<int>(flags.GetInt("depth", 6));
+  options.num_bins = static_cast<uint32_t>(flags.GetInt("bins", 32));
+
+  std::string system = flags.GetString("system", "ps2");
+  Result<GbdtReport> report = Status::Internal("unset");
+  if (system == "ps2") {
+    DcvContext ctx(&cluster);
+    report = TrainGbdtPs2(&ctx, data, options);
+  } else if (system == "xgboost") {
+    report = TrainGbdtXgboost(&cluster, data, options);
+  } else {
+    std::fprintf(stderr, "unknown --system=%s\n", system.c_str());
+    return 2;
+  }
+  if (!report.ok()) {
+    std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  PrintReport(report->report, &cluster);
+  return 0;
+}
+
+int RunLda(const Flags& flags) {
+  ClusterSpec spec = SpecFromFlags(flags);
+  Cluster cluster(spec);
+  CorpusSpec corpus;
+  corpus.num_docs = static_cast<uint64_t>(flags.GetInt("docs", 5000));
+  corpus.vocab_size = static_cast<uint32_t>(flags.GetInt("vocab", 10000));
+  corpus.seed = spec.seed;
+  Dataset<Document> docs = MakeCorpusDataset(&cluster, corpus).Cache();
+  std::printf("corpus: %zu docs, vocab %u\n", docs.Count(),
+              corpus.vocab_size);
+  DcvContext ctx(&cluster);
+  LdaOptions options;
+  options.vocab_size = corpus.vocab_size;
+  options.num_topics = static_cast<uint32_t>(flags.GetInt("topics", 50));
+  options.iterations = static_cast<int>(flags.GetInt("iterations", 15));
+  Result<TrainReport> report = TrainLdaPs2(&ctx, docs, options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  PrintReport(*report, &cluster);
+  return 0;
+}
+
+int Usage() {
+  std::printf(
+      "ps2run <workload> [--flags]\n"
+      "workloads: lr svm lbfgs fm deepwalk gbdt lda\n"
+      "common flags: --workers=N --servers=N --iterations=N --seed=N\n"
+      "              --failure-prob=P --system=ps2|pspp|petuum|mllib|xgboost\n"
+      "lr/svm/fm:    --rows --dim --nnz --lr --batch-fraction --optimizer\n"
+      "deepwalk:     --vertices --walks --embedding-dim --lr\n"
+      "gbdt:         --rows --features --trees --depth --bins\n"
+      "lda:          --docs --vocab --topics\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  for (const std::string& error : flags.errors()) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+  }
+  const std::string& cmd = flags.command();
+  if (cmd == "lr" || cmd == "svm" || cmd == "lbfgs" || cmd == "fm") {
+    return RunGlmFamily(flags, cmd);
+  }
+  if (cmd == "deepwalk") return RunDeepWalk(flags);
+  if (cmd == "gbdt") return RunGbdt(flags);
+  if (cmd == "lda") return RunLda(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace tools
+}  // namespace ps2
+
+int main(int argc, char** argv) { return ps2::tools::Main(argc, argv); }
