@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hist_subtract.dir/ablation_hist_subtract.cpp.o"
+  "CMakeFiles/ablation_hist_subtract.dir/ablation_hist_subtract.cpp.o.d"
+  "ablation_hist_subtract"
+  "ablation_hist_subtract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hist_subtract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sparse_pull.dir/ablation_sparse_pull.cpp.o"
+  "CMakeFiles/ablation_sparse_pull.dir/ablation_sparse_pull.cpp.o.d"
+  "ablation_sparse_pull"
+  "ablation_sparse_pull.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sparse_pull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

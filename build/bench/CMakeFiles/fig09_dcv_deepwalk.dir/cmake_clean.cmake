@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_dcv_deepwalk.dir/fig09_dcv_deepwalk.cpp.o"
+  "CMakeFiles/fig09_dcv_deepwalk.dir/fig09_dcv_deepwalk.cpp.o.d"
+  "fig09_dcv_deepwalk"
+  "fig09_dcv_deepwalk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_dcv_deepwalk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_dcv_lr.dir/fig09_dcv_lr.cpp.o"
+  "CMakeFiles/fig09_dcv_lr.dir/fig09_dcv_lr.cpp.o.d"
+  "fig09_dcv_lr"
+  "fig09_dcv_lr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_dcv_lr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

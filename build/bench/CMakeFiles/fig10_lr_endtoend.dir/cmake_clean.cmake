@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_lr_endtoend.dir/fig10_lr_endtoend.cpp.o"
+  "CMakeFiles/fig10_lr_endtoend.dir/fig10_lr_endtoend.cpp.o.d"
+  "fig10_lr_endtoend"
+  "fig10_lr_endtoend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_lr_endtoend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_gbdt.dir/fig11_gbdt.cpp.o"
+  "CMakeFiles/fig11_gbdt.dir/fig11_gbdt.cpp.o.d"
+  "fig11_gbdt"
+  "fig11_gbdt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_gbdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

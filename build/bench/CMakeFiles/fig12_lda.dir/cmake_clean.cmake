@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_lda.dir/fig12_lda.cpp.o"
+  "CMakeFiles/fig12_lda.dir/fig12_lda.cpp.o.d"
+  "fig12_lda"
+  "fig12_lda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_lda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_dcv_ops.dir/microbench_dcv_ops.cpp.o"
+  "CMakeFiles/microbench_dcv_ops.dir/microbench_dcv_ops.cpp.o.d"
+  "microbench_dcv_ops"
+  "microbench_dcv_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_dcv_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

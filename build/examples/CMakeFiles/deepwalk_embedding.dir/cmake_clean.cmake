@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepwalk_embedding.dir/deepwalk_embedding.cpp.o"
+  "CMakeFiles/deepwalk_embedding.dir/deepwalk_embedding.cpp.o.d"
+  "deepwalk_embedding"
+  "deepwalk_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepwalk_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

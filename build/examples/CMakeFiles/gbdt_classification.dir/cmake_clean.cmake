@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbdt_classification.dir/gbdt_classification.cpp.o"
+  "CMakeFiles/gbdt_classification.dir/gbdt_classification.cpp.o.d"
+  "gbdt_classification"
+  "gbdt_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbdt_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

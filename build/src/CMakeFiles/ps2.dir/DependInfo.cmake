@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/distml_lr.cc" "src/CMakeFiles/ps2.dir/baselines/distml_lr.cc.o" "gcc" "src/CMakeFiles/ps2.dir/baselines/distml_lr.cc.o.d"
+  "/root/repo/src/baselines/glint_lda.cc" "src/CMakeFiles/ps2.dir/baselines/glint_lda.cc.o" "gcc" "src/CMakeFiles/ps2.dir/baselines/glint_lda.cc.o.d"
+  "/root/repo/src/baselines/mllib_lda.cc" "src/CMakeFiles/ps2.dir/baselines/mllib_lda.cc.o" "gcc" "src/CMakeFiles/ps2.dir/baselines/mllib_lda.cc.o.d"
+  "/root/repo/src/baselines/mllib_lr.cc" "src/CMakeFiles/ps2.dir/baselines/mllib_lr.cc.o" "gcc" "src/CMakeFiles/ps2.dir/baselines/mllib_lr.cc.o.d"
+  "/root/repo/src/baselines/mllib_star_lr.cc" "src/CMakeFiles/ps2.dir/baselines/mllib_star_lr.cc.o" "gcc" "src/CMakeFiles/ps2.dir/baselines/mllib_star_lr.cc.o.d"
+  "/root/repo/src/baselines/petuum_lda.cc" "src/CMakeFiles/ps2.dir/baselines/petuum_lda.cc.o" "gcc" "src/CMakeFiles/ps2.dir/baselines/petuum_lda.cc.o.d"
+  "/root/repo/src/baselines/petuum_lr.cc" "src/CMakeFiles/ps2.dir/baselines/petuum_lr.cc.o" "gcc" "src/CMakeFiles/ps2.dir/baselines/petuum_lr.cc.o.d"
+  "/root/repo/src/baselines/pspp_deepwalk.cc" "src/CMakeFiles/ps2.dir/baselines/pspp_deepwalk.cc.o" "gcc" "src/CMakeFiles/ps2.dir/baselines/pspp_deepwalk.cc.o.d"
+  "/root/repo/src/baselines/pspp_lr.cc" "src/CMakeFiles/ps2.dir/baselines/pspp_lr.cc.o" "gcc" "src/CMakeFiles/ps2.dir/baselines/pspp_lr.cc.o.d"
+  "/root/repo/src/baselines/support_matrix.cc" "src/CMakeFiles/ps2.dir/baselines/support_matrix.cc.o" "gcc" "src/CMakeFiles/ps2.dir/baselines/support_matrix.cc.o.d"
+  "/root/repo/src/baselines/xgboost_gbdt.cc" "src/CMakeFiles/ps2.dir/baselines/xgboost_gbdt.cc.o" "gcc" "src/CMakeFiles/ps2.dir/baselines/xgboost_gbdt.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/ps2.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/ps2.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/metrics.cc" "src/CMakeFiles/ps2.dir/common/metrics.cc.o" "gcc" "src/CMakeFiles/ps2.dir/common/metrics.cc.o.d"
+  "/root/repo/src/common/serde.cc" "src/CMakeFiles/ps2.dir/common/serde.cc.o" "gcc" "src/CMakeFiles/ps2.dir/common/serde.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/ps2.dir/common/status.cc.o" "gcc" "src/CMakeFiles/ps2.dir/common/status.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/ps2.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/ps2.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/data/classification_gen.cc" "src/CMakeFiles/ps2.dir/data/classification_gen.cc.o" "gcc" "src/CMakeFiles/ps2.dir/data/classification_gen.cc.o.d"
+  "/root/repo/src/data/corpus_gen.cc" "src/CMakeFiles/ps2.dir/data/corpus_gen.cc.o" "gcc" "src/CMakeFiles/ps2.dir/data/corpus_gen.cc.o.d"
+  "/root/repo/src/data/gbdt_gen.cc" "src/CMakeFiles/ps2.dir/data/gbdt_gen.cc.o" "gcc" "src/CMakeFiles/ps2.dir/data/gbdt_gen.cc.o.d"
+  "/root/repo/src/data/graph_gen.cc" "src/CMakeFiles/ps2.dir/data/graph_gen.cc.o" "gcc" "src/CMakeFiles/ps2.dir/data/graph_gen.cc.o.d"
+  "/root/repo/src/data/libsvm_io.cc" "src/CMakeFiles/ps2.dir/data/libsvm_io.cc.o" "gcc" "src/CMakeFiles/ps2.dir/data/libsvm_io.cc.o.d"
+  "/root/repo/src/data/presets.cc" "src/CMakeFiles/ps2.dir/data/presets.cc.o" "gcc" "src/CMakeFiles/ps2.dir/data/presets.cc.o.d"
+  "/root/repo/src/dataflow/cluster.cc" "src/CMakeFiles/ps2.dir/dataflow/cluster.cc.o" "gcc" "src/CMakeFiles/ps2.dir/dataflow/cluster.cc.o.d"
+  "/root/repo/src/dcv/dcv.cc" "src/CMakeFiles/ps2.dir/dcv/dcv.cc.o" "gcc" "src/CMakeFiles/ps2.dir/dcv/dcv.cc.o.d"
+  "/root/repo/src/dcv/dcv_context.cc" "src/CMakeFiles/ps2.dir/dcv/dcv_context.cc.o" "gcc" "src/CMakeFiles/ps2.dir/dcv/dcv_context.cc.o.d"
+  "/root/repo/src/linalg/dense_vector.cc" "src/CMakeFiles/ps2.dir/linalg/dense_vector.cc.o" "gcc" "src/CMakeFiles/ps2.dir/linalg/dense_vector.cc.o.d"
+  "/root/repo/src/linalg/sparse_vector.cc" "src/CMakeFiles/ps2.dir/linalg/sparse_vector.cc.o" "gcc" "src/CMakeFiles/ps2.dir/linalg/sparse_vector.cc.o.d"
+  "/root/repo/src/ml/async_glm.cc" "src/CMakeFiles/ps2.dir/ml/async_glm.cc.o" "gcc" "src/CMakeFiles/ps2.dir/ml/async_glm.cc.o.d"
+  "/root/repo/src/ml/deepwalk.cc" "src/CMakeFiles/ps2.dir/ml/deepwalk.cc.o" "gcc" "src/CMakeFiles/ps2.dir/ml/deepwalk.cc.o.d"
+  "/root/repo/src/ml/factorization_machine.cc" "src/CMakeFiles/ps2.dir/ml/factorization_machine.cc.o" "gcc" "src/CMakeFiles/ps2.dir/ml/factorization_machine.cc.o.d"
+  "/root/repo/src/ml/gbdt/gbdt.cc" "src/CMakeFiles/ps2.dir/ml/gbdt/gbdt.cc.o" "gcc" "src/CMakeFiles/ps2.dir/ml/gbdt/gbdt.cc.o.d"
+  "/root/repo/src/ml/gbdt/histogram.cc" "src/CMakeFiles/ps2.dir/ml/gbdt/histogram.cc.o" "gcc" "src/CMakeFiles/ps2.dir/ml/gbdt/histogram.cc.o.d"
+  "/root/repo/src/ml/gbdt/quantile_sketch.cc" "src/CMakeFiles/ps2.dir/ml/gbdt/quantile_sketch.cc.o" "gcc" "src/CMakeFiles/ps2.dir/ml/gbdt/quantile_sketch.cc.o.d"
+  "/root/repo/src/ml/gbdt/tree.cc" "src/CMakeFiles/ps2.dir/ml/gbdt/tree.cc.o" "gcc" "src/CMakeFiles/ps2.dir/ml/gbdt/tree.cc.o.d"
+  "/root/repo/src/ml/lbfgs.cc" "src/CMakeFiles/ps2.dir/ml/lbfgs.cc.o" "gcc" "src/CMakeFiles/ps2.dir/ml/lbfgs.cc.o.d"
+  "/root/repo/src/ml/lda/gibbs_sampler.cc" "src/CMakeFiles/ps2.dir/ml/lda/gibbs_sampler.cc.o" "gcc" "src/CMakeFiles/ps2.dir/ml/lda/gibbs_sampler.cc.o.d"
+  "/root/repo/src/ml/lda/lda_trainer.cc" "src/CMakeFiles/ps2.dir/ml/lda/lda_trainer.cc.o" "gcc" "src/CMakeFiles/ps2.dir/ml/lda/lda_trainer.cc.o.d"
+  "/root/repo/src/ml/linear_svm.cc" "src/CMakeFiles/ps2.dir/ml/linear_svm.cc.o" "gcc" "src/CMakeFiles/ps2.dir/ml/linear_svm.cc.o.d"
+  "/root/repo/src/ml/logreg.cc" "src/CMakeFiles/ps2.dir/ml/logreg.cc.o" "gcc" "src/CMakeFiles/ps2.dir/ml/logreg.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/CMakeFiles/ps2.dir/ml/metrics.cc.o" "gcc" "src/CMakeFiles/ps2.dir/ml/metrics.cc.o.d"
+  "/root/repo/src/ml/optimizer.cc" "src/CMakeFiles/ps2.dir/ml/optimizer.cc.o" "gcc" "src/CMakeFiles/ps2.dir/ml/optimizer.cc.o.d"
+  "/root/repo/src/net/message.cc" "src/CMakeFiles/ps2.dir/net/message.cc.o" "gcc" "src/CMakeFiles/ps2.dir/net/message.cc.o.d"
+  "/root/repo/src/net/network_model.cc" "src/CMakeFiles/ps2.dir/net/network_model.cc.o" "gcc" "src/CMakeFiles/ps2.dir/net/network_model.cc.o.d"
+  "/root/repo/src/ps/checkpoint.cc" "src/CMakeFiles/ps2.dir/ps/checkpoint.cc.o" "gcc" "src/CMakeFiles/ps2.dir/ps/checkpoint.cc.o.d"
+  "/root/repo/src/ps/partitioner.cc" "src/CMakeFiles/ps2.dir/ps/partitioner.cc.o" "gcc" "src/CMakeFiles/ps2.dir/ps/partitioner.cc.o.d"
+  "/root/repo/src/ps/ps_client.cc" "src/CMakeFiles/ps2.dir/ps/ps_client.cc.o" "gcc" "src/CMakeFiles/ps2.dir/ps/ps_client.cc.o.d"
+  "/root/repo/src/ps/ps_master.cc" "src/CMakeFiles/ps2.dir/ps/ps_master.cc.o" "gcc" "src/CMakeFiles/ps2.dir/ps/ps_master.cc.o.d"
+  "/root/repo/src/ps/ps_server.cc" "src/CMakeFiles/ps2.dir/ps/ps_server.cc.o" "gcc" "src/CMakeFiles/ps2.dir/ps/ps_server.cc.o.d"
+  "/root/repo/src/sim/cost_model.cc" "src/CMakeFiles/ps2.dir/sim/cost_model.cc.o" "gcc" "src/CMakeFiles/ps2.dir/sim/cost_model.cc.o.d"
+  "/root/repo/src/sim/failure_injector.cc" "src/CMakeFiles/ps2.dir/sim/failure_injector.cc.o" "gcc" "src/CMakeFiles/ps2.dir/sim/failure_injector.cc.o.d"
+  "/root/repo/src/sim/sim_clock.cc" "src/CMakeFiles/ps2.dir/sim/sim_clock.cc.o" "gcc" "src/CMakeFiles/ps2.dir/sim/sim_clock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_glm_test.dir/ml/async_glm_test.cc.o"
+  "CMakeFiles/async_glm_test.dir/ml/async_glm_test.cc.o.d"
+  "async_glm_test"
+  "async_glm_test.pdb"
+  "async_glm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_glm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcv_colocation_test.dir/dcv/dcv_colocation_test.cc.o"
+  "CMakeFiles/dcv_colocation_test.dir/dcv/dcv_colocation_test.cc.o.d"
+  "dcv_colocation_test"
+  "dcv_colocation_test.pdb"
+  "dcv_colocation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcv_colocation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcv_concurrency_test.dir/dcv/dcv_concurrency_test.cc.o"
+  "CMakeFiles/dcv_concurrency_test.dir/dcv/dcv_concurrency_test.cc.o.d"
+  "dcv_concurrency_test"
+  "dcv_concurrency_test.pdb"
+  "dcv_concurrency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcv_concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcv_property_test.dir/dcv/dcv_property_test.cc.o"
+  "CMakeFiles/dcv_property_test.dir/dcv/dcv_property_test.cc.o.d"
+  "dcv_property_test"
+  "dcv_property_test.pdb"
+  "dcv_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcv_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

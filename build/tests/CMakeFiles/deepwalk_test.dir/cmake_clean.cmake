@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepwalk_test.dir/ml/deepwalk_test.cc.o"
+  "CMakeFiles/deepwalk_test.dir/ml/deepwalk_test.cc.o.d"
+  "deepwalk_test"
+  "deepwalk_test.pdb"
+  "deepwalk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepwalk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dense_vector_test.dir/linalg/dense_vector_test.cc.o"
+  "CMakeFiles/dense_vector_test.dir/linalg/dense_vector_test.cc.o.d"
+  "dense_vector_test"
+  "dense_vector_test.pdb"
+  "dense_vector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dense_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

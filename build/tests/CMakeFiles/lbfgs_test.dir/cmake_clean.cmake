@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbfgs_test.dir/ml/lbfgs_test.cc.o"
+  "CMakeFiles/lbfgs_test.dir/ml/lbfgs_test.cc.o.d"
+  "lbfgs_test"
+  "lbfgs_test.pdb"
+  "lbfgs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbfgs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lineage_property_test.dir/dataflow/lineage_property_test.cc.o"
+  "CMakeFiles/lineage_property_test.dir/dataflow/lineage_property_test.cc.o.d"
+  "lineage_property_test"
+  "lineage_property_test.pdb"
+  "lineage_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lineage_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mllib_star_test.dir/baselines/mllib_star_test.cc.o"
+  "CMakeFiles/mllib_star_test.dir/baselines/mllib_star_test.cc.o.d"
+  "mllib_star_test"
+  "mllib_star_test.pdb"
+  "mllib_star_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mllib_star_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

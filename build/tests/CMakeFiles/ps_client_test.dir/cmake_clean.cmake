@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_client_test.dir/ps/ps_client_test.cc.o"
+  "CMakeFiles/ps_client_test.dir/ps/ps_client_test.cc.o.d"
+  "ps_client_test"
+  "ps_client_test.pdb"
+  "ps_client_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_client_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

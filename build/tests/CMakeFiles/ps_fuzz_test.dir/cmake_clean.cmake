@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_fuzz_test.dir/ps/ps_fuzz_test.cc.o"
+  "CMakeFiles/ps_fuzz_test.dir/ps/ps_fuzz_test.cc.o.d"
+  "ps_fuzz_test"
+  "ps_fuzz_test.pdb"
+  "ps_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

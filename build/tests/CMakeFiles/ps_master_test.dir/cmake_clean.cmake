@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_master_test.dir/ps/ps_master_test.cc.o"
+  "CMakeFiles/ps_master_test.dir/ps/ps_master_test.cc.o.d"
+  "ps_master_test"
+  "ps_master_test.pdb"
+  "ps_master_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_master_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

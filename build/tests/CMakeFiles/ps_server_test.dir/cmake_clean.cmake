@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_server_test.dir/ps/ps_server_test.cc.o"
+  "CMakeFiles/ps_server_test.dir/ps/ps_server_test.cc.o.d"
+  "ps_server_test"
+  "ps_server_test.pdb"
+  "ps_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_fault_test.dir/integration/workload_fault_test.cc.o"
+  "CMakeFiles/workload_fault_test.dir/integration/workload_fault_test.cc.o.d"
+  "workload_fault_test"
+  "workload_fault_test.pdb"
+  "workload_fault_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps2run.dir/ps2run.cpp.o"
+  "CMakeFiles/ps2run.dir/ps2run.cpp.o.d"
+  "ps2run"
+  "ps2run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps2run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
