@@ -33,7 +33,7 @@ Result<TrainReport> TrainGlmPsPullPush(DcvContext* ctx,
                  "pspp.weight"));
   PS2_ASSIGN_OR_RETURN(std::vector<Dcv> state, ctx->DeriveN(weight, n_state));
   PS2_ASSIGN_OR_RETURN(Dcv gradient, ctx->Derive(weight));
-  for (const Dcv& s : state) PS2_RETURN_NOT_OK(s.Zero());
+  for (Dcv& s : state) PS2_RETURN_NOT_OK(s.Zero());
 
   TrainReport report;
   report.system =
@@ -134,7 +134,7 @@ Result<TrainReport> TrainGlmPsPullPush(DcvContext* ctx,
                             s_vals.empty() ? nullptr : s_vals.data(),
                             v_vals.empty() ? nullptr : v_vals.data(), n);
                         task.AddWorkerOps(ops + 2 * n);
-                        auto push_delta = [&](const Dcv& d,
+                        auto push_delta = [&](Dcv& d,
                                               const std::vector<double>& now,
                                               const std::vector<double>& old) {
                           std::vector<uint64_t> idx = slice;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "dcv/dcv_batch.h"
 #include "dcv/dcv_context.h"
 
 namespace ps2 {
@@ -34,20 +35,54 @@ Result<std::vector<double>> Dcv::PullSparse(
   return context_->client()->PullSparse(ref_, indices);
 }
 
-Status Dcv::Push(const std::vector<double>& delta) const {
+Status Dcv::Push(const std::vector<double>& delta) {
   PS2_RETURN_NOT_OK(CheckValid(*this));
   return context_->client()->PushDense(ref_, delta);
 }
 
-Status Dcv::Add(const SparseVector& delta) const {
+Status Dcv::Add(const SparseVector& delta) {
   PS2_RETURN_NOT_OK(CheckValid(*this));
   return context_->client()->PushSparse(ref_, delta);
 }
 
-Status Dcv::Set(const std::vector<double>& values) const {
+Status Dcv::Set(const std::vector<double>& values) {
   PS2_RETURN_NOT_OK(CheckValid(*this));
   PS2_RETURN_NOT_OK(Fill(0.0));
   return Push(values);
+}
+
+PsFuture<std::vector<double>> Dcv::PullAsync() const {
+  if (Status s = CheckValid(*this); !s.ok()) {
+    return MakeReadyFuture<std::vector<double>>(std::move(s));
+  }
+  return context_->client()->PullDenseAsync(ref_);
+}
+
+PsFuture<std::vector<double>> Dcv::PullSparseAsync(
+    const std::vector<uint64_t>& indices) const {
+  if (Status s = CheckValid(*this); !s.ok()) {
+    return MakeReadyFuture<std::vector<double>>(std::move(s));
+  }
+  return context_->client()->PullSparseAsync(ref_, indices);
+}
+
+PsFuture<Ack> Dcv::PushAsync(const std::vector<double>& delta) {
+  if (Status s = CheckValid(*this); !s.ok()) {
+    return MakeReadyFuture<Ack>(std::move(s));
+  }
+  return context_->client()->PushDenseAsync(ref_, delta);
+}
+
+PsFuture<Ack> Dcv::AddAsync(const SparseVector& delta) {
+  if (Status s = CheckValid(*this); !s.ok()) {
+    return MakeReadyFuture<Ack>(std::move(s));
+  }
+  return context_->client()->PushSparseAsync(ref_, delta);
+}
+
+DcvBatch Dcv::Batch() const {
+  PS2_CHECK(valid()) << "Batch() on an invalid DCV handle";
+  return DcvBatch(context_);
 }
 
 Result<double> Dcv::Sum() const {
@@ -79,53 +114,53 @@ Result<double> Dcv::Dot(const Dcv& other) const {
   return context_->client()->Dot(ref_, other.ref_);
 }
 
-Status Dcv::Axpy(const Dcv& x, double alpha) const {
+Status Dcv::Axpy(const Dcv& x, double alpha) {
   PS2_RETURN_NOT_OK(CheckValid(*this));
   PS2_RETURN_NOT_OK(CheckValid(x));
   return context_->client()->ColumnOp(ColOpKind::kAxpy, ref_, {x.ref_}, alpha);
 }
 
-Status Dcv::CopyFrom(const Dcv& src) const {
+Status Dcv::CopyFrom(const Dcv& src) {
   PS2_RETURN_NOT_OK(CheckValid(*this));
   PS2_RETURN_NOT_OK(CheckValid(src));
   return context_->client()->ColumnOp(ColOpKind::kCopy, ref_, {src.ref_});
 }
 
-Status Dcv::AddOf(const Dcv& a, const Dcv& b) const {
+Status Dcv::AddOf(const Dcv& a, const Dcv& b) {
   PS2_RETURN_NOT_OK(CheckValid(*this));
   return context_->client()->ColumnOp(ColOpKind::kAdd, ref_,
                                       {a.ref_, b.ref_});
 }
 
-Status Dcv::SubOf(const Dcv& a, const Dcv& b) const {
+Status Dcv::SubOf(const Dcv& a, const Dcv& b) {
   PS2_RETURN_NOT_OK(CheckValid(*this));
   return context_->client()->ColumnOp(ColOpKind::kSub, ref_,
                                       {a.ref_, b.ref_});
 }
 
-Status Dcv::MulOf(const Dcv& a, const Dcv& b) const {
+Status Dcv::MulOf(const Dcv& a, const Dcv& b) {
   PS2_RETURN_NOT_OK(CheckValid(*this));
   return context_->client()->ColumnOp(ColOpKind::kMul, ref_,
                                       {a.ref_, b.ref_});
 }
 
-Status Dcv::DivOf(const Dcv& a, const Dcv& b) const {
+Status Dcv::DivOf(const Dcv& a, const Dcv& b) {
   PS2_RETURN_NOT_OK(CheckValid(*this));
   return context_->client()->ColumnOp(ColOpKind::kDiv, ref_,
                                       {a.ref_, b.ref_});
 }
 
-Status Dcv::Fill(double value) const {
+Status Dcv::Fill(double value) {
   PS2_RETURN_NOT_OK(CheckValid(*this));
   return context_->client()->ColumnOp(ColOpKind::kFill, ref_, {}, value);
 }
 
-Status Dcv::Scale(double alpha) const {
+Status Dcv::Scale(double alpha) {
   PS2_RETURN_NOT_OK(CheckValid(*this));
   return context_->client()->ColumnOp(ColOpKind::kScale, ref_, {}, alpha);
 }
 
-Status Dcv::Zip(const std::vector<Dcv>& others, int udf_id) const {
+Status Dcv::Zip(const std::vector<Dcv>& others, int udf_id) {
   PS2_RETURN_NOT_OK(CheckValid(*this));
   std::vector<RowRef> rows{ref_};
   for (const Dcv& d : others) {

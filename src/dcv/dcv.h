@@ -23,10 +23,12 @@
 
 #include "common/result.h"
 #include "linalg/sparse_vector.h"
+#include "ps/ps_future.h"
 #include "ps/ps_types.h"
 
 namespace ps2 {
 
+class DcvBatch;
 class DcvContext;
 
 /// \brief Handle to a distributed vector on the parameter servers.
@@ -43,6 +45,10 @@ class Dcv {
   bool CoLocatedWith(const Dcv& other) const;
 
   // ---- Row access ----
+  //
+  // Ops that write the distributed vector are non-const: a Dcv handle is
+  // trivially copyable, but the state it names is shared and mutable — the
+  // const qualifier tracks whether an op can change what other handles see.
 
   /// Pulls the whole vector (dense). O(dim) traffic — prefer PullSparse.
   Result<std::vector<double>> Pull() const;
@@ -52,36 +58,53 @@ class Dcv {
       const std::vector<uint64_t>& indices) const;
 
   /// Adds a dense delta (the gradient-push of paper Fig. 3 line 18).
-  Status Push(const std::vector<double>& delta) const;
+  Status Push(const std::vector<double>& delta);
 
   /// Adds a sparse delta.
-  Status Add(const SparseVector& delta) const;
+  Status Add(const SparseVector& delta);
 
   /// Overwrites the vector with `values` (zero + push).
-  Status Set(const std::vector<double>& values) const;
+  Status Set(const std::vector<double>& values);
 
   Result<double> Sum() const;
   Result<double> Nnz() const;
   Result<double> Norm2() const;
   Result<double> Max() const;
 
+  // ---- Asynchronous row access (paper §5.1's asynchronous client) ----
+  //
+  // Returns immediately with a PsFuture; Wait()/Get() on the issuing thread
+  // retrieves the value and charges the traffic. Ops issued while another is
+  // outstanding overlap it and share one round of latency.
+
+  PsFuture<std::vector<double>> PullAsync() const;
+  PsFuture<std::vector<double>> PullSparseAsync(
+      const std::vector<uint64_t>& indices) const;
+  PsFuture<Ack> PushAsync(const std::vector<double>& delta);
+  PsFuture<Ack> AddAsync(const SparseVector& delta);
+
+  /// Opens a coalescing multi-op builder on this DCV's context (see
+  /// dcv/dcv_batch.h). Sugar for DcvContext::Batch().
+  DcvBatch Batch() const;
+
   // ---- Column access (element-wise, server-side when co-located) ----
 
   Result<double> Dot(const Dcv& other) const;
   /// this += alpha * x  (the paper's axpy / iaxpy).
-  Status Axpy(const Dcv& x, double alpha) const;
-  Status CopyFrom(const Dcv& src) const;
-  Status AddOf(const Dcv& a, const Dcv& b) const;  ///< this = a + b
-  Status SubOf(const Dcv& a, const Dcv& b) const;  ///< this = a - b
-  Status MulOf(const Dcv& a, const Dcv& b) const;  ///< this = a * b
-  Status DivOf(const Dcv& a, const Dcv& b) const;  ///< this = a / b
-  Status Fill(double value) const;
-  Status Zero() const { return Fill(0.0); }
-  Status Scale(double alpha) const;
+  Status Axpy(const Dcv& x, double alpha);
+  Status CopyFrom(const Dcv& src);
+  Status AddOf(const Dcv& a, const Dcv& b);  ///< this = a + b
+  Status SubOf(const Dcv& a, const Dcv& b);  ///< this = a - b
+  Status MulOf(const Dcv& a, const Dcv& b);  ///< this = a * b
+  Status DivOf(const Dcv& a, const Dcv& b);  ///< this = a / b
+  Status Fill(double value);
+  Status Zero() { return Fill(0.0); }
+  Status Scale(double alpha);
 
   /// Runs registered server-side UDF `udf_id` over [this, others...] — the
-  /// paper's `zip(...).mapPartition{...}` (Fig. 3 lines 22-26).
-  Status Zip(const std::vector<Dcv>& others, int udf_id) const;
+  /// paper's `zip(...).mapPartition{...}` (Fig. 3 lines 22-26). The UDF may
+  /// mutate every zipped row, hence non-const.
+  Status Zip(const std::vector<Dcv>& others, int udf_id);
 
   /// Read-only server-side aggregation over [this, others...]; returns one
   /// result vector per partition (paper Fig. 8's split finding).

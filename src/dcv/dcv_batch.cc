@@ -1,0 +1,157 @@
+#include "dcv/dcv_batch.h"
+
+#include "common/logging.h"
+#include "dcv/dcv_context.h"
+
+namespace ps2 {
+
+DcvBatch::DcvBatch(DcvContext* context) : context_(context) {
+  PS2_CHECK(context != nullptr);
+}
+
+void DcvBatch::Note(const Status& status) {
+  if (error_.ok() && !status.ok()) error_ = status;
+}
+
+Status DcvBatch::CheckHandle(const Dcv& dcv) const {
+  if (!dcv.valid() || dcv.context() != context_) {
+    return Status::FailedPrecondition("DCV does not belong to this batch's context");
+  }
+  return Status::OK();
+}
+
+size_t DcvBatch::Dot(const Dcv& a, const Dcv& b) {
+  Note(CheckHandle(a));
+  Note(CheckHandle(b));
+  dot_pairs_.emplace_back(a.ref(), b.ref());
+  return dot_pairs_.size() - 1;
+}
+
+DcvBatch& DcvBatch::Axpy(Dcv& dst, const Dcv& src, double alpha) {
+  Note(CheckHandle(dst));
+  Note(CheckHandle(src));
+  axpy_tasks_.push_back({dst.ref(), src.ref(), alpha});
+  return *this;
+}
+
+size_t DcvBatch::Pull(const Dcv& v) {
+  Note(CheckHandle(v));
+  pull_rows_.push_back(v.ref());
+  return pull_rows_.size() - 1;
+}
+
+DcvBatch& DcvBatch::Push(Dcv& v, std::vector<double> delta) {
+  Note(CheckHandle(v));
+  push_rows_.push_back(v.ref());
+  push_deltas_.push_back(std::move(delta));
+  return *this;
+}
+
+size_t DcvBatch::PullSparse(const std::vector<Dcv>& rows,
+                            std::vector<uint64_t> indices,
+                            bool compress_counts) {
+  SparsePullGroup group;
+  group.rows.reserve(rows.size());
+  for (const Dcv& r : rows) {
+    Note(CheckHandle(r));
+    group.rows.push_back(r.ref());
+  }
+  group.indices = std::move(indices);
+  group.compress = compress_counts;
+  sparse_pulls_.push_back(std::move(group));
+  return sparse_pulls_.size() - 1;
+}
+
+DcvBatch& DcvBatch::PushSparse(std::vector<Dcv>& rows,
+                               std::vector<SparseVector> deltas,
+                               bool compress_counts) {
+  SparsePushGroup group;
+  group.rows.reserve(rows.size());
+  for (const Dcv& r : rows) {
+    Note(CheckHandle(r));
+    group.rows.push_back(r.ref());
+  }
+  group.deltas = std::move(deltas);
+  group.compress = compress_counts;
+  sparse_pushes_.push_back(std::move(group));
+  return *this;
+}
+
+bool DcvBatch::empty() const {
+  return dot_pairs_.empty() && axpy_tasks_.empty() && pull_rows_.empty() &&
+         push_rows_.empty() && sparse_pulls_.empty() && sparse_pushes_.empty();
+}
+
+DcvBatch::Future DcvBatch::Submit() {
+  PS2_CHECK(!submitted_) << "DcvBatch::Submit called twice";
+  submitted_ = true;
+  Future f;
+  if (!error_.ok()) {
+    f.error_ = error_;
+    return f;
+  }
+  PsClient* client = context_->client();
+  // Issue groups back-to-back: the first becomes the round leader, the rest
+  // overlap it — the whole batch charges one round of latency.
+  if (!dot_pairs_.empty()) f.dots_ = client->DotBatchAsync(dot_pairs_);
+  if (!axpy_tasks_.empty()) f.axpys_ = client->AxpyBatchAsync(axpy_tasks_);
+  if (!pull_rows_.empty()) f.pulls_ = client->PullRowsAsync(pull_rows_);
+  if (!push_rows_.empty()) {
+    f.pushes_ = client->PushRowsAsync(push_rows_, push_deltas_);
+  }
+  for (const SparsePullGroup& g : sparse_pulls_) {
+    f.sparse_pulls_.push_back(
+        client->PullSparseRowsAsync(g.rows, g.indices, g.compress));
+  }
+  for (const SparsePushGroup& g : sparse_pushes_) {
+    f.sparse_pushes_.push_back(
+        client->PushSparseRowsAsync(g.rows, g.deltas, g.compress));
+  }
+  return f;
+}
+
+Status DcvBatch::Future::Wait() {
+  Status first = error_;
+  auto track = [&first](const Status& s) {
+    if (first.ok() && !s.ok()) first = s;
+  };
+  if (dots_.valid()) track(dots_.Wait());
+  if (axpys_.valid()) track(axpys_.Wait());
+  if (pulls_.valid()) track(pulls_.Wait());
+  if (pushes_.valid()) track(pushes_.Wait());
+  for (auto& f : sparse_pulls_) track(f.Wait());
+  for (auto& f : sparse_pushes_) track(f.Wait());
+  return first;
+}
+
+Result<DcvBatchResults> DcvBatch::Future::Get() {
+  DcvBatchResults out;
+  Status first = error_;
+  auto track = [&first](const Status& s) {
+    if (first.ok() && !s.ok()) first = s;
+  };
+  // Drain everything even after an error so the window always empties and
+  // every op's traffic is charged.
+  if (dots_.valid()) {
+    Result<std::vector<double>> r = dots_.Get();
+    if (r.ok()) out.dots = std::move(*r);
+    track(r.status());
+  }
+  if (axpys_.valid()) track(axpys_.Wait());
+  if (pulls_.valid()) {
+    Result<std::vector<std::vector<double>>> r = pulls_.Get();
+    if (r.ok()) out.pulled = std::move(*r);
+    track(r.status());
+  }
+  if (pushes_.valid()) track(pushes_.Wait());
+  for (auto& f : sparse_pulls_) {
+    Result<std::vector<std::vector<double>>> r = f.Get();
+    if (r.ok()) out.sparse_pulled.push_back(std::move(*r));
+    track(r.status());
+  }
+  for (auto& f : sparse_pushes_) track(f.Wait());
+  if (!first.ok()) return first;
+  return out;
+}
+
+}  // namespace ps2

@@ -1,6 +1,7 @@
 #include "dcv/dcv_context.h"
 
 #include "common/logging.h"
+#include "dcv/dcv_batch.h"
 
 namespace ps2 {
 
@@ -109,5 +110,7 @@ Result<int> DcvContext::SpanServers(const Dcv& dcv) const {
                        master_->GetMeta(dcv.ref().matrix_id));
   return meta.partitioner.num_servers();
 }
+
+DcvBatch DcvContext::Batch() { return DcvBatch(this); }
 
 }  // namespace ps2

@@ -20,6 +20,8 @@
 
 namespace ps2 {
 
+class DcvBatch;
+
 /// \brief Factory and runtime context for Dimension Co-located Vectors.
 class DcvContext {
  public:
@@ -65,6 +67,11 @@ class DcvContext {
                                        uint64_t init_seed = 0,
                                        const std::string& name = "dcv_matrix",
                                        int num_servers = 0);
+
+  /// Opens a coalescing multi-op builder (dcv/dcv_batch.h): stage dots,
+  /// axpys, row pulls/pushes and sparse pulls/pushes, then Submit() once —
+  /// the whole batch overlaps into a single round of latency.
+  DcvBatch Batch();
 
   /// Registers a mutating server-side function for use with Dcv::Zip.
   int RegisterZip(ZipFn fn) { return master_->udfs()->RegisterZip(std::move(fn)); }

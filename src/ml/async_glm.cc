@@ -1,6 +1,8 @@
 #include "ml/async_glm.h"
 
+#include <optional>
 #include <unordered_map>
+#include <utility>
 
 #include "common/logging.h"
 #include "ml/metrics.h"
@@ -40,30 +42,59 @@ Result<TrainReport> TrainGlmPs2Async(DcvContext* ctx,
                 -> std::pair<double, uint64_t> {
               double loss_sum = 0;
               uint64_t count = 0;
-              for (int step = 0; step < steps_per_stage; ++step) {
-                // Local Bernoulli mini-batch, seeded like the sync trainer.
-                uint64_t batch_seed =
-                    options.seed * 1000003ULL +
-                    static_cast<uint64_t>(round * steps_per_stage + step);
-                Rng rng(batch_seed ^ (0x5A111E00ULL + task.task_id));
+
+              // A step's mini-batch plus its (sorted, unique) feature set.
+              struct StepBatch {
                 std::vector<Example> batch;
-                for (const Example& ex : rows) {
-                  if (rng.NextBernoulli(options.batch_fraction)) {
-                    batch.push_back(ex);
+                std::vector<uint64_t> indices;
+              };
+              int next_step = 0;
+              auto next_batch = [&]() -> std::optional<StepBatch> {
+                while (next_step < steps_per_stage) {
+                  // Local Bernoulli mini-batch, seeded like the sync
+                  // trainer.
+                  int step = next_step++;
+                  uint64_t batch_seed =
+                      options.seed * 1000003ULL +
+                      static_cast<uint64_t>(round * steps_per_stage + step);
+                  Rng rng(batch_seed ^ (0x5A111E00ULL + task.task_id));
+                  StepBatch sb;
+                  for (const Example& ex : rows) {
+                    if (rng.NextBernoulli(options.batch_fraction)) {
+                      sb.batch.push_back(ex);
+                    }
                   }
+                  if (sb.batch.empty()) continue;
+                  sb.indices = CollectBatchIndices(sb.batch);
+                  return sb;
                 }
-                if (batch.empty()) continue;
-                std::vector<uint64_t> indices = CollectBatchIndices(batch);
-                Result<std::vector<double>> pulled =
-                    weight.PullSparse(indices);
+                return std::nullopt;
+              };
+
+              // Prefetch pipeline (paper §5.1): the pull for step i+1 is
+              // issued while step i's gradient push is still in flight, so
+              // the two ops share one round of latency and the pulled
+              // weights are at most one local push stale — a tightening of
+              // the stage-level bounded staleness this trainer already
+              // accepts.
+              std::optional<StepBatch> cur = next_batch();
+              PsFuture<std::vector<double>> pull_future;
+              PsFuture<Ack> push_future;
+              if (cur) pull_future = weight.PullSparseAsync(cur->indices);
+              while (cur) {
+                // Sampling the next batch is local compute that overlaps
+                // the in-flight pull.
+                std::optional<StepBatch> nxt = next_batch();
+                Result<std::vector<double>> pulled = pull_future.Get();
                 PS2_CHECK(pulled.ok()) << pulled.status();
+                const std::vector<uint64_t>& indices = cur->indices;
                 std::unordered_map<uint64_t, double> w_local;
                 w_local.reserve(indices.size() * 2);
                 for (size_t k = 0; k < indices.size(); ++k) {
                   w_local.emplace(indices[k], (*pulled)[k]);
                 }
                 BatchGradient bg = ComputeBatchGradient(
-                    batch,
+                    cur->batch,
                     [&w_local](uint64_t j) {
                       auto it = w_local.find(j);
                       return it == w_local.end() ? 0.0 : it->second;
@@ -73,10 +104,17 @@ Result<TrainReport> TrainGlmPs2Async(DcvContext* ctx,
                 // Apply directly: push -lr/|batch| * g into the weights.
                 SparseVector delta = bg.gradient;
                 delta.ScaleInPlace(-lr / static_cast<double>(bg.count));
-                PS2_CHECK_OK(weight.Add(delta));
+                if (push_future.valid()) PS2_CHECK_OK(push_future.Wait());
+                push_future = weight.AddAsync(delta);
+                if (nxt) {
+                  // Rides the push round just issued.
+                  pull_future = weight.PullSparseAsync(nxt->indices);
+                }
                 loss_sum += bg.loss_sum;
                 count += bg.count;
+                cur = std::move(nxt);
               }
+              if (push_future.valid()) PS2_CHECK_OK(push_future.Wait());
               return {loss_sum, count};
             });
 

@@ -6,16 +6,17 @@
 #include "common/logging.h"
 #include "data/graph_gen.h"
 #include "dataflow/broadcast.h"
+#include "dcv/dcv_batch.h"
 #include "ml/metrics.h"
 
 namespace ps2 {
 
 namespace {
 
-/// One batch worth of skip-gram tasks: the pair list (positives followed by
-/// their negatives) plus labels.
+/// One batch worth of skip-gram tasks: (input row, output row) embedding
+/// indices (positives followed by their negatives) plus labels.
 struct SkipGramBatch {
-  std::vector<std::pair<RowRef, RowRef>> dot_pairs;
+  std::vector<std::pair<uint32_t, uint32_t>> pair_rows;
   std::vector<double> labels;
 };
 
@@ -41,7 +42,6 @@ Result<TrainReport> TrainDeepWalkPs2(
       std::vector<Dcv> rows,
       ctx->DenseMatrix(k_dim, 2 * v_count, 0.5 / k_dim, options.seed,
                        "deepwalk.embeddings", options.num_servers));
-  const int matrix_id = rows[0].ref().matrix_id;
   DeepWalkModel model;
   model.num_vertices = v_count;
   model.rows = std::move(rows);
@@ -54,7 +54,6 @@ Result<TrainReport> TrainDeepWalkPs2(
       BroadcastValue(cluster, neg_table,
                      static_cast<uint64_t>(v_count) * sizeof(double));
 
-  PsClient* client = ctx->client();
   TrainReport report;
   report.system = "PS2-DeepWalk";
   const SimTime t0 = cluster->clock().Now();
@@ -71,46 +70,77 @@ Result<TrainReport> TrainDeepWalkPs2(
               double loss_sum = 0;
               uint64_t trained = 0;
               Rng rng = task.rng.Split(0xD33F + epoch);
-              SkipGramBatch batch;
-              for (size_t start = 0; start < rows.size();
-                   start += batch_size) {
-                size_t end = std::min(rows.size(), start + batch_size);
-                batch.dot_pairs.clear();
-                batch.labels.clear();
-                for (size_t i = start; i < end; ++i) {
+
+              // Double-buffered prefetch pipeline (paper §5.1): while batch
+              // i's axpy round is in flight, batch i+1's dot batch is issued
+              // behind it and rides the same latency window — one overlapped
+              // round per batch instead of two serial ones. The prefetched
+              // dots may read embeddings at most one in-flight axpy stale,
+              // the usual hogwild tolerance of skip-gram training.
+              SkipGramBatch bufs[2];
+              auto build = [&](size_t begin, size_t end, SkipGramBatch& b) {
+                b.pair_rows.clear();
+                b.labels.clear();
+                for (size_t i = begin; i < end; ++i) {
                   const VertexPair& p = rows[i];
-                  RowRef input{matrix_id, p.u};
-                  batch.dot_pairs.push_back(
-                      {input, RowRef{matrix_id, v_count + p.v}});
-                  batch.labels.push_back(1.0);
+                  b.pair_rows.push_back({p.u, v_count + p.v});
+                  b.labels.push_back(1.0);
                   for (int nk = 0; nk < negatives; ++nk) {
                     uint32_t n = table.Sample(&rng);
                     if (n == p.v) n = (n + 1) % v_count;
-                    batch.dot_pairs.push_back(
-                        {input, RowRef{matrix_id, v_count + n}});
-                    batch.labels.push_back(0.0);
+                    b.pair_rows.push_back({p.u, v_count + n});
+                    b.labels.push_back(0.0);
                   }
                 }
-                // Server-side partial dots, one round for the whole batch.
-                Result<std::vector<double>> dots =
-                    client->DotBatch(batch.dot_pairs);
-                PS2_CHECK(dots.ok()) << dots.status();
-                // Server-side symmetric axpy updates, one more round.
-                std::vector<PsClient::AxpyTask> updates;
-                updates.reserve(2 * batch.dot_pairs.size());
-                for (size_t i = 0; i < batch.dot_pairs.size(); ++i) {
-                  double sig = Sigmoid((*dots)[i]);
-                  double label = batch.labels[i];
-                  loss_sum += LogisticLoss((*dots)[i], label);
-                  double alpha = -lr * (sig - label);
-                  const auto& [a, b] = batch.dot_pairs[i];
-                  updates.push_back({a, b, alpha});
-                  updates.push_back({b, a, alpha});
+              };
+              auto stage_dots = [&](const SkipGramBatch& b) {
+                DcvBatch dots = ctx->Batch();
+                for (const auto& [a, c] : b.pair_rows) {
+                  dots.Dot(model.rows[a], model.rows[c]);
                 }
-                PS2_CHECK_OK(client->AxpyBatch(updates));
-                task.AddWorkerOps(8 * batch.dot_pairs.size());
+                return dots.Submit();
+              };
+
+              size_t cur = 0;
+              DcvBatch::Future dots_future;
+              DcvBatch::Future axpy_future;
+              if (!rows.empty()) {
+                build(0, std::min(rows.size(), size_t{batch_size}), bufs[0]);
+                dots_future = stage_dots(bufs[0]);
+              }
+              for (size_t start = 0; start < rows.size();
+                   start += batch_size) {
+                size_t end = std::min(rows.size(), start + batch_size);
+                SkipGramBatch& batch = bufs[cur];
+                if (end < rows.size()) {
+                  build(end, std::min(rows.size(), end + batch_size),
+                        bufs[1 - cur]);
+                }
+                Result<DcvBatchResults> dots = dots_future.Get();
+                PS2_CHECK(dots.ok()) << dots.status();
+                // Server-side symmetric axpy updates for this batch.
+                DcvBatch updates = ctx->Batch();
+                for (size_t i = 0; i < batch.pair_rows.size(); ++i) {
+                  double sig = Sigmoid(dots->dots[i]);
+                  double label = batch.labels[i];
+                  loss_sum += LogisticLoss(dots->dots[i], label);
+                  double alpha = -lr * (sig - label);
+                  const auto& [a, c] = batch.pair_rows[i];
+                  updates.Axpy(model.rows[a], model.rows[c], alpha);
+                  updates.Axpy(model.rows[c], model.rows[a], alpha);
+                }
+                // Harvest the previous axpy round before issuing the next:
+                // at most one update round stays in flight.
+                PS2_CHECK_OK(axpy_future.Wait());
+                axpy_future = updates.Submit();
+                if (end < rows.size()) {
+                  dots_future = stage_dots(bufs[1 - cur]);  // rides the axpy
+                  cur = 1 - cur;
+                }
+                task.AddWorkerOps(8 * batch.pair_rows.size());
                 trained += end - start;
               }
+              PS2_CHECK_OK(axpy_future.Wait());
               // Normalize per dot (positives + negatives).
               return {loss_sum, trained * (1 + negatives)};
             });

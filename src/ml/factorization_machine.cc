@@ -82,7 +82,7 @@ Result<TrainReport> TrainFmPs2(DcvContext* ctx, const Dataset<Example>& data,
 
               // One round: the batch's support for all k+1 rows.
               Result<std::vector<std::vector<double>>> pulled =
-                  client->PullSparseRows(all_rows, support);
+                  client->PullSparseRowsAsync(all_rows, support).Get();
               PS2_CHECK(pulled.ok()) << pulled.status();
               std::vector<double>& w_local = (*pulled)[0];
               std::vector<std::vector<double>> v_local(
@@ -144,7 +144,8 @@ Result<TrainReport> TrainFmPs2(DcvContext* ctx, const Dataset<Example>& data,
                 }
                 deltas.emplace_back(std::move(di), std::move(dv));
               }
-              PS2_CHECK_OK(client->PushSparseRows(all_rows, deltas));
+              PS2_CHECK_OK(
+                  client->PushSparseRowsAsync(all_rows, deltas).Wait());
               return {loss_sum, rows.size()};
             });
 

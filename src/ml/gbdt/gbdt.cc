@@ -367,7 +367,7 @@ class Ps2HistogramAggregator final : public HistogramAggregator {
       refs.push_back(HessRow(k).ref());
       deltas.push_back(std::move(histograms.hess_hists[i]));
     }
-    PS2_CHECK_OK(ctx_->client()->PushRows(refs, deltas));
+    PS2_CHECK_OK(ctx_->client()->PushRowsAsync(refs, deltas).Wait());
   }
 
   Status OnLevelCollected(

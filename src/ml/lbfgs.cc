@@ -13,7 +13,7 @@ namespace {
 /// Full-batch loss and gradient: gradient lands in `gradient` (zeroed
 /// first); returns (loss_sum, count).
 Result<std::pair<double, uint64_t>> ComputeFullGradient(
-    const Dataset<Example>& data, const Dcv& weight, const Dcv& gradient,
+    const Dataset<Example>& data, const Dcv& weight, Dcv& gradient,
     GlmLossKind loss_kind) {
   PS2_RETURN_NOT_OK(gradient.Zero());
   std::vector<std::pair<double, uint64_t>> partials =

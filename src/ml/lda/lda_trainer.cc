@@ -1,6 +1,7 @@
 #include "ml/lda/lda_trainer.h"
 
 #include "common/logging.h"
+#include "dcv/dcv_batch.h"
 
 namespace ps2 {
 
@@ -19,13 +20,9 @@ Result<TrainReport> TrainLdaPs2(DcvContext* ctx, const Dataset<Document>& docs,
                        "lda.word_topic"));
   PS2_ASSIGN_OR_RETURN(Dcv topic_totals,
                        ctx->Dense(k_topics, 2, 1, 0, "lda.topic_totals"));
-  std::vector<RowRef> topic_refs;
-  topic_refs.reserve(k_topics);
-  for (const Dcv& row : topic_rows) topic_refs.push_back(row.ref());
 
   const size_t num_partitions = docs.num_partitions();
   std::vector<LdaPartitionState> states(num_partitions);
-  PsClient* client = ctx->client();
 
   TrainReport report;
   report.system = "PS2-LDA";
@@ -39,11 +36,12 @@ Result<TrainReport> TrainLdaPs2(DcvContext* ctx, const Dataset<Document>& docs,
     Rng rng = task.rng.Split(0x1DA0);
     state.Initialize(rows, options, &rng);
     task.AddWorkerOps(state.total_tokens() * 4);
-    PS2_CHECK_OK(client->PushSparseRows(
-        topic_refs, state.InitialTopicCounts(options),
-        /*compress_counts=*/true));
-    std::vector<double> totals = state.InitialTopicTotals(options);
-    PS2_CHECK_OK(topic_totals.Push(totals));
+    // Both count pushes overlap into one round through the async client.
+    DcvBatch init = ctx->Batch();
+    init.PushSparse(topic_rows, state.InitialTopicCounts(options),
+                    /*compress_counts=*/true);
+    init.Push(topic_totals, state.InitialTopicTotals(options));
+    PS2_CHECK_OK(init.Submit().Wait());
   });
 
   for (int iter = 0; iter < options.iterations; ++iter) {
@@ -55,25 +53,30 @@ Result<TrainReport> TrainLdaPs2(DcvContext* ctx, const Dataset<Document>& docs,
               LdaPartitionState& state = states[task.task_id];
               if (state.local_vocab().empty()) return {0.0, 0};
 
-              // Sparse pull of the local vocabulary's counts for every
-              // topic, one round, varint-compressed.
-              Result<std::vector<std::vector<double>>> pulled =
-                  client->PullSparseRows(topic_refs, state.local_vocab(),
-                                         /*compress_counts=*/true);
+              // Sparse pull of the local vocabulary's counts for every topic
+              // (varint-compressed) overlapped with the topic-totals pull:
+              // one round for both through the async client.
+              DcvBatch pull = ctx->Batch();
+              size_t counts_slot =
+                  pull.PullSparse(topic_rows, state.local_vocab(),
+                                  /*compress_counts=*/true);
+              size_t totals_slot = pull.Pull(topic_totals);
+              Result<DcvBatchResults> pulled = pull.Execute();
               PS2_CHECK(pulled.ok()) << pulled.status();
-              Result<std::vector<double>> nt = topic_totals.Pull();
-              PS2_CHECK(nt.ok()) << nt.status();
 
               Rng rng = task.rng.Split(0x1DA1 + iter);
               LdaPartitionState::SweepResult sweep =
-                  state.Sweep(options, &*pulled, &*nt, &rng);
+                  state.Sweep(options, &pulled->sparse_pulled[counts_slot],
+                              &pulled->pulled[totals_slot], &rng);
               task.AddWorkerOps(sweep.tokens * (4 * k_topics + 8));
 
-              // Sparse compressed delta pushes (the last ops of the task).
-              PS2_CHECK_OK(client->PushSparseRows(topic_refs,
-                                                  sweep.topic_deltas,
-                                                  /*compress_counts=*/true));
-              PS2_CHECK_OK(topic_totals.Push(sweep.topic_total_deltas));
+              // Sparse compressed delta pushes (the last ops of the task),
+              // again overlapped into a single round.
+              DcvBatch push = ctx->Batch();
+              push.PushSparse(topic_rows, std::move(sweep.topic_deltas),
+                              /*compress_counts=*/true);
+              push.Push(topic_totals, std::move(sweep.topic_total_deltas));
+              PS2_CHECK_OK(push.Submit().Wait());
               return {sweep.loglik_sum, sweep.tokens};
             });
 

@@ -75,7 +75,7 @@ Result<TrainReport> TrainGlmPs2(DcvContext* ctx, const Dataset<Example>& data,
   PS2_ASSIGN_OR_RETURN(std::vector<Dcv> state,
                        ctx->DeriveN(weight, n_state));
   PS2_ASSIGN_OR_RETURN(Dcv gradient, ctx->Derive(weight));
-  for (const Dcv& s : state) PS2_RETURN_NOT_OK(s.Zero());
+  for (Dcv& s : state) PS2_RETURN_NOT_OK(s.Zero());
 
   auto step = std::make_shared<std::atomic<int64_t>>(0);
   const int zip_udf =

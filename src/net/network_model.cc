@@ -55,6 +55,7 @@ uint64_t TaskTraffic::TotalMsgs() const {
 void TaskTraffic::MergeFrom(const TaskTraffic& other) {
   worker_ops += other.worker_ops;
   rounds += other.rounds;
+  pipelined_rounds += other.pipelined_rounds;
   io_bytes += other.io_bytes;
   EnsureServers(other.bytes_to_server.size());
   for (size_t s = 0; s < other.bytes_to_server.size(); ++s) {
@@ -69,6 +70,7 @@ void TaskTraffic::MergeFrom(const TaskTraffic& other) {
 void TaskTraffic::Clear() {
   worker_ops = 0;
   rounds = 0;
+  pipelined_rounds = 0;
   io_bytes = 0;
   bytes_to_server.clear();
   bytes_from_server.clear();
@@ -88,6 +90,8 @@ TaskTraffic* TrafficScope::Current() { return t_current_traffic; }
 SimTime TaskWorkerTime(const CostModel& cost, const TaskTraffic& t) {
   const ClusterSpec& spec = cost.spec();
   SimTime time = cost.WorkerCompute(t.worker_ops);
+  // pipelined_rounds deliberately absent: overlapped rounds share the
+  // leader's latency window (max, not sum — see TaskTraffic).
   time += cost.RoundLatency(t.rounds);
   time += cost.MessageOverhead(t.TotalMsgs());
   time += static_cast<double>(t.TotalBytesToServers() +

@@ -32,6 +32,13 @@ namespace ps2 {
 struct TaskTraffic {
   uint64_t worker_ops = 0;   ///< scalar ops executed on the worker
   uint64_t rounds = 0;       ///< dependent request/response round trips
+  /// Round trips that overlapped an already-in-flight round of the same task
+  /// (issued via the async client while another async op was outstanding).
+  /// They ride the leader's latency window, so TaskWorkerTime charges
+  /// RoundLatency(rounds) only — a group of k overlapped ops costs max (one
+  /// round) rather than sum (k rounds). Bytes/messages/server ops are still
+  /// recorded in full; only the *latency* term is collapsed.
+  uint64_t pipelined_rounds = 0;
   uint64_t io_bytes = 0;     ///< input bytes read from (simulated) storage
 
   // Per-server breakdown (indexed by server id; lazily sized).

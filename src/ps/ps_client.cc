@@ -1,14 +1,55 @@
 #include "ps/ps_client.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <condition_variable>
 #include <limits>
+#include <map>
+#include <mutex>
+#include <optional>
 
 #include "common/logging.h"
 #include "linalg/dense_vector.h"
 #include "net/message.h"
 
 namespace ps2 {
+
+namespace {
+
+/// Charges the cluster clock with the collective cost of a coordinator-issued
+/// op's fan-out: dependent round latency, the worst single server's share,
+/// and local compute. Shared by OpScope (sync slow paths) and the async
+/// harvest hook, so a coordinator op costs the same through either path.
+void ChargeCoordinator(Cluster* cluster, const TaskTraffic& local) {
+  const CostModel& cost = cluster->cost();
+  const ClusterSpec& spec = cost.spec();
+  SimTime worst_server = 0;
+  for (size_t s = 0; s < local.bytes_to_server.size(); ++s) {
+    SimTime t =
+        static_cast<double>(local.bytes_to_server[s] +
+                            local.bytes_from_server[s]) /
+            spec.net_bandwidth_bps +
+        cost.MessageOverhead(local.msgs_to_server[s] +
+                             local.msgs_from_server[s]) +
+        cost.ServerCompute(local.server_ops[s]);
+    worst_server = std::max(worst_server, t);
+  }
+  SimTime elapsed = cost.RoundLatency(local.rounds) + worst_server +
+                    cost.WorkerCompute(local.worker_ops);
+  cluster->AdvanceClock(elapsed);
+  cluster->metrics().Add("net.bytes_worker_to_server",
+                         local.TotalBytesToServers());
+  cluster->metrics().Add("net.bytes_server_to_worker",
+                         local.TotalBytesFromServers());
+  cluster->metrics().Add("net.messages", local.TotalMsgs());
+}
+
+uint64_t WireBytes(const std::vector<uint8_t>& payload) {
+  return payload.size() + Message::kHeaderBytes;
+}
+
+}  // namespace
 
 // ------------------------------------------------------------------- OpScope
 
@@ -24,27 +65,7 @@ class PsClient::OpScope {
 
   ~OpScope() {
     if (ambient_ != nullptr) return;
-    const CostModel& cost = cluster_->cost();
-    const ClusterSpec& spec = cost.spec();
-    SimTime worst_server = 0;
-    for (size_t s = 0; s < local_.bytes_to_server.size(); ++s) {
-      SimTime t =
-          static_cast<double>(local_.bytes_to_server[s] +
-                              local_.bytes_from_server[s]) /
-              spec.net_bandwidth_bps +
-          cost.MessageOverhead(local_.msgs_to_server[s] +
-                               local_.msgs_from_server[s]) +
-          cost.ServerCompute(local_.server_ops[s]);
-      worst_server = std::max(worst_server, t);
-    }
-    SimTime elapsed = cost.RoundLatency(local_.rounds) + worst_server +
-                      cost.WorkerCompute(local_.worker_ops);
-    cluster_->AdvanceClock(elapsed);
-    cluster_->metrics().Add("net.bytes_worker_to_server",
-                            local_.TotalBytesToServers());
-    cluster_->metrics().Add("net.bytes_server_to_worker",
-                            local_.TotalBytesFromServers());
-    cluster_->metrics().Add("net.messages", local_.TotalMsgs());
+    ChargeCoordinator(cluster_, local_);
   }
 
   TaskTraffic* traffic() { return traffic_; }
@@ -56,15 +77,97 @@ class PsClient::OpScope {
   TaskTraffic* traffic_;
 };
 
+// ----------------------------------------------------------------- AsyncCore
+
+/// Shared async-window state. Held by shared_ptr so harvest hooks (and their
+/// retire tokens) stay valid even if a future outlives the client.
+///
+/// Two counters with different lifecycles:
+///   inflight     — issued but not yet *completed*; bounds the window and is
+///                  what ~PsClient quiesces on. Decremented by the thread
+///                  that completes the op.
+///   outstanding  — per issue-context (TrafficScope pointer; nullptr = the
+///                  coordinator) count of ops issued but not yet *harvested*.
+///                  Touched only in caller program order (issue at submit,
+///                  retire at first Wait/Get — or at future abandonment),
+///                  which is what makes leader/follower classification — and
+///                  hence virtual time — deterministic.
+struct PsClient::AsyncCore {
+  Cluster* cluster = nullptr;
+  int window_depth = 8;
+
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  int inflight = 0;
+  int peak_inflight = 0;
+  uint64_t issued = 0;
+  std::map<const void*, int> outstanding;
+
+  /// Blocks until a window slot frees, claims it, and classifies the op:
+  /// true = round leader (nothing outstanding in this context).
+  bool Issue(const void* ctx) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return inflight < window_depth; });
+    inflight += 1;
+    peak_inflight = std::max(peak_inflight, inflight);
+    issued += 1;
+    int& n = outstanding[ctx];
+    const bool leader = n == 0;
+    n += 1;
+    return leader;
+  }
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      inflight -= 1;
+    }
+    cv.notify_all();
+  }
+
+  void Retire(const void* ctx) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = outstanding.find(ctx);
+    if (it != outstanding.end() && --it->second == 0) outstanding.erase(it);
+  }
+
+  void Quiesce() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return inflight == 0; });
+  }
+};
+
 // ------------------------------------------------------------------ PsClient
 
-PsClient::PsClient(PsMaster* master) : master_(master) {
+PsClient::PsClient(PsMaster* master, PsClientOptions options)
+    : master_(master),
+      options_(options),
+      core_(std::make_shared<AsyncCore>()) {
   PS2_CHECK(master != nullptr);
+  if (options_.window_depth < 1) options_.window_depth = 1;
+  core_->cluster = master_->cluster();
+  core_->window_depth = options_.window_depth;
+  if (options_.parallel_fanout) {
+    int threads = options_.fanout_threads;
+    if (threads <= 0) threads = std::min(std::max(master_->num_servers(), 1), 16);
+    io_pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(threads));
+  }
+}
+
+PsClient::~PsClient() { core_->Quiesce(); }
+
+PsClient::AsyncStats PsClient::async_stats() const {
+  std::lock_guard<std::mutex> lock(core_->mu);
+  AsyncStats stats;
+  stats.issued = core_->issued;
+  stats.inflight = core_->inflight;
+  stats.peak_inflight = core_->peak_inflight;
+  return stats;
 }
 
 Result<PsServer::HandleResult> PsClient::Exchange(
     TaskTraffic* traffic, int server, std::vector<uint8_t> request) {
-  const uint64_t request_bytes = request.size() + Message::kHeaderBytes;
+  const uint64_t request_bytes = WireBytes(request);
   PS2_ASSIGN_OR_RETURN(PsServer::HandleResult result,
                        master_->server(server)->Handle(request));
   const uint64_t response_bytes =
@@ -73,6 +176,144 @@ Result<PsServer::HandleResult> PsClient::Exchange(
                           result.server_ops);
   return result;
 }
+
+Result<std::vector<PsServer::HandleResult>> PsClient::ExchangeAll(
+    TaskTraffic* traffic, std::vector<ServerRequest> requests) {
+  const size_t n = requests.size();
+  std::vector<std::optional<Result<PsServer::HandleResult>>> slots(n);
+  if (io_pool_ != nullptr && options_.parallel_fanout && n > 1) {
+    std::vector<std::future<void>> pending;
+    pending.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      pending.push_back(io_pool_->Submit([this, &requests, &slots, i] {
+        slots[i].emplace(
+            master_->server(requests[i].server)->Handle(requests[i].payload));
+      }));
+    }
+    for (auto& f : pending) f.wait();
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      slots[i].emplace(
+          master_->server(requests[i].server)->Handle(requests[i].payload));
+      if (!(*slots[i]).ok()) break;
+    }
+  }
+  // Record in request (= partition) order; the first error is reported and
+  // leaves itself and everything after it unrecorded, like the serial loop.
+  std::vector<PsServer::HandleResult> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Result<PsServer::HandleResult>& r = *slots[i];
+    if (!r.ok()) return r.status();
+    traffic->RecordExchange(requests[i].server, WireBytes(requests[i].payload),
+                            r->response.size() + Message::kHeaderBytes,
+                            r->server_ops);
+    out.push_back(std::move(*r));
+  }
+  return out;
+}
+
+template <typename T>
+PsFuture<T> PsClient::ReadyFuture(Result<T> result) {
+  return MakeReadyFuture<T>(std::move(result));
+}
+
+template <typename T>
+PsFuture<T> PsClient::SubmitAsync(std::vector<ServerRequest> requests,
+                                  ParseFn<T> parse) {
+  auto state = std::make_shared<internal::PsFutureState<T>>();
+  std::shared_ptr<AsyncCore> core = core_;
+  const void* ctx = TrafficScope::Current();
+
+  const bool leader = core->Issue(ctx);
+  if (leader) {
+    state->traffic.rounds += 1;
+  } else {
+    state->traffic.pipelined_rounds += 1;
+  }
+
+  // The retire token travels inside the harvest hook: retiring happens right
+  // after the hook runs (first Wait/Get, caller thread) — or when the hook is
+  // destroyed unrun because the future was abandoned, so a dropped future
+  // cannot leave its context permanently "outstanding".
+  auto token = std::shared_ptr<void>(
+      nullptr, [core, ctx](void*) { core->Retire(ctx); });
+  Cluster* cluster = master_->cluster();
+  state->harvest = [cluster, token](const TaskTraffic& t) {
+    if (TaskTraffic* ambient = TrafficScope::Current()) {
+      ambient->MergeFrom(t);
+    } else {
+      ChargeCoordinator(cluster, t);
+    }
+  };
+
+  const size_t n = requests.size();
+  if (io_pool_ == nullptr || !options_.parallel_fanout || n <= 1) {
+    // Degenerate fan-out: execute inline; the future completes at issue.
+    Result<std::vector<PsServer::HandleResult>> results =
+        ExchangeAll(&state->traffic, std::move(requests));
+    // Release before Complete so that once every future has been waited,
+    // the window is observably empty (async_stats().inflight == 0).
+    core->Release();
+    if (!results.ok()) {
+      state->Complete(Result<T>(results.status()));
+    } else {
+      state->Complete(parse(std::move(*results), &state->traffic));
+    }
+    return PsFuture<T>(std::move(state));
+  }
+
+  struct Fanout {
+    std::vector<ServerRequest> requests;
+    std::vector<std::optional<Result<PsServer::HandleResult>>> slots;
+    std::atomic<size_t> remaining{0};
+    PsClient::ParseFn<T> parse;
+  };
+  auto op = std::make_shared<Fanout>();
+  op->requests = std::move(requests);
+  op->slots.resize(n);
+  op->remaining.store(n, std::memory_order_relaxed);
+  op->parse = std::move(parse);
+  for (size_t i = 0; i < n; ++i) {
+    io_pool_->Submit([this, op, state, core, i] {
+      const ServerRequest& req = op->requests[i];
+      op->slots[i].emplace(master_->server(req.server)->Handle(req.payload));
+      if (op->remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+      // Last response in: record in request order (first error reported,
+      // like the serial loop), free the window slot, parse, complete.
+      std::optional<Status> failed;
+      std::vector<PsServer::HandleResult> results;
+      results.reserve(op->slots.size());
+      for (size_t k = 0; k < op->slots.size(); ++k) {
+        Result<PsServer::HandleResult>& r = *op->slots[k];
+        if (!r.ok()) {
+          failed = r.status();
+          break;
+        }
+        state->traffic.RecordExchange(
+            op->requests[k].server, WireBytes(op->requests[k].payload),
+            r->response.size() + Message::kHeaderBytes, r->server_ops);
+        results.push_back(std::move(*r));
+      }
+      // Release before Complete so that once every future has been waited,
+      // the window is observably empty (async_stats().inflight == 0).
+      core->Release();
+      if (failed.has_value()) {
+        state->Complete(Result<T>(std::move(*failed)));
+      } else {
+        state->Complete(op->parse(std::move(results), &state->traffic));
+      }
+    });
+  }
+  return PsFuture<T>(std::move(state));
+}
+
+namespace {
+/// ParseFn for push-like ops: responses carry no payload the client needs.
+Result<Ack> AckParse(std::vector<PsServer::HandleResult>&&, TaskTraffic*) {
+  return Ack{};
+}
+}  // namespace
 
 Result<bool> PsClient::CoLocated(const std::vector<RowRef>& rows,
                                  MatrixMeta* first_meta) {
@@ -88,20 +329,24 @@ Result<bool> PsClient::CoLocated(const std::vector<RowRef>& rows,
   return true;
 }
 
-Result<std::vector<double>> PsClient::PullDense(RowRef ref, uint64_t begin,
-                                                uint64_t end) {
-  PS2_ASSIGN_OR_RETURN(MatrixMeta meta, master_->GetMeta(ref.matrix_id));
-  if (end == kWholeRow) end = meta.dim;
-  if (begin > end || end > meta.dim) {
-    return Status::OutOfRange("pull window out of range");
+// ----------------------------------------------------------- row access ops
+
+PsFuture<std::vector<double>> PsClient::PullDenseAsync(RowRef ref,
+                                                       ColRange cols) {
+  using Out = std::vector<double>;
+  Result<MatrixMeta> meta_r = master_->GetMeta(ref.matrix_id);
+  if (!meta_r.ok()) return ReadyFuture<Out>(meta_r.status());
+  const MatrixMeta& meta = *meta_r;
+  const ColRange w = cols.Resolve(meta.dim);
+  if (w.begin > w.end || w.end > meta.dim) {
+    return ReadyFuture<Out>(Status::OutOfRange("pull window out of range"));
   }
-  OpScope scope(master_->cluster());
-  scope.traffic()->rounds += 1;
-  std::vector<double> out(end - begin, 0.0);
   const ColumnPartitioner& part = meta.partitioner;
+  std::vector<ServerRequest> requests;
+  std::vector<std::pair<uint64_t, uint64_t>> windows;
   for (int p = 0; p < part.num_servers(); ++p) {
-    uint64_t lo = std::max(begin, part.RangeBegin(p));
-    uint64_t hi = std::min(end, part.RangeEnd(p));
+    uint64_t lo = std::max(w.begin, part.RangeBegin(p));
+    uint64_t hi = std::min(w.end, part.RangeEnd(p));
     if (lo >= hi) continue;
     BufferWriter writer;
     writer.WriteU8(static_cast<uint8_t>(PsOpCode::kPullDense));
@@ -109,30 +354,50 @@ Result<std::vector<double>> PsClient::PullDense(RowRef ref, uint64_t begin,
     writer.WriteVarint(ref.row);
     writer.WriteVarint(lo);
     writer.WriteVarint(hi);
-    PS2_ASSIGN_OR_RETURN(
-        PsServer::HandleResult result,
-        Exchange(scope.traffic(), part.ServerOfPartition(p), writer.Release()));
-    BufferReader reader(result.response);
-    PS2_ASSIGN_OR_RETURN(uint64_t n, reader.ReadVarint());
-    if (n != hi - lo) return Status::Internal("pull window size mismatch");
-    PS2_ASSIGN_OR_RETURN(std::vector<double> values, reader.ReadF64Span(n));
-    std::copy(values.begin(), values.end(), out.begin() + (lo - begin));
+    requests.push_back({part.ServerOfPartition(p), writer.Release()});
+    windows.emplace_back(lo, hi);
   }
-  return out;
+  const uint64_t begin = w.begin;
+  const uint64_t width = w.width();
+  return SubmitAsync<Out>(
+      std::move(requests),
+      [windows = std::move(windows), begin, width](
+          std::vector<PsServer::HandleResult>&& results,
+          TaskTraffic*) -> Result<Out> {
+        Out out(width, 0.0);
+        for (size_t i = 0; i < results.size(); ++i) {
+          const auto [lo, hi] = windows[i];
+          BufferReader reader(results[i].response);
+          PS2_ASSIGN_OR_RETURN(uint64_t n, reader.ReadVarint());
+          if (n != hi - lo) {
+            return Status::Internal("pull window size mismatch");
+          }
+          PS2_ASSIGN_OR_RETURN(std::vector<double> values,
+                               reader.ReadF64Span(n));
+          std::copy(values.begin(), values.end(), out.begin() + (lo - begin));
+        }
+        return out;
+      });
 }
 
-Result<std::vector<double>> PsClient::PullSparse(
+Result<std::vector<double>> PsClient::PullDense(RowRef ref, ColRange cols) {
+  return PullDenseAsync(ref, cols).Get();
+}
+
+PsFuture<std::vector<double>> PsClient::PullSparseAsync(
     RowRef ref, const std::vector<uint64_t>& indices) {
-  PS2_ASSIGN_OR_RETURN(MatrixMeta meta, master_->GetMeta(ref.matrix_id));
-  OpScope scope(master_->cluster());
-  scope.traffic()->rounds += 1;
-  std::vector<double> out(indices.size(), 0.0);
+  using Out = std::vector<double>;
+  Result<MatrixMeta> meta_r = master_->GetMeta(ref.matrix_id);
+  if (!meta_r.ok()) return ReadyFuture<Out>(meta_r.status());
+  const MatrixMeta& meta = *meta_r;
   const ColumnPartitioner& part = meta.partitioner;
   // Sorted indices split into one contiguous run per partition.
+  std::vector<ServerRequest> requests;
+  std::vector<std::pair<size_t, size_t>> runs;
   size_t i = 0;
   while (i < indices.size()) {
     if (indices[i] >= meta.dim) {
-      return Status::OutOfRange("pull index out of range");
+      return ReadyFuture<Out>(Status::OutOfRange("pull index out of range"));
     }
     int p = part.PartitionOfColumn(indices[i]);
     uint64_t range_end = part.RangeEnd(p);
@@ -148,31 +413,57 @@ Result<std::vector<double>> PsClient::PullSparse(
       writer.WriteVarint(indices[k] - prev);
       prev = indices[k];
     }
-    PS2_ASSIGN_OR_RETURN(
-        PsServer::HandleResult result,
-        Exchange(scope.traffic(), part.ServerOfPartition(p), writer.Release()));
-    BufferReader reader(result.response);
-    PS2_ASSIGN_OR_RETURN(uint64_t n, reader.ReadVarint());
-    if (n != j - i) return Status::Internal("sparse pull count mismatch");
-    for (size_t k = i; k < j; ++k) {
-      PS2_ASSIGN_OR_RETURN(out[k], reader.ReadF64());
-    }
+    requests.push_back({part.ServerOfPartition(p), writer.Release()});
+    runs.emplace_back(i, j);
     i = j;
   }
-  return out;
+  const size_t total = indices.size();
+  return SubmitAsync<Out>(
+      std::move(requests),
+      [runs = std::move(runs), total](
+          std::vector<PsServer::HandleResult>&& results,
+          TaskTraffic*) -> Result<Out> {
+        Out out(total, 0.0);
+        for (size_t r = 0; r < results.size(); ++r) {
+          const auto [lo, hi] = runs[r];
+          BufferReader reader(results[r].response);
+          PS2_ASSIGN_OR_RETURN(uint64_t n, reader.ReadVarint());
+          if (n != hi - lo) {
+            return Status::Internal("sparse pull count mismatch");
+          }
+          for (size_t k = lo; k < hi; ++k) {
+            PS2_ASSIGN_OR_RETURN(out[k], reader.ReadF64());
+          }
+        }
+        return out;
+      });
 }
 
-Status PsClient::PushDense(RowRef ref, const std::vector<double>& delta,
-                           uint64_t begin) {
-  PS2_ASSIGN_OR_RETURN(MatrixMeta meta, master_->GetMeta(ref.matrix_id));
-  uint64_t end = begin + delta.size();
-  if (end > meta.dim) return Status::OutOfRange("push window out of range");
-  OpScope scope(master_->cluster());
-  scope.traffic()->rounds += 1;
+Result<std::vector<double>> PsClient::PullSparse(
+    RowRef ref, const std::vector<uint64_t>& indices) {
+  return PullSparseAsync(ref, indices).Get();
+}
+
+PsFuture<Ack> PsClient::PushDenseAsync(RowRef ref,
+                                       const std::vector<double>& delta,
+                                       ColRange cols) {
+  Result<MatrixMeta> meta_r = master_->GetMeta(ref.matrix_id);
+  if (!meta_r.ok()) return ReadyFuture<Ack>(meta_r.status());
+  const MatrixMeta& meta = *meta_r;
+  const ColRange w =
+      cols.whole ? ColRange::Of(0, delta.size()) : cols;
+  if (w.width() != delta.size()) {
+    return ReadyFuture<Ack>(
+        Status::InvalidArgument("push window/delta size mismatch"));
+  }
+  if (w.end > meta.dim) {
+    return ReadyFuture<Ack>(Status::OutOfRange("push window out of range"));
+  }
   const ColumnPartitioner& part = meta.partitioner;
+  std::vector<ServerRequest> requests;
   for (int p = 0; p < part.num_servers(); ++p) {
-    uint64_t lo = std::max(begin, part.RangeBegin(p));
-    uint64_t hi = std::min(end, part.RangeEnd(p));
+    uint64_t lo = std::max(w.begin, part.RangeBegin(p));
+    uint64_t hi = std::min(w.end, part.RangeEnd(p));
     if (lo >= hi) continue;
     BufferWriter writer;
     writer.WriteU8(static_cast<uint8_t>(PsOpCode::kPushDense));
@@ -180,25 +471,28 @@ Status PsClient::PushDense(RowRef ref, const std::vector<double>& delta,
     writer.WriteVarint(ref.row);
     writer.WriteVarint(lo);
     writer.WriteVarint(hi - lo);
-    writer.WriteF64Span(&delta[lo - begin], hi - lo);
-    PS2_ASSIGN_OR_RETURN(
-        PsServer::HandleResult result,
-        Exchange(scope.traffic(), part.ServerOfPartition(p), writer.Release()));
-    (void)result;
+    writer.WriteF64Span(&delta[lo - w.begin], hi - lo);
+    requests.push_back({part.ServerOfPartition(p), writer.Release()});
   }
-  return Status::OK();
+  return SubmitAsync<Ack>(std::move(requests), AckParse);
 }
 
-Status PsClient::PushSparse(RowRef ref, const SparseVector& delta) {
-  PS2_ASSIGN_OR_RETURN(MatrixMeta meta, master_->GetMeta(ref.matrix_id));
+Status PsClient::PushDense(RowRef ref, const std::vector<double>& delta,
+                           ColRange cols) {
+  return PushDenseAsync(ref, delta, cols).Wait();
+}
+
+PsFuture<Ack> PsClient::PushSparseAsync(RowRef ref, const SparseVector& delta) {
+  Result<MatrixMeta> meta_r = master_->GetMeta(ref.matrix_id);
+  if (!meta_r.ok()) return ReadyFuture<Ack>(meta_r.status());
+  const MatrixMeta& meta = *meta_r;
   if (delta.nnz() > 0 && delta.indices().back() >= meta.dim) {
-    return Status::OutOfRange("push index out of range");
+    return ReadyFuture<Ack>(Status::OutOfRange("push index out of range"));
   }
-  OpScope scope(master_->cluster());
-  scope.traffic()->rounds += 1;
   const ColumnPartitioner& part = meta.partitioner;
   const auto& idx = delta.indices();
   const auto& val = delta.values();
+  std::vector<ServerRequest> requests;
   size_t i = 0;
   while (i < idx.size()) {
     int p = part.PartitionOfColumn(idx[i]);
@@ -216,23 +510,22 @@ Status PsClient::PushSparse(RowRef ref, const SparseVector& delta) {
       prev = idx[k];
     }
     for (size_t k = i; k < j; ++k) writer.WriteF64(val[k]);
-    PS2_ASSIGN_OR_RETURN(
-        PsServer::HandleResult result,
-        Exchange(scope.traffic(), part.ServerOfPartition(p), writer.Release()));
-    (void)result;
+    requests.push_back({part.ServerOfPartition(p), writer.Release()});
     i = j;
   }
-  return Status::OK();
+  return SubmitAsync<Ack>(std::move(requests), AckParse);
 }
 
-Result<double> PsClient::RowAggregate(RowRef ref, RowAggKind kind) {
-  PS2_ASSIGN_OR_RETURN(MatrixMeta meta, master_->GetMeta(ref.matrix_id));
-  OpScope scope(master_->cluster());
-  scope.traffic()->rounds += 1;
-  double acc = kind == RowAggKind::kMax
-                   ? -std::numeric_limits<double>::infinity()
-                   : 0.0;
+Status PsClient::PushSparse(RowRef ref, const SparseVector& delta) {
+  return PushSparseAsync(ref, delta).Wait();
+}
+
+PsFuture<double> PsClient::RowAggregateAsync(RowRef ref, RowAggKind kind) {
+  Result<MatrixMeta> meta_r = master_->GetMeta(ref.matrix_id);
+  if (!meta_r.ok()) return ReadyFuture<double>(meta_r.status());
+  const MatrixMeta& meta = *meta_r;
   const ColumnPartitioner& part = meta.partitioner;
+  std::vector<ServerRequest> requests;
   for (int p = 0; p < part.num_servers(); ++p) {
     if (part.RangeWidth(p) == 0) continue;
     BufferWriter writer;
@@ -240,33 +533,52 @@ Result<double> PsClient::RowAggregate(RowRef ref, RowAggKind kind) {
     writer.WriteVarint(ref.matrix_id);
     writer.WriteVarint(ref.row);
     writer.WriteU8(static_cast<uint8_t>(kind));
-    PS2_ASSIGN_OR_RETURN(
-        PsServer::HandleResult result,
-        Exchange(scope.traffic(), part.ServerOfPartition(p), writer.Release()));
-    BufferReader reader(result.response);
-    PS2_ASSIGN_OR_RETURN(double partial, reader.ReadF64());
-    if (kind == RowAggKind::kMax) {
-      acc = std::max(acc, partial);
-    } else {
-      acc += partial;
-    }
+    requests.push_back({part.ServerOfPartition(p), writer.Release()});
   }
-  return acc;
+  return SubmitAsync<double>(
+      std::move(requests),
+      [kind](std::vector<PsServer::HandleResult>&& results,
+             TaskTraffic*) -> Result<double> {
+        double acc = kind == RowAggKind::kMax
+                         ? -std::numeric_limits<double>::infinity()
+                         : 0.0;
+        for (const auto& result : results) {
+          BufferReader reader(result.response);
+          PS2_ASSIGN_OR_RETURN(double partial, reader.ReadF64());
+          if (kind == RowAggKind::kMax) {
+            acc = std::max(acc, partial);
+          } else {
+            acc += partial;
+          }
+        }
+        return acc;
+      });
 }
 
-Status PsClient::ColumnOp(ColOpKind kind, RowRef dst,
-                          const std::vector<RowRef>& srcs, double scalar) {
+Result<double> PsClient::RowAggregate(RowRef ref, RowAggKind kind) {
+  return RowAggregateAsync(ref, kind).Get();
+}
+
+// -------------------------------------------------------- column access ops
+
+PsFuture<Ack> PsClient::ColumnOpAsync(ColOpKind kind, RowRef dst,
+                                      const std::vector<RowRef>& srcs,
+                                      double scalar) {
   std::vector<RowRef> all{dst};
   all.insert(all.end(), srcs.begin(), srcs.end());
   MatrixMeta meta;
-  PS2_ASSIGN_OR_RETURN(bool colocated, CoLocated(all, &meta));
-  if (!colocated) {
+  Result<bool> colocated = CoLocated(all, &meta);
+  if (!colocated.ok()) return ReadyFuture<Ack>(colocated.status());
+  if (!*colocated) {
+    // The naive pull-compute-push fallback is inherently synchronous (it is
+    // itself a chain of dependent client ops); run it at issue time.
     master_->cluster()->metrics().Add("dcv.noncolocated_column_ops", 1);
-    return ColumnOpSlowPath(kind, dst, srcs, scalar);
+    Status status = ColumnOpSlowPath(kind, dst, srcs, scalar);
+    if (!status.ok()) return ReadyFuture<Ack>(std::move(status));
+    return ReadyFuture<Ack>(Ack{});
   }
-  OpScope scope(master_->cluster());
-  scope.traffic()->rounds += 1;
   const ColumnPartitioner& part = meta.partitioner;
+  std::vector<ServerRequest> requests;
   for (int p = 0; p < part.num_servers(); ++p) {
     if (part.RangeWidth(p) == 0) continue;
     BufferWriter writer;
@@ -280,12 +592,14 @@ Status PsClient::ColumnOp(ColOpKind kind, RowRef dst,
       writer.WriteVarint(src.row);
     }
     writer.WriteF64(scalar);
-    PS2_ASSIGN_OR_RETURN(
-        PsServer::HandleResult result,
-        Exchange(scope.traffic(), part.ServerOfPartition(p), writer.Release()));
-    (void)result;
+    requests.push_back({part.ServerOfPartition(p), writer.Release()});
   }
-  return Status::OK();
+  return SubmitAsync<Ack>(std::move(requests), AckParse);
+}
+
+Status PsClient::ColumnOp(ColOpKind kind, RowRef dst,
+                          const std::vector<RowRef>& srcs, double scalar) {
+  return ColumnOpAsync(kind, dst, srcs, scalar).Wait();
 }
 
 Status PsClient::ColumnOpSlowPath(ColOpKind kind, RowRef dst,
@@ -365,27 +679,28 @@ Status PsClient::ColumnOpSlowPath(ColOpKind kind, RowRef dst,
   return PushDense(dst, result);
 }
 
-Result<double> PsClient::Dot(RowRef a, RowRef b) {
+PsFuture<double> PsClient::DotAsync(RowRef a, RowRef b) {
   MatrixMeta meta;
-  PS2_ASSIGN_OR_RETURN(bool colocated, CoLocated({a, b}, &meta));
-  if (!colocated) {
+  Result<bool> colocated = CoLocated({a, b}, &meta);
+  if (!colocated.ok()) return ReadyFuture<double>(colocated.status());
+  if (!*colocated) {
     // Naive path: ship both full rows to the client (paper Fig. 4, lines
-    // 1-4 — "huge communication cost").
+    // 1-4 — "huge communication cost"). Synchronous at issue time.
     master_->cluster()->metrics().Add("dcv.noncolocated_dots", 1);
-    PS2_ASSIGN_OR_RETURN(std::vector<double> ra, PullDense(a));
-    PS2_ASSIGN_OR_RETURN(std::vector<double> rb, PullDense(b));
+    Result<std::vector<double>> ra = PullDense(a);
+    if (!ra.ok()) return ReadyFuture<double>(ra.status());
+    Result<std::vector<double>> rb = PullDense(b);
+    if (!rb.ok()) return ReadyFuture<double>(rb.status());
     double out = 0.0;
     uint64_t ops =
-        kernels::Dot(ra.data(), rb.data(), std::min(ra.size(), rb.size()),
+        kernels::Dot(ra->data(), rb->data(), std::min(ra->size(), rb->size()),
                      &out);
     OpScope scope(master_->cluster());
     scope.traffic()->worker_ops += ops;
-    return out;
+    return ReadyFuture<double>(out);
   }
-  OpScope scope(master_->cluster());
-  scope.traffic()->rounds += 1;
-  double total = 0.0;
   const ColumnPartitioner& part = meta.partitioner;
+  std::vector<ServerRequest> requests;
   for (int p = 0; p < part.num_servers(); ++p) {
     if (part.RangeWidth(p) == 0) continue;
     BufferWriter writer;
@@ -394,14 +709,24 @@ Result<double> PsClient::Dot(RowRef a, RowRef b) {
     writer.WriteVarint(a.row);
     writer.WriteVarint(b.matrix_id);
     writer.WriteVarint(b.row);
-    PS2_ASSIGN_OR_RETURN(
-        PsServer::HandleResult result,
-        Exchange(scope.traffic(), part.ServerOfPartition(p), writer.Release()));
-    BufferReader reader(result.response);
-    PS2_ASSIGN_OR_RETURN(double partial, reader.ReadF64());
-    total += partial;
+    requests.push_back({part.ServerOfPartition(p), writer.Release()});
   }
-  return total;
+  return SubmitAsync<double>(
+      std::move(requests),
+      [](std::vector<PsServer::HandleResult>&& results,
+         TaskTraffic*) -> Result<double> {
+        double total = 0.0;
+        for (const auto& result : results) {
+          BufferReader reader(result.response);
+          PS2_ASSIGN_OR_RETURN(double partial, reader.ReadF64());
+          total += partial;
+        }
+        return total;
+      });
+}
+
+Result<double> PsClient::Dot(RowRef a, RowRef b) {
+  return DotAsync(a, b).Get();
 }
 
 Status PsClient::Zip(const std::vector<RowRef>& rows, int udf_id) {
@@ -412,9 +737,8 @@ Status PsClient::Zip(const std::vector<RowRef>& rows, int udf_id) {
     return Status::FailedPrecondition(
         "zip requires co-located DCVs; create them with derive");
   }
-  OpScope scope(master_->cluster());
-  scope.traffic()->rounds += 1;
   const ColumnPartitioner& part = meta.partitioner;
+  std::vector<ServerRequest> requests;
   for (int p = 0; p < part.num_servers(); ++p) {
     if (part.RangeWidth(p) == 0) continue;
     BufferWriter writer;
@@ -425,16 +749,14 @@ Status PsClient::Zip(const std::vector<RowRef>& rows, int udf_id) {
       writer.WriteVarint(r.matrix_id);
       writer.WriteVarint(r.row);
     }
-    PS2_ASSIGN_OR_RETURN(
-        PsServer::HandleResult result,
-        Exchange(scope.traffic(), part.ServerOfPartition(p), writer.Release()));
-    (void)result;
+    requests.push_back({part.ServerOfPartition(p), writer.Release()});
   }
-  return Status::OK();
+  return SubmitAsync<Ack>(std::move(requests), AckParse).Wait();
 }
 
 Result<std::vector<std::vector<double>>> PsClient::ZipAggregate(
     const std::vector<RowRef>& rows, int udf_id) {
+  using Out = std::vector<std::vector<double>>;
   if (rows.empty()) return Status::InvalidArgument("zip-aggregate needs rows");
   MatrixMeta meta;
   PS2_ASSIGN_OR_RETURN(bool colocated, CoLocated(rows, &meta));
@@ -442,10 +764,8 @@ Result<std::vector<std::vector<double>>> PsClient::ZipAggregate(
     return Status::FailedPrecondition(
         "zip-aggregate requires co-located DCVs; create them with derive");
   }
-  OpScope scope(master_->cluster());
-  scope.traffic()->rounds += 1;
   const ColumnPartitioner& part = meta.partitioner;
-  std::vector<std::vector<double>> out;
+  std::vector<ServerRequest> requests;
   for (int p = 0; p < part.num_servers(); ++p) {
     if (part.RangeWidth(p) == 0) continue;
     BufferWriter writer;
@@ -456,35 +776,44 @@ Result<std::vector<std::vector<double>>> PsClient::ZipAggregate(
       writer.WriteVarint(r.matrix_id);
       writer.WriteVarint(r.row);
     }
-    PS2_ASSIGN_OR_RETURN(
-        PsServer::HandleResult result,
-        Exchange(scope.traffic(), part.ServerOfPartition(p), writer.Release()));
-    BufferReader reader(result.response);
-    PS2_ASSIGN_OR_RETURN(std::vector<double> values,
-                         reader.ReadPodVector<double>());
-    out.push_back(std::move(values));
+    requests.push_back({part.ServerOfPartition(p), writer.Release()});
   }
-  return out;
+  return SubmitAsync<Out>(
+             std::move(requests),
+             [](std::vector<PsServer::HandleResult>&& results,
+                TaskTraffic*) -> Result<Out> {
+               Out out;
+               for (const auto& result : results) {
+                 BufferReader reader(result.response);
+                 PS2_ASSIGN_OR_RETURN(std::vector<double> values,
+                                      reader.ReadPodVector<double>());
+                 out.push_back(std::move(values));
+               }
+               return out;
+             })
+      .Get();
 }
 
-Result<std::vector<double>> PsClient::DotBatch(
+// ------------------------------------------------------------- batched ops
+
+PsFuture<std::vector<double>> PsClient::DotBatchAsync(
     const std::vector<std::pair<RowRef, RowRef>>& pairs) {
-  if (pairs.empty()) return std::vector<double>{};
+  using Out = std::vector<double>;
+  if (pairs.empty()) return ReadyFuture<Out>(Out{});
   std::vector<RowRef> all;
   for (const auto& [a, b] : pairs) {
     all.push_back(a);
     all.push_back(b);
   }
   MatrixMeta meta;
-  PS2_ASSIGN_OR_RETURN(bool colocated, CoLocated(all, &meta));
-  if (!colocated) {
-    return Status::FailedPrecondition(
-        "dot-batch requires co-located DCVs; create them with derive");
+  Result<bool> colocated = CoLocated(all, &meta);
+  if (!colocated.ok()) return ReadyFuture<Out>(colocated.status());
+  if (!*colocated) {
+    return ReadyFuture<Out>(Status::FailedPrecondition(
+        "dot-batch requires co-located DCVs; create them with derive"));
   }
-  OpScope scope(master_->cluster());
-  scope.traffic()->rounds += 1;
-  std::vector<double> out(pairs.size(), 0.0);
   const ColumnPartitioner& part = meta.partitioner;
+  std::vector<ServerRequest> requests;
   for (int p = 0; p < part.num_servers(); ++p) {
     if (part.RangeWidth(p) == 0) continue;
     BufferWriter writer;
@@ -496,36 +825,48 @@ Result<std::vector<double>> PsClient::DotBatch(
       writer.WriteVarint(b.matrix_id);
       writer.WriteVarint(b.row);
     }
-    PS2_ASSIGN_OR_RETURN(
-        PsServer::HandleResult result,
-        Exchange(scope.traffic(), part.ServerOfPartition(p), writer.Release()));
-    BufferReader reader(result.response);
-    PS2_ASSIGN_OR_RETURN(uint64_t n, reader.ReadVarint());
-    if (n != pairs.size()) return Status::Internal("dot-batch count mismatch");
-    for (size_t i = 0; i < pairs.size(); ++i) {
-      PS2_ASSIGN_OR_RETURN(double partial, reader.ReadF64());
-      out[i] += partial;
-    }
+    requests.push_back({part.ServerOfPartition(p), writer.Release()});
   }
-  return out;
+  const size_t count = pairs.size();
+  return SubmitAsync<Out>(
+      std::move(requests),
+      [count](std::vector<PsServer::HandleResult>&& results,
+              TaskTraffic*) -> Result<Out> {
+        Out out(count, 0.0);
+        for (const auto& result : results) {
+          BufferReader reader(result.response);
+          PS2_ASSIGN_OR_RETURN(uint64_t n, reader.ReadVarint());
+          if (n != count) return Status::Internal("dot-batch count mismatch");
+          for (size_t i = 0; i < count; ++i) {
+            PS2_ASSIGN_OR_RETURN(double partial, reader.ReadF64());
+            out[i] += partial;
+          }
+        }
+        return out;
+      });
 }
 
-Status PsClient::AxpyBatch(const std::vector<AxpyTask>& tasks) {
-  if (tasks.empty()) return Status::OK();
+Result<std::vector<double>> PsClient::DotBatch(
+    const std::vector<std::pair<RowRef, RowRef>>& pairs) {
+  return DotBatchAsync(pairs).Get();
+}
+
+PsFuture<Ack> PsClient::AxpyBatchAsync(const std::vector<AxpyTask>& tasks) {
+  if (tasks.empty()) return ReadyFuture<Ack>(Ack{});
   std::vector<RowRef> all;
   for (const auto& t : tasks) {
     all.push_back(t.dst);
     all.push_back(t.src);
   }
   MatrixMeta meta;
-  PS2_ASSIGN_OR_RETURN(bool colocated, CoLocated(all, &meta));
-  if (!colocated) {
-    return Status::FailedPrecondition(
-        "axpy-batch requires co-located DCVs; create them with derive");
+  Result<bool> colocated = CoLocated(all, &meta);
+  if (!colocated.ok()) return ReadyFuture<Ack>(colocated.status());
+  if (!*colocated) {
+    return ReadyFuture<Ack>(Status::FailedPrecondition(
+        "axpy-batch requires co-located DCVs; create them with derive"));
   }
-  OpScope scope(master_->cluster());
-  scope.traffic()->rounds += 1;
   const ColumnPartitioner& part = meta.partitioner;
+  std::vector<ServerRequest> requests;
   for (int p = 0; p < part.num_servers(); ++p) {
     if (part.RangeWidth(p) == 0) continue;
     BufferWriter writer;
@@ -538,27 +879,29 @@ Status PsClient::AxpyBatch(const std::vector<AxpyTask>& tasks) {
       writer.WriteVarint(t.src.row);
       writer.WriteF64(t.alpha);
     }
-    PS2_ASSIGN_OR_RETURN(
-        PsServer::HandleResult result,
-        Exchange(scope.traffic(), part.ServerOfPartition(p), writer.Release()));
-    (void)result;
+    requests.push_back({part.ServerOfPartition(p), writer.Release()});
   }
-  return Status::OK();
+  return SubmitAsync<Ack>(std::move(requests), AckParse);
 }
 
-Result<std::vector<std::vector<double>>> PsClient::PullRows(
+Status PsClient::AxpyBatch(const std::vector<AxpyTask>& tasks) {
+  return AxpyBatchAsync(tasks).Wait();
+}
+
+PsFuture<std::vector<std::vector<double>>> PsClient::PullRowsAsync(
     const std::vector<RowRef>& rows) {
-  if (rows.empty()) return std::vector<std::vector<double>>{};
+  using Out = std::vector<std::vector<double>>;
+  if (rows.empty()) return ReadyFuture<Out>(Out{});
   MatrixMeta meta;
-  PS2_ASSIGN_OR_RETURN(bool colocated, CoLocated(rows, &meta));
-  if (!colocated) {
-    return Status::FailedPrecondition("PullRows requires co-located rows");
+  Result<bool> colocated = CoLocated(rows, &meta);
+  if (!colocated.ok()) return ReadyFuture<Out>(colocated.status());
+  if (!*colocated) {
+    return ReadyFuture<Out>(
+        Status::FailedPrecondition("PullRows requires co-located rows"));
   }
-  OpScope scope(master_->cluster());
-  scope.traffic()->rounds += 1;
-  std::vector<std::vector<double>> out(rows.size());
-  for (auto& row : out) row.assign(meta.dim, 0.0);
   const ColumnPartitioner& part = meta.partitioner;
+  std::vector<ServerRequest> requests;
+  std::vector<std::pair<uint64_t, uint64_t>> windows;  // (lo, width)
   for (int p = 0; p < part.num_servers(); ++p) {
     uint64_t lo = part.RangeBegin(p);
     uint64_t width = part.RangeWidth(p);
@@ -570,43 +913,65 @@ Result<std::vector<std::vector<double>>> PsClient::PullRows(
       writer.WriteVarint(r.matrix_id);
       writer.WriteVarint(r.row);
     }
-    PS2_ASSIGN_OR_RETURN(
-        PsServer::HandleResult result,
-        Exchange(scope.traffic(), part.ServerOfPartition(p), writer.Release()));
-    BufferReader reader(result.response);
-    PS2_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
-    if (count != rows.size()) {
-      return Status::Internal("row-batch pull count mismatch");
-    }
-    for (size_t i = 0; i < rows.size(); ++i) {
-      PS2_ASSIGN_OR_RETURN(uint64_t w, reader.ReadVarint());
-      if (w != width) return Status::Internal("row-batch width mismatch");
-      PS2_ASSIGN_OR_RETURN(std::vector<double> values, reader.ReadF64Span(w));
-      std::copy(values.begin(), values.end(), out[i].begin() + lo);
-    }
+    requests.push_back({part.ServerOfPartition(p), writer.Release()});
+    windows.emplace_back(lo, width);
   }
-  return out;
+  const size_t num_rows = rows.size();
+  const uint64_t dim = meta.dim;
+  return SubmitAsync<Out>(
+      std::move(requests),
+      [windows = std::move(windows), num_rows, dim](
+          std::vector<PsServer::HandleResult>&& results,
+          TaskTraffic*) -> Result<Out> {
+        Out out(num_rows);
+        for (auto& row : out) row.assign(dim, 0.0);
+        for (size_t r = 0; r < results.size(); ++r) {
+          const auto [lo, width] = windows[r];
+          BufferReader reader(results[r].response);
+          PS2_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
+          if (count != num_rows) {
+            return Status::Internal("row-batch pull count mismatch");
+          }
+          for (size_t i = 0; i < num_rows; ++i) {
+            PS2_ASSIGN_OR_RETURN(uint64_t w, reader.ReadVarint());
+            if (w != width) return Status::Internal("row-batch width mismatch");
+            PS2_ASSIGN_OR_RETURN(std::vector<double> values,
+                                 reader.ReadF64Span(w));
+            std::copy(values.begin(), values.end(), out[i].begin() + lo);
+          }
+        }
+        return out;
+      });
 }
 
-Status PsClient::PushRows(const std::vector<RowRef>& rows,
-                          const std::vector<std::vector<double>>& deltas) {
-  if (rows.empty()) return Status::OK();
+Result<std::vector<std::vector<double>>> PsClient::PullRows(
+    const std::vector<RowRef>& rows) {
+  return PullRowsAsync(rows).Get();
+}
+
+PsFuture<Ack> PsClient::PushRowsAsync(
+    const std::vector<RowRef>& rows,
+    const std::vector<std::vector<double>>& deltas) {
+  if (rows.empty()) return ReadyFuture<Ack>(Ack{});
   if (rows.size() != deltas.size()) {
-    return Status::InvalidArgument("rows/deltas size mismatch");
+    return ReadyFuture<Ack>(
+        Status::InvalidArgument("rows/deltas size mismatch"));
   }
   MatrixMeta meta;
-  PS2_ASSIGN_OR_RETURN(bool colocated, CoLocated(rows, &meta));
-  if (!colocated) {
-    return Status::FailedPrecondition("PushRows requires co-located rows");
+  Result<bool> colocated = CoLocated(rows, &meta);
+  if (!colocated.ok()) return ReadyFuture<Ack>(colocated.status());
+  if (!*colocated) {
+    return ReadyFuture<Ack>(
+        Status::FailedPrecondition("PushRows requires co-located rows"));
   }
   for (const auto& d : deltas) {
     if (d.size() != meta.dim) {
-      return Status::InvalidArgument("row delta dimension mismatch");
+      return ReadyFuture<Ack>(
+          Status::InvalidArgument("row delta dimension mismatch"));
     }
   }
-  OpScope scope(master_->cluster());
-  scope.traffic()->rounds += 1;
   const ColumnPartitioner& part = meta.partitioner;
+  std::vector<ServerRequest> requests;
   for (int p = 0; p < part.num_servers(); ++p) {
     uint64_t lo = part.RangeBegin(p);
     uint64_t width = part.RangeWidth(p);
@@ -620,35 +985,37 @@ Status PsClient::PushRows(const std::vector<RowRef>& rows,
       writer.WriteVarint(width);
       writer.WriteF64Span(&deltas[i][lo], width);
     }
-    PS2_ASSIGN_OR_RETURN(
-        PsServer::HandleResult result,
-        Exchange(scope.traffic(), part.ServerOfPartition(p), writer.Release()));
-    (void)result;
+    requests.push_back({part.ServerOfPartition(p), writer.Release()});
   }
-  return Status::OK();
+  return SubmitAsync<Ack>(std::move(requests), AckParse);
 }
 
-Result<std::vector<std::vector<double>>> PsClient::PullSparseRows(
+Status PsClient::PushRows(const std::vector<RowRef>& rows,
+                          const std::vector<std::vector<double>>& deltas) {
+  return PushRowsAsync(rows, deltas).Wait();
+}
+
+PsFuture<std::vector<std::vector<double>>> PsClient::PullSparseRowsAsync(
     const std::vector<RowRef>& rows, const std::vector<uint64_t>& indices,
     bool compress_counts) {
+  using Out = std::vector<std::vector<double>>;
   if (rows.empty() || indices.empty()) {
-    return std::vector<std::vector<double>>(rows.size());
+    return ReadyFuture<Out>(Out(rows.size()));
   }
   MatrixMeta meta;
-  PS2_ASSIGN_OR_RETURN(bool colocated, CoLocated(rows, &meta));
-  if (!colocated) {
-    return Status::FailedPrecondition(
-        "PullSparseRows requires co-located rows");
+  Result<bool> colocated = CoLocated(rows, &meta);
+  if (!colocated.ok()) return ReadyFuture<Out>(colocated.status());
+  if (!*colocated) {
+    return ReadyFuture<Out>(
+        Status::FailedPrecondition("PullSparseRows requires co-located rows"));
   }
-  OpScope scope(master_->cluster());
-  scope.traffic()->rounds += 1;
-  std::vector<std::vector<double>> out(
-      rows.size(), std::vector<double>(indices.size(), 0.0));
   const ColumnPartitioner& part = meta.partitioner;
+  std::vector<ServerRequest> requests;
+  std::vector<std::pair<size_t, size_t>> runs;
   size_t i = 0;
   while (i < indices.size()) {
     if (indices[i] >= meta.dim) {
-      return Status::OutOfRange("pull index out of range");
+      return ReadyFuture<Out>(Status::OutOfRange("pull index out of range"));
     }
     int p = part.PartitionOfColumn(indices[i]);
     uint64_t range_end = part.RangeEnd(p);
@@ -668,49 +1035,67 @@ Result<std::vector<std::vector<double>>> PsClient::PullSparseRows(
       writer.WriteVarint(r.matrix_id);
       writer.WriteVarint(r.row);
     }
-    PS2_ASSIGN_OR_RETURN(
-        PsServer::HandleResult result,
-        Exchange(scope.traffic(), part.ServerOfPartition(p), writer.Release()));
-    BufferReader reader(result.response);
-    PS2_ASSIGN_OR_RETURN(uint64_t n_rows, reader.ReadVarint());
-    if (n_rows != rows.size()) {
-      return Status::Internal("sparse-rows pull row count mismatch");
-    }
-    for (size_t r = 0; r < rows.size(); ++r) {
-      if (compress_counts) {
-        for (size_t k = i; k < j; ++k) {
-          PS2_ASSIGN_OR_RETURN(int64_t iv, reader.ReadSignedVarint());
-          out[r][k] = static_cast<double>(iv);
-        }
-      } else {
-        PS2_ASSIGN_OR_RETURN(std::vector<double> values,
-                             reader.ReadF64Span(j - i));
-        std::copy(values.begin(), values.end(), out[r].begin() + i);
-      }
-    }
+    requests.push_back({part.ServerOfPartition(p), writer.Release()});
+    runs.emplace_back(i, j);
     i = j;
   }
-  return out;
+  const size_t num_rows = rows.size();
+  const size_t total = indices.size();
+  return SubmitAsync<Out>(
+      std::move(requests),
+      [runs = std::move(runs), num_rows, total, compress_counts](
+          std::vector<PsServer::HandleResult>&& results,
+          TaskTraffic*) -> Result<Out> {
+        Out out(num_rows, std::vector<double>(total, 0.0));
+        for (size_t q = 0; q < results.size(); ++q) {
+          const auto [lo, hi] = runs[q];
+          BufferReader reader(results[q].response);
+          PS2_ASSIGN_OR_RETURN(uint64_t n_rows, reader.ReadVarint());
+          if (n_rows != num_rows) {
+            return Status::Internal("sparse-rows pull row count mismatch");
+          }
+          for (size_t r = 0; r < num_rows; ++r) {
+            if (compress_counts) {
+              for (size_t k = lo; k < hi; ++k) {
+                PS2_ASSIGN_OR_RETURN(int64_t iv, reader.ReadSignedVarint());
+                out[r][k] = static_cast<double>(iv);
+              }
+            } else {
+              PS2_ASSIGN_OR_RETURN(std::vector<double> values,
+                                   reader.ReadF64Span(hi - lo));
+              std::copy(values.begin(), values.end(), out[r].begin() + lo);
+            }
+          }
+        }
+        return out;
+      });
 }
 
-Status PsClient::PushSparseRows(const std::vector<RowRef>& rows,
-                                const std::vector<SparseVector>& deltas,
-                                bool compress_counts) {
+Result<std::vector<std::vector<double>>> PsClient::PullSparseRows(
+    const std::vector<RowRef>& rows, const std::vector<uint64_t>& indices,
+    bool compress_counts) {
+  return PullSparseRowsAsync(rows, indices, compress_counts).Get();
+}
+
+PsFuture<Ack> PsClient::PushSparseRowsAsync(
+    const std::vector<RowRef>& rows, const std::vector<SparseVector>& deltas,
+    bool compress_counts) {
   if (rows.size() != deltas.size()) {
-    return Status::InvalidArgument("rows/deltas size mismatch");
+    return ReadyFuture<Ack>(
+        Status::InvalidArgument("rows/deltas size mismatch"));
   }
-  if (rows.empty()) return Status::OK();
+  if (rows.empty()) return ReadyFuture<Ack>(Ack{});
   MatrixMeta meta;
-  PS2_ASSIGN_OR_RETURN(bool colocated, CoLocated(rows, &meta));
-  if (!colocated) {
-    return Status::FailedPrecondition(
-        "PushSparseRows requires co-located rows");
+  Result<bool> colocated = CoLocated(rows, &meta);
+  if (!colocated.ok()) return ReadyFuture<Ack>(colocated.status());
+  if (!*colocated) {
+    return ReadyFuture<Ack>(
+        Status::FailedPrecondition("PushSparseRows requires co-located rows"));
   }
-  OpScope scope(master_->cluster());
-  scope.traffic()->rounds += 1;
   const ColumnPartitioner& part = meta.partitioner;
   // One request per server: for every row, the slice of its delta that the
   // server owns.
+  std::vector<ServerRequest> requests;
   for (int p = 0; p < part.num_servers(); ++p) {
     uint64_t lo = part.RangeBegin(p);
     uint64_t hi = part.RangeEnd(p);
@@ -752,20 +1137,22 @@ Status PsClient::PushSparseRows(const std::vector<RowRef>& rows,
         for (size_t k = sb; k < se; ++k) writer.WriteF64(val[k]);
       }
     }
-    PS2_ASSIGN_OR_RETURN(
-        PsServer::HandleResult result,
-        Exchange(scope.traffic(), part.ServerOfPartition(p), writer.Release()));
-    (void)result;
+    requests.push_back({part.ServerOfPartition(p), writer.Release()});
   }
-  return Status::OK();
+  return SubmitAsync<Ack>(std::move(requests), AckParse);
+}
+
+Status PsClient::PushSparseRows(const std::vector<RowRef>& rows,
+                                const std::vector<SparseVector>& deltas,
+                                bool compress_counts) {
+  return PushSparseRowsAsync(rows, deltas, compress_counts).Wait();
 }
 
 Status PsClient::MatrixInit(int matrix_id, uint32_t row_begin,
                             uint32_t row_end, double scale, uint64_t seed) {
   PS2_ASSIGN_OR_RETURN(MatrixMeta meta, master_->GetMeta(matrix_id));
-  OpScope scope(master_->cluster());
-  scope.traffic()->rounds += 1;
   const ColumnPartitioner& part = meta.partitioner;
+  std::vector<ServerRequest> requests;
   for (int p = 0; p < part.num_servers(); ++p) {
     if (part.RangeWidth(p) == 0) continue;
     BufferWriter writer;
@@ -775,12 +1162,9 @@ Status PsClient::MatrixInit(int matrix_id, uint32_t row_begin,
     writer.WriteVarint(row_end);
     writer.WriteF64(scale);
     writer.WriteU64(seed);
-    PS2_ASSIGN_OR_RETURN(
-        PsServer::HandleResult result,
-        Exchange(scope.traffic(), part.ServerOfPartition(p), writer.Release()));
-    (void)result;
+    requests.push_back({part.ServerOfPartition(p), writer.Release()});
   }
-  return Status::OK();
+  return SubmitAsync<Ack>(std::move(requests), AckParse).Wait();
 }
 
 }  // namespace ps2

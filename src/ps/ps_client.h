@@ -5,50 +5,96 @@
 //
 //   1. builds one serialized request per server whose column range it
 //      touches,
-//   2. executes it (an in-process PsServer::Handle call standing in for a
-//      Netty RPC), and
-//   3. records the exchange — request bytes, response bytes, server ops —
-//      into the ambient task's TaskTraffic. When no task is active (the
+//   2. executes the fan-out — in parallel on the client's I/O pool (an
+//      in-process PsServer::Handle call standing in for a Netty RPC per
+//      server), and
+//   3. records the exchanges — request bytes, response bytes, server ops —
+//      into the issuing task's TaskTraffic. When no task is active (the
 //      coordinator issuing a DCV op between stages, e.g. the Adam update
 //      zip), the op charges the cluster clock directly with the collective
 //      cost of its fan-out.
 //
+// Every operation has an asynchronous twin returning a PsFuture<T>
+// (paper §5.1's asynchronous client). Async ops enter a bounded in-flight
+// window (PsClientOptions::window_depth; issue blocks when full) and record
+// their traffic into a future-local record that the first Wait()/Get()
+// merges into the caller's scope. Overlap accounting: the first op issued
+// while a context has nothing outstanding is the round *leader*
+// (TaskTraffic::rounds += 1); ops issued while others are outstanding ride
+// the leader's latency window (TaskTraffic::pipelined_rounds += 1), so an
+// overlapped group of k ops charges max — one round — rather than the sum
+// the serial client paid. Leader/follower is decided at issue time and
+// retired at harvest time, both on the caller thread in program order, so
+// virtual time stays deterministic no matter how pool threads interleave.
+// The synchronous API is a thin XAsync(...).Get() wrapper — with nothing
+// outstanding it is leader-classified and byte-and-round identical to the
+// old serial client.
+//
+// Error fan-out semantics: requests execute on all servers; the reported
+// Status is the first failure in partition order, and exchanges from the
+// failing request onward are left unrecorded (the serial client's
+// semantics). Side effects of requests *after* a failed one may still have
+// applied — the same partial-write window a real parallel RPC fan-out has.
+//
 // Column ops verify co-location; on non-co-located operands they fall back
 // to the naive pull-compute-push path, whose (large, measured) traffic is
-// exactly the inefficiency paper Fig. 4 warns about.
+// exactly the inefficiency paper Fig. 4 warns about. The fallback runs
+// synchronously at issue time even through ColumnOpAsync.
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "linalg/sparse_vector.h"
+#include "ps/ps_future.h"
 #include "ps/ps_master.h"
 #include "ps/ps_types.h"
 
 namespace ps2 {
 
-/// \brief Stateless, thread-safe client for PS operations.
+/// \brief Tunables of the client's asynchronous pipeline.
+struct PsClientOptions {
+  /// Maximum async ops in flight per client. Further issues block until a
+  /// slot frees — the backpressure that bounds worker-side staleness.
+  int window_depth = 8;
+  /// Threads in the per-client fan-out pool; 0 = one per server (capped).
+  int fanout_threads = 0;
+  /// When false, every exchange runs serially on the caller thread (the
+  /// pre-async client's execution order; futures complete at issue).
+  bool parallel_fanout = true;
+};
+
+/// \brief Thread-safe client for PS operations.
 class PsClient {
  public:
-  static constexpr uint64_t kWholeRow = ~0ULL;
+  explicit PsClient(PsMaster* master, PsClientOptions options = {});
 
-  explicit PsClient(PsMaster* master);
+  /// Quiesces the async window (waits for all in-flight ops) before
+  /// tearing down the fan-out pool.
+  ~PsClient();
+
+  PsClient(const PsClient&) = delete;
+  PsClient& operator=(const PsClient&) = delete;
 
   // ---- Row access ops (paper Table 1: pull, push, sum, nnz, norm2) ----
 
-  /// Pulls [begin, end) of a row as a dense vector (default: whole row).
-  Result<std::vector<double>> PullDense(RowRef ref, uint64_t begin = 0,
-                                        uint64_t end = kWholeRow);
+  /// Pulls `cols` of a row as a dense vector (default: the whole row).
+  Result<std::vector<double>> PullDense(RowRef ref,
+                                        ColRange cols = ColRange::All());
 
   /// Pulls the values at `indices` (sorted, unique). This is PS2's sparse
   /// communication: only the needed parameters travel.
   Result<std::vector<double>> PullSparse(RowRef ref,
                                          const std::vector<uint64_t>& indices);
 
-  /// Adds `delta` into row columns [begin, begin+delta.size()).
+  /// Adds `delta` into the row's `cols` window. ColRange::All() means
+  /// [0, delta.size()); an explicit range must have width() == delta.size().
   Status PushDense(RowRef ref, const std::vector<double>& delta,
-                   uint64_t begin = 0);
+                   ColRange cols = ColRange::All());
 
   /// Adds a sparse delta into the row (the DCV `add` used for gradients).
   Status PushSparse(RowRef ref, const SparseVector& delta);
@@ -73,27 +119,36 @@ class PsClient {
   Result<std::vector<std::vector<double>>> ZipAggregate(
       const std::vector<RowRef>& rows, int udf_id);
 
-  /// Many dots in one round trip (DeepWalk batches).
-  Result<std::vector<double>> DotBatch(
-      const std::vector<std::pair<RowRef, RowRef>>& pairs);
-
   struct AxpyTask {
     RowRef dst;
     RowRef src;
     double alpha;
   };
-  /// Many dst += alpha*src updates in one round trip (DeepWalk batches).
+
+  // ---- Batch entry points -------------------------------------------------
+  //
+  // \deprecated Compatibility wrappers over the async API. New code should
+  // stage batched work through Dcv::Batch() (dcv/dcv_batch.h) or call the
+  // *Async variants directly; these remain for the baseline systems that
+  // model legacy clients.
+
+  /// \deprecated Use Dcv::Batch().Dot(...) or DotBatchAsync.
+  Result<std::vector<double>> DotBatch(
+      const std::vector<std::pair<RowRef, RowRef>>& pairs);
+
+  /// \deprecated Use Dcv::Batch().Axpy(...) or AxpyBatchAsync.
   Status AxpyBatch(const std::vector<AxpyTask>& tasks);
 
-  /// Pulls many full rows in one round (all rows must be co-located).
-  /// Returns the rows in request order.
+  /// \deprecated Use Dcv::Batch().Pull(...) or PullRowsAsync.
+  /// Pulls many full co-located rows in one round, in request order.
   Result<std::vector<std::vector<double>>> PullRows(
       const std::vector<RowRef>& rows);
 
-  /// Adds dense deltas into many rows in one round.
+  /// Adds dense deltas into many co-located rows in one round.
   Status PushRows(const std::vector<RowRef>& rows,
                   const std::vector<std::vector<double>>& deltas);
 
+  /// \deprecated Use Dcv::Batch().PullSparse(...) or PullSparseRowsAsync.
   /// Pulls the values at the SHARED sorted `indices` from many co-located
   /// rows in one round (LDA pulls its local vocabulary's counts for every
   /// topic row this way). Result is [row][index].
@@ -104,6 +159,7 @@ class PsClient {
       const std::vector<RowRef>& rows, const std::vector<uint64_t>& indices,
       bool compress_counts = false);
 
+  /// \deprecated Use Dcv::Batch().PushSparse(...) or PushSparseRowsAsync.
   /// Adds per-row sparse deltas to many co-located rows in one round.
   Status PushSparseRows(const std::vector<RowRef>& rows,
                         const std::vector<SparseVector>& deltas,
@@ -116,14 +172,86 @@ class PsClient {
   Status MatrixInit(int matrix_id, uint32_t row_begin, uint32_t row_end,
                     double scale, uint64_t seed);
 
+  // ---- Asynchronous API ---------------------------------------------------
+  //
+  // Each op validates at issue time (an invalid call returns an
+  // already-failed future that charges nothing), claims a window slot, and
+  // fans its requests out on the I/O pool. Wait()/Get() the future — on the
+  // issuing thread — to retrieve the result and charge the traffic.
+
+  PsFuture<std::vector<double>> PullDenseAsync(RowRef ref,
+                                               ColRange cols = ColRange::All());
+  PsFuture<std::vector<double>> PullSparseAsync(
+      RowRef ref, const std::vector<uint64_t>& indices);
+  PsFuture<Ack> PushDenseAsync(RowRef ref, const std::vector<double>& delta,
+                               ColRange cols = ColRange::All());
+  PsFuture<Ack> PushSparseAsync(RowRef ref, const SparseVector& delta);
+  PsFuture<double> RowAggregateAsync(RowRef ref, RowAggKind kind);
+  PsFuture<Ack> ColumnOpAsync(ColOpKind kind, RowRef dst,
+                              const std::vector<RowRef>& srcs,
+                              double scalar = 0.0);
+  PsFuture<double> DotAsync(RowRef a, RowRef b);
+  PsFuture<std::vector<double>> DotBatchAsync(
+      const std::vector<std::pair<RowRef, RowRef>>& pairs);
+  PsFuture<Ack> AxpyBatchAsync(const std::vector<AxpyTask>& tasks);
+  PsFuture<std::vector<std::vector<double>>> PullRowsAsync(
+      const std::vector<RowRef>& rows);
+  PsFuture<Ack> PushRowsAsync(const std::vector<RowRef>& rows,
+                              const std::vector<std::vector<double>>& deltas);
+  PsFuture<std::vector<std::vector<double>>> PullSparseRowsAsync(
+      const std::vector<RowRef>& rows, const std::vector<uint64_t>& indices,
+      bool compress_counts = false);
+  PsFuture<Ack> PushSparseRowsAsync(const std::vector<RowRef>& rows,
+                                    const std::vector<SparseVector>& deltas,
+                                    bool compress_counts = false);
+
+  /// \brief Observability of the async window (tests, benches).
+  struct AsyncStats {
+    uint64_t issued = 0;     ///< async ops ever issued
+    int inflight = 0;        ///< currently in flight
+    int peak_inflight = 0;   ///< high-water mark (<= window_depth)
+  };
+  AsyncStats async_stats() const;
+
+  const PsClientOptions& options() const { return options_; }
   PsMaster* master() const { return master_; }
 
  private:
   class OpScope;
+  struct AsyncCore;
+
+  /// One serialized request bound for one server.
+  struct ServerRequest {
+    int server;
+    std::vector<uint8_t> payload;
+  };
+
+  /// Parses the per-server responses (in request order) into the op's value.
+  /// Runs on whichever thread completes the op; records any client-side
+  /// compute into `traffic`.
+  template <typename T>
+  using ParseFn = std::function<Result<T>(
+      std::vector<PsServer::HandleResult>&&, TaskTraffic*)>;
+
+  /// Claims a window slot, classifies leader/follower, fans `requests` out
+  /// on the I/O pool and completes the future with `parse`'s result.
+  template <typename T>
+  PsFuture<T> SubmitAsync(std::vector<ServerRequest> requests,
+                          ParseFn<T> parse);
+
+  /// An already-completed future outside the window (validation errors and
+  /// trivially empty ops that the serial client answered without traffic).
+  template <typename T>
+  static PsFuture<T> ReadyFuture(Result<T> result);
 
   /// Sends `request` to `server`, recording the exchange into `traffic`.
   Result<PsServer::HandleResult> Exchange(TaskTraffic* traffic, int server,
                                           std::vector<uint8_t> request);
+
+  /// Executes all requests (parallel when the pool allows), then records
+  /// them into `traffic` in request order, stopping at the first error.
+  Result<std::vector<PsServer::HandleResult>> ExchangeAll(
+      TaskTraffic* traffic, std::vector<ServerRequest> requests);
 
   /// True if all rows' matrices place every column on the same server.
   Result<bool> CoLocated(const std::vector<RowRef>& rows,
@@ -133,6 +261,9 @@ class PsClient {
                           const std::vector<RowRef>& srcs, double scalar);
 
   PsMaster* master_;
+  PsClientOptions options_;
+  std::unique_ptr<ThreadPool> io_pool_;
+  std::shared_ptr<AsyncCore> core_;
 };
 
 }  // namespace ps2

@@ -25,6 +25,33 @@ struct MatrixMeta {
   ColumnPartitioner partitioner;
 };
 
+/// \brief A half-open column window [begin, end) of a row.
+///
+/// The default-constructed range means "the whole row" — the row's dimension
+/// is substituted at the call site via Resolve(). This replaces the old
+/// `PsClient::kWholeRow = ~0ULL` sentinel and the loose `(begin, end)`
+/// argument pairs.
+struct ColRange {
+  constexpr ColRange() = default;  ///< whole row
+  constexpr ColRange(uint64_t b, uint64_t e) : begin(b), end(e), whole(false) {}
+
+  static constexpr ColRange All() { return ColRange(); }
+  static constexpr ColRange Of(uint64_t begin, uint64_t end) {
+    return ColRange(begin, end);
+  }
+
+  /// Concrete [begin, end) for a row of `dim` columns.
+  constexpr ColRange Resolve(uint64_t dim) const {
+    return whole ? ColRange(0, dim) : *this;
+  }
+
+  constexpr uint64_t width() const { return end - begin; }
+
+  uint64_t begin = 0;
+  uint64_t end = 0;
+  bool whole = true;
+};
+
 /// \brief Identifies one row (one DCV) of a distributed matrix.
 struct RowRef {
   int matrix_id = -1;

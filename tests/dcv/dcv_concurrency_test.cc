@@ -5,6 +5,7 @@
 
 #include <cmath>
 
+#include "dcv/dcv_batch.h"
 #include "dcv/dcv_context.h"
 
 namespace ps2 {
@@ -87,6 +88,73 @@ TEST_F(DcvConcurrencyTest, MixedReadersAndWritersStayWithinBounds) {
     }
   });
   EXPECT_DOUBLE_EQ((*v.Pull())[0], 24.0);
+}
+
+TEST_F(DcvConcurrencyTest, BatchedMixedOpsFromManyTasks) {
+  const uint64_t dim = 1024;
+  Dcv a = *ctx_->Dense(dim, 4);
+  Dcv b = *ctx_->Derive(a);
+  ASSERT_TRUE(a.Fill(2.0).ok());
+  ASSERT_TRUE(b.Fill(3.0).ok());
+  const size_t tasks = 32;
+  cluster_->RunStage("batch", tasks, [&](TaskContext&) {
+    // One coalesced round: a dot, a full pull, and an additive push.
+    DcvBatch batch = ctx_->Batch();
+    size_t dot_slot = batch.Dot(a, b);
+    size_t pull_slot = batch.Pull(b);
+    batch.Push(a, std::vector<double>(dim, 1.0));
+    Result<DcvBatchResults> r = batch.Execute();
+    PS2_CHECK(r.ok()) << r.status();
+    // a grows concurrently, so the dot lies between the initial value and
+    // the value after every push has landed; b never changes.
+    const double lo = 2.0 * 3.0 * dim;
+    const double hi = (2.0 + tasks) * 3.0 * dim;
+    PS2_CHECK(r->dots[dot_slot] >= lo && r->dots[dot_slot] <= hi);
+    for (double x : r->pulled[pull_slot]) PS2_CHECK(x == 3.0);
+  });
+  // All 32 unit pushes must have accumulated exactly.
+  std::vector<double> final_a = *a.Pull();
+  for (double x : final_a) EXPECT_DOUBLE_EQ(x, 2.0 + tasks);
+}
+
+TEST_F(DcvConcurrencyTest, BatchedSparsePushesCommute) {
+  const uint64_t dim = 5000;
+  Dcv base = *ctx_->Dense(dim, 8);
+  std::vector<Dcv> rows{base, *ctx_->Derive(base), *ctx_->Derive(base)};
+  const size_t tasks = 24;
+  cluster_->RunStage("sparse_batch", tasks, [&](TaskContext& task) {
+    std::vector<SparseVector> deltas;
+    for (size_t r = 0; r < rows.size(); ++r) {
+      deltas.push_back(SparseVector({11, 400 + task.task_id}, {1.0, 2.0}));
+    }
+    DcvBatch batch = ctx_->Batch();
+    batch.PushSparse(rows, std::move(deltas), /*compress_counts=*/false);
+    PS2_CHECK_OK(batch.Submit().Wait());
+  });
+  for (const Dcv& row : rows) {
+    EXPECT_DOUBLE_EQ((*row.PullSparse({11}))[0], static_cast<double>(tasks));
+    EXPECT_DOUBLE_EQ((*row.PullSparse({410}))[0], 2.0);
+  }
+}
+
+TEST_F(DcvConcurrencyTest, BatchOverlapsIntoOneRoundPerTask) {
+  const uint64_t dim = 256;
+  Dcv a = *ctx_->Dense(dim, 4);
+  Dcv b = *ctx_->Derive(a);
+  ASSERT_TRUE(a.Fill(1.0).ok());
+  ASSERT_TRUE(b.Fill(1.0).ok());
+  TaskTraffic traffic;
+  {
+    TrafficScope scope(&traffic);
+    DcvBatch batch = ctx_->Batch();
+    batch.Dot(a, b);
+    batch.Pull(a);
+    batch.PullSparse({a, b}, {0, 7, 100});
+    ASSERT_TRUE(batch.Submit().Wait().ok());
+  }
+  // The first staged group leads; the other two ride its latency window.
+  EXPECT_EQ(traffic.rounds, 1u);
+  EXPECT_EQ(traffic.pipelined_rounds, 2u);
 }
 
 TEST_F(DcvConcurrencyTest, ConcurrentDerivesGetDistinctRows) {

@@ -1,0 +1,256 @@
+// Asynchronous client: future semantics, window backpressure, pipelined
+// round accounting, and async ops racing server crash/recovery.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dataflow/cluster.h"
+#include "ps/ps_client.h"
+#include "ps/ps_future.h"
+#include "ps/ps_master.h"
+
+namespace ps2 {
+namespace {
+
+class PsAsyncTest : public ::testing::Test {
+ protected:
+  explicit PsAsyncTest(PsClientOptions options = {}) {
+    ClusterSpec spec;
+    spec.num_workers = 4;
+    spec.num_servers = 3;
+    cluster_ = std::make_unique<Cluster>(spec);
+    master_ = std::make_unique<PsMaster>(cluster_.get());
+    client_ = std::make_unique<PsClient>(master_.get(), options);
+  }
+
+  RowRef NewMatrix(uint64_t dim, uint32_t rows = 4) {
+    MatrixOptions options;
+    options.dim = dim;
+    options.reserve_rows = rows;
+    return RowRef{*master_->CreateMatrix(options), 0};
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<PsMaster> master_;
+  std::unique_ptr<PsClient> client_;
+};
+
+TEST_F(PsAsyncTest, AsyncPullMatchesSync) {
+  RowRef w = NewMatrix(100);
+  std::vector<double> values(100);
+  for (size_t i = 0; i < 100; ++i) values[i] = static_cast<double>(i);
+  ASSERT_TRUE(client_->PushDenseAsync(w, values).Wait().ok());
+  EXPECT_EQ(*client_->PullDenseAsync(w).Get(), *client_->PullDense(w));
+  EXPECT_EQ(*client_->PullDenseAsync(w, ColRange::Of(30, 70)).Get(),
+            *client_->PullDense(w, ColRange::Of(30, 70)));
+}
+
+TEST_F(PsAsyncTest, FutureReadyAfterWaitAndGetConsumesValue) {
+  RowRef w = NewMatrix(40);
+  PsFuture<std::vector<double>> f = client_->PullDenseAsync(w);
+  ASSERT_TRUE(f.Wait().ok());
+  EXPECT_TRUE(f.Ready());
+  EXPECT_EQ(f.Get()->size(), 40u);
+}
+
+TEST_F(PsAsyncTest, ThenTransformsTheResult) {
+  RowRef w = NewMatrix(50);
+  ASSERT_TRUE(client_->PushDense(w, std::vector<double>(50, 2.0)).ok());
+  PsFuture<double> sum = client_->PullDenseAsync(w).Then(
+      [](Result<std::vector<double>>&& pulled) -> Result<double> {
+        PS2_RETURN_NOT_OK(pulled.status());
+        double s = 0;
+        for (double v : *pulled) s += v;
+        return s;
+      });
+  EXPECT_DOUBLE_EQ(*sum.Get(), 100.0);
+}
+
+TEST_F(PsAsyncTest, ThenPropagatesErrors) {
+  RowRef w = NewMatrix(10);
+  // Index 10 is out of range; the error must flow through the chain.
+  PsFuture<double> chained =
+      client_->PullSparseAsync(w, {10}).Then(
+          [](Result<std::vector<double>>&& pulled) -> Result<double> {
+            PS2_RETURN_NOT_OK(pulled.status());
+            return (*pulled)[0];
+          });
+  EXPECT_TRUE(chained.Get().status().IsOutOfRange());
+}
+
+TEST_F(PsAsyncTest, OverlappedPushesAllLand) {
+  RowRef w = NewMatrix(200);
+  std::vector<PsFuture<Ack>> pending;
+  for (int i = 0; i < 16; ++i) {
+    pending.push_back(
+        client_->PushDenseAsync(w, std::vector<double>(200, 1.0)));
+  }
+  for (auto& f : pending) EXPECT_TRUE(f.Wait().ok());
+  std::vector<double> pulled = *client_->PullDense(w);
+  for (double v : pulled) EXPECT_DOUBLE_EQ(v, 16.0);
+}
+
+TEST_F(PsAsyncTest, AbandonedFuturesStillApplyAndReleaseTheWindow) {
+  RowRef w = NewMatrix(60);
+  for (int i = 0; i < 20; ++i) {
+    client_->PushDenseAsync(w, std::vector<double>(60, 0.5));  // dropped
+  }
+  // Destroying the client quiesces the window; nothing may be lost.
+  client_ = std::make_unique<PsClient>(master_.get());
+  std::vector<double> pulled = *client_->PullDense(w);
+  for (double v : pulled) EXPECT_DOUBLE_EQ(v, 10.0);
+}
+
+class PsAsyncWindowTest : public PsAsyncTest {
+ protected:
+  static PsClientOptions ShallowWindow() {
+    PsClientOptions options;
+    options.window_depth = 2;
+    return options;
+  }
+  PsAsyncWindowTest() : PsAsyncTest(ShallowWindow()) {}
+};
+
+TEST_F(PsAsyncWindowTest, WindowDepthBoundsInflightOps) {
+  RowRef w = NewMatrix(100);
+  std::vector<PsFuture<Ack>> pending;
+  for (int i = 0; i < 12; ++i) {
+    pending.push_back(
+        client_->PushDenseAsync(w, std::vector<double>(100, 1.0)));
+  }
+  for (auto& f : pending) ASSERT_TRUE(f.Wait().ok());
+  PsClient::AsyncStats stats = client_->async_stats();
+  EXPECT_EQ(stats.issued, 12u);
+  EXPECT_EQ(stats.inflight, 0);
+  EXPECT_LE(stats.peak_inflight, 2);
+  EXPECT_GE(stats.peak_inflight, 1);
+  EXPECT_DOUBLE_EQ((*client_->PullDense(w))[0], 12.0);
+}
+
+TEST_F(PsAsyncTest, OverlappedOpsChargeMaxNotSumOfRounds) {
+  RowRef w = NewMatrix(300);
+  const int k = 5;
+
+  TaskTraffic async_traffic;
+  {
+    TrafficScope scope(&async_traffic);
+    std::vector<PsFuture<std::vector<double>>> pending;
+    for (int i = 0; i < k; ++i) {
+      pending.push_back(client_->PullDenseAsync(w));
+    }
+    for (auto& f : pending) ASSERT_TRUE(f.Wait().ok());
+  }
+  // One leader round; the k-1 overlapped pulls ride its latency window.
+  EXPECT_EQ(async_traffic.rounds, 1u);
+  EXPECT_EQ(async_traffic.pipelined_rounds, static_cast<uint64_t>(k - 1));
+
+  TaskTraffic sync_traffic;
+  {
+    TrafficScope scope(&sync_traffic);
+    for (int i = 0; i < k; ++i) ASSERT_TRUE(client_->PullDense(w).ok());
+  }
+  // The serial path charges every round; bytes are identical either way.
+  EXPECT_EQ(sync_traffic.rounds, static_cast<uint64_t>(k));
+  EXPECT_EQ(sync_traffic.pipelined_rounds, 0u);
+  EXPECT_EQ(sync_traffic.TotalBytesToServers(),
+            async_traffic.TotalBytesToServers());
+  EXPECT_EQ(sync_traffic.TotalBytesFromServers(),
+            async_traffic.TotalBytesFromServers());
+}
+
+TEST_F(PsAsyncTest, SequentialAsyncOpsAreNotPipelined) {
+  RowRef w = NewMatrix(100);
+  TaskTraffic traffic;
+  {
+    TrafficScope scope(&traffic);
+    for (int i = 0; i < 3; ++i) {
+      // Harvested before the next issue: nothing overlaps.
+      ASSERT_TRUE(client_->PullDenseAsync(w).Wait().ok());
+    }
+  }
+  EXPECT_EQ(traffic.rounds, 3u);
+  EXPECT_EQ(traffic.pipelined_rounds, 0u);
+}
+
+TEST_F(PsAsyncTest, DriverHarvestAdvancesClock) {
+  RowRef w = NewMatrix(500);
+  PsFuture<Ack> f =
+      client_->PushDenseAsync(w, std::vector<double>(500, 1.0));
+  SimTime before = cluster_->clock().Now();
+  ASSERT_TRUE(f.Wait().ok());
+  EXPECT_GT(cluster_->clock().Now(), before);  // charged at harvest
+}
+
+TEST_F(PsAsyncTest, AsyncPullsRaceServerCrashAndRecovery) {
+  RowRef w = NewMatrix(900);
+  ASSERT_TRUE(client_->PushDense(w, std::vector<double>(900, 3.0)).ok());
+  ASSERT_TRUE(master_->CheckpointAll().ok());
+  // Reads race a crash/restore of every server in turn. A pull that lands
+  // inside the drop/restore window may see a zeroed slice, but never a torn
+  // value — each element is either the checkpointed 3.0 or a mid-recovery
+  // 0.0, and the state converges back to the checkpoint.
+  std::vector<PsFuture<std::vector<double>>> pending;
+  for (int round = 0; round < 4; ++round) {
+    for (int s = 0; s < 3; ++s) {
+      pending.push_back(client_->PullDenseAsync(w));
+      ASSERT_TRUE(master_->KillAndRecoverServer(s).ok());
+      pending.push_back(client_->PullDenseAsync(w));
+    }
+  }
+  for (auto& f : pending) {
+    Result<std::vector<double>> pulled = f.Get();
+    ASSERT_TRUE(pulled.ok()) << pulled.status();
+    ASSERT_EQ(pulled->size(), 900u);
+    for (double v : *pulled) ASSERT_TRUE(v == 3.0 || v == 0.0) << v;
+  }
+  std::vector<double> settled = *client_->PullDense(w);
+  for (double v : settled) ASSERT_DOUBLE_EQ(v, 3.0);
+}
+
+TEST_F(PsAsyncTest, AsyncPushesRaceServerCrashAndRecovery) {
+  RowRef w = NewMatrix(300);
+  std::vector<PsFuture<Ack>> pending;
+  for (int i = 0; i < 8; ++i) {
+    pending.push_back(
+        client_->PushDenseAsync(w, std::vector<double>(300, 1.0)));
+    if (i % 2 == 0) {
+      // No checkpoint exists: recovery rebuilds an empty shard, dropping
+      // whatever already landed there. The surviving counts stay within
+      // [0, pushes issued] and the system keeps serving.
+      ASSERT_TRUE(master_->KillAndRecoverServer(i % 3).ok());
+    }
+  }
+  for (auto& f : pending) EXPECT_TRUE(f.Wait().ok());
+  std::vector<double> pulled = *client_->PullDense(w);
+  for (double v : pulled) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 8.0);
+  }
+}
+
+TEST_F(PsAsyncTest, ColumnOpAsyncAndDotAsync) {
+  RowRef a = NewMatrix(80);
+  RowRef b = *master_->AllocateRow(a.matrix_id);
+  ASSERT_TRUE(client_->PushDense(a, std::vector<double>(80, 2.0)).ok());
+  ASSERT_TRUE(client_->PushDense(b, std::vector<double>(80, 3.0)).ok());
+  PsFuture<Ack> axpy = client_->ColumnOpAsync(ColOpKind::kAxpy, b, {a}, 10.0);
+  ASSERT_TRUE(axpy.Wait().ok());
+  EXPECT_NEAR(*client_->DotAsync(a, b).Get(), 80 * 2.0 * 23.0, 1e-9);
+}
+
+TEST_F(PsAsyncTest, SerialFanoutMatchesParallel) {
+  PsClientOptions serial;
+  serial.parallel_fanout = false;
+  PsClient serial_client(master_.get(), serial);
+  RowRef w = NewMatrix(120);
+  ASSERT_TRUE(
+      serial_client.PushDenseAsync(w, std::vector<double>(120, 4.0))
+          .Wait()
+          .ok());
+  EXPECT_EQ(*serial_client.PullDenseAsync(w).Get(),
+            std::vector<double>(120, 4.0));
+}
+
+}  // namespace
+}  // namespace ps2
