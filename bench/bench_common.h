@@ -11,7 +11,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "dataflow/cluster.h"
 #include "ml/train_report.h"
 
 namespace ps2 {
@@ -68,6 +71,99 @@ inline void PrintSpeedup(const TrainReport& fast, const TrainReport& slow,
               target_loss, fast.system.c_str(), t_fast, slow.system.c_str(),
               t_slow, t_slow / t_fast);
 }
+
+/// \brief Machine-readable companion to the printed tables.
+///
+/// Collects one record per run and writes `BENCH_<name>.json` into the
+/// working directory on Write() (or at destruction), so CI and plotting
+/// scripts can diff bench results without scraping stdout. Each record
+/// carries the virtual time plus the cluster's traffic counters (bytes
+/// each way, messages, rounds, local cache hits); AddField appends any
+/// extra scalar. Values are written as JSON numbers; run and field names
+/// must not need escaping (keep them to [A-Za-z0-9_.-]).
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  JsonReporter(const JsonReporter&) = delete;
+  JsonReporter& operator=(const JsonReporter&) = delete;
+
+  ~JsonReporter() {
+    if (!written_) Write();
+  }
+
+  /// Starts a new record; subsequent AddField calls attach to it.
+  void BeginRun(const std::string& run_name) {
+    runs_.push_back({run_name, {}});
+  }
+
+  /// Adds one scalar to the current run.
+  void AddField(const std::string& key, double value) {
+    if (runs_.empty()) BeginRun("default");
+    runs_.back().fields.push_back({key, value});
+  }
+
+  /// Records a run's virtual time and the traffic counters accumulated in
+  /// `cluster` since its metrics were last Reset().
+  void AddRun(const std::string& run_name, const Cluster& cluster,
+              double virtual_time_s) {
+    BeginRun(run_name);
+    AddField("virtual_time_s", virtual_time_s);
+    const MetricsRegistry& m = cluster.metrics();
+    AddField("bytes_worker_to_server",
+             static_cast<double>(m.Get("net.bytes_worker_to_server")));
+    AddField("bytes_server_to_worker",
+             static_cast<double>(m.Get("net.bytes_server_to_worker")));
+    AddField("messages", static_cast<double>(m.Get("net.messages")));
+    AddField("rounds", static_cast<double>(m.Get("net.rounds")));
+    AddField("local_pull_hits",
+             static_cast<double>(m.Get("net.local_pull_hits")));
+    AddField("local_pull_bytes",
+             static_cast<double>(m.Get("net.local_pull_bytes")));
+  }
+
+  /// Writes BENCH_<name>.json; returns false (with a note on stderr) if
+  /// the file cannot be opened. Subsequent calls are no-ops.
+  bool Write() {
+    if (written_) return true;
+    written_ = true;
+    const std::string path = "BENCH_" + bench_name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonReporter: cannot open %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"runs\": [\n",
+                 bench_name_.c_str());
+    for (size_t i = 0; i < runs_.size(); ++i) {
+      std::fprintf(f, "    {\n      \"name\": \"%s\"", runs_[i].name.c_str());
+      for (const auto& [key, value] : runs_[i].fields) {
+        if (std::isfinite(value)) {
+          // %.17g round-trips doubles exactly and prints integers plainly.
+          std::fprintf(f, ",\n      \"%s\": %.17g", key.c_str(), value);
+        } else {
+          std::fprintf(f, ",\n      \"%s\": null", key.c_str());
+        }
+      }
+      std::fprintf(f, "\n    }%s\n", i + 1 < runs_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  struct Run {
+    std::string name;
+    std::vector<std::pair<std::string, double>> fields;
+  };
+
+  std::string bench_name_;
+  std::vector<Run> runs_;
+  bool written_ = false;
+};
 
 }  // namespace bench
 }  // namespace ps2

@@ -19,7 +19,8 @@ namespace {
 using namespace ps2;
 
 void RunDataset(const char* name, const ClassificationSpec& ds,
-                double target_loss, int iterations, double learning_rate) {
+                double target_loss, int iterations, double learning_rate,
+                bench::JsonReporter* json) {
   std::printf("\n--- dataset %s: %llu rows x %llu cols ---\n", name,
               static_cast<unsigned long long>(ds.rows),
               static_cast<unsigned long long>(ds.dim));
@@ -37,11 +38,24 @@ void RunDataset(const char* name, const ClassificationSpec& ds,
   options.batch_fraction = 0.01;
   options.iterations = iterations;
 
+  // Metrics reset between systems so each JSON record carries only its own
+  // run's traffic.
+  auto record = [&](const std::string& run, const TrainReport& r) {
+    json->AddRun(std::string(name) + "." + run, cluster, r.total_time);
+    json->AddField("final_loss", r.final_loss);
+    json->AddField("time_to_target_s", r.TimeToLoss(target_loss));
+  };
+  cluster.metrics().Reset();
   DcvContext ctx_ps2(&cluster);
   TrainReport ps2 = *TrainGlmPs2(&ctx_ps2, data, options);
+  record("ps2_adam", ps2);
+  cluster.metrics().Reset();
   DcvContext ctx_ps(&cluster);
   TrainReport ps = *TrainGlmPsPullPush(&ctx_ps, data, options);
+  record("ps_adam", ps);
+  cluster.metrics().Reset();
   MllibReport spark = *TrainGlmMllib(&cluster, data, options);
+  record("spark_adam", spark.report);
 
   bench::PrintCurve(ps2, 6);
   bench::PrintCurve(ps, 6);
@@ -57,7 +71,9 @@ int main() {
   bench::Header("Figure 9(a)/(b): DCV effectiveness on LR (Adam)",
                 "KDDB: PS2 4.7x over PS-, 15.7x over Spark-; CTR: 5x / 55.6x");
   const double scale = bench::Scale();
-  RunDataset("KDDB-like", presets::KddbLike(scale), 0.55, 80, 0.03);
-  RunDataset("CTR-like", presets::CtrLike(scale), 0.62, 80, 0.01);
+  bench::JsonReporter json("fig09_dcv_lr");
+  RunDataset("KDDB-like", presets::KddbLike(scale), 0.55, 80, 0.03, &json);
+  RunDataset("CTR-like", presets::CtrLike(scale), 0.62, 80, 0.01, &json);
+  json.Write();
   return 0;
 }

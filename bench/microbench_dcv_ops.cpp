@@ -105,9 +105,14 @@ void BM_DotBatch(benchmark::State& state) {
     pairs.push_back({embeddings[i % rows].ref(),
                      embeddings[(i * 7 + 1) % rows].ref()});
   }
+  // Benchmarks the deprecated blocking wrapper on purpose, as the serial
+  // baseline the async DotBatchAsync numbers are compared against.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   for (auto _ : state) {
     benchmark::DoNotOptimize(f.ctx.client()->DotBatch(pairs));
   }
+#pragma GCC diagnostic pop
   state.SetItemsProcessed(state.iterations() * pairs.size());
 }
 BENCHMARK(BM_DotBatch)->Arg(512);

@@ -5,6 +5,12 @@
 #include "common/logging.h"
 #include "ml/lda/gibbs_sampler.h"
 
+// Baseline fidelity: the deprecated synchronous batch wrappers are used on
+// purpose — each call is one blocking round, which is exactly the traffic
+// pattern this baseline models.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace ps2 {
 
 Result<TrainReport> TrainLdaGlint(DcvContext* ctx,
@@ -119,3 +125,5 @@ Result<TrainReport> TrainLdaGlint(DcvContext* ctx,
 }
 
 }  // namespace ps2
+
+#pragma GCC diagnostic pop

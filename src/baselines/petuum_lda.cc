@@ -3,6 +3,12 @@
 #include "common/logging.h"
 #include "ml/lda/gibbs_sampler.h"
 
+// Baseline fidelity: the deprecated synchronous batch wrappers are used on
+// purpose — each call is one blocking round, which is exactly the traffic
+// pattern this baseline models.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace ps2 {
 
 Result<TrainReport> TrainLdaPetuum(DcvContext* ctx,
@@ -101,3 +107,5 @@ Result<TrainReport> TrainLdaPetuum(DcvContext* ctx,
 }
 
 }  // namespace ps2
+
+#pragma GCC diagnostic pop

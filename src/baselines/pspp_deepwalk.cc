@@ -9,6 +9,12 @@
 #include "dataflow/broadcast.h"
 #include "ml/metrics.h"
 
+// Baseline fidelity: the deprecated synchronous batch wrappers are used on
+// purpose — each call is one blocking round, which is exactly the traffic
+// pattern this baseline models.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace ps2 {
 
 Result<TrainReport> TrainDeepWalkPsPullPush(
@@ -152,3 +158,5 @@ Result<TrainReport> TrainDeepWalkPsPullPush(
 }
 
 }  // namespace ps2
+
+#pragma GCC diagnostic pop

@@ -1,5 +1,7 @@
 #include "dataflow/cluster.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace ps2 {
@@ -50,12 +52,21 @@ void Cluster::RunStage(const std::string& name, size_t ntasks,
     msgs += per_task[i].TotalMsgs();
     retries += retry_fractions[i].size();
   }
+  uint64_t local_hits = 0, local_bytes = 0, rounds = 0;
+  for (size_t i = 0; i < ntasks; ++i) {
+    local_hits += per_task[i].local_pull_hits;
+    local_bytes += per_task[i].local_pull_bytes;
+    rounds += per_task[i].rounds;
+  }
   metrics_.Add("cluster.stages", 1);
   metrics_.Add("cluster.tasks", ntasks);
   metrics_.Add("cluster.task_retries", retries);
   metrics_.Add("net.bytes_worker_to_server", bytes_to);
   metrics_.Add("net.bytes_server_to_worker", bytes_from);
   metrics_.Add("net.messages", msgs);
+  metrics_.Add("net.rounds", rounds);
+  metrics_.Add("net.local_pull_hits", local_hits);
+  metrics_.Add("net.local_pull_bytes", local_bytes);
   (void)name;
 }
 
@@ -67,6 +78,28 @@ void Cluster::ChargeDriver(SimTime seconds) {
 void Cluster::AdvanceClock(SimTime seconds) {
   PS2_CHECK_GE(seconds, 0.0);
   clock_.Advance(seconds);
+}
+
+void Cluster::ChargeOutOfTask(const TaskTraffic& traffic) {
+  SimTime worst_server = 0;
+  for (size_t s = 0; s < traffic.bytes_to_server.size(); ++s) {
+    SimTime t = static_cast<double>(traffic.bytes_to_server[s] +
+                                    traffic.bytes_from_server[s]) /
+                    spec_.net_bandwidth_bps +
+                cost_.MessageOverhead(traffic.msgs_to_server[s] +
+                                      traffic.msgs_from_server[s]) +
+                cost_.ServerCompute(traffic.server_ops[s]);
+    worst_server = std::max(worst_server, t);
+  }
+  SimTime elapsed = cost_.RoundLatency(traffic.rounds) + worst_server +
+                    cost_.WorkerCompute(traffic.worker_ops);
+  AdvanceClock(elapsed);
+  metrics_.Add("net.bytes_worker_to_server", traffic.TotalBytesToServers());
+  metrics_.Add("net.bytes_server_to_worker", traffic.TotalBytesFromServers());
+  metrics_.Add("net.messages", traffic.TotalMsgs());
+  metrics_.Add("net.rounds", traffic.rounds);
+  metrics_.Add("net.local_pull_hits", traffic.local_pull_hits);
+  metrics_.Add("net.local_pull_bytes", traffic.local_pull_bytes);
 }
 
 void Cluster::KillExecutor(int executor_id) {

@@ -51,6 +51,7 @@ class Cluster {
   SimClock& clock() { return clock_; }
   const CostModel& cost() const { return cost_; }
   MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
   FailureInjector& failures() { return failures_; }
   ThreadPool* pool() { return pool_; }
 
@@ -74,6 +75,12 @@ class Cluster {
   /// Advances the clock by an explicitly modeled collective (e.g. a
   /// broadcast or an allreduce charged by a baseline trainer).
   void AdvanceClock(SimTime seconds);
+
+  /// Charges the clock and traffic metrics for work done *outside* any task
+  /// — a coordinator-issued PS op between stages, or a hotspot replica sync.
+  /// Cost: dependent round latency + the worst single server's share + local
+  /// compute (the fan-out runs in parallel across servers).
+  void ChargeOutOfTask(const TaskTraffic& traffic);
 
   /// Simulates the loss of an executor: all dataset partitions cached on it
   /// are dropped and will be recomputed through lineage on next access.

@@ -18,6 +18,12 @@ Status CheckValid(const Dcv& dcv) {
 bool Dcv::CoLocatedWith(const Dcv& other) const {
   if (!valid() || !other.valid() || context_ != other.context_) return false;
   if (ref_.matrix_id == other.ref_.matrix_id) return true;
+  // A replicated hot row (DESIGN.md §5d) lives in full on every server, so
+  // it reads as co-located with everything in the same context.
+  HotspotManager* hotspot = context_->master()->hotspot();
+  if (hotspot->IsReplicated(ref_) || hotspot->IsReplicated(other.ref_)) {
+    return true;
+  }
   Result<MatrixMeta> a = context_->master()->GetMeta(ref_.matrix_id);
   Result<MatrixMeta> b = context_->master()->GetMeta(other.ref_.matrix_id);
   if (!a.ok() || !b.ok()) return false;

@@ -1,0 +1,56 @@
+#include "hotspot/access_stats.h"
+
+#include <algorithm>
+
+namespace ps2 {
+
+void SpaceSavingSketch::Record(RowRef ref, uint64_t weight) {
+  total_ += weight;
+  const std::pair<int, uint32_t> key{ref.matrix_id, ref.row};
+  auto it = counts_.find(key);
+  if (it != counts_.end()) {
+    it->second.count += weight;
+    return;
+  }
+  if (counts_.size() < capacity_) {
+    counts_.emplace(key, Cell{weight, 0});
+    return;
+  }
+  // Evict the minimum-count cell; the newcomer inherits its count as both
+  // starting point and error bound.
+  auto min_it = counts_.begin();
+  for (auto cand = counts_.begin(); cand != counts_.end(); ++cand) {
+    if (cand->second.count < min_it->second.count) min_it = cand;
+  }
+  const uint64_t floor = min_it->second.count;
+  counts_.erase(min_it);
+  counts_.emplace(key, Cell{floor + weight, floor});
+}
+
+std::vector<SpaceSavingSketch::Entry> SpaceSavingSketch::TopK(size_t k) const {
+  std::vector<Entry> out;
+  out.reserve(counts_.size());
+  for (const auto& [key, cell] : counts_) {
+    Entry e;
+    e.ref = RowRef{key.first, key.second};
+    e.count = cell.count;
+    e.error = cell.error;
+    out.push_back(e);
+  }
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    if (a.count != b.count) return a.count > b.count;
+    if (a.ref.matrix_id != b.ref.matrix_id) {
+      return a.ref.matrix_id < b.ref.matrix_id;
+    }
+    return a.ref.row < b.ref.row;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+void SpaceSavingSketch::Clear() {
+  counts_.clear();
+  total_ = 0;
+}
+
+}  // namespace ps2

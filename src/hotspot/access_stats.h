@@ -1,0 +1,73 @@
+#pragma once
+
+// Access statistics for hot-parameter detection (ROADMAP "heavy traffic").
+//
+// Every PsServer tracks how often each (matrix, row) is pulled and pushed
+// with a space-saving heavy-hitter sketch (Metwally et al.): bounded memory,
+// guaranteed to retain any key whose true frequency exceeds N/capacity, with
+// a per-key overestimation bound of `error`. The master aggregates the
+// per-server sketches into a ranked hot set (hotspot/hotspot_manager.h) —
+// NuPS-style hot-key management layered on the PS2 column partitioning.
+//
+// The sketches are soft state: they are NOT checkpointed and start cold
+// after a server recovery. Misranking a hot row for a few iterations costs
+// only efficiency, never correctness.
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "ps/ps_types.h"
+
+namespace ps2 {
+
+/// \brief Bounded-memory heavy-hitter counter over (matrix, row) keys.
+class SpaceSavingSketch {
+ public:
+  /// One monitored key with its estimated count.
+  struct Entry {
+    RowRef ref;
+    uint64_t count = 0;  ///< estimate; true count is in [count-error, count]
+    uint64_t error = 0;  ///< overestimation bound inherited at eviction
+  };
+
+  explicit SpaceSavingSketch(size_t capacity = 256)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Counts one access of `ref`. If the sketch is full and `ref` is not
+  /// monitored, the minimum-count entry is evicted and `ref` takes over its
+  /// count (+1) with that count as its error bound — the space-saving rule.
+  void Record(RowRef ref, uint64_t weight = 1);
+
+  /// Monitored entries sorted by descending estimated count.
+  std::vector<Entry> TopK(size_t k) const;
+
+  /// Total accesses recorded (exact, independent of evictions).
+  uint64_t total() const { return total_; }
+  size_t size() const { return counts_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  void Clear();
+
+ private:
+  struct Cell {
+    uint64_t count = 0;
+    uint64_t error = 0;
+  };
+
+  size_t capacity_;
+  uint64_t total_ = 0;
+  std::map<std::pair<int, uint32_t>, Cell> counts_;
+};
+
+/// \brief Pull and push frequency sketches of one server.
+struct AccessStats {
+  explicit AccessStats(size_t capacity = 256)
+      : pulls(capacity), pushes(capacity) {}
+
+  SpaceSavingSketch pulls;
+  SpaceSavingSketch pushes;
+};
+
+}  // namespace ps2

@@ -1,0 +1,96 @@
+#include "hotspot/client_cache.h"
+
+#include <algorithm>
+
+namespace ps2 {
+
+uint64_t HotRowCache::HotDim(RowRef ref) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find({ref.matrix_id, ref.row});
+  return it == entries_.end() ? 0 : it->second.dim;
+}
+
+bool HotRowCache::TryServeDense(RowRef ref, uint64_t begin, uint64_t end,
+                                double* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find({ref.matrix_id, ref.row});
+  if (it == entries_.end() || !Fresh(it->second) ||
+      end > it->second.values.size() || begin > end) {
+    ++misses_;
+    return false;
+  }
+  std::copy(it->second.values.begin() + begin, it->second.values.begin() + end,
+            out);
+  ++hits_;
+  return true;
+}
+
+bool HotRowCache::TryServeSparse(RowRef ref,
+                                 const std::vector<uint64_t>& indices,
+                                 double* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find({ref.matrix_id, ref.row});
+  if (it == entries_.end() || !Fresh(it->second)) {
+    ++misses_;
+    return false;
+  }
+  const std::vector<double>& values = it->second.values;
+  for (size_t k = 0; k < indices.size(); ++k) {
+    if (indices[k] >= values.size()) {
+      ++misses_;
+      return false;
+    }
+    out[k] = values[indices[k]];
+  }
+  ++hits_;
+  return true;
+}
+
+void HotRowCache::Store(RowRef ref, std::vector<double> values,
+                        uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find({ref.matrix_id, ref.row});
+  if (it == entries_.end()) return;
+  it->second.values = std::move(values);
+  it->second.epoch = epoch;
+}
+
+void HotRowCache::SetHotSet(
+    const std::vector<std::pair<RowRef, uint64_t>>& rows_dims) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::pair<int, uint32_t>, Entry> next;
+  for (const auto& [ref, dim] : rows_dims) {
+    const std::pair<int, uint32_t> key{ref.matrix_id, ref.row};
+    auto it = entries_.find(key);
+    if (it != entries_.end() && it->second.dim == dim) {
+      next.emplace(key, std::move(it->second));
+    } else {
+      Entry e;
+      e.dim = dim;
+      next.emplace(key, std::move(e));
+    }
+  }
+  entries_ = std::move(next);
+  has_hot_.store(!entries_.empty(), std::memory_order_relaxed);
+}
+
+void HotRowCache::SetStalenessEpochs(int epochs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  staleness_epochs_ = std::max(1, epochs);
+}
+
+void HotRowCache::SetEpoch(uint64_t epoch) {
+  epoch_.store(epoch, std::memory_order_relaxed);
+}
+
+uint64_t HotRowCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t HotRowCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+}  // namespace ps2

@@ -1,0 +1,87 @@
+#pragma once
+
+// Client-side bounded-staleness cache for hot rows.
+//
+// Each PsClient owns one HotRowCache and registers it with the
+// HotspotManager. The manager keeps the cache's hot set in sync with the
+// server-side replica set and warms each hot row's values at every replica
+// sync, bumping the cache epoch. Pulls of a hot row whose entry is within
+// `staleness_epochs` of the current epoch are served locally — the cost
+// model is charged only worker compute plus a local-hit record
+// (TaskTraffic::local_pull_hits/local_pull_bytes), no network bytes and no
+// round latency. A hot-but-stale (or not-yet-warmed) row triggers a single
+// full-row refresh from the row's home server replica, which IS charged as
+// normal traffic — the DeepSpark-style bounded-staleness contract: values
+// served are at most `staleness_epochs` replica syncs old.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "ps/ps_types.h"
+
+namespace ps2 {
+
+/// \brief Versioned local copies of the hot rows (thread-safe).
+class HotRowCache {
+ public:
+  /// Cheap gate: false until the manager installs a non-empty hot set, so
+  /// the pull/push fast paths cost one relaxed atomic load when hotspot
+  /// management is off.
+  bool HasHot() const { return has_hot_.load(std::memory_order_relaxed); }
+
+  /// Row dimension if `ref` is hot, 0 otherwise.
+  uint64_t HotDim(RowRef ref) const;
+
+  /// Copies [begin, end) of the cached row into `out` if the entry is
+  /// within the staleness bound. Returns false on a miss (not warmed yet,
+  /// or stale).
+  bool TryServeDense(RowRef ref, uint64_t begin, uint64_t end,
+                     double* out) const;
+
+  /// Gathers `indices` (each < dim) from the cached row into `out`.
+  bool TryServeSparse(RowRef ref, const std::vector<uint64_t>& indices,
+                      double* out) const;
+
+  /// Installs/overwrites the cached values of a hot row. No-op if `ref` is
+  /// not in the hot set (a refresh raced a hot-set change).
+  void Store(RowRef ref, std::vector<double> values, uint64_t epoch);
+
+  /// Replaces the hot set; entries for rows no longer hot are dropped,
+  /// new rows start unwarmed (first pull refreshes them).
+  void SetHotSet(const std::vector<std::pair<RowRef, uint64_t>>& rows_dims);
+
+  void SetStalenessEpochs(int epochs);
+  void SetEpoch(uint64_t epoch);
+  uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
+
+  /// Local-hit / refresh counters (tests, benches).
+  uint64_t hits() const;
+  uint64_t misses() const;
+
+ private:
+  struct Entry {
+    uint64_t dim = 0;
+    uint64_t epoch = 0;   ///< epoch of `values`; 0 = never warmed
+    std::vector<double> values;
+  };
+
+  bool Fresh(const Entry& e) const {
+    return e.epoch > 0 &&
+           epoch_.load(std::memory_order_relaxed) - e.epoch <
+               static_cast<uint64_t>(staleness_epochs_);
+  }
+
+  mutable std::mutex mu_;
+  std::atomic<bool> has_hot_{false};
+  std::atomic<uint64_t> epoch_{0};
+  int staleness_epochs_ = 1;
+  std::map<std::pair<int, uint32_t>, Entry> entries_;
+  mutable uint64_t hits_ = 0;
+  mutable uint64_t misses_ = 0;
+};
+
+}  // namespace ps2

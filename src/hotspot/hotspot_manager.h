@@ -1,0 +1,135 @@
+#pragma once
+
+// Hot-parameter management (DESIGN.md §5d).
+//
+// Skewed workloads hammer a few rows: in LDA the frequent words, in LR the
+// frequent features, in DeepWalk the high-degree vertices. Column
+// partitioning spreads each *row* across servers, but every pull of a hot
+// row still crosses the network and every push still serializes at the
+// owners. The HotspotManager — owned by PsMaster, driven by the trainers —
+// closes that gap in three layers:
+//
+//   1. Statistics. Each PsServer keeps space-saving sketches of per-
+//      (matrix, row) pull/push frequency (hotspot/access_stats.h). The
+//      manager periodically aggregates the per-server top-k into a ranked
+//      global hot set. Aggregation piggybacks on the master's heartbeats,
+//      so it is not charged as data-path traffic.
+//   2. Replication. Hot rows are replicated *in full* on every server
+//      (NuPS-style hot-key management): reads of any slice are served
+//      locally, pushes accumulate into per-server pending deltas, and a
+//      periodic ReplicaSync reconciles pendings into the primary and
+//      re-installs fresh values everywhere under a new epoch.
+//   3. Client caching. Every PsClient registers a HotRowCache; the manager
+//      warms it at each sync. Hot-row pulls are then served on the worker
+//      at bounded staleness, charging only refresh traffic.
+//
+// The trainers drive the cadence by calling Tick() once per iteration.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "hotspot/client_cache.h"
+#include "ps/ps_types.h"
+
+namespace ps2 {
+
+class PsMaster;
+struct TaskTraffic;
+
+/// \brief Tuning knobs for hot-parameter management.
+struct HotspotOptions {
+  bool enabled = false;
+  /// Rows replicated at most (the global hot set size).
+  int top_k = 32;
+  /// Minimum estimated pull count before a row may be designated hot —
+  /// keeps push-only rows (gradients, state) out of the replica set.
+  uint64_t min_pull_count = 16;
+  /// Re-rank the hot set every this many ticks (trainer iterations).
+  int refresh_every = 5;
+  /// Reconcile replicas every this many ticks; 1 = every iteration (exact),
+  /// larger values trade staleness for sync traffic.
+  int sync_every = 1;
+  /// Client caches serve values at most this many sync epochs old.
+  int staleness_epochs = 1;
+  /// Per-server space-saving sketch capacity (monitored keys).
+  size_t sketch_capacity = 256;
+
+  Status Validate() const;
+};
+
+/// \brief Master-side coordinator of statistics, replication and caches.
+///
+/// Thread-safe; but Tick / refresh / sync are expected to run on the
+/// coordinator between stages (like CheckpointAll), which is what makes the
+/// bounded-staleness contract deterministic.
+class HotspotManager {
+ public:
+  explicit HotspotManager(PsMaster* master);
+
+  /// Turns the subsystem on: enables per-server access statistics and arms
+  /// Tick(). Idempotent; re-enabling with new options re-ranks from scratch.
+  Status Enable(const HotspotOptions& options);
+
+  bool enabled() const;
+  const HotspotOptions& options() const;
+
+  /// One trainer iteration: re-rank the hot set every `refresh_every` ticks
+  /// (installing + syncing only when it actually changed), and sync replicas
+  /// every `sync_every` ticks. No-op while disabled.
+  Status Tick();
+
+  /// Forces an immediate replica reconciliation + cache warm.
+  Status SyncNow();
+
+  /// Test/bench hook: designates `rows` as the hot set right now (without
+  /// enabling periodic management) and installs + warms them.
+  Status ReplicateNow(const std::vector<RowRef>& rows);
+
+  /// True if `ref` is currently replicated on every server (and therefore
+  /// co-located with everything for read purposes).
+  bool IsReplicated(RowRef ref) const;
+
+  std::vector<RowRef> HotSet() const;
+  uint64_t epoch() const;
+
+  /// PsClients register their caches; the manager keeps hot sets and warm
+  /// values in sync for every registered cache.
+  void RegisterCache(HotRowCache* cache);
+  void UnregisterCache(HotRowCache* cache);
+
+ private:
+  /// Re-ranks the hot set from server sketches; when it changed, flushes the
+  /// old set, installs the new one and syncs. Sets `*changed` so Tick can
+  /// fall back to the plain sync cadence on stable refreshes (mu_ held).
+  Status RefreshHotSetLocked(bool* changed);
+  /// Collect pendings -> reconcile -> install -> warm caches (mu_ held).
+  Status SyncReplicasLocked();
+  /// Installs `hot` as the replica set on every server (mu_ held).
+  Status InstallHotSetLocked(
+      const std::vector<std::pair<RowRef, uint64_t>>& hot);
+
+  /// One coordinator->server exchange, recorded into `t`.
+  Status Exchange(TaskTraffic* t, int server_id,
+                  const std::vector<uint8_t>& request,
+                  std::vector<uint8_t>* response);
+
+  /// Prices accumulated sync traffic: merged into the ambient TrafficScope
+  /// when called from a task, charged to the cluster clock otherwise.
+  void ChargeLocked(const TaskTraffic& t);
+
+  PsMaster* master_;
+  mutable std::mutex mu_;
+  HotspotOptions options_;
+  bool enabled_ = false;
+  uint64_t tick_ = 0;
+  uint64_t epoch_ = 0;
+  /// Current hot set with row dimensions (sorted by (matrix, row)).
+  std::vector<std::pair<RowRef, uint64_t>> hot_;
+  std::vector<HotRowCache*> caches_;
+};
+
+}  // namespace ps2

@@ -56,6 +56,9 @@ Result<TrainReport> TrainDeepWalkPs2(
 
   TrainReport report;
   report.system = "PS2-DeepWalk";
+  if (options.hotspot.enabled) {
+    PS2_RETURN_NOT_OK(ctx->master()->hotspot()->Enable(options.hotspot));
+  }
   const SimTime t0 = cluster->clock().Now();
   const int negatives = options.negative_samples;
   const double lr = options.learning_rate;
@@ -151,6 +154,12 @@ Result<TrainReport> TrainDeepWalkPs2(
       loss_sum += l;
       count += c;
     }
+    // Coordinator-side, between epochs: hot embeddings (high-degree
+    // vertices) refresh against the post-epoch state.
+    if (options.hotspot.enabled) {
+      PS2_RETURN_NOT_OK(ctx->master()->hotspot()->Tick());
+    }
+
     if (count == 0) continue;
     TrainPoint point;
     point.iteration = epoch;

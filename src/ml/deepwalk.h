@@ -23,6 +23,7 @@
 #include "data/types.h"
 #include "dataflow/dataset.h"
 #include "dcv/dcv_context.h"
+#include "hotspot/hotspot_manager.h"
 #include "ml/train_report.h"
 
 namespace ps2 {
@@ -39,6 +40,9 @@ struct DeepWalkOptions {
   /// Spread the embedding matrix over at most this many servers (0 = all).
   /// Fig. 9(d) uses 30 servers and shows the DCV benefit shrinking.
   int num_servers = 0;
+  /// Hot-parameter management (DESIGN.md §5d): replicate frequently pulled
+  /// embedding rows (high-degree vertices under power-law graphs).
+  HotspotOptions hotspot;
 
   Status Validate() const {
     if (num_vertices == 0) {
@@ -54,6 +58,7 @@ struct DeepWalkOptions {
     if (negative_samples < 0) {
       return Status::InvalidArgument("negative_samples must be >= 0");
     }
+    if (hotspot.enabled) PS2_RETURN_NOT_OK(hotspot.Validate());
     return Status::OK();
   }
 };

@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "common/status.h"
+#include "hotspot/hotspot_manager.h"
 
 namespace ps2 {
 
@@ -24,6 +25,9 @@ struct LdaOptions {
   double beta = 0.01;
   int iterations = 20;
   uint64_t seed = 9;
+  /// Hot-parameter management (DESIGN.md §5d): replicate the topic rows of
+  /// the most frequent words so their counts serve from client caches.
+  HotspotOptions hotspot;
 
   Status Validate() const {
     if (vocab_size == 0) {
@@ -38,6 +42,7 @@ struct LdaOptions {
     if (alpha <= 0 || beta <= 0) {
       return Status::InvalidArgument("alpha and beta must be positive");
     }
+    if (hotspot.enabled) PS2_RETURN_NOT_OK(hotspot.Validate());
     return Status::OK();
   }
 };

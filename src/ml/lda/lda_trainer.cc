@@ -26,6 +26,9 @@ Result<TrainReport> TrainLdaPs2(DcvContext* ctx, const Dataset<Document>& docs,
 
   TrainReport report;
   report.system = "PS2-LDA";
+  if (options.hotspot.enabled) {
+    PS2_RETURN_NOT_OK(ctx->master()->hotspot()->Enable(options.hotspot));
+  }
   const SimTime t0 = cluster->clock().Now();
 
   // Initialization: random assignments, push initial counts (sparse,
@@ -86,6 +89,12 @@ Result<TrainReport> TrainLdaPs2(DcvContext* ctx, const Dataset<Document>& docs,
       loglik += l;
       tokens += c;
     }
+    // Coordinator-side, after the sweep's pushes: hot word rows (frequent
+    // words) refresh against this iteration's counts.
+    if (options.hotspot.enabled) {
+      PS2_RETURN_NOT_OK(ctx->master()->hotspot()->Tick());
+    }
+
     if (tokens == 0) continue;
     TrainPoint point;
     point.iteration = iter;

@@ -84,6 +84,9 @@ Result<TrainReport> TrainGlmPs2(DcvContext* ctx, const Dataset<Example>& data,
   TrainReport report;
   report.system = std::string("PS2-") +
                   OptimizerKindName(options.optimizer.kind);
+  if (options.hotspot.enabled) {
+    PS2_RETURN_NOT_OK(ctx->master()->hotspot()->Enable(options.hotspot));
+  }
   const SimTime t0 = cluster->clock().Now();
   const GlmLossKind loss_kind = options.loss;
 
@@ -142,6 +145,12 @@ Result<TrainReport> TrainGlmPs2(DcvContext* ctx, const Dataset<Example>& data,
     if (options.checkpoint_every > 0 &&
         (iter + 1) % options.checkpoint_every == 0) {
       PS2_RETURN_NOT_OK(ctx->master()->CheckpointAll());
+    }
+
+    // Coordinator-side, after the zip: refreshed cache values reflect this
+    // iteration's update, keeping staleness to the configured bound.
+    if (options.hotspot.enabled) {
+      PS2_RETURN_NOT_OK(ctx->master()->hotspot()->Tick());
     }
 
     TrainPoint point;

@@ -22,6 +22,7 @@
 #include "data/types.h"
 #include "dataflow/dataset.h"
 #include "dcv/dcv_context.h"
+#include "hotspot/hotspot_manager.h"
 #include "ml/optimizer.h"
 #include "ml/train_report.h"
 
@@ -42,6 +43,9 @@ struct GlmOptions {
   /// checkpointing); 0 disables. Recovery from a server failure then loses
   /// at most N iterations of that server's shard.
   int checkpoint_every = 0;
+  /// Hot-parameter management (DESIGN.md §5d): replicate frequently pulled
+  /// weight rows and serve them from client caches at bounded staleness.
+  HotspotOptions hotspot;
 
   Status Validate() const {
     if (dim == 0) return Status::InvalidArgument("dim must be set");
@@ -51,6 +55,7 @@ struct GlmOptions {
     if (iterations <= 0) {
       return Status::InvalidArgument("iterations must be positive");
     }
+    if (hotspot.enabled) PS2_RETURN_NOT_OK(hotspot.Validate());
     return Status::OK();
   }
 };

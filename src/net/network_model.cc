@@ -57,6 +57,8 @@ void TaskTraffic::MergeFrom(const TaskTraffic& other) {
   rounds += other.rounds;
   pipelined_rounds += other.pipelined_rounds;
   io_bytes += other.io_bytes;
+  local_pull_hits += other.local_pull_hits;
+  local_pull_bytes += other.local_pull_bytes;
   EnsureServers(other.bytes_to_server.size());
   for (size_t s = 0; s < other.bytes_to_server.size(); ++s) {
     bytes_to_server[s] += other.bytes_to_server[s];
@@ -72,6 +74,8 @@ void TaskTraffic::Clear() {
   rounds = 0;
   pipelined_rounds = 0;
   io_bytes = 0;
+  local_pull_hits = 0;
+  local_pull_bytes = 0;
   bytes_to_server.clear();
   bytes_from_server.clear();
   msgs_to_server.clear();

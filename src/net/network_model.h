@@ -40,6 +40,11 @@ struct TaskTraffic {
   /// recorded in full; only the *latency* term is collapsed.
   uint64_t pipelined_rounds = 0;
   uint64_t io_bytes = 0;     ///< input bytes read from (simulated) storage
+  /// Pulls served from the client's hot-row cache (hotspot/, §5d). They cost
+  /// worker compute only — no bytes, no messages, no round latency — but are
+  /// counted here so benches can report how much traffic the cache absorbed.
+  uint64_t local_pull_hits = 0;
+  uint64_t local_pull_bytes = 0;  ///< bytes those hits would have pulled
 
   // Per-server breakdown (indexed by server id; lazily sized).
   std::vector<uint64_t> bytes_to_server;

@@ -22,31 +22,20 @@ namespace {
 /// and local compute. Shared by OpScope (sync slow paths) and the async
 /// harvest hook, so a coordinator op costs the same through either path.
 void ChargeCoordinator(Cluster* cluster, const TaskTraffic& local) {
-  const CostModel& cost = cluster->cost();
-  const ClusterSpec& spec = cost.spec();
-  SimTime worst_server = 0;
-  for (size_t s = 0; s < local.bytes_to_server.size(); ++s) {
-    SimTime t =
-        static_cast<double>(local.bytes_to_server[s] +
-                            local.bytes_from_server[s]) /
-            spec.net_bandwidth_bps +
-        cost.MessageOverhead(local.msgs_to_server[s] +
-                             local.msgs_from_server[s]) +
-        cost.ServerCompute(local.server_ops[s]);
-    worst_server = std::max(worst_server, t);
-  }
-  SimTime elapsed = cost.RoundLatency(local.rounds) + worst_server +
-                    cost.WorkerCompute(local.worker_ops);
-  cluster->AdvanceClock(elapsed);
-  cluster->metrics().Add("net.bytes_worker_to_server",
-                         local.TotalBytesToServers());
-  cluster->metrics().Add("net.bytes_server_to_worker",
-                         local.TotalBytesFromServers());
-  cluster->metrics().Add("net.messages", local.TotalMsgs());
+  cluster->ChargeOutOfTask(local);
 }
 
 uint64_t WireBytes(const std::vector<uint8_t>& payload) {
   return payload.size() + Message::kHeaderBytes;
+}
+
+/// Deterministic "home" server a client refreshes a hot row from. Every
+/// server holds the replica; hashing spreads refresh (and hot-push) load of
+/// different hot rows across the fleet.
+int HotHomeServer(RowRef ref, int num_servers) {
+  uint64_t h = static_cast<uint64_t>(ref.matrix_id) * 0x9E3779B97F4A7C15ULL +
+               static_cast<uint64_t>(ref.row) * 0xC2B2AE3D27D4EB4FULL;
+  return static_cast<int>(h % static_cast<uint64_t>(num_servers));
 }
 
 }  // namespace
@@ -152,9 +141,13 @@ PsClient::PsClient(PsMaster* master, PsClientOptions options)
     if (threads <= 0) threads = std::min(std::max(master_->num_servers(), 1), 16);
     io_pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(threads));
   }
+  master_->hotspot()->RegisterCache(&cache_);
 }
 
-PsClient::~PsClient() { core_->Quiesce(); }
+PsClient::~PsClient() {
+  core_->Quiesce();
+  master_->hotspot()->UnregisterCache(&cache_);
+}
 
 PsClient::AsyncStats PsClient::async_stats() const {
   std::lock_guard<std::mutex> lock(core_->mu);
@@ -341,6 +334,47 @@ PsFuture<std::vector<double>> PsClient::PullDenseAsync(RowRef ref,
   if (w.begin > w.end || w.end > meta.dim) {
     return ReadyFuture<Out>(Status::OutOfRange("pull window out of range"));
   }
+  if (cache_.HasHot() && cache_.HotDim(ref) == meta.dim) {
+    // Hot row: serve from the bounded-staleness cache (worker compute only),
+    // or refresh the whole row once from its home server's replica.
+    Out served(w.width(), 0.0);
+    if (cache_.TryServeDense(ref, w.begin, w.end, served.data())) {
+      OpScope scope(master_->cluster());
+      TaskTraffic* t = scope.traffic();
+      t->worker_ops += w.width();
+      t->local_pull_hits += 1;
+      t->local_pull_bytes += w.width() * sizeof(double);
+      return ReadyFuture<Out>(std::move(served));
+    }
+    BufferWriter writer;
+    writer.WriteU8(static_cast<uint8_t>(PsOpCode::kPullDense));
+    writer.WriteVarint(ref.matrix_id);
+    writer.WriteVarint(ref.row);
+    writer.WriteVarint(0);
+    writer.WriteVarint(meta.dim);
+    std::vector<ServerRequest> refresh;
+    refresh.push_back(
+        {HotHomeServer(ref, master_->num_servers()), writer.Release()});
+    const uint64_t dim = meta.dim;
+    return SubmitAsync<Out>(
+        std::move(refresh),
+        [this, ref, dim, begin = w.begin, width = w.width()](
+            std::vector<PsServer::HandleResult>&& results,
+            TaskTraffic*) -> Result<Out> {
+          BufferReader reader(results[0].response);
+          PS2_ASSIGN_OR_RETURN(uint64_t n, reader.ReadVarint());
+          if (n != dim) {
+            return Status::Internal("hot-row refresh size mismatch");
+          }
+          PS2_ASSIGN_OR_RETURN(std::vector<double> values,
+                               reader.ReadF64Span(n));
+          cache_.Store(ref, values, cache_.epoch());
+          Out out(width);
+          std::copy(values.begin() + begin, values.begin() + begin + width,
+                    out.begin());
+          return out;
+        });
+  }
   const ColumnPartitioner& part = meta.partitioner;
   std::vector<ServerRequest> requests;
   std::vector<std::pair<uint64_t, uint64_t>> windows;
@@ -390,6 +424,48 @@ PsFuture<std::vector<double>> PsClient::PullSparseAsync(
   Result<MatrixMeta> meta_r = master_->GetMeta(ref.matrix_id);
   if (!meta_r.ok()) return ReadyFuture<Out>(meta_r.status());
   const MatrixMeta& meta = *meta_r;
+  if (cache_.HasHot() && cache_.HotDim(ref) == meta.dim) {
+    if (!indices.empty() && indices.back() >= meta.dim) {
+      return ReadyFuture<Out>(Status::OutOfRange("pull index out of range"));
+    }
+    Out served(indices.size(), 0.0);
+    if (cache_.TryServeSparse(ref, indices, served.data())) {
+      OpScope scope(master_->cluster());
+      TaskTraffic* t = scope.traffic();
+      t->worker_ops += indices.size();
+      t->local_pull_hits += 1;
+      t->local_pull_bytes += indices.size() * sizeof(double);
+      return ReadyFuture<Out>(std::move(served));
+    }
+    BufferWriter writer;
+    writer.WriteU8(static_cast<uint8_t>(PsOpCode::kPullDense));
+    writer.WriteVarint(ref.matrix_id);
+    writer.WriteVarint(ref.row);
+    writer.WriteVarint(0);
+    writer.WriteVarint(meta.dim);
+    std::vector<ServerRequest> refresh;
+    refresh.push_back(
+        {HotHomeServer(ref, master_->num_servers()), writer.Release()});
+    const uint64_t dim = meta.dim;
+    return SubmitAsync<Out>(
+        std::move(refresh),
+        [this, ref, dim, indices](std::vector<PsServer::HandleResult>&& results,
+                                  TaskTraffic*) -> Result<Out> {
+          BufferReader reader(results[0].response);
+          PS2_ASSIGN_OR_RETURN(uint64_t n, reader.ReadVarint());
+          if (n != dim) {
+            return Status::Internal("hot-row refresh size mismatch");
+          }
+          PS2_ASSIGN_OR_RETURN(std::vector<double> values,
+                               reader.ReadF64Span(n));
+          cache_.Store(ref, values, cache_.epoch());
+          Out out(indices.size());
+          for (size_t k = 0; k < indices.size(); ++k) {
+            out[k] = values[indices[k]];
+          }
+          return out;
+        });
+  }
   const ColumnPartitioner& part = meta.partitioner;
   // Sorted indices split into one contiguous run per partition.
   std::vector<ServerRequest> requests;
@@ -459,6 +535,34 @@ PsFuture<Ack> PsClient::PushDenseAsync(RowRef ref,
   if (w.end > meta.dim) {
     return ReadyFuture<Ack>(Status::OutOfRange("push window out of range"));
   }
+  if (cache_.HasHot() && cache_.HotDim(ref) == meta.dim) {
+    // Hot row: one sparse delta to the home server's replica, applied to
+    // the primary at the next ReplicaSync instead of fanning out now.
+    std::vector<uint64_t> idx;
+    std::vector<double> val;
+    for (uint64_t i = 0; i < w.width(); ++i) {
+      if (delta[i] != 0.0) {
+        idx.push_back(w.begin + i);
+        val.push_back(delta[i]);
+      }
+    }
+    if (idx.empty()) return ReadyFuture<Ack>(Ack{});
+    BufferWriter writer;
+    writer.WriteU8(static_cast<uint8_t>(PsOpCode::kHotPush));
+    writer.WriteVarint(ref.matrix_id);
+    writer.WriteVarint(ref.row);
+    writer.WriteVarint(idx.size());
+    uint64_t prev = 0;
+    for (uint64_t col : idx) {
+      writer.WriteVarint(col - prev);
+      prev = col;
+    }
+    for (double v : val) writer.WriteF64(v);
+    std::vector<ServerRequest> requests;
+    requests.push_back(
+        {HotHomeServer(ref, master_->num_servers()), writer.Release()});
+    return SubmitAsync<Ack>(std::move(requests), AckParse);
+  }
   const ColumnPartitioner& part = meta.partitioner;
   std::vector<ServerRequest> requests;
   for (int p = 0; p < part.num_servers(); ++p) {
@@ -488,6 +592,24 @@ PsFuture<Ack> PsClient::PushSparseAsync(RowRef ref, const SparseVector& delta) {
   const MatrixMeta& meta = *meta_r;
   if (delta.nnz() > 0 && delta.indices().back() >= meta.dim) {
     return ReadyFuture<Ack>(Status::OutOfRange("push index out of range"));
+  }
+  if (cache_.HasHot() && cache_.HotDim(ref) == meta.dim) {
+    if (delta.nnz() == 0) return ReadyFuture<Ack>(Ack{});
+    BufferWriter writer;
+    writer.WriteU8(static_cast<uint8_t>(PsOpCode::kHotPush));
+    writer.WriteVarint(ref.matrix_id);
+    writer.WriteVarint(ref.row);
+    writer.WriteVarint(delta.nnz());
+    uint64_t prev = 0;
+    for (uint64_t col : delta.indices()) {
+      writer.WriteVarint(col - prev);
+      prev = col;
+    }
+    for (double v : delta.values()) writer.WriteF64(v);
+    std::vector<ServerRequest> requests;
+    requests.push_back(
+        {HotHomeServer(ref, master_->num_servers()), writer.Release()});
+    return SubmitAsync<Ack>(std::move(requests), AckParse);
   }
   const ColumnPartitioner& part = meta.partitioner;
   const auto& idx = delta.indices();
@@ -569,7 +691,22 @@ PsFuture<Ack> PsClient::ColumnOpAsync(ColOpKind kind, RowRef dst,
   MatrixMeta meta;
   Result<bool> colocated = CoLocated(all, &meta);
   if (!colocated.ok()) return ReadyFuture<Ack>(colocated.status());
-  if (!*colocated) {
+  bool fast = *colocated;
+  if (!fast) {
+    // Relaxation: replicated (hot) sources read as co-located with any dst
+    // slice; only dst and the non-replicated sources must share placement.
+    HotspotManager* hotspot = master_->hotspot();
+    std::vector<RowRef> anchored{dst};
+    for (const RowRef& src : srcs) {
+      if (!hotspot->IsReplicated(src)) anchored.push_back(src);
+    }
+    if (anchored.size() < all.size()) {
+      Result<bool> relaxed = CoLocated(anchored, &meta);
+      if (!relaxed.ok()) return ReadyFuture<Ack>(relaxed.status());
+      fast = *relaxed;
+    }
+  }
+  if (!fast) {
     // The naive pull-compute-push fallback is inherently synchronous (it is
     // itself a chain of dependent client ops); run it at issue time.
     master_->cluster()->metrics().Add("dcv.noncolocated_column_ops", 1);
@@ -683,7 +820,22 @@ PsFuture<double> PsClient::DotAsync(RowRef a, RowRef b) {
   MatrixMeta meta;
   Result<bool> colocated = CoLocated({a, b}, &meta);
   if (!colocated.ok()) return ReadyFuture<double>(colocated.status());
-  if (!*colocated) {
+  bool fast = *colocated;
+  if (!fast) {
+    // Relaxation: if one operand is replicated everywhere, drive the fan-out
+    // with the *other* operand's partitioner — each server dots its primary
+    // slice against the replica's matching slice.
+    HotspotManager* hotspot = master_->hotspot();
+    if (hotspot->IsReplicated(b)) {
+      fast = true;  // meta already holds a's placement
+    } else if (hotspot->IsReplicated(a)) {
+      Result<MatrixMeta> meta_b = master_->GetMeta(b.matrix_id);
+      if (!meta_b.ok()) return ReadyFuture<double>(meta_b.status());
+      meta = *meta_b;
+      fast = true;
+    }
+  }
+  if (!fast) {
     // Naive path: ship both full rows to the client (paper Fig. 4, lines
     // 1-4 — "huge communication cost"). Synchronous at issue time.
     master_->cluster()->metrics().Add("dcv.noncolocated_dots", 1);

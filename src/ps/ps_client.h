@@ -49,6 +49,7 @@
 
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "hotspot/client_cache.h"
 #include "linalg/sparse_vector.h"
 #include "ps/ps_future.h"
 #include "ps/ps_master.h"
@@ -133,18 +134,23 @@ class PsClient {
   // model legacy clients.
 
   /// \deprecated Use Dcv::Batch().Dot(...) or DotBatchAsync.
+  [[deprecated("use Dcv::Batch().Dot(...) or DotBatchAsync")]]
   Result<std::vector<double>> DotBatch(
       const std::vector<std::pair<RowRef, RowRef>>& pairs);
 
   /// \deprecated Use Dcv::Batch().Axpy(...) or AxpyBatchAsync.
+  [[deprecated("use Dcv::Batch().Axpy(...) or AxpyBatchAsync")]]
   Status AxpyBatch(const std::vector<AxpyTask>& tasks);
 
   /// \deprecated Use Dcv::Batch().Pull(...) or PullRowsAsync.
   /// Pulls many full co-located rows in one round, in request order.
+  [[deprecated("use Dcv::Batch().Pull(...) or PullRowsAsync")]]
   Result<std::vector<std::vector<double>>> PullRows(
       const std::vector<RowRef>& rows);
 
+  /// \deprecated Use Dcv::Batch().Push(...) or PushRowsAsync.
   /// Adds dense deltas into many co-located rows in one round.
+  [[deprecated("use Dcv::Batch().Push(...) or PushRowsAsync")]]
   Status PushRows(const std::vector<RowRef>& rows,
                   const std::vector<std::vector<double>>& deltas);
 
@@ -155,12 +161,14 @@ class PsClient {
   /// With `compress_counts` the values travel as zigzag varints of their
   /// rounded integer value (PS2's message compression; only valid for
   /// integer-valued matrices such as LDA count tables).
+  [[deprecated("use Dcv::Batch().PullSparse(...) or PullSparseRowsAsync")]]
   Result<std::vector<std::vector<double>>> PullSparseRows(
       const std::vector<RowRef>& rows, const std::vector<uint64_t>& indices,
       bool compress_counts = false);
 
   /// \deprecated Use Dcv::Batch().PushSparse(...) or PushSparseRowsAsync.
   /// Adds per-row sparse deltas to many co-located rows in one round.
+  [[deprecated("use Dcv::Batch().PushSparse(...) or PushSparseRowsAsync")]]
   Status PushSparseRows(const std::vector<RowRef>& rows,
                         const std::vector<SparseVector>& deltas,
                         bool compress_counts = false);
@@ -216,6 +224,10 @@ class PsClient {
   const PsClientOptions& options() const { return options_; }
   PsMaster* master() const { return master_; }
 
+  /// The client's bounded-staleness hot-row cache (hotspot/, §5d). Kept in
+  /// sync by the HotspotManager; exposed for tests and benches.
+  const HotRowCache& hot_cache() const { return cache_; }
+
  private:
   class OpScope;
   struct AsyncCore;
@@ -264,6 +276,9 @@ class PsClient {
   PsClientOptions options_;
   std::unique_ptr<ThreadPool> io_pool_;
   std::shared_ptr<AsyncCore> core_;
+  /// Bounded-staleness copies of the hot rows, warmed by the
+  /// HotspotManager at every replica sync.
+  HotRowCache cache_;
 };
 
 }  // namespace ps2

@@ -13,7 +13,10 @@ PsMaster::PsMaster(Cluster* cluster) : cluster_(cluster) {
   for (int s = 0; s < n; ++s) {
     servers_.push_back(std::make_unique<PsServer>(s, &udfs_));
   }
+  hotspot_ = std::make_unique<HotspotManager>(this);
 }
+
+PsMaster::~PsMaster() = default;
 
 Result<int> PsMaster::CreateMatrixInternal(MatrixOptions options,
                                            int rotation) {

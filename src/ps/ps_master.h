@@ -18,6 +18,7 @@
 
 #include "common/result.h"
 #include "dataflow/cluster.h"
+#include "hotspot/hotspot_manager.h"
 #include "ps/checkpoint.h"
 #include "ps/ps_server.h"
 #include "ps/ps_types.h"
@@ -42,11 +43,16 @@ struct MatrixOptions {
 class PsMaster {
  public:
   explicit PsMaster(Cluster* cluster);
+  ~PsMaster();
 
   Cluster* cluster() const { return cluster_; }
   UdfRegistry* udfs() { return &udfs_; }
   int num_servers() const { return static_cast<int>(servers_.size()); }
   PsServer* server(int s) { return servers_[s].get(); }
+
+  /// Hot-parameter management (statistics, replication, client caches).
+  /// Always constructed; a no-op until HotspotManager::Enable.
+  HotspotManager* hotspot() const { return hotspot_.get(); }
 
   /// Creates a matrix distributed over the servers. Row 0 is implicitly
   /// allocated (it is the DCV the caller asked for); further rows are handed
@@ -91,6 +97,7 @@ class PsMaster {
   Cluster* cluster_;
   UdfRegistry udfs_;
   std::vector<std::unique_ptr<PsServer>> servers_;
+  std::unique_ptr<HotspotManager> hotspot_;
   CheckpointStore checkpoint_store_;
 
   mutable std::mutex mu_;

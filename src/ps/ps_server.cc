@@ -81,6 +81,64 @@ bool PsServer::HasMatrix(int matrix_id) const {
   return shards_.count(matrix_id) > 0;
 }
 
+void PsServer::EnableAccessStats(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_capacity_ = capacity;
+  stats_ = capacity > 0 ? std::make_unique<AccessStats>(capacity) : nullptr;
+}
+
+std::vector<SpaceSavingSketch::Entry> PsServer::TopPulledRows(size_t k) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stats_ == nullptr) return {};
+  return stats_->pulls.TopK(k);
+}
+
+bool PsServer::HasReplica(RowRef ref) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return replicas_.count({ref.matrix_id, ref.row}) > 0;
+}
+
+Result<PsServer::ReplicaSnapshot> PsServer::DebugReplica(RowRef ref) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = replicas_.find({ref.matrix_id, ref.row});
+  if (it == replicas_.end()) return Status::NotFound("no replica on server");
+  ReplicaSnapshot snap;
+  snap.values = it->second.values;
+  snap.pending = it->second.pending;
+  snap.version = it->second.version;
+  return snap;
+}
+
+void PsServer::RecordPull(int matrix_id, uint32_t row) {
+  if (stats_ != nullptr) stats_->pulls.Record(RowRef{matrix_id, row});
+}
+
+void PsServer::RecordPush(int matrix_id, uint32_t row) {
+  if (stats_ != nullptr) stats_->pushes.Record(RowRef{matrix_id, row});
+}
+
+PsServer::Replica* PsServer::FindReplica(int matrix_id, uint32_t row) {
+  auto it = replicas_.find({matrix_id, row});
+  if (it == replicas_.end() || it->second.version == 0) return nullptr;
+  return &it->second;
+}
+
+Result<const double*> PsServer::ReadRowView(int matrix_id, uint32_t row,
+                                            uint64_t begin, uint64_t width) {
+  auto it = shards_.find(matrix_id);
+  if (it != shards_.end() && row < it->second.meta.num_rows &&
+      it->second.dense() && it->second.begin == begin &&
+      it->second.width() == width) {
+    return it->second.dense_rows[row].data();
+  }
+  Replica* replica = FindReplica(matrix_id, row);
+  if (replica != nullptr && begin + width <= replica->dim) {
+    return replica->values.data() + begin;
+  }
+  return Status::FailedPrecondition(
+      "row is neither a local primary slice nor a replica");
+}
+
 Result<PsServer::Shard*> PsServer::FindShard(int matrix_id, uint32_t row) {
   auto it = shards_.find(matrix_id);
   if (it == shards_.end()) {
@@ -142,6 +200,12 @@ Result<PsServer::HandleResult> PsServer::Handle(
       return HandlePullSparseRowsBatch(&in);
     case PsOpCode::kPushSparseRowsBatch:
       return HandlePushSparseRowsBatch(&in);
+    case PsOpCode::kHotSetUpdate:
+      return HandleHotSetUpdate(&in);
+    case PsOpCode::kReplicaSync:
+      return HandleReplicaSync(&in);
+    case PsOpCode::kHotPush:
+      return HandleHotPush(&in);
   }
   return Status::InvalidArgument("unknown opcode");
 }
@@ -151,6 +215,25 @@ Result<PsServer::HandleResult> PsServer::HandlePullDense(BufferReader* in) {
   PS2_ASSIGN_OR_RETURN(uint64_t row, in->ReadVarint());
   PS2_ASSIGN_OR_RETURN(uint64_t begin, in->ReadVarint());
   PS2_ASSIGN_OR_RETURN(uint64_t end, in->ReadVarint());
+  RecordPull(static_cast<int>(matrix_id), static_cast<uint32_t>(row));
+  // An installed replica serves any window of the row, not just this
+  // server's primary range — the bounded-staleness read path (§5d).
+  if (Replica* replica = FindReplica(static_cast<int>(matrix_id),
+                                     static_cast<uint32_t>(row))) {
+    uint64_t hi = std::min(end, replica->dim);
+    HandleResult out;
+    BufferWriter writer;
+    if (begin >= hi) {
+      writer.WriteVarint(0);
+      out.response = writer.Release();
+      return out;
+    }
+    writer.WriteVarint(hi - begin);
+    writer.WriteF64Span(replica->values.data() + begin, hi - begin);
+    out.server_ops = hi - begin;
+    out.response = writer.Release();
+    return out;
+  }
   PS2_ASSIGN_OR_RETURN(Shard * shard,
                        FindShard(static_cast<int>(matrix_id),
                                  static_cast<uint32_t>(row)));
@@ -190,6 +273,26 @@ Result<PsServer::HandleResult> PsServer::HandlePullSparse(BufferReader* in) {
   if (n > in->remaining()) {
     return Status::OutOfRange("index count exceeds request buffer");
   }
+  RecordPull(static_cast<int>(matrix_id), static_cast<uint32_t>(row));
+  if (Replica* replica = FindReplica(static_cast<int>(matrix_id),
+                                     static_cast<uint32_t>(row))) {
+    // Replica serves any index of the row (no partition-range check).
+    HandleResult out;
+    BufferWriter writer;
+    writer.WriteVarint(n);
+    uint64_t prev = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      PS2_ASSIGN_OR_RETURN(uint64_t delta, in->ReadVarint());
+      prev += delta;
+      if (prev >= replica->dim) {
+        return Status::OutOfRange("pull index outside replica");
+      }
+      writer.WriteF64(replica->values[prev]);
+    }
+    out.server_ops = n;
+    out.response = writer.Release();
+    return out;
+  }
   PS2_ASSIGN_OR_RETURN(Shard * shard,
                        FindShard(static_cast<int>(matrix_id),
                                  static_cast<uint32_t>(row)));
@@ -224,6 +327,7 @@ Result<PsServer::HandleResult> PsServer::HandlePushDense(BufferReader* in) {
   PS2_ASSIGN_OR_RETURN(uint64_t row, in->ReadVarint());
   PS2_ASSIGN_OR_RETURN(uint64_t begin, in->ReadVarint());
   PS2_ASSIGN_OR_RETURN(uint64_t n, in->ReadVarint());
+  RecordPush(static_cast<int>(matrix_id), static_cast<uint32_t>(row));
   PS2_ASSIGN_OR_RETURN(Shard * shard,
                        FindShard(static_cast<int>(matrix_id),
                                  static_cast<uint32_t>(row)));
@@ -251,6 +355,7 @@ Result<PsServer::HandleResult> PsServer::HandlePushSparse(BufferReader* in) {
   if (n > in->remaining()) {
     return Status::OutOfRange("index count exceeds request buffer");
   }
+  RecordPush(static_cast<int>(matrix_id), static_cast<uint32_t>(row));
   PS2_ASSIGN_OR_RETURN(Shard * shard,
                        FindShard(static_cast<int>(matrix_id),
                                  static_cast<uint32_t>(row)));
@@ -348,13 +453,12 @@ Result<PsServer::HandleResult> PsServer::HandleColumnOp(BufferReader* in) {
                                 &begin));
   std::vector<const double*> src_ptrs;
   for (const auto& [m, r] : srcs) {
-    uint64_t w = 0, b = 0;
-    PS2_ASSIGN_OR_RETURN(double* p, DenseRow(static_cast<int>(m),
-                                             static_cast<uint32_t>(r), &w, &b));
-    if (w != width || b != begin) {
-      return Status::FailedPrecondition(
-          "column op operands are not co-located on this server");
-    }
+    // A source may be a primary slice co-located with dst, or an installed
+    // replica of a hot row (which reads as co-located everywhere, §5d).
+    PS2_ASSIGN_OR_RETURN(
+        const double* p,
+        ReadRowView(static_cast<int>(m), static_cast<uint32_t>(r), begin,
+                    width));
     src_ptrs.push_back(p);
   }
 
@@ -411,20 +515,30 @@ Result<PsServer::HandleResult> PsServer::HandleDotPartial(BufferReader* in) {
   PS2_ASSIGN_OR_RETURN(uint64_t ra, in->ReadVarint());
   PS2_ASSIGN_OR_RETURN(uint64_t mb, in->ReadVarint());
   PS2_ASSIGN_OR_RETURN(uint64_t rb, in->ReadVarint());
-  uint64_t wa = 0, ba = 0, wb = 0, bb = 0;
-  PS2_ASSIGN_OR_RETURN(double* a, DenseRow(static_cast<int>(ma),
-                                           static_cast<uint32_t>(ra), &wa,
-                                           &ba));
-  PS2_ASSIGN_OR_RETURN(double* b, DenseRow(static_cast<int>(mb),
-                                           static_cast<uint32_t>(rb), &wb,
-                                           &bb));
-  if (wa != wb || ba != bb) {
-    return Status::FailedPrecondition(
-        "dot operands are not co-located on this server");
+  // Either operand may be a hot-row replica; anchor the window on whichever
+  // one is a local primary slice and read the other through ReadRowView.
+  uint64_t width = 0, begin = 0;
+  const double* a = nullptr;
+  const double* b = nullptr;
+  Result<double*> a_primary =
+      DenseRow(static_cast<int>(ma), static_cast<uint32_t>(ra), &width, &begin);
+  if (a_primary.ok()) {
+    a = *a_primary;
+    PS2_ASSIGN_OR_RETURN(b, ReadRowView(static_cast<int>(mb),
+                                        static_cast<uint32_t>(rb), begin,
+                                        width));
+  } else {
+    PS2_ASSIGN_OR_RETURN(double* bp, DenseRow(static_cast<int>(mb),
+                                              static_cast<uint32_t>(rb), &width,
+                                              &begin));
+    b = bp;
+    PS2_ASSIGN_OR_RETURN(a, ReadRowView(static_cast<int>(ma),
+                                        static_cast<uint32_t>(ra), begin,
+                                        width));
   }
   double partial = 0.0;
   HandleResult out;
-  out.server_ops = kernels::Dot(a, b, wa, &partial);
+  out.server_ops = kernels::Dot(a, b, width, &partial);
   BufferWriter writer;
   writer.WriteF64(partial);
   out.response = writer.Release();
@@ -499,19 +613,28 @@ Result<PsServer::HandleResult> PsServer::HandleDotBatch(BufferReader* in) {
     PS2_ASSIGN_OR_RETURN(uint64_t ra, in->ReadVarint());
     PS2_ASSIGN_OR_RETURN(uint64_t mb, in->ReadVarint());
     PS2_ASSIGN_OR_RETURN(uint64_t rb, in->ReadVarint());
-    uint64_t wa = 0, ba = 0, wb = 0, bb = 0;
-    PS2_ASSIGN_OR_RETURN(double* a, DenseRow(static_cast<int>(ma),
-                                             static_cast<uint32_t>(ra), &wa,
-                                             &ba));
-    PS2_ASSIGN_OR_RETURN(double* b, DenseRow(static_cast<int>(mb),
-                                             static_cast<uint32_t>(rb), &wb,
-                                             &bb));
-    if (wa != wb || ba != bb) {
-      return Status::FailedPrecondition(
-          "dot-batch operands are not co-located on this server");
+    uint64_t width = 0, begin = 0;
+    const double* a = nullptr;
+    const double* b = nullptr;
+    Result<double*> a_primary = DenseRow(static_cast<int>(ma),
+                                         static_cast<uint32_t>(ra), &width,
+                                         &begin);
+    if (a_primary.ok()) {
+      a = *a_primary;
+      PS2_ASSIGN_OR_RETURN(b, ReadRowView(static_cast<int>(mb),
+                                          static_cast<uint32_t>(rb), begin,
+                                          width));
+    } else {
+      PS2_ASSIGN_OR_RETURN(double* bp, DenseRow(static_cast<int>(mb),
+                                                static_cast<uint32_t>(rb),
+                                                &width, &begin));
+      b = bp;
+      PS2_ASSIGN_OR_RETURN(a, ReadRowView(static_cast<int>(ma),
+                                          static_cast<uint32_t>(ra), begin,
+                                          width));
     }
     double partial = 0.0;
-    out.server_ops += kernels::Dot(a, b, wa, &partial);
+    out.server_ops += kernels::Dot(a, b, width, &partial);
     writer.WriteF64(partial);
   }
   out.response = writer.Release();
@@ -527,17 +650,14 @@ Result<PsServer::HandleResult> PsServer::HandleAxpyBatch(BufferReader* in) {
     PS2_ASSIGN_OR_RETURN(uint64_t ms, in->ReadVarint());
     PS2_ASSIGN_OR_RETURN(uint64_t rs, in->ReadVarint());
     PS2_ASSIGN_OR_RETURN(double alpha, in->ReadF64());
-    uint64_t wd = 0, bd = 0, ws = 0, bs = 0;
+    uint64_t wd = 0, bd = 0;
     PS2_ASSIGN_OR_RETURN(double* dst, DenseRow(static_cast<int>(md),
                                                static_cast<uint32_t>(rd), &wd,
                                                &bd));
-    PS2_ASSIGN_OR_RETURN(double* src, DenseRow(static_cast<int>(ms),
-                                               static_cast<uint32_t>(rs), &ws,
-                                               &bs));
-    if (wd != ws || bd != bs) {
-      return Status::FailedPrecondition(
-          "axpy-batch operands are not co-located on this server");
-    }
+    // The source may be a replica; the destination must be primary.
+    PS2_ASSIGN_OR_RETURN(
+        const double* src,
+        ReadRowView(static_cast<int>(ms), static_cast<uint32_t>(rs), bd, wd));
     out.server_ops += kernels::Axpy(dst, src, alpha, wd);
   }
   return out;
@@ -584,6 +704,7 @@ Result<PsServer::HandleResult> PsServer::HandlePullRowsBatch(
   for (uint64_t i = 0; i < count; ++i) {
     PS2_ASSIGN_OR_RETURN(uint64_t m, in->ReadVarint());
     PS2_ASSIGN_OR_RETURN(uint64_t r, in->ReadVarint());
+    RecordPull(static_cast<int>(m), static_cast<uint32_t>(r));
     uint64_t w = 0, b = 0;
     PS2_ASSIGN_OR_RETURN(double* p, DenseRow(static_cast<int>(m),
                                              static_cast<uint32_t>(r), &w,
@@ -604,6 +725,7 @@ Result<PsServer::HandleResult> PsServer::HandlePushRowsBatch(
     PS2_ASSIGN_OR_RETURN(uint64_t m, in->ReadVarint());
     PS2_ASSIGN_OR_RETURN(uint64_t r, in->ReadVarint());
     PS2_ASSIGN_OR_RETURN(uint64_t n, in->ReadVarint());
+    RecordPush(static_cast<int>(m), static_cast<uint32_t>(r));
     uint64_t w = 0, b = 0;
     PS2_ASSIGN_OR_RETURN(double* p, DenseRow(static_cast<int>(m),
                                              static_cast<uint32_t>(r), &w,
@@ -642,6 +764,7 @@ Result<PsServer::HandleResult> PsServer::HandlePullSparseRowsBatch(
   for (uint64_t r = 0; r < n_rows; ++r) {
     PS2_ASSIGN_OR_RETURN(uint64_t m, in->ReadVarint());
     PS2_ASSIGN_OR_RETURN(uint64_t row, in->ReadVarint());
+    RecordPull(static_cast<int>(m), static_cast<uint32_t>(row));
     uint64_t w = 0, b = 0;
     PS2_ASSIGN_OR_RETURN(double* p, DenseRow(static_cast<int>(m),
                                              static_cast<uint32_t>(row), &w,
@@ -677,6 +800,7 @@ Result<PsServer::HandleResult> PsServer::HandlePushSparseRowsBatch(
     if (nnz > in->remaining()) {
       return Status::OutOfRange("delta count exceeds request buffer");
     }
+    RecordPush(static_cast<int>(m), static_cast<uint32_t>(row));
     uint64_t w = 0, b = 0;
     PS2_ASSIGN_OR_RETURN(double* p, DenseRow(static_cast<int>(m),
                                              static_cast<uint32_t>(row), &w,
@@ -707,6 +831,137 @@ Result<PsServer::HandleResult> PsServer::HandlePushSparseRowsBatch(
   return out;
 }
 
+Result<PsServer::HandleResult> PsServer::HandleHotSetUpdate(BufferReader* in) {
+  PS2_ASSIGN_OR_RETURN(uint64_t count, in->ReadVarint());
+  if (count > in->remaining()) {
+    return Status::OutOfRange("row count exceeds request buffer");
+  }
+  // Replace the replica set: survivors keep their values and version, rows
+  // leaving the hot set are dropped, newcomers start zero-filled at version
+  // 0 so pulls fall through to the primary until the first install.
+  std::map<std::pair<int, uint32_t>, Replica> next;
+  for (uint64_t i = 0; i < count; ++i) {
+    PS2_ASSIGN_OR_RETURN(uint64_t m, in->ReadVarint());
+    PS2_ASSIGN_OR_RETURN(uint64_t r, in->ReadVarint());
+    PS2_ASSIGN_OR_RETURN(uint64_t dim, in->ReadVarint());
+    const std::pair<int, uint32_t> key{static_cast<int>(m),
+                                       static_cast<uint32_t>(r)};
+    auto it = replicas_.find(key);
+    if (it != replicas_.end() && it->second.dim == dim) {
+      next.emplace(key, std::move(it->second));
+    } else {
+      Replica replica;
+      replica.dim = dim;
+      replica.values.assign(dim, 0.0);
+      next.emplace(key, std::move(replica));
+    }
+  }
+  replicas_ = std::move(next);
+  return HandleResult{};
+}
+
+Result<PsServer::HandleResult> PsServer::HandleReplicaSync(BufferReader* in) {
+  PS2_ASSIGN_OR_RETURN(uint8_t phase, in->ReadU8());
+  HandleResult out;
+  BufferWriter writer;
+  if (phase == 0) {
+    // Collect: drain pending deltas and report this server's primary slice
+    // of each listed row, so the master can rebuild the authoritative value.
+    PS2_ASSIGN_OR_RETURN(uint64_t n, in->ReadVarint());
+    if (n > in->remaining()) {
+      return Status::OutOfRange("row count exceeds request buffer");
+    }
+    for (uint64_t i = 0; i < n; ++i) {
+      PS2_ASSIGN_OR_RETURN(uint64_t m, in->ReadVarint());
+      PS2_ASSIGN_OR_RETURN(uint64_t r, in->ReadVarint());
+      auto it = replicas_.find({static_cast<int>(m), static_cast<uint32_t>(r)});
+      if (it == replicas_.end()) {
+        return Status::FailedPrecondition(
+            "replica sync for a row without a replica");
+      }
+      Replica& replica = it->second;
+      writer.WriteVarint(replica.pending.size());
+      uint64_t prev = 0;
+      for (const auto& [col, v] : replica.pending) {
+        writer.WriteVarint(col - prev);
+        prev = col;
+      }
+      for (const auto& [col, v] : replica.pending) writer.WriteF64(v);
+      out.server_ops += replica.pending.size();
+      replica.pending.clear();
+      auto sit = shards_.find(static_cast<int>(m));
+      const bool has_slice = sit != shards_.end() && sit->second.dense() &&
+                             r < sit->second.meta.num_rows &&
+                             sit->second.width() > 0;
+      writer.WriteU8(has_slice ? 1 : 0);
+      if (has_slice) {
+        const Shard& shard = sit->second;
+        writer.WriteVarint(shard.begin);
+        writer.WriteVarint(shard.width());
+        writer.WriteF64Span(shard.dense_rows[r].data(), shard.width());
+        out.server_ops += shard.width();
+      }
+    }
+  } else if (phase == 1) {
+    // Install: overwrite replica values with the reconciled rows and stamp
+    // them with the new epoch, making them servable.
+    PS2_ASSIGN_OR_RETURN(uint64_t epoch, in->ReadVarint());
+    PS2_ASSIGN_OR_RETURN(uint64_t n, in->ReadVarint());
+    for (uint64_t i = 0; i < n; ++i) {
+      PS2_ASSIGN_OR_RETURN(uint64_t m, in->ReadVarint());
+      PS2_ASSIGN_OR_RETURN(uint64_t r, in->ReadVarint());
+      PS2_ASSIGN_OR_RETURN(uint64_t dim, in->ReadVarint());
+      PS2_ASSIGN_OR_RETURN(std::vector<double> values, in->ReadF64Span(dim));
+      auto it = replicas_.find({static_cast<int>(m), static_cast<uint32_t>(r)});
+      if (it == replicas_.end() || it->second.dim != dim) {
+        return Status::FailedPrecondition(
+            "replica install for a row without a matching replica");
+      }
+      it->second.values = std::move(values);
+      it->second.version = epoch;
+      out.server_ops += dim;
+    }
+  } else {
+    return Status::InvalidArgument("unknown replica sync phase");
+  }
+  out.response = writer.Release();
+  return out;
+}
+
+Result<PsServer::HandleResult> PsServer::HandleHotPush(BufferReader* in) {
+  PS2_ASSIGN_OR_RETURN(uint64_t m, in->ReadVarint());
+  PS2_ASSIGN_OR_RETURN(uint64_t r, in->ReadVarint());
+  PS2_ASSIGN_OR_RETURN(uint64_t nnz, in->ReadVarint());
+  if (nnz > in->remaining()) {
+    return Status::OutOfRange("delta count exceeds request buffer");
+  }
+  RecordPush(static_cast<int>(m), static_cast<uint32_t>(r));
+  // Accumulate into pending even for a version-0 (not-yet-installed)
+  // replica: the next sync folds the deltas into the primary either way.
+  auto it = replicas_.find({static_cast<int>(m), static_cast<uint32_t>(r)});
+  if (it == replicas_.end()) {
+    return Status::FailedPrecondition("hot push to a row without a replica");
+  }
+  Replica& replica = it->second;
+  std::vector<uint64_t> cols(nnz);
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < nnz; ++i) {
+    PS2_ASSIGN_OR_RETURN(uint64_t delta, in->ReadVarint());
+    prev += delta;
+    if (prev >= replica.dim) {
+      return Status::OutOfRange("push index outside replica");
+    }
+    cols[i] = prev;
+  }
+  for (uint64_t i = 0; i < nnz; ++i) {
+    PS2_ASSIGN_OR_RETURN(double v, in->ReadF64());
+    if (v != 0.0) replica.pending[cols[i]] += v;
+  }
+  HandleResult out;
+  out.server_ops = nnz;
+  return out;
+}
+
 std::vector<uint8_t> PsServer::SerializeState() const {
   std::lock_guard<std::mutex> lock(mu_);
   BufferWriter writer;
@@ -728,6 +983,22 @@ std::vector<uint8_t> PsServer::SerializeState() const {
           writer.WriteF64(v);
         }
       }
+    }
+  }
+  // Replica section (appended so pre-§5d checkpoints stay readable).
+  writer.WriteVarint(replicas_.size());
+  for (const auto& [key, replica] : replicas_) {
+    writer.WriteVarint(static_cast<uint64_t>(key.first));
+    writer.WriteVarint(key.second);
+    writer.WriteVarint(replica.dim);
+    writer.WriteVarint(replica.version);
+    writer.WritePodVector(replica.values);
+    writer.WriteVarint(replica.pending.size());
+    uint64_t prev = 0;
+    for (const auto& [col, v] : replica.pending) {
+      writer.WriteVarint(col - prev);
+      prev = col;
+      writer.WriteF64(v);
     }
   }
   return writer.Release();
@@ -775,6 +1046,31 @@ Status PsServer::RestoreState(const std::vector<uint8_t>& buffer) {
       }
     }
   }
+  replicas_.clear();
+  if (in.AtEnd()) return Status::OK();  // checkpoint predates §5d replicas
+  PS2_ASSIGN_OR_RETURN(uint64_t n_replicas, in.ReadVarint());
+  for (uint64_t i = 0; i < n_replicas; ++i) {
+    PS2_ASSIGN_OR_RETURN(uint64_t m, in.ReadVarint());
+    PS2_ASSIGN_OR_RETURN(uint64_t row, in.ReadVarint());
+    Replica replica;
+    PS2_ASSIGN_OR_RETURN(replica.dim, in.ReadVarint());
+    PS2_ASSIGN_OR_RETURN(replica.version, in.ReadVarint());
+    PS2_ASSIGN_OR_RETURN(replica.values, in.ReadPodVector<double>());
+    if (replica.values.size() != replica.dim) {
+      return Status::Internal("checkpoint replica width mismatch");
+    }
+    PS2_ASSIGN_OR_RETURN(uint64_t nnz, in.ReadVarint());
+    uint64_t prev = 0;
+    for (uint64_t j = 0; j < nnz; ++j) {
+      PS2_ASSIGN_OR_RETURN(uint64_t delta, in.ReadVarint());
+      prev += delta;
+      PS2_ASSIGN_OR_RETURN(double v, in.ReadF64());
+      replica.pending[prev] = v;
+    }
+    replicas_.emplace(
+        std::make_pair(static_cast<int>(m), static_cast<uint32_t>(row)),
+        std::move(replica));
+  }
   return Status::OK();
 }
 
@@ -788,6 +1084,11 @@ void PsServer::DropAllState() {
     } else {
       for (auto& row : shard.sparse_rows) row.clear();
     }
+  }
+  replicas_.clear();
+  // The frequency sketches are soft state: a crashed server restarts cold.
+  if (stats_capacity_ > 0) {
+    stats_ = std::make_unique<AccessStats>(stats_capacity_);
   }
 }
 

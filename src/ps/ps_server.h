@@ -20,6 +20,7 @@
 #include "common/result.h"
 #include "common/serde.h"
 #include "common/status.h"
+#include "hotspot/access_stats.h"
 #include "ps/ps_types.h"
 
 namespace ps2 {
@@ -60,6 +61,27 @@ class PsServer {
   Status FreeMatrixShard(int matrix_id);
   bool HasMatrix(int matrix_id) const;
 
+  // ---- Hot-parameter management (hotspot/, DESIGN.md §5d) ----
+
+  /// Turns on per-(matrix, row) pull/push frequency sketches of `capacity`
+  /// monitored keys (0 disables). Control plane, like CreateMatrixShard.
+  void EnableAccessStats(size_t capacity);
+
+  /// Most-pulled rows by estimated count (empty unless stats are enabled).
+  /// The master aggregates these across servers into the ranked hot set.
+  std::vector<SpaceSavingSketch::Entry> TopPulledRows(size_t k) const;
+
+  /// True if this server holds a replica of `ref` (tests, co-location).
+  bool HasReplica(RowRef ref) const;
+
+  /// Snapshot of one replica (tests / recovery verification).
+  struct ReplicaSnapshot {
+    std::vector<double> values;
+    std::map<uint64_t, double> pending;
+    uint64_t version = 0;
+  };
+  Result<ReplicaSnapshot> DebugReplica(RowRef ref) const;
+
   struct HandleResult {
     std::vector<uint8_t> response;
     uint64_t server_ops = 0;
@@ -93,9 +115,32 @@ class PsServer {
     bool dense() const { return meta.storage == MatrixStorage::kDense; }
   };
 
+  /// A replica of a hot row: the full row's values (all columns, not just
+  /// this server's range) plus locally aggregated pending push deltas.
+  /// version == 0 means "designated but never installed" — pulls fall
+  /// through to the primary shard until the first ReplicaSync install.
+  struct Replica {
+    uint64_t dim = 0;
+    uint64_t version = 0;
+    std::vector<double> values;
+    std::map<uint64_t, double> pending;
+  };
+
   Result<Shard*> FindShard(int matrix_id, uint32_t row);
   Result<double*> DenseRow(int matrix_id, uint32_t row, uint64_t* width,
                            uint64_t* begin);
+
+  /// Installed replica of (matrix, row), or nullptr.
+  Replica* FindReplica(int matrix_id, uint32_t row);
+
+  /// Read-only view of a row slice [begin, begin+width): the primary shard
+  /// when this server owns exactly that slice, else an installed replica
+  /// (replicated rows read as if co-located everywhere).
+  Result<const double*> ReadRowView(int matrix_id, uint32_t row,
+                                    uint64_t begin, uint64_t width);
+
+  void RecordPull(int matrix_id, uint32_t row);
+  void RecordPush(int matrix_id, uint32_t row);
 
   Result<HandleResult> HandlePullDense(BufferReader* in);
   Result<HandleResult> HandlePullSparse(BufferReader* in);
@@ -113,11 +158,17 @@ class PsServer {
   Result<HandleResult> HandlePushRowsBatch(BufferReader* in);
   Result<HandleResult> HandlePullSparseRowsBatch(BufferReader* in);
   Result<HandleResult> HandlePushSparseRowsBatch(BufferReader* in);
+  Result<HandleResult> HandleHotSetUpdate(BufferReader* in);
+  Result<HandleResult> HandleReplicaSync(BufferReader* in);
+  Result<HandleResult> HandleHotPush(BufferReader* in);
 
   int id_;
   const UdfRegistry* udfs_;
   mutable std::mutex mu_;
   std::map<int, Shard> shards_;
+  std::map<std::pair<int, uint32_t>, Replica> replicas_;
+  size_t stats_capacity_ = 0;  ///< 0 = access statistics off
+  std::unique_ptr<AccessStats> stats_;
 };
 
 }  // namespace ps2

@@ -95,6 +95,10 @@ enum class PsOpCode : uint8_t {
   kPushRowsBatch = 13,       ///< many dense row (delta) pushes in one round
   kPullSparseRowsBatch = 14, ///< many rows at shared indices, one round
   kPushSparseRowsBatch = 15, ///< many per-row sparse deltas, one round
+  // Hot-parameter management (DESIGN.md §5d).
+  kHotSetUpdate = 16,  ///< master installs the replicated hot-row set
+  kReplicaSync = 17,   ///< collect pending deltas / install fresh values
+  kHotPush = 18,       ///< sparse delta accumulated into a local replica
 };
 
 }  // namespace ps2

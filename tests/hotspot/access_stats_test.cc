@@ -1,0 +1,96 @@
+#include "hotspot/access_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ps2 {
+namespace {
+
+TEST(SpaceSavingSketchTest, ExactBelowCapacity) {
+  SpaceSavingSketch sketch(8);
+  for (uint32_t r = 0; r < 4; ++r) {
+    for (uint32_t i = 0; i <= r; ++i) sketch.Record(RowRef{1, r});
+  }
+  EXPECT_EQ(sketch.total(), 10u);
+  EXPECT_EQ(sketch.size(), 4u);
+  std::vector<SpaceSavingSketch::Entry> top = sketch.TopK(10);
+  ASSERT_EQ(top.size(), 4u);
+  // Exact counts and zero error while under capacity.
+  EXPECT_EQ(top[0].ref.row, 3u);
+  EXPECT_EQ(top[0].count, 4u);
+  EXPECT_EQ(top[0].error, 0u);
+  EXPECT_EQ(top[3].count, 1u);
+}
+
+TEST(SpaceSavingSketchTest, TopKSortedAndTruncated) {
+  SpaceSavingSketch sketch(16);
+  sketch.Record(RowRef{0, 1}, 5);
+  sketch.Record(RowRef{0, 2}, 9);
+  sketch.Record(RowRef{0, 3}, 1);
+  std::vector<SpaceSavingSketch::Entry> top = sketch.TopK(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].ref.row, 2u);
+  EXPECT_EQ(top[1].ref.row, 1u);
+}
+
+TEST(SpaceSavingSketchTest, HeavyHitterSurvivesEvictions) {
+  // capacity 4, one heavy key + a stream of one-off keys. The space-saving
+  // guarantee: any key with true frequency > total/capacity is retained.
+  SpaceSavingSketch sketch(4);
+  const RowRef heavy{7, 42};
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    sketch.Record(heavy);
+    sketch.Record(RowRef{1, static_cast<uint32_t>(rng.NextUint64(100000))});
+  }
+  std::vector<SpaceSavingSketch::Entry> top = sketch.TopK(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].ref, heavy);
+  // Estimate is an overestimate bounded by the recorded error.
+  EXPECT_GE(top[0].count, 1000u);
+  EXPECT_LE(top[0].count - top[0].error, 1000u);
+}
+
+TEST(SpaceSavingSketchTest, ErrorBoundedByTotalOverCapacity) {
+  SpaceSavingSketch sketch(10);
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    sketch.Record(RowRef{2, static_cast<uint32_t>(rng.NextUint64(500))});
+  }
+  for (const SpaceSavingSketch::Entry& e : sketch.TopK(10)) {
+    EXPECT_LE(e.error, sketch.total() / sketch.capacity());
+    EXPECT_GE(e.count, e.error);  // estimate includes the inherited error
+  }
+}
+
+TEST(SpaceSavingSketchTest, ClearResets) {
+  SpaceSavingSketch sketch(4);
+  sketch.Record(RowRef{1, 1}, 10);
+  sketch.Clear();
+  EXPECT_EQ(sketch.total(), 0u);
+  EXPECT_EQ(sketch.size(), 0u);
+  EXPECT_TRUE(sketch.TopK(4).empty());
+}
+
+TEST(SpaceSavingSketchTest, ZeroCapacityClampsToOne) {
+  SpaceSavingSketch sketch(0);
+  EXPECT_EQ(sketch.capacity(), 1u);
+  sketch.Record(RowRef{1, 1});
+  sketch.Record(RowRef{1, 2});
+  EXPECT_EQ(sketch.size(), 1u);
+  EXPECT_EQ(sketch.total(), 2u);
+}
+
+TEST(AccessStatsTest, PullsAndPushesAreIndependent) {
+  AccessStats stats(8);
+  stats.pulls.Record(RowRef{1, 0}, 3);
+  stats.pushes.Record(RowRef{1, 1}, 5);
+  EXPECT_EQ(stats.pulls.total(), 3u);
+  EXPECT_EQ(stats.pushes.total(), 5u);
+  EXPECT_EQ(stats.pulls.TopK(1)[0].ref.row, 0u);
+  EXPECT_EQ(stats.pushes.TopK(1)[0].ref.row, 1u);
+}
+
+}  // namespace
+}  // namespace ps2

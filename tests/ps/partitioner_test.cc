@@ -93,6 +93,53 @@ TEST(PartitionerTest, CoLocationRequiresSameShape) {
   EXPECT_FALSE(a.CoLocatedWith(c));
 }
 
+TEST(PartitionerTest, DimSmallerThanServersLeavesTrailingPartitionsEmpty) {
+  // 3 columns over 8 servers: the first 3 partitions get one column each,
+  // the trailing 5 are empty — but every partition must still report a
+  // well-formed (possibly zero-width) range.
+  ColumnPartitioner p = *ColumnPartitioner::Make(3, 8);
+  uint64_t covered = 0;
+  int nonempty = 0;
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(p.RangeBegin(i), covered);
+    EXPECT_LE(p.RangeBegin(i), p.RangeEnd(i));
+    if (p.RangeWidth(i) > 0) ++nonempty;
+    covered = p.RangeEnd(i);
+  }
+  EXPECT_EQ(covered, 3u);
+  EXPECT_EQ(nonempty, 3);
+  // Column resolution never lands in an empty partition.
+  for (uint64_t col = 0; col < 3; ++col) {
+    EXPECT_GT(p.RangeWidth(p.PartitionOfColumn(col)), 0u);
+  }
+}
+
+TEST(PartitionerTest, SingleColumnMatrix) {
+  ColumnPartitioner p = *ColumnPartitioner::Make(1, 6);
+  EXPECT_EQ(p.PartitionOfColumn(0), 0);
+  EXPECT_EQ(p.RangeWidth(0), 1u);
+  for (int i = 1; i < 6; ++i) EXPECT_EQ(p.RangeWidth(i), 0u);
+  // Rotation still moves the single column to a different server.
+  ColumnPartitioner q = *ColumnPartitioner::Make(1, 6, 1, 2);
+  EXPECT_EQ(q.ServerOfColumn(0), 2);
+  EXPECT_FALSE(p.CoLocatedWith(q));
+}
+
+TEST(PartitionerTest, EmptyRangesStableUnderAlignment) {
+  // One 16-wide unit over 4 servers: server 0 owns everything, the rest
+  // are empty, and alignment invariants hold for the empty ranges too.
+  ColumnPartitioner p = *ColumnPartitioner::Make(16, 4, 16);
+  EXPECT_EQ(p.RangeWidth(0), 16u);
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(p.RangeBegin(i), 16u);
+    EXPECT_EQ(p.RangeEnd(i), 16u);
+    EXPECT_EQ(p.RangeBegin(i) % 16, 0u);
+  }
+  for (uint64_t col = 0; col < 16; ++col) {
+    EXPECT_EQ(p.ServerOfColumn(col), 0);
+  }
+}
+
 TEST(PartitionerTest, RotationNormalized) {
   ColumnPartitioner p = *ColumnPartitioner::Make(100, 4, 1, 7);
   EXPECT_EQ(p.rotation(), 3);

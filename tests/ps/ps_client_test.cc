@@ -170,6 +170,11 @@ TEST_F(PsClientTest, ZipAggregateReturnsPerPartitionResults) {
   EXPECT_DOUBLE_EQ(total, 90.0);
 }
 
+// The next block of tests exercises the deprecated synchronous batch
+// wrappers on purpose — they must keep working until they are removed.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 TEST_F(PsClientTest, DotBatch) {
   RowRef a = NewMatrix(40, 6);
   RowRef b = *master_->AllocateRow(a.matrix_id);
@@ -249,6 +254,8 @@ TEST_F(PsClientTest, CompressionShrinksTraffic) {
   uint64_t compressed = cluster_->metrics().Get("net.bytes_server_to_worker");
   EXPECT_LT(compressed * 3, uncompressed);  // zero counts: 1 byte vs 8
 }
+
+#pragma GCC diagnostic pop
 
 TEST_F(PsClientTest, MatrixInitFillsAllRows) {
   RowRef a = NewMatrix(50, 2);

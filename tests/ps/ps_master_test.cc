@@ -57,7 +57,8 @@ TEST_F(PsMasterTest, AlignmentNeverSplitsUnits) {
   options.dim = 64;
   options.alignment = 16;  // 4 units over 4 servers
   int id = *master_->CreateMatrix(options);
-  const ColumnPartitioner& part = (*master_->GetMeta(id)).partitioner;
+  MatrixMeta meta = *master_->GetMeta(id);
+  const ColumnPartitioner& part = meta.partitioner;
   for (int p = 0; p < part.num_servers(); ++p) {
     EXPECT_EQ(part.RangeBegin(p) % 16, 0u);
   }
