@@ -1,6 +1,12 @@
-// Figure 13(c) (paper §6.5): fault tolerance under injected task failures.
-// Paper: with failure probability 0 / 0.01 / 0.1 the training takes
+// Figure 13(c) (paper §6.5): fault tolerance under injected failures.
+// Paper: with task-failure probability 0 / 0.01 / 0.1 the training takes
 // 66s / 74s / 127s and all three runs converge to the same solution.
+//
+// Extended with the message-level fault sweep (DESIGN.md §6): per-exchange
+// request/response loss with idempotent retries. The solution must match
+// the fault-free run exactly; the cost shows up as `retry_penalty` (extra
+// virtual seconds vs p=0) and in the net.retries / net.retry_backoff_time /
+// ps.dedup_hits counters, all emitted to BENCH_fig13_fault_tolerance.json.
 
 #include "bench/bench_common.h"
 #include "data/classification_gen.h"
@@ -8,21 +14,30 @@
 #include "dcv/dcv_context.h"
 #include "ml/logreg.h"
 
+namespace {
+
+struct RunResult {
+  ps2::TrainReport report;
+  ps2::SimTime time = 0;
+  uint64_t task_retries = 0;
+  uint64_t net_retries = 0;
+  uint64_t backoff_us = 0;
+  uint64_t dedup_hits = 0;
+};
+
+}  // namespace
+
 int main() {
   using namespace ps2;
-  bench::Header("Figure 13(c): task-failure tolerance",
-                "p = 0 / 0.01 / 0.1 -> 66s / 74s / 127s, same final loss");
+  bench::Header("Figure 13(c): fault tolerance",
+                "task p = 0 / 0.01 / 0.1 -> 66s / 74s / 127s, same final loss");
   const double scale = bench::Scale();
   ClassificationSpec ds = presets::KddbLike(scale);
+  bench::JsonReporter json("fig13_fault_tolerance");
 
-  std::printf("%-14s %-14s %-12s %-14s\n", "failure prob", "total time(s)",
-              "final loss", "task retries");
-  SimTime t_clean = 0;
-  for (double p : {0.0, 0.01, 0.1}) {
-    ClusterSpec spec;
+  auto train = [&](ClusterSpec spec, const std::string& run_name) {
     spec.num_workers = 20;
     spec.num_servers = 20;
-    spec.task_failure_prob = p;
     Cluster cluster(spec);
     Dataset<Example> data = MakeClassificationDataset(&cluster, ds).Cache();
     data.Count();
@@ -33,14 +48,60 @@ int main() {
     options.optimizer.learning_rate = 0.05;
     options.batch_fraction = 0.01;
     options.iterations = 60;
-    TrainReport report = *TrainGlmPs2(&ctx, data, options);
-    if (p == 0.0) t_clean = report.total_time;
-    std::printf("%-14.2f %-14.3f %-12.4f %-14llu\n", p, report.total_time,
-                report.final_loss,
-                static_cast<unsigned long long>(
-                    cluster.metrics().Get("cluster.task_retries")));
+    RunResult out;
+    out.report = *TrainGlmPs2(&ctx, data, options);
+    out.time = out.report.total_time;
+    out.task_retries = cluster.metrics().Get("cluster.task_retries");
+    out.net_retries = cluster.metrics().Get("net.retries");
+    out.backoff_us = cluster.metrics().Get("net.retry_backoff_time");
+    out.dedup_hits = cluster.metrics().Get("ps.dedup_hits");
+    json.AddRun(run_name, cluster, out.time);
+    json.AddField("final_loss", out.report.final_loss);
+    json.AddField("task_retries", static_cast<double>(out.task_retries));
+    json.AddField("net_retries", static_cast<double>(out.net_retries));
+    json.AddField("net_retry_backoff_us", static_cast<double>(out.backoff_us));
+    json.AddField("ps_dedup_hits", static_cast<double>(out.dedup_hits));
+    return out;
+  };
+
+  std::printf("-- task failures (paper's sweep)\n");
+  std::printf("%-14s %-14s %-12s %-14s\n", "failure prob", "total time(s)",
+              "final loss", "task retries");
+  SimTime t_clean = 0;
+  for (double p : {0.0, 0.01, 0.1}) {
+    ClusterSpec spec;
+    spec.task_failure_prob = p;
+    RunResult r = train(spec, "task_p" + std::to_string(p));
+    if (p == 0.0) t_clean = r.time;
+    std::printf("%-14.2f %-14.3f %-12.4f %-14llu\n", p, r.time,
+                r.report.final_loss,
+                static_cast<unsigned long long>(r.task_retries));
   }
-  std::printf("\n(time ratios vs p=0 correspond to the paper's 66/74/127s "
-              "shape; clean run took %.3f virtual s here)\n", t_clean);
+  std::printf("(time ratios vs p=0 correspond to the paper's 66/74/127s "
+              "shape; clean run took %.3f virtual s here)\n\n", t_clean);
+
+  std::printf("-- message-level faults (lost requests/responses, retried "
+              "with dedup)\n");
+  std::printf("%-14s %-14s %-12s %-10s %-14s %-12s\n", "msg-fault prob",
+              "total time(s)", "final loss", "retries", "backoff(us)",
+              "dedup hits");
+  SimTime msg_clean = 0;
+  for (double p : {0.0, 0.01, 0.05}) {
+    ClusterSpec spec;
+    spec.message_failure_prob = p;
+    RunResult r = train(spec, "msg_p" + std::to_string(p));
+    if (p == 0.0) msg_clean = r.time;
+    const double penalty = r.time - msg_clean;
+    json.AddField("retry_penalty_s", penalty);
+    std::printf("%-14.2f %-14.3f %-12.4f %-10llu %-14llu %-12llu\n", p,
+                r.time, r.report.final_loss,
+                static_cast<unsigned long long>(r.net_retries),
+                static_cast<unsigned long long>(r.backoff_us),
+                static_cast<unsigned long long>(r.dedup_hits));
+    std::printf("  retry_penalty vs p=0: %.3f virtual s\n", penalty);
+  }
+  std::printf("(retries re-send identical idempotent payloads: the final "
+              "loss column must be identical across the sweep)\n");
+  json.Write();
   return 0;
 }

@@ -9,7 +9,8 @@ namespace ps2 {
 Cluster::Cluster(const ClusterSpec& spec)
     : spec_(spec),
       cost_(spec),
-      failures_(spec.task_failure_prob, spec.seed),
+      failures_(spec.task_failure_prob, spec.message_failure_prob,
+                spec.server_crash_prob, spec.seed),
       pool_(ThreadPool::Global()),
       root_rng_(spec.seed) {
   PS2_CHECK(spec.Valid()) << "invalid ClusterSpec";
@@ -53,10 +54,15 @@ void Cluster::RunStage(const std::string& name, size_t ntasks,
     retries += retry_fractions[i].size();
   }
   uint64_t local_hits = 0, local_bytes = 0, rounds = 0;
+  uint64_t msg_retries = 0, dedup_hits = 0;
+  double backoff = 0.0;
   for (size_t i = 0; i < ntasks; ++i) {
     local_hits += per_task[i].local_pull_hits;
     local_bytes += per_task[i].local_pull_bytes;
     rounds += per_task[i].rounds;
+    msg_retries += per_task[i].retries;
+    backoff += per_task[i].retry_backoff_time;
+    dedup_hits += per_task[i].dedup_hits;
   }
   metrics_.Add("cluster.stages", 1);
   metrics_.Add("cluster.tasks", ntasks);
@@ -67,6 +73,11 @@ void Cluster::RunStage(const std::string& name, size_t ntasks,
   metrics_.Add("net.rounds", rounds);
   metrics_.Add("net.local_pull_hits", local_hits);
   metrics_.Add("net.local_pull_bytes", local_bytes);
+  metrics_.Add("net.retries", msg_retries);
+  // Counters are integral; store backoff as microseconds.
+  metrics_.Add("net.retry_backoff_time",
+               static_cast<uint64_t>(backoff * 1e6));
+  metrics_.Add("ps.dedup_hits", dedup_hits);
   (void)name;
 }
 
@@ -92,7 +103,8 @@ void Cluster::ChargeOutOfTask(const TaskTraffic& traffic) {
     worst_server = std::max(worst_server, t);
   }
   SimTime elapsed = cost_.RoundLatency(traffic.rounds) + worst_server +
-                    cost_.WorkerCompute(traffic.worker_ops);
+                    cost_.WorkerCompute(traffic.worker_ops) +
+                    traffic.retry_backoff_time;
   AdvanceClock(elapsed);
   metrics_.Add("net.bytes_worker_to_server", traffic.TotalBytesToServers());
   metrics_.Add("net.bytes_server_to_worker", traffic.TotalBytesFromServers());
@@ -100,6 +112,10 @@ void Cluster::ChargeOutOfTask(const TaskTraffic& traffic) {
   metrics_.Add("net.rounds", traffic.rounds);
   metrics_.Add("net.local_pull_hits", traffic.local_pull_hits);
   metrics_.Add("net.local_pull_bytes", traffic.local_pull_bytes);
+  metrics_.Add("net.retries", traffic.retries);
+  metrics_.Add("net.retry_backoff_time",
+               static_cast<uint64_t>(traffic.retry_backoff_time * 1e6));
+  metrics_.Add("ps.dedup_hits", traffic.dedup_hits);
 }
 
 void Cluster::KillExecutor(int executor_id) {

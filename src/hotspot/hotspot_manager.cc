@@ -131,6 +131,36 @@ uint64_t HotspotManager::epoch() const {
   return epoch_;
 }
 
+Status HotspotManager::OnServerRecovered(int server_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (hot_.empty()) return Status::OK();
+  // A restored checkpoint may resurrect replica pendings that a sync after
+  // the checkpoint already reconciled into the primaries; their replica
+  // version predates the current epoch, which is how we tell them from
+  // pendings the crash genuinely left un-reconciled.
+  master_->server(server_id)->DropStaleReplicaPendings(epoch_);
+  // Recreate the replica slots on the recovered server only — its shard
+  // metadata survived at the master, but the replica set was dropped with
+  // the state (a restored checkpoint holds the slots of *that* era, which
+  // may not match the current hot set).
+  BufferWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(PsOpCode::kHotSetUpdate));
+  writer.WriteVarint(hot_.size());
+  for (const auto& [ref, dim] : hot_) {
+    writer.WriteVarint(static_cast<uint64_t>(ref.matrix_id));
+    writer.WriteVarint(ref.row);
+    writer.WriteVarint(dim);
+  }
+  TaskTraffic t;
+  t.rounds += 1;
+  std::vector<uint8_t> response;
+  PS2_RETURN_NOT_OK(Exchange(&t, server_id, writer.Release(), &response));
+  ChargeLocked(t);
+  // Full sync re-installs fresh values under a new epoch, which is what
+  // invalidates client caches warmed before the crash.
+  return SyncReplicasLocked();
+}
+
 void HotspotManager::RegisterCache(HotRowCache* cache) {
   std::lock_guard<std::mutex> lock(mu_);
   caches_.push_back(cache);

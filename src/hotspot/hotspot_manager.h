@@ -96,6 +96,15 @@ class HotspotManager {
   std::vector<RowRef> HotSet() const;
   uint64_t epoch() const;
 
+  /// Called by PsMaster after a server crash + restore. The restarted
+  /// process holds at best checkpoint-old replicas (pendings accumulated
+  /// since are gone, and the hot set may have moved on), so without this
+  /// hook client HotRowCaches keep serving rows that will never be
+  /// re-installed — stale far past staleness_epochs. Recreates the replica
+  /// slots on the recovered server, then forces a full sync: epoch bump +
+  /// fresh install everywhere + cache warm. No-op while no rows are hot.
+  Status OnServerRecovered(int server_id);
+
   /// PsClients register their caches; the manager keeps hot sets and warm
   /// values in sync for every registered cache.
   void RegisterCache(HotRowCache* cache);

@@ -35,7 +35,11 @@ struct Message {
   std::vector<uint8_t> payload;
 
   /// Bytes on the wire: payload plus a fixed framing header (matches a
-  /// typical Netty frame: length, ids, kind, correlation id).
+  /// typical Netty frame: length, ids, kind, correlation id). The retry
+  /// protocol's identity fields — client id, per-client sequence number and
+  /// attempt (ps/ps_types.h RpcHeader) — ride the correlation-id slot of
+  /// this fixed header, so stamping every request does not change the byte
+  /// accounting anywhere.
   static constexpr uint64_t kHeaderBytes = 24;
   uint64_t WireBytes() const { return kHeaderBytes + payload.size(); }
 };

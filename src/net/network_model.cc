@@ -59,6 +59,9 @@ void TaskTraffic::MergeFrom(const TaskTraffic& other) {
   io_bytes += other.io_bytes;
   local_pull_hits += other.local_pull_hits;
   local_pull_bytes += other.local_pull_bytes;
+  retries += other.retries;
+  retry_backoff_time += other.retry_backoff_time;
+  dedup_hits += other.dedup_hits;
   EnsureServers(other.bytes_to_server.size());
   for (size_t s = 0; s < other.bytes_to_server.size(); ++s) {
     bytes_to_server[s] += other.bytes_to_server[s];
@@ -76,6 +79,9 @@ void TaskTraffic::Clear() {
   io_bytes = 0;
   local_pull_hits = 0;
   local_pull_bytes = 0;
+  retries = 0;
+  retry_backoff_time = 0.0;
+  dedup_hits = 0;
   bytes_to_server.clear();
   bytes_from_server.clear();
   msgs_to_server.clear();
@@ -102,6 +108,9 @@ SimTime TaskWorkerTime(const CostModel& cost, const TaskTraffic& t) {
                               t.TotalBytesFromServers()) /
           spec.net_bandwidth_bps;
   time += static_cast<double>(t.io_bytes) / spec.io_bandwidth_bps;
+  // Retry backoff is a worker-side stall: the task sits out the exponential
+  // wait before re-contacting an unavailable server.
+  time += t.retry_backoff_time;
   return time;
 }
 

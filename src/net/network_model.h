@@ -45,6 +45,16 @@ struct TaskTraffic {
   /// counted here so benches can report how much traffic the cache absorbed.
   uint64_t local_pull_hits = 0;
   uint64_t local_pull_bytes = 0;  ///< bytes those hits would have pulled
+  /// Message-level retries (DESIGN.md §6): failed exchange attempts that the
+  /// client retried, and the total exponential backoff they waited. The
+  /// backoff is charged as worker-side stall in TaskWorkerTime; failed
+  /// attempts charge no bytes (the simplification: a lost message's partial
+  /// transfer is folded into the backoff term).
+  uint64_t retries = 0;
+  double retry_backoff_time = 0.0;  ///< virtual seconds of backoff stall
+  /// Retried mutations the server recognized as already applied (by the
+  /// per-client sequence number) and acked without re-applying.
+  uint64_t dedup_hits = 0;
 
   // Per-server breakdown (indexed by server id; lazily sized).
   std::vector<uint64_t> bytes_to_server;

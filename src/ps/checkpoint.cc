@@ -16,6 +16,14 @@ std::vector<uint8_t> CheckpointStore::Get(int server_id) const {
   return it == images_.end() ? std::vector<uint8_t>{} : it->second;
 }
 
+std::optional<std::vector<uint8_t>> CheckpointStore::TryGet(
+    int server_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = images_.find(server_id);
+  if (it == images_.end()) return std::nullopt;
+  return it->second;
+}
+
 bool CheckpointStore::Has(int server_id) const {
   std::lock_guard<std::mutex> lock(mu_);
   return images_.count(server_id) > 0;

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "sim/sim_clock.h"
@@ -24,6 +25,10 @@ class CheckpointStore {
 
   /// Latest image for a server, or empty if never checkpointed.
   std::vector<uint8_t> Get(int server_id) const;
+
+  /// Latest image for a server, or nullopt if never checkpointed. Single
+  /// lock acquisition — the check-then-fetch used on the recovery path.
+  std::optional<std::vector<uint8_t>> TryGet(int server_id) const;
 
   bool Has(int server_id) const;
   uint64_t TotalBytes() const;

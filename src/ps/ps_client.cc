@@ -134,6 +134,12 @@ PsClient::PsClient(PsMaster* master, PsClientOptions options)
       core_(std::make_shared<AsyncCore>()) {
   PS2_CHECK(master != nullptr);
   if (options_.window_depth < 1) options_.window_depth = 1;
+  if (options_.max_attempts < 1) options_.max_attempts = 1;
+  client_id_ = master_->AllocateClientId();
+  const size_t n_servers =
+      static_cast<size_t>(std::max(master_->num_servers(), 1));
+  next_seq_ = std::make_unique<std::atomic<uint64_t>[]>(n_servers);
+  for (size_t s = 0; s < n_servers; ++s) next_seq_[s].store(0);
   core_->cluster = master_->cluster();
   core_->window_depth = options_.window_depth;
   if (options_.parallel_fanout) {
@@ -158,14 +164,88 @@ PsClient::AsyncStats PsClient::async_stats() const {
   return stats;
 }
 
+void PsClient::StampRequests(std::vector<ServerRequest>* requests) {
+  for (ServerRequest& req : *requests) {
+    req.header.client_id = client_id_;
+    req.header.seq =
+        next_seq_[req.server].fetch_add(1, std::memory_order_relaxed) + 1;
+    req.header.attempt = 1;
+  }
+}
+
+PsClient::ExchangeOutcome PsClient::ExecuteRequest(
+    const ServerRequest& request) {
+  ExchangeOutcome out;
+  Cluster* cluster = master_->cluster();
+  PsServer* server = master_->server(request.server);
+  RpcHeader header = request.header;
+  const int max_attempts = options_.max_attempts;
+  for (int attempt = 1;; ++attempt) {
+    header.attempt = static_cast<uint32_t>(attempt);
+    const MessageFault fault = cluster->failures().DrawMessageFault(
+        request.server, header.client_id, header.seq, header.attempt);
+    std::optional<Result<PsServer::HandleResult>> r;
+    switch (fault) {
+      case MessageFault::kServerCrash:
+        // The server process dies while this request is on the wire; it
+        // stays down (rejecting everything) until recovered.
+        server->Crash();
+        r.emplace(Status::Unavailable("injected server crash"));
+        break;
+      case MessageFault::kRequestLost:
+        r.emplace(Status::Unavailable("injected request loss"));
+        break;
+      case MessageFault::kResponseLost: {
+        // The ambiguous failure: the server handles the request — a
+        // mutation applies and its seq is recorded — but the client never
+        // sees the ack. The retry below is what the dedup table deduplicates.
+        // A retry whose ack is lost AGAIN was still suppressed server-side,
+        // so its dedup hit is counted here to keep the traffic metric in
+        // lockstep with the servers' own counters.
+        Result<PsServer::HandleResult> applied =
+            server->Handle(header, request.payload);
+        if (applied.ok() && applied->dedup_hit) out.dedup_hits += 1;
+        r.emplace(Status::Unavailable("injected response loss"));
+        break;
+      }
+      case MessageFault::kNone:
+        r.emplace(server->Handle(header, request.payload));
+        break;
+    }
+    if (r->ok() || !r->status().IsUnavailable() || attempt >= max_attempts) {
+      if (r->ok() && (*r)->dedup_hit) out.dedup_hits += 1;
+      out.result = std::move(r);
+      return out;
+    }
+    // Unavailable with attempts left: optionally recover a crashed server
+    // (charging the stall to this task), then back off and retry the SAME
+    // seq — the dedup table makes the retry idempotent.
+    if (server->crashed() && options_.recover_crashed_servers) {
+      Result<SimTime> stall = master_->RecoverCrashedServer(request.server);
+      if (!stall.ok()) {
+        out.result.emplace(stall.status());
+        return out;
+      }
+      out.backoff += *stall;
+    }
+    out.backoff += cluster->cost().RetryBackoff(header.attempt);
+    out.retries += 1;
+  }
+}
+
 Result<PsServer::HandleResult> PsClient::Exchange(
     TaskTraffic* traffic, int server, std::vector<uint8_t> request) {
-  const uint64_t request_bytes = WireBytes(request);
-  PS2_ASSIGN_OR_RETURN(PsServer::HandleResult result,
-                       master_->server(server)->Handle(request));
-  const uint64_t response_bytes =
-      result.response.size() + Message::kHeaderBytes;
-  traffic->RecordExchange(server, request_bytes, response_bytes,
+  std::vector<ServerRequest> requests(1);
+  requests[0].server = server;
+  requests[0].payload = std::move(request);
+  StampRequests(&requests);
+  ExchangeOutcome out = ExecuteRequest(requests[0]);
+  traffic->retries += out.retries;
+  traffic->retry_backoff_time += out.backoff;
+  traffic->dedup_hits += out.dedup_hits;
+  PS2_ASSIGN_OR_RETURN(PsServer::HandleResult result, std::move(*out.result));
+  traffic->RecordExchange(server, WireBytes(requests[0].payload),
+                          result.response.size() + Message::kHeaderBytes,
                           result.server_ops);
   return result;
 }
@@ -173,36 +253,40 @@ Result<PsServer::HandleResult> PsClient::Exchange(
 Result<std::vector<PsServer::HandleResult>> PsClient::ExchangeAll(
     TaskTraffic* traffic, std::vector<ServerRequest> requests) {
   const size_t n = requests.size();
-  std::vector<std::optional<Result<PsServer::HandleResult>>> slots(n);
+  StampRequests(&requests);
+  std::vector<ExchangeOutcome> slots(n);
   if (io_pool_ != nullptr && options_.parallel_fanout && n > 1) {
     std::vector<std::future<void>> pending;
     pending.reserve(n);
     for (size_t i = 0; i < n; ++i) {
-      pending.push_back(io_pool_->Submit([this, &requests, &slots, i] {
-        slots[i].emplace(
-            master_->server(requests[i].server)->Handle(requests[i].payload));
-      }));
+      pending.push_back(io_pool_->Submit(
+          [this, &requests, &slots, i] { slots[i] = ExecuteRequest(requests[i]); }));
     }
     for (auto& f : pending) f.wait();
   } else {
-    for (size_t i = 0; i < n; ++i) {
-      slots[i].emplace(
-          master_->server(requests[i].server)->Handle(requests[i].payload));
-      if (!(*slots[i]).ok()) break;
-    }
+    for (size_t i = 0; i < n; ++i) slots[i] = ExecuteRequest(requests[i]);
   }
-  // Record in request (= partition) order; the first error is reported and
-  // leaves itself and everything after it unrecorded, like the serial loop.
+  // Unified error semantics (identical under both parallel_fanout settings):
+  // every request executed; every success is recorded in request
+  // (= partition) order; the first failure in that order is reported.
+  std::optional<Status> failed;
   std::vector<PsServer::HandleResult> out;
   out.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    Result<PsServer::HandleResult>& r = *slots[i];
-    if (!r.ok()) return r.status();
+    traffic->retries += slots[i].retries;
+    traffic->retry_backoff_time += slots[i].backoff;
+    traffic->dedup_hits += slots[i].dedup_hits;
+    Result<PsServer::HandleResult>& r = *slots[i].result;
+    if (!r.ok()) {
+      if (!failed.has_value()) failed = r.status();
+      continue;
+    }
     traffic->RecordExchange(requests[i].server, WireBytes(requests[i].payload),
                             r->response.size() + Message::kHeaderBytes,
                             r->server_ops);
     out.push_back(std::move(*r));
   }
+  if (failed.has_value()) return *failed;
   return out;
 }
 
@@ -258,30 +342,36 @@ PsFuture<T> PsClient::SubmitAsync(std::vector<ServerRequest> requests,
 
   struct Fanout {
     std::vector<ServerRequest> requests;
-    std::vector<std::optional<Result<PsServer::HandleResult>>> slots;
+    std::vector<ExchangeOutcome> slots;
     std::atomic<size_t> remaining{0};
     PsClient::ParseFn<T> parse;
   };
   auto op = std::make_shared<Fanout>();
   op->requests = std::move(requests);
+  // Stamp on the issuing thread, before any pool thread runs: seq order —
+  // and the fault draws keyed on it — must follow program order.
+  StampRequests(&op->requests);
   op->slots.resize(n);
   op->remaining.store(n, std::memory_order_relaxed);
   op->parse = std::move(parse);
   for (size_t i = 0; i < n; ++i) {
     io_pool_->Submit([this, op, state, core, i] {
-      const ServerRequest& req = op->requests[i];
-      op->slots[i].emplace(master_->server(req.server)->Handle(req.payload));
+      op->slots[i] = ExecuteRequest(op->requests[i]);
       if (op->remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
-      // Last response in: record in request order (first error reported,
-      // like the serial loop), free the window slot, parse, complete.
+      // Last response in: record in request order with the unified error
+      // semantics (every success recorded, first failure reported), free
+      // the window slot, parse, complete.
       std::optional<Status> failed;
       std::vector<PsServer::HandleResult> results;
       results.reserve(op->slots.size());
       for (size_t k = 0; k < op->slots.size(); ++k) {
-        Result<PsServer::HandleResult>& r = *op->slots[k];
+        state->traffic.retries += op->slots[k].retries;
+        state->traffic.retry_backoff_time += op->slots[k].backoff;
+        state->traffic.dedup_hits += op->slots[k].dedup_hits;
+        Result<PsServer::HandleResult>& r = *op->slots[k].result;
         if (!r.ok()) {
-          failed = r.status();
-          break;
+          if (!failed.has_value()) failed = r.status();
+          continue;
         }
         state->traffic.RecordExchange(
             op->requests[k].server, WireBytes(op->requests[k].payload),

@@ -30,20 +30,33 @@
 // outstanding it is leader-classified and byte-and-round identical to the
 // old serial client.
 //
-// Error fan-out semantics: requests execute on all servers; the reported
-// Status is the first failure in partition order, and exchanges from the
-// failing request onward are left unrecorded (the serial client's
-// semantics). Side effects of requests *after* a failed one may still have
-// applied — the same partial-write window a real parallel RPC fan-out has.
+// Error fan-out semantics (identical under both parallel_fanout settings):
+// every request executes on its server, every *successful* exchange is
+// recorded in partition order, and the reported Status is the first failure
+// in partition order. There is no partial-execution mode — a stage that
+// fails on server k still ran its requests on servers > k, and the dedup
+// layer below makes re-driving the whole fan-out safe.
+//
+// Fault tolerance (DESIGN.md §6): every request carries an RpcHeader
+// (client id, per-server monotonic sequence number, attempt). Injected
+// message faults (lost request, lost response, server crash — see
+// sim/failure_injector.h) surface as Unavailable; the client retries the
+// *same* sequence number up to PsClientOptions::max_attempts times with
+// exponential backoff charged to virtual time (TaskTraffic::
+// retry_backoff_time), optionally recovering a crashed server from its
+// latest checkpoint first. Servers deduplicate retried mutations by
+// (client, seq), so a push whose response was lost is applied exactly once.
 //
 // Column ops verify co-location; on non-co-located operands they fall back
 // to the naive pull-compute-push path, whose (large, measured) traffic is
 // exactly the inefficiency paper Fig. 4 warns about. The fallback runs
 // synchronously at issue time even through ColumnOpAsync.
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -67,6 +80,15 @@ struct PsClientOptions {
   /// When false, every exchange runs serially on the caller thread (the
   /// pre-async client's execution order; futures complete at issue).
   bool parallel_fanout = true;
+  /// Total tries per request (1 = no retries). Only Unavailable results —
+  /// injected message faults and crashed servers — are retried; the backoff
+  /// between tries is charged to virtual time via CostModel::RetryBackoff.
+  int max_attempts = 4;
+  /// When a retry finds the server crashed (sim/failure_injector.h), ask the
+  /// master to restore it from its latest checkpoint before retrying. The
+  /// recovery stall is charged to the retrying task. When false, the request
+  /// keeps retrying against the dead server and surfaces Unavailable.
+  bool recover_crashed_servers = true;
 };
 
 /// \brief Thread-safe client for PS operations.
@@ -236,6 +258,19 @@ class PsClient {
   struct ServerRequest {
     int server;
     std::vector<uint8_t> payload;
+    /// Stamped on the issuing thread (program order) by StampRequests so the
+    /// per-server sequence numbers — and the fault draws keyed on them — do
+    /// not depend on I/O-pool scheduling.
+    RpcHeader header;
+  };
+
+  /// Result of driving one request through the retry loop.
+  struct ExchangeOutcome {
+    std::optional<Result<PsServer::HandleResult>> result;
+    uint64_t retries = 0;      ///< failed attempts that were retried
+    double backoff = 0.0;      ///< virtual seconds of backoff + recovery stall
+    uint64_t dedup_hits = 0;   ///< duplicate mutations the server suppressed
+                               ///< (counted even when the ack was then lost)
   };
 
   /// Parses the per-server responses (in request order) into the op's value.
@@ -256,12 +291,22 @@ class PsClient {
   template <typename T>
   static PsFuture<T> ReadyFuture(Result<T> result);
 
-  /// Sends `request` to `server`, recording the exchange into `traffic`.
+  /// Assigns each request its RpcHeader (client id + next per-server seq).
+  /// Must run on the issuing thread, in program order.
+  void StampRequests(std::vector<ServerRequest>* requests);
+
+  /// Drives one stamped request through fault injection and the bounded
+  /// retry loop (same seq, incremented attempt). Safe on any thread.
+  ExchangeOutcome ExecuteRequest(const ServerRequest& request);
+
+  /// Sends `request` to `server` (with retries), recording the exchange and
+  /// retry accounting into `traffic`.
   Result<PsServer::HandleResult> Exchange(TaskTraffic* traffic, int server,
                                           std::vector<uint8_t> request);
 
   /// Executes all requests (parallel when the pool allows), then records
-  /// them into `traffic` in request order, stopping at the first error.
+  /// every success into `traffic` in request order; the returned Status is
+  /// the first failure in that order (see the header comment).
   Result<std::vector<PsServer::HandleResult>> ExchangeAll(
       TaskTraffic* traffic, std::vector<ServerRequest> requests);
 
@@ -274,6 +319,9 @@ class PsClient {
 
   PsMaster* master_;
   PsClientOptions options_;
+  int client_id_;  ///< unique per client (PsMaster::AllocateClientId)
+  /// Next sequence number per server, starting at 1 (0 = never sent).
+  std::unique_ptr<std::atomic<uint64_t>[]> next_seq_;
   std::unique_ptr<ThreadPool> io_pool_;
   std::shared_ptr<AsyncCore> core_;
   /// Bounded-staleness copies of the hot rows, warmed by the

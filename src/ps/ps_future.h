@@ -14,10 +14,12 @@
 //     which merges that traffic into the caller's TrafficScope (or charges
 //     the coordinator clock when called from the driver).
 //   * window accounting — the harvest hook also releases the op's slot in the
-//     client's in-flight window. If a future is dropped without Wait/Get, a
-//     token inside the hook still releases the slot (so abandoned futures
-//     cannot wedge the window), but the recorded traffic is dropped
-//     uncharged — always Wait on push-like futures.
+//     client's in-flight window. If a future is dropped without Wait/Get, the
+//     state's destructor runs the hook: the slot is released AND the recorded
+//     traffic is charged (to the ambient scope if the last owner is a task
+//     thread, else to the coordinator clock), so abandoning a push-future
+//     cannot make a run cheaper than waiting on it. Prefer Wait anyway — it
+//     charges the traffic at a deterministic point in program order.
 //
 // Then(f) chains a computation onto completion. f runs on whichever thread
 // completes the source future (a fan-out pool thread, or inline when already
@@ -76,6 +78,18 @@ struct PsFutureState {
 
   /// Run (without the lock held) by the completing thread.
   std::vector<std::function<void()>> continuations;
+
+  ~PsFutureState() {
+    // Abandoned future: the op ran and recorded traffic, but nobody waited.
+    // The last owner (usually the completing pool thread) charges it here —
+    // no lock needed, ownership is exclusive by definition. See the header
+    // comment; without this, dropped push-futures leaked their cost.
+    if (!harvested && harvest) {
+      harvested = true;
+      auto hook = std::move(harvest);
+      hook(traffic);
+    }
+  }
 
   void Complete(Result<T>&& result) {
     std::vector<std::function<void()>> ready;

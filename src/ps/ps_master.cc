@@ -1,6 +1,7 @@
 #include "ps/ps_master.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/logging.h"
 
@@ -135,25 +136,55 @@ Status PsMaster::CheckpointAll() {
   return Status::OK();
 }
 
+Result<SimTime> PsMaster::RecoverServerInternal(int server_id) {
+  PsServer* server = servers_[server_id].get();
+  server->DropAllState();
+  uint64_t restored_bytes = 0;
+  // Single-lock check-and-fetch: Has()-then-Get() would race a concurrent
+  // CheckpointAll between the two calls.
+  if (std::optional<std::vector<uint8_t>> image =
+          checkpoint_store_.TryGet(server_id)) {
+    restored_bytes = image->size();
+    PS2_RETURN_NOT_OK(server->RestoreState(*image));
+  }
+  server->Revive();
+  // The recovered process lost its replica slots and bumped no epoch, so
+  // client HotRowCaches would serve stale rows past staleness_epochs.
+  // Recreate the slots and force a full sync + cache refresh.
+  PS2_RETURN_NOT_OK(hotspot_->OnServerRecovered(server_id));
+  cluster_->metrics().Add("ps.server_failures", 1);
+  const ClusterSpec& spec = cluster_->spec();
+  // Failure detection (a heartbeat interval), process restart, image load.
+  return 10 * spec.rpc_latency_s +
+         static_cast<double>(restored_bytes) / spec.io_bandwidth_bps;
+}
+
 Status PsMaster::KillAndRecoverServer(int server_id) {
   if (server_id < 0 || server_id >= num_servers()) {
     return Status::InvalidArgument("bad server id");
   }
-  PsServer* server = servers_[server_id].get();
-  server->DropAllState();
-  uint64_t restored_bytes = 0;
-  if (checkpoint_store_.Has(server_id)) {
-    std::vector<uint8_t> image = checkpoint_store_.Get(server_id);
-    restored_bytes = image.size();
-    PS2_RETURN_NOT_OK(server->RestoreState(image));
-  }
-  const ClusterSpec& spec = cluster_->spec();
-  // Failure detection (a heartbeat interval), process restart, image load.
-  cluster_->AdvanceClock(10 * spec.rpc_latency_s +
-                         static_cast<double>(restored_bytes) /
-                             spec.io_bandwidth_bps);
-  cluster_->metrics().Add("ps.server_failures", 1);
+  std::lock_guard<std::mutex> lock(recovery_mu_);
+  servers_[server_id]->Crash();
+  PS2_ASSIGN_OR_RETURN(SimTime stall, RecoverServerInternal(server_id));
+  cluster_->AdvanceClock(stall);
   return Status::OK();
+}
+
+Result<SimTime> PsMaster::RecoverCrashedServer(int server_id) {
+  if (server_id < 0 || server_id >= num_servers()) {
+    return Status::InvalidArgument("bad server id");
+  }
+  std::lock_guard<std::mutex> lock(recovery_mu_);
+  // Another task's retry loop may have recovered it while we waited on the
+  // lock; recovery then costs this caller nothing extra.
+  if (!servers_[server_id]->crashed()) return SimTime{0.0};
+  return RecoverServerInternal(server_id);
+}
+
+uint64_t PsMaster::TotalDedupHits() const {
+  uint64_t total = 0;
+  for (const auto& server : servers_) total += server->dedup_hits();
+  return total;
 }
 
 }  // namespace ps2

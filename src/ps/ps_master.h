@@ -9,6 +9,7 @@
 // metrics) without touching the dataflow engine — mirroring the paper's
 // "no hacking of Spark's core" design point.
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -81,8 +82,25 @@ class PsMaster {
 
   /// Simulates a server crash + recovery: state dropped, new server process
   /// started, latest checkpoint restored (or zeros if none). Charges the
-  /// detection + restore time.
+  /// detection + restore time to the coordinator clock and refreshes the
+  /// hotspot plane (replicas + client caches) on the recovered server.
   Status KillAndRecoverServer(int server_id);
+
+  /// Recovers a server that an injected message fault crashed mid-stage
+  /// (PsServer::crashed()). Idempotent and safe from concurrent task
+  /// threads: the first caller performs drop + restore + Revive, later
+  /// callers find the server alive and return 0. Returns the recovery
+  /// stall in virtual seconds — charged to the *calling task's* traffic,
+  /// not the coordinator clock (pool threads must not advance the clock
+  /// mid-stage).
+  Result<SimTime> RecoverCrashedServer(int server_id);
+
+  /// Hands out a unique client id for RpcHeader tracking (dedup tables are
+  /// keyed by it, so every PsClient must have its own).
+  int AllocateClientId() { return next_client_id_.fetch_add(1); }
+
+  /// Sum of dedup-suppressed retries across all servers.
+  uint64_t TotalDedupHits() const;
 
   const CheckpointStore& checkpoints() const { return checkpoint_store_; }
 
@@ -94,6 +112,10 @@ class PsMaster {
 
   Result<int> CreateMatrixInternal(MatrixOptions options, int rotation);
 
+  /// Shared drop + restore + revive + hotspot-refresh path for both
+  /// recovery entry points. Returns the recovery stall (not yet charged).
+  Result<SimTime> RecoverServerInternal(int server_id);
+
   Cluster* cluster_;
   UdfRegistry udfs_;
   std::vector<std::unique_ptr<PsServer>> servers_;
@@ -103,6 +125,10 @@ class PsMaster {
   mutable std::mutex mu_;
   std::map<int, MatrixState> matrices_;
   int next_matrix_id_ = 0;
+  std::atomic<int> next_client_id_{0};
+  /// Serializes recovery so concurrent retry loops hitting the same crashed
+  /// server restore its image exactly once.
+  std::mutex recovery_mu_;
 };
 
 }  // namespace ps2

@@ -93,6 +93,13 @@ std::vector<SpaceSavingSketch::Entry> PsServer::TopPulledRows(size_t k) const {
   return stats_->pulls.TopK(k);
 }
 
+void PsServer::DropStaleReplicaPendings(uint64_t current_epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, replica] : replicas_) {
+    if (replica.version < current_epoch) replica.pending.clear();
+  }
+}
+
 bool PsServer::HasReplica(RowRef ref) const {
   std::lock_guard<std::mutex> lock(mu_);
   return replicas_.count({ref.matrix_id, ref.row}) > 0;
@@ -162,9 +169,84 @@ Result<double*> PsServer::DenseRow(int matrix_id, uint32_t row, uint64_t* width,
   return shard->dense_rows[row].data();
 }
 
+void PsServer::Crash() {
+  std::lock_guard<std::mutex> lock(mu_);
+  crashed_ = true;
+}
+
+void PsServer::Revive() {
+  std::lock_guard<std::mutex> lock(mu_);
+  crashed_ = false;
+}
+
+bool PsServer::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+uint64_t PsServer::dedup_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dedup_hits_;
+}
+
+bool PsServer::IsDuplicateLocked(int client_id, uint64_t seq) const {
+  auto it = dedup_.find(client_id);
+  if (it == dedup_.end()) return false;
+  return seq <= it->second.floor || it->second.seen.count(seq) > 0;
+}
+
+void PsServer::RecordSeqLocked(int client_id, uint64_t seq) {
+  ClientDedup& d = dedup_[client_id];
+  if (seq <= d.floor) return;
+  d.seen.insert(seq);
+  while (!d.seen.empty() && *d.seen.begin() == d.floor + 1) {
+    d.floor += 1;
+    d.seen.erase(d.seen.begin());
+  }
+  if (d.seen.size() > kMaxSeenPerClient) {
+    // Permanently missing seqs (ops whose every attempt was lost). Jump the
+    // floor forward: a duplicate of a skipped seq would be wrongly deduped,
+    // but the client already gave up on it after max_attempts.
+    d.floor = *d.seen.begin();
+    d.seen.erase(d.seen.begin());
+    while (!d.seen.empty() && *d.seen.begin() == d.floor + 1) {
+      d.floor += 1;
+      d.seen.erase(d.seen.begin());
+    }
+  }
+}
+
 Result<PsServer::HandleResult> PsServer::Handle(
     const std::vector<uint8_t>& request) {
+  return Handle(RpcHeader{}, request);
+}
+
+Result<PsServer::HandleResult> PsServer::Handle(
+    const RpcHeader& header, const std::vector<uint8_t>& request) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) {
+    return Status::Unavailable("server is down (injected crash)");
+  }
+  if (!header.tracked()) return HandleLocked(header, request);
+  BufferReader peek(request);
+  PS2_ASSIGN_OR_RETURN(uint8_t opcode, peek.ReadU8());
+  const bool mutating = IsMutatingOpcode(static_cast<PsOpCode>(opcode));
+  if (mutating && IsDuplicateLocked(header.client_id, header.seq)) {
+    // Retry of an already-applied mutation: ack without re-applying. All
+    // mutating client ops are ack-parsed, so the empty response is valid.
+    dedup_hits_ += 1;
+    HandleResult out;
+    out.dedup_hit = true;
+    return out;
+  }
+  Result<HandleResult> result = HandleLocked(header, request);
+  if (result.ok()) RecordSeqLocked(header.client_id, header.seq);
+  return result;
+}
+
+Result<PsServer::HandleResult> PsServer::HandleLocked(
+    const RpcHeader& header, const std::vector<uint8_t>& request) {
+  (void)header;
   BufferReader in(request);
   PS2_ASSIGN_OR_RETURN(uint8_t opcode, in.ReadU8());
   switch (static_cast<PsOpCode>(opcode)) {
@@ -1001,6 +1083,20 @@ std::vector<uint8_t> PsServer::SerializeState() const {
       writer.WriteF64(v);
     }
   }
+  // Dedup section (appended after replicas so older checkpoints stay
+  // readable). Restoring it with the shard values makes recovery
+  // crash-consistent: a retry racing a crash can never double-apply.
+  writer.WriteVarint(dedup_.size());
+  for (const auto& [client_id, d] : dedup_) {
+    writer.WriteVarint(static_cast<uint64_t>(client_id));
+    writer.WriteVarint(d.floor);
+    writer.WriteVarint(d.seen.size());
+    uint64_t prev = d.floor;
+    for (uint64_t seq : d.seen) {
+      writer.WriteVarint(seq - prev);
+      prev = seq;
+    }
+  }
   return writer.Release();
 }
 
@@ -1071,6 +1167,22 @@ Status PsServer::RestoreState(const std::vector<uint8_t>& buffer) {
         std::make_pair(static_cast<int>(m), static_cast<uint32_t>(row)),
         std::move(replica));
   }
+  dedup_.clear();
+  if (in.AtEnd()) return Status::OK();  // checkpoint predates §6 dedup
+  PS2_ASSIGN_OR_RETURN(uint64_t n_clients, in.ReadVarint());
+  for (uint64_t i = 0; i < n_clients; ++i) {
+    PS2_ASSIGN_OR_RETURN(uint64_t client_id, in.ReadVarint());
+    ClientDedup d;
+    PS2_ASSIGN_OR_RETURN(d.floor, in.ReadVarint());
+    PS2_ASSIGN_OR_RETURN(uint64_t n_seen, in.ReadVarint());
+    uint64_t prev = d.floor;
+    for (uint64_t j = 0; j < n_seen; ++j) {
+      PS2_ASSIGN_OR_RETURN(uint64_t delta, in.ReadVarint());
+      prev += delta;
+      d.seen.insert(prev);
+    }
+    dedup_[static_cast<int>(client_id)] = std::move(d);
+  }
   return Status::OK();
 }
 
@@ -1086,6 +1198,10 @@ void PsServer::DropAllState() {
     }
   }
   replicas_.clear();
+  // The dedup table rolls back with the state it guards: seqs applied after
+  // the checkpoint are forgotten together with their effects, so their
+  // retries re-apply cleanly.
+  dedup_.clear();
   // The frequency sketches are soft state: a crashed server restarts cold.
   if (stats_capacity_ > 0) {
     stats_ = std::make_unique<AccessStats>(stats_capacity_);

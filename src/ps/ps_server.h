@@ -15,6 +15,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <vector>
 
 #include "common/result.h"
@@ -74,6 +75,13 @@ class PsServer {
   /// True if this server holds a replica of `ref` (tests, co-location).
   bool HasReplica(RowRef ref) const;
 
+  /// Drops pending replica deltas whose replica was installed before
+  /// `current_epoch`. Called by the HotspotManager after a checkpoint
+  /// restore: pendings in a checkpoint older than the latest sync were
+  /// already reconciled into the primaries — re-applying the resurrected
+  /// copies would double-count them.
+  void DropStaleReplicaPendings(uint64_t current_epoch);
+
   /// Snapshot of one replica (tests / recovery verification).
   struct ReplicaSnapshot {
     std::vector<double> values;
@@ -85,17 +93,45 @@ class PsServer {
   struct HandleResult {
     std::vector<uint8_t> response;
     uint64_t server_ops = 0;
+    /// True when a mutating request was recognized as a retry of an
+    /// already-applied (client, seq) and acked without re-applying.
+    bool dedup_hit = false;
   };
 
-  /// Data plane: executes one serialized request.
+  /// Data plane: executes one serialized request with an untracked header
+  /// (no fault injection, no dedup — control-plane and legacy callers).
   Result<HandleResult> Handle(const std::vector<uint8_t>& request);
 
-  /// Serializes all shards (for checkpointing).
+  /// Data plane: executes one serialized request stamped with `header`.
+  /// For tracked mutating requests the per-client dedup table is consulted
+  /// first: a retry of an already-applied sequence number is acked with an
+  /// empty response instead of re-applying (DESIGN.md §6). Returns
+  /// Unavailable while the server is crashed.
+  Result<HandleResult> Handle(const RpcHeader& header,
+                              const std::vector<uint8_t>& request);
+
+  // ---- Simulated process lifecycle (fault injection) ----
+
+  /// Marks the server down: every Handle call returns Unavailable until
+  /// Revive(). State is *not* dropped here — PsMaster's recovery path drops
+  /// and restores it, modeling the restarted process.
+  void Crash();
+  /// Clears the crashed flag (the recovered process is serving again).
+  void Revive();
+  bool crashed() const;
+
+  /// Retried mutations recognized and suppressed by the dedup table.
+  uint64_t dedup_hits() const;
+
+  /// Serializes all shards (for checkpointing). Includes the replica set
+  /// and the per-client dedup table, so recovery is crash-consistent: a
+  /// retry that races a crash can never double-apply.
   std::vector<uint8_t> SerializeState() const;
   /// Replaces all shard contents from a checkpoint buffer.
   Status RestoreState(const std::vector<uint8_t>& buffer);
   /// Drops all shard *contents* (simulated crash); metadata survives at the
-  /// master, which recreates shards before restoring the checkpoint.
+  /// master, which recreates shards before restoring the checkpoint. The
+  /// dedup table is dropped too — it rolls back with the state it guards.
   void DropAllState();
 
   /// Total doubles stored (tests / memory accounting).
@@ -125,6 +161,25 @@ class PsServer {
     std::vector<double> values;
     std::map<uint64_t, double> pending;
   };
+
+  /// Sequence numbers already applied for one client (DESIGN.md §6).
+  /// `floor` covers the contiguous prefix [1, floor]; out-of-order arrivals
+  /// (bounded by the client's async window) sit in `seen` until the gap
+  /// fills. Capped: if `seen` outgrows kMaxSeenPerClient (permanently lost
+  /// seqs from abandoned ops), the floor jumps to the smallest seen entry.
+  struct ClientDedup {
+    uint64_t floor = 0;
+    std::set<uint64_t> seen;
+  };
+  static constexpr size_t kMaxSeenPerClient = 4096;
+
+  /// True if (client, seq) was already applied (mu_ held).
+  bool IsDuplicateLocked(int client_id, uint64_t seq) const;
+  /// Records a successfully handled tracked seq (mu_ held).
+  void RecordSeqLocked(int client_id, uint64_t seq);
+
+  Result<HandleResult> HandleLocked(const RpcHeader& header,
+                                    const std::vector<uint8_t>& request);
 
   Result<Shard*> FindShard(int matrix_id, uint32_t row);
   Result<double*> DenseRow(int matrix_id, uint32_t row, uint64_t* width,
@@ -167,6 +222,9 @@ class PsServer {
   mutable std::mutex mu_;
   std::map<int, Shard> shards_;
   std::map<std::pair<int, uint32_t>, Replica> replicas_;
+  std::map<int, ClientDedup> dedup_;  ///< client id -> applied seqs
+  uint64_t dedup_hits_ = 0;
+  bool crashed_ = false;
   size_t stats_capacity_ = 0;  ///< 0 = access statistics off
   std::unique_ptr<AccessStats> stats_;
 };

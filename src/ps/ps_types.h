@@ -101,4 +101,53 @@ enum class PsOpCode : uint8_t {
   kHotPush = 18,       ///< sparse delta accumulated into a local replica
 };
 
+/// True for opcodes whose handlers mutate server state. Retrying one of
+/// these after an ambiguous failure (a lost *response*) would double-apply
+/// without the per-client sequence-number dedup in PsServer — read-only
+/// opcodes are trivially idempotent and skip the dedup table.
+constexpr bool IsMutatingOpcode(PsOpCode op) {
+  switch (op) {
+    case PsOpCode::kPushDense:
+    case PsOpCode::kPushSparse:
+    case PsOpCode::kColumnOp:
+    case PsOpCode::kZip:
+    case PsOpCode::kAxpyBatch:
+    case PsOpCode::kMatrixInit:
+    case PsOpCode::kPushRowsBatch:
+    case PsOpCode::kPushSparseRowsBatch:
+    case PsOpCode::kHotSetUpdate:
+    case PsOpCode::kReplicaSync:
+    case PsOpCode::kHotPush:
+      return true;
+    case PsOpCode::kPullDense:
+    case PsOpCode::kPullSparse:
+    case PsOpCode::kRowAgg:
+    case PsOpCode::kDotPartial:
+    case PsOpCode::kZipAggregate:
+    case PsOpCode::kDotBatch:
+    case PsOpCode::kPullRowsBatch:
+    case PsOpCode::kPullSparseRowsBatch:
+      return false;
+  }
+  return false;
+}
+
+/// \brief Per-message identity riding the RPC framing (DESIGN.md §6).
+///
+/// Every data-plane request carries (client id, per-client sequence number,
+/// attempt). The pair (client_id, seq) names one *logical* operation: a
+/// retried message reuses the seq of the original so the server's dedup
+/// table can recognize (and ack without re-applying) a mutation whose first
+/// response was lost. The fields travel in the fixed Message::kHeaderBytes
+/// framing (the correlation-id slot), not in the payload, so byte accounting
+/// is unchanged. client_id < 0 marks untracked control-plane traffic
+/// (master/hotspot exchanges): no fault injection, no dedup.
+struct RpcHeader {
+  int client_id = -1;   ///< PsMaster::AllocateClientId(); -1 = untracked
+  uint64_t seq = 0;     ///< per-(client, server) monotonic, starting at 1
+  uint32_t attempt = 1; ///< 1 = first try; >1 = retry of the same seq
+
+  bool tracked() const { return client_id >= 0; }
+};
+
 }  // namespace ps2

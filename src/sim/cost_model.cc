@@ -80,4 +80,10 @@ SimTime CostModel::RoundLatency(uint64_t rounds) const {
   return spec_.rpc_latency_s * static_cast<double>(rounds);
 }
 
+SimTime CostModel::RetryBackoff(uint32_t attempt) const {
+  if (attempt == 0) return 0.0;
+  return spec_.retry_backoff_base_s *
+         std::ldexp(1.0, static_cast<int>(attempt) - 1);
+}
+
 }  // namespace ps2

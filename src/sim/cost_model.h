@@ -40,6 +40,22 @@ struct ClusterSpec {
   /// Probability that a task attempt fails (Fig. 13(c)); 0 disables.
   double task_failure_prob = 0.0;
 
+  // ---- Message-level fault injection (RPC plane; DESIGN.md §6) ----
+
+  /// Per-exchange probability that a server is transiently unavailable: the
+  /// request or its response is lost and the client must retry. Half of the
+  /// draws lose the *response* — the mutation applied but the client cannot
+  /// know, which is what exercises the sequence-number dedup. 0 disables.
+  double message_failure_prob = 0.0;
+  /// Per-exchange probability that the contacted server *crashes*, dropping
+  /// all state since its last checkpoint; requests already handled form the
+  /// applied prefix. The server stays down until recovered (the client's
+  /// retry path triggers PsMaster recovery). 0 disables.
+  double server_crash_prob = 0.0;
+  /// Base of the client's exponential retry backoff: attempt k (k >= 1
+  /// failures so far) waits base * 2^(k-1) virtual seconds before retrying.
+  double retry_backoff_base_s = 1e-3;
+
   uint64_t seed = 42;
 
   /// Returns InvalidArgument-style reasons as a bool+message free check.
@@ -47,7 +63,9 @@ struct ClusterSpec {
     return num_workers > 0 && num_servers > 0 && net_bandwidth_bps > 0 &&
            rpc_latency_s >= 0 && per_msg_overhead_s >= 0 && worker_flops > 0 &&
            server_flops > 0 && driver_flops > 0 && task_failure_prob >= 0 &&
-           task_failure_prob < 1.0;
+           task_failure_prob < 1.0 && message_failure_prob >= 0 &&
+           message_failure_prob < 1.0 && server_crash_prob >= 0 &&
+           server_crash_prob < 1.0 && retry_backoff_base_s >= 0;
   }
 };
 
@@ -90,6 +108,10 @@ class CostModel {
 
   /// One-way latency for `rounds` dependent request/response rounds.
   SimTime RoundLatency(uint64_t rounds) const;
+
+  /// Exponential backoff before retry `attempt` (attempt >= 1 failures so
+  /// far): retry_backoff_base_s * 2^(attempt-1).
+  SimTime RetryBackoff(uint32_t attempt) const;
 
  private:
   ClusterSpec spec_;

@@ -4,10 +4,42 @@
 
 namespace ps2 {
 
+namespace {
+
+/// SplitMix64-style finalizer; good avalanche for hash-based draws.
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Uniform [0, 1) from a hash value.
+double ToUnit(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
 FailureInjector::FailureInjector(double task_failure_prob, uint64_t seed)
-    : prob_(task_failure_prob), rng_(seed ^ 0xFA17FA17FA17FA17ULL) {
+    : FailureInjector(task_failure_prob, 0.0, 0.0, seed) {}
+
+FailureInjector::FailureInjector(double task_failure_prob,
+                                 double message_failure_prob,
+                                 double server_crash_prob, uint64_t seed)
+    : prob_(task_failure_prob),
+      message_prob_(message_failure_prob),
+      crash_prob_(server_crash_prob),
+      seed_(seed),
+      rng_(seed ^ 0xFA17FA17FA17FA17ULL) {
   PS2_CHECK_GE(prob_, 0.0);
   PS2_CHECK_LT(prob_, 1.0);
+  PS2_CHECK_GE(message_prob_, 0.0);
+  PS2_CHECK_LT(message_prob_, 1.0);
+  PS2_CHECK_GE(crash_prob_, 0.0);
+  PS2_CHECK_LT(crash_prob_, 1.0);
 }
 
 bool FailureInjector::ShouldFailTask() {
@@ -21,6 +53,31 @@ bool FailureInjector::ShouldFailTask() {
 double FailureInjector::FailurePoint() {
   std::lock_guard<std::mutex> lock(mu_);
   return rng_.NextDouble();
+}
+
+MessageFault FailureInjector::DrawMessageFault(int server_id, int client_id,
+                                               uint64_t seq, uint32_t attempt) {
+  if (client_id < 0) return MessageFault::kNone;
+  if (message_prob_ <= 0.0 && crash_prob_ <= 0.0) return MessageFault::kNone;
+  uint64_t key = seed_ ^ 0x4FA17C0DE5EEDULL;
+  key = Mix(key + 0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(server_id + 1));
+  key = Mix(key + 0xC2B2AE3D27D4EB4FULL * static_cast<uint64_t>(client_id + 1));
+  key = Mix(key + seq);
+  key = Mix(key + attempt);
+  const double u = ToUnit(key);
+  if (u < crash_prob_) {
+    injected_crashes_.fetch_add(1);
+    return MessageFault::kServerCrash;
+  }
+  if (u < crash_prob_ + message_prob_) {
+    injected_messages_.fetch_add(1);
+    // Split unavailability evenly between request-lost (nothing applied)
+    // and response-lost (applied, ack gone) using an independent hash bit.
+    const bool response_lost = (Mix(key ^ 0xACED5EEDULL) & 1) != 0;
+    return response_lost ? MessageFault::kResponseLost
+                         : MessageFault::kRequestLost;
+  }
+  return MessageFault::kNone;
 }
 
 }  // namespace ps2

@@ -6,6 +6,12 @@
 // attempt charges a random fraction of the task's cost (the work done before
 // dying) and the scheduler retries. Separate hooks simulate executor and
 // server crashes for the lineage-reload and checkpoint-recovery paths.
+//
+// Message-level faults (DESIGN.md §6) are drawn per (server, client, seq,
+// attempt) with a stateless hash of the seed — not from the serialized RNG
+// stream — so concurrent fan-out threads get deterministic draws without
+// contending on a lock, and a retry (same seq, next attempt) re-draws
+// independently.
 
 #include <atomic>
 #include <cstdint>
@@ -15,10 +21,25 @@
 
 namespace ps2 {
 
+/// \brief Outcome of a message-fault draw for one client->server exchange.
+enum class MessageFault : uint8_t {
+  kNone = 0,
+  /// The request never reached the server: nothing applied, retry is safe.
+  kRequestLost = 1,
+  /// The server applied the request but the response was lost — the
+  /// ambiguous failure; only the dedup table makes the retry safe.
+  kResponseLost = 2,
+  /// The server crashes on contact: state since the last checkpoint is
+  /// gone and the server is down until PsMaster recovers it.
+  kServerCrash = 3,
+};
+
 /// \brief Seeded source of injected failures, thread-safe.
 class FailureInjector {
  public:
   FailureInjector(double task_failure_prob, uint64_t seed);
+  FailureInjector(double task_failure_prob, double message_failure_prob,
+                  double server_crash_prob, uint64_t seed);
 
   /// Should this task attempt fail? (Draws are serialized for determinism
   /// given a fixed task order.)
@@ -27,14 +48,30 @@ class FailureInjector {
   /// Fraction of the task's cost consumed before the injected failure.
   double FailurePoint();
 
+  /// Message-fault draw for one exchange, keyed by (server, client, seq,
+  /// attempt). Deterministic and lock-free: the same key always draws the
+  /// same fault for a fixed seed, regardless of thread interleaving.
+  /// Untracked exchanges (client_id < 0) never fault.
+  MessageFault DrawMessageFault(int server_id, int client_id, uint64_t seq,
+                                uint32_t attempt);
+
   uint64_t injected_task_failures() const { return injected_; }
+  uint64_t injected_message_faults() const { return injected_messages_; }
+  uint64_t injected_server_crashes() const { return injected_crashes_; }
   double task_failure_prob() const { return prob_; }
+  double message_failure_prob() const { return message_prob_; }
+  double server_crash_prob() const { return crash_prob_; }
 
  private:
   double prob_;
+  double message_prob_ = 0.0;
+  double crash_prob_ = 0.0;
+  uint64_t seed_;
   std::mutex mu_;
   Rng rng_;
   std::atomic<uint64_t> injected_{0};
+  std::atomic<uint64_t> injected_messages_{0};
+  std::atomic<uint64_t> injected_crashes_{0};
 };
 
 }  // namespace ps2

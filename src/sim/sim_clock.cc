@@ -6,6 +6,7 @@ namespace ps2 {
 
 void SimClock::Advance(SimTime dt) {
   PS2_CHECK_GE(dt, 0.0) << "clock cannot run backwards";
+  std::lock_guard<std::mutex> lock(mu_);
   now_ += dt;
 }
 

@@ -10,25 +10,37 @@
 // CostModel. Virtual time is deterministic for a fixed seed.
 
 #include <cstdint>
+#include <mutex>
 
 namespace ps2 {
 
 using SimTime = double;  ///< Virtual seconds.
 
 /// \brief Monotonic virtual clock advanced by the cluster engine.
+///
+/// Thread-safe: most advances happen on the coordinator at stage barriers,
+/// but abandoned-future harvests and mid-stage server recovery can charge
+/// the clock from pool threads (ps/ps_future.h, ps/ps_client.cc).
 class SimClock {
  public:
   SimClock() = default;
 
-  SimTime Now() const { return now_; }
+  SimTime Now() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return now_;
+  }
 
   /// Advances the clock by `dt` seconds (dt >= 0).
   void Advance(SimTime dt);
 
   /// Resets to zero (benchmark reuse).
-  void Reset() { now_ = 0.0; }
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    now_ = 0.0;
+  }
 
  private:
+  mutable std::mutex mu_;
   SimTime now_ = 0.0;
 };
 

@@ -206,27 +206,62 @@ TEST_F(HotspotTest, CheckpointCoversReplicaStateAcrossCrash) {
   ASSERT_TRUE(v.Add(SparseVector({5}, {7.0})).ok());
   ASSERT_TRUE(master()->CheckpointAll().ok());
 
+  // Recovery forces a replica sync, so the checkpointed pending reconciles
+  // into the primary as part of the FIRST recovery. Recovering every other
+  // server then resurrects checkpoint-era pendings that were already
+  // reconciled — they must be recognized as stale (their replica version
+  // predates the current epoch) and dropped, NOT applied a second time.
   for (int s = 0; s < master()->num_servers(); ++s) {
     ASSERT_TRUE(master()->KillAndRecoverServer(s).ok());
   }
 
-  // Replica values, version and the pending delta all survived recovery.
-  int servers_with_pending = 0;
+  // Exactly-once: the +7 delta survived the crash and was applied exactly
+  // once (2 + 7 = 9; a lost pending would read 2, a double-apply 16).
+  std::vector<double> expected = values;
+  expected[5] = 9.0;
   for (int s = 0; s < master()->num_servers(); ++s) {
     ASSERT_TRUE(master()->server(s)->HasReplica(v.ref()));
-    PsServer::ReplicaSnapshot snap = *master()->server(s)->DebugReplica(v.ref());
-    EXPECT_EQ(snap.values, values);
+    PsServer::ReplicaSnapshot snap =
+        *master()->server(s)->DebugReplica(v.ref());
+    EXPECT_EQ(snap.values, expected);
     EXPECT_GT(snap.version, 0u);
-    if (!snap.pending.empty()) {
-      ++servers_with_pending;
-      EXPECT_DOUBLE_EQ(snap.pending.at(5), 7.0);
-    }
+    EXPECT_TRUE(snap.pending.empty());
   }
-  EXPECT_EQ(servers_with_pending, 1);
-
-  // The recovered pending reconciles into the primary on the next sync.
-  ASSERT_TRUE(hotspot()->SyncNow().ok());
   EXPECT_DOUBLE_EQ((*v.PullSparse({5}))[0], 9.0);
+}
+
+TEST_F(HotspotTest, ServerRecoveryBumpsEpochAndRefreshesClientCaches) {
+  // Regression: KillAndRecoverServer used to restore shard state without
+  // telling the HotspotManager, leaving client HotRowCaches serving stale
+  // hot rows past staleness_epochs and the recovered server without
+  // replica slots for hot rows designated after the checkpoint.
+  Dcv v = *ctx_->Dense(32);
+  ASSERT_TRUE(v.Fill(3.0).ok());
+  ASSERT_TRUE(hotspot()->ReplicateNow({v.ref()}).ok());
+  const uint64_t epoch_before = hotspot()->epoch();
+
+  // No checkpoint taken: the recovered server restarts empty, yet must end
+  // up with a freshly installed replica of the current hot set.
+  ASSERT_TRUE(master()->KillAndRecoverServer(1).ok());
+
+  EXPECT_GT(hotspot()->epoch(), epoch_before);
+  EXPECT_TRUE(ReplicatedEverywhere(v.ref()));
+  PsServer::ReplicaSnapshot snap = *master()->server(1)->DebugReplica(v.ref());
+  EXPECT_EQ(snap.version, hotspot()->epoch());
+  // The client cache was re-warmed under the new epoch with the
+  // post-recovery row: the recovered server's slice reads zero (its shard
+  // was dropped with no checkpoint to restore). A stale cache — the old
+  // bug — would keep serving 3.0 everywhere for staleness_epochs more.
+  const uint64_t hits_before = ctx_->client()->hot_cache().hits();
+  std::vector<double> pulled = *v.Pull();
+  EXPECT_GT(ctx_->client()->hot_cache().hits(), hits_before);
+  int zeros = 0;
+  for (double x : pulled) {
+    ASSERT_TRUE(x == 3.0 || x == 0.0) << x;
+    zeros += x == 0.0;
+  }
+  EXPECT_GT(zeros, 0);
+  EXPECT_LT(zeros, 32);
 }
 
 TEST_F(HotspotTest, StableHotSetRefreshSkipsReinstall) {

@@ -27,6 +27,19 @@ TEST(CheckpointStoreTest, PutOverwritesAndCounts) {
   EXPECT_EQ(store.TotalBytes(), 2u);
 }
 
+TEST(CheckpointStoreTest, TryGetDistinguishesMissingFromEmpty) {
+  CheckpointStore store;
+  store.Put(4, {9, 8});
+  store.Put(5, {});  // a legitimately empty image
+  ASSERT_TRUE(store.TryGet(4).has_value());
+  EXPECT_EQ(*store.TryGet(4), (std::vector<uint8_t>{9, 8}));
+  ASSERT_TRUE(store.TryGet(5).has_value());
+  EXPECT_TRUE(store.TryGet(5)->empty());
+  // Has()+Get() could not tell this apart from the empty image above —
+  // TryGet answers check-and-fetch in one lock acquisition.
+  EXPECT_FALSE(store.TryGet(6).has_value());
+}
+
 class ServerRecoveryTest : public ::testing::Test {
  protected:
   ServerRecoveryTest() {

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
 #include <vector>
 
 #include "dataflow/cluster.h"
@@ -100,6 +102,40 @@ TEST_F(PsAsyncTest, AbandonedFuturesStillApplyAndReleaseTheWindow) {
   client_ = std::make_unique<PsClient>(master_.get());
   std::vector<double> pulled = *client_->PullDense(w);
   for (double v : pulled) EXPECT_DOUBLE_EQ(v, 10.0);
+}
+
+TEST_F(PsAsyncTest, AbandonedFuturesChargeTheCoordinatorClock) {
+  // Regression: dropping a future without Wait/Get used to leak its traffic
+  // — the op applied but never advanced virtual time, so abandoning pushes
+  // made runs look cheaper than waiting for them. The serial path completes
+  // at issue, so the dropped temporary's destructor charges deterministically
+  // on this thread.
+  PsClientOptions serial;
+  serial.parallel_fanout = false;
+  PsClient serial_client(master_.get(), serial);
+  RowRef w = NewMatrix(300);
+  SimTime before = cluster_->clock().Now();
+  uint64_t messages = cluster_->metrics().Get("net.messages");
+  serial_client.PushDenseAsync(w, std::vector<double>(300, 1.0));  // dropped
+  EXPECT_GT(cluster_->clock().Now(), before);
+  EXPECT_GT(cluster_->metrics().Get("net.messages"), messages);
+  EXPECT_DOUBLE_EQ((*serial_client.PullDense(w))[0], 1.0);
+}
+
+TEST_F(PsAsyncTest, AbandonedParallelFutureChargesOnLastRelease) {
+  // Parallel path: the completing pool thread may be the last owner, so the
+  // charge lands asynchronously — quiesce the window, then poll briefly.
+  RowRef w = NewMatrix(300);
+  SimTime before = cluster_->clock().Now();
+  for (int i = 0; i < 6; ++i) {
+    client_->PushDenseAsync(w, std::vector<double>(300, 1.0));  // dropped
+  }
+  client_ = std::make_unique<PsClient>(master_.get());  // quiesce old window
+  for (int spin = 0; spin < 5000 && cluster_->clock().Now() == before; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(cluster_->clock().Now(), before);
+  EXPECT_DOUBLE_EQ((*client_->PullDense(w))[0], 6.0);
 }
 
 class PsAsyncWindowTest : public PsAsyncTest {

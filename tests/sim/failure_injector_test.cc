@@ -42,5 +42,99 @@ TEST(FailureInjectorDeathTest, RejectsProbabilityOne) {
   EXPECT_DEATH({ FailureInjector injector(1.0, 1); }, "");
 }
 
+// ---- Message-level faults (DESIGN.md §6) ----------------------------------
+
+TEST(MessageFaultTest, ZeroProbabilitiesDrawNoFaults) {
+  FailureInjector injector(0.0, 0.0, 0.0, 42);
+  for (uint64_t seq = 1; seq <= 1000; ++seq) {
+    EXPECT_EQ(injector.DrawMessageFault(0, 0, seq, 1), MessageFault::kNone);
+  }
+  EXPECT_EQ(injector.injected_message_faults(), 0u);
+  EXPECT_EQ(injector.injected_server_crashes(), 0u);
+}
+
+TEST(MessageFaultTest, UntrackedClientIsExempt) {
+  // client_id < 0 marks control-plane exchanges (hotspot syncs, legacy
+  // callers): they must never be faulted.
+  FailureInjector injector(0.0, 0.9, 0.05, 42);
+  for (uint64_t seq = 1; seq <= 1000; ++seq) {
+    EXPECT_EQ(injector.DrawMessageFault(0, -1, seq, 1), MessageFault::kNone);
+  }
+}
+
+TEST(MessageFaultTest, DrawIsAPureFunctionOfItsKey) {
+  // Same (seed, server, client, seq, attempt) -> same fault, regardless of
+  // call order or interleaving. This is what makes retries deterministic
+  // even when pool threads race.
+  FailureInjector a(0.0, 0.2, 0.01, 7);
+  FailureInjector b(0.0, 0.2, 0.01, 7);
+  std::vector<MessageFault> forward, backward;
+  for (uint64_t seq = 1; seq <= 500; ++seq) {
+    forward.push_back(a.DrawMessageFault(2, 3, seq, 1));
+  }
+  for (uint64_t seq = 500; seq >= 1; --seq) {
+    backward.push_back(b.DrawMessageFault(2, 3, seq, 1));
+  }
+  for (size_t i = 0; i < forward.size(); ++i) {
+    EXPECT_EQ(forward[i], backward[forward.size() - 1 - i]);
+  }
+}
+
+TEST(MessageFaultTest, RetryOfSameSeqRedrawsIndependently) {
+  // A faulted (seq, attempt=1) must not doom (seq, attempt=2): with p well
+  // below 1, most first-attempt faults succeed on retry.
+  FailureInjector injector(0.0, 0.3, 0.0, 11);
+  int faulted_first = 0, faulted_both = 0;
+  for (uint64_t seq = 1; seq <= 5000; ++seq) {
+    if (injector.DrawMessageFault(0, 0, seq, 1) == MessageFault::kNone) {
+      continue;
+    }
+    ++faulted_first;
+    faulted_both +=
+        injector.DrawMessageFault(0, 0, seq, 2) != MessageFault::kNone;
+  }
+  ASSERT_GT(faulted_first, 0);
+  EXPECT_NEAR(static_cast<double>(faulted_both) / faulted_first, 0.3, 0.05);
+}
+
+TEST(MessageFaultTest, FaultRatesMatchProbabilities) {
+  const double message_p = 0.1, crash_p = 0.02;
+  FailureInjector injector(0.0, message_p, crash_p, 42);
+  const int n = 50000;
+  int messages = 0, crashes = 0, request_lost = 0, response_lost = 0;
+  for (uint64_t seq = 1; seq <= n; ++seq) {
+    switch (injector.DrawMessageFault(1, 2, seq, 1)) {
+      case MessageFault::kRequestLost:
+        ++messages;
+        ++request_lost;
+        break;
+      case MessageFault::kResponseLost:
+        ++messages;
+        ++response_lost;
+        break;
+      case MessageFault::kServerCrash:
+        ++crashes;
+        break;
+      case MessageFault::kNone:
+        break;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(messages) / n, message_p, 0.01);
+  EXPECT_NEAR(static_cast<double>(crashes) / n, crash_p, 0.005);
+  // Losses split roughly evenly between the request and the response leg.
+  EXPECT_NEAR(static_cast<double>(request_lost) / messages, 0.5, 0.05);
+  EXPECT_NEAR(static_cast<double>(response_lost) / messages, 0.5, 0.05);
+  EXPECT_EQ(injector.injected_message_faults(),
+            static_cast<uint64_t>(messages));
+  EXPECT_EQ(injector.injected_server_crashes(),
+            static_cast<uint64_t>(crashes));
+}
+
+TEST(MessageFaultDeathTest, RejectsBadMessageProbabilities) {
+  EXPECT_DEATH({ FailureInjector injector(0.0, 1.0, 0.0, 1); }, "");
+  EXPECT_DEATH({ FailureInjector injector(0.0, 0.0, 1.0, 1); }, "");
+  EXPECT_DEATH({ FailureInjector injector(0.0, -0.1, 0.0, 1); }, "");
+}
+
 }  // namespace
 }  // namespace ps2

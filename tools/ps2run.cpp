@@ -56,6 +56,8 @@ ClusterSpec SpecFromFlags(const Flags& flags) {
   spec.num_workers = static_cast<int>(flags.GetInt("workers", 8));
   spec.num_servers = static_cast<int>(flags.GetInt("servers", 8));
   spec.task_failure_prob = flags.GetDouble("failure-prob", 0.0);
+  spec.message_failure_prob = flags.GetDouble("message-failure-prob", 0.0);
+  spec.server_crash_prob = flags.GetDouble("server-crash-prob", 0.0);
   spec.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   return spec;
 }
@@ -241,7 +243,9 @@ int Usage() {
       "ps2run <workload> [--flags]\n"
       "workloads: lr svm lbfgs fm deepwalk gbdt lda\n"
       "common flags: --workers=N --servers=N --iterations=N --seed=N\n"
-      "              --failure-prob=P --system=ps2|pspp|petuum|mllib|xgboost\n"
+      "              --failure-prob=P --message-failure-prob=P\n"
+      "              --server-crash-prob=P\n"
+      "              --system=ps2|pspp|petuum|mllib|xgboost\n"
       "lr/svm/fm:    --rows --dim --nnz --lr --batch-fraction --optimizer\n"
       "deepwalk:     --vertices --walks --embedding-dim --lr\n"
       "gbdt:         --rows --features --trees --depth --bins\n"
