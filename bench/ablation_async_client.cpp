@@ -74,6 +74,7 @@ int main() {
               "sync time(s)", "async time(s)", "speedup", "async MB/s",
               "bytes match");
 
+  bench::JsonReporter reporter("ablation_async_client");
   for (int servers : {1, 2, 4, 8, 16}) {
     ClusterSpec spec;
     spec.num_workers = 4;
@@ -123,7 +124,15 @@ int main() {
     std::printf("%-10d %-14.4f %-14.4f %-10.2f %-16.1f %-12s\n", servers,
                 sync_time, async_time, sync_time / async_time,
                 payload_mb / async_time, bytes_match ? "yes" : "NO — BUG");
+
+    reporter.AddRun("servers_" + std::to_string(servers), cluster,
+                    cluster.clock().Now());
+    reporter.AddField("sync_time_s", sync_time);
+    reporter.AddField("async_time_s", async_time);
+    reporter.AddField("speedup", sync_time / async_time);
+    reporter.AddField("bytes_match", bytes_match ? 1.0 : 0.0);
   }
+  reporter.Write();
 
   std::printf(
       "\n(sync charges RoundLatency per op; async charges it once per\n"

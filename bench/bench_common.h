@@ -7,6 +7,7 @@
 // from the output. Scale is controlled by the PS2_BENCH_SCALE environment
 // variable (default 1.0 = the laptop-sized presets in data/presets.h).
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -14,11 +15,39 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "dataflow/cluster.h"
 #include "ml/train_report.h"
 
 namespace ps2 {
 namespace bench {
+
+/// Rewrites a tagged metric name into a JSON-field-safe key:
+/// `ps.server.handle_us{op=pull_dense}` -> `ps.server.handle_us.pull_dense`,
+/// `obs.server_busy_time{server=3}` -> `obs.server_busy_time.s3`.
+/// JsonReporter fields must stay in [A-Za-z0-9_.-] (they are printed
+/// unescaped), and check_bench.py matches on these flattened names.
+inline std::string SanitizeMetricName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    if (c == '{' || c == ',') {
+      out.push_back('.');
+      // Drop the tag key: ".server=3" -> ".s3", ".op=pull" -> ".pull".
+      size_t eq = name.find('=', i);
+      size_t stop = name.find_first_of(",}", i);
+      if (eq != std::string::npos && stop != std::string::npos && eq < stop) {
+        if (name.compare(i + 1, eq - i - 1, "server") == 0) out.push_back('s');
+        i = eq;
+      }
+      continue;
+    }
+    if (c == '}' || c == '=') continue;
+    out.push_back(c);
+  }
+  return out;
+}
 
 /// Global dataset scale multiplier from $PS2_BENCH_SCALE (default 1).
 inline double Scale() {
@@ -105,7 +134,12 @@ class JsonReporter {
   }
 
   /// Records a run's virtual time and the traffic counters accumulated in
-  /// `cluster` since its metrics were last Reset().
+  /// `cluster` since its metrics were last Reset(): the flat `net.*` totals,
+  /// retry accounting, the per-server tagged breakdowns (bytes each way and
+  /// `obs.server_busy_time`, flattened via SanitizeMetricName, plus the
+  /// max/mean busy-time skew), and p50/p95/p99 of every histogram. The
+  /// histogram fields are wall-clock and machine-dependent — check_bench.py
+  /// only gates on the deterministic counter fields.
   void AddRun(const std::string& run_name, const Cluster& cluster,
               double virtual_time_s) {
     BeginRun(run_name);
@@ -121,6 +155,33 @@ class JsonReporter {
              static_cast<double>(m.Get("net.local_pull_hits")));
     AddField("local_pull_bytes",
              static_cast<double>(m.Get("net.local_pull_bytes")));
+    AddField("retries", static_cast<double>(m.Get("net.retries")));
+    AddField("retry_backoff_us",
+             static_cast<double>(m.Get("net.retry_backoff_time")));
+    AddField("dedup_hits", static_cast<double>(m.Get("ps.dedup_hits")));
+    // Per-server breakdown + load-skew summary (max busy server / mean).
+    double busy_max = 0.0, busy_sum = 0.0;
+    int busy_n = 0;
+    for (const auto& [name, value] : m.Snapshot()) {
+      const bool per_server = name.find("{server=") != std::string::npos;
+      const bool busy = name.rfind("obs.server_busy_time", 0) == 0;
+      if (per_server) AddField(SanitizeMetricName(name), static_cast<double>(value));
+      if (busy) {
+        busy_max = std::max(busy_max, static_cast<double>(value));
+        busy_sum += static_cast<double>(value);
+        busy_n += 1;
+      }
+    }
+    if (busy_n > 0 && busy_sum > 0.0) {
+      AddField("server_busy_skew", busy_max / (busy_sum / busy_n));
+    }
+    for (const auto& [name, snap] : m.HistogramSnapshots()) {
+      const std::string key = SanitizeMetricName(name);
+      AddField(key + ".count", static_cast<double>(snap.count));
+      AddField(key + ".p50", snap.p50);
+      AddField(key + ".p95", snap.p95);
+      AddField(key + ".p99", snap.p99);
+    }
   }
 
   /// Writes BENCH_<name>.json; returns false (with a note on stderr) if

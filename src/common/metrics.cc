@@ -1,8 +1,137 @@
 #include "common/metrics.h"
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 
 namespace ps2 {
+
+std::string TaggedName(
+    std::string_view base,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        tags) {
+  std::string name(base);
+  if (tags.size() == 0) return name;
+  name.push_back('{');
+  bool first = true;
+  for (const auto& [key, value] : tags) {
+    if (!first) name.push_back(',');
+    first = false;
+    name.append(key);
+    name.push_back('=');
+    name.append(value);
+  }
+  name.push_back('}');
+  return name;
+}
+
+std::string ServerTaggedName(std::string_view base, int server) {
+  return TaggedName(base, {{"server", std::to_string(server)}});
+}
+
+// ------------------------------------------------------------------ Histogram
+
+int Histogram::BucketOf(double value) {
+  if (!(value >= 1.0)) return 0;  // negatives and NaN clamp into bucket 0
+  if (std::isinf(value)) return kNumBuckets - 1;
+  int exp = 0;
+  std::frexp(value, &exp);  // value = m * 2^exp, m in [0.5, 1)
+  return std::min(exp, kNumBuckets - 1);
+}
+
+double Histogram::BucketLow(int b) {
+  return b <= 0 ? 0.0 : std::ldexp(1.0, b - 1);
+}
+
+double Histogram::BucketHigh(int b) { return std::ldexp(1.0, std::max(b, 0)); }
+
+void Histogram::Record(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  buckets_[BucketOf(value)] += 1;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += 1;
+  sum_ += value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  // Lock ordering: callers merge distinct histograms (scoped locks cannot
+  // deadlock because `other` is never `*this` in any call site; self-merge
+  // is rejected outright to keep that true).
+  if (&other == this) return;
+  std::scoped_lock lock(mu_, other.mu_);
+  for (int b = 0; b < kNumBuckets; ++b) buckets_[b] += other.buckets_[b];
+  if (other.count_ > 0) {
+    min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+    max_ = count_ == 0 ? other.max_ : std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int b = 0; b < kNumBuckets; ++b) buckets_[b] = 0;
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+uint64_t Histogram::Count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+uint64_t Histogram::BucketCount(int b) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (b < 0 || b >= kNumBuckets) return 0;
+  return buckets_[b];
+}
+
+double Histogram::PercentileLocked(double p) const {
+  if (count_ == 0) return 0.0;
+  const double target = std::clamp(p, 0.0, 100.0) / 100.0 *
+                        static_cast<double>(count_);
+  uint64_t cumulative = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += buckets_[b];
+    if (static_cast<double>(cumulative) >= target) {
+      const double frac =
+          (target - before) / static_cast<double>(buckets_[b]);
+      const double value =
+          BucketLow(b) + frac * (BucketHigh(b) - BucketLow(b));
+      return std::clamp(value, min_, max_);
+    }
+  }
+  return max_;
+}
+
+double Histogram::Percentile(double p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PercentileLocked(p);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  HistogramSnapshot snap;
+  snap.count = count_;
+  snap.sum = sum_;
+  snap.min = min_;
+  snap.max = max_;
+  snap.p50 = PercentileLocked(50.0);
+  snap.p95 = PercentileLocked(95.0);
+  snap.p99 = PercentileLocked(99.0);
+  return snap;
+}
+
+// ------------------------------------------------------------ MetricsRegistry
 
 void MetricsRegistry::Add(const std::string& name, uint64_t delta) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -20,9 +149,32 @@ uint64_t MetricsRegistry::Get(const std::string& name) const {
   return it == counters_.end() ? 0 : it->second;
 }
 
+void MetricsRegistry::Observe(const std::string& name, double value) {
+  GetOrCreateHistogram(name)->Record(value);
+}
+
+Histogram* MetricsRegistry::GetOrCreateHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return &histograms_[name];
+}
+
+HistogramSnapshot MetricsRegistry::GetHistogram(const std::string& name) const {
+  const Histogram* hist = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) return {};
+    hist = &it->second;
+  }
+  return hist->Snapshot();
+}
+
 void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   counters_.clear();
+  // Zero in place: GetOrCreateHistogram hands out node pointers that hot
+  // paths cache across Reset() calls (benches reset between phases).
+  for (auto& [name, hist] : histograms_) hist.Reset();
 }
 
 std::map<std::string, uint64_t> MetricsRegistry::Snapshot() const {
@@ -30,10 +182,28 @@ std::map<std::string, uint64_t> MetricsRegistry::Snapshot() const {
   return counters_;
 }
 
+std::map<std::string, HistogramSnapshot> MetricsRegistry::HistogramSnapshots()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, HistogramSnapshot> out;
+  for (const auto& [name, hist] : histograms_) {
+    HistogramSnapshot snap = hist.Snapshot();
+    // Empty histograms are invisible: they are Reset() leftovers kept alive
+    // only for pointer stability.
+    if (snap.count > 0) out.emplace(name, std::move(snap));
+  }
+  return out;
+}
+
 std::string MetricsRegistry::ToString() const {
   std::ostringstream os;
   for (const auto& [name, value] : Snapshot()) {
     os << name << " = " << value << "\n";
+  }
+  for (const auto& [name, snap] : HistogramSnapshots()) {
+    os << name << " = count=" << snap.count << " mean=" << snap.mean()
+       << " p50=" << snap.p50 << " p95=" << snap.p95 << " p99=" << snap.p99
+       << " max=" << snap.max << "\n";
   }
   return os.str();
 }

@@ -1,17 +1,97 @@
 #pragma once
 
-// Lightweight metrics: named monotonically increasing counters and gauges.
-// Used to report traffic (bytes pushed/pulled, messages), task retries,
-// checkpoint counts, etc. in tests and benches.
+// Lightweight metrics: named monotonically increasing counters and gauges,
+// plus log-bucketed histograms and a tagged-name convention.
+//
+// Counters are used to report traffic (bytes pushed/pulled, messages), task
+// retries, checkpoint counts, etc. in tests and benches. Histograms record
+// distributions (per-op latencies, queue depths) and answer p50/p95/p99
+// queries from power-of-two buckets. Tagged names extend a flat counter
+// name with key=value dimensions — `net.bytes{op=pull,server=3}` — without
+// changing the registry's storage model: a tagged name is just a name.
+//
+// Determinism note: counters hold only simulation-derived (virtual,
+// seed-deterministic) quantities; histograms are allowed to hold wall-clock
+// measurements. Snapshot() therefore returns counters ONLY — determinism
+// tests may compare it bit-for-bit across runs — while histogram contents
+// travel through the separate HistogramSnapshots() view.
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <mutex>
 #include <string>
+#include <string_view>
+#include <utility>
 
 namespace ps2 {
 
-/// \brief Thread-safe registry of named counters.
+/// Canonical tagged-metric name: `base{k1=v1,k2=v2}`. Tags are emitted in
+/// the order given; callers that want mergeable names must pass them in a
+/// fixed order. Building a name allocates — precompute on hot paths.
+std::string TaggedName(
+    std::string_view base,
+    std::initializer_list<std::pair<std::string_view, std::string_view>> tags);
+
+/// Shorthand for the common single-tag case: `base{server=3}`.
+std::string ServerTaggedName(std::string_view base, int server);
+
+/// \brief Point-in-time summary of one histogram.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+
+  double mean() const { return count == 0 ? 0.0 : sum / count; }
+};
+
+/// \brief Thread-safe log-bucketed histogram of non-negative doubles.
+///
+/// Bucket 0 holds [0, 1); bucket b >= 1 holds [2^(b-1), 2^b). Percentiles
+/// interpolate linearly inside the covering bucket and are clamped to the
+/// exact observed [min, max], so a single-valued histogram reports that
+/// value at every percentile. Negative samples clamp into bucket 0.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Bucket index a value falls into (static: bucket edges are fixed).
+  static int BucketOf(double value);
+  /// Inclusive lower edge of bucket `b`.
+  static double BucketLow(int b);
+  /// Exclusive upper edge of bucket `b`.
+  static double BucketHigh(int b);
+
+  void Record(double value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t Count() const;
+  uint64_t BucketCount(int b) const;
+  /// Interpolated percentile, p in [0, 100].
+  double Percentile(double p) const;
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  double PercentileLocked(double p) const;
+
+  mutable std::mutex mu_;
+  uint64_t buckets_[kNumBuckets] = {};
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// \brief Thread-safe registry of named counters and histograms.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -19,17 +99,41 @@ class MetricsRegistry {
   void Add(const std::string& name, uint64_t delta);
   void Set(const std::string& name, uint64_t value);
   uint64_t Get(const std::string& name) const;
+
+  /// Records one sample into the named histogram (created on first use).
+  void Observe(const std::string& name, double value);
+  /// Snapshot of one histogram (zero snapshot if absent).
+  HistogramSnapshot GetHistogram(const std::string& name) const;
+
+  /// Stable pointer to the named histogram (created on first use), valid for
+  /// the registry's lifetime — Reset() zeroes histograms in place rather
+  /// than destroying them, precisely so hot paths can resolve the name once
+  /// and call Histogram::Record directly, skipping the registry lock and
+  /// string lookup per sample.
+  Histogram* GetOrCreateHistogram(const std::string& name);
+
+  /// Clears counters AND histograms. Histogram map nodes survive (zeroed in
+  /// place) so pointers from GetOrCreateHistogram stay valid.
   void Reset();
 
-  /// Snapshot of all counters (sorted by name).
+  /// Snapshot of all counters (sorted by name). Counters only — see the
+  /// determinism note in the header comment.
   std::map<std::string, uint64_t> Snapshot() const;
 
-  /// Human-readable dump, one "name = value" per line.
+  /// Snapshot of all histograms (sorted by name).
+  std::map<std::string, HistogramSnapshot> HistogramSnapshots() const;
+
+  /// Human-readable dump: one "name = value" per line for counters, then
+  /// one "name = count=N mean=... p50=... p95=... p99=... max=..." per
+  /// histogram.
   std::string ToString() const;
 
  private:
   mutable std::mutex mu_;
   std::map<std::string, uint64_t> counters_;
+  // std::map nodes are stable: Observe takes the registry lock only to find
+  // (or create) the histogram, then records under the histogram's own lock.
+  std::map<std::string, Histogram> histograms_;
 };
 
 }  // namespace ps2

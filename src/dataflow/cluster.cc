@@ -1,8 +1,10 @@
 #include "dataflow/cluster.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace ps2 {
 
@@ -14,10 +16,29 @@ Cluster::Cluster(const ClusterSpec& spec)
       pool_(ThreadPool::Global()),
       root_rng_(spec.seed) {
   PS2_CHECK(spec.Valid()) << "invalid ClusterSpec";
+  server_busy_names_.reserve(spec_.num_servers);
+  server_bytes_to_names_.reserve(spec_.num_servers);
+  server_bytes_from_names_.reserve(spec_.num_servers);
+  for (int s = 0; s < spec_.num_servers; ++s) {
+    server_busy_names_.push_back(
+        ServerTaggedName("obs.server_busy_time", s));
+    server_bytes_to_names_.push_back(
+        ServerTaggedName("net.bytes_to_server", s));
+    server_bytes_from_names_.push_back(
+        ServerTaggedName("net.bytes_from_server", s));
+  }
+  // Trace spans stamp virtual time off this cluster's clock. Last
+  // constructed wins; ClearClock in the dtor only unhooks our own clock.
+  obs::Tracer::Global().SetClock(&clock_);
 }
+
+Cluster::~Cluster() { obs::Tracer::Global().ClearClock(&clock_); }
 
 void Cluster::RunStage(const std::string& name, size_t ntasks,
                        const std::function<void(TaskContext&)>& body) {
+  std::optional<obs::SpanGuard> stage_span;
+  const bool traced = obs::Tracer::Global().enabled();
+  if (traced) stage_span.emplace("dataflow", "stage:" + name);
   // Pre-draw failure attempts serially so results do not depend on thread
   // scheduling.
   std::vector<std::vector<double>> retry_fractions(ntasks);
@@ -38,6 +59,8 @@ void Cluster::RunStage(const std::string& name, size_t ntasks,
     ctx.traffic = &per_task[i];
     ctx.cluster = this;
     TrafficScope scope(&per_task[i]);
+    std::optional<obs::SpanGuard> task_span;
+    if (traced) task_span.emplace("dataflow", "task:" + std::to_string(i));
     body(ctx);
   });
 
@@ -46,39 +69,16 @@ void Cluster::RunStage(const std::string& name, size_t ntasks,
   last_stage_cost_ = breakdown;
   ++stages_run_;
 
-  uint64_t bytes_to = 0, bytes_from = 0, msgs = 0, retries = 0;
+  TaskTraffic stage_traffic;
+  uint64_t retries = 0;
   for (size_t i = 0; i < ntasks; ++i) {
-    bytes_to += per_task[i].TotalBytesToServers();
-    bytes_from += per_task[i].TotalBytesFromServers();
-    msgs += per_task[i].TotalMsgs();
+    stage_traffic.MergeFrom(per_task[i]);
     retries += retry_fractions[i].size();
-  }
-  uint64_t local_hits = 0, local_bytes = 0, rounds = 0;
-  uint64_t msg_retries = 0, dedup_hits = 0;
-  double backoff = 0.0;
-  for (size_t i = 0; i < ntasks; ++i) {
-    local_hits += per_task[i].local_pull_hits;
-    local_bytes += per_task[i].local_pull_bytes;
-    rounds += per_task[i].rounds;
-    msg_retries += per_task[i].retries;
-    backoff += per_task[i].retry_backoff_time;
-    dedup_hits += per_task[i].dedup_hits;
   }
   metrics_.Add("cluster.stages", 1);
   metrics_.Add("cluster.tasks", ntasks);
   metrics_.Add("cluster.task_retries", retries);
-  metrics_.Add("net.bytes_worker_to_server", bytes_to);
-  metrics_.Add("net.bytes_server_to_worker", bytes_from);
-  metrics_.Add("net.messages", msgs);
-  metrics_.Add("net.rounds", rounds);
-  metrics_.Add("net.local_pull_hits", local_hits);
-  metrics_.Add("net.local_pull_bytes", local_bytes);
-  metrics_.Add("net.retries", msg_retries);
-  // Counters are integral; store backoff as microseconds.
-  metrics_.Add("net.retry_backoff_time",
-               static_cast<uint64_t>(backoff * 1e6));
-  metrics_.Add("ps.dedup_hits", dedup_hits);
-  (void)name;
+  RecordTraffic(stage_traffic);
 }
 
 void Cluster::ChargeDriver(SimTime seconds) {
@@ -106,16 +106,41 @@ void Cluster::ChargeOutOfTask(const TaskTraffic& traffic) {
                     cost_.WorkerCompute(traffic.worker_ops) +
                     traffic.retry_backoff_time;
   AdvanceClock(elapsed);
+  RecordTraffic(traffic);
+}
+
+void Cluster::RecordTraffic(const TaskTraffic& traffic) {
   metrics_.Add("net.bytes_worker_to_server", traffic.TotalBytesToServers());
   metrics_.Add("net.bytes_server_to_worker", traffic.TotalBytesFromServers());
   metrics_.Add("net.messages", traffic.TotalMsgs());
   metrics_.Add("net.rounds", traffic.rounds);
+  metrics_.Add("net.pipelined_rounds", traffic.pipelined_rounds);
   metrics_.Add("net.local_pull_hits", traffic.local_pull_hits);
   metrics_.Add("net.local_pull_bytes", traffic.local_pull_bytes);
   metrics_.Add("net.retries", traffic.retries);
+  // Counters are integral; store backoff as microseconds.
   metrics_.Add("net.retry_backoff_time",
                static_cast<uint64_t>(traffic.retry_backoff_time * 1e6));
   metrics_.Add("ps.dedup_hits", traffic.dedup_hits);
+  // Per-server breakdown: bytes each way and the modeled busy time (virtual
+  // µs) this traffic kept server `s` occupied — the straggler signal. All
+  // inputs are simulation quantities, so these counters stay deterministic.
+  const size_t nservers =
+      std::min(traffic.bytes_to_server.size(), server_busy_names_.size());
+  for (size_t s = 0; s < nservers; ++s) {
+    const uint64_t bytes = traffic.bytes_to_server[s] +
+                           traffic.bytes_from_server[s];
+    const uint64_t msgs =
+        traffic.msgs_to_server[s] + traffic.msgs_from_server[s];
+    const uint64_t ops = traffic.server_ops[s];
+    if (bytes == 0 && msgs == 0 && ops == 0) continue;
+    metrics_.Add(server_bytes_to_names_[s], traffic.bytes_to_server[s]);
+    metrics_.Add(server_bytes_from_names_[s], traffic.bytes_from_server[s]);
+    const SimTime busy = static_cast<double>(bytes) / spec_.net_bandwidth_bps +
+                         cost_.MessageOverhead(msgs) +
+                         cost_.ServerCompute(ops);
+    metrics_.Add(server_busy_names_[s], static_cast<uint64_t>(busy * 1e6));
+  }
 }
 
 void Cluster::KillExecutor(int executor_id) {

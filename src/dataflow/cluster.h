@@ -46,6 +46,7 @@ struct TaskContext {
 class Cluster {
  public:
   explicit Cluster(const ClusterSpec& spec);
+  ~Cluster();
 
   const ClusterSpec& spec() const { return spec_; }
   SimClock& clock() { return clock_; }
@@ -82,6 +83,15 @@ class Cluster {
   /// compute (the fan-out runs in parallel across servers).
   void ChargeOutOfTask(const TaskTraffic& traffic);
 
+  /// Adds one TaskTraffic record to the metrics registry: the flat `net.*` /
+  /// `ps.*` counters plus the per-server tagged breakdowns
+  /// (`net.bytes_to_server{server=i}`, `net.bytes_from_server{server=i}`,
+  /// `obs.server_busy_time{server=i}` in virtual µs). Both charge paths —
+  /// RunStage and ChargeOutOfTask — go through here, so a new TaskTraffic
+  /// field only ever needs to be accounted in one place. All quantities are
+  /// virtual and seed-deterministic.
+  void RecordTraffic(const TaskTraffic& traffic);
+
   /// Simulates the loss of an executor: all dataset partitions cached on it
   /// are dropped and will be recomputed through lineage on next access.
   void KillExecutor(int executor_id);
@@ -108,6 +118,11 @@ class Cluster {
   StageCostBreakdown last_stage_cost_;
   std::vector<std::function<void(int)>> cache_invalidation_callbacks_;
   std::mutex callbacks_mu_;
+  // Tagged metric names are precomputed per server (building one allocates;
+  // RecordTraffic runs at every stage barrier).
+  std::vector<std::string> server_busy_names_;
+  std::vector<std::string> server_bytes_to_names_;
+  std::vector<std::string> server_bytes_from_names_;
 };
 
 }  // namespace ps2

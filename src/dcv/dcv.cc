@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "dcv/dcv_batch.h"
+#include "obs/trace.h"
 #include "dcv/dcv_context.h"
 
 namespace ps2 {
@@ -31,22 +32,26 @@ bool Dcv::CoLocatedWith(const Dcv& other) const {
 }
 
 Result<std::vector<double>> Dcv::Pull() const {
+  PS2_TRACE_SPAN("dcv", "pull");
   PS2_RETURN_NOT_OK(CheckValid(*this));
   return context_->client()->PullDense(ref_);
 }
 
 Result<std::vector<double>> Dcv::PullSparse(
     const std::vector<uint64_t>& indices) const {
+  PS2_TRACE_SPAN("dcv", "pull_sparse");
   PS2_RETURN_NOT_OK(CheckValid(*this));
   return context_->client()->PullSparse(ref_, indices);
 }
 
 Status Dcv::Push(const std::vector<double>& delta) {
+  PS2_TRACE_SPAN("dcv", "push");
   PS2_RETURN_NOT_OK(CheckValid(*this));
   return context_->client()->PushDense(ref_, delta);
 }
 
 Status Dcv::Add(const SparseVector& delta) {
+  PS2_TRACE_SPAN("dcv", "add");
   PS2_RETURN_NOT_OK(CheckValid(*this));
   return context_->client()->PushSparse(ref_, delta);
 }
@@ -115,12 +120,14 @@ Result<double> Dcv::Max() const {
 }
 
 Result<double> Dcv::Dot(const Dcv& other) const {
+  PS2_TRACE_SPAN("dcv", "dot");
   PS2_RETURN_NOT_OK(CheckValid(*this));
   PS2_RETURN_NOT_OK(CheckValid(other));
   return context_->client()->Dot(ref_, other.ref_);
 }
 
 Status Dcv::Axpy(const Dcv& x, double alpha) {
+  PS2_TRACE_SPAN("dcv", "axpy");
   PS2_RETURN_NOT_OK(CheckValid(*this));
   PS2_RETURN_NOT_OK(CheckValid(x));
   return context_->client()->ColumnOp(ColOpKind::kAxpy, ref_, {x.ref_}, alpha);
@@ -167,6 +174,7 @@ Status Dcv::Scale(double alpha) {
 }
 
 Status Dcv::Zip(const std::vector<Dcv>& others, int udf_id) {
+  PS2_TRACE_SPAN("dcv", "zip");
   PS2_RETURN_NOT_OK(CheckValid(*this));
   std::vector<RowRef> rows{ref_};
   for (const Dcv& d : others) {
@@ -178,6 +186,7 @@ Status Dcv::Zip(const std::vector<Dcv>& others, int udf_id) {
 
 Result<std::vector<std::vector<double>>> Dcv::ZipAggregate(
     const std::vector<Dcv>& others, int udf_id) const {
+  PS2_TRACE_SPAN("dcv", "zip_aggregate");
   PS2_RETURN_NOT_OK(CheckValid(*this));
   std::vector<RowRef> rows{ref_};
   for (const Dcv& d : others) {

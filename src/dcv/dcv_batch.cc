@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "dcv/dcv_context.h"
+#include "obs/trace.h"
 
 namespace ps2 {
 
@@ -83,6 +84,7 @@ bool DcvBatch::empty() const {
 }
 
 DcvBatch::Future DcvBatch::Submit() {
+  PS2_TRACE_SPAN("dcv", "batch_submit");
   PS2_CHECK(!submitted_) << "DcvBatch::Submit called twice";
   submitted_ = true;
   Future f;
@@ -111,6 +113,7 @@ DcvBatch::Future DcvBatch::Submit() {
 }
 
 Status DcvBatch::Future::Wait() {
+  PS2_TRACE_SPAN("dcv", "batch_wait");
   Status first = error_;
   auto track = [&first](const Status& s) {
     if (first.ok() && !s.ok()) first = s;

@@ -1,0 +1,85 @@
+#include "obs/metrics_json.h"
+
+#include <cstdio>
+
+namespace ps2 {
+namespace obs {
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string MetricsToJson(const MetricsRegistry& metrics) {
+  std::string json;
+  json.append("{\n  \"counters\": {");
+  bool first = true;
+  for (const auto& [name, value] : metrics.Snapshot()) {
+    json.append(first ? "\n" : ",\n");
+    first = false;
+    json.append("    \"");
+    AppendEscaped(&json, name);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "\": %llu",
+                  static_cast<unsigned long long>(value));
+    json.append(buf);
+  }
+  json.append(first ? "},\n" : "\n  },\n");
+  json.append("  \"histograms\": {");
+  first = true;
+  for (const auto& [name, snap] : metrics.HistogramSnapshots()) {
+    json.append(first ? "\n" : ",\n");
+    first = false;
+    json.append("    \"");
+    AppendEscaped(&json, name);
+    json.append("\": {\"count\": ");
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(snap.count));
+    json.append(buf);
+    json.append(", \"sum\": ");
+    AppendDouble(&json, snap.sum);
+    json.append(", \"min\": ");
+    AppendDouble(&json, snap.min);
+    json.append(", \"max\": ");
+    AppendDouble(&json, snap.max);
+    json.append(", \"p50\": ");
+    AppendDouble(&json, snap.p50);
+    json.append(", \"p95\": ");
+    AppendDouble(&json, snap.p95);
+    json.append(", \"p99\": ");
+    AppendDouble(&json, snap.p99);
+    json.append("}");
+  }
+  json.append(first ? "}\n}\n" : "\n  }\n}\n");
+  return json;
+}
+
+Status WriteMetricsJson(const MetricsRegistry& metrics,
+                        const std::string& path) {
+  std::string json = MetricsToJson(metrics);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open metrics file: " + path);
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::Internal("short write to metrics file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace ps2

@@ -1,0 +1,25 @@
+#pragma once
+
+// JSON export of a MetricsRegistry: all counters plus percentile summaries
+// of all histograms. Consumed by `ps2run --metrics-json=...` and by humans
+// diffing two runs.
+
+#include <string>
+
+#include "common/metrics.h"
+#include "common/status.h"
+
+namespace ps2 {
+namespace obs {
+
+/// Serializes `metrics` as
+/// `{"counters": {name: value, ...},
+///   "histograms": {name: {count,sum,min,max,p50,p95,p99}, ...}}`.
+std::string MetricsToJson(const MetricsRegistry& metrics);
+
+/// MetricsToJson written to `path`.
+Status WriteMetricsJson(const MetricsRegistry& metrics,
+                        const std::string& path);
+
+}  // namespace obs
+}  // namespace ps2

@@ -1,0 +1,269 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+namespace ps2 {
+namespace obs {
+namespace {
+
+double WallNowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+thread_local int t_depth = 0;
+
+// JSON string escaping for span names (categories are code literals but get
+// the same treatment — it is cheap and WriteChromeTrace is cold).
+void AppendJsonEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+}  // namespace
+
+/// Fixed-capacity overwrite-oldest buffer owned by one thread. Writes touch
+/// only this ring (under its own mutex, uncontended except during Collect),
+/// so tracing never serializes worker threads against each other.
+struct Tracer::ThreadRing {
+  explicit ThreadRing(size_t capacity, uint32_t tid)
+      : capacity(capacity), tid(tid) {
+    events.reserve(capacity);
+  }
+
+  void Push(TraceEvent event) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (events.size() < capacity) {
+      events.push_back(std::move(event));
+    } else {
+      events[next] = std::move(event);
+      next = (next + 1) % capacity;
+      ++dropped;
+    }
+  }
+
+  std::mutex mu;
+  size_t capacity;
+  uint32_t tid;
+  std::vector<TraceEvent> events;
+  size_t next = 0;  ///< overwrite cursor once full (oldest entry)
+  uint64_t dropped = 0;
+};
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();  // leaked: outlives exiting threads
+  return *tracer;
+}
+
+Tracer::ThreadRing* Tracer::RingForThisThread() {
+  // One ring per (thread, tracer-lifetime): rings are owned by the tracer via
+  // shared_ptr so Collect can read them after the thread exits; the
+  // thread_local caches a lookup keyed by nothing because each thread only
+  // ever creates one ring per process (Clear empties rings in place rather
+  // than discarding them, so the cache stays valid across Enable/Clear).
+  thread_local std::shared_ptr<ThreadRing> ring;
+  if (!ring) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ring = std::make_shared<ThreadRing>(
+        capacity_, next_tid_.fetch_add(1, std::memory_order_relaxed));
+    rings_.push_back(ring);
+  }
+  return ring.get();
+}
+
+void Tracer::Enable(size_t ring_capacity) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    capacity_ = ring_capacity == 0 ? 1 : ring_capacity;
+    for (auto& ring : rings_) {
+      std::lock_guard<std::mutex> ring_lock(ring->mu);
+      ring->events.clear();
+      ring->events.reserve(capacity_);
+      ring->capacity = capacity_;
+      ring->next = 0;
+      ring->dropped = 0;
+    }
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Tracer::SetClock(const SimClock* clock) {
+  clock_.store(clock, std::memory_order_release);
+}
+
+void Tracer::ClearClock(const SimClock* clock) {
+  const SimClock* expected = clock;
+  clock_.compare_exchange_strong(expected, nullptr,
+                                 std::memory_order_acq_rel);
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    ring->events.clear();
+    ring->next = 0;
+    ring->dropped = 0;
+  }
+}
+
+void Tracer::Record(TraceEvent event) {
+  if (!enabled()) return;
+  event.tid = 0;  // overwritten below with the ring's dense id
+  ThreadRing* ring = RingForThisThread();
+  event.tid = ring->tid;
+  ring->Push(std::move(event));
+}
+
+void Tracer::Now(double* wall_us, double* virt_s) const {
+  *wall_us = WallNowUs();
+  const SimClock* clock = clock_.load(std::memory_order_acquire);
+  *virt_s = clock ? clock->Now() : -1.0;
+}
+
+std::vector<TraceEvent> Tracer::Collect() const {
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rings = rings_;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& ring : rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    out.insert(out.end(), ring->events.begin(), ring->events.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.wall_begin_us < b.wall_begin_us;
+                   });
+  return out;
+}
+
+uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    total += ring->dropped;
+  }
+  return total;
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  std::vector<TraceEvent> events = Collect();
+  // Normalize timestamps so the trace starts near t=0 — chrome://tracing
+  // handles absolute steady_clock values but the viewport math gets ugly.
+  double epoch = events.empty() ? 0.0 : events.front().wall_begin_us;
+
+  std::string json;
+  json.reserve(events.size() * 160 + 256);
+  json.append("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+  char buf[64];
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) json.push_back(',');
+    first = false;
+    json.append("{\"name\":\"");
+    AppendJsonEscaped(&json, e.name);
+    json.append("\",\"cat\":\"");
+    AppendJsonEscaped(&json, e.category);
+    json.append("\",\"ph\":\"X\",\"pid\":0,\"tid\":");
+    std::snprintf(buf, sizeof(buf), "%u", e.tid);
+    json.append(buf);
+    json.append(",\"ts\":");
+    std::snprintf(buf, sizeof(buf), "%.3f", e.wall_begin_us - epoch);
+    json.append(buf);
+    json.append(",\"dur\":");
+    std::snprintf(buf, sizeof(buf), "%.3f", e.wall_dur_us);
+    json.append(buf);
+    json.append(",\"args\":{\"virt_begin_s\":");
+    std::snprintf(buf, sizeof(buf), "%.9g", e.virt_begin_s);
+    json.append(buf);
+    json.append(",\"virt_dur_s\":");
+    std::snprintf(buf, sizeof(buf), "%.9g",
+                  e.virt_end_s >= 0.0 && e.virt_begin_s >= 0.0
+                      ? e.virt_end_s - e.virt_begin_s
+                      : 0.0);
+    json.append(buf);
+    json.append(",\"depth\":");
+    std::snprintf(buf, sizeof(buf), "%d", e.depth);
+    json.append(buf);
+    json.append("}}");
+  }
+  json.append("]}\n");
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open trace file: " + path);
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::Internal("short write to trace file: " + path);
+  }
+  return Status::OK();
+}
+
+// -------------------------------------------------------------------- SpanGuard
+
+SpanGuard::SpanGuard(const char* category, const char* name) {
+  if (!Tracer::Global().enabled()) return;
+  event_.name = name;
+  Open(category);
+}
+
+SpanGuard::SpanGuard(const char* category, std::string name) {
+  if (!Tracer::Global().enabled()) return;
+  event_.name = std::move(name);
+  Open(category);
+}
+
+void SpanGuard::Open(const char* category) {
+  active_ = true;
+  event_.category = category;
+  event_.depth = ++t_depth;
+  Tracer::Global().Now(&event_.wall_begin_us, &event_.virt_begin_s);
+}
+
+SpanGuard::~SpanGuard() {
+  if (!active_) return;
+  --t_depth;
+  double wall_end_us = 0.0;
+  Tracer::Global().Now(&wall_end_us, &event_.virt_end_s);
+  event_.wall_dur_us = wall_end_us - event_.wall_begin_us;
+  Tracer::Global().Record(std::move(event_));
+}
+
+}  // namespace obs
+}  // namespace ps2

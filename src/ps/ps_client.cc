@@ -1,7 +1,9 @@
 #include "ps/ps_client.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <condition_variable>
 #include <limits>
@@ -12,10 +14,56 @@
 #include "common/logging.h"
 #include "linalg/dense_vector.h"
 #include "net/message.h"
+#include "obs/trace.h"
 
 namespace ps2 {
 
 namespace {
+
+double WallUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Opcode byte of a serialized request (0xff for an empty payload).
+PsOpCode PeekOpCode(const std::vector<uint8_t>& payload) {
+  return payload.empty() ? static_cast<PsOpCode>(0xff)
+                         : static_cast<PsOpCode>(payload[0]);
+}
+
+/// One lazily built name table per metric base: tagged names allocate, and
+/// ExecuteRequest runs for every message of every op.
+const std::string* MakeOpNames(const char* base) {
+  auto* names = new std::array<std::string, kNumPsOpCodes + 1>;
+  for (int i = 0; i < kNumPsOpCodes; ++i) {
+    (*names)[i] =
+        TaggedName(base, {{"op", PsOpCodeName(static_cast<PsOpCode>(i))}});
+  }
+  (*names)[kNumPsOpCodes] = TaggedName(base, {{"op", "unknown"}});
+  return names->data();
+}
+
+const std::string& OpName(const std::string* table, PsOpCode op) {
+  const int i = static_cast<int>(op);
+  return table[i >= 0 && i < kNumPsOpCodes ? i : kNumPsOpCodes];
+}
+
+/// Per-opcode slot in a histogram-pointer table sized kNumPsOpCodes + 1.
+Histogram* OpHist(const std::vector<Histogram*>& table, PsOpCode op) {
+  const int i = static_cast<int>(op);
+  return table[i >= 0 && i < kNumPsOpCodes ? i : kNumPsOpCodes];
+}
+
+const std::string& ExchangeUsName(PsOpCode op) {
+  static const std::string* table = MakeOpNames("ps.client.exchange_us");
+  return OpName(table, op);
+}
+
+const std::string& AsyncOpUsName(PsOpCode op) {
+  static const std::string* table = MakeOpNames("ps.client.async_op_us");
+  return OpName(table, op);
+}
 
 /// Charges the cluster clock with the collective cost of a coordinator-issued
 /// op's fan-out: dependent round latency, the worst single server's share,
@@ -147,6 +195,19 @@ PsClient::PsClient(PsMaster* master, PsClientOptions options)
     if (threads <= 0) threads = std::min(std::max(master_->num_servers(), 1), 16);
     io_pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(threads));
   }
+  MetricsRegistry& metrics = master_->cluster()->metrics();
+  exchange_us_hists_.resize(kNumPsOpCodes + 1);
+  async_op_us_hists_.resize(kNumPsOpCodes + 1);
+  for (int i = 0; i <= kNumPsOpCodes; ++i) {
+    const PsOpCode op =
+        static_cast<PsOpCode>(i < kNumPsOpCodes ? i : 0xff);
+    exchange_us_hists_[i] = metrics.GetOrCreateHistogram(ExchangeUsName(op));
+    async_op_us_hists_[i] = metrics.GetOrCreateHistogram(AsyncOpUsName(op));
+  }
+  retries_hist_ =
+      metrics.GetOrCreateHistogram("ps.client.retries_per_exchange");
+  backoff_hist_ =
+      metrics.GetOrCreateHistogram("ps.client.backoff_per_exchange_s");
   master_->hotspot()->RegisterCache(&cache_);
 }
 
@@ -180,6 +241,31 @@ PsClient::ExchangeOutcome PsClient::ExecuteRequest(
   PsServer* server = master_->server(request.server);
   RpcHeader header = request.header;
   const int max_attempts = options_.max_attempts;
+  const PsOpCode op = PeekOpCode(request.payload);
+  PS2_TRACE_SPAN("ps.client", PsOpCodeName(op));
+  // Wall-clock per-exchange latency and virtual retry/backoff samples land
+  // in histograms only; the deterministic totals stay on the TaskTraffic
+  // counter path (Cluster::RecordTraffic). Latency is sampled 1 in 16 per
+  // thread (same rationale as PsServer::Handle: the clock reads and record
+  // cost real time on the hottest path); retries are rare events and every
+  // one is recorded.
+  static thread_local uint32_t sample_tick = 0;
+  const bool sampled = (sample_tick++ & 15) == 0;
+  struct LatencyObserver {
+    Histogram* exchange_us;
+    Histogram* retries_hist;
+    Histogram* backoff_hist;
+    double start_us;
+    const ExchangeOutcome* out;
+    ~LatencyObserver() {
+      if (exchange_us != nullptr) exchange_us->Record(WallUs() - start_us);
+      if (out->retries > 0) {
+        retries_hist->Record(static_cast<double>(out->retries));
+        backoff_hist->Record(out->backoff);
+      }
+    }
+  } observer{sampled ? OpHist(exchange_us_hists_, op) : nullptr,
+             retries_hist_, backoff_hist_, sampled ? WallUs() : 0.0, &out};
   for (int attempt = 1;; ++attempt) {
     header.attempt = static_cast<uint32_t>(attempt);
     const MessageFault fault = cluster->failures().DrawMessageFault(
@@ -253,6 +339,7 @@ Result<PsServer::HandleResult> PsClient::Exchange(
 Result<std::vector<PsServer::HandleResult>> PsClient::ExchangeAll(
     TaskTraffic* traffic, std::vector<ServerRequest> requests) {
   const size_t n = requests.size();
+  PS2_TRACE_SPAN("ps.client", "exchange_all");
   StampRequests(&requests);
   std::vector<ExchangeOutcome> slots(n);
   if (io_pool_ != nullptr && options_.parallel_fanout && n > 1) {
@@ -295,12 +382,73 @@ PsFuture<T> PsClient::ReadyFuture(Result<T> result) {
   return MakeReadyFuture<T>(std::move(result));
 }
 
+namespace {
+
+/// Issue-to-complete observability of one async op. Captured by value into
+/// the fan-out completion lambda: the op can finish on a pool thread, so a
+/// scope-bound SpanGuard on the issuing thread would under-report — the
+/// completing thread stamps the end and records the whole interval.
+struct AsyncOpObs {
+  Histogram* async_op_us = nullptr;
+  PsOpCode op = static_cast<PsOpCode>(0xff);
+  double wall_begin_us = 0.0;
+  double virt_begin_s = -1.0;
+  bool traced = false;
+
+  static AsyncOpObs Begin(Histogram* async_op_us, PsOpCode op) {
+    AsyncOpObs obs;
+    obs.op = op;
+    obs.traced = obs::Tracer::Global().enabled();
+    if (obs.traced) {
+      // Tracing wants every span; the histogram rides along for free.
+      obs.async_op_us = async_op_us;
+      obs::Tracer::Global().Now(&obs.wall_begin_us, &obs.virt_begin_s);
+      return obs;
+    }
+    // Tracing off: sample the latency histogram 1 in 16 per thread, same as
+    // the sync exchange path — issue-to-complete spans are per async op,
+    // and the two clock reads add up on pipelined flows.
+    static thread_local uint32_t sample_tick = 0;
+    if ((sample_tick++ & 15) == 0) {
+      obs.async_op_us = async_op_us;
+      obs.wall_begin_us = WallUs();
+    }
+    return obs;
+  }
+
+  void Complete() const {
+    double wall_end_us = 0.0, virt_end_s = -1.0;
+    if (traced) {
+      obs::Tracer::Global().Now(&wall_end_us, &virt_end_s);
+      obs::TraceEvent event;
+      event.category = "ps.client.async";
+      event.name = PsOpCodeName(op);
+      event.wall_begin_us = wall_begin_us;
+      event.wall_dur_us = wall_end_us - wall_begin_us;
+      event.virt_begin_s = virt_begin_s;
+      event.virt_end_s = virt_end_s;
+      obs::Tracer::Global().Record(std::move(event));
+    } else if (async_op_us != nullptr) {
+      wall_end_us = WallUs();
+    } else {
+      return;
+    }
+    async_op_us->Record(wall_end_us - wall_begin_us);
+  }
+};
+
+}  // namespace
+
 template <typename T>
 PsFuture<T> PsClient::SubmitAsync(std::vector<ServerRequest> requests,
                                   ParseFn<T> parse) {
   auto state = std::make_shared<internal::PsFutureState<T>>();
   std::shared_ptr<AsyncCore> core = core_;
   const void* ctx = TrafficScope::Current();
+  const PsOpCode first_op = requests.empty() ? static_cast<PsOpCode>(0xff)
+                                             : PeekOpCode(requests[0].payload);
+  const AsyncOpObs op_obs =
+      AsyncOpObs::Begin(OpHist(async_op_us_hists_, first_op), first_op);
 
   const bool leader = core->Issue(ctx);
   if (leader) {
@@ -337,6 +485,7 @@ PsFuture<T> PsClient::SubmitAsync(std::vector<ServerRequest> requests,
     } else {
       state->Complete(parse(std::move(*results), &state->traffic));
     }
+    op_obs.Complete();
     return PsFuture<T>(std::move(state));
   }
 
@@ -355,7 +504,7 @@ PsFuture<T> PsClient::SubmitAsync(std::vector<ServerRequest> requests,
   op->remaining.store(n, std::memory_order_relaxed);
   op->parse = std::move(parse);
   for (size_t i = 0; i < n; ++i) {
-    io_pool_->Submit([this, op, state, core, i] {
+    io_pool_->Submit([this, op, state, core, i, op_obs] {
       op->slots[i] = ExecuteRequest(op->requests[i]);
       if (op->remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
       // Last response in: record in request order with the unified error
@@ -386,6 +535,7 @@ PsFuture<T> PsClient::SubmitAsync(std::vector<ServerRequest> requests,
       } else {
         state->Complete(op->parse(std::move(results), &state->traffic));
       }
+      op_obs.Complete();
     });
   }
   return PsFuture<T>(std::move(state));

@@ -60,6 +60,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "hotspot/client_cache.h"
@@ -327,6 +328,14 @@ class PsClient {
   /// Bounded-staleness copies of the hot rows, warmed by the
   /// HotspotManager at every replica sync.
   HotRowCache cache_;
+  /// Per-opcode latency histograms (index kNumPsOpCodes = unknown opcode),
+  /// resolved once at construction so the per-exchange cost is a direct
+  /// Histogram::Record — no registry lock or string lookup on the hot path.
+  /// Pointers survive MetricsRegistry::Reset (see GetOrCreateHistogram).
+  std::vector<Histogram*> exchange_us_hists_;
+  std::vector<Histogram*> async_op_us_hists_;
+  Histogram* retries_hist_ = nullptr;
+  Histogram* backoff_hist_ = nullptr;
 };
 
 }  // namespace ps2

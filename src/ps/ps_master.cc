@@ -13,6 +13,7 @@ PsMaster::PsMaster(Cluster* cluster) : cluster_(cluster) {
   servers_.reserve(n);
   for (int s = 0; s < n; ++s) {
     servers_.push_back(std::make_unique<PsServer>(s, &udfs_));
+    servers_.back()->SetMetrics(&cluster->metrics());
   }
   hotspot_ = std::make_unique<HotspotManager>(this);
 }

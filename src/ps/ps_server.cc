@@ -1,13 +1,36 @@
 #include "ps/ps_server.h"
 
 #include <algorithm>
+#include <array>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
 #include "common/logging.h"
 #include "linalg/dense_vector.h"
+#include "obs/trace.h"
 
 namespace ps2 {
+
+namespace {
+
+// Precomputed per-opcode histogram names (building a tagged name allocates;
+// Handle is the hottest function in the tree).
+const std::string& HandleUsName(PsOpCode op) {
+  static const auto* names = [] {
+    auto* n = new std::array<std::string, kNumPsOpCodes + 1>;
+    for (int i = 0; i < kNumPsOpCodes; ++i) {
+      (*n)[i] = TaggedName("ps.server.handle_us",
+                           {{"op", PsOpCodeName(static_cast<PsOpCode>(i))}});
+    }
+    (*n)[kNumPsOpCodes] = TaggedName("ps.server.handle_us", {{"op", "unknown"}});
+    return n;
+  }();
+  const int i = static_cast<int>(op);
+  return (*names)[i >= 0 && i < kNumPsOpCodes ? i : kNumPsOpCodes];
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------- UdfRegistry
 
@@ -79,6 +102,19 @@ Status PsServer::FreeMatrixShard(int matrix_id) {
 bool PsServer::HasMatrix(int matrix_id) const {
   std::lock_guard<std::mutex> lock(mu_);
   return shards_.count(matrix_id) > 0;
+}
+
+void PsServer::SetMetrics(MetricsRegistry* metrics) {
+  // Called once at wiring time (PsMaster ctor), before any data-plane
+  // traffic — the pointer caches are never written concurrently with Handle.
+  handle_us_hists_.resize(kNumPsOpCodes + 1);
+  for (int i = 0; i <= kNumPsOpCodes; ++i) {
+    handle_us_hists_[i] = metrics->GetOrCreateHistogram(HandleUsName(
+        static_cast<PsOpCode>(i < kNumPsOpCodes ? i : 0xff)));
+  }
+  queue_depth_hist_ = metrics->GetOrCreateHistogram(
+      ServerTaggedName("ps.server.queue_depth", id_));
+  metrics_.store(metrics, std::memory_order_release);
 }
 
 void PsServer::EnableAccessStats(size_t capacity) {
@@ -222,6 +258,44 @@ Result<PsServer::HandleResult> PsServer::Handle(
 }
 
 Result<PsServer::HandleResult> PsServer::Handle(
+    const RpcHeader& header, const std::vector<uint8_t>& request) {
+  const PsOpCode op = request.empty() ? static_cast<PsOpCode>(0xff)
+                                      : static_cast<PsOpCode>(request[0]);
+  PS2_TRACE_SPAN("ps.server", PsOpCodeName(op));
+  if (metrics_.load(std::memory_order_acquire) == nullptr) {
+    return HandleInternal(header, request);
+  }
+  // Latency/queue-depth histograms sample 1 in 16 requests per thread: two
+  // clock reads plus two histogram records per request measurably slow the
+  // hottest loop in the tree, and the distributions converge just as well
+  // from a deterministic per-thread 1/16 stride. `active_` still counts every
+  // request, so sampled depth readings see the true in-flight population.
+  static thread_local uint32_t sample_tick = 0;
+  const bool sampled = (sample_tick++ & 15) == 0;
+  const int depth = active_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (!sampled) {
+    Result<HandleResult> result = HandleInternal(header, request);
+    active_.fetch_sub(1, std::memory_order_relaxed);
+    return result;
+  }
+  // Queue depth = requests in flight on this server the moment this one
+  // arrives (including itself). Service time is measured from arrival to
+  // return, so it includes the wait for mu_ — i.e. queueing delay, which is
+  // exactly the straggler signal we want per opcode.
+  const auto start = std::chrono::steady_clock::now();
+  Result<HandleResult> result = HandleInternal(header, request);
+  const double us = std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  active_.fetch_sub(1, std::memory_order_relaxed);
+  const int i = static_cast<int>(op);
+  handle_us_hists_[i >= 0 && i < kNumPsOpCodes ? i : kNumPsOpCodes]
+      ->Record(us);
+  queue_depth_hist_->Record(static_cast<double>(depth));
+  return result;
+}
+
+Result<PsServer::HandleResult> PsServer::HandleInternal(
     const RpcHeader& header, const std::vector<uint8_t>& request) {
   std::lock_guard<std::mutex> lock(mu_);
   if (crashed_) {

@@ -10,6 +10,7 @@
 // paper Figs. 3/8) are looked up in a UdfRegistry — standing in for code
 // pre-deployed to the servers in the real system.
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -18,6 +19,7 @@
 #include <set>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/serde.h"
 #include "common/status.h"
@@ -56,6 +58,15 @@ class PsServer {
   PsServer(int id, const UdfRegistry* udfs) : id_(id), udfs_(udfs) {}
 
   int id() const { return id_; }
+
+  /// Points service-time observability at `metrics` (PsMaster wires the
+  /// cluster registry here). With metrics attached, every data-plane Handle
+  /// records its wall-clock service time into the per-opcode histogram
+  /// `ps.server.handle_us{op=...}` and the request concurrency seen on
+  /// arrival into `ps.server.queue_depth{server=i}`. Wall-clock samples go
+  /// into histograms only — never counters — so determinism-checked
+  /// Snapshot() output is unaffected. nullptr (the default) disables.
+  void SetMetrics(MetricsRegistry* metrics);
 
   /// Control plane (issued by the master, not on the data path).
   Status CreateMatrixShard(const MatrixMeta& meta);
@@ -180,6 +191,8 @@ class PsServer {
 
   Result<HandleResult> HandleLocked(const RpcHeader& header,
                                     const std::vector<uint8_t>& request);
+  Result<HandleResult> HandleInternal(const RpcHeader& header,
+                                      const std::vector<uint8_t>& request);
 
   Result<Shard*> FindShard(int matrix_id, uint32_t row);
   Result<double*> DenseRow(int matrix_id, uint32_t row, uint64_t* width,
@@ -227,6 +240,15 @@ class PsServer {
   bool crashed_ = false;
   size_t stats_capacity_ = 0;  ///< 0 = access statistics off
   std::unique_ptr<AccessStats> stats_;
+  // Observability (SetMetrics). `active_` counts Handle calls currently in
+  // flight on this server — sampled at request arrival as the queue depth.
+  // Histogram pointers are resolved once at wiring time so the per-request
+  // cost is a direct Histogram::Record, not a registry lookup (pointers
+  // stay valid across MetricsRegistry::Reset — see GetOrCreateHistogram).
+  std::atomic<MetricsRegistry*> metrics_{nullptr};
+  std::atomic<int> active_{0};
+  std::vector<Histogram*> handle_us_hists_;  ///< per opcode, + 1 for unknown
+  Histogram* queue_depth_hist_ = nullptr;
 };
 
 }  // namespace ps2

@@ -101,6 +101,37 @@ enum class PsOpCode : uint8_t {
   kHotPush = 18,       ///< sparse delta accumulated into a local replica
 };
 
+/// Stable short name of an opcode for metric tags and trace spans
+/// (`ps.server.handle_us{op=pull_dense}`). Returns "unknown" for values
+/// outside the enum rather than crashing on a corrupted wire byte.
+constexpr const char* PsOpCodeName(PsOpCode op) {
+  switch (op) {
+    case PsOpCode::kPullDense: return "pull_dense";
+    case PsOpCode::kPullSparse: return "pull_sparse";
+    case PsOpCode::kPushDense: return "push_dense";
+    case PsOpCode::kPushSparse: return "push_sparse";
+    case PsOpCode::kRowAgg: return "row_agg";
+    case PsOpCode::kColumnOp: return "column_op";
+    case PsOpCode::kDotPartial: return "dot_partial";
+    case PsOpCode::kZip: return "zip";
+    case PsOpCode::kZipAggregate: return "zip_aggregate";
+    case PsOpCode::kDotBatch: return "dot_batch";
+    case PsOpCode::kAxpyBatch: return "axpy_batch";
+    case PsOpCode::kMatrixInit: return "matrix_init";
+    case PsOpCode::kPullRowsBatch: return "pull_rows_batch";
+    case PsOpCode::kPushRowsBatch: return "push_rows_batch";
+    case PsOpCode::kPullSparseRowsBatch: return "pull_sparse_rows_batch";
+    case PsOpCode::kPushSparseRowsBatch: return "push_sparse_rows_batch";
+    case PsOpCode::kHotSetUpdate: return "hot_set_update";
+    case PsOpCode::kReplicaSync: return "replica_sync";
+    case PsOpCode::kHotPush: return "hot_push";
+  }
+  return "unknown";
+}
+
+/// Number of distinct PsOpCode values (for per-opcode metric tables).
+constexpr int kNumPsOpCodes = 19;
+
 /// True for opcodes whose handlers mutate server state. Retrying one of
 /// these after an ambiguous failure (a lost *response*) would double-apply
 /// without the per-client sequence-number dedup in PsServer — read-only

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace ps2 {
+namespace {
+
+TEST(TaggedName, FormatsTagsInOrder) {
+  EXPECT_EQ(TaggedName("net.bytes", {}), "net.bytes");
+  EXPECT_EQ(TaggedName("net.bytes", {{"op", "pull"}}), "net.bytes{op=pull}");
+  EXPECT_EQ(TaggedName("net.bytes", {{"op", "pull"}, {"server", "3"}}),
+            "net.bytes{op=pull,server=3}");
+  EXPECT_EQ(ServerTaggedName("obs.server_busy_time", 7),
+            "obs.server_busy_time{server=7}");
+}
+
+TEST(Histogram, BucketBoundaries) {
+  // Bucket 0 is [0, 1); bucket b >= 1 is [2^(b-1), 2^b).
+  EXPECT_EQ(Histogram::BucketOf(0.0), 0);
+  EXPECT_EQ(Histogram::BucketOf(0.5), 0);
+  EXPECT_EQ(Histogram::BucketOf(0.999), 0);
+  EXPECT_EQ(Histogram::BucketOf(1.0), 1);
+  EXPECT_EQ(Histogram::BucketOf(1.999), 1);
+  EXPECT_EQ(Histogram::BucketOf(2.0), 2);
+  EXPECT_EQ(Histogram::BucketOf(3.0), 2);
+  EXPECT_EQ(Histogram::BucketOf(4.0), 3);
+  EXPECT_EQ(Histogram::BucketOf(1024.0), 11);
+  // Degenerate inputs clamp instead of crashing.
+  EXPECT_EQ(Histogram::BucketOf(-5.0), 0);
+  EXPECT_EQ(Histogram::BucketOf(std::nan("")), 0);
+  EXPECT_EQ(Histogram::BucketOf(std::numeric_limits<double>::infinity()),
+            Histogram::kNumBuckets - 1);
+  // Edges are consistent with BucketOf.
+  EXPECT_EQ(Histogram::BucketLow(0), 0.0);
+  EXPECT_EQ(Histogram::BucketHigh(0), 1.0);
+  EXPECT_EQ(Histogram::BucketLow(3), 4.0);
+  EXPECT_EQ(Histogram::BucketHigh(3), 8.0);
+}
+
+TEST(Histogram, CountsPerBucket) {
+  Histogram h;
+  h.Record(0.25);
+  h.Record(1.5);
+  h.Record(1.75);
+  h.Record(5.0);
+  EXPECT_EQ(h.Count(), 4u);
+  EXPECT_EQ(h.BucketCount(0), 1u);
+  EXPECT_EQ(h.BucketCount(1), 2u);
+  EXPECT_EQ(h.BucketCount(3), 1u);
+  EXPECT_EQ(h.BucketCount(2), 0u);
+}
+
+TEST(Histogram, SingleValuePercentilesClampToObserved) {
+  Histogram h;
+  h.Record(42.0);
+  // Interpolation inside bucket [32, 64) would not return 42; the clamp to
+  // the observed [min, max] must.
+  EXPECT_EQ(h.Percentile(0.0), 42.0);
+  EXPECT_EQ(h.Percentile(50.0), 42.0);
+  EXPECT_EQ(h.Percentile(99.0), 42.0);
+  EXPECT_EQ(h.Percentile(100.0), 42.0);
+}
+
+TEST(Histogram, PercentilesAreMonotoneAndBracketed) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(static_cast<double>(i));
+  double p50 = h.Percentile(50.0);
+  double p95 = h.Percentile(95.0);
+  double p99 = h.Percentile(99.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p99, 1000.0);
+  // Log-bucketed: p50 of uniform [1, 1000] must land within the covering
+  // power-of-two bucket [512, 1024) clamped to max 1000.
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LE(p50, 1000.0);
+}
+
+TEST(Histogram, SnapshotSummarizes) {
+  Histogram h;
+  h.Record(1.0);
+  h.Record(3.0);
+  h.Record(8.0);
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_DOUBLE_EQ(snap.sum, 12.0);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 8.0);
+  EXPECT_DOUBLE_EQ(snap.mean(), 4.0);
+  EXPECT_GE(snap.p99, snap.p50);
+}
+
+TEST(Histogram, MergeCombinesCountsAndExtremes) {
+  Histogram a, b;
+  a.Record(1.0);
+  a.Record(2.0);
+  b.Record(100.0);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 3u);
+  HistogramSnapshot snap = a.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 100.0);
+  EXPECT_DOUBLE_EQ(snap.sum, 103.0);
+  // Merging into an empty histogram adopts the source's extremes.
+  Histogram c;
+  c.Merge(a);
+  EXPECT_EQ(c.Count(), 3u);
+  EXPECT_DOUBLE_EQ(c.Snapshot().min, 1.0);
+  // Self-merge is a no-op, not a double count.
+  c.Merge(c);
+  EXPECT_EQ(c.Count(), 3u);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.Record(7.0);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Snapshot().max, 0.0);
+}
+
+TEST(Histogram, ConcurrentRecord) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<double>(t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h.Count(), static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+TEST(MetricsRegistry, ObserveKeepsCounterSnapshotClean) {
+  MetricsRegistry m;
+  m.Add("net.bytes", 10);
+  m.Observe("latency_us", 5.0);
+  m.Observe("latency_us", 15.0);
+  // Snapshot() is the determinism-checked view: counters only.
+  auto counters = m.Snapshot();
+  EXPECT_EQ(counters.size(), 1u);
+  EXPECT_EQ(counters.at("net.bytes"), 10u);
+  // Histograms travel through their own view.
+  auto hists = m.HistogramSnapshots();
+  ASSERT_EQ(hists.size(), 1u);
+  EXPECT_EQ(hists.at("latency_us").count, 2u);
+  HistogramSnapshot snap = m.GetHistogram("latency_us");
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_DOUBLE_EQ(snap.sum, 20.0);
+  EXPECT_EQ(m.GetHistogram("absent").count, 0u);
+}
+
+TEST(MetricsRegistry, ResetClearsHistogramsToo) {
+  MetricsRegistry m;
+  m.Add("c", 1);
+  m.Observe("h", 1.0);
+  m.Reset();
+  EXPECT_TRUE(m.Snapshot().empty());
+  EXPECT_TRUE(m.HistogramSnapshots().empty());
+}
+
+TEST(MetricsRegistry, HistogramPointersSurviveReset) {
+  // Hot paths cache the pointer returned by GetOrCreateHistogram across
+  // Reset() calls (benches reset metrics between phases), so Reset must
+  // zero histograms in place, never destroy the map nodes.
+  MetricsRegistry m;
+  Histogram* h = m.GetOrCreateHistogram("latency");
+  h->Record(1.0);
+  m.Reset();
+  EXPECT_TRUE(m.HistogramSnapshots().empty());
+  h->Record(2.0);  // the cached pointer is still wired into the registry
+  EXPECT_EQ(m.GetHistogram("latency").count, 1u);
+  EXPECT_DOUBLE_EQ(m.GetHistogram("latency").sum, 2.0);
+  EXPECT_EQ(m.GetOrCreateHistogram("latency"), h);
+}
+
+TEST(MetricsRegistry, ConcurrentObserveDistinctAndSharedNames) {
+  MetricsRegistry m;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&m, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        m.Observe("shared", static_cast<double>(i));
+        m.Observe("own_" + std::to_string(t), static_cast<double>(i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(m.GetHistogram("shared").count,
+            static_cast<uint64_t>(kThreads * kPerThread));
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(m.GetHistogram("own_" + std::to_string(t)).count,
+              static_cast<uint64_t>(kPerThread));
+  }
+}
+
+TEST(MetricsRegistry, ToStringIncludesHistograms) {
+  MetricsRegistry m;
+  m.Add("counter", 3);
+  m.Observe("hist", 2.0);
+  std::string s = m.ToString();
+  EXPECT_NE(s.find("counter = 3"), std::string::npos);
+  EXPECT_NE(s.find("hist = count=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ps2

@@ -1,0 +1,262 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/sim_clock.h"
+
+namespace ps2 {
+namespace obs {
+namespace {
+
+/// Resets the global tracer around every test: the tracer is a process-wide
+/// singleton, so leftover state (or spans recorded by other tests' cluster
+/// code) must not leak across test bodies.
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Global().Disable();
+    Tracer::Global().Enable();  // also clears
+  }
+  void TearDown() override {
+    Tracer::Global().Disable();
+    Tracer::Global().Clear();
+  }
+};
+
+TEST_F(TracerTest, DisabledSpansRecordNothing) {
+  Tracer::Global().Disable();
+  { PS2_TRACE_SPAN("test", "invisible"); }
+  EXPECT_TRUE(Tracer::Global().Collect().empty());
+}
+
+TEST_F(TracerTest, RecordsCompletedSpans) {
+  {
+    PS2_TRACE_SPAN("cat_a", "outer");
+    PS2_TRACE_SPAN("cat_b", std::string("inner"));
+  }
+  std::vector<TraceEvent> events = Tracer::Global().Collect();
+  ASSERT_EQ(events.size(), 2u);
+  // Collect sorts by wall begin: outer opened first.
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(std::string(events[0].category), "cat_a");
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_GE(events[0].wall_dur_us, events[1].wall_dur_us);
+  EXPECT_GE(events[1].wall_begin_us, events[0].wall_begin_us);
+}
+
+TEST_F(TracerTest, TracksNestingDepthPerThread) {
+  {
+    PS2_TRACE_SPAN("test", "d1");
+    {
+      PS2_TRACE_SPAN("test", "d2");
+      { PS2_TRACE_SPAN("test", "d3"); }
+    }
+  }
+  { PS2_TRACE_SPAN("test", "d1_again"); }
+  std::vector<TraceEvent> events = Tracer::Global().Collect();
+  ASSERT_EQ(events.size(), 4u);
+  for (const TraceEvent& e : events) {
+    if (e.name == "d1" || e.name == "d1_again") EXPECT_EQ(e.depth, 1);
+    if (e.name == "d2") EXPECT_EQ(e.depth, 2);
+    if (e.name == "d3") EXPECT_EQ(e.depth, 3);
+  }
+}
+
+TEST_F(TracerTest, RingBufferWrapsAndCountsDrops) {
+  Tracer::Global().Enable(4);
+  for (int i = 0; i < 10; ++i) {
+    PS2_TRACE_SPAN("test", "span_" + std::to_string(i));
+  }
+  std::vector<TraceEvent> events = Tracer::Global().Collect();
+  EXPECT_EQ(events.size(), 4u);
+  EXPECT_EQ(Tracer::Global().dropped(), 6u);
+  // The survivors are the most recent spans.
+  for (const TraceEvent& e : events) {
+    EXPECT_GE(e.name, std::string("span_6"));
+  }
+}
+
+TEST_F(TracerTest, StampsVirtualTimeFromRegisteredClock) {
+  SimClock clock;
+  Tracer::Global().SetClock(&clock);
+  clock.Advance(2.5);
+  { PS2_TRACE_SPAN("test", "virt"); }
+  Tracer::Global().ClearClock(&clock);
+  std::vector<TraceEvent> events = Tracer::Global().Collect();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_DOUBLE_EQ(events[0].virt_begin_s, 2.5);
+  EXPECT_DOUBLE_EQ(events[0].virt_end_s, 2.5);
+  // Clearing someone else's clock is a no-op; clearing twice is safe.
+  Tracer::Global().ClearClock(&clock);
+  { PS2_TRACE_SPAN("test", "no_clock"); }
+  events = Tracer::Global().Collect();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_DOUBLE_EQ(events[1].virt_begin_s, -1.0);
+}
+
+TEST_F(TracerTest, SpansFromMultipleThreadsGetDistinctTids) {
+  { PS2_TRACE_SPAN("test", "main_thread"); }
+  std::thread other([] { PS2_TRACE_SPAN("test", "other_thread"); });
+  other.join();
+  std::vector<TraceEvent> events = Tracer::Global().Collect();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].tid, events[1].tid);
+}
+
+// ---------------------------------------------------------- Chrome trace JSON
+
+/// Minimal recursive-descent JSON parser — just enough structure validation
+/// to prove the exported trace is loadable: balanced containers, legal
+/// scalars, and extraction of string fields. Not a general JSON library.
+class JsonCursor {
+ public:
+  explicit JsonCursor(std::string text) : text_(std::move(text)) {}
+
+  bool ParseValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString(nullptr);
+    return ParseScalar();
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool ParseObject() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!ParseString(nullptr)) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      if (!ParseValue()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool ParseArray() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') { ++pos_; return true; }
+    while (true) {
+      if (!ParseValue()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (Peek() != '"') return false;
+    ++pos_;
+    std::string value;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        if (pos_ + 1 >= text_.size()) return false;
+        value.push_back(text_[pos_ + 1]);
+        pos_ += 2;
+      } else {
+        value.push_back(text_[pos_]);
+        ++pos_;
+      }
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing '"'
+    if (out != nullptr) *out = value;
+    return true;
+  }
+
+  bool ParseScalar() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::string("-+.eE0123456789truefalsnl").find(text_[pos_]) !=
+               std::string::npos) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+            text_[pos_] == '\t' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::string text_;
+  size_t pos_ = 0;
+};
+
+TEST_F(TracerTest, WritesValidChromeTraceJson) {
+  SimClock clock;
+  Tracer::Global().SetClock(&clock);
+  {
+    PS2_TRACE_SPAN("ps.client", "pull_dense");
+    clock.Advance(0.5);
+    { PS2_TRACE_SPAN("ps.server", std::string("handle \"quoted\"\n")); }
+  }
+  Tracer::Global().ClearClock(&clock);
+
+  const std::string path = ::testing::TempDir() + "/tracer_test_trace.json";
+  ASSERT_TRUE(Tracer::Global().WriteChromeTrace(path).ok());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+
+  // Structurally valid JSON, one complete document.
+  JsonCursor cursor(json);
+  EXPECT_TRUE(cursor.ParseValue());
+  EXPECT_TRUE(cursor.AtEnd());
+
+  // The Chrome trace shape and our spans are present; the quote and newline
+  // in the span name were escaped (raw newline inside a string is illegal).
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("pull_dense"), std::string::npos);
+  EXPECT_NE(json.find("handle \\\"quoted\\\"\\n"), std::string::npos);
+  EXPECT_NE(json.find("\"virt_begin_s\""), std::string::npos);
+  EXPECT_EQ(json.find("handle \"quoted\""), std::string::npos);
+
+  std::remove(path.c_str());
+}
+
+TEST_F(TracerTest, EmptyTraceIsStillValidJson) {
+  const std::string path = ::testing::TempDir() + "/tracer_test_empty.json";
+  ASSERT_TRUE(Tracer::Global().WriteChromeTrace(path).ok());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  JsonCursor cursor(buffer.str());
+  EXPECT_TRUE(cursor.ParseValue());
+  EXPECT_TRUE(cursor.AtEnd());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ps2

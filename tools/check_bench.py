@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate over BENCH_*.json artifacts.
+
+Compares the deterministic metrics of freshly produced bench results against
+checked-in baselines (bench/baselines/*.json) and fails on any relative
+deviation beyond the tolerance. Only seed-deterministic, virtual-time-domain
+fields are gated (CHECK_KEYS below): virtual times, byte/message/round
+counts, retry accounting, losses. Wall-clock histogram fields (\"*.p50\" etc.)
+vary by machine and are deliberately ignored.
+
+Usage:
+  tools/check_bench.py --results-dir build-rel/bench \\
+      --baseline-dir bench/baselines [--tolerance 0.15]
+  tools/check_bench.py --results-dir ... --baseline-dir ... --update
+    (rewrites the baselines from the current results instead of checking)
+
+Exit status: 0 = all gated metrics within tolerance, 1 = regression or
+missing data, 2 = usage error.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Deterministic fields gated by the tolerance check. A field listed here is
+# compared whenever the baseline run contains it; anything else in the JSON
+# (wall-clock percentiles, machine-specific throughput) is informational.
+CHECK_KEYS = (
+    "virtual_time_s",
+    "bytes_worker_to_server",
+    "bytes_server_to_worker",
+    "messages",
+    "rounds",
+    "local_pull_hits",
+    "local_pull_bytes",
+    "retries",
+    "retry_backoff_us",
+    "dedup_hits",
+    "final_loss",
+    "retry_penalty",
+    "sync_time_s",
+    "async_time_s",
+    "speedup",
+    "bytes_match",
+    "server_busy_skew",
+)
+
+
+def is_gated(key):
+    return key in CHECK_KEYS
+
+
+def load_runs(path):
+    """Returns {run_name: {field: value}} from one BENCH_*.json."""
+    with open(path) as f:
+        doc = json.load(f)
+    runs = {}
+    for run in doc.get("runs", []):
+        fields = {k: v for k, v in run.items() if k != "name"}
+        runs[run["name"]] = fields
+    return doc.get("bench", os.path.basename(path)), runs
+
+
+def compare(bench, baseline_runs, result_runs, tolerance):
+    """Returns a list of failure strings (empty = pass)."""
+    failures = []
+    for run_name, base_fields in baseline_runs.items():
+        if run_name not in result_runs:
+            failures.append(f"{bench}/{run_name}: run missing from results")
+            continue
+        got_fields = result_runs[run_name]
+        for key, base in base_fields.items():
+            if not is_gated(key):
+                continue
+            if base is None:
+                continue  # null in baseline: value was non-finite, skip
+            if key not in got_fields:
+                failures.append(f"{bench}/{run_name}/{key}: missing from results")
+                continue
+            got = got_fields[key]
+            if got is None:
+                failures.append(f"{bench}/{run_name}/{key}: non-finite result")
+                continue
+            denom = abs(base) if base != 0 else 1.0
+            rel = abs(got - base) / denom
+            if rel > tolerance:
+                failures.append(
+                    f"{bench}/{run_name}/{key}: baseline {base:g} vs "
+                    f"result {got:g} ({rel * 100:.1f}% off, "
+                    f"tolerance {tolerance * 100:.0f}%)"
+                )
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", default="bench/baselines")
+    parser.add_argument("--results-dir", default=".")
+    parser.add_argument("--tolerance", type=float, default=0.15)
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite baselines from the current results instead of checking",
+    )
+    args = parser.parse_args()
+
+    baselines = sorted(
+        f for f in os.listdir(args.baseline_dir)
+        if f.startswith("BENCH_") and f.endswith(".json")
+    ) if os.path.isdir(args.baseline_dir) else []
+
+    if args.update:
+        os.makedirs(args.baseline_dir, exist_ok=True)
+        results = sorted(
+            f for f in os.listdir(args.results_dir)
+            if f.startswith("BENCH_") and f.endswith(".json")
+        )
+        if not results:
+            print(f"check_bench: no BENCH_*.json in {args.results_dir}")
+            return 2
+        for name in results:
+            src = os.path.join(args.results_dir, name)
+            dst = os.path.join(args.baseline_dir, name)
+            with open(src) as f:
+                doc = json.load(f)  # validate before installing
+            with open(dst, "w") as f:
+                json.dump(doc, f, indent=2, sort_keys=True)
+                f.write("\n")
+            print(f"check_bench: installed baseline {dst}")
+        return 0
+
+    if not baselines:
+        print(f"check_bench: no baselines in {args.baseline_dir}", file=sys.stderr)
+        return 1
+
+    failures = []
+    checked = 0
+    for name in baselines:
+        bench, baseline_runs = load_runs(os.path.join(args.baseline_dir, name))
+        result_path = os.path.join(args.results_dir, name)
+        if not os.path.exists(result_path):
+            failures.append(f"{bench}: {name} missing from {args.results_dir}")
+            continue
+        _, result_runs = load_runs(result_path)
+        failures.extend(compare(bench, baseline_runs, result_runs, args.tolerance))
+        gated = sum(
+            1
+            for fields in baseline_runs.values()
+            for k, v in fields.items()
+            if is_gated(k) and v is not None
+        )
+        checked += gated
+        print(f"check_bench: {bench}: {len(baseline_runs)} runs, {gated} gated metrics")
+
+    if failures:
+        print(f"\ncheck_bench: FAIL — {len(failures)} regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"check_bench: PASS — {checked} metrics within "
+          f"±{args.tolerance * 100:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

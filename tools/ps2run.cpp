@@ -32,11 +32,42 @@
 #include "ml/lda/lda_trainer.h"
 #include "ml/linear_svm.h"
 #include "ml/logreg.h"
+#include "obs/metrics_json.h"
+#include "obs/trace.h"
 #include "tools/flags.h"
 
 namespace ps2 {
 namespace tools {
 namespace {
+
+const Flags* g_flags = nullptr;  ///< set once in Main, read by PrintReport
+
+/// Writes --trace / --metrics-json outputs. Called from PrintReport so every
+/// workload path flushes observability data while its Cluster is alive.
+void WriteObsOutputs(Cluster* cluster) {
+  if (g_flags == nullptr) return;
+  if (g_flags->Has("metrics-json")) {
+    const std::string path = g_flags->GetString("metrics-json", "");
+    Status s = obs::WriteMetricsJson(cluster->metrics(), path);
+    if (s.ok()) {
+      std::printf("wrote metrics to %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "metrics-json: %s\n", s.ToString().c_str());
+    }
+  }
+  if (g_flags->Has("trace")) {
+    const std::string path = g_flags->GetString("trace", "");
+    Status s = obs::Tracer::Global().WriteChromeTrace(path);
+    if (s.ok()) {
+      std::printf("wrote trace to %s (%zu spans, %llu dropped)\n",
+                  path.c_str(), obs::Tracer::Global().Collect().size(),
+                  static_cast<unsigned long long>(
+                      obs::Tracer::Global().dropped()));
+    } else {
+      std::fprintf(stderr, "trace: %s\n", s.ToString().c_str());
+    }
+  }
+}
 
 void PrintReport(const TrainReport& report, Cluster* cluster) {
   std::printf("system: %s\n", report.system.c_str());
@@ -49,6 +80,7 @@ void PrintReport(const TrainReport& report, Cluster* cluster) {
   std::printf("final loss %.4f in %.3f virtual seconds\n", report.final_loss,
               report.total_time);
   std::printf("\nmetrics:\n%s", cluster->metrics().ToString().c_str());
+  WriteObsOutputs(cluster);
 }
 
 ClusterSpec SpecFromFlags(const Flags& flags) {
@@ -246,6 +278,8 @@ int Usage() {
       "              --failure-prob=P --message-failure-prob=P\n"
       "              --server-crash-prob=P\n"
       "              --system=ps2|pspp|petuum|mllib|xgboost\n"
+      "              --trace=out.json (Chrome-trace span export)\n"
+      "              --metrics-json=out.json (counters + histograms)\n"
       "lr/svm/fm:    --rows --dim --nnz --lr --batch-fraction --optimizer\n"
       "deepwalk:     --vertices --walks --embedding-dim --lr\n"
       "gbdt:         --rows --features --trees --depth --bins\n"
@@ -258,6 +292,8 @@ int Main(int argc, char** argv) {
   for (const std::string& error : flags.errors()) {
     std::fprintf(stderr, "%s\n", error.c_str());
   }
+  g_flags = &flags;
+  if (flags.Has("trace")) obs::Tracer::Global().Enable();
   const std::string& cmd = flags.command();
   if (cmd == "lr" || cmd == "svm" || cmd == "lbfgs" || cmd == "fm") {
     return RunGlmFamily(flags, cmd);
