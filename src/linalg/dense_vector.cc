@@ -15,8 +15,7 @@ uint64_t DenseVector::Axpy(const DenseVector& other, double alpha) {
 }
 
 uint64_t DenseVector::Scale(double alpha) {
-  for (double& x : data_) x *= alpha;
-  return data_.size();
+  return kernels::Scale(data_.data(), alpha, data_.size());
 }
 
 double DenseVector::Dot(const DenseVector& other) const {
@@ -26,67 +25,12 @@ double DenseVector::Dot(const DenseVector& other) const {
   return out;
 }
 
-double DenseVector::Sum() const {
-  double s = 0.0;
-  for (double x : data_) s += x;
-  return s;
-}
+double DenseVector::Sum() const { return kernels::Sum(data_.data(), dim()); }
 
 double DenseVector::Norm2() const {
-  double s = 0.0;
-  for (double x : data_) s += x * x;
-  return std::sqrt(s);
+  return std::sqrt(kernels::Norm2Sq(data_.data(), dim()));
 }
 
-size_t DenseVector::Nnz() const {
-  size_t n = 0;
-  for (double x : data_) n += (x != 0.0);
-  return n;
-}
+size_t DenseVector::Nnz() const { return kernels::Nnz(data_.data(), dim()); }
 
-namespace kernels {
-
-uint64_t Add(double* dst, const double* a, const double* b, size_t n) {
-  for (size_t i = 0; i < n; ++i) dst[i] = a[i] + b[i];
-  return n;
-}
-
-uint64_t Sub(double* dst, const double* a, const double* b, size_t n) {
-  for (size_t i = 0; i < n; ++i) dst[i] = a[i] - b[i];
-  return n;
-}
-
-uint64_t Mul(double* dst, const double* a, const double* b, size_t n) {
-  for (size_t i = 0; i < n; ++i) dst[i] = a[i] * b[i];
-  return n;
-}
-
-uint64_t Div(double* dst, const double* a, const double* b, size_t n) {
-  for (size_t i = 0; i < n; ++i) dst[i] = b[i] == 0.0 ? 0.0 : a[i] / b[i];
-  return n;
-}
-
-uint64_t Axpy(double* y, const double* x, double alpha, size_t n) {
-  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
-  return 2 * n;
-}
-
-uint64_t Copy(double* dst, const double* src, size_t n) {
-  std::copy(src, src + n, dst);
-  return n;
-}
-
-uint64_t Fill(double* dst, double value, size_t n) {
-  std::fill(dst, dst + n, value);
-  return n;
-}
-
-uint64_t Dot(const double* a, const double* b, size_t n, double* out) {
-  double s = 0.0;
-  for (size_t i = 0; i < n; ++i) s += a[i] * b[i];
-  *out = s;
-  return 2 * n;
-}
-
-}  // namespace kernels
 }  // namespace ps2

@@ -8,6 +8,11 @@
 #include <cstdint>
 #include <vector>
 
+// Raw-pointer kernels shared by the DCV server-side column ops
+// (ps2::kernels::Add/Sub/.../Dot). Runtime-dispatched between a scalar
+// reference and an AVX2 backend — see linalg/kernels/kernels.h.
+#include "linalg/kernels/kernels.h"
+
 namespace ps2 {
 
 /// \brief A dense double vector plus the element-wise kernels the DCV column
@@ -44,20 +49,4 @@ class DenseVector {
   std::vector<double> data_;
 };
 
-// Raw-pointer kernels shared by DCV server-side column ops. Each processes
-// `n` elements and returns the scalar op count.
-namespace kernels {
-
-uint64_t Add(double* dst, const double* a, const double* b, size_t n);
-uint64_t Sub(double* dst, const double* a, const double* b, size_t n);
-uint64_t Mul(double* dst, const double* a, const double* b, size_t n);
-/// dst = a / b with b==0 mapped to 0 (server-side div is total).
-uint64_t Div(double* dst, const double* a, const double* b, size_t n);
-uint64_t Axpy(double* y, const double* x, double alpha, size_t n);
-uint64_t Copy(double* dst, const double* src, size_t n);
-uint64_t Fill(double* dst, double value, size_t n);
-/// Returns partial dot in *out.
-uint64_t Dot(const double* a, const double* b, size_t n, double* out);
-
-}  // namespace kernels
 }  // namespace ps2

@@ -1,0 +1,144 @@
+#pragma once
+
+// Runtime-dispatched element-wise kernels for the server-side DCV column ops
+// (DESIGN.md §8). Two backends implement the same KernelTable contract: a
+// portable scalar reference (kernels_scalar.cc, compiled without
+// auto-vectorization or FP contraction) and an AVX2 backend
+// (kernels_avx2.cc, compiled with -mavx2 -mfma on x86-64 when the PS2_SIMD
+// CMake option is ON). The backend is picked once at startup — AVX2 when the
+// CPU supports it, overridable with PS2_SIMD=off in the environment or
+// `--simd=scalar` on the ps2run command line — and every backend produces
+// bit-identical results:
+//
+//  * element-wise ops (add/sub/mul/div/axpy/scale/copy/fill) perform the
+//    same IEEE operation per element, so rounding is identical however the
+//    loop is scheduled;
+//  * reductions (dot/sum/norm2/nnz) are defined over a fixed lane structure:
+//    kReduceLanes (16) stride-interleaved accumulators over the body —
+//    laid out as 4 groups of kLaneWidth (4) lanes, i.e. four __m256d
+//    accumulators c0..c3 in the AVX2 backend, so the add chains have enough
+//    ILP to beat the FP-add latency wall. Combine order is fixed: groups
+//    first, m[j] = (c0[j]+c2[j]) + (c1[j]+c3[j]) for each lane j (one
+//    pairwise vector add tree), then lanes, (m0+m2)+(m1+m3) (the
+//    extractf128/unpackhi horizontal reduce), then a sequential scalar
+//    tail over the last n mod 16 elements. Both backends implement exactly
+//    that order, and neither uses FMA contraction, so SIMD == scalar
+//    bit-exactly (kernel_dispatch_test).
+//
+// One carve-out: when a result is NaN its payload/sign is unspecified.
+// x86 NaN selection depends on operand order and compilers may commute
+// scalar FP adds/muls, so payloads cannot be pinned from C++. Backends
+// agree on *which* results are NaN; all non-NaN results (signed zeros and
+// infinities included) are bit-identical.
+//
+// Reductions longer than kReduceChunk are further split on a fixed chunk
+// grid whose partials are combined in chunk order. The chunk grid depends
+// only on n — never on the backend or thread count — so results stay
+// deterministic when large column blocks fan out across the kernel thread
+// pool (a dedicated pool: cluster task bodies run on ThreadPool::Global()
+// and block inside PsServer::Handle, so borrowing that pool could deadlock).
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ps2 {
+namespace kernels {
+
+/// Doubles per SIMD register lane group. Fixed by the widest supported
+/// backend (AVX2 = 4 doubles); the scalar backend emulates the same lane
+/// structure so reduction results are identical across backends.
+inline constexpr size_t kLaneWidth = 4;
+
+/// Independent accumulators per reduction: 4 register groups of kLaneWidth
+/// lanes. Part of the numeric contract — changing it changes reduction
+/// results and invalidates bench baselines.
+inline constexpr size_t kReduceLanes = 4 * kLaneWidth;
+
+/// Reduction chunk: partials are computed per 64Ki-element chunk and
+/// combined in chunk order, independent of backend and thread count.
+inline constexpr size_t kReduceChunk = size_t{1} << 16;
+
+/// Minimum element count before a kernel fans out across the kernel thread
+/// pool. Parallel execution is a pure scheduling detail: chunk boundaries
+/// and combine order are fixed by n alone.
+inline constexpr size_t kParallelCutoff = size_t{1} << 17;
+
+enum class SimdMode {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+/// \brief One backend: per-chunk primitives sharing a single numeric
+/// contract. The dispatch wrappers below add chunking and threading.
+struct KernelTable {
+  const char* name;
+  void (*add)(double* dst, const double* a, const double* b, size_t n);
+  void (*sub)(double* dst, const double* a, const double* b, size_t n);
+  void (*mul)(double* dst, const double* a, const double* b, size_t n);
+  /// dst = a / b with b==0 mapped to 0 (server-side div is total).
+  void (*div)(double* dst, const double* a, const double* b, size_t n);
+  void (*axpy)(double* y, const double* x, double alpha, size_t n);
+  void (*scale)(double* dst, double alpha, size_t n);
+  /// Lane-structured partial reductions over one chunk (n <= kReduceChunk).
+  double (*dot_chunk)(const double* a, const double* b, size_t n);
+  double (*sum_chunk)(const double* a, size_t n);
+  double (*norm2sq_chunk)(const double* a, size_t n);
+  size_t (*nnz_chunk)(const double* a, size_t n);
+  /// GBDT gradient/hessian histogram accumulate (ml/gbdt/histogram.h):
+  /// for each listed row, adds grad[i]/hess[i] into slot f*num_bins +
+  /// bins[i*num_features+f] for every feature f, in row-major order.
+  void (*hist_accum)(const uint16_t* bins, const double* grad,
+                     const double* hess, const uint32_t* rows, size_t num_rows,
+                     uint32_t num_features, uint32_t num_bins,
+                     double* grad_hist, double* hess_hist);
+};
+
+/// The portable scalar reference backend (always available).
+const KernelTable& ScalarTable();
+
+/// The AVX2 backend, or nullptr when compiled out (PS2_SIMD=OFF, non-x86)
+/// or unsupported by the CPU.
+const KernelTable* Avx2Table();
+
+/// The backend selected at startup (CPU detection + $PS2_SIMD override).
+const KernelTable& Active();
+SimdMode ActiveMode();
+const char* SimdModeName(SimdMode mode);
+
+/// Forces a backend. Returns false (state unchanged) if unavailable.
+/// Thread-compatible with concurrent kernel calls (atomic pointer swap),
+/// intended for startup flags and the equivalence tests/benches.
+bool SetSimdMode(SimdMode mode);
+
+// ---------------------------------------------------------------------------
+// Dispatched operations. These are the entry points the PS server column
+// ops, the DCV client fallbacks, and DenseVector use. Each returns the
+// scalar op count charged to the virtual cost model (unchanged from the
+// pre-dispatch kernels, so virtual times and bench baselines are stable).
+
+uint64_t Add(double* dst, const double* a, const double* b, size_t n);
+uint64_t Sub(double* dst, const double* a, const double* b, size_t n);
+uint64_t Mul(double* dst, const double* a, const double* b, size_t n);
+/// dst = a / b with b==0 mapped to 0 (server-side div is total).
+uint64_t Div(double* dst, const double* a, const double* b, size_t n);
+uint64_t Axpy(double* y, const double* x, double alpha, size_t n);
+uint64_t Scale(double* dst, double alpha, size_t n);
+uint64_t Copy(double* dst, const double* src, size_t n);
+uint64_t Fill(double* dst, double value, size_t n);
+/// Returns partial dot in *out.
+uint64_t Dot(const double* a, const double* b, size_t n, double* out);
+double Sum(const double* a, size_t n);
+double Norm2Sq(const double* a, size_t n);
+size_t Nnz(const double* a, size_t n);
+
+/// GBDT histogram accumulate (see KernelTable::hist_accum). Sequential by
+/// design: rows may hit the same slot, so the accumulation order is part of
+/// the numeric contract. Returns the op count (4 per row-feature pair).
+uint64_t HistAccumulate(const uint16_t* bins, const double* grad,
+                        const double* hess, const uint32_t* rows,
+                        size_t num_rows, uint32_t num_features,
+                        uint32_t num_bins, double* grad_hist,
+                        double* hess_hist);
+
+}  // namespace kernels
+}  // namespace ps2

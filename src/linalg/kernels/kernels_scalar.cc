@@ -1,0 +1,139 @@
+// Portable scalar reference backend. This translation unit is compiled with
+// -ffp-contract=off and auto-vectorization disabled (see src/CMakeLists.txt)
+// so its numerics are a fixed point of reference: no FMA contraction, no
+// compiler-chosen reassociation, the exact lane structure written below.
+// The AVX2 backend must match it bit-for-bit (kernel_dispatch_test).
+
+#include <algorithm>
+#include <cstring>
+
+#include "linalg/kernels/kernels.h"
+
+namespace ps2 {
+namespace kernels {
+namespace {
+
+void AddScalar(double* dst, const double* a, const double* b, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] = a[i] + b[i];
+}
+
+void SubScalar(double* dst, const double* a, const double* b, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] = a[i] - b[i];
+}
+
+void MulScalar(double* dst, const double* a, const double* b, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] = a[i] * b[i];
+}
+
+void DivScalar(double* dst, const double* a, const double* b, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] = b[i] == 0.0 ? 0.0 : a[i] / b[i];
+}
+
+void AxpyScalar(double* y, const double* x, double alpha, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] = y[i] + alpha * x[i];
+}
+
+void ScaleScalar(double* dst, double alpha, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] = dst[i] * alpha;
+}
+
+// Reductions follow the canonical lane structure (kernels.h): kReduceLanes
+// (16) stride-interleaved accumulators over the body — 4 groups of
+// kLaneWidth — combined groups-first, m[j] = (c0[j]+c2[j]) + (c1[j]+c3[j]),
+// then lanes, (m0+m2)+(m1+m3) — exactly the vector-add tree and horizontal
+// add the AVX2 backend performs — then a sequential scalar tail.
+
+/// Combines acc[group][lane] in the canonical order and reduces the tail.
+double CombineLanes(const double acc[4][kLaneWidth]) {
+  double m[kLaneWidth];
+  for (size_t j = 0; j < kLaneWidth; ++j) {
+    m[j] = (acc[0][j] + acc[2][j]) + (acc[1][j] + acc[3][j]);
+  }
+  return (m[0] + m[2]) + (m[1] + m[3]);
+}
+
+double DotChunkScalar(const double* a, const double* b, size_t n) {
+  double acc[4][kLaneWidth] = {};
+  size_t i = 0;
+  for (; i + kReduceLanes <= n; i += kReduceLanes) {
+    for (size_t g = 0; g < 4; ++g) {
+      for (size_t j = 0; j < kLaneWidth; ++j) {
+        const size_t k = i + g * kLaneWidth + j;
+        acc[g][j] += a[k] * b[k];
+      }
+    }
+  }
+  double s = CombineLanes(acc);
+  for (; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+double SumChunkScalar(const double* a, size_t n) {
+  double acc[4][kLaneWidth] = {};
+  size_t i = 0;
+  for (; i + kReduceLanes <= n; i += kReduceLanes) {
+    for (size_t g = 0; g < 4; ++g) {
+      for (size_t j = 0; j < kLaneWidth; ++j) {
+        acc[g][j] += a[i + g * kLaneWidth + j];
+      }
+    }
+  }
+  double s = CombineLanes(acc);
+  for (; i < n; ++i) s += a[i];
+  return s;
+}
+
+double Norm2SqChunkScalar(const double* a, size_t n) {
+  double acc[4][kLaneWidth] = {};
+  size_t i = 0;
+  for (; i + kReduceLanes <= n; i += kReduceLanes) {
+    for (size_t g = 0; g < 4; ++g) {
+      for (size_t j = 0; j < kLaneWidth; ++j) {
+        const size_t k = i + g * kLaneWidth + j;
+        acc[g][j] += a[k] * a[k];
+      }
+    }
+  }
+  double s = CombineLanes(acc);
+  for (; i < n; ++i) s += a[i] * a[i];
+  return s;
+}
+
+size_t NnzChunkScalar(const double* a, size_t n) {
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) count += (a[i] != 0.0) ? 1 : 0;
+  return count;
+}
+
+void HistAccumScalar(const uint16_t* bins, const double* grad,
+                     const double* hess, const uint32_t* rows, size_t num_rows,
+                     uint32_t num_features, uint32_t num_bins,
+                     double* grad_hist, double* hess_hist) {
+  for (size_t r = 0; r < num_rows; ++r) {
+    const uint32_t i = rows[r];
+    const uint16_t* row_bins =
+        bins + static_cast<size_t>(i) * num_features;
+    const double g = grad[i];
+    const double h = hess[i];
+    for (uint32_t f = 0; f < num_features; ++f) {
+      const size_t slot = static_cast<size_t>(f) * num_bins + row_bins[f];
+      grad_hist[slot] += g;
+      hess_hist[slot] += h;
+    }
+  }
+}
+
+}  // namespace
+
+const KernelTable& ScalarTable() {
+  static const KernelTable table = {
+      "scalar",         AddScalar,          SubScalar,
+      MulScalar,        DivScalar,          AxpyScalar,
+      ScaleScalar,      DotChunkScalar,     SumChunkScalar,
+      Norm2SqChunkScalar, NnzChunkScalar,   HistAccumScalar,
+  };
+  return table;
+}
+
+}  // namespace kernels
+}  // namespace ps2

@@ -1,6 +1,7 @@
 #include "ml/gbdt/histogram.h"
 
 #include "common/logging.h"
+#include "linalg/kernels/kernels.h"
 
 namespace ps2 {
 
@@ -15,16 +16,10 @@ void AccumulateHistogram(const std::vector<uint16_t>& bins,
       static_cast<size_t>(num_features) * static_cast<size_t>(num_bins);
   if (grad_hist->size() != hist_size) grad_hist->assign(hist_size, 0.0);
   if (hess_hist->size() != hist_size) hess_hist->assign(hist_size, 0.0);
-  for (uint32_t i : rows_in_node) {
-    const uint16_t* row_bins = bins.data() + static_cast<size_t>(i) * num_features;
-    const double g = grad[i];
-    const double h = hess[i];
-    for (uint32_t f = 0; f < num_features; ++f) {
-      const size_t slot = static_cast<size_t>(f) * num_bins + row_bins[f];
-      (*grad_hist)[slot] += g;
-      (*hess_hist)[slot] += h;
-    }
-  }
+  kernels::HistAccumulate(bins.data(), grad.data(), hess.data(),
+                          rows_in_node.data(), rows_in_node.size(),
+                          num_features, num_bins, grad_hist->data(),
+                          hess_hist->data());
 }
 
 SplitCandidate BestSplitInRange(const double* grad_hist,

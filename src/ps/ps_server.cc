@@ -567,8 +567,25 @@ Result<PsServer::HandleResult> PsServer::HandleRowAgg(BufferReader* in) {
     result = -std::numeric_limits<double>::infinity();
   }
   if (shard->dense()) {
-    for (double v : shard->dense_rows[row]) apply(v);
-    touched = shard->width();
+    // Dense aggregations go through the dispatched kernels (max has no
+    // kernel — it stays a scalar scan, it's not on the hot DCV op set).
+    const double* data = shard->dense_rows[row].data();
+    const size_t width = shard->width();
+    switch (static_cast<RowAggKind>(kind_raw)) {
+      case RowAggKind::kSum:
+        result = kernels::Sum(data, width);
+        break;
+      case RowAggKind::kNnz:
+        result = static_cast<double>(kernels::Nnz(data, width));
+        break;
+      case RowAggKind::kNorm2Squared:
+        result = kernels::Norm2Sq(data, width);
+        break;
+      case RowAggKind::kMax:
+        for (size_t i = 0; i < width; ++i) apply(data[i]);
+        break;
+    }
+    touched = width;
   } else {
     // Sparse rows: zeros contribute nothing to sum/nnz/norm2; for max they
     // contribute only if the row has implicit zeros.
@@ -657,8 +674,7 @@ Result<PsServer::HandleResult> PsServer::HandleColumnOp(BufferReader* in) {
       break;
     case ColOpKind::kScale:
       PS2_RETURN_NOT_OK(need(0));
-      for (uint64_t i = 0; i < width; ++i) dst[i] *= scalar;
-      out.server_ops = width;
+      out.server_ops = kernels::Scale(dst, scalar, width);
       break;
     default:
       return Status::InvalidArgument("unknown column op kind");

@@ -1,0 +1,313 @@
+// Equivalence tests for the runtime-dispatched kernel backends (DESIGN.md
+// §8). The contract under test: for every kernel, the AVX2 backend produces
+// the SAME BITS as the scalar reference — not merely close values — across
+// awkward lengths (0..4 lane groups plus tails), unaligned base pointers,
+// and non-finite inputs. When the AVX2 backend is compiled out or the CPU
+// lacks it, the backend-pair tests degenerate to scalar-vs-scalar and still
+// exercise the dispatch wrappers' chunking logic.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "linalg/kernels/kernels.h"
+
+namespace ps2 {
+namespace kernels {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Bitwise equality with one carve-out: two NaNs are equivalent whatever
+/// their payload/sign. x86 NaN selection depends on operand order and the
+/// compiler may commute scalar `x + y` freely, so NaN payloads cannot be
+/// pinned at the C++ level (e.g. (0 * -inf) + (x * NaN) yields 0xfff8... or
+/// 0x7ff8... depending on which operand the add keeps). Every non-NaN
+/// result — including signed zeros and infinities — must match exactly;
+/// EXPECT_EQ on doubles would miss -0.0 vs 0.0, hence the bit compare.
+bool SameBits(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) return std::isnan(a) && std::isnan(b);
+  uint64_t ua, ub;
+  std::memcpy(&ua, &a, sizeof(ua));
+  std::memcpy(&ub, &b, sizeof(ub));
+  return ua == ub;
+}
+
+void ExpectSameBits(const std::vector<double>& a, const std::vector<double>& b,
+                    const char* what, size_t n) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_TRUE(SameBits(a[i], b[i]))
+        << what << " n=" << n << " differs at [" << i << "]: " << a[i]
+        << " vs " << b[i];
+  }
+}
+
+/// Fills with a mix of regular values, exact zeros, denormals, NaN and inf,
+/// so div-by-zero masking, nnz counting and NaN propagation are all hit.
+std::vector<double> RandomInput(std::mt19937_64* rng, size_t n) {
+  std::uniform_real_distribution<double> val(-8.0, 8.0);
+  std::uniform_int_distribution<int> kind(0, 19);
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    switch (kind(*rng)) {
+      case 0:
+        out[i] = 0.0;
+        break;
+      case 1:
+        out[i] = -0.0;
+        break;
+      case 2:
+        out[i] = kNan;
+        break;
+      case 3:
+        out[i] = (i % 2 == 0) ? kInf : -kInf;
+        break;
+      case 4:
+        out[i] = std::numeric_limits<double>::denorm_min() * (1.0 + i);
+        break;
+      default:
+        out[i] = val(*rng);
+        break;
+    }
+  }
+  return out;
+}
+
+/// Lengths 0..3 full reduction bodies (every tail remainder 0..15 after one
+/// and two 16-element groups) plus chunk-grid edges.
+std::vector<size_t> InterestingLengths() {
+  std::vector<size_t> lens;
+  for (size_t n = 0; n <= 3 * kReduceLanes; ++n) lens.push_back(n);
+  lens.push_back(kReduceChunk - 1);
+  lens.push_back(kReduceChunk);
+  lens.push_back(kReduceChunk + 3);
+  lens.push_back(2 * kReduceChunk + kLaneWidth + 1);
+  return lens;
+}
+
+struct BackendPair {
+  const KernelTable* scalar;
+  const KernelTable* simd;  ///< scalar again when AVX2 is unavailable
+};
+
+BackendPair Backends() {
+  BackendPair p;
+  p.scalar = &ScalarTable();
+  p.simd = Avx2Table() != nullptr ? Avx2Table() : &ScalarTable();
+  return p;
+}
+
+TEST(KernelDispatch, ActiveBackendIsValid) {
+  const KernelTable& t = Active();
+  EXPECT_NE(t.name, nullptr);
+  EXPECT_STREQ(SimdModeName(ActiveMode()),
+               ActiveMode() == SimdMode::kAvx2 ? "avx2" : "scalar");
+  // Scalar must always be forceable; restore afterwards.
+  const SimdMode before = ActiveMode();
+  EXPECT_TRUE(SetSimdMode(SimdMode::kScalar));
+  EXPECT_EQ(ActiveMode(), SimdMode::kScalar);
+  SetSimdMode(before);
+}
+
+TEST(KernelDispatch, ElementwiseBitExactAcrossLengthsAndOffsets) {
+  BackendPair p = Backends();
+  std::mt19937_64 rng(20260806);
+  for (size_t n : InterestingLengths()) {
+    if (n > 3 * kReduceLanes) continue;  // offsets matter for small n only
+    for (size_t offset = 0; offset < kLaneWidth; ++offset) {
+      std::vector<double> a = RandomInput(&rng, n + offset);
+      std::vector<double> b = RandomInput(&rng, n + offset);
+      const double* pa = a.data() + offset;
+      const double* pb = b.data() + offset;
+      std::vector<double> out_s(n, 0.0), out_v(n, 0.0);
+      struct Op {
+        const char* name;
+        void (*fn)(double*, const double*, const double*, size_t);
+      };
+      const Op ops_s[] = {{"add", p.scalar->add},
+                          {"sub", p.scalar->sub},
+                          {"mul", p.scalar->mul},
+                          {"div", p.scalar->div}};
+      const Op ops_v[] = {{"add", p.simd->add},
+                          {"sub", p.simd->sub},
+                          {"mul", p.simd->mul},
+                          {"div", p.simd->div}};
+      for (int k = 0; k < 4; ++k) {
+        ops_s[k].fn(out_s.data(), pa, pb, n);
+        ops_v[k].fn(out_v.data(), pa, pb, n);
+        ExpectSameBits(out_s, out_v, ops_s[k].name, n);
+      }
+      // axpy/scale mutate in place: start both from the same bits.
+      std::vector<double> ys(pb, pb + n), yv(pb, pb + n);
+      p.scalar->axpy(ys.data(), pa, 1.75, n);
+      p.simd->axpy(yv.data(), pa, 1.75, n);
+      ExpectSameBits(ys, yv, "axpy", n);
+      std::vector<double> ss(pa, pa + n), sv(pa, pa + n);
+      p.scalar->scale(ss.data(), -0.3, n);
+      p.simd->scale(sv.data(), -0.3, n);
+      ExpectSameBits(ss, sv, "scale", n);
+    }
+  }
+}
+
+TEST(KernelDispatch, DivMapsZeroDenominatorToZero) {
+  BackendPair p = Backends();
+  const std::vector<double> a = {1.0, -2.0, kNan, kInf, 5.0, 0.0, -0.0, 9.0};
+  const std::vector<double> b = {0.0, -0.0, 0.0, 0.0, 2.0, 0.0, 3.0, 0.0};
+  std::vector<double> out_s(a.size()), out_v(a.size());
+  p.scalar->div(out_s.data(), a.data(), b.data(), a.size());
+  p.simd->div(out_v.data(), a.data(), b.data(), a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (b[i] == 0.0) {
+      EXPECT_TRUE(SameBits(out_s[i], 0.0)) << i;
+    }
+  }
+  ExpectSameBits(out_s, out_v, "div-zero", a.size());
+}
+
+TEST(KernelDispatch, ReductionChunksBitExact) {
+  BackendPair p = Backends();
+  std::mt19937_64 rng(7);
+  for (size_t n = 0; n <= 3 * kReduceLanes; ++n) {
+    for (size_t offset = 0; offset < kLaneWidth; ++offset) {
+      std::vector<double> a = RandomInput(&rng, n + offset);
+      std::vector<double> b = RandomInput(&rng, n + offset);
+      const double* pa = a.data() + offset;
+      const double* pb = b.data() + offset;
+      EXPECT_TRUE(SameBits(p.scalar->dot_chunk(pa, pb, n),
+                           p.simd->dot_chunk(pa, pb, n)))
+          << "dot n=" << n << " off=" << offset;
+      EXPECT_TRUE(
+          SameBits(p.scalar->sum_chunk(pa, n), p.simd->sum_chunk(pa, n)))
+          << "sum n=" << n << " off=" << offset;
+      EXPECT_TRUE(SameBits(p.scalar->norm2sq_chunk(pa, n),
+                           p.simd->norm2sq_chunk(pa, n)))
+          << "norm2sq n=" << n << " off=" << offset;
+      EXPECT_EQ(p.scalar->nnz_chunk(pa, n), p.simd->nnz_chunk(pa, n))
+          << "nnz n=" << n << " off=" << offset;
+    }
+  }
+}
+
+TEST(KernelDispatch, NnzCountsNanAndInfAsNonzero) {
+  BackendPair p = Backends();
+  const std::vector<double> a = {0.0, -0.0, kNan, kInf, -kInf,
+                                 1.0, 0.0,  -3.0, 0.0};
+  EXPECT_EQ(p.scalar->nnz_chunk(a.data(), a.size()), 5u);
+  EXPECT_EQ(p.simd->nnz_chunk(a.data(), a.size()), 5u);
+}
+
+/// The dispatched wrappers must give the same bits regardless of the active
+/// backend AND regardless of whether the size crosses the parallel cutoff —
+/// chunk grid and combine order depend only on n.
+TEST(KernelDispatch, DispatchedReductionsBackendInvariant) {
+  std::mt19937_64 rng(99);
+  const SimdMode before = ActiveMode();
+  for (size_t n : InterestingLengths()) {
+    std::vector<double> a = RandomInput(&rng, n);
+    std::vector<double> b = RandomInput(&rng, n);
+    SetSimdMode(SimdMode::kScalar);
+    double dot_s = 0.0;
+    Dot(a.data(), b.data(), n, &dot_s);
+    const double sum_s = Sum(a.data(), n);
+    const double nrm_s = Norm2Sq(a.data(), n);
+    const size_t nnz_s = Nnz(a.data(), n);
+    if (!SetSimdMode(SimdMode::kAvx2)) SetSimdMode(SimdMode::kScalar);
+    double dot_v = 0.0;
+    Dot(a.data(), b.data(), n, &dot_v);
+    EXPECT_TRUE(SameBits(dot_s, dot_v)) << "dot n=" << n;
+    EXPECT_TRUE(SameBits(sum_s, Sum(a.data(), n))) << "sum n=" << n;
+    EXPECT_TRUE(SameBits(nrm_s, Norm2Sq(a.data(), n))) << "norm2sq n=" << n;
+    EXPECT_EQ(nnz_s, Nnz(a.data(), n)) << "nnz n=" << n;
+  }
+  SetSimdMode(before);
+}
+
+TEST(KernelDispatch, OpCountsMatchPreDispatchContract) {
+  const size_t n = 1000;
+  std::vector<double> a(n, 1.0), b(n, 2.0), dst(n);
+  double out = 0.0;
+  EXPECT_EQ(Add(dst.data(), a.data(), b.data(), n), n);
+  EXPECT_EQ(Sub(dst.data(), a.data(), b.data(), n), n);
+  EXPECT_EQ(Mul(dst.data(), a.data(), b.data(), n), n);
+  EXPECT_EQ(Div(dst.data(), a.data(), b.data(), n), n);
+  EXPECT_EQ(Scale(dst.data(), 2.0, n), n);
+  EXPECT_EQ(Copy(dst.data(), a.data(), n), n);
+  EXPECT_EQ(Fill(dst.data(), 0.0, n), n);
+  EXPECT_EQ(Axpy(dst.data(), a.data(), 1.0, n), 2 * n);
+  EXPECT_EQ(Dot(a.data(), b.data(), n, &out), 2 * n);
+}
+
+TEST(KernelDispatch, HistAccumulateMatchesScalarReference) {
+  BackendPair p = Backends();
+  std::mt19937_64 rng(13);
+  const uint32_t num_features = 7;
+  const uint32_t num_bins = 16;
+  const size_t num_rows = 523;
+  std::vector<uint16_t> bins(num_rows * num_features);
+  std::uniform_int_distribution<int> bin(0, num_bins - 1);
+  for (auto& v : bins) v = static_cast<uint16_t>(bin(rng));
+  std::vector<double> grad = RandomInput(&rng, num_rows);
+  std::vector<double> hess = RandomInput(&rng, num_rows);
+  std::vector<uint32_t> rows;
+  for (uint32_t i = 0; i < num_rows; i += 2) rows.push_back(i);
+  const size_t hist = static_cast<size_t>(num_features) * num_bins;
+  std::vector<double> gs(hist, 0.0), hs(hist, 0.0);
+  std::vector<double> gv(hist, 0.0), hv(hist, 0.0);
+  p.scalar->hist_accum(bins.data(), grad.data(), hess.data(), rows.data(),
+                       rows.size(), num_features, num_bins, gs.data(),
+                       hs.data());
+  p.simd->hist_accum(bins.data(), grad.data(), hess.data(), rows.data(),
+                     rows.size(), num_features, num_bins, gv.data(),
+                     hv.data());
+  ExpectSameBits(gs, gv, "grad_hist", num_rows);
+  ExpectSameBits(hs, hv, "hess_hist", num_rows);
+}
+
+/// Threaded column-block path (n past kParallelCutoff fans chunks across the
+/// kernel pool) hammered from concurrent callers — the tsan label checks the
+/// pool handoffs; the assertions check determinism under contention.
+TEST(KernelDispatch, ThreadedLargeBlocksDeterministicUnderContention) {
+  const size_t n = kParallelCutoff + kReduceChunk + 17;
+  std::mt19937_64 rng(4242);
+  std::vector<double> a = RandomInput(&rng, n);
+  std::vector<double> b = RandomInput(&rng, n);
+  double expected_dot = 0.0;
+  Dot(a.data(), b.data(), n, &expected_dot);
+  const double expected_sum = Sum(a.data(), n);
+  std::vector<double> expected_add(n);
+  Add(expected_add.data(), a.data(), b.data(), n);
+
+  constexpr int kCallers = 4;
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kCallers, 0);
+  for (int t = 0; t < kCallers; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<double> out(n);
+      for (int iter = 0; iter < 8; ++iter) {
+        double d = 0.0;
+        Dot(a.data(), b.data(), n, &d);
+        if (!SameBits(d, expected_dot)) failures[t]++;
+        if (!SameBits(Sum(a.data(), n), expected_sum)) failures[t]++;
+        Add(out.data(), a.data(), b.data(), n);
+        if (std::memcmp(out.data(), expected_add.data(),
+                        n * sizeof(double)) != 0) {
+          failures[t]++;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kCallers; ++t) EXPECT_EQ(failures[t], 0) << t;
+}
+
+}  // namespace
+}  // namespace kernels
+}  // namespace ps2

@@ -48,7 +48,12 @@ CHECK_KEYS = (
 
 
 def is_gated(key):
-    return key in CHECK_KEYS
+    # "det." fields are the kernel-equivalence metrics written by
+    # microbench_dcv_ops: deterministic by construction (fixed seed, fixed
+    # sizes, virtual-time domain), and required to be IDENTICAL across SIMD
+    # dispatch modes — CI compares a PS2_SIMD=off run against an auto run
+    # with --tolerance 0 to prove the scalar and AVX2 backends equivalent.
+    return key in CHECK_KEYS or key.startswith("det.")
 
 
 def load_runs(path):

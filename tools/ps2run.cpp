@@ -25,6 +25,7 @@
 #include "data/gbdt_gen.h"
 #include "data/graph_gen.h"
 #include "dcv/dcv_context.h"
+#include "linalg/kernels/kernels.h"
 #include "ml/deepwalk.h"
 #include "ml/factorization_machine.h"
 #include "ml/gbdt/gbdt.h"
@@ -280,6 +281,7 @@ int Usage() {
       "              --system=ps2|pspp|petuum|mllib|xgboost\n"
       "              --trace=out.json (Chrome-trace span export)\n"
       "              --metrics-json=out.json (counters + histograms)\n"
+      "              --simd=auto|scalar|avx2 (kernel backend; default auto)\n"
       "lr/svm/fm:    --rows --dim --nnz --lr --batch-fraction --optimizer\n"
       "deepwalk:     --vertices --walks --embedding-dim --lr\n"
       "gbdt:         --rows --features --trees --depth --bins\n"
@@ -293,6 +295,25 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", error.c_str());
   }
   g_flags = &flags;
+  if (flags.Has("simd")) {
+    const std::string want = flags.GetString("simd", "auto");
+    if (want == "scalar") {
+      kernels::SetSimdMode(kernels::SimdMode::kScalar);
+    } else if (want == "avx2") {
+      if (!kernels::SetSimdMode(kernels::SimdMode::kAvx2)) {
+        std::fprintf(stderr,
+                     "--simd=avx2: backend not available on this build/CPU, "
+                     "staying on %s\n",
+                     kernels::SimdModeName(kernels::ActiveMode()));
+      }
+    } else if (want != "auto") {
+      std::fprintf(stderr, "--simd=%s: unknown backend (auto|scalar|avx2)\n",
+                   want.c_str());
+      return Usage();
+    }
+    std::printf("kernel backend: %s\n",
+                kernels::SimdModeName(kernels::ActiveMode()));
+  }
   if (flags.Has("trace")) obs::Tracer::Global().Enable();
   const std::string& cmd = flags.command();
   if (cmd == "lr" || cmd == "svm" || cmd == "lbfgs" || cmd == "fm") {
