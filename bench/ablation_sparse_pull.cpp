@@ -73,21 +73,19 @@ int main() {
     std::vector<uint64_t> indices;
     for (uint64_t i = 0; i < 200000; i += 7) indices.push_back(i);
 
-    // The deprecated single-call wrapper is the right tool here: one
-    // blocking round whose bytes we meter in isolation.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    // One blocking round whose bytes we meter in isolation.
     cluster.metrics().Reset();
     PS2_CHECK(ctx.client()
-                  ->PullSparseRows({counts_row.ref()}, indices, false)
+                  ->PullSparseRowsAsync({counts_row.ref()}, indices, false)
+                  .Get()
                   .ok());
     uint64_t plain = cluster.metrics().Get("net.bytes_server_to_worker");
     cluster.metrics().Reset();
     PS2_CHECK(ctx.client()
-                  ->PullSparseRows({counts_row.ref()}, indices, true)
+                  ->PullSparseRowsAsync({counts_row.ref()}, indices, true)
+                  .Get()
                   .ok());
     uint64_t packed = cluster.metrics().Get("net.bytes_server_to_worker");
-#pragma GCC diagnostic pop
     std::printf("  f64 values: %llu bytes | varint counts: %llu bytes -> "
                 "%.1fx smaller\n",
                 static_cast<unsigned long long>(plain),

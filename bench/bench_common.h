@@ -159,6 +159,19 @@ class JsonReporter {
     AddField("retry_backoff_us",
              static_cast<double>(m.Get("net.retry_backoff_time")));
     AddField("dedup_hits", static_cast<double>(m.Get("ps.dedup_hits")));
+    // Wire-level filter accounting (net/filters.h): bytes that crossed the
+    // simulated wire vs the logical pre-filter payloads, plus the key-cache
+    // counters. wire_ratio = logical / wire (1.0 when filters are off).
+    const double wire = static_cast<double>(m.Get("net.bytes_wire"));
+    const double logical = static_cast<double>(m.Get("net.bytes_logical"));
+    AddField("bytes_wire", wire);
+    AddField("bytes_logical", logical);
+    AddField("wire_ratio", wire > 0 ? logical / wire : 1.0);
+    AddField("keycache_hits", static_cast<double>(m.Get("ps.keycache_hits")));
+    AddField("keycache_installs",
+             static_cast<double>(m.Get("ps.keycache_installs")));
+    AddField("keycache_misses",
+             static_cast<double>(m.Get("ps.keycache_misses")));
     // Per-server breakdown + load-skew summary (max busy server / mean).
     double busy_max = 0.0, busy_sum = 0.0;
     int busy_n = 0;

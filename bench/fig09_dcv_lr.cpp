@@ -57,6 +57,34 @@ void RunDataset(const char* name, const ClassificationSpec& ds,
   MllibReport spark = *TrainGlmMllib(&cluster, data, options);
   record("spark_adam", spark.report);
 
+  // Wire-filter sweep: the same PS2-Adam run with the full filter chain
+  // (key caching + delta/quant + compression) on a separate cluster, so the
+  // bytes-per-epoch comparison against the filters-off run above is clean.
+  ClusterSpec spec_filters = spec;
+  spec_filters.filters = *FilterConfig::Parse("keycache,delta,compress");
+  Cluster cluster_filters(spec_filters);
+  Dataset<Example> data_filters =
+      MakeClassificationDataset(&cluster_filters, ds).Cache();
+  data_filters.Count();
+  cluster_filters.metrics().Reset();
+  DcvContext ctx_filters(&cluster_filters);
+  TrainReport ps2_filtered = *TrainGlmPs2(&ctx_filters, data_filters, options);
+  json->AddRun(std::string(name) + ".ps2_adam_filters", cluster_filters,
+               ps2_filtered.total_time);
+  json->AddField("final_loss", ps2_filtered.final_loss);
+  json->AddField("time_to_target_s", ps2_filtered.TimeToLoss(target_loss));
+  {
+    const uint64_t wire = cluster_filters.metrics().Get("net.bytes_wire");
+    const uint64_t logical = cluster_filters.metrics().Get("net.bytes_logical");
+    std::printf("-- wire filters (%s): %llu logical -> %llu wire bytes "
+                "(%.2fx), loss %.4f vs %.4f unfiltered\n",
+                spec_filters.filters.ToString().c_str(),
+                static_cast<unsigned long long>(logical),
+                static_cast<unsigned long long>(wire),
+                wire > 0 ? static_cast<double>(logical) / wire : 1.0,
+                ps2_filtered.final_loss, ps2.final_loss);
+  }
+
   bench::PrintCurve(ps2, 6);
   bench::PrintCurve(ps, 6);
   bench::PrintCurve(spark.report, 6);

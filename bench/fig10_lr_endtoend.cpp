@@ -17,7 +17,7 @@ namespace {
 using namespace ps2;
 
 void RunDataset(const char* name, const ClassificationSpec& ds,
-                double target_loss) {
+                double target_loss, bench::JsonReporter* json) {
   std::printf("\n--- dataset %s: %llu rows x %llu cols ---\n", name,
               static_cast<unsigned long long>(ds.rows),
               static_cast<unsigned long long>(ds.dim));
@@ -35,13 +35,50 @@ void RunDataset(const char* name, const ClassificationSpec& ds,
   options.batch_fraction = 0.01;
   options.iterations = 150;
 
+  auto record = [&](const std::string& run, const Cluster& c,
+                    const TrainReport& r) {
+    json->AddRun(std::string(name) + "." + run, c, r.total_time);
+    json->AddField("final_loss", r.final_loss);
+    json->AddField("time_to_target_s", r.TimeToLoss(target_loss));
+  };
+  cluster.metrics().Reset();
   DcvContext ctx_ps2(&cluster);
   TrainReport ps2 = *TrainGlmPs2(&ctx_ps2, data, options);
+  record("ps2_sgd", cluster, ps2);
+  cluster.metrics().Reset();
   MllibReport mllib = *TrainGlmMllib(&cluster, data, options);
+  record("mllib_sgd", cluster, mllib.report);
+  cluster.metrics().Reset();
   DcvContext ctx_petuum(&cluster);
   TrainReport petuum = *TrainGlmPetuum(&ctx_petuum, data, options);
+  record("petuum_sgd", cluster, petuum);
+  cluster.metrics().Reset();
   DcvContext ctx_distml(&cluster);
   Result<TrainReport> distml = TrainGlmDistml(&ctx_distml, data, options);
+
+  // Wire-filter sweep: PS2-SGD again with the full filter chain on its own
+  // cluster, for the bytes-per-epoch comparison against ps2_sgd above.
+  ClusterSpec spec_filters = spec;
+  spec_filters.filters = *FilterConfig::Parse("keycache,delta,compress");
+  Cluster cluster_filters(spec_filters);
+  Dataset<Example> data_filters =
+      MakeClassificationDataset(&cluster_filters, ds).Cache();
+  data_filters.Count();
+  cluster_filters.metrics().Reset();
+  DcvContext ctx_filters(&cluster_filters);
+  TrainReport ps2_filtered = *TrainGlmPs2(&ctx_filters, data_filters, options);
+  record("ps2_sgd_filters", cluster_filters, ps2_filtered);
+  {
+    const uint64_t wire = cluster_filters.metrics().Get("net.bytes_wire");
+    const uint64_t logical = cluster_filters.metrics().Get("net.bytes_logical");
+    std::printf("-- wire filters (%s): %llu logical -> %llu wire bytes "
+                "(%.2fx), loss %.4f vs %.4f unfiltered\n",
+                spec_filters.filters.ToString().c_str(),
+                static_cast<unsigned long long>(logical),
+                static_cast<unsigned long long>(wire),
+                wire > 0 ? static_cast<double>(logical) / wire : 1.0,
+                ps2_filtered.final_loss, ps2.final_loss);
+  }
 
   bench::PrintCurve(ps2, 6);
   bench::PrintCurve(petuum, 6);
@@ -71,7 +108,9 @@ int main() {
                 "PS2 fastest (1.6x/2.3x over Petuum); MLlib slowest; DistML "
                 "non-convergent on KDDB");
   const double scale = bench::Scale();
-  RunDataset("KDDB-like", presets::KddbLike(scale), 0.62);
-  RunDataset("KDD12-like", presets::Kdd12Like(scale), 0.62);
+  bench::JsonReporter json("fig10_lr_endtoend");
+  RunDataset("KDDB-like", presets::KddbLike(scale), 0.62, &json);
+  RunDataset("KDD12-like", presets::Kdd12Like(scale), 0.62, &json);
+  json.Write();
   return 0;
 }

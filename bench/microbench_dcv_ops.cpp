@@ -122,14 +122,11 @@ void BM_DotBatch(benchmark::State& state) {
     pairs.push_back({embeddings[i % rows].ref(),
                      embeddings[(i * 7 + 1) % rows].ref()});
   }
-  // Benchmarks the deprecated blocking wrapper on purpose, as the serial
-  // baseline the async DotBatchAsync numbers are compared against.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  // Benchmarks the blocking round on purpose, as the serial baseline the
+  // pipelined DotBatchAsync numbers are compared against.
   for (auto _ : state) {
-    benchmark::DoNotOptimize(f.ctx.client()->DotBatch(pairs));
+    benchmark::DoNotOptimize(f.ctx.client()->DotBatchAsync(pairs).Get());
   }
-#pragma GCC diagnostic pop
   state.SetItemsProcessed(state.iterations() * pairs.size());
 }
 BENCHMARK(BM_DotBatch)->Arg(512);

@@ -5,11 +5,9 @@
 #include "common/logging.h"
 #include "ml/lda/gibbs_sampler.h"
 
-// Baseline fidelity: the deprecated synchronous batch wrappers are used on
-// purpose — each call is one blocking round, which is exactly the traffic
-// pattern this baseline models.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+// Baseline fidelity: each batch call is one blocking round
+// (XAsync(...).Wait()/.Get() with nothing outstanding), which is exactly the
+// traffic pattern this baseline models.
 
 namespace ps2 {
 
@@ -47,9 +45,11 @@ Result<TrainReport> TrainLdaGlint(DcvContext* ctx,
     Rng rng = task.rng.Split(0x1DA0);
     state.Initialize(rows, options, &rng);
     task.AddWorkerOps(state.total_tokens() * 4);
-    PS2_CHECK_OK(client->PushSparseRows(
-        topic_refs, state.InitialTopicCounts(options),
-        /*compress_counts=*/false));
+    PS2_CHECK_OK(client
+                     ->PushSparseRowsAsync(topic_refs,
+                                           state.InitialTopicCounts(options),
+                                           /*compress_counts=*/false)
+                     .Wait());
     PS2_CHECK_OK(topic_totals.Push(state.InitialTopicTotals(options)));
   });
 
@@ -83,8 +83,10 @@ Result<TrainReport> TrainLdaGlint(DcvContext* ctx,
                 // Per-batch pull: the Glint redundancy (hot words re-pulled
                 // every batch), uncompressed.
                 Result<std::vector<std::vector<double>>> pulled =
-                    client->PullSparseRows(topic_refs, batch_vocab,
-                                           /*compress_counts=*/false);
+                    client
+                        ->PullSparseRowsAsync(topic_refs, batch_vocab,
+                                              /*compress_counts=*/false)
+                        .Get();
                 PS2_CHECK(pulled.ok()) << pulled.status();
                 Result<std::vector<double>> nt = topic_totals.Pull();
                 PS2_CHECK(nt.ok()) << nt.status();
@@ -96,9 +98,11 @@ Result<TrainReport> TrainLdaGlint(DcvContext* ctx,
                 LdaPartitionState::SweepResult sweep = state.Sweep(
                     options, &nwt_local, &*nt, &rng, doc_begin, doc_end);
                 task.AddWorkerOps(sweep.tokens * (4 * k_topics + 8));
-                PS2_CHECK_OK(
-                    client->PushSparseRows(topic_refs, sweep.topic_deltas,
-                                           /*compress_counts=*/false));
+                PS2_CHECK_OK(client
+                                 ->PushSparseRowsAsync(
+                                     topic_refs, sweep.topic_deltas,
+                                     /*compress_counts=*/false)
+                                 .Wait());
                 PS2_CHECK_OK(topic_totals.Push(sweep.topic_total_deltas));
                 loglik += sweep.loglik_sum;
                 tokens += sweep.tokens;
@@ -125,5 +129,3 @@ Result<TrainReport> TrainLdaGlint(DcvContext* ctx,
 }
 
 }  // namespace ps2
-
-#pragma GCC diagnostic pop

@@ -3,11 +3,9 @@
 #include "common/logging.h"
 #include "ml/lda/gibbs_sampler.h"
 
-// Baseline fidelity: the deprecated synchronous batch wrappers are used on
-// purpose — each call is one blocking round, which is exactly the traffic
-// pattern this baseline models.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+// Baseline fidelity: each batch call is one blocking round
+// (XAsync(...).Wait()/.Get() with nothing outstanding), which is exactly the
+// traffic pattern this baseline models.
 
 namespace ps2 {
 
@@ -43,9 +41,11 @@ Result<TrainReport> TrainLdaPetuum(DcvContext* ctx,
     task.AddWorkerOps(state.total_tokens() * 4);
     // Initial counts still push sparsely (they are per-worker deltas) but
     // WITHOUT PS2's count compression.
-    PS2_CHECK_OK(client->PushSparseRows(
-        topic_refs, state.InitialTopicCounts(options),
-        /*compress_counts=*/false));
+    PS2_CHECK_OK(client
+                     ->PushSparseRowsAsync(topic_refs,
+                                           state.InitialTopicCounts(options),
+                                           /*compress_counts=*/false)
+                     .Wait());
     PS2_CHECK_OK(topic_totals.Push(state.InitialTopicTotals(options)));
   });
 
@@ -59,7 +59,7 @@ Result<TrainReport> TrainLdaPetuum(DcvContext* ctx,
 
               // Petuum behaviour: pull EVERY topic row in full.
               Result<std::vector<std::vector<double>>> full =
-                  client->PullRows(topic_refs);
+                  client->PullRowsAsync(topic_refs).Get();
               PS2_CHECK(full.ok()) << full.status();
               Result<std::vector<double>> nt = topic_totals.Pull();
               PS2_CHECK(nt.ok()) << nt.status();
@@ -81,9 +81,11 @@ Result<TrainReport> TrainLdaPetuum(DcvContext* ctx,
                   state.Sweep(options, &nwt_local, &*nt, &rng);
               task.AddWorkerOps(sweep.tokens * (4 * k_topics + 8));
 
-              PS2_CHECK_OK(client->PushSparseRows(topic_refs,
-                                                  sweep.topic_deltas,
-                                                  /*compress_counts=*/false));
+              PS2_CHECK_OK(client
+                               ->PushSparseRowsAsync(
+                                   topic_refs, sweep.topic_deltas,
+                                   /*compress_counts=*/false)
+                               .Wait());
               PS2_CHECK_OK(topic_totals.Push(sweep.topic_total_deltas));
               return {sweep.loglik_sum, sweep.tokens};
             });
@@ -107,5 +109,3 @@ Result<TrainReport> TrainLdaPetuum(DcvContext* ctx,
 }
 
 }  // namespace ps2
-
-#pragma GCC diagnostic pop

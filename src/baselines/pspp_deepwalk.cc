@@ -9,11 +9,9 @@
 #include "dataflow/broadcast.h"
 #include "ml/metrics.h"
 
-// Baseline fidelity: the deprecated synchronous batch wrappers are used on
-// purpose — each call is one blocking round, which is exactly the traffic
-// pattern this baseline models.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+// Baseline fidelity: each batch call is one blocking round
+// (XAsync(...).Wait()/.Get() with nothing outstanding), which is exactly the
+// traffic pattern this baseline models.
 
 namespace ps2 {
 
@@ -99,7 +97,7 @@ Result<TrainReport> TrainDeepWalkPsPullPush(
                   refs.push_back(RowRef{matrix_id, r});
                 }
                 Result<std::vector<std::vector<double>>> pulled =
-                    client->PullRows(refs);
+                    client->PullRowsAsync(refs).Get();
                 PS2_CHECK(pulled.ok()) << pulled.status();
                 std::unordered_map<uint32_t, size_t> slot;
                 slot.reserve(touched.size() * 2);
@@ -133,7 +131,7 @@ Result<TrainReport> TrainDeepWalkPsPullPush(
                 task.AddWorkerOps(triples.size() * 6 * k_dim);
 
                 // Push the accumulated deltas back.
-                PS2_CHECK_OK(client->PushRows(refs, delta));
+                PS2_CHECK_OK(client->PushRowsAsync(refs, delta).Wait());
                 trained += end - start;
               }
               return {loss_sum, trained * (1 + negatives)};
@@ -158,5 +156,3 @@ Result<TrainReport> TrainDeepWalkPsPullPush(
 }
 
 }  // namespace ps2
-
-#pragma GCC diagnostic pop

@@ -13,9 +13,28 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/slice.h"
 #include "common/status.h"
 
 namespace ps2 {
+
+/// \brief Semantic tag of a marked payload span (see PayloadSection).
+enum class SectionKind : uint8_t {
+  kKeys = 0,       ///< a delta-varint sparse key list (key-cache candidate)
+  kF64Values = 1,  ///< a raw little-endian f64 span (quantization candidate)
+};
+
+/// \brief A marked span of a serialized payload.
+///
+/// Sections are metadata only — the payload bytes are identical whether or
+/// not anything was marked. The wire-level filter chain (net/filters.h) uses
+/// them to locate key lists and value spans without re-parsing the opcode's
+/// format.
+struct PayloadSection {
+  SectionKind kind = SectionKind::kKeys;
+  uint64_t offset = 0;
+  uint64_t len = 0;
+};
 
 /// \brief Append-only little-endian byte buffer writer.
 class BufferWriter {
@@ -56,6 +75,11 @@ class BufferWriter {
     AppendRaw(s.data(), s.size());
   }
 
+  /// Raw bytes, no length prefix.
+  void WriteBytes(Slice bytes) {
+    if (!bytes.empty()) AppendRaw(bytes.data(), bytes.size());
+  }
+
   /// Length-prefixed POD array.
   template <typename T>
   void WritePodVector(const std::vector<T>& v) {
@@ -71,9 +95,25 @@ class BufferWriter {
     for (uint64_t x : v) WriteVarint(x);
   }
 
+  // ---- Section marks (filter metadata; no effect on the bytes) ----
+
+  /// Opens a marked span of kind `kind` at the current position. Sections
+  /// must not nest; EndSection() closes the open one.
+  void BeginSection(SectionKind kind) {
+    open_kind_ = kind;
+    open_begin_ = buf_.size();
+  }
+  void EndSection() {
+    sections_.push_back({open_kind_, open_begin_, buf_.size() - open_begin_});
+  }
+  /// Moves the recorded section list out (call before ReleaseShared()).
+  std::vector<PayloadSection> TakeSections() { return std::move(sections_); }
+
   size_t size() const { return buf_.size(); }
   const std::vector<uint8_t>& buffer() const { return buf_; }
   std::vector<uint8_t> Release() { return std::move(buf_); }
+  /// Moves the buffer into a SharedBuf without copying the bytes.
+  SharedBuf ReleaseShared() { return SharedBuf::FromVector(std::move(buf_)); }
 
  private:
   void AppendRaw(const void* data, size_t n) {
@@ -82,6 +122,9 @@ class BufferWriter {
   }
 
   std::vector<uint8_t> buf_;
+  std::vector<PayloadSection> sections_;
+  SectionKind open_kind_ = SectionKind::kKeys;
+  size_t open_begin_ = 0;
 };
 
 /// \brief Bounds-checked reader over a byte buffer.
@@ -90,6 +133,8 @@ class BufferReader {
   BufferReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
   explicit BufferReader(const std::vector<uint8_t>& buf)
       : BufferReader(buf.data(), buf.size()) {}
+  /// Zero-copy view reader. The slice's owner must outlive the reader.
+  explicit BufferReader(Slice s) : BufferReader(s.data(), s.size()) {}
 
   Result<uint8_t> ReadU8();
   Result<uint32_t> ReadU32() { return ReadPod<uint32_t>(); }
@@ -129,6 +174,27 @@ class BufferReader {
     std::memcpy(out.data(), data_ + pos_, n * sizeof(double));
     pos_ += n * sizeof(double);
     return out;
+  }
+
+  /// Bulk doubles decoded straight into caller storage — the zero-extra-copy
+  /// twin of ReadF64Span for parse paths that already own a destination.
+  Status ReadF64Into(double* dst, size_t n) {
+    if (n > remaining() / sizeof(double)) {
+      return Status::OutOfRange("f64 span exceeds buffer");
+    }
+    std::memcpy(dst, data_ + pos_, n * sizeof(double));
+    pos_ += n * sizeof(double);
+    return Status::OK();
+  }
+
+  /// Zero-copy view of the next `n` bytes (valid while the buffer lives).
+  Result<Slice> ReadBytes(size_t n) {
+    if (n > remaining()) {
+      return Status::OutOfRange("byte span exceeds buffer");
+    }
+    Slice s(data_ + pos_, n);
+    pos_ += n;
+    return s;
   }
 
   size_t remaining() const { return size_ - pos_; }

@@ -122,6 +122,19 @@ void Cluster::RecordTraffic(const TaskTraffic& traffic) {
   metrics_.Add("net.retry_backoff_time",
                static_cast<uint64_t>(traffic.retry_backoff_time * 1e6));
   metrics_.Add("ps.dedup_hits", traffic.dedup_hits);
+  // Wire-vs-logical accounting (net/filters.h): the byte totals above are
+  // wire bytes (what the cost model charges); these expose the pre-filter
+  // payload sizes so benches can report the filter chain's ratio.
+  metrics_.Add("net.bytes_wire",
+               traffic.TotalBytesToServers() + traffic.TotalBytesFromServers());
+  metrics_.Add("net.bytes_logical",
+               traffic.logical_bytes_to + traffic.logical_bytes_from);
+  metrics_.Add("net.bytes_logical_worker_to_server", traffic.logical_bytes_to);
+  metrics_.Add("net.bytes_logical_server_to_worker",
+               traffic.logical_bytes_from);
+  metrics_.Add("ps.keycache_hits", traffic.keycache_hits);
+  metrics_.Add("ps.keycache_installs", traffic.keycache_installs);
+  metrics_.Add("ps.keycache_misses", traffic.keycache_misses);
   // Per-server breakdown: bytes each way and the modeled busy time (virtual
   // µs) this traffic kept server `s` occupied — the straggler signal. All
   // inputs are simulation quantities, so these counters stay deterministic.

@@ -1,0 +1,64 @@
+#pragma once
+
+// Configuration of the wire-level filter chain (net/filters.h).
+//
+// Three filters, identified by bits so a mask can travel with every frame:
+//
+//   keycache  — identical re-sent sparse key lists are replaced by a 64-bit
+//               content hash the server resolves from its key-set cache.
+//   delta     — f64 value spans are quantized to 16-bit fixed point and
+//               delta+zigzag-varint coded (lossy; bounded error, see
+//               net/filters.h).
+//   compress  — dictionary/RLE byte compressor over the framed body.
+//
+// The config carries a cluster-wide default mask plus optional per-opcode
+// overrides (indexed by the request opcode byte). The default-constructed
+// config is OFF: existing byte accounting is unchanged unless a run opts in
+// (`ps2run --filters=...`, ClusterSpec::filters).
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace ps2 {
+
+inline constexpr uint8_t kFilterKeyCache = 1u << 0;
+inline constexpr uint8_t kFilterDelta = 1u << 1;
+inline constexpr uint8_t kFilterCompress = 1u << 2;
+inline constexpr uint8_t kFilterAll =
+    kFilterKeyCache | kFilterDelta | kFilterCompress;
+
+struct FilterConfig {
+  /// Default filter mask for every opcode.
+  uint8_t bits = 0;
+  /// Per-opcode override (request opcode byte -> mask); -1 = use `bits`.
+  std::array<int16_t, 32> per_opcode{};
+
+  FilterConfig() { per_opcode.fill(-1); }
+
+  bool enabled() const;
+
+  /// Effective mask for a request opcode (and its response).
+  uint8_t MaskFor(uint8_t opcode) const {
+    if (opcode < per_opcode.size() && per_opcode[opcode] >= 0) {
+      return static_cast<uint8_t>(per_opcode[opcode]);
+    }
+    return bits;
+  }
+
+  void SetOpcodeMask(uint8_t opcode, uint8_t mask) {
+    if (opcode < per_opcode.size()) {
+      per_opcode[opcode] = static_cast<int16_t>(mask);
+    }
+  }
+
+  /// Parses "off" / "" / a comma list of {keycache, delta, compress, all}.
+  static Result<FilterConfig> Parse(const std::string& text);
+
+  /// Canonical comma list ("off" when disabled).
+  std::string ToString() const;
+};
+
+}  // namespace ps2

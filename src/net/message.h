@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "common/slice.h"
+
 namespace ps2 {
 
 /// \brief Kinds of RPC traffic, used for metrics breakdowns.
@@ -42,6 +44,24 @@ struct Message {
   /// accounting anywhere.
   static constexpr uint64_t kHeaderBytes = 24;
   uint64_t WireBytes() const { return kHeaderBytes + payload.size(); }
+};
+
+/// \brief Zero-copy view of one payload as it crosses the (simulated) wire.
+///
+/// `payload` is a view into the sender's buffer — delivery is an in-process
+/// call, so no copy is ever required; the receiver decodes or parses in
+/// place. `filter_mask` says which wire filters (net/filter_config.h) were
+/// applied and must be undone on decode. Like the RpcHeader, the mask rides
+/// the fixed framing header (one spare byte of the correlation-id slot), so
+/// it adds nothing to the byte accounting and a filters-off frame is
+/// byte-identical to the pre-filter wire format. Requests keep their opcode
+/// verbatim at payload[0] whatever the mask, so dedup peeking and dispatch
+/// never need a decode.
+struct WireFrame {
+  Slice payload;
+  uint8_t filter_mask = 0;
+
+  uint64_t WireBytes() const { return Message::kHeaderBytes + payload.size(); }
 };
 
 }  // namespace ps2

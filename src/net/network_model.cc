@@ -22,7 +22,16 @@ void TaskTraffic::EnsureServers(size_t n) {
 
 void TaskTraffic::RecordExchange(int server, uint64_t bytes_out,
                                  uint64_t bytes_in, uint64_t ops_on_server) {
+  RecordExchange(server, bytes_out, bytes_in, ops_on_server, bytes_out,
+                 bytes_in);
+}
+
+void TaskTraffic::RecordExchange(int server, uint64_t bytes_out,
+                                 uint64_t bytes_in, uint64_t ops_on_server,
+                                 uint64_t logical_out, uint64_t logical_in) {
   PS2_CHECK_GE(server, 0);
+  logical_bytes_to += logical_out;
+  logical_bytes_from += logical_in;
   EnsureServers(static_cast<size_t>(server) + 1);
   bytes_to_server[server] += bytes_out;
   msgs_to_server[server] += 1;
@@ -62,6 +71,11 @@ void TaskTraffic::MergeFrom(const TaskTraffic& other) {
   retries += other.retries;
   retry_backoff_time += other.retry_backoff_time;
   dedup_hits += other.dedup_hits;
+  logical_bytes_to += other.logical_bytes_to;
+  logical_bytes_from += other.logical_bytes_from;
+  keycache_hits += other.keycache_hits;
+  keycache_installs += other.keycache_installs;
+  keycache_misses += other.keycache_misses;
   EnsureServers(other.bytes_to_server.size());
   for (size_t s = 0; s < other.bytes_to_server.size(); ++s) {
     bytes_to_server[s] += other.bytes_to_server[s];
@@ -82,6 +96,11 @@ void TaskTraffic::Clear() {
   retries = 0;
   retry_backoff_time = 0.0;
   dedup_hits = 0;
+  logical_bytes_to = 0;
+  logical_bytes_from = 0;
+  keycache_hits = 0;
+  keycache_installs = 0;
+  keycache_misses = 0;
   bytes_to_server.clear();
   bytes_from_server.clear();
   msgs_to_server.clear();

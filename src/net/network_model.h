@@ -56,6 +56,20 @@ struct TaskTraffic {
   /// per-client sequence number) and acked without re-applying.
   uint64_t dedup_hits = 0;
 
+  // Wire-vs-logical accounting (net/filters.h). bytes_to_server /
+  // bytes_from_server hold WIRE bytes — what the cost model charges. The
+  // logical totals hold the pre-filter payload sizes, so
+  // logical / wire is the filter chain's compression ratio. With filters
+  // off the two are equal.
+  uint64_t logical_bytes_to = 0;
+  uint64_t logical_bytes_from = 0;
+  /// Key-cache filter outcomes: key lists replaced by a hash (hits), key
+  /// lists sent with an install hash, and refs the server could not resolve
+  /// (forcing a re-encoded install retry).
+  uint64_t keycache_hits = 0;
+  uint64_t keycache_installs = 0;
+  uint64_t keycache_misses = 0;
+
   // Per-server breakdown (indexed by server id; lazily sized).
   std::vector<uint64_t> bytes_to_server;
   std::vector<uint64_t> bytes_from_server;
@@ -65,9 +79,13 @@ struct TaskTraffic {
 
   void EnsureServers(size_t n);
 
-  /// Records one request/response exchange with `server`.
+  /// Records one request/response exchange with `server`. The 4-arg form is
+  /// for unfiltered traffic: logical bytes equal wire bytes.
   void RecordExchange(int server, uint64_t bytes_out, uint64_t bytes_in,
                       uint64_t ops_on_server);
+  void RecordExchange(int server, uint64_t bytes_out, uint64_t bytes_in,
+                      uint64_t ops_on_server, uint64_t logical_out,
+                      uint64_t logical_in);
 
   /// Totals across servers.
   uint64_t TotalBytesToServers() const;

@@ -26,8 +26,10 @@ double WallUs() {
       .count();
 }
 
-/// Opcode byte of a serialized request (0xff for an empty payload).
-PsOpCode PeekOpCode(const std::vector<uint8_t>& payload) {
+/// Opcode byte of a serialized request (0xff for an empty payload). Always
+/// peeked on the logical payload — the wire form keeps byte 0 verbatim
+/// (FilterChain prefix rule), so either view answers the same.
+PsOpCode PeekOpCode(Slice payload) {
   return payload.empty() ? static_cast<PsOpCode>(0xff)
                          : static_cast<PsOpCode>(payload[0]);
 }
@@ -71,10 +73,6 @@ const std::string& AsyncOpUsName(PsOpCode op) {
 /// harvest hook, so a coordinator op costs the same through either path.
 void ChargeCoordinator(Cluster* cluster, const TaskTraffic& local) {
   cluster->ChargeOutOfTask(local);
-}
-
-uint64_t WireBytes(const std::vector<uint8_t>& payload) {
-  return payload.size() + Message::kHeaderBytes;
 }
 
 /// Deterministic "home" server a client refreshes a hot row from. Every
@@ -183,6 +181,8 @@ PsClient::PsClient(PsMaster* master, PsClientOptions options)
   PS2_CHECK(master != nullptr);
   if (options_.window_depth < 1) options_.window_depth = 1;
   if (options_.max_attempts < 1) options_.max_attempts = 1;
+  filters_ =
+      options_.filters.value_or(master_->cluster()->spec().filters);
   client_id_ = master_->AllocateClientId();
   const size_t n_servers =
       static_cast<size_t>(std::max(master_->num_servers(), 1));
@@ -225,23 +225,70 @@ PsClient::AsyncStats PsClient::async_stats() const {
   return stats;
 }
 
+PsClient::ServerRequest PsClient::MakeRequest(int server,
+                                              BufferWriter* writer) {
+  ServerRequest req;
+  req.server = server;
+  req.sections = writer->TakeSections();
+  req.payload = writer->ReleaseShared();
+  return req;
+}
+
+void PsClient::EncodeRequest(ServerRequest* req, bool force_key_install) {
+  // Reset to the zero-copy identity encoding first (idempotence: the
+  // keycache-miss path re-encodes an already-encoded request).
+  req->wire = req->payload;
+  req->wire_mask = 0;
+  req->estats = EncodeStats{};
+  req->estats.logical_bytes = req->payload.size();
+  req->estats.wire_bytes = req->payload.size();
+  if (req->payload.empty()) return;
+  const uint8_t want =
+      filters_.MaskFor(req->payload.slice()[0]);
+  if (want == 0) return;
+  // Key-cache decisions are epoch-scoped: any hotspot epoch bump (server
+  // recovery, hot-set move) clears the client's installed sets, exactly when
+  // servers may have lost theirs.
+  if (want & kFilterKeyCache) {
+    keycache_.SyncEpoch(master_->hotspot()->epoch());
+  }
+  FilterContext ctx;
+  ctx.dir = FilterDir::kClientToServer;
+  ctx.server = req->server;
+  ctx.force_key_install = force_key_install;
+  ctx.client_keys = &keycache_;
+  EncodedPayload enc = chain_.Encode(req->payload.slice(), req->sections, want,
+                                     /*prefix=*/1, &ctx);
+  req->estats = enc.stats;
+  if (enc.mask != 0) {
+    req->wire = SharedBuf::FromVector(std::move(enc.wire));
+    req->wire_mask = enc.mask;
+  }
+}
+
 void PsClient::StampRequests(std::vector<ServerRequest>* requests) {
   for (ServerRequest& req : *requests) {
     req.header.client_id = client_id_;
     req.header.seq =
         next_seq_[req.server].fetch_add(1, std::memory_order_relaxed) + 1;
     req.header.attempt = 1;
+    // Encode here — issuing thread, program order — so install-vs-ref
+    // decisions (and with them the wire bytes the benches pin) are
+    // deterministic regardless of I/O-pool scheduling.
+    EncodeRequest(&req, /*force_key_install=*/false);
   }
 }
 
-PsClient::ExchangeOutcome PsClient::ExecuteRequest(
-    const ServerRequest& request) {
+PsClient::ExchangeOutcome PsClient::ExecuteRequest(ServerRequest& request) {
   ExchangeOutcome out;
   Cluster* cluster = master_->cluster();
   PsServer* server = master_->server(request.server);
   RpcHeader header = request.header;
   const int max_attempts = options_.max_attempts;
-  const PsOpCode op = PeekOpCode(request.payload);
+  const PsOpCode op = PeekOpCode(request.payload.slice());
+  // Key-cache miss recovery re-encodes once (below); the guard keeps a
+  // byzantine server from looping us.
+  bool reencoded = false;
   PS2_TRACE_SPAN("ps.client", PsOpCodeName(op));
   // Wall-clock per-exchange latency and virtual retry/backoff samples land
   // in histograms only; the deterministic totals stay on the TaskTraffic
@@ -268,6 +315,8 @@ PsClient::ExchangeOutcome PsClient::ExecuteRequest(
              retries_hist_, backoff_hist_, sampled ? WallUs() : 0.0, &out};
   for (int attempt = 1;; ++attempt) {
     header.attempt = static_cast<uint32_t>(attempt);
+    // Rebuilt each iteration: a key-cache miss swaps the wire view in place.
+    const WireFrame frame{request.wire.slice(), request.wire_mask};
     const MessageFault fault = cluster->failures().DrawMessageFault(
         request.server, header.client_id, header.seq, header.attempt);
     std::optional<Result<PsServer::HandleResult>> r;
@@ -288,18 +337,59 @@ PsClient::ExchangeOutcome PsClient::ExecuteRequest(
         // A retry whose ack is lost AGAIN was still suppressed server-side,
         // so its dedup hit is counted here to keep the traffic metric in
         // lockstep with the servers' own counters.
-        Result<PsServer::HandleResult> applied =
-            server->Handle(header, request.payload);
+        Result<PsServer::HandleResult> applied = server->Handle(header, frame);
         if (applied.ok() && applied->dedup_hit) out.dedup_hits += 1;
         r.emplace(Status::Unavailable("injected response loss"));
         break;
       }
       case MessageFault::kNone:
-        r.emplace(server->Handle(header, request.payload));
+        r.emplace(server->Handle(header, frame));
         break;
+    }
+    // Key-cache miss: the server lost its key cache (recovery, eviction)
+    // since we installed. Re-encode with the key list forced verbatim and
+    // re-drive the SAME seq immediately — a protocol round trip, not a
+    // fault, so it consumes no attempt and no backoff. Only the final,
+    // successful request's bytes are charged (the simplification DESIGN.md
+    // §9 documents).
+    if (!r->ok() && IsKeyCacheMiss(r->status()) && !reencoded) {
+      reencoded = true;
+      out.kc_misses += 1;
+      keycache_.InvalidateServer(request.server);
+      EncodeRequest(&request, /*force_key_install=*/true);
+      --attempt;
+      continue;
     }
     if (r->ok() || !r->status().IsUnavailable() || attempt >= max_attempts) {
       if (r->ok() && (*r)->dedup_hit) out.dedup_hits += 1;
+      // Decode a filtered response here — off the server's lock, on
+      // whichever pool thread ran the exchange (the chain is stateless
+      // server-to-client, so this is safe anywhere).
+      if (r->ok() && (*r)->response_mask != 0) {
+        PsServer::HandleResult& h = **r;
+        out.resp_wire = h.response.size() + Message::kHeaderBytes;
+        FilterContext ctx;
+        ctx.dir = FilterDir::kServerToClient;
+        Result<std::vector<uint8_t>> decoded =
+            chain_.Decode(Slice(h.response), h.response_mask, /*prefix=*/0,
+                          &ctx);
+        if (!decoded.ok()) {
+          r.emplace(decoded.status());
+        } else {
+          h.response = std::move(*decoded);
+          h.response_mask = 0;
+        }
+      }
+      out.req_wire = request.wire.size() + Message::kHeaderBytes;
+      out.req_logical = request.payload.size() + Message::kHeaderBytes;
+      if (r->ok()) {
+        if (out.resp_wire == 0) {
+          out.resp_wire = (*r)->response.size() + Message::kHeaderBytes;
+        }
+        out.resp_logical = (*r)->response.size() + Message::kHeaderBytes;
+      }
+      out.kc_refs = request.estats.keycache_refs;
+      out.kc_installs = request.estats.keycache_installs;
       out.result = std::move(r);
       return out;
     }
@@ -317,23 +407,6 @@ PsClient::ExchangeOutcome PsClient::ExecuteRequest(
     out.backoff += cluster->cost().RetryBackoff(header.attempt);
     out.retries += 1;
   }
-}
-
-Result<PsServer::HandleResult> PsClient::Exchange(
-    TaskTraffic* traffic, int server, std::vector<uint8_t> request) {
-  std::vector<ServerRequest> requests(1);
-  requests[0].server = server;
-  requests[0].payload = std::move(request);
-  StampRequests(&requests);
-  ExchangeOutcome out = ExecuteRequest(requests[0]);
-  traffic->retries += out.retries;
-  traffic->retry_backoff_time += out.backoff;
-  traffic->dedup_hits += out.dedup_hits;
-  PS2_ASSIGN_OR_RETURN(PsServer::HandleResult result, std::move(*out.result));
-  traffic->RecordExchange(server, WireBytes(requests[0].payload),
-                          result.response.size() + Message::kHeaderBytes,
-                          result.server_ops);
-  return result;
 }
 
 Result<std::vector<PsServer::HandleResult>> PsClient::ExchangeAll(
@@ -363,14 +436,17 @@ Result<std::vector<PsServer::HandleResult>> PsClient::ExchangeAll(
     traffic->retries += slots[i].retries;
     traffic->retry_backoff_time += slots[i].backoff;
     traffic->dedup_hits += slots[i].dedup_hits;
+    traffic->keycache_misses += slots[i].kc_misses;
     Result<PsServer::HandleResult>& r = *slots[i].result;
     if (!r.ok()) {
       if (!failed.has_value()) failed = r.status();
       continue;
     }
-    traffic->RecordExchange(requests[i].server, WireBytes(requests[i].payload),
-                            r->response.size() + Message::kHeaderBytes,
-                            r->server_ops);
+    traffic->RecordExchange(requests[i].server, slots[i].req_wire,
+                            slots[i].resp_wire, r->server_ops,
+                            slots[i].req_logical, slots[i].resp_logical);
+    traffic->keycache_hits += slots[i].kc_refs;
+    traffic->keycache_installs += slots[i].kc_installs;
     out.push_back(std::move(*r));
   }
   if (failed.has_value()) return *failed;
@@ -445,8 +521,9 @@ PsFuture<T> PsClient::SubmitAsync(std::vector<ServerRequest> requests,
   auto state = std::make_shared<internal::PsFutureState<T>>();
   std::shared_ptr<AsyncCore> core = core_;
   const void* ctx = TrafficScope::Current();
-  const PsOpCode first_op = requests.empty() ? static_cast<PsOpCode>(0xff)
-                                             : PeekOpCode(requests[0].payload);
+  const PsOpCode first_op = requests.empty()
+                                ? static_cast<PsOpCode>(0xff)
+                                : PeekOpCode(requests[0].payload.slice());
   const AsyncOpObs op_obs =
       AsyncOpObs::Begin(OpHist(async_op_us_hists_, first_op), first_op);
 
@@ -517,14 +594,18 @@ PsFuture<T> PsClient::SubmitAsync(std::vector<ServerRequest> requests,
         state->traffic.retries += op->slots[k].retries;
         state->traffic.retry_backoff_time += op->slots[k].backoff;
         state->traffic.dedup_hits += op->slots[k].dedup_hits;
+        state->traffic.keycache_misses += op->slots[k].kc_misses;
         Result<PsServer::HandleResult>& r = *op->slots[k].result;
         if (!r.ok()) {
           if (!failed.has_value()) failed = r.status();
           continue;
         }
         state->traffic.RecordExchange(
-            op->requests[k].server, WireBytes(op->requests[k].payload),
-            r->response.size() + Message::kHeaderBytes, r->server_ops);
+            op->requests[k].server, op->slots[k].req_wire,
+            op->slots[k].resp_wire, r->server_ops, op->slots[k].req_logical,
+            op->slots[k].resp_logical);
+        state->traffic.keycache_hits += op->slots[k].kc_refs;
+        state->traffic.keycache_installs += op->slots[k].kc_installs;
         results.push_back(std::move(*r));
       }
       // Release before Complete so that once every future has been waited,
@@ -594,7 +675,7 @@ PsFuture<std::vector<double>> PsClient::PullDenseAsync(RowRef ref,
     writer.WriteVarint(meta.dim);
     std::vector<ServerRequest> refresh;
     refresh.push_back(
-        {HotHomeServer(ref, master_->num_servers()), writer.Release()});
+        MakeRequest(HotHomeServer(ref, master_->num_servers()), &writer));
     const uint64_t dim = meta.dim;
     return SubmitAsync<Out>(
         std::move(refresh),
@@ -628,7 +709,7 @@ PsFuture<std::vector<double>> PsClient::PullDenseAsync(RowRef ref,
     writer.WriteVarint(ref.row);
     writer.WriteVarint(lo);
     writer.WriteVarint(hi);
-    requests.push_back({part.ServerOfPartition(p), writer.Release()});
+    requests.push_back(MakeRequest(part.ServerOfPartition(p), &writer));
     windows.emplace_back(lo, hi);
   }
   const uint64_t begin = w.begin;
@@ -685,7 +766,7 @@ PsFuture<std::vector<double>> PsClient::PullSparseAsync(
     writer.WriteVarint(meta.dim);
     std::vector<ServerRequest> refresh;
     refresh.push_back(
-        {HotHomeServer(ref, master_->num_servers()), writer.Release()});
+        MakeRequest(HotHomeServer(ref, master_->num_servers()), &writer));
     const uint64_t dim = meta.dim;
     return SubmitAsync<Out>(
         std::move(refresh),
@@ -724,12 +805,14 @@ PsFuture<std::vector<double>> PsClient::PullSparseAsync(
     writer.WriteVarint(ref.matrix_id);
     writer.WriteVarint(ref.row);
     writer.WriteVarint(j - i);
+    writer.BeginSection(SectionKind::kKeys);
     uint64_t prev = 0;
     for (size_t k = i; k < j; ++k) {
       writer.WriteVarint(indices[k] - prev);
       prev = indices[k];
     }
-    requests.push_back({part.ServerOfPartition(p), writer.Release()});
+    writer.EndSection();
+    requests.push_back(MakeRequest(part.ServerOfPartition(p), &writer));
     runs.emplace_back(i, j);
     i = j;
   }
@@ -792,15 +875,19 @@ PsFuture<Ack> PsClient::PushDenseAsync(RowRef ref,
     writer.WriteVarint(ref.matrix_id);
     writer.WriteVarint(ref.row);
     writer.WriteVarint(idx.size());
+    writer.BeginSection(SectionKind::kKeys);
     uint64_t prev = 0;
     for (uint64_t col : idx) {
       writer.WriteVarint(col - prev);
       prev = col;
     }
+    writer.EndSection();
+    writer.BeginSection(SectionKind::kF64Values);
     for (double v : val) writer.WriteF64(v);
+    writer.EndSection();
     std::vector<ServerRequest> requests;
     requests.push_back(
-        {HotHomeServer(ref, master_->num_servers()), writer.Release()});
+        MakeRequest(HotHomeServer(ref, master_->num_servers()), &writer));
     return SubmitAsync<Ack>(std::move(requests), AckParse);
   }
   const ColumnPartitioner& part = meta.partitioner;
@@ -815,8 +902,10 @@ PsFuture<Ack> PsClient::PushDenseAsync(RowRef ref,
     writer.WriteVarint(ref.row);
     writer.WriteVarint(lo);
     writer.WriteVarint(hi - lo);
+    writer.BeginSection(SectionKind::kF64Values);
     writer.WriteF64Span(&delta[lo - w.begin], hi - lo);
-    requests.push_back({part.ServerOfPartition(p), writer.Release()});
+    writer.EndSection();
+    requests.push_back(MakeRequest(part.ServerOfPartition(p), &writer));
   }
   return SubmitAsync<Ack>(std::move(requests), AckParse);
 }
@@ -840,15 +929,19 @@ PsFuture<Ack> PsClient::PushSparseAsync(RowRef ref, const SparseVector& delta) {
     writer.WriteVarint(ref.matrix_id);
     writer.WriteVarint(ref.row);
     writer.WriteVarint(delta.nnz());
+    writer.BeginSection(SectionKind::kKeys);
     uint64_t prev = 0;
     for (uint64_t col : delta.indices()) {
       writer.WriteVarint(col - prev);
       prev = col;
     }
+    writer.EndSection();
+    writer.BeginSection(SectionKind::kF64Values);
     for (double v : delta.values()) writer.WriteF64(v);
+    writer.EndSection();
     std::vector<ServerRequest> requests;
     requests.push_back(
-        {HotHomeServer(ref, master_->num_servers()), writer.Release()});
+        MakeRequest(HotHomeServer(ref, master_->num_servers()), &writer));
     return SubmitAsync<Ack>(std::move(requests), AckParse);
   }
   const ColumnPartitioner& part = meta.partitioner;
@@ -866,13 +959,17 @@ PsFuture<Ack> PsClient::PushSparseAsync(RowRef ref, const SparseVector& delta) {
     writer.WriteVarint(ref.matrix_id);
     writer.WriteVarint(ref.row);
     writer.WriteVarint(j - i);
+    writer.BeginSection(SectionKind::kKeys);
     uint64_t prev = 0;
     for (size_t k = i; k < j; ++k) {
       writer.WriteVarint(idx[k] - prev);
       prev = idx[k];
     }
+    writer.EndSection();
+    writer.BeginSection(SectionKind::kF64Values);
     for (size_t k = i; k < j; ++k) writer.WriteF64(val[k]);
-    requests.push_back({part.ServerOfPartition(p), writer.Release()});
+    writer.EndSection();
+    requests.push_back(MakeRequest(part.ServerOfPartition(p), &writer));
     i = j;
   }
   return SubmitAsync<Ack>(std::move(requests), AckParse);
@@ -895,7 +992,7 @@ PsFuture<double> PsClient::RowAggregateAsync(RowRef ref, RowAggKind kind) {
     writer.WriteVarint(ref.matrix_id);
     writer.WriteVarint(ref.row);
     writer.WriteU8(static_cast<uint8_t>(kind));
-    requests.push_back({part.ServerOfPartition(p), writer.Release()});
+    requests.push_back(MakeRequest(part.ServerOfPartition(p), &writer));
   }
   return SubmitAsync<double>(
       std::move(requests),
@@ -969,7 +1066,7 @@ PsFuture<Ack> PsClient::ColumnOpAsync(ColOpKind kind, RowRef dst,
       writer.WriteVarint(src.row);
     }
     writer.WriteF64(scalar);
-    requests.push_back({part.ServerOfPartition(p), writer.Release()});
+    requests.push_back(MakeRequest(part.ServerOfPartition(p), &writer));
   }
   return SubmitAsync<Ack>(std::move(requests), AckParse);
 }
@@ -1101,7 +1198,7 @@ PsFuture<double> PsClient::DotAsync(RowRef a, RowRef b) {
     writer.WriteVarint(a.row);
     writer.WriteVarint(b.matrix_id);
     writer.WriteVarint(b.row);
-    requests.push_back({part.ServerOfPartition(p), writer.Release()});
+    requests.push_back(MakeRequest(part.ServerOfPartition(p), &writer));
   }
   return SubmitAsync<double>(
       std::move(requests),
@@ -1141,7 +1238,7 @@ Status PsClient::Zip(const std::vector<RowRef>& rows, int udf_id) {
       writer.WriteVarint(r.matrix_id);
       writer.WriteVarint(r.row);
     }
-    requests.push_back({part.ServerOfPartition(p), writer.Release()});
+    requests.push_back(MakeRequest(part.ServerOfPartition(p), &writer));
   }
   return SubmitAsync<Ack>(std::move(requests), AckParse).Wait();
 }
@@ -1168,7 +1265,7 @@ Result<std::vector<std::vector<double>>> PsClient::ZipAggregate(
       writer.WriteVarint(r.matrix_id);
       writer.WriteVarint(r.row);
     }
-    requests.push_back({part.ServerOfPartition(p), writer.Release()});
+    requests.push_back(MakeRequest(part.ServerOfPartition(p), &writer));
   }
   return SubmitAsync<Out>(
              std::move(requests),
@@ -1217,7 +1314,7 @@ PsFuture<std::vector<double>> PsClient::DotBatchAsync(
       writer.WriteVarint(b.matrix_id);
       writer.WriteVarint(b.row);
     }
-    requests.push_back({part.ServerOfPartition(p), writer.Release()});
+    requests.push_back(MakeRequest(part.ServerOfPartition(p), &writer));
   }
   const size_t count = pairs.size();
   return SubmitAsync<Out>(
@@ -1236,11 +1333,6 @@ PsFuture<std::vector<double>> PsClient::DotBatchAsync(
         }
         return out;
       });
-}
-
-Result<std::vector<double>> PsClient::DotBatch(
-    const std::vector<std::pair<RowRef, RowRef>>& pairs) {
-  return DotBatchAsync(pairs).Get();
 }
 
 PsFuture<Ack> PsClient::AxpyBatchAsync(const std::vector<AxpyTask>& tasks) {
@@ -1271,13 +1363,9 @@ PsFuture<Ack> PsClient::AxpyBatchAsync(const std::vector<AxpyTask>& tasks) {
       writer.WriteVarint(t.src.row);
       writer.WriteF64(t.alpha);
     }
-    requests.push_back({part.ServerOfPartition(p), writer.Release()});
+    requests.push_back(MakeRequest(part.ServerOfPartition(p), &writer));
   }
   return SubmitAsync<Ack>(std::move(requests), AckParse);
-}
-
-Status PsClient::AxpyBatch(const std::vector<AxpyTask>& tasks) {
-  return AxpyBatchAsync(tasks).Wait();
 }
 
 PsFuture<std::vector<std::vector<double>>> PsClient::PullRowsAsync(
@@ -1305,7 +1393,7 @@ PsFuture<std::vector<std::vector<double>>> PsClient::PullRowsAsync(
       writer.WriteVarint(r.matrix_id);
       writer.WriteVarint(r.row);
     }
-    requests.push_back({part.ServerOfPartition(p), writer.Release()});
+    requests.push_back(MakeRequest(part.ServerOfPartition(p), &writer));
     windows.emplace_back(lo, width);
   }
   const size_t num_rows = rows.size();
@@ -1334,11 +1422,6 @@ PsFuture<std::vector<std::vector<double>>> PsClient::PullRowsAsync(
         }
         return out;
       });
-}
-
-Result<std::vector<std::vector<double>>> PsClient::PullRows(
-    const std::vector<RowRef>& rows) {
-  return PullRowsAsync(rows).Get();
 }
 
 PsFuture<Ack> PsClient::PushRowsAsync(
@@ -1375,16 +1458,13 @@ PsFuture<Ack> PsClient::PushRowsAsync(
       writer.WriteVarint(rows[i].matrix_id);
       writer.WriteVarint(rows[i].row);
       writer.WriteVarint(width);
+      writer.BeginSection(SectionKind::kF64Values);
       writer.WriteF64Span(&deltas[i][lo], width);
+      writer.EndSection();
     }
-    requests.push_back({part.ServerOfPartition(p), writer.Release()});
+    requests.push_back(MakeRequest(part.ServerOfPartition(p), &writer));
   }
   return SubmitAsync<Ack>(std::move(requests), AckParse);
-}
-
-Status PsClient::PushRows(const std::vector<RowRef>& rows,
-                          const std::vector<std::vector<double>>& deltas) {
-  return PushRowsAsync(rows, deltas).Wait();
 }
 
 PsFuture<std::vector<std::vector<double>>> PsClient::PullSparseRowsAsync(
@@ -1417,17 +1497,19 @@ PsFuture<std::vector<std::vector<double>>> PsClient::PullSparseRowsAsync(
     writer.WriteU8(static_cast<uint8_t>(PsOpCode::kPullSparseRowsBatch));
     writer.WriteU8(compress_counts ? 1 : 0);
     writer.WriteVarint(j - i);
+    writer.BeginSection(SectionKind::kKeys);
     uint64_t prev = 0;
     for (size_t k = i; k < j; ++k) {
       writer.WriteVarint(indices[k] - prev);
       prev = indices[k];
     }
+    writer.EndSection();
     writer.WriteVarint(rows.size());
     for (const RowRef& r : rows) {
       writer.WriteVarint(r.matrix_id);
       writer.WriteVarint(r.row);
     }
-    requests.push_back({part.ServerOfPartition(p), writer.Release()});
+    requests.push_back(MakeRequest(part.ServerOfPartition(p), &writer));
     runs.emplace_back(i, j);
     i = j;
   }
@@ -1461,12 +1543,6 @@ PsFuture<std::vector<std::vector<double>>> PsClient::PullSparseRowsAsync(
         }
         return out;
       });
-}
-
-Result<std::vector<std::vector<double>>> PsClient::PullSparseRows(
-    const std::vector<RowRef>& rows, const std::vector<uint64_t>& indices,
-    bool compress_counts) {
-  return PullSparseRowsAsync(rows, indices, compress_counts).Get();
 }
 
 PsFuture<Ack> PsClient::PushSparseRowsAsync(
@@ -1516,28 +1592,26 @@ PsFuture<Ack> PsClient::PushSparseRowsAsync(
       writer.WriteVarint(rows[r].matrix_id);
       writer.WriteVarint(rows[r].row);
       writer.WriteVarint(se - sb);
+      writer.BeginSection(SectionKind::kKeys);
       uint64_t prev = 0;
       for (size_t k = sb; k < se; ++k) {
         writer.WriteVarint(idx[k] - prev);
         prev = idx[k];
       }
+      writer.EndSection();
       if (compress_counts) {
         for (size_t k = sb; k < se; ++k) {
           writer.WriteSignedVarint(static_cast<int64_t>(std::llround(val[k])));
         }
       } else {
+        writer.BeginSection(SectionKind::kF64Values);
         for (size_t k = sb; k < se; ++k) writer.WriteF64(val[k]);
+        writer.EndSection();
       }
     }
-    requests.push_back({part.ServerOfPartition(p), writer.Release()});
+    requests.push_back(MakeRequest(part.ServerOfPartition(p), &writer));
   }
   return SubmitAsync<Ack>(std::move(requests), AckParse);
-}
-
-Status PsClient::PushSparseRows(const std::vector<RowRef>& rows,
-                                const std::vector<SparseVector>& deltas,
-                                bool compress_counts) {
-  return PushSparseRowsAsync(rows, deltas, compress_counts).Wait();
 }
 
 Status PsClient::MatrixInit(int matrix_id, uint32_t row_begin,
@@ -1554,7 +1628,7 @@ Status PsClient::MatrixInit(int matrix_id, uint32_t row_begin,
     writer.WriteVarint(row_end);
     writer.WriteF64(scale);
     writer.WriteU64(seed);
-    requests.push_back({part.ServerOfPartition(p), writer.Release()});
+    requests.push_back(MakeRequest(part.ServerOfPartition(p), &writer));
   }
   return SubmitAsync<Ack>(std::move(requests), AckParse).Wait();
 }

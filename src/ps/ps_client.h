@@ -62,9 +62,13 @@
 
 #include "common/metrics.h"
 #include "common/result.h"
+#include "common/serde.h"
+#include "common/slice.h"
 #include "common/thread_pool.h"
 #include "hotspot/client_cache.h"
 #include "linalg/sparse_vector.h"
+#include "net/filter_config.h"
+#include "net/filters.h"
 #include "ps/ps_future.h"
 #include "ps/ps_master.h"
 #include "ps/ps_types.h"
@@ -90,6 +94,11 @@ struct PsClientOptions {
   /// recovery stall is charged to the retrying task. When false, the request
   /// keeps retrying against the dead server and surfaces Unavailable.
   bool recover_crashed_servers = true;
+  /// Wire filter chain for this client's traffic (net/filters.h). Unset
+  /// (the default) inherits ClusterSpec::filters — the same convention as
+  /// the --simd flag's runtime dispatch: one spec-level switch, per-client
+  /// override for tests.
+  std::optional<FilterConfig> filters;
 };
 
 /// \brief Thread-safe client for PS operations.
@@ -151,50 +160,10 @@ class PsClient {
 
   // ---- Batch entry points -------------------------------------------------
   //
-  // \deprecated Compatibility wrappers over the async API. New code should
-  // stage batched work through Dcv::Batch() (dcv/dcv_batch.h) or call the
-  // *Async variants directly; these remain for the baseline systems that
-  // model legacy clients.
-
-  /// \deprecated Use Dcv::Batch().Dot(...) or DotBatchAsync.
-  [[deprecated("use Dcv::Batch().Dot(...) or DotBatchAsync")]]
-  Result<std::vector<double>> DotBatch(
-      const std::vector<std::pair<RowRef, RowRef>>& pairs);
-
-  /// \deprecated Use Dcv::Batch().Axpy(...) or AxpyBatchAsync.
-  [[deprecated("use Dcv::Batch().Axpy(...) or AxpyBatchAsync")]]
-  Status AxpyBatch(const std::vector<AxpyTask>& tasks);
-
-  /// \deprecated Use Dcv::Batch().Pull(...) or PullRowsAsync.
-  /// Pulls many full co-located rows in one round, in request order.
-  [[deprecated("use Dcv::Batch().Pull(...) or PullRowsAsync")]]
-  Result<std::vector<std::vector<double>>> PullRows(
-      const std::vector<RowRef>& rows);
-
-  /// \deprecated Use Dcv::Batch().Push(...) or PushRowsAsync.
-  /// Adds dense deltas into many co-located rows in one round.
-  [[deprecated("use Dcv::Batch().Push(...) or PushRowsAsync")]]
-  Status PushRows(const std::vector<RowRef>& rows,
-                  const std::vector<std::vector<double>>& deltas);
-
-  /// \deprecated Use Dcv::Batch().PullSparse(...) or PullSparseRowsAsync.
-  /// Pulls the values at the SHARED sorted `indices` from many co-located
-  /// rows in one round (LDA pulls its local vocabulary's counts for every
-  /// topic row this way). Result is [row][index].
-  /// With `compress_counts` the values travel as zigzag varints of their
-  /// rounded integer value (PS2's message compression; only valid for
-  /// integer-valued matrices such as LDA count tables).
-  [[deprecated("use Dcv::Batch().PullSparse(...) or PullSparseRowsAsync")]]
-  Result<std::vector<std::vector<double>>> PullSparseRows(
-      const std::vector<RowRef>& rows, const std::vector<uint64_t>& indices,
-      bool compress_counts = false);
-
-  /// \deprecated Use Dcv::Batch().PushSparse(...) or PushSparseRowsAsync.
-  /// Adds per-row sparse deltas to many co-located rows in one round.
-  [[deprecated("use Dcv::Batch().PushSparse(...) or PushSparseRowsAsync")]]
-  Status PushSparseRows(const std::vector<RowRef>& rows,
-                        const std::vector<SparseVector>& deltas,
-                        bool compress_counts = false);
+  // Batched work goes through Dcv::Batch() (dcv/dcv_batch.h) or the *Async
+  // variants below; the old synchronous DotBatch/AxpyBatch/PullRows/
+  // PushRows/PullSparseRows/PushSparseRows wrappers are gone — call
+  // XAsync(...).Wait()/.Get() where a blocking round is genuinely wanted.
 
   /// Initializes rows [row_begin, row_end) of a matrix with deterministic
   /// hash-uniform values in [-scale, scale], entirely server-side — the
@@ -255,14 +224,21 @@ class PsClient {
   class OpScope;
   struct AsyncCore;
 
-  /// One serialized request bound for one server.
+  /// One serialized request bound for one server. `payload` holds the
+  /// logical (unfiltered) bytes; `wire` is what actually travels. With the
+  /// filter chain off (or a no-gain encode) `wire` aliases `payload` — same
+  /// SharedBuf control block, zero copies (the DeepCopies()==0 contract).
   struct ServerRequest {
-    int server;
-    std::vector<uint8_t> payload;
+    int server = -1;
+    SharedBuf payload;                     ///< logical serialized request
+    std::vector<PayloadSection> sections;  ///< filterable spans within payload
     /// Stamped on the issuing thread (program order) by StampRequests so the
     /// per-server sequence numbers — and the fault draws keyed on them — do
     /// not depend on I/O-pool scheduling.
     RpcHeader header;
+    SharedBuf wire;        ///< filtered bytes; aliases payload when mask == 0
+    uint8_t wire_mask = 0; ///< WireFrame::filter_mask for this request
+    EncodeStats estats;    ///< per-request encode accounting
   };
 
   /// Result of driving one request through the retry loop.
@@ -272,6 +248,13 @@ class PsClient {
     double backoff = 0.0;      ///< virtual seconds of backoff + recovery stall
     uint64_t dedup_hits = 0;   ///< duplicate mutations the server suppressed
                                ///< (counted even when the ack was then lost)
+    uint64_t req_wire = 0;     ///< request bytes on the wire (incl. header)
+    uint64_t req_logical = 0;  ///< request bytes pre-filter (incl. header)
+    uint64_t resp_wire = 0;    ///< response bytes on the wire (incl. header)
+    uint64_t resp_logical = 0; ///< response bytes post-decode (incl. header)
+    uint64_t kc_refs = 0;      ///< key-lists replaced by a cached-hash ref
+    uint64_t kc_installs = 0;  ///< key-lists installed into the server cache
+    uint64_t kc_misses = 0;    ///< keycache-miss round trips (re-encodes)
   };
 
   /// Parses the per-server responses (in request order) into the op's value.
@@ -292,18 +275,30 @@ class PsClient {
   template <typename T>
   static PsFuture<T> ReadyFuture(Result<T> result);
 
-  /// Assigns each request its RpcHeader (client id + next per-server seq).
-  /// Must run on the issuing thread, in program order.
+  /// Seals `writer` into a request bound for `server`: takes the section
+  /// marks, releases the buffer into a SharedBuf (no copy), and leaves the
+  /// wire view aliasing the payload until EncodeRequest runs.
+  ServerRequest MakeRequest(int server, BufferWriter* writer);
+
+  /// Runs the filter chain over `req->payload` per this client's
+  /// FilterConfig, filling `wire`/`wire_mask`/`estats`. With
+  /// `force_key_install` the key-cache filter re-sends the key list verbatim
+  /// even on a client-side cache hit (the keycache-miss recovery path).
+  /// Idempotent: resets the wire view first, so re-encoding is safe.
+  void EncodeRequest(ServerRequest* req, bool force_key_install);
+
+  /// Assigns each request its RpcHeader (client id + next per-server seq)
+  /// and runs EncodeRequest on it. Must run on the issuing thread, in
+  /// program order — the keycache install/ref decisions (client-side state)
+  /// stay deterministic, and with them the wire bytes the benches pin.
   void StampRequests(std::vector<ServerRequest>* requests);
 
   /// Drives one stamped request through fault injection and the bounded
   /// retry loop (same seq, incremented attempt). Safe on any thread.
-  ExchangeOutcome ExecuteRequest(const ServerRequest& request);
-
-  /// Sends `request` to `server` (with retries), recording the exchange and
-  /// retry accounting into `traffic`.
-  Result<PsServer::HandleResult> Exchange(TaskTraffic* traffic, int server,
-                                          std::vector<uint8_t> request);
+  /// Mutable: a keycache miss re-encodes the request in place (same seq,
+  /// key list forced verbatim) and re-drives it without consuming an
+  /// attempt.
+  ExchangeOutcome ExecuteRequest(ServerRequest& request);
 
   /// Executes all requests (parallel when the pool allows), then records
   /// every success into `traffic` in request order; the returned Status is
@@ -320,6 +315,12 @@ class PsClient {
 
   PsMaster* master_;
   PsClientOptions options_;
+  /// Resolved filter chain config (options_.filters or ClusterSpec::filters).
+  FilterConfig filters_;
+  FilterChain chain_;
+  /// Client-side mirror of each server's key-set cache; epoch-synced with
+  /// the hotspot replica epoch so invalidation piggybacks on recovery.
+  ClientKeyCache keycache_;
   int client_id_;  ///< unique per client (PsMaster::AllocateClientId)
   /// Next sequence number per server, starting at 1 (0 = never sent).
   std::unique_ptr<std::atomic<uint64_t>[]> next_seq_;

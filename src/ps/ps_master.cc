@@ -14,6 +14,7 @@ PsMaster::PsMaster(Cluster* cluster) : cluster_(cluster) {
   for (int s = 0; s < n; ++s) {
     servers_.push_back(std::make_unique<PsServer>(s, &udfs_));
     servers_.back()->SetMetrics(&cluster->metrics());
+    servers_.back()->SetFilterConfig(cluster->spec().filters);
   }
   hotspot_ = std::make_unique<HotspotManager>(this);
 }

@@ -252,18 +252,32 @@ void PsServer::RecordSeqLocked(int client_id, uint64_t seq) {
   }
 }
 
+void PsServer::SetFilterConfig(const FilterConfig& config) {
+  filters_ = config;
+}
+
 Result<PsServer::HandleResult> PsServer::Handle(
     const std::vector<uint8_t>& request) {
-  return Handle(RpcHeader{}, request);
+  return Handle(RpcHeader{}, WireFrame{Slice(request), 0});
 }
 
 Result<PsServer::HandleResult> PsServer::Handle(
     const RpcHeader& header, const std::vector<uint8_t>& request) {
-  const PsOpCode op = request.empty() ? static_cast<PsOpCode>(0xff)
-                                      : static_cast<PsOpCode>(request[0]);
+  return Handle(header, WireFrame{Slice(request), 0});
+}
+
+Result<PsServer::HandleResult> PsServer::Handle(const RpcHeader& header,
+                                                const WireFrame& frame) {
+  // The opcode is verbatim at payload[0] whatever the filter mask (the
+  // chain's prefix rule), so dispatch labels never require a decode.
+  const PsOpCode op = frame.payload.empty()
+                          ? static_cast<PsOpCode>(0xff)
+                          : static_cast<PsOpCode>(frame.payload[0]);
   PS2_TRACE_SPAN("ps.server", PsOpCodeName(op));
   if (metrics_.load(std::memory_order_acquire) == nullptr) {
-    return HandleInternal(header, request);
+    Result<HandleResult> result = HandleInternal(header, frame);
+    if (result.ok()) EncodeResponse(header, frame, &*result);
+    return result;
   }
   // Latency/queue-depth histograms sample 1 in 16 requests per thread: two
   // clock reads plus two histogram records per request measurably slow the
@@ -274,8 +288,9 @@ Result<PsServer::HandleResult> PsServer::Handle(
   const bool sampled = (sample_tick++ & 15) == 0;
   const int depth = active_.fetch_add(1, std::memory_order_relaxed) + 1;
   if (!sampled) {
-    Result<HandleResult> result = HandleInternal(header, request);
+    Result<HandleResult> result = HandleInternal(header, frame);
     active_.fetch_sub(1, std::memory_order_relaxed);
+    if (result.ok()) EncodeResponse(header, frame, &*result);
     return result;
   }
   // Queue depth = requests in flight on this server the moment this one
@@ -283,7 +298,7 @@ Result<PsServer::HandleResult> PsServer::Handle(
   // return, so it includes the wait for mu_ — i.e. queueing delay, which is
   // exactly the straggler signal we want per opcode.
   const auto start = std::chrono::steady_clock::now();
-  Result<HandleResult> result = HandleInternal(header, request);
+  Result<HandleResult> result = HandleInternal(header, frame);
   const double us = std::chrono::duration<double, std::micro>(
                         std::chrono::steady_clock::now() - start)
                         .count();
@@ -292,34 +307,75 @@ Result<PsServer::HandleResult> PsServer::Handle(
   handle_us_hists_[i >= 0 && i < kNumPsOpCodes ? i : kNumPsOpCodes]
       ->Record(us);
   queue_depth_hist_->Record(static_cast<double>(depth));
+  if (result.ok()) EncodeResponse(header, frame, &*result);
   return result;
 }
 
 Result<PsServer::HandleResult> PsServer::HandleInternal(
-    const RpcHeader& header, const std::vector<uint8_t>& request) {
+    const RpcHeader& header, const WireFrame& frame) {
   std::lock_guard<std::mutex> lock(mu_);
   if (crashed_) {
     return Status::Unavailable("server is down (injected crash)");
   }
-  if (!header.tracked()) return HandleLocked(header, request);
-  BufferReader peek(request);
-  PS2_ASSIGN_OR_RETURN(uint8_t opcode, peek.ReadU8());
-  const bool mutating = IsMutatingOpcode(static_cast<PsOpCode>(opcode));
+  Slice payload = frame.payload;
+  std::vector<uint8_t> decoded;  // keeps decoded bytes alive for HandleLocked
+  auto decode = [&]() -> Status {
+    if (frame.filter_mask == 0) return Status::OK();
+    FilterContext ctx;
+    ctx.dir = FilterDir::kClientToServer;
+    ctx.server_keys = &keycache_;
+    PS2_ASSIGN_OR_RETURN(
+        decoded, chain_.Decode(payload, frame.filter_mask, /*prefix=*/1, &ctx));
+    payload = Slice(decoded);
+    return Status::OK();
+  };
+  if (!header.tracked()) {
+    PS2_RETURN_NOT_OK(decode());
+    return HandleLocked(header, payload);
+  }
+  if (payload.empty()) return Status::InvalidArgument("empty request");
+  const bool mutating = IsMutatingOpcode(static_cast<PsOpCode>(payload[0]));
   if (mutating && IsDuplicateLocked(header.client_id, header.seq)) {
-    // Retry of an already-applied mutation: ack without re-applying. All
-    // mutating client ops are ack-parsed, so the empty response is valid.
+    // Retry of an already-applied mutation: ack without re-applying — and
+    // without decoding, so a replayed request can never re-touch key-cache
+    // state. All mutating client ops are ack-parsed, so the empty response
+    // is valid.
     dedup_hits_ += 1;
     HandleResult out;
     out.dedup_hit = true;
     return out;
   }
-  Result<HandleResult> result = HandleLocked(header, request);
+  // A key-cache miss surfaces here as FailedPrecondition: the seq is NOT
+  // recorded, so the client's re-encoded retry of the same seq still applies.
+  PS2_RETURN_NOT_OK(decode());
+  Result<HandleResult> result = HandleLocked(header, payload);
   if (result.ok()) RecordSeqLocked(header.client_id, header.seq);
   return result;
 }
 
-Result<PsServer::HandleResult> PsServer::HandleLocked(
-    const RpcHeader& header, const std::vector<uint8_t>& request) {
+void PsServer::EncodeResponse(const RpcHeader& header, const WireFrame& frame,
+                              HandleResult* out) {
+  // Response-side filtering (delta/compress only — key caching is
+  // request-side). Untracked traffic (control plane, legacy callers) is
+  // never filtered: those callers parse the response directly.
+  if (!header.tracked() || out->dedup_hit || out->response.empty()) return;
+  const uint8_t opcode = frame.payload.empty() ? 0xff : frame.payload[0];
+  const uint8_t want =
+      filters_.MaskFor(opcode) & (kFilterDelta | kFilterCompress);
+  if (want == 0) return;
+  FilterContext ctx;
+  ctx.dir = FilterDir::kServerToClient;
+  EncodedPayload enc = chain_.Encode(Slice(out->response),
+                                     out->response_sections, want,
+                                     /*prefix=*/0, &ctx);
+  if (enc.mask == 0) return;  // nothing transformed or shrank
+  out->response_logical_bytes = out->response.size();
+  out->response = std::move(enc.wire);
+  out->response_mask = enc.mask;
+}
+
+Result<PsServer::HandleResult> PsServer::HandleLocked(const RpcHeader& header,
+                                                      Slice request) {
   (void)header;
   BufferReader in(request);
   PS2_ASSIGN_OR_RETURN(uint8_t opcode, in.ReadU8());
@@ -385,8 +441,11 @@ Result<PsServer::HandleResult> PsServer::HandlePullDense(BufferReader* in) {
       return out;
     }
     writer.WriteVarint(hi - begin);
+    writer.BeginSection(SectionKind::kF64Values);
     writer.WriteF64Span(replica->values.data() + begin, hi - begin);
+    writer.EndSection();
     out.server_ops = hi - begin;
+    out.response_sections = writer.TakeSections();
     out.response = writer.Release();
     return out;
   }
@@ -404,6 +463,7 @@ Result<PsServer::HandleResult> PsServer::HandlePullDense(BufferReader* in) {
   }
   uint64_t n = hi - lo;
   writer.WriteVarint(n);
+  writer.BeginSection(SectionKind::kF64Values);
   if (shard->dense()) {
     writer.WriteF64Span(shard->dense_rows[row].data() + (lo - shard->begin),
                         n);
@@ -417,7 +477,9 @@ Result<PsServer::HandleResult> PsServer::HandlePullDense(BufferReader* in) {
     }
     writer.WriteF64Span(window.data(), window.size());
   }
+  writer.EndSection();
   out.server_ops = n;
+  out.response_sections = writer.TakeSections();
   out.response = writer.Release();
   return out;
 }
@@ -436,6 +498,7 @@ Result<PsServer::HandleResult> PsServer::HandlePullSparse(BufferReader* in) {
     HandleResult out;
     BufferWriter writer;
     writer.WriteVarint(n);
+    writer.BeginSection(SectionKind::kF64Values);
     uint64_t prev = 0;
     for (uint64_t i = 0; i < n; ++i) {
       PS2_ASSIGN_OR_RETURN(uint64_t delta, in->ReadVarint());
@@ -445,7 +508,9 @@ Result<PsServer::HandleResult> PsServer::HandlePullSparse(BufferReader* in) {
       }
       writer.WriteF64(replica->values[prev]);
     }
+    writer.EndSection();
     out.server_ops = n;
+    out.response_sections = writer.TakeSections();
     out.response = writer.Release();
     return out;
   }
@@ -455,6 +520,7 @@ Result<PsServer::HandleResult> PsServer::HandlePullSparse(BufferReader* in) {
   HandleResult out;
   BufferWriter writer;
   writer.WriteVarint(n);
+  writer.BeginSection(SectionKind::kF64Values);
   uint64_t prev = 0;
   for (uint64_t i = 0; i < n; ++i) {
     PS2_ASSIGN_OR_RETURN(uint64_t delta, in->ReadVarint());
@@ -473,7 +539,9 @@ Result<PsServer::HandleResult> PsServer::HandlePullSparse(BufferReader* in) {
     }
     writer.WriteF64(value);
   }
+  writer.EndSection();
   out.server_ops = n;
+  out.response_sections = writer.TakeSections();
   out.response = writer.Release();
   return out;
 }
@@ -882,9 +950,12 @@ Result<PsServer::HandleResult> PsServer::HandlePullRowsBatch(
                                              static_cast<uint32_t>(r), &w,
                                              &b));
     writer.WriteVarint(w);
+    writer.BeginSection(SectionKind::kF64Values);
     writer.WriteF64Span(p, w);
+    writer.EndSection();
     out.server_ops += w;
   }
+  out.response_sections = writer.TakeSections();
   out.response = writer.Release();
   return out;
 }
@@ -952,10 +1023,13 @@ Result<PsServer::HandleResult> PsServer::HandlePullSparseRowsBatch(
         writer.WriteSignedVarint(static_cast<int64_t>(std::llround(values[i])));
       }
     } else {
+      writer.BeginSection(SectionKind::kF64Values);
       writer.WriteF64Span(values.data(), n_idx);
+      writer.EndSection();
     }
     out.server_ops += n_idx;
   }
+  out.response_sections = writer.TakeSections();
   out.response = writer.Release();
   return out;
 }
@@ -1288,6 +1362,9 @@ void PsServer::DropAllState() {
     }
   }
   replicas_.clear();
+  // The key cache is soft state: clients' refs to forgotten hashes fault a
+  // fresh install back in via the miss protocol.
+  keycache_.Clear();
   // The dedup table rolls back with the state it guards: seqs applied after
   // the checkpoint are forgotten together with their effects, so their
   // retries re-apply cleanly.

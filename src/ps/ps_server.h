@@ -22,8 +22,12 @@
 #include "common/metrics.h"
 #include "common/result.h"
 #include "common/serde.h"
+#include "common/slice.h"
 #include "common/status.h"
 #include "hotspot/access_stats.h"
+#include "net/filter_config.h"
+#include "net/filters.h"
+#include "net/message.h"
 #include "ps/ps_types.h"
 
 namespace ps2 {
@@ -107,7 +111,21 @@ class PsServer {
     /// True when a mutating request was recognized as a retry of an
     /// already-applied (client, seq) and acked without re-applying.
     bool dedup_hit = false;
+    /// Wire filters applied to `response` (0 = response is the logical
+    /// bytes). The client must Decode before parsing when nonzero.
+    uint8_t response_mask = 0;
+    /// Pre-filter response size when response_mask != 0 (else 0: the
+    /// response already is the logical payload).
+    uint64_t response_logical_bytes = 0;
+    /// Marked value spans of the logical response (server-internal: consumed
+    /// by the response filter encode; meaningless to the client).
+    std::vector<PayloadSection> response_sections;
   };
+
+  /// Installs the wire filter config (PsMaster wires this from the
+  /// ClusterSpec, once, before any data-plane traffic — like SetMetrics).
+  /// Governs response-side filtering; requests carry their mask per frame.
+  void SetFilterConfig(const FilterConfig& config);
 
   /// Data plane: executes one serialized request with an untracked header
   /// (no fault injection, no dedup — control-plane and legacy callers).
@@ -120,6 +138,16 @@ class PsServer {
   /// Unavailable while the server is crashed.
   Result<HandleResult> Handle(const RpcHeader& header,
                               const std::vector<uint8_t>& request);
+
+  /// Data plane, zero-copy: executes one wire frame (a view into the
+  /// sender's buffer — nothing is copied on delivery). If the frame carries
+  /// a filter mask, the payload is decoded *after* the dedup check (a
+  /// duplicate never decodes, so a replayed install cannot perturb key-cache
+  /// state) — a kKeysRef whose hash this server no longer holds returns
+  /// FailedPrecondition (see IsKeyCacheMiss) without consuming the sequence
+  /// number. Responses to tracked requests are filter-encoded per the
+  /// installed config (delta/compress only — key caching is request-side).
+  Result<HandleResult> Handle(const RpcHeader& header, const WireFrame& frame);
 
   // ---- Simulated process lifecycle (fault injection) ----
 
@@ -189,10 +217,13 @@ class PsServer {
   /// Records a successfully handled tracked seq (mu_ held).
   void RecordSeqLocked(int client_id, uint64_t seq);
 
-  Result<HandleResult> HandleLocked(const RpcHeader& header,
-                                    const std::vector<uint8_t>& request);
+  Result<HandleResult> HandleLocked(const RpcHeader& header, Slice request);
   Result<HandleResult> HandleInternal(const RpcHeader& header,
-                                      const std::vector<uint8_t>& request);
+                                      const WireFrame& frame);
+  /// Applies response-side filters (outside mu_; the response is private to
+  /// this call).
+  void EncodeResponse(const RpcHeader& header, const WireFrame& frame,
+                      HandleResult* out);
 
   Result<Shard*> FindShard(int matrix_id, uint32_t row);
   Result<double*> DenseRow(int matrix_id, uint32_t row, uint64_t* width,
@@ -237,6 +268,13 @@ class PsServer {
   std::map<std::pair<int, uint32_t>, Replica> replicas_;
   std::map<int, ClientDedup> dedup_;  ///< client id -> applied seqs
   uint64_t dedup_hits_ = 0;
+  // Wire filters. filters_ is written once at wiring time (SetFilterConfig,
+  // before traffic — same discipline as SetMetrics); keycache_ has its own
+  // mutex and is cleared by DropAllState (soft state: clients fault entries
+  // back in through the miss protocol after recovery).
+  FilterConfig filters_;
+  FilterChain chain_;
+  ServerKeyCache keycache_;
   bool crashed_ = false;
   size_t stats_capacity_ = 0;  ///< 0 = access statistics off
   std::unique_ptr<AccessStats> stats_;

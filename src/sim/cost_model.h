@@ -17,6 +17,7 @@
 
 #include <cstdint>
 
+#include "net/filter_config.h"
 #include "sim/sim_clock.h"
 
 namespace ps2 {
@@ -55,6 +56,12 @@ struct ClusterSpec {
   /// Base of the client's exponential retry backoff: attempt k (k >= 1
   /// failures so far) waits base * 2^(k-1) virtual seconds before retrying.
   double retry_backoff_base_s = 1e-3;
+
+  /// Wire filter chain applied to PS traffic (net/filters.h): key-set
+  /// caching, delta/quant value coding, byte compression. Default off — the
+  /// cost model then charges logical bytes, exactly as before. With filters
+  /// on, the model charges post-filter wire bytes.
+  FilterConfig filters;
 
   uint64_t seed = 42;
 

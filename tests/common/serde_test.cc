@@ -147,5 +147,101 @@ TEST(SerdeTest, RemainingTracksPosition) {
   EXPECT_EQ(r.remaining(), 4u);
 }
 
+TEST(SerdeTest, SectionMarksRecordOffsetsAndKinds) {
+  BufferWriter w;
+  w.WriteU8(3);  // opcode-style prefix, outside any section
+  w.BeginSection(SectionKind::kKeys);
+  w.WriteVarint(10);
+  w.WriteVarint(20);
+  w.EndSection();
+  w.WriteU32(0xABCD);  // unmarked gap
+  w.BeginSection(SectionKind::kF64Values);
+  w.WriteF64(1.5);
+  w.WriteF64(-2.5);
+  w.EndSection();
+
+  std::vector<PayloadSection> sections = w.TakeSections();
+  ASSERT_EQ(sections.size(), 2u);
+  EXPECT_EQ(sections[0].kind, SectionKind::kKeys);
+  EXPECT_EQ(sections[0].offset, 1u);
+  EXPECT_EQ(sections[0].len, 2u);
+  EXPECT_EQ(sections[1].kind, SectionKind::kF64Values);
+  EXPECT_EQ(sections[1].offset, 1u + 2u + 4u);
+  EXPECT_EQ(sections[1].len, 16u);
+  // Sections are metadata only: the bytes parse exactly as written.
+  BufferReader r(w.buffer());
+  EXPECT_EQ(*r.ReadU8(), 3);
+  EXPECT_EQ(*r.ReadVarint(), 10u);
+  EXPECT_EQ(*r.ReadVarint(), 20u);
+  EXPECT_EQ(*r.ReadU32(), 0xABCDu);
+  EXPECT_EQ(*r.ReadF64(), 1.5);
+  EXPECT_EQ(*r.ReadF64(), -2.5);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerdeTest, TakeSectionsMovesTheList) {
+  BufferWriter w;
+  w.BeginSection(SectionKind::kKeys);
+  w.WriteU8(1);
+  w.EndSection();
+  EXPECT_EQ(w.TakeSections().size(), 1u);
+  EXPECT_TRUE(w.TakeSections().empty());
+}
+
+TEST(SerdeTest, ReleaseSharedIsZeroCopy) {
+  BufferWriter w;
+  for (int i = 0; i < 64; ++i) w.WriteU64(static_cast<uint64_t>(i));
+  const uint8_t* raw = w.buffer().data();
+  const uint64_t copies_before = SharedBuf::DeepCopies();
+  SharedBuf buf = w.ReleaseShared();
+  EXPECT_EQ(buf.data(), raw);  // same allocation, moved not copied
+  EXPECT_EQ(buf.size(), 64u * 8u);
+  EXPECT_EQ(SharedBuf::DeepCopies(), copies_before);
+}
+
+TEST(SerdeTest, ReadBytesReturnsZeroCopyView) {
+  BufferWriter w;
+  w.WriteU8(9);
+  w.WriteString("payload");
+  BufferReader r(w.buffer());
+  ASSERT_TRUE(r.ReadU8().ok());
+  Result<Slice> bytes = r.ReadBytes(3);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(bytes->data(), w.buffer().data() + 1);  // a view, not a copy
+  EXPECT_EQ(bytes->size(), 3u);
+  EXPECT_TRUE(r.ReadBytes(100).status().IsOutOfRange());
+}
+
+TEST(SerdeTest, ReadF64IntoFillsCallerStorage) {
+  std::vector<double> values{0.25, -1.0, 42.0};
+  BufferWriter w;
+  w.WriteF64Span(values.data(), values.size());
+  BufferReader r(w.buffer());
+  std::vector<double> out(3, 0.0);
+  ASSERT_TRUE(r.ReadF64Into(out.data(), out.size()).ok());
+  EXPECT_EQ(out, values);
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_TRUE(r.ReadF64Into(out.data(), 1).IsOutOfRange());
+}
+
+TEST(SerdeTest, SliceSubsliceClamps) {
+  std::vector<uint8_t> buf{0, 1, 2, 3, 4};
+  Slice s(buf);
+  EXPECT_EQ(s.subslice(1, 3).size(), 3u);
+  EXPECT_EQ(s.subslice(1, 3)[0], 1);
+  EXPECT_EQ(s.subslice(3, 100).size(), 2u);  // clamped to the end
+  EXPECT_TRUE(s.subslice(9, 1).empty());     // past the end: empty view
+}
+
+TEST(SerdeTest, SharedBufCopyOfIsCounted) {
+  std::vector<uint8_t> buf{1, 2, 3};
+  const uint64_t before = SharedBuf::DeepCopies();
+  SharedBuf aliased = SharedBuf::FromVector(std::vector<uint8_t>(buf));
+  EXPECT_EQ(SharedBuf::DeepCopies(), before);  // FromVector moves, no copy
+  SharedBuf copied = SharedBuf::CopyOf(aliased.slice());
+  EXPECT_EQ(SharedBuf::DeepCopies(), before + 1);
+  EXPECT_EQ(copied.slice().ToVector(), buf);
+}
+
 }  // namespace
 }  // namespace ps2

@@ -170,10 +170,8 @@ TEST_F(PsClientTest, ZipAggregateReturnsPerPartitionResults) {
   EXPECT_DOUBLE_EQ(total, 90.0);
 }
 
-// The next block of tests exercises the deprecated synchronous batch
-// wrappers on purpose — they must keep working until they are removed.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+// The next block of tests exercises the batched entry points through their
+// blocking form (XAsync(...).Wait()/.Get() with nothing outstanding).
 
 TEST_F(PsClientTest, DotBatch) {
   RowRef a = NewMatrix(40, 6);
@@ -182,7 +180,8 @@ TEST_F(PsClientTest, DotBatch) {
   ASSERT_TRUE(client_->PushDense(a, std::vector<double>(40, 1.0)).ok());
   ASSERT_TRUE(client_->PushDense(b, std::vector<double>(40, 2.0)).ok());
   ASSERT_TRUE(client_->PushDense(c, std::vector<double>(40, 3.0)).ok());
-  std::vector<double> dots = *client_->DotBatch({{a, b}, {b, c}, {a, c}});
+  std::vector<double> dots =
+      *client_->DotBatchAsync({{a, b}, {b, c}, {a, c}}).Get();
   EXPECT_DOUBLE_EQ(dots[0], 80.0);
   EXPECT_DOUBLE_EQ(dots[1], 240.0);
   EXPECT_DOUBLE_EQ(dots[2], 120.0);
@@ -194,7 +193,7 @@ TEST_F(PsClientTest, AxpyBatchAppliesSequentially) {
   ASSERT_TRUE(client_->PushDense(a, std::vector<double>(10, 1.0)).ok());
   ASSERT_TRUE(client_->PushDense(b, std::vector<double>(10, 1.0)).ok());
   // b += 2a (b becomes 3), then a += b (a becomes 4): order matters.
-  ASSERT_TRUE(client_->AxpyBatch({{b, a, 2.0}, {a, b, 1.0}}).ok());
+  ASSERT_TRUE(client_->AxpyBatchAsync({{b, a, 2.0}, {a, b, 1.0}}).Wait().ok());
   EXPECT_EQ((*client_->PullDense(a))[0], 4.0);
   EXPECT_EQ((*client_->PullDense(b))[0], 3.0);
 }
@@ -203,14 +202,15 @@ TEST_F(PsClientTest, PullRowsAndPushRows) {
   RowRef a = NewMatrix(30, 3);
   RowRef b = *master_->AllocateRow(a.matrix_id);
   ASSERT_TRUE(client_->PushDense(a, std::vector<double>(30, 1.0)).ok());
-  std::vector<std::vector<double>> rows = *client_->PullRows({a, b});
+  std::vector<std::vector<double>> rows = *client_->PullRowsAsync({a, b}).Get();
   EXPECT_EQ(rows[0], std::vector<double>(30, 1.0));
   EXPECT_EQ(rows[1], std::vector<double>(30, 0.0));
   ASSERT_TRUE(client_
-                  ->PushRows({a, b}, {std::vector<double>(30, 1.0),
-                                      std::vector<double>(30, 5.0)})
+                  ->PushRowsAsync({a, b}, {std::vector<double>(30, 1.0),
+                                           std::vector<double>(30, 5.0)})
+                  .Wait()
                   .ok());
-  rows = *client_->PullRows({a, b});
+  rows = *client_->PullRowsAsync({a, b}).Get();
   EXPECT_EQ(rows[0], std::vector<double>(30, 2.0));
   EXPECT_EQ(rows[1], std::vector<double>(30, 5.0));
 }
@@ -221,7 +221,7 @@ TEST_F(PsClientTest, PullSparseRowsSharedIndices) {
   ASSERT_TRUE(client_->PushSparse(a, SparseVector({5, 150}, {1, 2})).ok());
   ASSERT_TRUE(client_->PushSparse(b, SparseVector({5, 199}, {7, 8})).ok());
   std::vector<std::vector<double>> rows =
-      *client_->PullSparseRows({a, b}, {5, 150, 199});
+      *client_->PullSparseRowsAsync({a, b}, {5, 150, 199}).Get();
   EXPECT_EQ(rows[0], (std::vector<double>{1, 2, 0}));
   EXPECT_EQ(rows[1], (std::vector<double>{7, 0, 8}));
 }
@@ -230,13 +230,14 @@ TEST_F(PsClientTest, CompressedSparseRowsRoundTripIntegers) {
   RowRef a = NewMatrix(100, 3);
   RowRef b = *master_->AllocateRow(a.matrix_id);
   ASSERT_TRUE(client_
-                  ->PushSparseRows({a, b},
-                                   {SparseVector({1, 50}, {3, -2}),
-                                    SparseVector({99}, {1000000})},
-                                   /*compress_counts=*/true)
+                  ->PushSparseRowsAsync({a, b},
+                                        {SparseVector({1, 50}, {3, -2}),
+                                         SparseVector({99}, {1000000})},
+                                        /*compress_counts=*/true)
+                  .Wait()
                   .ok());
-  std::vector<std::vector<double>> rows = *client_->PullSparseRows(
-      {a, b}, {1, 50, 99}, /*compress_counts=*/true);
+  std::vector<std::vector<double>> rows = *client_->PullSparseRowsAsync(
+      {a, b}, {1, 50, 99}, /*compress_counts=*/true).Get();
   EXPECT_EQ(rows[0], (std::vector<double>{3, -2, 0}));
   EXPECT_EQ(rows[1], (std::vector<double>{0, 0, 1000000}));
 }
@@ -246,16 +247,14 @@ TEST_F(PsClientTest, CompressionShrinksTraffic) {
   std::vector<uint64_t> indices;
   for (uint64_t i = 0; i < 10000; i += 10) indices.push_back(i);
   cluster_->metrics().Reset();
-  ASSERT_TRUE(client_->PullSparseRows({a}, indices, false).ok());
+  ASSERT_TRUE(client_->PullSparseRowsAsync({a}, indices, false).Get().ok());
   uint64_t uncompressed =
       cluster_->metrics().Get("net.bytes_server_to_worker");
   cluster_->metrics().Reset();
-  ASSERT_TRUE(client_->PullSparseRows({a}, indices, true).ok());
+  ASSERT_TRUE(client_->PullSparseRowsAsync({a}, indices, true).Get().ok());
   uint64_t compressed = cluster_->metrics().Get("net.bytes_server_to_worker");
   EXPECT_LT(compressed * 3, uncompressed);  // zero counts: 1 byte vs 8
 }
-
-#pragma GCC diagnostic pop
 
 TEST_F(PsClientTest, MatrixInitFillsAllRows) {
   RowRef a = NewMatrix(50, 2);

@@ -44,6 +44,12 @@ CHECK_KEYS = (
     "speedup",
     "bytes_match",
     "server_busy_skew",
+    "bytes_wire",
+    "bytes_logical",
+    "wire_ratio",
+    "keycache_hits",
+    "keycache_installs",
+    "keycache_misses",
 )
 
 

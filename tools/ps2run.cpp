@@ -80,6 +80,14 @@ void PrintReport(const TrainReport& report, Cluster* cluster) {
   }
   std::printf("final loss %.4f in %.3f virtual seconds\n", report.final_loss,
               report.total_time);
+  const uint64_t wire = cluster->metrics().Get("net.bytes_wire");
+  const uint64_t logical = cluster->metrics().Get("net.bytes_logical");
+  if (wire > 0 && wire != logical) {
+    std::printf("wire filters: %llu logical -> %llu wire bytes (%.2fx)\n",
+                static_cast<unsigned long long>(logical),
+                static_cast<unsigned long long>(wire),
+                static_cast<double>(logical) / static_cast<double>(wire));
+  }
   std::printf("\nmetrics:\n%s", cluster->metrics().ToString().c_str());
   WriteObsOutputs(cluster);
 }
@@ -92,6 +100,19 @@ ClusterSpec SpecFromFlags(const Flags& flags) {
   spec.message_failure_prob = flags.GetDouble("message-failure-prob", 0.0);
   spec.server_crash_prob = flags.GetDouble("server-crash-prob", 0.0);
   spec.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  if (flags.Has("filters")) {
+    Result<FilterConfig> parsed =
+        FilterConfig::Parse(flags.GetString("filters", "off"));
+    if (!parsed.ok()) {
+      // Same convention as --simd: warn and run with the default rather
+      // than die deep inside a workload runner.
+      std::fprintf(stderr, "--filters: %s (running with filters off)\n",
+                   parsed.status().ToString().c_str());
+    } else {
+      spec.filters = *parsed;
+      std::printf("wire filters: %s\n", spec.filters.ToString().c_str());
+    }
+  }
   return spec;
 }
 
@@ -282,6 +303,8 @@ int Usage() {
       "              --trace=out.json (Chrome-trace span export)\n"
       "              --metrics-json=out.json (counters + histograms)\n"
       "              --simd=auto|scalar|avx2 (kernel backend; default auto)\n"
+      "              --filters=off|keycache,delta,compress|all (wire filter\n"
+      "                chain; default off)\n"
       "lr/svm/fm:    --rows --dim --nnz --lr --batch-fraction --optimizer\n"
       "deepwalk:     --vertices --walks --embedding-dim --lr\n"
       "gbdt:         --rows --features --trees --depth --bins\n"
