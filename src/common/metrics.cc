@@ -105,9 +105,17 @@ double Histogram::PercentileLocked(double p) const {
     if (static_cast<double>(cumulative) >= target) {
       const double frac =
           (target - before) / static_cast<double>(buckets_[b]);
-      const double value =
-          BucketLow(b) + frac * (BucketHigh(b) - BucketLow(b));
-      return std::clamp(value, min_, max_);
+      // Interpolate within the part of the bucket that was actually
+      // observed: a log2 bucket spans [2^(b-1), 2^b), so when every sample
+      // lives in one bucket the raw bucket bounds can sit entirely below
+      // min_ or above max_ — clamping after interpolation then collapses
+      // every percentile to the same endpoint (p50 == p99). Tightening the
+      // bounds first keeps percentiles monotone and spread across the
+      // observed [min, max].
+      const double lo = std::max(BucketLow(b), min_);
+      const double hi = std::min(BucketHigh(b), max_);
+      if (hi <= lo) return lo;
+      return lo + frac * (hi - lo);
     }
   }
   return max_;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "data/zipf.h"
 
 namespace ps2 {
 
@@ -16,20 +17,11 @@ double HiddenWeight(uint64_t feature, uint64_t seed) {
 }
 
 uint64_t SampleSkewedFeature(Rng* rng, uint64_t dim, double skew) {
-  // rank = floor(dim * u^skew): density ~ rank^(1/skew - 1), i.e. small
-  // ranks (popular features) are sampled disproportionately often. The rank
-  // is then scattered over the id space with a fixed hash permutation —
-  // real feature ids are not sorted by popularity, and without scattering
-  // one contiguous PS range would own every hot key.
-  double u = rng->NextDouble();
-  double x = std::pow(u, skew);
-  uint64_t rank = std::min(static_cast<uint64_t>(x * static_cast<double>(dim)),
-                           dim - 1);
-  uint64_t h = rank * 0x9E3779B97F4A7C15ULL;
-  h ^= h >> 29;
-  h *= 0xBF58476D1CE4E5B9ULL;
-  h ^= h >> 32;
-  return h % dim;
+  // Popular features are sampled disproportionately often, then scattered
+  // over the id space so no contiguous PS range owns every hot key. The
+  // sampling itself lives in data/zipf.h, shared with the serving tier's
+  // TrafficGen.
+  return SampleScatteredPowerLaw(rng, dim, skew);
 }
 
 std::vector<Example> GenerateClassificationPartition(

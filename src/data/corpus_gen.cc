@@ -8,6 +8,7 @@
 
 #include "common/logging.h"
 #include "data/graph_gen.h"  // AliasTable
+#include "data/zipf.h"
 
 namespace ps2 {
 
@@ -38,8 +39,7 @@ std::shared_ptr<const TopicModel> GetTopicModel(const CorpusSpec& spec) {
     uint32_t hot_words = spec.vocab_size / spec.true_topics + 10;
     for (uint32_t k = 0; k < hot_words; ++k) {
       uint32_t w = static_cast<uint32_t>(rng.NextUint64(spec.vocab_size));
-      weights[w] += std::pow(1.0 + static_cast<double>(k), -spec.word_skew) *
-                    spec.vocab_size;
+      weights[w] += PowerLawWeight(k, spec.word_skew) * spec.vocab_size;
     }
     model->topic_words.emplace_back(weights);
   }

@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "common/logging.h"
+#include "data/zipf.h"
 
 namespace ps2 {
 
@@ -46,10 +47,8 @@ std::shared_ptr<const Graph> Graph::Generate(const GraphSpec& spec) {
   const uint64_t target_edges = static_cast<uint64_t>(
       spec.avg_degree * spec.num_vertices / 2.0);
   auto draw_vertex = [&]() -> uint32_t {
-    double u = rng.NextDouble();
-    double x = std::pow(u, spec.degree_skew);
-    return std::min(static_cast<uint32_t>(x * spec.num_vertices),
-                    spec.num_vertices - 1);
+    return static_cast<uint32_t>(
+        SamplePowerLaw(&rng, spec.num_vertices, spec.degree_skew));
   };
   for (uint64_t e = 0; e < target_edges; ++e) {
     uint32_t a = draw_vertex();

@@ -1,0 +1,61 @@
+#pragma once
+
+// Shared power-law / Zipfian sampling primitives.
+//
+// Every synthetic workload in src/data draws skewed ranks the same way —
+// rank = floor(n * u^skew), so density ~ rank^(1/skew - 1) and small ranks
+// (popular items) dominate — but each generator had its own copy of the
+// formula. The serving-tier TrafficGen (src/serving) reuses these too, so
+// the read mix it offers matches the popularity profile of the training
+// data the model was fit on.
+//
+// All helpers are pure functions of their inputs: determinism comes from
+// the caller's Rng stream, and the formulas are kept bit-identical to the
+// original per-generator copies so seeded datasets do not change.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace ps2 {
+
+/// Power-law rank for a uniform draw `u` in [0, 1): floor(n * u^skew),
+/// clamped to [0, n-1]. skew = 1 is uniform; larger skew concentrates mass
+/// on small ranks.
+inline uint64_t PowerLawRank(double u, uint64_t n, double skew) {
+  const double x = std::pow(u, skew);
+  return std::min(static_cast<uint64_t>(x * static_cast<double>(n)), n - 1);
+}
+
+/// Fixed hash permutation of a rank over [0, n). Real ids are not sorted by
+/// popularity: without scattering, one contiguous PS range would own every
+/// hot key. splitmix64 finalizer — stable across builds and platforms.
+inline uint64_t ScatterRank(uint64_t rank, uint64_t n) {
+  uint64_t h = rank * 0x9E3779B97F4A7C15ULL;
+  h ^= h >> 29;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 32;
+  return h % n;
+}
+
+/// Draws a power-law rank in [0, n) from `rng` (rank order == popularity
+/// order; graph_gen's degree draw wants this shape).
+inline uint64_t SamplePowerLaw(Rng* rng, uint64_t n, double skew) {
+  return PowerLawRank(rng->NextDouble(), n, skew);
+}
+
+/// Draws a power-law rank and scatters it over the id space — the shape
+/// used for feature ids (classification_gen) and serving keys.
+inline uint64_t SampleScatteredPowerLaw(Rng* rng, uint64_t n, double skew) {
+  return ScatterRank(SamplePowerLaw(rng, n, skew), n);
+}
+
+/// Zipf-style weight of `rank` (0-based): (1 + rank)^-skew. Used for
+/// explicit weight tables fed to AliasTable (corpus_gen's bursty topics).
+inline double PowerLawWeight(uint64_t rank, double skew) {
+  return std::pow(1.0 + static_cast<double>(rank), -skew);
+}
+
+}  // namespace ps2

@@ -843,6 +843,119 @@ Result<std::vector<double>> PsClient::PullSparse(
   return PullSparseAsync(ref, indices).Get();
 }
 
+PsFuture<std::vector<std::vector<double>>> PsClient::ServingPullAsync(
+    uint64_t epoch, const std::vector<ServingRead>& reads) {
+  using Out = std::vector<std::vector<double>>;
+  if (reads.empty()) return ReadyFuture<Out>(Out{});
+  // One wire entry per (read, partition) pair; entries bound for the same
+  // server share a single kServingPull request (the coalescing lever).
+  struct WireEntry {
+    int matrix_id = -1;
+    uint32_t row = 0;
+    size_t read = 0;      ///< index into `reads` / the output vector
+    uint64_t dst_off = 0; ///< write offset within the read's output
+    uint64_t expect = 0;  ///< values this entry must return
+    size_t idx_lo = 0;    ///< run [idx_lo, idx_hi) of the read's indices;
+    size_t idx_hi = 0;    ///< lo == hi encodes a full-slice read
+  };
+  std::map<int, MatrixMeta> metas;
+  std::map<int, std::vector<WireEntry>> by_server;
+  std::vector<size_t> out_sizes(reads.size());
+  for (size_t r = 0; r < reads.size(); ++r) {
+    const ServingRead& read = reads[r];
+    auto mit = metas.find(read.row.matrix_id);
+    if (mit == metas.end()) {
+      Result<MatrixMeta> meta_r = master_->GetMeta(read.row.matrix_id);
+      if (!meta_r.ok()) return ReadyFuture<Out>(meta_r.status());
+      mit = metas.emplace(read.row.matrix_id, std::move(*meta_r)).first;
+    }
+    const MatrixMeta& meta = mit->second;
+    const ColumnPartitioner& part = meta.partitioner;
+    WireEntry e;
+    e.matrix_id = read.row.matrix_id;
+    e.row = read.row.row;
+    e.read = r;
+    if (read.indices.empty()) {
+      out_sizes[r] = meta.dim;
+      for (int p = 0; p < part.num_servers(); ++p) {
+        e.dst_off = part.RangeBegin(p);
+        e.expect = part.RangeEnd(p) - part.RangeBegin(p);
+        by_server[part.ServerOfPartition(p)].push_back(e);
+      }
+    } else {
+      out_sizes[r] = read.indices.size();
+      size_t i = 0;
+      while (i < read.indices.size()) {
+        if (read.indices[i] >= meta.dim) {
+          return ReadyFuture<Out>(
+              Status::OutOfRange("serving pull index out of range"));
+        }
+        const int p = part.PartitionOfColumn(read.indices[i]);
+        const uint64_t range_end = part.RangeEnd(p);
+        size_t j = i;
+        while (j < read.indices.size() && read.indices[j] < range_end) ++j;
+        e.dst_off = i;
+        e.expect = j - i;
+        e.idx_lo = i;
+        e.idx_hi = j;
+        by_server[part.ServerOfPartition(p)].push_back(e);
+        i = j;
+      }
+    }
+  }
+  std::vector<ServerRequest> requests;
+  std::vector<std::vector<WireEntry>> plans;
+  for (auto& [server, entries] : by_server) {
+    BufferWriter writer;
+    writer.WriteU8(static_cast<uint8_t>(PsOpCode::kServingPull));
+    writer.WriteVarint(epoch);
+    writer.WriteVarint(entries.size());
+    for (const WireEntry& e : entries) {
+      writer.WriteVarint(e.matrix_id);
+      writer.WriteVarint(e.row);
+      writer.WriteVarint(e.idx_hi - e.idx_lo);
+      if (e.idx_hi > e.idx_lo) {
+        const std::vector<uint64_t>& idx = reads[e.read].indices;
+        writer.BeginSection(SectionKind::kKeys);
+        uint64_t prev = 0;
+        for (size_t k = e.idx_lo; k < e.idx_hi; ++k) {
+          writer.WriteVarint(idx[k] - prev);
+          prev = idx[k];
+        }
+        writer.EndSection();
+      }
+    }
+    requests.push_back(MakeRequest(server, &writer));
+    plans.push_back(std::move(entries));
+  }
+  return SubmitAsync<Out>(
+      std::move(requests),
+      [plans = std::move(plans), out_sizes = std::move(out_sizes)](
+          std::vector<PsServer::HandleResult>&& results,
+          TaskTraffic*) -> Result<Out> {
+        Out out(out_sizes.size());
+        for (size_t r = 0; r < out_sizes.size(); ++r) {
+          out[r].assign(out_sizes[r], 0.0);
+        }
+        for (size_t s = 0; s < results.size(); ++s) {
+          BufferReader reader(results[s].response);
+          PS2_ASSIGN_OR_RETURN(uint64_t n_entries, reader.ReadVarint());
+          if (n_entries != plans[s].size()) {
+            return Status::Internal("serving pull entry count mismatch");
+          }
+          for (const WireEntry& e : plans[s]) {
+            PS2_ASSIGN_OR_RETURN(uint64_t n, reader.ReadVarint());
+            if (n != e.expect) {
+              return Status::Internal("serving pull span size mismatch");
+            }
+            PS2_RETURN_NOT_OK(
+                reader.ReadF64Into(out[e.read].data() + e.dst_off, n));
+          }
+        }
+        return out;
+      });
+}
+
 PsFuture<Ack> PsClient::PushDenseAsync(RowRef ref,
                                        const std::vector<double>& delta,
                                        ColRange cols) {

@@ -158,6 +158,13 @@ class PsClient {
     double alpha;
   };
 
+  /// \brief One read of the serving tier: a row, at `indices` (sorted,
+  /// unique) or the whole row when `indices` is empty.
+  struct ServingRead {
+    RowRef row;
+    std::vector<uint64_t> indices;
+  };
+
   // ---- Batch entry points -------------------------------------------------
   //
   // Batched work goes through Dcv::Batch() (dcv/dcv_batch.h) or the *Async
@@ -204,6 +211,16 @@ class PsClient {
   PsFuture<Ack> PushSparseRowsAsync(const std::vector<RowRef>& rows,
                                     const std::vector<SparseVector>& deltas,
                                     bool compress_counts = false);
+
+  /// Batched snapshot-isolated reads against published epoch `epoch`
+  /// (kServingPull). Entries bound for the same server travel in ONE
+  /// request — the ServingFrontend's coalescing lever. Returns one dense
+  /// vector per read: the whole row for a full-row read, else the values at
+  /// the read's indices. Fails with FailedPrecondition("serving snapshot
+  /// epoch not available") when `epoch` fell out of a server's retention
+  /// window; callers repin to the current epoch and retry.
+  PsFuture<std::vector<std::vector<double>>> ServingPullAsync(
+      uint64_t epoch, const std::vector<ServingRead>& reads);
 
   /// \brief Observability of the async window (tests, benches).
   struct AsyncStats {

@@ -17,6 +17,7 @@ PsMaster::PsMaster(Cluster* cluster) : cluster_(cluster) {
     servers_.back()->SetFilterConfig(cluster->spec().filters);
   }
   hotspot_ = std::make_unique<HotspotManager>(this);
+  snapshots_ = std::make_unique<ModelSnapshotManager>(this);
 }
 
 PsMaster::~PsMaster() = default;
@@ -154,6 +155,9 @@ Result<SimTime> PsMaster::RecoverServerInternal(int server_id) {
   // client HotRowCaches would serve stale rows past staleness_epochs.
   // Recreate the slots and force a full sync + cache refresh.
   PS2_RETURN_NOT_OK(hotspot_->OnServerRecovered(server_id));
+  // Snapshots are process-local soft state: republish the current serving
+  // epoch from the restored image so pinned readers keep a consistent cut.
+  PS2_RETURN_NOT_OK(snapshots_->OnServerRecovered(server_id));
   cluster_->metrics().Add("ps.server_failures", 1);
   const ClusterSpec& spec = cluster_->spec();
   // Failure detection (a heartbeat interval), process restart, image load.

@@ -23,6 +23,7 @@
 #include "ps/checkpoint.h"
 #include "ps/ps_server.h"
 #include "ps/ps_types.h"
+#include "serving/snapshot.h"
 
 namespace ps2 {
 
@@ -54,6 +55,10 @@ class PsMaster {
   /// Hot-parameter management (statistics, replication, client caches).
   /// Always constructed; a no-op until HotspotManager::Enable.
   HotspotManager* hotspot() const { return hotspot_.get(); }
+
+  /// Serving snapshot epochs (serving/, DESIGN.md §10). Always constructed;
+  /// costs nothing until the first Publish.
+  ModelSnapshotManager* serving_snapshots() const { return snapshots_.get(); }
 
   /// Creates a matrix distributed over the servers. Row 0 is implicitly
   /// allocated (it is the DCV the caller asked for); further rows are handed
@@ -120,6 +125,7 @@ class PsMaster {
   UdfRegistry udfs_;
   std::vector<std::unique_ptr<PsServer>> servers_;
   std::unique_ptr<HotspotManager> hotspot_;
+  std::unique_ptr<ModelSnapshotManager> snapshots_;
   CheckpointStore checkpoint_store_;
 
   mutable std::mutex mu_;

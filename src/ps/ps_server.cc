@@ -87,6 +87,7 @@ Status PsServer::CreateMatrixShard(const MatrixMeta& meta) {
   } else {
     shard.sparse_rows.assign(meta.num_rows, {});
   }
+  shard.row_versions.assign(meta.num_rows, 0);
   shards_.emplace(meta.id, std::move(shard));
   return Status::OK();
 }
@@ -150,6 +151,23 @@ Result<PsServer::ReplicaSnapshot> PsServer::DebugReplica(RowRef ref) const {
   snap.pending = it->second.pending;
   snap.version = it->second.version;
   return snap;
+}
+
+void PsServer::TouchRowLocked(Shard* shard, uint64_t row) {
+  shard->row_versions[row] = ++mutation_clock_;
+}
+
+void PsServer::TouchRowIdLocked(int matrix_id, uint64_t row) {
+  auto it = shards_.find(matrix_id);
+  if (it != shards_.end() && row < it->second.meta.num_rows) {
+    TouchRowLocked(&it->second, row);
+  }
+}
+
+void PsServer::TouchAllRowsLocked() {
+  for (auto& [id, shard] : shards_) {
+    for (uint64_t& v : shard.row_versions) v = ++mutation_clock_;
+  }
 }
 
 void PsServer::RecordPull(int matrix_id, uint32_t row) {
@@ -418,6 +436,8 @@ Result<PsServer::HandleResult> PsServer::HandleLocked(const RpcHeader& header,
       return HandleReplicaSync(&in);
     case PsOpCode::kHotPush:
       return HandleHotPush(&in);
+    case PsOpCode::kServingPull:
+      return HandleServingPull(&in);
   }
   return Status::InvalidArgument("unknown opcode");
 }
@@ -559,6 +579,7 @@ Result<PsServer::HandleResult> PsServer::HandlePushDense(BufferReader* in) {
     return Status::OutOfRange("push window outside server range");
   }
   PS2_ASSIGN_OR_RETURN(std::vector<double> values, in->ReadF64Span(n));
+  TouchRowLocked(shard, row);
   if (shard->dense()) {
     double* dst = shard->dense_rows[row].data() + (begin - shard->begin);
     for (uint64_t i = 0; i < n; ++i) dst[i] += values[i];
@@ -593,6 +614,7 @@ Result<PsServer::HandleResult> PsServer::HandlePushSparse(BufferReader* in) {
       return Status::OutOfRange("push index outside server range");
     }
   }
+  TouchRowLocked(shard, row);
   for (uint64_t i = 0; i < n; ++i) {
     PS2_ASSIGN_OR_RETURN(double v, in->ReadF64());
     if (shard->dense()) {
@@ -692,6 +714,7 @@ Result<PsServer::HandleResult> PsServer::HandleColumnOp(BufferReader* in) {
                        DenseRow(static_cast<int>(dst_matrix),
                                 static_cast<uint32_t>(dst_row), &width,
                                 &begin));
+  TouchRowIdLocked(static_cast<int>(dst_matrix), dst_row);
   std::vector<const double*> src_ptrs;
   for (const auto& [m, r] : srcs) {
     // A source may be a primary slice co-located with dst, or an installed
@@ -789,6 +812,7 @@ Result<PsServer::HandleResult> PsServer::HandleZip(BufferReader* in) {
   PS2_ASSIGN_OR_RETURN(uint64_t udf_id, in->ReadVarint());
   PS2_ASSIGN_OR_RETURN(uint64_t k, in->ReadVarint());
   std::vector<double*> rows;
+  std::vector<std::pair<uint64_t, uint64_t>> touched;
   uint64_t width = 0, begin = 0;
   for (uint64_t i = 0; i < k; ++i) {
     PS2_ASSIGN_OR_RETURN(uint64_t m, in->ReadVarint());
@@ -804,9 +828,15 @@ Result<PsServer::HandleResult> PsServer::HandleZip(BufferReader* in) {
           "zip operands are not co-located on this server");
     }
     rows.push_back(p);
+    // Every operand is handed to the UDF as mutable — conservatively treat
+    // all of them as written for snapshot copy-on-publish.
+    touched.emplace_back(m, r);
   }
   const ZipFn* fn = udfs_->GetZip(static_cast<int>(udf_id));
   if (fn == nullptr) return Status::NotFound("zip udf not registered");
+  for (const auto& [m, r] : touched) {
+    TouchRowIdLocked(static_cast<int>(m), r);
+  }
   HandleResult out;
   out.server_ops = (*fn)(rows, width, begin);
   return out;
@@ -898,6 +928,7 @@ Result<PsServer::HandleResult> PsServer::HandleAxpyBatch(BufferReader* in) {
     PS2_ASSIGN_OR_RETURN(
         const double* src,
         ReadRowView(static_cast<int>(ms), static_cast<uint32_t>(rs), bd, wd));
+    TouchRowIdLocked(static_cast<int>(md), rd);
     out.server_ops += kernels::Axpy(dst, src, alpha, wd);
   }
   return out;
@@ -918,6 +949,7 @@ Result<PsServer::HandleResult> PsServer::HandleMatrixInit(BufferReader* in) {
   row_end = std::min<uint64_t>(row_end, shard.meta.num_rows);
   HandleResult out;
   for (uint64_t r = row_begin; r < row_end; ++r) {
+    TouchRowLocked(&shard, r);
     double* data = shard.dense_rows[r].data();
     for (uint64_t c = 0; c < shard.width(); ++c) {
       // Value depends only on (seed, row, global column): every server
@@ -975,6 +1007,7 @@ Result<PsServer::HandleResult> PsServer::HandlePushRowsBatch(
                                              &b));
     if (n != w) return Status::OutOfRange("row push width mismatch");
     PS2_ASSIGN_OR_RETURN(std::vector<double> values, in->ReadF64Span(w));
+    TouchRowIdLocked(static_cast<int>(m), r);
     for (uint64_t c = 0; c < w; ++c) p[c] += values[c];
     out.server_ops += w;
   }
@@ -1061,6 +1094,7 @@ Result<PsServer::HandleResult> PsServer::HandlePushSparseRowsBatch(
       }
       cols[i] = prev - b;
     }
+    TouchRowIdLocked(static_cast<int>(m), row);
     for (uint64_t i = 0; i < nnz; ++i) {
       double v;
       if (compress != 0) {
@@ -1208,6 +1242,166 @@ Result<PsServer::HandleResult> PsServer::HandleHotPush(BufferReader* in) {
   return out;
 }
 
+Result<PsServer::HandleResult> PsServer::HandleServingPull(BufferReader* in) {
+  PS2_ASSIGN_OR_RETURN(uint64_t epoch, in->ReadVarint());
+  const ModelSnapshot* snap = nullptr;
+  for (const ModelSnapshot& s : snapshots_) {
+    if (s.epoch == epoch) {
+      snap = &s;
+      break;
+    }
+  }
+  if (snap == nullptr) {
+    // The frontend repins to the current epoch and re-encodes on this — it
+    // happens when a publish raced the read past the retention window, or
+    // after a recovery republished under a fresh epoch.
+    return Status::FailedPrecondition("serving snapshot epoch not available");
+  }
+  PS2_ASSIGN_OR_RETURN(uint64_t n_entries, in->ReadVarint());
+  if (n_entries > in->remaining()) {
+    return Status::OutOfRange("entry count exceeds request buffer");
+  }
+  HandleResult out;
+  BufferWriter writer;
+  writer.WriteVarint(n_entries);
+  for (uint64_t e = 0; e < n_entries; ++e) {
+    PS2_ASSIGN_OR_RETURN(uint64_t m, in->ReadVarint());
+    PS2_ASSIGN_OR_RETURN(uint64_t row, in->ReadVarint());
+    PS2_ASSIGN_OR_RETURN(uint64_t n_idx, in->ReadVarint());
+    auto it = snap->shards.find(static_cast<int>(m));
+    if (it == snap->shards.end()) {
+      return Status::NotFound("matrix not in serving snapshot");
+    }
+    const ShardSnapshot& shard = it->second;
+    if (row >= shard.rows.size()) {
+      return Status::OutOfRange("row out of range");
+    }
+    // Serving reads feed the same demand sketches as training pulls, so the
+    // hotspot plane sees the Zipfian read mix too.
+    RecordPull(static_cast<int>(m), static_cast<uint32_t>(row));
+    const SnapshotRow& snaprow = shard.rows[row];
+    if (n_idx == 0) {
+      // Full local slice [begin, end) of the row.
+      const uint64_t w = shard.end - shard.begin;
+      writer.WriteVarint(w);
+      writer.BeginSection(SectionKind::kF64Values);
+      if (shard.dense) {
+        writer.WriteF64Span(snaprow.dense->data(), w);
+      } else {
+        std::vector<double> window(w, 0.0);
+        for (const auto& [col, v] : *snaprow.sparse) {
+          if (col >= shard.begin && col < shard.end) {
+            window[col - shard.begin] = v;
+          }
+        }
+        writer.WriteF64Span(window.data(), w);
+      }
+      writer.EndSection();
+      out.server_ops += w;
+    } else {
+      if (n_idx > in->remaining()) {
+        return Status::OutOfRange("index count exceeds request buffer");
+      }
+      writer.WriteVarint(n_idx);
+      writer.BeginSection(SectionKind::kF64Values);
+      uint64_t prev = 0;
+      for (uint64_t i = 0; i < n_idx; ++i) {
+        PS2_ASSIGN_OR_RETURN(uint64_t delta, in->ReadVarint());
+        prev += delta;
+        if (prev < shard.begin || prev >= shard.end) {
+          return Status::OutOfRange("pull index outside server range");
+        }
+        double value;
+        if (shard.dense) {
+          value = (*snaprow.dense)[prev - shard.begin];
+        } else {
+          auto vit = snaprow.sparse->find(prev);
+          value = vit == snaprow.sparse->end() ? 0.0 : vit->second;
+        }
+        writer.WriteF64(value);
+      }
+      writer.EndSection();
+      out.server_ops += n_idx;
+    }
+  }
+  out.response_sections = writer.TakeSections();
+  out.response = writer.Release();
+  return out;
+}
+
+Result<PsServer::PublishStats> PsServer::PublishSnapshot(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) {
+    return Status::Unavailable("server is down (injected crash)");
+  }
+  if (!snapshots_.empty() && epoch <= snapshots_.back().epoch) {
+    return Status::InvalidArgument("snapshot epoch must increase");
+  }
+  const ModelSnapshot* prev = snapshots_.empty() ? nullptr : &snapshots_.back();
+  ModelSnapshot snap;
+  snap.epoch = epoch;
+  PublishStats stats;
+  for (const auto& [id, shard] : shards_) {
+    ShardSnapshot ss;
+    ss.begin = shard.begin;
+    ss.end = shard.end;
+    ss.dense = shard.dense();
+    const size_t n_rows = shard.meta.num_rows;
+    ss.rows.resize(n_rows);
+    const ShardSnapshot* prev_ss = nullptr;
+    if (prev != nullptr) {
+      auto it = prev->shards.find(id);
+      if (it != prev->shards.end() && it->second.begin == shard.begin &&
+          it->second.end == shard.end && it->second.dense == ss.dense &&
+          it->second.rows.size() == n_rows) {
+        prev_ss = &it->second;
+      }
+    }
+    for (size_t r = 0; r < n_rows; ++r) {
+      const uint64_t version = shard.row_versions[r];
+      if (prev_ss != nullptr && prev_ss->rows[r].version == version) {
+        // Untouched since the previous publish: share its immutable buffer.
+        ss.rows[r] = prev_ss->rows[r];
+        stats.rows_reused += 1;
+      } else {
+        SnapshotRow& dst = ss.rows[r];
+        dst.version = version;
+        if (ss.dense) {
+          dst.dense = std::make_shared<const std::vector<double>>(
+              shard.dense_rows[r]);
+          stats.bytes_copied += shard.width() * sizeof(double);
+        } else {
+          dst.sparse = std::make_shared<const std::map<uint64_t, double>>(
+              shard.sparse_rows[r]);
+          stats.bytes_copied += shard.sparse_rows[r].size() *
+                                (sizeof(uint64_t) + sizeof(double));
+        }
+        stats.rows_copied += 1;
+      }
+      stats.rows_total += 1;
+    }
+    snap.shards.emplace(id, std::move(ss));
+  }
+  snapshots_.push_back(std::move(snap));
+  if (snapshots_.size() > kRetainedSnapshots) {
+    snapshots_.erase(snapshots_.begin());
+  }
+  return stats;
+}
+
+uint64_t PsServer::snapshot_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshots_.empty() ? 0 : snapshots_.back().epoch;
+}
+
+bool PsServer::HasSnapshotEpoch(uint64_t epoch) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const ModelSnapshot& s : snapshots_) {
+    if (s.epoch == epoch) return true;
+  }
+  return false;
+}
+
 std::vector<uint8_t> PsServer::SerializeState() const {
   std::lock_guard<std::mutex> lock(mu_);
   BufferWriter writer;
@@ -1347,6 +1541,9 @@ Status PsServer::RestoreState(const std::vector<uint8_t>& buffer) {
     }
     dedup_[static_cast<int>(client_id)] = std::move(d);
   }
+  // Restored values differ from whatever the row versions said: stamp every
+  // row so the next snapshot publish re-copies from the restored state.
+  TouchAllRowsLocked();
   return Status::OK();
 }
 
@@ -1362,6 +1559,10 @@ void PsServer::DropAllState() {
     }
   }
   replicas_.clear();
+  // Published snapshots die with the process: the master republishes from
+  // the restored shards after recovery (ModelSnapshotManager).
+  snapshots_.clear();
+  TouchAllRowsLocked();
   // The key cache is soft state: clients' refs to forgotten hashes fault a
   // fresh install back in via the miss protocol.
   keycache_.Clear();

@@ -176,6 +176,32 @@ class PsServer {
   /// Total doubles stored (tests / memory accounting).
   uint64_t StoredValues() const;
 
+  // ---- Serving snapshots (serving/, DESIGN.md §10) ----
+
+  /// What one PublishSnapshot call did (the master charges copy cost and
+  /// control-plane bytes from these).
+  struct PublishStats {
+    uint64_t rows_total = 0;   ///< rows in the published snapshot
+    uint64_t rows_copied = 0;  ///< rows materialized (touched since last)
+    uint64_t rows_reused = 0;  ///< rows shared with the previous epoch
+    uint64_t bytes_copied = 0; ///< payload bytes of the copied rows
+  };
+
+  /// Publishes an immutable snapshot of every primary shard under `epoch`.
+  /// Copy-on-publish: rows untouched since the previous snapshot share its
+  /// immutable buffers; only touched rows are copied. The last two epochs
+  /// are retained so epoch N keeps serving while N+1 is being published.
+  /// `epoch` must be strictly greater than the latest published epoch.
+  Result<PublishStats> PublishSnapshot(uint64_t epoch);
+
+  /// Latest published snapshot epoch (0 = nothing published yet). Snapshots
+  /// are process-local soft state: DropAllState clears them, and recovery
+  /// republishes from the restored shards.
+  uint64_t snapshot_epoch() const;
+
+  /// True if `epoch` is still retained and servable.
+  bool HasSnapshotEpoch(uint64_t epoch) const;
+
  private:
   struct Shard {
     MatrixMeta meta;
@@ -185,10 +211,34 @@ class PsServer {
     std::vector<std::vector<double>> dense_rows;
     // Sparse storage: per-row map global column -> value.
     std::vector<std::map<uint64_t, double>> sparse_rows;
+    // Mutation clock value of the last write to each row (serving
+    // copy-on-publish reuses unchanged rows across snapshot epochs).
+    std::vector<uint64_t> row_versions;
 
     uint64_t width() const { return end - begin; }
     bool dense() const { return meta.storage == MatrixStorage::kDense; }
   };
+
+  /// One immutable row of a published snapshot. Exactly one of dense/sparse
+  /// is set (per the shard's storage kind); buffers are shared, never
+  /// mutated, so an epoch stays bit-stable while later epochs publish.
+  struct SnapshotRow {
+    uint64_t version = 0;  ///< shard row version at copy time
+    std::shared_ptr<const std::vector<double>> dense;
+    std::shared_ptr<const std::map<uint64_t, double>> sparse;
+  };
+  struct ShardSnapshot {
+    uint64_t begin = 0;
+    uint64_t end = 0;
+    bool dense = true;
+    std::vector<SnapshotRow> rows;
+  };
+  struct ModelSnapshot {
+    uint64_t epoch = 0;
+    std::map<int, ShardSnapshot> shards;
+  };
+  /// Snapshot epochs retained for serving (publish evicts beyond this).
+  static constexpr size_t kRetainedSnapshots = 2;
 
   /// A replica of a hot row: the full row's values (all columns, not just
   /// this server's range) plus locally aggregated pending push deltas.
@@ -241,6 +291,12 @@ class PsServer {
   void RecordPull(int matrix_id, uint32_t row);
   void RecordPush(int matrix_id, uint32_t row);
 
+  /// Marks one row (or every row of every shard) as mutated: stamps the
+  /// current mutation clock so the next PublishSnapshot copies it.
+  void TouchRowLocked(Shard* shard, uint64_t row);
+  void TouchRowIdLocked(int matrix_id, uint64_t row);
+  void TouchAllRowsLocked();
+
   Result<HandleResult> HandlePullDense(BufferReader* in);
   Result<HandleResult> HandlePullSparse(BufferReader* in);
   Result<HandleResult> HandlePushDense(BufferReader* in);
@@ -260,11 +316,16 @@ class PsServer {
   Result<HandleResult> HandleHotSetUpdate(BufferReader* in);
   Result<HandleResult> HandleReplicaSync(BufferReader* in);
   Result<HandleResult> HandleHotPush(BufferReader* in);
+  Result<HandleResult> HandleServingPull(BufferReader* in);
 
   int id_;
   const UdfRegistry* udfs_;
   mutable std::mutex mu_;
   std::map<int, Shard> shards_;
+  // Monotonic write clock feeding Shard::row_versions (mu_ held).
+  uint64_t mutation_clock_ = 0;
+  // Published snapshots, oldest first, at most kRetainedSnapshots.
+  std::vector<ModelSnapshot> snapshots_;
   std::map<std::pair<int, uint32_t>, Replica> replicas_;
   std::map<int, ClientDedup> dedup_;  ///< client id -> applied seqs
   uint64_t dedup_hits_ = 0;

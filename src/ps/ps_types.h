@@ -99,6 +99,8 @@ enum class PsOpCode : uint8_t {
   kHotSetUpdate = 16,  ///< master installs the replicated hot-row set
   kReplicaSync = 17,   ///< collect pending deltas / install fresh values
   kHotPush = 18,       ///< sparse delta accumulated into a local replica
+  // Online serving tier (DESIGN.md §10).
+  kServingPull = 19,  ///< batched read from a published snapshot epoch
 };
 
 /// Stable short name of an opcode for metric tags and trace spans
@@ -125,12 +127,13 @@ constexpr const char* PsOpCodeName(PsOpCode op) {
     case PsOpCode::kHotSetUpdate: return "hot_set_update";
     case PsOpCode::kReplicaSync: return "replica_sync";
     case PsOpCode::kHotPush: return "hot_push";
+    case PsOpCode::kServingPull: return "serving_pull";
   }
   return "unknown";
 }
 
 /// Number of distinct PsOpCode values (for per-opcode metric tables).
-constexpr int kNumPsOpCodes = 19;
+constexpr int kNumPsOpCodes = 20;
 
 /// True for opcodes whose handlers mutate server state. Retrying one of
 /// these after an ambiguous failure (a lost *response*) would double-apply
@@ -158,6 +161,7 @@ constexpr bool IsMutatingOpcode(PsOpCode op) {
     case PsOpCode::kDotBatch:
     case PsOpCode::kPullRowsBatch:
     case PsOpCode::kPullSparseRowsBatch:
+    case PsOpCode::kServingPull:
       return false;
   }
   return false;

@@ -1,0 +1,39 @@
+#include "serving/admission.h"
+
+#include <algorithm>
+
+namespace ps2 {
+
+Status AdmissionOptions::Validate() const {
+  if (rate_qps < 0.0) {
+    return Status::InvalidArgument("rate_qps must be >= 0");
+  }
+  if (rate_qps > 0.0 && burst < 1.0) {
+    return Status::InvalidArgument("burst must be >= 1 when rate limiting");
+  }
+  return Status::OK();
+}
+
+AdmissionController::AdmissionController(const AdmissionOptions& options)
+    : options_(options), tokens_(options.burst) {}
+
+bool AdmissionController::Admit(double now_s, size_t queue_depth) {
+  if (options_.max_queue_depth > 0 && queue_depth >= options_.max_queue_depth) {
+    ++shed_;
+    return false;
+  }
+  if (options_.rate_qps > 0.0) {
+    tokens_ = std::min(options_.burst,
+                       tokens_ + (now_s - last_refill_s_) * options_.rate_qps);
+    last_refill_s_ = now_s;
+    if (tokens_ < 1.0) {
+      ++shed_;
+      return false;
+    }
+    tokens_ -= 1.0;
+  }
+  ++admitted_;
+  return true;
+}
+
+}  // namespace ps2

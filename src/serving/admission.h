@@ -1,0 +1,63 @@
+#pragma once
+
+// Admission control for the serving loop (DESIGN.md §10).
+//
+// An open-loop workload does not slow down when the servers fall behind —
+// arrivals keep coming at the offered rate, the queue grows without bound
+// and every request's latency diverges. The AdmissionController bounds
+// that: a token bucket caps the sustained admitted rate (with a burst
+// allowance), and a queue-depth bound sheds arrivals outright once the
+// backlog says the servers are saturated. Shedding early keeps the p99 of
+// the *admitted* traffic finite — the classic load-shedding trade the
+// serving bench measures (shed rate vs achieved QPS vs tail latency).
+//
+// All time is virtual (the serving loop's arrival clock), so admission
+// decisions are seed-deterministic and benchable.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace ps2 {
+
+/// \brief Tuning knobs for admission control.
+struct AdmissionOptions {
+  /// Sustained admitted rate in requests per virtual second; 0 disables the
+  /// token bucket (queue-depth shedding still applies).
+  double rate_qps = 0.0;
+  /// Bucket capacity in tokens — how far above rate_qps a burst may ride.
+  double burst = 32.0;
+  /// Arrivals are shed while this many admitted requests are already
+  /// waiting; 0 disables the bound.
+  size_t max_queue_depth = 64;
+
+  Status Validate() const;
+};
+
+/// \brief Token bucket + queue-depth load shedder.
+///
+/// Driven from the single-threaded serving loop in virtual-arrival-time
+/// order (`now_s` must be non-decreasing), so it needs no lock and its
+/// decisions are deterministic.
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionOptions& options);
+
+  /// Decides the fate of a request arriving at `now_s` while `queue_depth`
+  /// admitted requests wait. True = admitted (a token is consumed);
+  /// false = shed.
+  bool Admit(double now_s, size_t queue_depth);
+
+  uint64_t admitted() const { return admitted_; }
+  uint64_t shed() const { return shed_; }
+
+ private:
+  AdmissionOptions options_;
+  double tokens_;
+  double last_refill_s_ = 0.0;
+  uint64_t admitted_ = 0;
+  uint64_t shed_ = 0;
+};
+
+}  // namespace ps2

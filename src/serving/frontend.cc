@@ -1,0 +1,163 @@
+#include "serving/frontend.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ps2 {
+
+ServingFrontend::ServingFrontend(PsMaster* master, PsClient* client,
+                                 ServingFrontendOptions options)
+    : master_(master), client_(client), options_(options) {
+  PS2_CHECK(master != nullptr);
+  PS2_CHECK(client != nullptr);
+}
+
+Status ServingFrontend::PinCurrentEpoch() {
+  const uint64_t epoch = master_->serving_snapshots()->epoch();
+  if (epoch == 0) {
+    return Status::FailedPrecondition("no serving snapshot published yet");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  pinned_epoch_ = epoch;
+  return Status::OK();
+}
+
+uint64_t ServingFrontend::pinned_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pinned_epoch_;
+}
+
+bool ServingFrontend::IsEpochMiss(const Status& status) {
+  return status.IsFailedPrecondition() &&
+         status.message().find("serving snapshot epoch") != std::string::npos;
+}
+
+Result<std::vector<std::vector<double>>> ServingFrontend::ServeBatch(
+    const std::vector<ServingRequest>& batch) {
+  if (batch.empty()) return std::vector<std::vector<double>>{};
+
+  // ---- Plan: one read per distinct row (coalesced) or per request. ----
+  std::vector<PsClient::ServingRead> reads;
+  std::vector<size_t> read_of_request(batch.size());
+  uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.requests += batch.size();
+    stats_.batches += 1;
+    stats_.raw_reads += batch.size();
+    for (const ServingRequest& req : batch) {
+      demand_[{req.row.matrix_id, req.row.row}] += 1;
+    }
+    if (options_.coalesce) {
+      // Union the index sets per row; a full-row request (empty indices)
+      // absorbs every indexed one. std::map keeps the read order — and with
+      // it the wire bytes — deterministic regardless of batch order.
+      struct Union {
+        bool full = false;
+        std::vector<uint64_t> indices;
+      };
+      std::map<std::pair<int, uint32_t>, Union> unions;
+      for (const ServingRequest& req : batch) {
+        Union& u = unions[{req.row.matrix_id, req.row.row}];
+        if (req.indices.empty()) {
+          u.full = true;
+          u.indices.clear();
+        } else if (!u.full) {
+          u.indices.insert(u.indices.end(), req.indices.begin(),
+                           req.indices.end());
+        }
+      }
+      std::map<std::pair<int, uint32_t>, size_t> read_of_row;
+      for (auto& [key, u] : unions) {
+        std::sort(u.indices.begin(), u.indices.end());
+        u.indices.erase(std::unique(u.indices.begin(), u.indices.end()),
+                        u.indices.end());
+        read_of_row[key] = reads.size();
+        PsClient::ServingRead read;
+        read.row.matrix_id = key.first;
+        read.row.row = key.second;
+        read.indices = std::move(u.indices);
+        reads.push_back(std::move(read));
+      }
+      for (size_t i = 0; i < batch.size(); ++i) {
+        read_of_request[i] =
+            read_of_row[{batch[i].row.matrix_id, batch[i].row.row}];
+      }
+    } else {
+      reads.reserve(batch.size());
+      for (size_t i = 0; i < batch.size(); ++i) {
+        read_of_request[i] = i;
+        reads.push_back({batch[i].row, batch[i].indices});
+      }
+    }
+    stats_.coalesced_reads += reads.size();
+    epoch = pinned_epoch_;
+  }
+
+  // ---- Execute, repinning when the pinned epoch is no longer served. ----
+  if (epoch == 0) {
+    PS2_RETURN_NOT_OK(PinCurrentEpoch());
+    epoch = pinned_epoch();
+  }
+  Result<std::vector<std::vector<double>>> values =
+      client_->ServingPullAsync(epoch, reads).Get();
+  for (int attempt = 0;
+       !values.ok() && IsEpochMiss(values.status()) &&
+       attempt < options_.max_epoch_retries;
+       ++attempt) {
+    const uint64_t current = master_->serving_snapshots()->epoch();
+    if (current == epoch) break;  // nothing newer to repin to — surface it
+    epoch = current;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pinned_epoch_ = current;
+      stats_.epoch_repins += 1;
+    }
+    values = client_->ServingPullAsync(epoch, reads).Get();
+  }
+  PS2_RETURN_NOT_OK(values.status());
+
+  // ---- Scatter the per-read values back per request. ----
+  std::vector<std::vector<double>> out(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const PsClient::ServingRead& read = reads[read_of_request[i]];
+    const std::vector<double>& got = (*values)[read_of_request[i]];
+    const ServingRequest& req = batch[i];
+    if (req.indices.empty()) {
+      // A full-row request forces its read to be full-row, so `got` is the
+      // whole row.
+      out[i] = got;
+    } else if (read.indices.empty()) {
+      // The read was widened to the full row by another request; pick the
+      // request's columns straight out of it.
+      out[i].reserve(req.indices.size());
+      for (uint64_t idx : req.indices) out[i].push_back(got[idx]);
+    } else {
+      // Both indexed: the request's indices are a subset of the read's
+      // sorted union.
+      out[i].reserve(req.indices.size());
+      for (uint64_t idx : req.indices) {
+        auto pos = std::lower_bound(read.indices.begin(), read.indices.end(),
+                                    idx);
+        PS2_CHECK(pos != read.indices.end() && *pos == idx);
+        out[i].push_back(
+            got[static_cast<size_t>(pos - read.indices.begin())]);
+      }
+    }
+  }
+  return out;
+}
+
+ServingFrontend::Stats ServingFrontend::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+uint64_t ServingFrontend::DemandCount(RowRef row) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = demand_.find({row.matrix_id, row.row});
+  return it == demand_.end() ? 0 : it->second;
+}
+
+}  // namespace ps2

@@ -1,0 +1,70 @@
+#pragma once
+
+// The serving event loop (DESIGN.md §10): replays an open-loop request
+// stream (traffic_gen.h) through admission control (admission.h) and the
+// coalescing frontend (frontend.h) against a pinned snapshot epoch, in
+// virtual time.
+//
+// Queueing model: one logical serving pipeline. Admitted requests wait in
+// a FIFO queue; whenever the pipeline is free it takes up to `batch_max`
+// queued requests and serves them as one coalesced fan-out, whose service
+// time is the cost model's price for the traffic the exchange actually
+// recorded (TaskWorkerTime: round latency + bytes + compute). A request's
+// virtual latency is completion minus arrival — queueing delay included —
+// so driving the offered load past the pipeline's capacity visibly fattens
+// the tail until the queue-depth shed kicks in. Everything (arrivals,
+// admission, service order, latencies) derives from the seed and the cost
+// model: the p50/p95/p99 the report carries are deterministic and CI-gated.
+//
+// The recorded traffic is charged to the cluster once, at the end: metrics
+// get the full per-server breakdown, and the clock advances by the loop's
+// virtual span (not the cost model's out-of-task estimate — the loop itself
+// already scheduled the work in virtual time).
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "serving/admission.h"
+#include "serving/frontend.h"
+#include "serving/traffic_gen.h"
+
+namespace ps2 {
+
+class PsClient;
+class PsMaster;
+
+/// \brief One serving run: how long, how batchy, what load, what limits.
+struct ServingLoopOptions {
+  /// Arrivals are generated for this many virtual seconds.
+  double duration_s = 1.0;
+  /// Max requests coalesced into one fan-out.
+  size_t batch_max = 8;
+  TrafficGenOptions traffic;
+  AdmissionOptions admission;
+  ServingFrontendOptions frontend;
+};
+
+/// \brief What a serving run measured. All fields are virtual-time derived
+/// and seed-deterministic.
+struct ServingReport {
+  uint64_t offered = 0;   ///< arrivals generated
+  uint64_t admitted = 0;  ///< arrivals past admission control
+  uint64_t shed = 0;      ///< arrivals dropped (bucket or queue bound)
+  uint64_t served = 0;    ///< requests answered (== admitted)
+  double offered_qps = 0.0;
+  double achieved_qps = 0.0;  ///< served / span_s
+  double shed_rate = 0.0;     ///< shed / offered
+  /// First arrival to last completion (>= duration_s under backlog).
+  double span_s = 0.0;
+  /// Exact percentiles of per-request virtual latency in microseconds.
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+};
+
+/// Runs the loop on the coordinator (between training stages). Requires a
+/// published snapshot epoch; the frontend repins as training publishes more.
+Result<ServingReport> RunServingLoop(PsMaster* master, PsClient* client,
+                                     const ServingLoopOptions& options);
+
+}  // namespace ps2

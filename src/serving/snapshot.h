@@ -1,0 +1,72 @@
+#pragma once
+
+// Model snapshot publication for the online serving tier (DESIGN.md §10).
+//
+// Training mutates rows in place; serving needs repeatable reads. The
+// ModelSnapshotManager — owned by PsMaster, driven by the trainer between
+// stages — closes that gap with epoch-versioned snapshots: Publish() asks
+// every server to freeze its current shard state under the next epoch
+// (PsServer::PublishSnapshot — copy-on-publish of rows touched since the
+// previous epoch, pointer reuse for the rest), after which kServingPull
+// requests pinned to epoch N are bit-stable no matter how far epoch N+1
+// training has progressed.
+//
+// Snapshots are process-local soft state: a crashed server loses them with
+// the rest of its memory, and recovery (PsMaster::RecoverServerInternal)
+// calls OnServerRecovered to republish the current epoch from the restored
+// checkpoint image. Readers pinned to an epoch the restored server no longer
+// has are told so (FailedPrecondition) and repin via the ServingFrontend.
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ps2 {
+
+class PsMaster;
+
+/// \brief What one Publish() round actually moved.
+struct SnapshotPublishStats {
+  uint64_t epoch = 0;        ///< the epoch this publish installed
+  uint64_t rows_total = 0;   ///< rows across all shards on all servers
+  uint64_t rows_copied = 0;  ///< rows touched since the previous epoch
+  uint64_t rows_reused = 0;  ///< rows shared with the previous epoch
+  uint64_t bytes_copied = 0; ///< payload bytes materialized by the copies
+};
+
+/// \brief Master-side coordinator of serving snapshot epochs.
+///
+/// Thread-safe, but Publish is expected to run on the coordinator between
+/// training stages (like CheckpointAll) — that is what makes "epoch N serves
+/// while N+1 trains" a clean handoff rather than a race.
+class ModelSnapshotManager {
+ public:
+  explicit ModelSnapshotManager(PsMaster* master);
+
+  /// Freezes the current model state under a new epoch on every server and
+  /// returns what it cost. The publish command is priced like any other
+  /// coordinator->server exchange; the copy work is charged as server ops,
+  /// so a quiet model (few touched rows) publishes almost for free.
+  Result<SnapshotPublishStats> Publish();
+
+  /// The latest published epoch; 0 means nothing has been published yet.
+  uint64_t epoch() const;
+
+  /// Called by PsMaster after a server crash + restore. The restarted
+  /// process dropped its snapshots with the rest of its state, so without
+  /// this hook every serving read against it fails until the next Publish.
+  /// Republishes the current epoch from the restored shards (their contents
+  /// are checkpoint-old, but epoch pinning only promises a *consistent*
+  /// cut, and the next Publish catches serving back up). No-op while no
+  /// epoch has been published.
+  Status OnServerRecovered(int server_id);
+
+ private:
+  PsMaster* master_;
+  mutable std::mutex mu_;
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace ps2

@@ -1,0 +1,50 @@
+#include "serving/traffic_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/zipf.h"
+
+namespace ps2 {
+
+Status TrafficGenOptions::Validate() const {
+  if (qps <= 0.0) return Status::InvalidArgument("qps must be > 0");
+  if (skew <= 0.0) return Status::InvalidArgument("skew must be > 0");
+  if (num_rows == 0) return Status::InvalidArgument("num_rows must be > 0");
+  if (keys_per_request > 0 && dim == 0) {
+    return Status::InvalidArgument("dim must be > 0 for indexed reads");
+  }
+  return Status::OK();
+}
+
+TrafficGen::TrafficGen(const TrafficGenOptions& options)
+    : options_(options), rng_(options.seed ^ 0x5E41C0DEULL) {}
+
+ServingRequest TrafficGen::Next() {
+  // Poisson process: exponential inter-arrival gaps. NextDouble() is in
+  // [0, 1), so 1 - u is in (0, 1] and the log is finite.
+  now_s_ += -std::log(1.0 - rng_.NextDouble()) / options_.qps;
+
+  ServingRequest req;
+  req.arrival_s = now_s_;
+  req.row.matrix_id = options_.matrix_id;
+  // Plain (unscattered) power law: rank == row id, so the hot rows are the
+  // low ids — easy to reason about in tests and hotspot sketches.
+  req.row.row = static_cast<uint32_t>(
+      SamplePowerLaw(&rng_, options_.num_rows, options_.skew));
+  if (options_.keys_per_request > 0) {
+    req.indices.reserve(options_.keys_per_request);
+    for (uint32_t k = 0; k < options_.keys_per_request; ++k) {
+      // Scattered: popular columns spread over the whole width (and with it
+      // over all servers), like the feature generators.
+      req.indices.push_back(
+          SampleScatteredPowerLaw(&rng_, options_.dim, options_.skew));
+    }
+    std::sort(req.indices.begin(), req.indices.end());
+    req.indices.erase(std::unique(req.indices.begin(), req.indices.end()),
+                      req.indices.end());
+  }
+  return req;
+}
+
+}  // namespace ps2

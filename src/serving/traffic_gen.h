@@ -1,0 +1,75 @@
+#pragma once
+
+// Open-loop serving traffic (DESIGN.md §10).
+//
+// The TrafficGen produces the request stream the serving bench replays:
+// Poisson arrivals at a configured offered rate (inter-arrival gaps are
+// exponential, so bursts happen naturally) over a Zipf-popular key space —
+// the same power-law primitives (data/zipf.h) the dataset generators use,
+// so the serving mix matches the skew the training side optimizes for and
+// hot rows surface in the hotspot sketches the same way.
+//
+// Open-loop matters: arrivals do NOT wait for responses, so an overloaded
+// server sees the queue grow instead of the load politely backing off —
+// which is what makes admission control (admission.h) measurable.
+//
+// Everything is drawn from one seeded Rng in virtual time; a (seed, options)
+// pair replays bit-identically.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "ps/ps_types.h"
+
+namespace ps2 {
+
+/// \brief Shape of the offered serving load.
+struct TrafficGenOptions {
+  /// Offered arrival rate in requests per virtual second.
+  double qps = 1000.0;
+  /// Row/column popularity skew (data/zipf.h PowerLawRank exponent):
+  /// 1 = uniform, larger = more skewed toward low ranks.
+  double skew = 1.5;
+  /// The served matrix and how many of its leading rows requests draw from.
+  int matrix_id = 0;
+  uint32_t num_rows = 1;
+  /// Row width, for index draws.
+  uint64_t dim = 0;
+  /// Column indices sampled per request (deduped, so the realized count can
+  /// be lower); 0 = full-row reads.
+  uint32_t keys_per_request = 0;
+  uint64_t seed = 1;
+
+  Status Validate() const;
+};
+
+/// \brief One serving request: a row (or a sparse slice of it) wanted at a
+/// point in virtual time.
+struct ServingRequest {
+  double arrival_s = 0.0;
+  RowRef row;
+  /// Sorted unique column indices; empty = the whole row.
+  std::vector<uint64_t> indices;
+};
+
+/// \brief Deterministic Poisson/Zipf request stream.
+class TrafficGen {
+ public:
+  explicit TrafficGen(const TrafficGenOptions& options);
+
+  /// The next arrival: advances the internal clock by an exponential gap
+  /// and draws the request's row and indices.
+  ServingRequest Next();
+
+  /// Virtual time of the last arrival returned by Next().
+  double now_s() const { return now_s_; }
+
+ private:
+  TrafficGenOptions options_;
+  Rng rng_;
+  double now_s_ = 0.0;
+};
+
+}  // namespace ps2

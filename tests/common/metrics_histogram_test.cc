@@ -82,6 +82,26 @@ TEST(Histogram, PercentilesAreMonotoneAndBracketed) {
   EXPECT_LE(p50, 1000.0);
 }
 
+TEST(Histogram, SingleBucketDistributionKeepsPercentilesApart) {
+  // Regression: all samples land in one log2 bucket ([512, 1024)), but they
+  // are not all equal. Interpolating across the raw bucket edges used to
+  // collapse every percentile onto the same clamped value (p50 == p99 in
+  // the serving latency reports); interpolation must instead run inside
+  // the observed [min, max] window of that bucket.
+  Histogram h;
+  h.Record(1020.0);
+  h.Record(1021.0);
+  h.Record(1023.0);
+  const double p50 = h.Percentile(50.0);
+  const double p99 = h.Percentile(99.0);
+  EXPECT_GE(p50, 1020.0);
+  EXPECT_LE(p99, 1023.0);
+  EXPECT_LT(p50, p99);  // the collapse artifact
+  // Percentiles stay monotone across the whole range.
+  EXPECT_LE(h.Percentile(5.0), p50);
+  EXPECT_LE(p99, h.Percentile(100.0));
+}
+
 TEST(Histogram, SnapshotSummarizes) {
   Histogram h;
   h.Record(1.0);

@@ -50,6 +50,22 @@ CHECK_KEYS = (
     "keycache_hits",
     "keycache_installs",
     "keycache_misses",
+    # Serving tier (bench/serving_qps.cpp). Latency percentiles here are
+    # VIRTUAL-time percentiles from the serving loop's deterministic queueing
+    # model — unlike the wall-clock "*.p50" histogram fields, they are
+    # seed-deterministic and safe to gate.
+    "offered_qps",
+    "achieved_qps",
+    "shed_rate",
+    "requests_offered",
+    "requests_served",
+    "requests_shed",
+    "p50_virtual_us",
+    "p95_virtual_us",
+    "p99_virtual_us",
+    "coalesce_bytes_ratio",
+    "epoch_stable",
+    "loss_parity",
 )
 
 

@@ -35,6 +35,10 @@
 #include "ml/logreg.h"
 #include "obs/metrics_json.h"
 #include "obs/trace.h"
+#include "ps/ps_client.h"
+#include "ps/ps_master.h"
+#include "serving/serving_loop.h"
+#include "serving/snapshot.h"
 #include "tools/flags.h"
 
 namespace ps2 {
@@ -268,6 +272,85 @@ int RunGbdt(const Flags& flags) {
   return 0;
 }
 
+/// `ps2run serve`: train-then-serve in one process. Builds a deterministic
+/// model, publishes a serving snapshot, and drives the open-loop serving
+/// stack (TrafficGen -> admission -> coalescing frontend), reporting
+/// offered/achieved QPS, shed rate and virtual latency percentiles.
+int RunServe(const Flags& flags) {
+  ClusterSpec spec = SpecFromFlags(flags);
+  Cluster cluster(spec);
+  PsMaster master(&cluster);
+  PsClient client(&master);
+
+  MatrixOptions matrix;
+  matrix.name = "served_model";
+  matrix.dim = static_cast<uint64_t>(flags.GetInt("dim", 10000));
+  const uint32_t rows = static_cast<uint32_t>(flags.GetInt("rows", 16));
+  matrix.reserve_rows = rows;
+  Result<int> matrix_id = master.CreateMatrix(matrix);
+  if (!matrix_id.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 matrix_id.status().ToString().c_str());
+    return 1;
+  }
+  Status init = client.MatrixInit(*matrix_id, 0, rows, 1.0, spec.seed);
+  if (!init.ok()) {
+    std::fprintf(stderr, "error: %s\n", init.ToString().c_str());
+    return 1;
+  }
+  Result<SnapshotPublishStats> published =
+      master.serving_snapshots()->Publish();
+  if (!published.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 published.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("model: %u rows x %llu | snapshot epoch %llu "
+              "(%llu rows copied, %llu bytes)\n",
+              rows, static_cast<unsigned long long>(matrix.dim),
+              static_cast<unsigned long long>(published->epoch),
+              static_cast<unsigned long long>(published->rows_copied),
+              static_cast<unsigned long long>(published->bytes_copied));
+
+  ServingLoopOptions options;
+  options.duration_s = flags.GetDouble("duration", 1.0);
+  options.batch_max = static_cast<size_t>(flags.GetInt("batch-max", 8));
+  options.traffic.qps = flags.GetDouble("qps", 10000.0);
+  options.traffic.skew = flags.GetDouble("zipf", 2.0);
+  options.traffic.matrix_id = *matrix_id;
+  options.traffic.num_rows = rows;
+  options.traffic.dim = matrix.dim;
+  options.traffic.keys_per_request =
+      static_cast<size_t>(flags.GetInt("keys-per-request", 16));
+  options.traffic.seed = spec.seed;
+  options.admission.rate_qps = flags.GetDouble("admit-qps", 0.0);
+  options.admission.max_queue_depth =
+      static_cast<size_t>(flags.GetInt("max-queue-depth", 64));
+  options.frontend.coalesce = flags.GetInt("coalesce", 1) != 0;
+
+  Result<ServingReport> report =
+      RunServingLoop(&master, &client, options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("offered %llu (%.0f qps) | served %llu (%.0f qps) | "
+              "shed %llu (%.2f%%)\n",
+              static_cast<unsigned long long>(report->offered),
+              report->offered_qps,
+              static_cast<unsigned long long>(report->served),
+              report->achieved_qps,
+              static_cast<unsigned long long>(report->shed),
+              100.0 * report->shed_rate);
+  std::printf("virtual latency: p50 %.1fus p95 %.1fus p99 %.1fus over "
+              "%.3f virtual seconds\n",
+              report->p50_us, report->p95_us, report->p99_us,
+              report->span_s);
+  std::printf("\nmetrics:\n%s", cluster.metrics().ToString().c_str());
+  WriteObsOutputs(&cluster);
+  return 0;
+}
+
 int RunLda(const Flags& flags) {
   ClusterSpec spec = SpecFromFlags(flags);
   Cluster cluster(spec);
@@ -295,7 +378,7 @@ int RunLda(const Flags& flags) {
 int Usage() {
   std::printf(
       "ps2run <workload> [--flags]\n"
-      "workloads: lr svm lbfgs fm deepwalk gbdt lda\n"
+      "workloads: lr svm lbfgs fm deepwalk gbdt lda serve\n"
       "common flags: --workers=N --servers=N --iterations=N --seed=N\n"
       "              --failure-prob=P --message-failure-prob=P\n"
       "              --server-crash-prob=P\n"
@@ -308,7 +391,10 @@ int Usage() {
       "lr/svm/fm:    --rows --dim --nnz --lr --batch-fraction --optimizer\n"
       "deepwalk:     --vertices --walks --embedding-dim --lr\n"
       "gbdt:         --rows --features --trees --depth --bins\n"
-      "lda:          --docs --vocab --topics\n");
+      "lda:          --docs --vocab --topics\n"
+      "serve:        --rows --dim --qps --zipf --duration --batch-max\n"
+      "              --keys-per-request --coalesce=0|1 --admit-qps\n"
+      "              --max-queue-depth (snapshot-isolated serving loop)\n");
   return 2;
 }
 
@@ -345,6 +431,7 @@ int Main(int argc, char** argv) {
   if (cmd == "deepwalk") return RunDeepWalk(flags);
   if (cmd == "gbdt") return RunGbdt(flags);
   if (cmd == "lda") return RunLda(flags);
+  if (cmd == "serve") return RunServe(flags);
   return Usage();
 }
 
