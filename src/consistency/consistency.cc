@@ -1,0 +1,182 @@
+#include "consistency/consistency.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "net/network_model.h"
+
+namespace ps2 {
+
+Result<ConsistencyPolicy> ConsistencyPolicy::Parse(const std::string& text) {
+  ConsistencyPolicy policy;
+  if (text == "bsp") return policy;
+  if (text == "asp") {
+    policy.mode = ConsistencyMode::kAsp;
+    return policy;
+  }
+  const std::string prefix = "ssp:";
+  if (text.compare(0, prefix.size(), prefix) == 0) {
+    const std::string digits = text.substr(prefix.size());
+    if (digits.empty()) {
+      return Status::InvalidArgument("ssp slack missing: want ssp:<s>");
+    }
+    char* end = nullptr;
+    const unsigned long long s = std::strtoull(digits.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || s > 0xFFFFFFFFULL) {
+      return Status::InvalidArgument("bad ssp slack: " + digits);
+    }
+    if (s == 0) return policy;  // ssp:0 is BSP by definition
+    policy.mode = ConsistencyMode::kSsp;
+    policy.slack = static_cast<uint32_t>(s);
+    return policy;
+  }
+  return Status::InvalidArgument("bad consistency policy: " + text +
+                                 " (want bsp, ssp:<s> or asp)");
+}
+
+std::string ConsistencyPolicy::ToString() const {
+  switch (mode) {
+    case ConsistencyMode::kBsp: return "bsp";
+    case ConsistencyMode::kSsp: return "ssp:" + std::to_string(slack);
+    case ConsistencyMode::kAsp: return "asp";
+  }
+  return "bsp";
+}
+
+uint64_t ConsistencyPolicy::Slack() const {
+  switch (mode) {
+    case ConsistencyMode::kBsp: return 0;
+    case ConsistencyMode::kSsp: return slack;
+    case ConsistencyMode::kAsp: return kUnboundedSlack;
+  }
+  return 0;
+}
+
+int ConsistencyPolicy::StepsPerStage(int remaining_iterations) const {
+  if (remaining_iterations <= 0) return 0;
+  if (mode == ConsistencyMode::kBsp) return 1;
+  if (mode == ConsistencyMode::kAsp) return remaining_iterations;
+  const uint64_t window = static_cast<uint64_t>(slack) + 1;
+  return static_cast<int>(
+      std::min<uint64_t>(window, static_cast<uint64_t>(remaining_iterations)));
+}
+
+Status ConsistencyPolicy::Validate() const {
+  if (mode == ConsistencyMode::kSsp && slack == 0) {
+    return Status::InvalidArgument(
+        "ssp slack must be >= 1 (slack 0 is bsp; Parse normalizes it)");
+  }
+  return Status::OK();
+}
+
+ConsistencyController::ConsistencyController(PsClient* client, int num_workers,
+                                             ConsistencyPolicy policy)
+    : client_(client), policy_(policy) {
+  PS2_CHECK_GT(num_workers, 0);
+  clocks_.assign(static_cast<size_t>(num_workers), 0);
+}
+
+Status ConsistencyController::Register() {
+  PS2_RETURN_NOT_OK(policy_.Validate());
+  // Control plane, like PsMaster::CreateMatrix: the zeroed vectors install
+  // directly on the servers, before any data-plane traffic.
+  PsMaster* master = client_->master();
+  for (int s = 0; s < master->num_servers(); ++s) {
+    master->server(s)->InitWorkerClocks(num_workers());
+  }
+  return Status::OK();
+}
+
+void ConsistencyController::GatePull(int worker) {
+  PS2_CHECK_GE(worker, 0);
+  PS2_CHECK_LT(static_cast<size_t>(worker), clocks_.size());
+  const uint64_t slack = policy_.Slack();
+  uint64_t polls = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    const uint64_t my = clocks_[static_cast<size_t>(worker)];
+    // A worker within its first `slack` steps can never violate the bound
+    // (every clock is >= 0); this also makes ASP's unbounded slack a no-op.
+    if (my <= slack) return;
+    const uint64_t need = my - slack;
+    if (MinClockLocked() >= need) return;
+    gate_waits_ += 1;
+    // Each predicate re-check models one poll of the server-side clock
+    // vector; the blocked worker pays one poll interval of virtual time per
+    // check, mirroring how retry backoff charges the retrying worker.
+    while (MinClockLocked() < need) {
+      polls += 1;
+      cv_.wait(lock);
+    }
+  }
+  if (TaskTraffic* traffic = TrafficScope::Current()) {
+    traffic->staleness_waits += 1;
+    traffic->staleness_wait_time +=
+        client_->master()->cluster()->cost().ConsistencyWait(polls);
+  }
+}
+
+Status ConsistencyController::AdvanceClock(int worker) {
+  return AdvanceClockAsync(worker).Wait();
+}
+
+PsFuture<Ack> ConsistencyController::AdvanceClockAsync(int worker) {
+  PS2_CHECK_GE(worker, 0);
+  PS2_CHECK_LT(static_cast<size_t>(worker), clocks_.size());
+  uint64_t value = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    value = ++clocks_[static_cast<size_t>(worker)];
+  }
+  cv_.notify_all();
+  // Replicate to the durable server-side vectors. The send is a tracked
+  // mutation — it retries, dedups and recovers like a gradient push.
+  return client_->ClockAdvanceAsync(worker, value);
+}
+
+Status ConsistencyController::RebroadcastClocks() {
+  std::vector<uint64_t> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = clocks_;
+  }
+  std::vector<PsFuture<Ack>> pending;
+  pending.reserve(snapshot.size());
+  for (size_t w = 0; w < snapshot.size(); ++w) {
+    if (snapshot[w] == 0) continue;
+    pending.push_back(
+        client_->ClockAdvanceAsync(static_cast<int>(w), snapshot[w]));
+  }
+  Status status = Status::OK();
+  for (PsFuture<Ack>& f : pending) {
+    Status s = f.Wait();
+    if (status.ok() && !s.ok()) status = s;
+  }
+  return status;
+}
+
+uint64_t ConsistencyController::WorkerClock(int worker) const {
+  PS2_CHECK_GE(worker, 0);
+  PS2_CHECK_LT(static_cast<size_t>(worker), clocks_.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  return clocks_[static_cast<size_t>(worker)];
+}
+
+uint64_t ConsistencyController::MinClock() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return MinClockLocked();
+}
+
+uint64_t ConsistencyController::TotalGateWaits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gate_waits_;
+}
+
+uint64_t ConsistencyController::MinClockLocked() const {
+  uint64_t min_clock = clocks_.empty() ? 0 : clocks_[0];
+  for (uint64_t c : clocks_) min_clock = std::min(min_clock, c);
+  return min_clock;
+}
+
+}  // namespace ps2

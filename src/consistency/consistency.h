@@ -1,0 +1,137 @@
+#pragma once
+
+// Consistency controller: BSP / SSP / ASP as a first-class knob.
+//
+// The paper's Fig. 3 flow is strictly bulk-synchronous — one barrier per
+// mini-batch. Stale-synchronous parallel (Petuum's SSP) relaxes that with a
+// slack knob `s`: a worker at clock c may read parameters only while every
+// other worker has reached at least clock c - s, so the freshest and the
+// stalest update a worker can observe differ by at most s steps. s = 0
+// degenerates to BSP; unbounded s is ASP.
+//
+// Mechanics (DESIGN.md §11):
+//
+//  * Every PS-server keeps a per-worker clock vector for its key-range
+//    shard. Advances travel as kClockAdvance — a tracked mutating opcode in
+//    the ordinary RpcHeader/filter framing, so they compose with retries,
+//    the dedup table, and crash recovery (the vector is checkpointed with
+//    the shard values and restored on recovery; the handler max-merges, so
+//    replays are idempotent).
+//  * The controller mirrors the clock table client-side. GatePull blocks a
+//    worker whose pull would exceed the staleness bound until the laggards
+//    catch up; blocked time is charged to virtual time via
+//    CostModel::ConsistencyWait, exactly like retry backoff.
+//  * Trainers size their stages so that a window of min(s + 1, remaining)
+//    local steps runs between barriers. All workers enter the window at the
+//    same clock, so within a window the gate can never trip — the SSP bound
+//    holds by construction and virtual time is deterministic. The gate's
+//    blocking path still exists (and is exercised by the TSan tests) for
+//    callers that drive workers free-running.
+//
+// BSP (s = 0) is special-cased by the trainers: they take the pre-existing
+// synchronous code path and never construct a controller, so the BSP traces
+// stay bit-identical to what the repo produced before this module existed.
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ps/ps_client.h"
+
+namespace ps2 {
+
+/// \brief The three consistency regimes (slack s: 0 / bounded / unbounded).
+enum class ConsistencyMode : uint8_t {
+  kBsp = 0,  ///< barrier every step (the paper's Fig. 3 flow)
+  kSsp = 1,  ///< bounded staleness: pull gated on min_clock >= my_clock - s
+  kAsp = 2,  ///< no staleness bound at all
+};
+
+/// \brief Parsed form of the `--consistency=bsp|ssp:<s>|asp` knob.
+struct ConsistencyPolicy {
+  ConsistencyMode mode = ConsistencyMode::kBsp;
+  uint32_t slack = 0;  ///< SSP slack s (>= 1); meaningless for BSP/ASP
+
+  /// Slack() value of ASP: larger than any reachable clock.
+  static constexpr uint64_t kUnboundedSlack = ~0ULL;
+
+  /// Parses "bsp", "ssp:<s>" or "asp" (case-sensitive, like --filters).
+  /// "ssp:0" is BSP by definition and normalizes to it.
+  static Result<ConsistencyPolicy> Parse(const std::string& text);
+
+  std::string ToString() const;
+
+  bool bsp() const { return mode == ConsistencyMode::kBsp; }
+
+  /// The staleness bound: 0 / slack / kUnboundedSlack.
+  uint64_t Slack() const;
+
+  /// Local steps a trainer runs between barriers: min(Slack() + 1,
+  /// remaining). BSP -> 1, ASP -> all remaining iterations in one stage.
+  int StepsPerStage(int remaining_iterations) const;
+
+  Status Validate() const;
+};
+
+/// \brief Client-side clock table + bounded-staleness gate.
+///
+/// One controller per training job, shared by all of the job's tasks (its
+/// methods are thread-safe). The controller is the authority during the
+/// run; the server-side vectors are the durable mirror that survives server
+/// crashes and feeds recovery.
+class ConsistencyController {
+ public:
+  /// `client` replicates clock advances to the servers; `num_workers` sizes
+  /// the clock vector (one logical worker per dataset partition).
+  ConsistencyController(PsClient* client, int num_workers,
+                        ConsistencyPolicy policy);
+
+  /// Control plane: installs a zeroed clock vector on every server. Call
+  /// once before training, like PsMaster::CreateMatrix.
+  Status Register();
+
+  const ConsistencyPolicy& policy() const { return policy_; }
+  int num_workers() const { return static_cast<int>(clocks_.size()); }
+
+  /// Bounded-staleness gate: returns once min_clock >= clock(worker) -
+  /// Slack(). A blocked worker polls the clock table once per
+  /// ClusterSpec::consistency_poll_interval_s of virtual time; the stall is
+  /// charged to the calling task's TrafficScope (staleness_wait_time).
+  void GatePull(int worker);
+
+  /// Advances `worker`'s clock by one step: updates the local table, wakes
+  /// gate waiters, and replicates the new value to every server shard via
+  /// kClockAdvance (charged to the calling task like any other push).
+  Status AdvanceClock(int worker);
+
+  /// Async flavour of AdvanceClock for pipelined trainers: the local table
+  /// advances immediately; the returned future is the server replication
+  /// (ride it alongside the step's gradient push).
+  PsFuture<Ack> AdvanceClockAsync(int worker);
+
+  /// Re-replicates every live clock to the servers. Recovery helper: a
+  /// restored server holds the clocks of its last checkpoint; this fast-
+  /// forwards it to the controller's (authoritative) present.
+  Status RebroadcastClocks();
+
+  uint64_t WorkerClock(int worker) const;
+  uint64_t MinClock() const;
+
+  /// Gates that actually blocked (tests / benches).
+  uint64_t TotalGateWaits() const;
+
+ private:
+  uint64_t MinClockLocked() const;
+
+  PsClient* client_;
+  ConsistencyPolicy policy_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<uint64_t> clocks_;
+  uint64_t gate_waits_ = 0;
+};
+
+}  // namespace ps2

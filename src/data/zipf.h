@@ -23,8 +23,11 @@ namespace ps2 {
 
 /// Power-law rank for a uniform draw `u` in [0, 1): floor(n * u^skew),
 /// clamped to [0, n-1]. skew = 1 is uniform; larger skew concentrates mass
-/// on small ranks.
+/// on small ranks. An empty domain (n == 0) yields rank 0 — `n - 1` would
+/// otherwise underflow to UINT64_MAX and the clamp would pass any value
+/// straight through.
 inline uint64_t PowerLawRank(double u, uint64_t n, double skew) {
+  if (n == 0) return 0;
   const double x = std::pow(u, skew);
   return std::min(static_cast<uint64_t>(x * static_cast<double>(n)), n - 1);
 }
@@ -32,7 +35,9 @@ inline uint64_t PowerLawRank(double u, uint64_t n, double skew) {
 /// Fixed hash permutation of a rank over [0, n). Real ids are not sorted by
 /// popularity: without scattering, one contiguous PS range would own every
 /// hot key. splitmix64 finalizer — stable across builds and platforms.
+/// n == 0 yields 0 rather than dividing by zero in `h % n`.
 inline uint64_t ScatterRank(uint64_t rank, uint64_t n) {
+  if (n == 0) return 0;
   uint64_t h = rank * 0x9E3779B97F4A7C15ULL;
   h ^= h >> 29;
   h *= 0xBF58476D1CE4E5B9ULL;

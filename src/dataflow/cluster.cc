@@ -104,7 +104,7 @@ void Cluster::ChargeOutOfTask(const TaskTraffic& traffic) {
   }
   SimTime elapsed = cost_.RoundLatency(traffic.rounds) + worst_server +
                     cost_.WorkerCompute(traffic.worker_ops) +
-                    traffic.retry_backoff_time;
+                    traffic.retry_backoff_time + traffic.staleness_wait_time;
   AdvanceClock(elapsed);
   RecordTraffic(traffic);
 }
@@ -122,6 +122,11 @@ void Cluster::RecordTraffic(const TaskTraffic& traffic) {
   metrics_.Add("net.retry_backoff_time",
                static_cast<uint64_t>(traffic.retry_backoff_time * 1e6));
   metrics_.Add("ps.dedup_hits", traffic.dedup_hits);
+  // Consistency-gate stalls (consistency/, DESIGN.md §11); wait time in µs,
+  // same convention as net.retry_backoff_time.
+  metrics_.Add("ps.staleness_waits", traffic.staleness_waits);
+  metrics_.Add("net.staleness_wait_time",
+               static_cast<uint64_t>(traffic.staleness_wait_time * 1e6));
   // Wire-vs-logical accounting (net/filters.h): the byte totals above are
   // wire bytes (what the cost model charges); these expose the pre-filter
   // payload sizes so benches can report the filter chain's ratio.

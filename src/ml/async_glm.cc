@@ -5,23 +5,26 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "consistency/consistency.h"
 #include "ml/metrics.h"
 
 namespace ps2 {
 
-Result<TrainReport> TrainGlmPs2Async(DcvContext* ctx,
-                                     const Dataset<Example>& data,
-                                     const GlmOptions& options,
-                                     int steps_per_stage) {
+Result<TrainReport> TrainGlmPs2Relaxed(DcvContext* ctx,
+                                       const Dataset<Example>& data,
+                                       const GlmOptions& options) {
   PS2_RETURN_NOT_OK(options.Validate());
-  if (steps_per_stage <= 0) {
-    return Status::InvalidArgument("steps_per_stage must be positive");
-  }
   if (options.optimizer.kind != OptimizerKind::kSgd) {
     return Status::NotImplemented(
-        "async training composes additive deltas; only SGD qualifies");
+        "relaxed-consistency training composes additive deltas; only SGD "
+        "qualifies");
   }
   Cluster* cluster = ctx->cluster();
+  const ConsistencyPolicy& policy = options.consistency;
+  const int num_workers = static_cast<int>(data.num_partitions());
+  ConsistencyController controller(ctx->client(), num_workers, policy);
+  PS2_RETURN_NOT_OK(controller.Register());
+
   PS2_ASSIGN_OR_RETURN(Dcv weight,
                        ctx->Dense(options.dim, 2, 1, 0, "async_glm.weight"));
 
@@ -30,12 +33,15 @@ Result<TrainReport> TrainGlmPs2Async(DcvContext* ctx,
   const SimTime t0 = cluster->clock().Now();
   const GlmLossKind loss_kind = options.loss;
   const double lr = options.optimizer.learning_rate;
-  const int rounds =
-      (options.iterations + steps_per_stage - 1) / steps_per_stage;
 
-  for (int round = 0; round < rounds; ++round) {
-    // One stage, several local steps per task: pulls see whatever mixture
-    // of other workers' pushes has landed (bounded-staleness semantics).
+  int done = 0;
+  for (int round = 0; done < options.iterations; ++round) {
+    const int window = policy.StepsPerStage(options.iterations - done);
+    const int stage_base = done;
+    // One stage, `window` local steps per task: pulls see whatever mixture
+    // of other workers' pushes has landed. The window never exceeds
+    // slack + 1, so the gate below cannot trip mid-stage — the SSP bound
+    // holds by construction and the trace stays deterministic.
     std::vector<std::pair<double, uint64_t>> partials =
         data.MapPartitionsCollect<std::pair<double, uint64_t>>(
             [&](TaskContext& task, const std::vector<Example>& rows)
@@ -50,13 +56,13 @@ Result<TrainReport> TrainGlmPs2Async(DcvContext* ctx,
               };
               int next_step = 0;
               auto next_batch = [&]() -> std::optional<StepBatch> {
-                while (next_step < steps_per_stage) {
+                while (next_step < window) {
                   // Local Bernoulli mini-batch, seeded like the sync
-                  // trainer.
+                  // trainer (global step index: stages may vary in size).
                   int step = next_step++;
                   uint64_t batch_seed =
                       options.seed * 1000003ULL +
-                      static_cast<uint64_t>(round * steps_per_stage + step);
+                      static_cast<uint64_t>(stage_base + step);
                   Rng rng(batch_seed ^ (0x5A111E00ULL + task.task_id));
                   StepBatch sb;
                   for (const Example& ex : rows) {
@@ -76,11 +82,16 @@ Result<TrainReport> TrainGlmPs2Async(DcvContext* ctx,
               // the two ops share one round of latency and the pulled
               // weights are at most one local push stale — a tightening of
               // the stage-level bounded staleness this trainer already
-              // accepts.
+              // accepts. Every pull passes the staleness gate first.
               std::optional<StepBatch> cur = next_batch();
               PsFuture<std::vector<double>> pull_future;
               PsFuture<Ack> push_future;
-              if (cur) pull_future = weight.PullSparseAsync(cur->indices);
+              PsFuture<Ack> clock_future;
+              int advanced = 0;
+              if (cur) {
+                controller.GatePull(task.task_id);
+                pull_future = weight.PullSparseAsync(cur->indices);
+              }
               while (cur) {
                 // Sampling the next batch is local compute that overlaps
                 // the in-flight pull.
@@ -105,9 +116,15 @@ Result<TrainReport> TrainGlmPs2Async(DcvContext* ctx,
                 SparseVector delta = bg.gradient;
                 delta.ScaleInPlace(-lr / static_cast<double>(bg.count));
                 if (push_future.valid()) PS2_CHECK_OK(push_future.Wait());
+                if (clock_future.valid()) PS2_CHECK_OK(clock_future.Wait());
                 push_future = weight.AddAsync(delta);
+                // The clock advance rides the push round: one more small
+                // message per server, no extra latency window.
+                clock_future = controller.AdvanceClockAsync(task.task_id);
+                ++advanced;
                 if (nxt) {
                   // Rides the push round just issued.
+                  controller.GatePull(task.task_id);
                   pull_future = weight.PullSparseAsync(nxt->indices);
                 }
                 loss_sum += bg.loss_sum;
@@ -115,9 +132,17 @@ Result<TrainReport> TrainGlmPs2Async(DcvContext* ctx,
                 cur = std::move(nxt);
               }
               if (push_future.valid()) PS2_CHECK_OK(push_future.Wait());
+              if (clock_future.valid()) PS2_CHECK_OK(clock_future.Wait());
+              // Steps whose Bernoulli sample came up empty still tick the
+              // clock: every worker leaves the stage at stage_base + window,
+              // which is what keeps the gate from blocking mid-stage.
+              for (; advanced < window; ++advanced) {
+                PS2_CHECK_OK(controller.AdvanceClock(task.task_id));
+              }
               return {loss_sum, count};
             });
 
+    done += window;
     double loss_sum = 0;
     uint64_t count = 0;
     for (const auto& [l, c] : partials) {
@@ -134,6 +159,25 @@ Result<TrainReport> TrainGlmPs2Async(DcvContext* ctx,
   }
   report.total_time = cluster->clock().Now() - t0;
   return report;
+}
+
+Result<TrainReport> TrainGlmPs2Async(DcvContext* ctx,
+                                     const Dataset<Example>& data,
+                                     const GlmOptions& options,
+                                     int steps_per_stage) {
+  if (steps_per_stage <= 0) {
+    return Status::InvalidArgument("steps_per_stage must be positive");
+  }
+  // steps_per_stage local steps between barriers is SSP with slack
+  // steps_per_stage - 1 (slack 0 = a one-step window = the stage-
+  // synchronous flavour this entry point always had).
+  GlmOptions relaxed = options;
+  relaxed.consistency = ConsistencyPolicy{};
+  if (steps_per_stage > 1) {
+    relaxed.consistency.mode = ConsistencyMode::kSsp;
+    relaxed.consistency.slack = static_cast<uint32_t>(steps_per_stage - 1);
+  }
+  return TrainGlmPs2Relaxed(ctx, data, relaxed);
 }
 
 }  // namespace ps2

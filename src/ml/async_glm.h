@@ -1,18 +1,20 @@
 #pragma once
 
-// Asynchronous (SSP-flavoured) GLM training on PS2.
+// Relaxed-consistency (SSP/ASP) GLM training on PS2.
 //
 // The paper's Fig. 3 flow is bulk-synchronous: one barrier per mini-batch.
 // Real parameter servers (Petuum's SSP, Angel's async mode) let workers run
 // several steps between synchronizations, trading gradient freshness for
-// barrier elimination. This extension bounds staleness at the stage level:
-// each task performs `steps_per_stage` local mini-batch SGD steps, pushing
-// `-lr * gradient` deltas straight into the weight DCV (servers apply
-// additively, so updates interleave across workers like an async PS). With
-// `steps_per_stage = 1` it degenerates to the paper's synchronous flow.
+// barrier elimination. This trainer routes that tradeoff through the
+// ConsistencyController (consistency/, DESIGN.md §11): each stage runs a
+// window of StepsPerStage local mini-batch SGD steps per task, every pull
+// is gated on the bounded-staleness check, and every completed step
+// advances the worker's clock on the servers via kClockAdvance. Workers
+// push `-lr * gradient` deltas straight into the weight DCV (servers apply
+// additively, so updates interleave across workers like an async PS).
 //
-// `bench/ablation_async` sweeps the staleness knob: more local steps per
-// stage amortize the per-stage latency floor, while convergence per epoch
+// `bench/staleness_sweep` sweeps the slack knob: more local steps per stage
+// amortize the per-stage latency floor, while convergence per epoch
 // degrades gracefully.
 
 #include "common/result.h"
@@ -24,9 +26,18 @@
 
 namespace ps2 {
 
-/// Trains a GLM with stage-bounded asynchrony (SGD only: the update must be
-/// an additive delta for concurrent pushes to compose).
-/// `steps_per_stage` >= 1 controls the staleness bound.
+/// Trains a GLM under `options.consistency` through the consistency
+/// controller (SGD only: the update must be an additive delta for
+/// concurrent pushes to compose). Handles any policy — a BSP policy runs a
+/// one-step window per stage — but TrainGlmPs2 only routes SSP/ASP here;
+/// the synchronous Fig. 3 flow stays on its own (bit-stable) path.
+Result<TrainReport> TrainGlmPs2Relaxed(DcvContext* ctx,
+                                       const Dataset<Example>& data,
+                                       const GlmOptions& options);
+
+/// DEPRECATED shim of the pre-controller API: `steps_per_stage` local steps
+/// per stage, which is SSP with slack = steps_per_stage - 1. Prefer setting
+/// GlmOptions::consistency and calling TrainGlmPs2.
 Result<TrainReport> TrainGlmPs2Async(DcvContext* ctx,
                                      const Dataset<Example>& data,
                                      const GlmOptions& options,

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "consistency/consistency.h"
 #include "data/types.h"
 #include "dataflow/dataset.h"
 #include "dcv/dcv_context.h"
@@ -43,6 +44,10 @@ struct DeepWalkOptions {
   /// Hot-parameter management (DESIGN.md §5d): replicate frequently pulled
   /// embedding rows (high-degree vertices under power-law graphs).
   HotspotOptions hotspot;
+  /// Consistency regime (consistency/, DESIGN.md §11): SSP/ASP run several
+  /// epochs per stage; a worker's dots read embeddings at most `s` epochs
+  /// stale. BSP (the default) keeps the one-barrier-per-epoch flow.
+  ConsistencyPolicy consistency;
 
   Status Validate() const {
     if (num_vertices == 0) {
@@ -59,6 +64,7 @@ struct DeepWalkOptions {
       return Status::InvalidArgument("negative_samples must be >= 0");
     }
     if (hotspot.enabled) PS2_RETURN_NOT_OK(hotspot.Validate());
+    PS2_RETURN_NOT_OK(consistency.Validate());
     return Status::OK();
   }
 };

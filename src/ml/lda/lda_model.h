@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "common/status.h"
+#include "consistency/consistency.h"
 #include "hotspot/hotspot_manager.h"
 
 namespace ps2 {
@@ -28,6 +29,10 @@ struct LdaOptions {
   /// Hot-parameter management (DESIGN.md §5d): replicate the topic rows of
   /// the most frequent words so their counts serve from client caches.
   HotspotOptions hotspot;
+  /// Consistency regime (consistency/, DESIGN.md §11): SSP/ASP run several
+  /// Gibbs sweeps per stage; a worker sweeps against counts at most `s`
+  /// sweeps stale. BSP (the default) keeps the one-barrier-per-sweep flow.
+  ConsistencyPolicy consistency;
 
   Status Validate() const {
     if (vocab_size == 0) {
@@ -43,6 +48,7 @@ struct LdaOptions {
       return Status::InvalidArgument("alpha and beta must be positive");
     }
     if (hotspot.enabled) PS2_RETURN_NOT_OK(hotspot.Validate());
+    PS2_RETURN_NOT_OK(consistency.Validate());
     return Status::OK();
   }
 };

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "ml/async_glm.h"
 #include "ml/metrics.h"
 
 namespace ps2 {
@@ -63,6 +64,16 @@ BatchGradient ComputeBatchGradient(
 Result<TrainReport> TrainGlmPs2(DcvContext* ctx, const Dataset<Example>& data,
                                 const GlmOptions& options, Dcv* weight_out) {
   PS2_RETURN_NOT_OK(options.Validate());
+  // SSP/ASP route through the consistency controller (consistency/,
+  // DESIGN.md §11). BSP continues below on the unchanged synchronous path,
+  // so the default traces stay bit-identical to the pre-controller code.
+  if (!options.consistency.bsp()) {
+    if (weight_out != nullptr) {
+      return Status::InvalidArgument(
+          "weight_out is only supported under bsp consistency");
+    }
+    return TrainGlmPs2Relaxed(ctx, data, options);
+  }
   Cluster* cluster = ctx->cluster();
   const int n_state = OptimizerStateVectors(options.optimizer.kind);
 

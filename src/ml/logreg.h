@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "consistency/consistency.h"
 #include "data/types.h"
 #include "dataflow/dataset.h"
 #include "dcv/dcv_context.h"
@@ -46,6 +47,11 @@ struct GlmOptions {
   /// Hot-parameter management (DESIGN.md §5d): replicate frequently pulled
   /// weight rows and serve them from client caches at bounded staleness.
   HotspotOptions hotspot;
+  /// Consistency regime (consistency/, DESIGN.md §11). BSP (the default)
+  /// runs the paper's synchronous Fig. 3 flow, bit-identical to before the
+  /// knob existed. SSP/ASP route through the ConsistencyController and
+  /// require SGD (only additive deltas compose across stale workers).
+  ConsistencyPolicy consistency;
 
   Status Validate() const {
     if (dim == 0) return Status::InvalidArgument("dim must be set");
@@ -56,6 +62,7 @@ struct GlmOptions {
       return Status::InvalidArgument("iterations must be positive");
     }
     if (hotspot.enabled) PS2_RETURN_NOT_OK(hotspot.Validate());
+    PS2_RETURN_NOT_OK(consistency.Validate());
     return Status::OK();
   }
 };

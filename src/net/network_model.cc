@@ -71,6 +71,8 @@ void TaskTraffic::MergeFrom(const TaskTraffic& other) {
   retries += other.retries;
   retry_backoff_time += other.retry_backoff_time;
   dedup_hits += other.dedup_hits;
+  staleness_waits += other.staleness_waits;
+  staleness_wait_time += other.staleness_wait_time;
   logical_bytes_to += other.logical_bytes_to;
   logical_bytes_from += other.logical_bytes_from;
   keycache_hits += other.keycache_hits;
@@ -96,6 +98,8 @@ void TaskTraffic::Clear() {
   retries = 0;
   retry_backoff_time = 0.0;
   dedup_hits = 0;
+  staleness_waits = 0;
+  staleness_wait_time = 0.0;
   logical_bytes_to = 0;
   logical_bytes_from = 0;
   keycache_hits = 0;
@@ -128,8 +132,10 @@ SimTime TaskWorkerTime(const CostModel& cost, const TaskTraffic& t) {
           spec.net_bandwidth_bps;
   time += static_cast<double>(t.io_bytes) / spec.io_bandwidth_bps;
   // Retry backoff is a worker-side stall: the task sits out the exponential
-  // wait before re-contacting an unavailable server.
+  // wait before re-contacting an unavailable server. The staleness gate's
+  // poll wait stalls the worker the same way (consistency/).
   time += t.retry_backoff_time;
+  time += t.staleness_wait_time;
   return time;
 }
 

@@ -55,6 +55,12 @@ struct TaskTraffic {
   /// Retried mutations the server recognized as already applied (by the
   /// per-client sequence number) and acked without re-applying.
   uint64_t dedup_hits = 0;
+  /// Bounded-staleness gate stalls (consistency/, DESIGN.md §11): times a
+  /// worker found `min_clock < my_clock - slack` and had to wait, and the
+  /// virtual poll time it spent blocked. Charged as worker-side stall in
+  /// TaskWorkerTime, exactly like retry backoff.
+  uint64_t staleness_waits = 0;
+  double staleness_wait_time = 0.0;  ///< virtual seconds blocked at the gate
 
   // Wire-vs-logical accounting (net/filters.h). bytes_to_server /
   // bytes_from_server hold WIRE bytes — what the cost model charges. The

@@ -1727,6 +1727,28 @@ PsFuture<Ack> PsClient::PushSparseRowsAsync(
   return SubmitAsync<Ack>(std::move(requests), AckParse);
 }
 
+PsFuture<Ack> PsClient::ClockAdvanceAsync(int worker, uint64_t clock) {
+  if (worker < 0) {
+    return ReadyFuture<Ack>(Status::InvalidArgument("worker must be >= 0"));
+  }
+  // Every server holds a full worker-clock vector for its key range, so the
+  // advance fans out to all of them. It is a tracked mutation: retries,
+  // dedup and crash recovery compose exactly as for a gradient push.
+  std::vector<ServerRequest> requests;
+  for (int s = 0; s < master_->num_servers(); ++s) {
+    BufferWriter writer;
+    writer.WriteU8(static_cast<uint8_t>(PsOpCode::kClockAdvance));
+    writer.WriteVarint(static_cast<uint64_t>(worker));
+    writer.WriteVarint(clock);
+    requests.push_back(MakeRequest(s, &writer));
+  }
+  return SubmitAsync<Ack>(std::move(requests), AckParse);
+}
+
+Status PsClient::ClockAdvance(int worker, uint64_t clock) {
+  return ClockAdvanceAsync(worker, clock).Wait();
+}
+
 Status PsClient::MatrixInit(int matrix_id, uint32_t row_begin,
                             uint32_t row_end, double scale, uint64_t seed) {
   PS2_ASSIGN_OR_RETURN(MatrixMeta meta, master_->GetMeta(matrix_id));

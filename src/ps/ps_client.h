@@ -212,6 +212,13 @@ class PsClient {
                                     const std::vector<SparseVector>& deltas,
                                     bool compress_counts = false);
 
+  /// Advances `worker`'s clock to `clock` in every server's worker-clock
+  /// vector (kClockAdvance fan-out; consistency/, DESIGN.md §11). Servers
+  /// max-merge, so the op is idempotent and retry-safe.
+  PsFuture<Ack> ClockAdvanceAsync(int worker, uint64_t clock);
+  /// Blocking wrapper around ClockAdvanceAsync.
+  Status ClockAdvance(int worker, uint64_t clock);
+
   /// Batched snapshot-isolated reads against published epoch `epoch`
   /// (kServingPull). Entries bound for the same server travel in ONE
   /// request — the ServingFrontend's coalescing lever. Returns one dense

@@ -438,6 +438,8 @@ Result<PsServer::HandleResult> PsServer::HandleLocked(const RpcHeader& header,
       return HandleHotPush(&in);
     case PsOpCode::kServingPull:
       return HandleServingPull(&in);
+    case PsOpCode::kClockAdvance:
+      return HandleClockAdvance(&in);
   }
   return Status::InvalidArgument("unknown opcode");
 }
@@ -1329,6 +1331,39 @@ Result<PsServer::HandleResult> PsServer::HandleServingPull(BufferReader* in) {
   return out;
 }
 
+Result<PsServer::HandleResult> PsServer::HandleClockAdvance(BufferReader* in) {
+  PS2_ASSIGN_OR_RETURN(uint64_t worker, in->ReadVarint());
+  PS2_ASSIGN_OR_RETURN(uint64_t clock, in->ReadVarint());
+  if (worker >= worker_clocks_.size()) {
+    return Status::OutOfRange("worker id outside the clock vector");
+  }
+  // Max-merge: clocks only move forward. A retry whose first ack was lost —
+  // or that slipped past a dedup table dropped in a crash — re-applies as a
+  // no-op, so the advance is idempotent at the semantic level too.
+  worker_clocks_[worker] = std::max(worker_clocks_[worker], clock);
+  HandleResult out;
+  out.server_ops += 1;
+  return out;
+}
+
+void PsServer::InitWorkerClocks(int num_workers) {
+  std::lock_guard<std::mutex> lock(mu_);
+  worker_clocks_.assign(static_cast<size_t>(num_workers), 0);
+}
+
+std::vector<uint64_t> PsServer::WorkerClocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return worker_clocks_;
+}
+
+uint64_t PsServer::MinWorkerClock() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (worker_clocks_.empty()) return 0;
+  uint64_t min_clock = worker_clocks_[0];
+  for (uint64_t c : worker_clocks_) min_clock = std::min(min_clock, c);
+  return min_clock;
+}
+
 Result<PsServer::PublishStats> PsServer::PublishSnapshot(uint64_t epoch) {
   std::lock_guard<std::mutex> lock(mu_);
   if (crashed_) {
@@ -1455,6 +1490,11 @@ std::vector<uint8_t> PsServer::SerializeState() const {
       prev = seq;
     }
   }
+  // Worker-clock section (appended after dedup so §6-era checkpoints stay
+  // readable). A recovered server restores the consistency controller's
+  // clock vector together with the values it gates (DESIGN.md §11).
+  writer.WriteVarint(worker_clocks_.size());
+  for (uint64_t c : worker_clocks_) writer.WriteVarint(c);
   return writer.Release();
 }
 
@@ -1544,6 +1584,16 @@ Status PsServer::RestoreState(const std::vector<uint8_t>& buffer) {
   // Restored values differ from whatever the row versions said: stamp every
   // row so the next snapshot publish re-copies from the restored state.
   TouchAllRowsLocked();
+  if (in.AtEnd()) return Status::OK();  // checkpoint predates §11 clocks
+  PS2_ASSIGN_OR_RETURN(uint64_t n_clocks, in.ReadVarint());
+  // Max-merge into whatever the vector holds: clock advances applied after
+  // the checkpoint (replayed via retries during recovery) must not be
+  // rewound by restoring the older image.
+  if (worker_clocks_.size() < n_clocks) worker_clocks_.resize(n_clocks, 0);
+  for (uint64_t w = 0; w < n_clocks; ++w) {
+    PS2_ASSIGN_OR_RETURN(uint64_t c, in.ReadVarint());
+    worker_clocks_[w] = std::max(worker_clocks_[w], c);
+  }
   return Status::OK();
 }
 
@@ -1570,6 +1620,11 @@ void PsServer::DropAllState() {
   // the checkpoint are forgotten together with their effects, so their
   // retries re-apply cleanly.
   dedup_.clear();
+  // Worker clocks roll back too (the vector keeps its size so advances that
+  // race the recovery still land). Zeroed clocks only make the staleness
+  // gate more conservative; RestoreState max-merges the checkpoint image
+  // back in, and the controller rebroadcasts live clocks after recovery.
+  std::fill(worker_clocks_.begin(), worker_clocks_.end(), 0);
   // The frequency sketches are soft state: a crashed server restarts cold.
   if (stats_capacity_ > 0) {
     stats_ = std::make_unique<AccessStats>(stats_capacity_);

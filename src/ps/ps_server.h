@@ -176,6 +176,23 @@ class PsServer {
   /// Total doubles stored (tests / memory accounting).
   uint64_t StoredValues() const;
 
+  // ---- Worker clocks (consistency/, DESIGN.md §11) ----
+
+  /// Sizes the per-worker clock vector to `num_workers`, all clocks 0.
+  /// Control plane, issued once by the ConsistencyController before
+  /// training — like CreateMatrixShard. Idempotent for the same size.
+  void InitWorkerClocks(int num_workers);
+
+  /// This shard's view of every worker's clock (empty until
+  /// InitWorkerClocks). Clock values only grow: HandleClockAdvance is a
+  /// max-merge, so retried advances are idempotent even past the dedup
+  /// table.
+  std::vector<uint64_t> WorkerClocks() const;
+
+  /// min over workers of WorkerClocks() — the bounded-staleness gate input.
+  /// Returns 0 when clocks were never initialized.
+  uint64_t MinWorkerClock() const;
+
   // ---- Serving snapshots (serving/, DESIGN.md §10) ----
 
   /// What one PublishSnapshot call did (the master charges copy cost and
@@ -317,6 +334,7 @@ class PsServer {
   Result<HandleResult> HandleReplicaSync(BufferReader* in);
   Result<HandleResult> HandleHotPush(BufferReader* in);
   Result<HandleResult> HandleServingPull(BufferReader* in);
+  Result<HandleResult> HandleClockAdvance(BufferReader* in);
 
   int id_;
   const UdfRegistry* udfs_;
@@ -329,6 +347,10 @@ class PsServer {
   std::map<std::pair<int, uint32_t>, Replica> replicas_;
   std::map<int, ClientDedup> dedup_;  ///< client id -> applied seqs
   uint64_t dedup_hits_ = 0;
+  // Per-worker clocks of the consistency controller (DESIGN.md §11); one
+  // slot per worker, sized by InitWorkerClocks. Durable: checkpointed with
+  // the shards and dropped/restored with them on crash recovery.
+  std::vector<uint64_t> worker_clocks_;
   // Wire filters. filters_ is written once at wiring time (SetFilterConfig,
   // before traffic — same discipline as SetMetrics); keycache_ has its own
   // mutex and is cleared by DropAllState (soft state: clients fault entries

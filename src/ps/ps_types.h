@@ -101,6 +101,8 @@ enum class PsOpCode : uint8_t {
   kHotPush = 18,       ///< sparse delta accumulated into a local replica
   // Online serving tier (DESIGN.md §10).
   kServingPull = 19,  ///< batched read from a published snapshot epoch
+  // Consistency controller (DESIGN.md §11).
+  kClockAdvance = 20,  ///< worker advances its clock in the server's vector
 };
 
 /// Stable short name of an opcode for metric tags and trace spans
@@ -128,12 +130,13 @@ constexpr const char* PsOpCodeName(PsOpCode op) {
     case PsOpCode::kReplicaSync: return "replica_sync";
     case PsOpCode::kHotPush: return "hot_push";
     case PsOpCode::kServingPull: return "serving_pull";
+    case PsOpCode::kClockAdvance: return "clock_advance";
   }
   return "unknown";
 }
 
 /// Number of distinct PsOpCode values (for per-opcode metric tables).
-constexpr int kNumPsOpCodes = 20;
+constexpr int kNumPsOpCodes = 21;
 
 /// True for opcodes whose handlers mutate server state. Retrying one of
 /// these after an ambiguous failure (a lost *response*) would double-apply
@@ -152,6 +155,10 @@ constexpr bool IsMutatingOpcode(PsOpCode op) {
     case PsOpCode::kHotSetUpdate:
     case PsOpCode::kReplicaSync:
     case PsOpCode::kHotPush:
+    // Clock advances mutate the server's worker-clock vector. The handler is
+    // a max-merge (idempotent), but routing them through the dedup table
+    // keeps the retry accounting uniform with the other mutations.
+    case PsOpCode::kClockAdvance:
       return true;
     case PsOpCode::kPullDense:
     case PsOpCode::kPullSparse:

@@ -82,8 +82,16 @@ SimTime CostModel::RoundLatency(uint64_t rounds) const {
 
 SimTime CostModel::RetryBackoff(uint32_t attempt) const {
   if (attempt == 0) return 0.0;
-  return spec_.retry_backoff_base_s *
-         std::ldexp(1.0, static_cast<int>(attempt) - 1);
+  // ldexp saturates to +inf for large attempts; the cap keeps a stuck
+  // client's wait bounded instead of letting one retry swallow the run.
+  const double wait = spec_.retry_backoff_base_s *
+                      std::ldexp(1.0, static_cast<int>(attempt) - 1);
+  if (spec_.retry_backoff_max_s <= 0) return wait;
+  return std::min(wait, spec_.retry_backoff_max_s);
+}
+
+SimTime CostModel::ConsistencyWait(uint64_t polls) const {
+  return spec_.consistency_poll_interval_s * static_cast<double>(polls);
 }
 
 }  // namespace ps2

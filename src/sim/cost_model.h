@@ -56,6 +56,15 @@ struct ClusterSpec {
   /// Base of the client's exponential retry backoff: attempt k (k >= 1
   /// failures so far) waits base * 2^(k-1) virtual seconds before retrying.
   double retry_backoff_base_s = 1e-3;
+  /// Cap on a single backoff wait. Uncapped, base * 2^(k-1) overflows to
+  /// minutes of virtual time within ~20 attempts and dwarfs every other
+  /// cost in the model; <= 0 disables the cap (legacy behaviour).
+  double retry_backoff_max_s = 30.0;
+  /// Virtual time one bounded-staleness gate poll costs (consistency/):
+  /// a blocked worker re-checks the server-side clock vector once per
+  /// interval, so gate wait is charged as polls * interval, mirroring how
+  /// retry backoff is charged to the retrying worker.
+  double consistency_poll_interval_s = 1e-3;
 
   /// Wire filter chain applied to PS traffic (net/filters.h): key-set
   /// caching, delta/quant value coding, byte compression. Default off — the
@@ -72,7 +81,8 @@ struct ClusterSpec {
            server_flops > 0 && driver_flops > 0 && task_failure_prob >= 0 &&
            task_failure_prob < 1.0 && message_failure_prob >= 0 &&
            message_failure_prob < 1.0 && server_crash_prob >= 0 &&
-           server_crash_prob < 1.0 && retry_backoff_base_s >= 0;
+           server_crash_prob < 1.0 && retry_backoff_base_s >= 0 &&
+           consistency_poll_interval_s >= 0;
   }
 };
 
@@ -117,8 +127,12 @@ class CostModel {
   SimTime RoundLatency(uint64_t rounds) const;
 
   /// Exponential backoff before retry `attempt` (attempt >= 1 failures so
-  /// far): retry_backoff_base_s * 2^(attempt-1).
+  /// far): min(retry_backoff_base_s * 2^(attempt-1), retry_backoff_max_s).
   SimTime RetryBackoff(uint32_t attempt) const;
+
+  /// Virtual time spent in `polls` bounded-staleness gate re-checks
+  /// (consistency controller wait accounting).
+  SimTime ConsistencyWait(uint64_t polls) const;
 
  private:
   ClusterSpec spec_;

@@ -1,0 +1,405 @@
+#include "consistency/consistency.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/classification_gen.h"
+#include "data/corpus_gen.h"
+#include "dataflow/cluster.h"
+#include "dcv/dcv_context.h"
+#include "ml/lda/lda_trainer.h"
+#include "ml/logreg.h"
+#include "ps/ps_client.h"
+#include "ps/ps_master.h"
+
+namespace ps2 {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Policy parsing / validation
+
+TEST(ConsistencyPolicyTest, ParsesTheThreeRegimes) {
+  ConsistencyPolicy bsp = *ConsistencyPolicy::Parse("bsp");
+  EXPECT_EQ(bsp.mode, ConsistencyMode::kBsp);
+  EXPECT_TRUE(bsp.bsp());
+  EXPECT_EQ(bsp.Slack(), 0u);
+
+  ConsistencyPolicy ssp = *ConsistencyPolicy::Parse("ssp:3");
+  EXPECT_EQ(ssp.mode, ConsistencyMode::kSsp);
+  EXPECT_EQ(ssp.slack, 3u);
+  EXPECT_EQ(ssp.Slack(), 3u);
+
+  ConsistencyPolicy asp = *ConsistencyPolicy::Parse("asp");
+  EXPECT_EQ(asp.mode, ConsistencyMode::kAsp);
+  EXPECT_EQ(asp.Slack(), ConsistencyPolicy::kUnboundedSlack);
+}
+
+TEST(ConsistencyPolicyTest, SspZeroNormalizesToBsp) {
+  ConsistencyPolicy policy = *ConsistencyPolicy::Parse("ssp:0");
+  EXPECT_TRUE(policy.bsp());
+  EXPECT_TRUE(policy.Validate().ok());
+}
+
+TEST(ConsistencyPolicyTest, RejectsGarbage) {
+  for (const char* bad : {"", "b", "BSP", "ssp", "ssp:", "ssp:x", "ssp:3x",
+                          "ssp:-1", "asp:2", "ssp:99999999999"}) {
+    EXPECT_TRUE(ConsistencyPolicy::Parse(bad).status().IsInvalidArgument())
+        << bad;
+  }
+}
+
+TEST(ConsistencyPolicyTest, ToStringRoundTrips) {
+  for (const char* text : {"bsp", "ssp:1", "ssp:7", "asp"}) {
+    ConsistencyPolicy policy = *ConsistencyPolicy::Parse(text);
+    EXPECT_EQ(policy.ToString(), text);
+    ConsistencyPolicy again = *ConsistencyPolicy::Parse(policy.ToString());
+    EXPECT_EQ(again.mode, policy.mode);
+    EXPECT_EQ(again.Slack(), policy.Slack());
+  }
+}
+
+TEST(ConsistencyPolicyTest, ValidateRejectsHandBuiltZeroSlackSsp) {
+  ConsistencyPolicy policy;
+  policy.mode = ConsistencyMode::kSsp;
+  policy.slack = 0;
+  EXPECT_TRUE(policy.Validate().IsInvalidArgument());
+}
+
+TEST(ConsistencyPolicyTest, StepsPerStageWindows) {
+  ConsistencyPolicy bsp = *ConsistencyPolicy::Parse("bsp");
+  EXPECT_EQ(bsp.StepsPerStage(10), 1);
+  ConsistencyPolicy ssp = *ConsistencyPolicy::Parse("ssp:3");
+  EXPECT_EQ(ssp.StepsPerStage(10), 4);  // slack + 1
+  EXPECT_EQ(ssp.StepsPerStage(2), 2);   // tail window
+  EXPECT_EQ(ssp.StepsPerStage(0), 0);
+  ConsistencyPolicy asp = *ConsistencyPolicy::Parse("asp");
+  EXPECT_EQ(asp.StepsPerStage(10), 10);  // one stage for everything
+}
+
+// ---------------------------------------------------------------------------
+// Controller <-> server clock replication
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  ControllerTest() {
+    ClusterSpec spec;
+    spec.num_workers = 2;
+    spec.num_servers = 3;
+    cluster_ = std::make_unique<Cluster>(spec);
+    master_ = std::make_unique<PsMaster>(cluster_.get());
+    client_ = std::make_unique<PsClient>(master_.get());
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<PsMaster> master_;
+  std::unique_ptr<PsClient> client_;
+};
+
+TEST_F(ControllerTest, AdvanceReplicatesToEveryServerShard) {
+  ConsistencyController ctrl(client_.get(), 4,
+                             *ConsistencyPolicy::Parse("ssp:2"));
+  ASSERT_TRUE(ctrl.Register().ok());
+  for (int s = 0; s < master_->num_servers(); ++s) {
+    EXPECT_EQ(master_->server(s)->WorkerClocks(),
+              (std::vector<uint64_t>{0, 0, 0, 0}));
+  }
+
+  ASSERT_TRUE(ctrl.AdvanceClock(1).ok());
+  ASSERT_TRUE(ctrl.AdvanceClock(1).ok());
+  ASSERT_TRUE(ctrl.AdvanceClock(3).ok());
+  EXPECT_EQ(ctrl.WorkerClock(1), 2u);
+  EXPECT_EQ(ctrl.WorkerClock(0), 0u);
+  EXPECT_EQ(ctrl.MinClock(), 0u);
+  for (int s = 0; s < master_->num_servers(); ++s) {
+    EXPECT_EQ(master_->server(s)->WorkerClocks(),
+              (std::vector<uint64_t>{0, 2, 0, 1}));
+    EXPECT_EQ(master_->server(s)->MinWorkerClock(), 0u);
+  }
+}
+
+TEST_F(ControllerTest, GateIsOpenWithinTheBound) {
+  // Single-threaded, so every gate here must return without blocking.
+  ConsistencyController ctrl(client_.get(), 2,
+                             *ConsistencyPolicy::Parse("ssp:2"));
+  ASSERT_TRUE(ctrl.Register().ok());
+  // Both workers fresh: trivially open.
+  ctrl.GatePull(0);
+  ctrl.GatePull(1);
+  // Worker 0 runs slack steps ahead of worker 1 — still within the bound.
+  ASSERT_TRUE(ctrl.AdvanceClock(0).ok());
+  ASSERT_TRUE(ctrl.AdvanceClock(0).ok());
+  ctrl.GatePull(0);
+  // Worker 1 catches up past the bound's edge; worker 0 may go again.
+  ASSERT_TRUE(ctrl.AdvanceClock(1).ok());
+  ASSERT_TRUE(ctrl.AdvanceClock(0).ok());  // clock 3, min 1, slack 2
+  ctrl.GatePull(0);
+  EXPECT_EQ(ctrl.TotalGateWaits(), 0u);
+}
+
+TEST_F(ControllerTest, AspGateNeverEngages) {
+  ConsistencyController ctrl(client_.get(), 2,
+                             *ConsistencyPolicy::Parse("asp"));
+  ASSERT_TRUE(ctrl.Register().ok());
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(ctrl.AdvanceClock(0).ok());
+  ctrl.GatePull(0);  // worker 1 is 100 steps behind; ASP does not care
+  EXPECT_EQ(ctrl.TotalGateWaits(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Crash safety: checkpointed clocks, recovery, rebroadcast
+
+TEST_F(ControllerTest, ClocksSurviveKillAndRecover) {
+  ConsistencyController ctrl(client_.get(), 2,
+                             *ConsistencyPolicy::Parse("ssp:1"));
+  ASSERT_TRUE(ctrl.Register().ok());
+  ASSERT_TRUE(ctrl.AdvanceClock(0).ok());
+  ASSERT_TRUE(ctrl.AdvanceClock(1).ok());
+  ASSERT_TRUE(ctrl.AdvanceClock(1).ok());
+  ASSERT_TRUE(master_->CheckpointAll().ok());
+
+  // Post-checkpoint progress that the crash will wipe from server 1.
+  ASSERT_TRUE(ctrl.AdvanceClock(0).ok());
+  ASSERT_TRUE(ctrl.AdvanceClock(1).ok());
+  ASSERT_TRUE(master_->KillAndRecoverServer(1).ok());
+
+  // The recovered shard restored its checkpoint image: clocks {1, 2}. A
+  // rewound clock only makes the gate more conservative — never unsafe.
+  EXPECT_EQ(master_->server(1)->WorkerClocks(),
+            (std::vector<uint64_t>{1, 2}));
+  // The other shards never crashed and hold the live values.
+  EXPECT_EQ(master_->server(0)->WorkerClocks(),
+            (std::vector<uint64_t>{2, 3}));
+
+  // The controller stayed authoritative; rebroadcast fast-forwards the
+  // recovered shard to the present.
+  ASSERT_TRUE(ctrl.RebroadcastClocks().ok());
+  EXPECT_EQ(master_->server(1)->WorkerClocks(),
+            (std::vector<uint64_t>{2, 3}));
+}
+
+TEST_F(ControllerTest, ClockAdvanceMaxMergesSoReplaysAreIdempotent) {
+  ConsistencyController ctrl(client_.get(), 2,
+                             *ConsistencyPolicy::Parse("ssp:1"));
+  ASSERT_TRUE(ctrl.Register().ok());
+  ASSERT_TRUE(ctrl.AdvanceClock(0).ok());
+  ASSERT_TRUE(ctrl.AdvanceClock(0).ok());
+  EXPECT_EQ(master_->server(0)->WorkerClocks(),
+            (std::vector<uint64_t>{2, 0}));
+  // A stale advance (e.g. a retried duplicate that slipped past dedup after
+  // recovery) must not rewind the vector.
+  ASSERT_TRUE(client_->ClockAdvance(0, 1).ok());
+  EXPECT_EQ(master_->server(0)->WorkerClocks(),
+            (std::vector<uint64_t>{2, 0}));
+}
+
+TEST_F(ControllerTest, ClockAdvanceRejectsOutOfRangeWorker) {
+  ConsistencyController ctrl(client_.get(), 2,
+                             *ConsistencyPolicy::Parse("ssp:1"));
+  ASSERT_TRUE(ctrl.Register().ok());
+  EXPECT_TRUE(client_->ClockAdvance(7, 1).IsOutOfRange());
+  EXPECT_TRUE(client_->ClockAdvance(-1, 1).IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// BSP bit-exactness: the knob's default must reproduce the pre-controller
+// traces — same losses AND same wire traffic, counter for counter.
+
+struct TraceSnapshot {
+  std::vector<double> losses;
+  uint64_t bytes_to_server = 0;
+  uint64_t bytes_from_server = 0;
+  uint64_t messages = 0;
+  uint64_t rounds = 0;
+};
+
+TraceSnapshot RunLr(const ConsistencyPolicy& policy) {
+  ClusterSpec spec;
+  spec.num_workers = 4;
+  spec.num_servers = 2;
+  Cluster cluster(spec);
+  ClassificationSpec ds;
+  ds.rows = 2000;
+  ds.dim = 5000;
+  Dataset<Example> data = MakeClassificationDataset(&cluster, ds).Cache();
+  DcvContext ctx(&cluster);
+  cluster.metrics().Reset();
+
+  GlmOptions options;
+  options.dim = ds.dim;
+  options.optimizer.kind = OptimizerKind::kSgd;
+  options.optimizer.learning_rate = 2.0;
+  options.iterations = 6;
+  options.batch_fraction = 0.1;
+  options.consistency = policy;
+  TrainReport report = *TrainGlmPs2(&ctx, data, options);
+
+  TraceSnapshot snap;
+  for (const TrainPoint& p : report.curve) snap.losses.push_back(p.loss);
+  snap.bytes_to_server = cluster.metrics().Get("net.bytes_worker_to_server");
+  snap.bytes_from_server =
+      cluster.metrics().Get("net.bytes_server_to_worker");
+  snap.messages = cluster.metrics().Get("net.messages");
+  snap.rounds = cluster.metrics().Get("net.rounds");
+  return snap;
+}
+
+TEST(ConsistencyBitExactTest, BspKnobReproducesTheDefaultLrTrace) {
+  TraceSnapshot legacy = RunLr(ConsistencyPolicy{});  // pre-knob default
+  TraceSnapshot knob = RunLr(*ConsistencyPolicy::Parse("ssp:0"));
+  ASSERT_EQ(legacy.losses.size(), knob.losses.size());
+  for (size_t i = 0; i < legacy.losses.size(); ++i) {
+    // The repo's determinism envelope (DESIGN.md §7): losses agree up to
+    // floating-point summation order of concurrent gradient pushes.
+    EXPECT_NEAR(legacy.losses[i], knob.losses[i], 1e-9) << "iteration " << i;
+  }
+  // Everything the cost model consumes is exact: the knob's default must
+  // move byte-for-byte the same traffic as the pre-knob code.
+  EXPECT_EQ(legacy.bytes_to_server, knob.bytes_to_server);
+  EXPECT_EQ(legacy.bytes_from_server, knob.bytes_from_server);
+  EXPECT_EQ(legacy.messages, knob.messages);
+  EXPECT_EQ(legacy.rounds, knob.rounds);
+}
+
+TraceSnapshot RunLda(const ConsistencyPolicy& policy) {
+  ClusterSpec spec;
+  spec.num_workers = 4;
+  spec.num_servers = 2;
+  Cluster cluster(spec);
+  CorpusSpec corpus;
+  corpus.num_docs = 300;
+  corpus.vocab_size = 600;
+  Dataset<Document> docs = MakeCorpusDataset(&cluster, corpus).Cache();
+  DcvContext ctx(&cluster);
+  cluster.metrics().Reset();
+
+  LdaOptions options;
+  options.vocab_size = corpus.vocab_size;
+  options.num_topics = 8;
+  options.iterations = 3;
+  options.consistency = policy;
+  TrainReport report = *TrainLdaPs2(&ctx, docs, options);
+
+  TraceSnapshot snap;
+  for (const TrainPoint& p : report.curve) snap.losses.push_back(p.loss);
+  snap.bytes_to_server = cluster.metrics().Get("net.bytes_worker_to_server");
+  snap.bytes_from_server =
+      cluster.metrics().Get("net.bytes_server_to_worker");
+  snap.messages = cluster.metrics().Get("net.messages");
+  snap.rounds = cluster.metrics().Get("net.rounds");
+  return snap;
+}
+
+TEST(ConsistencyBitExactTest, BspKnobReproducesTheDefaultLdaTrace) {
+  TraceSnapshot legacy = RunLda(ConsistencyPolicy{});
+  TraceSnapshot knob = RunLda(*ConsistencyPolicy::Parse("ssp:0"));
+  ASSERT_EQ(legacy.losses.size(), knob.losses.size());
+  // LDA's within-iteration pulls race other workers' pushes of the same
+  // sweep (pre-existing hogwild behaviour), so sampled topics — and with
+  // them losses and varint-compressed payload bytes — are only stable up
+  // to thread scheduling. The schedule-independent shape of the trace
+  // (message and round counts, stage structure) must be identical.
+  for (size_t i = 0; i < legacy.losses.size(); ++i) {
+    EXPECT_NEAR(legacy.losses[i], knob.losses[i], 0.05) << "iteration " << i;
+  }
+  EXPECT_EQ(legacy.messages, knob.messages);
+  EXPECT_EQ(legacy.rounds, knob.rounds);
+  EXPECT_NEAR(static_cast<double>(legacy.bytes_to_server),
+              static_cast<double>(knob.bytes_to_server),
+              0.005 * static_cast<double>(legacy.bytes_to_server));
+  EXPECT_NEAR(static_cast<double>(legacy.bytes_from_server),
+              static_cast<double>(knob.bytes_from_server),
+              0.005 * static_cast<double>(legacy.bytes_from_server));
+}
+
+// ---------------------------------------------------------------------------
+// Relaxed trainers end to end
+
+TEST(ConsistencyTrainerTest, SspLrConvergesAndLeavesFullClocksOnServers) {
+  ClusterSpec spec;
+  spec.num_workers = 4;
+  spec.num_servers = 2;
+  Cluster cluster(spec);
+  ClassificationSpec ds;
+  ds.rows = 4000;
+  ds.dim = 8000;
+  Dataset<Example> data = MakeClassificationDataset(&cluster, ds).Cache();
+  DcvContext ctx(&cluster);
+
+  GlmOptions options;
+  options.dim = ds.dim;
+  options.optimizer.kind = OptimizerKind::kSgd;
+  options.optimizer.learning_rate = 2.0;
+  options.iterations = 12;
+  options.batch_fraction = 0.1;
+  options.consistency = *ConsistencyPolicy::Parse("ssp:3");
+  TrainReport report = *TrainGlmPs2(&ctx, data, options);
+  EXPECT_EQ(report.system, "PS2-AsyncSGD");
+  EXPECT_LT(report.final_loss, report.curve.front().loss);
+  // Every worker ran all 12 steps; the servers' durable clock vectors must
+  // say so (the empty-sample catch-up included).
+  for (int s = 0; s < 2; ++s) {
+    EXPECT_EQ(ctx.master()->server(s)->WorkerClocks(),
+              (std::vector<uint64_t>{12, 12, 12, 12}));
+    EXPECT_EQ(ctx.master()->server(s)->MinWorkerClock(), 12u);
+  }
+  // No blocked gates and no wait time: the stage windows keep the schedule
+  // provably gate-clean.
+  EXPECT_EQ(cluster.metrics().Get("ps.staleness_waits"), 0u);
+  EXPECT_EQ(cluster.metrics().Get("net.staleness_wait_time"), 0u);
+}
+
+TEST(ConsistencyTrainerTest, SspNeedsSgd) {
+  ClusterSpec spec;
+  spec.num_workers = 2;
+  spec.num_servers = 1;
+  Cluster cluster(spec);
+  ClassificationSpec ds;
+  ds.rows = 200;
+  ds.dim = 500;
+  Dataset<Example> data = MakeClassificationDataset(&cluster, ds).Cache();
+  DcvContext ctx(&cluster);
+
+  GlmOptions options;
+  options.dim = ds.dim;
+  options.optimizer.kind = OptimizerKind::kAdam;
+  options.iterations = 2;
+  options.consistency = *ConsistencyPolicy::Parse("ssp:1");
+  EXPECT_TRUE(TrainGlmPs2(&ctx, data, options).status().IsNotImplemented());
+  // weight_out needs the synchronous path's derived-state layout.
+  options.optimizer.kind = OptimizerKind::kSgd;
+  Dcv weight;
+  EXPECT_TRUE(TrainGlmPs2(&ctx, data, options, &weight)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ConsistencyTrainerTest, SspLdaRunsAndAdvancesClocks) {
+  ClusterSpec spec;
+  spec.num_workers = 4;
+  spec.num_servers = 2;
+  Cluster cluster(spec);
+  CorpusSpec corpus;
+  corpus.num_docs = 300;
+  corpus.vocab_size = 600;
+  Dataset<Document> docs = MakeCorpusDataset(&cluster, corpus).Cache();
+  DcvContext ctx(&cluster);
+
+  LdaOptions options;
+  options.vocab_size = corpus.vocab_size;
+  options.num_topics = 8;
+  options.iterations = 5;
+  options.consistency = *ConsistencyPolicy::Parse("ssp:2");
+  TrainReport report = *TrainLdaPs2(&ctx, docs, options);
+  // 5 iterations in windows of 3 + 2 -> two stage points.
+  EXPECT_EQ(report.curve.size(), 2u);
+  EXPECT_GT(report.final_loss, 0.0);  // perplexity-style loss stays positive
+  for (int s = 0; s < 2; ++s) {
+    EXPECT_EQ(ctx.master()->server(s)->MinWorkerClock(), 5u);
+  }
+}
+
+}  // namespace
+}  // namespace ps2

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <map>
 #include <set>
 
@@ -9,6 +11,7 @@
 #include "data/gbdt_gen.h"
 #include "data/graph_gen.h"
 #include "data/presets.h"
+#include "data/zipf.h"
 #include "ml/deepwalk.h"
 #include "ml/gbdt/gbdt.h"
 #include "ml/lda/lda_model.h"
@@ -16,6 +19,44 @@
 
 namespace ps2 {
 namespace {
+
+TEST(ZipfTest, PowerLawRankEmptyDomainIsZero) {
+  // n == 0 used to underflow `n - 1` to UINT64_MAX, letting the clamp pass
+  // any value through.
+  EXPECT_EQ(PowerLawRank(0.0, 0, 2.0), 0u);
+  EXPECT_EQ(PowerLawRank(0.999999, 0, 2.0), 0u);
+  EXPECT_EQ(PowerLawRank(0.5, 0, 1.0), 0u);
+}
+
+TEST(ZipfTest, PowerLawRankSingletonDomainIsZero) {
+  EXPECT_EQ(PowerLawRank(0.0, 1, 2.0), 0u);
+  EXPECT_EQ(PowerLawRank(0.5, 1, 1.0), 0u);
+  EXPECT_EQ(PowerLawRank(0.999999, 1, 3.0), 0u);
+}
+
+TEST(ZipfTest, PowerLawRankClampsNearOne) {
+  // u -> 1.0: x * n == n exactly, which must clamp to n - 1, not n.
+  const double almost_one = std::nextafter(1.0, 2.0) - 1e-16;
+  for (uint64_t n : {2ull, 10ull, 1000ull}) {
+    EXPECT_LT(PowerLawRank(almost_one, n, 1.0), n);
+    EXPECT_EQ(PowerLawRank(1.0, n, 2.0), n - 1);
+  }
+}
+
+TEST(ZipfTest, ScatterRankEmptyDomainIsZero) {
+  // n == 0 used to divide by zero in `h % n`.
+  EXPECT_EQ(ScatterRank(0, 0), 0u);
+  EXPECT_EQ(ScatterRank(12345, 0), 0u);
+}
+
+TEST(ZipfTest, ScatterRankStaysInDomain) {
+  for (uint64_t n : {1ull, 2ull, 7ull, 1000ull}) {
+    for (uint64_t rank = 0; rank < std::min<uint64_t>(n, 16); ++rank) {
+      EXPECT_LT(ScatterRank(rank, n), n);
+    }
+  }
+  EXPECT_EQ(ScatterRank(0, 1), 0u);
+}
 
 TEST(ClassificationGenTest, RowCountsSplitAcrossPartitions) {
   ClassificationSpec spec;

@@ -51,6 +51,20 @@ TEST_F(DeepWalkTest, ValidationCatchesBadOptions) {
   EXPECT_TRUE(options.Validate().IsInvalidArgument());
 }
 
+TEST_F(DeepWalkTest, SspWindowsTrainAndAdvanceClocks) {
+  DeepWalkOptions options = Options();
+  options.consistency = *ConsistencyPolicy::Parse("ssp:1");
+  TrainReport report =
+      *TrainDeepWalkPs2(ctx_.get(), pairs_, frequencies_, options);
+  // 4 epochs in windows of 2 -> two stage points, loss still improving.
+  EXPECT_EQ(report.curve.size(), 2u);
+  EXPECT_LT(report.final_loss, report.curve.front().loss);
+  for (int s = 0; s < cluster_->spec().num_servers; ++s) {
+    EXPECT_EQ(ctx_->master()->server(s)->MinWorkerClock(),
+              static_cast<uint64_t>(options.epochs));
+  }
+}
+
 TEST_F(DeepWalkTest, LossDecreasesOverEpochs) {
   TrainReport report =
       *TrainDeepWalkPs2(ctx_.get(), pairs_, frequencies_, Options());

@@ -100,6 +100,47 @@ TEST(ClusterSpecTest, DefaultIsValid) {
   EXPECT_TRUE(ClusterSpec{}.Valid());
 }
 
+TEST(CostModelTest, RetryBackoffDoublesPerAttempt) {
+  ClusterSpec spec = SimpleSpec();
+  spec.retry_backoff_base_s = 1e-3;
+  CostModel cost(spec);
+  EXPECT_DOUBLE_EQ(cost.RetryBackoff(0), 0.0);
+  EXPECT_DOUBLE_EQ(cost.RetryBackoff(1), 1e-3);
+  EXPECT_DOUBLE_EQ(cost.RetryBackoff(2), 2e-3);
+  EXPECT_DOUBLE_EQ(cost.RetryBackoff(3), 4e-3);
+}
+
+TEST(CostModelTest, RetryBackoffIsCapped) {
+  // Regression: 2^(attempt-1) used to grow unbounded — at attempt ~60 a
+  // single charged wait exceeded 10^15 virtual seconds and froze any
+  // virtual-time-budgeted loop.
+  ClusterSpec spec = SimpleSpec();
+  spec.retry_backoff_base_s = 1e-3;
+  spec.retry_backoff_max_s = 0.5;
+  CostModel cost(spec);
+  EXPECT_DOUBLE_EQ(cost.RetryBackoff(30), 0.5);
+  EXPECT_DOUBLE_EQ(cost.RetryBackoff(64), 0.5);
+  EXPECT_DOUBLE_EQ(cost.RetryBackoff(200), 0.5);
+  // Attempts under the cap are untouched.
+  EXPECT_DOUBLE_EQ(cost.RetryBackoff(4), 8e-3);
+}
+
+TEST(CostModelTest, RetryBackoffCapDisabledByNonPositiveMax) {
+  ClusterSpec spec = SimpleSpec();
+  spec.retry_backoff_base_s = 1e-3;
+  spec.retry_backoff_max_s = 0.0;  // legacy unbounded behaviour
+  CostModel cost(spec);
+  EXPECT_DOUBLE_EQ(cost.RetryBackoff(20), 1e-3 * 524288.0);
+}
+
+TEST(CostModelTest, ConsistencyWaitScalesWithPolls) {
+  ClusterSpec spec = SimpleSpec();
+  spec.consistency_poll_interval_s = 2e-3;
+  CostModel cost(spec);
+  EXPECT_DOUBLE_EQ(cost.ConsistencyWait(0), 0.0);
+  EXPECT_DOUBLE_EQ(cost.ConsistencyWait(5), 1e-2);
+}
+
 TEST(ClusterSpecTest, RejectsNonPositiveWorkers) {
   ClusterSpec spec;
   spec.num_workers = 0;

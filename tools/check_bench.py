@@ -37,6 +37,12 @@ CHECK_KEYS = (
     "retries",
     "retry_backoff_us",
     "dedup_hits",
+    # Consistency controller (bench/staleness_sweep.cpp). Both are
+    # seed-deterministic: the trainers' stage windows provably keep the
+    # staleness gate from blocking, so these gate that the schedule stays
+    # gate-clean (any nonzero wait is a planning regression).
+    "staleness_waits",
+    "staleness_wait_us",
     "final_loss",
     "retry_penalty",
     "sync_time_s",

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "baselines/mllib_lr.h"
+#include "consistency/consistency.h"
 #include "baselines/petuum_lr.h"
 #include "baselines/pspp_lr.h"
 #include "baselines/xgboost_gbdt.h"
@@ -120,6 +121,23 @@ ClusterSpec SpecFromFlags(const Flags& flags) {
   return spec;
 }
 
+/// Parses --consistency with the --filters convention: warn and fall back
+/// to BSP rather than die deep inside a workload runner.
+ConsistencyPolicy ConsistencyFromFlags(const Flags& flags) {
+  ConsistencyPolicy policy;
+  if (!flags.Has("consistency")) return policy;
+  Result<ConsistencyPolicy> parsed =
+      ConsistencyPolicy::Parse(flags.GetString("consistency", "bsp"));
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "--consistency: %s (running with bsp)\n",
+                 parsed.status().ToString().c_str());
+    return policy;
+  }
+  policy = *parsed;
+  std::printf("consistency: %s\n", policy.ToString().c_str());
+  return policy;
+}
+
 int RunGlmFamily(const Flags& flags, const std::string& family) {
   ClusterSpec spec = SpecFromFlags(flags);
   Cluster cluster(spec);
@@ -175,6 +193,7 @@ int RunGlmFamily(const Flags& flags, const std::string& family) {
       flags.GetDouble("lr", optimizer == "sgd" ? 2.0 : 0.05);
   options.batch_fraction = flags.GetDouble("batch-fraction", 0.01);
   options.iterations = static_cast<int>(flags.GetInt("iterations", 100));
+  options.consistency = ConsistencyFromFlags(flags);
 
   std::string system = flags.GetString("system", "ps2");
   Result<TrainReport> report = Status::Internal("unset");
@@ -227,6 +246,7 @@ int RunDeepWalk(const Flags& flags) {
       static_cast<uint32_t>(flags.GetInt("embedding-dim", 64));
   options.epochs = static_cast<int>(flags.GetInt("iterations", 5));
   options.learning_rate = flags.GetDouble("lr", 0.01);
+  options.consistency = ConsistencyFromFlags(flags);
   Result<TrainReport> report = TrainDeepWalkPs2(
       &ctx, pairs, CorpusVertexFrequencies(graph), options);
   if (!report.ok()) {
@@ -366,6 +386,7 @@ int RunLda(const Flags& flags) {
   options.vocab_size = corpus.vocab_size;
   options.num_topics = static_cast<uint32_t>(flags.GetInt("topics", 50));
   options.iterations = static_cast<int>(flags.GetInt("iterations", 15));
+  options.consistency = ConsistencyFromFlags(flags);
   Result<TrainReport> report = TrainLdaPs2(&ctx, docs, options);
   if (!report.ok()) {
     std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
@@ -388,6 +409,9 @@ int Usage() {
       "              --simd=auto|scalar|avx2 (kernel backend; default auto)\n"
       "              --filters=off|keycache,delta,compress|all (wire filter\n"
       "                chain; default off)\n"
+      "              --consistency=bsp|ssp:<s>|asp (staleness regime for\n"
+      "                lr/svm/lda/deepwalk; default bsp; lr/svm need\n"
+      "                --optimizer=sgd for ssp/asp)\n"
       "lr/svm/fm:    --rows --dim --nnz --lr --batch-fraction --optimizer\n"
       "deepwalk:     --vertices --walks --embedding-dim --lr\n"
       "gbdt:         --rows --features --trees --depth --bins\n"
