@@ -16,10 +16,14 @@ Cluster::Cluster(const ClusterSpec& spec)
       pool_(ThreadPool::Global()),
       root_rng_(spec.seed) {
   PS2_CHECK(spec.Valid()) << "invalid ClusterSpec";
-  server_busy_names_.reserve(spec_.num_servers);
-  server_bytes_to_names_.reserve(spec_.num_servers);
-  server_bytes_from_names_.reserve(spec_.num_servers);
-  for (int s = 0; s < spec_.num_servers; ++s) {
+  // Size tagged-name tables for the whole elastic fleet: servers beyond
+  // num_servers may activate later (DESIGN.md §12) and must have their
+  // busy-time counters from the first stage they serve.
+  const int fleet = spec_.EffectiveMaxServers();
+  server_busy_names_.reserve(fleet);
+  server_bytes_to_names_.reserve(fleet);
+  server_bytes_from_names_.reserve(fleet);
+  for (int s = 0; s < fleet; ++s) {
     server_busy_names_.push_back(
         ServerTaggedName("obs.server_busy_time", s));
     server_bytes_to_names_.push_back(
@@ -79,6 +83,13 @@ void Cluster::RunStage(const std::string& name, size_t ntasks,
   metrics_.Add("cluster.tasks", ntasks);
   metrics_.Add("cluster.task_retries", retries);
   RecordTraffic(stage_traffic);
+
+  std::vector<std::function<void(Cluster&)>> hooks;
+  {
+    std::lock_guard<std::mutex> lock(callbacks_mu_);
+    hooks = post_stage_hooks_;
+  }
+  for (auto& hook : hooks) hook(*this);
 }
 
 void Cluster::ChargeDriver(SimTime seconds) {
@@ -127,6 +138,9 @@ void Cluster::RecordTraffic(const TaskTraffic& traffic) {
   metrics_.Add("ps.staleness_waits", traffic.staleness_waits);
   metrics_.Add("net.staleness_wait_time",
                static_cast<uint64_t>(traffic.staleness_wait_time * 1e6));
+  // Routing-table refetches after a `routing stale` rejection (DESIGN.md
+  // §12); the backoff they cost is folded into net.retry_backoff_time.
+  metrics_.Add("net.routing_refetches", traffic.routing_refetches);
   // Wire-vs-logical accounting (net/filters.h): the byte totals above are
   // wire bytes (what the cost model charges); these expose the pre-filter
   // payload sizes so benches can report the filter chain's ratio.
@@ -176,6 +190,11 @@ void Cluster::KillExecutor(int executor_id) {
 void Cluster::RegisterCacheInvalidation(std::function<void(int)> callback) {
   std::lock_guard<std::mutex> lock(callbacks_mu_);
   cache_invalidation_callbacks_.push_back(std::move(callback));
+}
+
+void Cluster::RegisterPostStageHook(std::function<void(Cluster&)> hook) {
+  std::lock_guard<std::mutex> lock(callbacks_mu_);
+  post_stage_hooks_.push_back(std::move(hook));
 }
 
 }  // namespace ps2

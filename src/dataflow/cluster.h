@@ -99,6 +99,13 @@ class Cluster {
   /// Cached datasets register a callback invoked with the failed executor id.
   void RegisterCacheInvalidation(std::function<void(int)> callback);
 
+  /// Registers a hook fired on the RunStage caller thread after each stage
+  /// barrier (clock already advanced, traffic recorded). This is where
+  /// coordinator-side control loops live — ps2run's --scale-event scheduler
+  /// triggers AddServer/RemoveServer from here once the virtual clock passes
+  /// the event time (DESIGN.md §12).
+  void RegisterPostStageHook(std::function<void(Cluster&)> hook);
+
   int ExecutorForPartition(size_t pid) const {
     return static_cast<int>(pid % static_cast<size_t>(spec_.num_workers));
   }
@@ -117,6 +124,7 @@ class Cluster {
   uint64_t stages_run_ = 0;
   StageCostBreakdown last_stage_cost_;
   std::vector<std::function<void(int)>> cache_invalidation_callbacks_;
+  std::vector<std::function<void(Cluster&)>> post_stage_hooks_;
   std::mutex callbacks_mu_;
   // Tagged metric names are precomputed per server (building one allocates;
   // RecordTraffic runs at every stage barrier).

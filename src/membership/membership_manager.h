@@ -1,0 +1,129 @@
+#pragma once
+
+// Elastic membership and online resharding (DESIGN.md §12).
+//
+// The MembershipManager is the coordinator-side driver of live server
+// join/leave and of the skew-healing rebalancer. A membership change is an
+// epoch-stamped migration:
+//
+//   1. plan    — diff each matrix's current partition→server assignment
+//                against the block assignment over the new active list;
+//                every differing partition is one *move* (boundaries are
+//                fixed at matrix creation, so a move never re-splits).
+//   2. fence   — involved servers stop accepting tracked data traffic
+//                (clients wait out the fence via the `routing stale`
+//                refetch protocol, ps/ps_client.cc).
+//   3. extract — read every moving range off its source (kRangeExtract,
+//                non-mutating so retries re-read).
+//   4. install — stage every range on its target under the new epoch
+//                (kRangeMigrate, idempotent overwrite).
+//   5. commit  — per involved server, atomically swap shard bounds to the
+//                new routing table, max-merge staged worker clocks, install
+//                the epoch and lift the fence (kRoutingUpdate). A commit
+//                that finds staged state missing (target crashed between
+//                install and commit) fails cleanly; the driver re-installs
+//                from the payloads it still holds and retries.
+//   6. publish — the master swaps in the new partitioner snapshots, active
+//                list and routing epoch last, so no client ever stamps an
+//                epoch ahead of the servers'.
+//
+// All three control legs travel through a dedicated tracked PsClient, so
+// injected message faults, bounded retries, dedup and crash recovery apply
+// to the migration path exactly as to data traffic — that is what the
+// migration-faults CI lane exercises.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/result.h"
+#include "ps/ps_types.h"
+
+namespace ps2 {
+
+class PsClient;
+class PsMaster;
+
+/// \brief Outcome of one committed migration.
+struct MigrationStats {
+  uint64_t epoch = 0;        ///< routing epoch this migration installed
+  uint64_t moves = 0;        ///< partition moves executed
+  uint64_t bytes_moved = 0;  ///< extracted payload bytes staged on targets
+};
+
+/// \brief Drives join/leave migrations and the busy-time rebalancer.
+class MembershipManager {
+ public:
+  explicit MembershipManager(PsMaster* master);
+  ~MembershipManager();
+
+  MembershipManager(const MembershipManager&) = delete;
+  MembershipManager& operator=(const MembershipManager&) = delete;
+
+  /// Activates the lowest spare (never-retired) fleet slot and migrates a
+  /// balanced share of every matrix to it. Returns the new server id.
+  Result<int> AddServer();
+
+  /// Migrates `server_id`'s ranges away, then decommissions it. The slot is
+  /// retired — it keeps answering dedup applied-probes, nothing else.
+  Status RemoveServer(int server_id);
+
+  /// One rebalancer step: compares per-server `obs.server_busy_time` deltas
+  /// since the previous call; when max/mean skew >= `min_skew`, moves one
+  /// edge partition per matrix from the busiest server to its less-busy
+  /// partition-space neighbor. Returns whether a migration ran.
+  Result<bool> RebalanceOnce(double min_skew);
+
+  /// Migrations committed so far (== current routing epoch delta).
+  uint64_t migrations() const;
+
+  /// Stats of the most recent committed migration (tests, benches).
+  MigrationStats last_migration() const;
+
+ private:
+  struct Move {
+    int matrix_id = -1;
+    int partition = -1;
+    int from = -1;
+    int to = -1;
+    uint64_t begin = 0;
+    uint64_t end = 0;
+  };
+
+  /// Plans and executes one migration to `plan` (matrix id → new
+  /// assignment; matrices absent from the plan keep their assignment).
+  /// `removed` (or -1) is decommissioned after the fence lifts; `joined`
+  /// (or -1) gets the hotspot replica/cache resync a recovered server gets.
+  Result<MigrationStats> MigrateToAssignment(
+      const std::map<int, std::vector<int>>& plan, std::vector<int> new_active,
+      int removed, int joined);
+
+  /// Block-assignment plan for every matrix over `new_active`.
+  std::map<int, std::vector<int>> BlockPlan(
+      const std::vector<int>& new_active) const;
+
+  Result<std::vector<uint8_t>> ExtractRange(const Move& move);
+  Status InstallRange(const Move& move, uint64_t epoch,
+                      const std::vector<uint8_t>& payload);
+  Status CommitServer(int server, uint64_t epoch,
+                      const std::vector<MatrixMeta>& old_metas,
+                      const std::vector<MatrixMeta>& new_metas);
+
+  /// The control-plane client, created on first use so clusters that never
+  /// migrate allocate no client id (keeps pre-elastic fault draws and seq
+  /// streams bit-identical).
+  PsClient* client();
+
+  PsMaster* master_;
+  std::unique_ptr<PsClient> client_;
+  /// Serializes migrations; data traffic keeps flowing around the fence.
+  mutable std::mutex mu_;
+  uint64_t migrations_ = 0;
+  MigrationStats last_;
+  /// Busy-time counter snapshot per server id at the last RebalanceOnce.
+  std::map<int, uint64_t> last_busy_;
+};
+
+}  // namespace ps2

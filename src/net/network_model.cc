@@ -73,6 +73,7 @@ void TaskTraffic::MergeFrom(const TaskTraffic& other) {
   dedup_hits += other.dedup_hits;
   staleness_waits += other.staleness_waits;
   staleness_wait_time += other.staleness_wait_time;
+  routing_refetches += other.routing_refetches;
   logical_bytes_to += other.logical_bytes_to;
   logical_bytes_from += other.logical_bytes_from;
   keycache_hits += other.keycache_hits;
@@ -100,6 +101,7 @@ void TaskTraffic::Clear() {
   dedup_hits = 0;
   staleness_waits = 0;
   staleness_wait_time = 0.0;
+  routing_refetches = 0;
   logical_bytes_to = 0;
   logical_bytes_from = 0;
   keycache_hits = 0;

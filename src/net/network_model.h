@@ -61,6 +61,10 @@ struct TaskTraffic {
   /// TaskWorkerTime, exactly like retry backoff.
   uint64_t staleness_waits = 0;
   double staleness_wait_time = 0.0;  ///< virtual seconds blocked at the gate
+  /// Requests rejected with the `routing stale` FailedPrecondition
+  /// (DESIGN.md §12) that the client re-planned against a refetched routing
+  /// table. Each refetch also charges one retry backoff of worker stall.
+  uint64_t routing_refetches = 0;
 
   // Wire-vs-logical accounting (net/filters.h). bytes_to_server /
   // bytes_from_server hold WIRE bytes — what the cost model charges. The

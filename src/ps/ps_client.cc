@@ -10,6 +10,8 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <string>
+#include <thread>
 
 #include "common/logging.h"
 #include "linalg/dense_vector.h"
@@ -234,6 +236,71 @@ PsClient::ServerRequest PsClient::MakeRequest(int server,
   return req;
 }
 
+PsClient::ServerRequest PsClient::MakeRouted(const MatrixMeta& meta,
+                                             int partition,
+                                             BufferWriter* writer) {
+  ServerRequest req =
+      MakeRequest(meta.partitioner.ServerOfPartition(partition), writer);
+  req.route_matrix = meta.id;
+  req.route_partition = partition;
+  // Stamp = version + 1: 0 stays the "unstamped" sentinel, so a request
+  // planned against the initial table (version 0) is still distinguishable
+  // from one that carries no routing information at all.
+  req.header.routing_epoch = meta.routing_epoch + 1;
+  return req;
+}
+
+PsClient::ServerRequest PsClient::MakeHashRouted(const MatrixMeta& meta,
+                                                 RowRef ref,
+                                                 BufferWriter* writer) {
+  // Hash-homed hot traffic spreads over the ACTIVE servers, not the fleet:
+  // with a static cluster the two are the same list and this reduces to the
+  // pre-elastic HotHomeServer(ref, num_servers()) routing bit-exactly.
+  const std::vector<int> active = master_->active_servers();
+  const int home = active[static_cast<size_t>(
+      HotHomeServer(ref, static_cast<int>(active.size())))];
+  ServerRequest req = MakeRequest(home, writer);
+  req.hash_routed = true;
+  req.hash_ref = ref;
+  req.header.routing_epoch = meta.routing_epoch + 1;
+  return req;
+}
+
+namespace {
+
+/// One entry per owning server, in partition order. Shard-scoped opcodes
+/// (column ops, zip, row aggregates, row batches) operate on the target
+/// server's whole contiguous shard and carry no column window, so they must
+/// go out once per SERVER. Under elastic membership partitions are finer
+/// than shards (DESIGN.md §12) and a per-partition fan-out would apply a
+/// mutating op k times on a server owning k partitions. The representative
+/// partition is the lowest one in the server's block: it routes the request
+/// and re-aims it after a routing-epoch swap. With one partition per server
+/// (a static cluster) this is exactly the old per-partition fan-out.
+struct SpanTarget {
+  int partition = 0;   // representative partition for routing
+  uint64_t begin = 0;  // server's column span
+  uint64_t end = 0;
+};
+
+std::vector<SpanTarget> SpanTargets(const ColumnPartitioner& part) {
+  std::vector<SpanTarget> out;
+  int last_server = -1;
+  for (int p = 0; p < part.num_partitions(); ++p) {
+    if (part.RangeWidth(p) == 0) continue;
+    const int server = part.ServerOfPartition(p);
+    if (server == last_server) continue;  // block assignments are contiguous
+    last_server = server;
+    SpanTarget t;
+    t.partition = p;
+    PS2_CHECK(part.ServerSpan(server, &t.begin, &t.end));
+    out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace
+
 void PsClient::EncodeRequest(ServerRequest* req, bool force_key_install) {
   // Reset to the zero-copy identity encoding first (idempotence: the
   // keycache-miss path re-encodes an already-encoded request).
@@ -289,6 +356,12 @@ PsClient::ExchangeOutcome PsClient::ExecuteRequest(ServerRequest& request) {
   // Key-cache miss recovery re-encodes once (below); the guard keeps a
   // byzantine server from looping us.
   bool reencoded = false;
+  // Routing-stale protocol rounds (fence waits + re-aims). Bounded so a
+  // wedged fence surfaces as an error instead of hanging the exchange; the
+  // bound is generous because a fence stays up for the real-time span of a
+  // concurrent migration's extract/install/commit legs.
+  uint32_t routing_rounds = 0;
+  constexpr uint32_t kMaxRoutingRounds = 4096;
   PS2_TRACE_SPAN("ps.client", PsOpCodeName(op));
   // Wall-clock per-exchange latency and virtual retry/backoff samples land
   // in histograms only; the deterministic totals stay on the TaskTraffic
@@ -314,7 +387,9 @@ PsClient::ExchangeOutcome PsClient::ExecuteRequest(ServerRequest& request) {
   } observer{sampled ? OpHist(exchange_us_hists_, op) : nullptr,
              retries_hist_, backoff_hist_, sampled ? WallUs() : 0.0, &out};
   for (int attempt = 1;; ++attempt) {
-    header.attempt = static_cast<uint32_t>(attempt);
+    // routing_rounds joins the attempt so every routing-stale poll/re-aim
+    // draws a fresh deterministic fault (the draw is keyed on the header).
+    header.attempt = static_cast<uint32_t>(attempt) + routing_rounds;
     // Rebuilt each iteration: a key-cache miss swaps the wire view in place.
     const WireFrame frame{request.wire.slice(), request.wire_mask};
     const MessageFault fault = cluster->failures().DrawMessageFault(
@@ -359,6 +434,75 @@ PsClient::ExchangeOutcome PsClient::ExecuteRequest(ServerRequest& request) {
       EncodeRequest(&request, /*force_key_install=*/true);
       --attempt;
       continue;
+    }
+    // Routing staleness (DESIGN.md §12): a migration moved the routing
+    // table out from under this request. Each resolution round is a
+    // protocol round trip — counted in net.routing_refetches, no attempt
+    // consumed — mirroring the keycache-miss path above.
+    if (!r->ok() && IsRoutingStale(r->status()) &&
+        !IsMigrationControlOpcode(op) && routing_rounds < kMaxRoutingRounds) {
+      const std::string& msg = r->status().message();
+      routing_rounds += 1;
+      out.routing_refetches += 1;
+      if (msg.find("(applied)") != std::string::npos) {
+        // The old owner's dedup table proves this mutation already ran
+        // there before its range moved: ack it exactly like a dedup hit
+        // (every mutating op parses an empty response as an ack).
+        out.dedup_hits += 1;
+        r.emplace(PsServer::HandleResult{});
+        // Falls through to the terminal branch below.
+      } else if (msg.find("(fenced)") != std::string::npos) {
+        // Mid-migration: wait out the fence, then re-drive the SAME seq at
+        // the same server. Flat (first-attempt) backoff per poll — the
+        // fence is a protocol state, not an escalating failure.
+        out.backoff += cluster->cost().RetryBackoff(1);
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        --attempt;
+        continue;
+      } else {
+        // The epoch moved on or the server was decommissioned: refetch the
+        // route and re-aim.
+        int target = -1;
+        uint64_t stamp = 0;
+        if (request.route_matrix >= 0) {
+          Result<MatrixMeta> meta = master_->GetMeta(request.route_matrix);
+          if (meta.ok()) {
+            target =
+                meta->partitioner.ServerOfPartition(request.route_partition);
+            stamp = meta->routing_epoch + 1;
+          }
+        } else if (request.hash_routed) {
+          const std::vector<int> active = master_->active_servers();
+          if (!active.empty()) {
+            target = active[static_cast<size_t>(HotHomeServer(
+                request.hash_ref, static_cast<int>(active.size())))];
+            stamp = master_->routing_epoch() + 1;
+          }
+        } else if (op == PsOpCode::kClockAdvance) {
+          // The worker-clock vector followed the ranges to the new owners
+          // (max-merged at commit); this server needs no advance anymore.
+          r.emplace(PsServer::HandleResult{});
+        }
+        if (target >= 0) {
+          request.header.routing_epoch = stamp;
+          if (target != request.server) {
+            // A new owner is a new (client, server) seq stream. The old
+            // server rejected before its dedup table saw this seq, so the
+            // old number is simply never used.
+            request.server = target;
+            request.header.seq =
+                next_seq_[target].fetch_add(1, std::memory_order_relaxed) + 1;
+            server = master_->server(target);
+          }
+          // Re-encode for the (possibly new) server: keycache decisions are
+          // per-server state.
+          EncodeRequest(&request, /*force_key_install=*/false);
+          header = request.header;
+          --attempt;
+          continue;
+        }
+        // No route identity (or the matrix is gone): surface the rejection.
+      }
     }
     if (r->ok() || !r->status().IsUnavailable() || attempt >= max_attempts) {
       if (r->ok() && (*r)->dedup_hit) out.dedup_hits += 1;
@@ -437,6 +581,7 @@ Result<std::vector<PsServer::HandleResult>> PsClient::ExchangeAll(
     traffic->retry_backoff_time += slots[i].backoff;
     traffic->dedup_hits += slots[i].dedup_hits;
     traffic->keycache_misses += slots[i].kc_misses;
+    traffic->routing_refetches += slots[i].routing_refetches;
     Result<PsServer::HandleResult>& r = *slots[i].result;
     if (!r.ok()) {
       if (!failed.has_value()) failed = r.status();
@@ -451,6 +596,27 @@ Result<std::vector<PsServer::HandleResult>> PsClient::ExchangeAll(
   }
   if (failed.has_value()) return *failed;
   return out;
+}
+
+Result<std::vector<uint8_t>> PsClient::ControlCall(int server,
+                                                   BufferWriter* writer) {
+  if (server < 0 || server >= master_->num_servers()) {
+    return Status::InvalidArgument("control call to unknown server");
+  }
+  std::vector<ServerRequest> requests;
+  requests.push_back(MakeRequest(server, writer));
+  // One control leg = one round. Inside a task (or the migration driver's
+  // scope) the traffic lands there; standalone calls charge the clock
+  // directly, like any coordinator-issued op.
+  TaskTraffic local;
+  TaskTraffic* traffic = TrafficScope::Current();
+  const bool ambient = traffic != nullptr;
+  if (!ambient) traffic = &local;
+  traffic->rounds += 1;
+  PS2_ASSIGN_OR_RETURN(std::vector<PsServer::HandleResult> results,
+                       ExchangeAll(traffic, std::move(requests)));
+  if (!ambient) master_->cluster()->ChargeOutOfTask(local);
+  return std::move(results[0].response);
 }
 
 template <typename T>
@@ -675,7 +841,7 @@ PsFuture<std::vector<double>> PsClient::PullDenseAsync(RowRef ref,
     writer.WriteVarint(meta.dim);
     std::vector<ServerRequest> refresh;
     refresh.push_back(
-        MakeRequest(HotHomeServer(ref, master_->num_servers()), &writer));
+        MakeHashRouted(meta, ref, &writer));
     const uint64_t dim = meta.dim;
     return SubmitAsync<Out>(
         std::move(refresh),
@@ -709,7 +875,7 @@ PsFuture<std::vector<double>> PsClient::PullDenseAsync(RowRef ref,
     writer.WriteVarint(ref.row);
     writer.WriteVarint(lo);
     writer.WriteVarint(hi);
-    requests.push_back(MakeRequest(part.ServerOfPartition(p), &writer));
+    requests.push_back(MakeRouted(meta, p, &writer));
     windows.emplace_back(lo, hi);
   }
   const uint64_t begin = w.begin;
@@ -766,7 +932,7 @@ PsFuture<std::vector<double>> PsClient::PullSparseAsync(
     writer.WriteVarint(meta.dim);
     std::vector<ServerRequest> refresh;
     refresh.push_back(
-        MakeRequest(HotHomeServer(ref, master_->num_servers()), &writer));
+        MakeHashRouted(meta, ref, &writer));
     const uint64_t dim = meta.dim;
     return SubmitAsync<Out>(
         std::move(refresh),
@@ -812,7 +978,7 @@ PsFuture<std::vector<double>> PsClient::PullSparseAsync(
       prev = indices[k];
     }
     writer.EndSection();
-    requests.push_back(MakeRequest(part.ServerOfPartition(p), &writer));
+    requests.push_back(MakeRouted(meta, p, &writer));
     runs.emplace_back(i, j);
     i = j;
   }
@@ -1000,7 +1166,7 @@ PsFuture<Ack> PsClient::PushDenseAsync(RowRef ref,
     writer.EndSection();
     std::vector<ServerRequest> requests;
     requests.push_back(
-        MakeRequest(HotHomeServer(ref, master_->num_servers()), &writer));
+        MakeHashRouted(meta, ref, &writer));
     return SubmitAsync<Ack>(std::move(requests), AckParse);
   }
   const ColumnPartitioner& part = meta.partitioner;
@@ -1018,7 +1184,7 @@ PsFuture<Ack> PsClient::PushDenseAsync(RowRef ref,
     writer.BeginSection(SectionKind::kF64Values);
     writer.WriteF64Span(&delta[lo - w.begin], hi - lo);
     writer.EndSection();
-    requests.push_back(MakeRequest(part.ServerOfPartition(p), &writer));
+    requests.push_back(MakeRouted(meta, p, &writer));
   }
   return SubmitAsync<Ack>(std::move(requests), AckParse);
 }
@@ -1054,7 +1220,7 @@ PsFuture<Ack> PsClient::PushSparseAsync(RowRef ref, const SparseVector& delta) {
     writer.EndSection();
     std::vector<ServerRequest> requests;
     requests.push_back(
-        MakeRequest(HotHomeServer(ref, master_->num_servers()), &writer));
+        MakeHashRouted(meta, ref, &writer));
     return SubmitAsync<Ack>(std::move(requests), AckParse);
   }
   const ColumnPartitioner& part = meta.partitioner;
@@ -1082,7 +1248,7 @@ PsFuture<Ack> PsClient::PushSparseAsync(RowRef ref, const SparseVector& delta) {
     writer.BeginSection(SectionKind::kF64Values);
     for (size_t k = i; k < j; ++k) writer.WriteF64(val[k]);
     writer.EndSection();
-    requests.push_back(MakeRequest(part.ServerOfPartition(p), &writer));
+    requests.push_back(MakeRouted(meta, p, &writer));
     i = j;
   }
   return SubmitAsync<Ack>(std::move(requests), AckParse);
@@ -1098,14 +1264,14 @@ PsFuture<double> PsClient::RowAggregateAsync(RowRef ref, RowAggKind kind) {
   const MatrixMeta& meta = *meta_r;
   const ColumnPartitioner& part = meta.partitioner;
   std::vector<ServerRequest> requests;
-  for (int p = 0; p < part.num_servers(); ++p) {
-    if (part.RangeWidth(p) == 0) continue;
+  for (const SpanTarget& target : SpanTargets(part)) {
+    const int p = target.partition;
     BufferWriter writer;
     writer.WriteU8(static_cast<uint8_t>(PsOpCode::kRowAgg));
     writer.WriteVarint(ref.matrix_id);
     writer.WriteVarint(ref.row);
     writer.WriteU8(static_cast<uint8_t>(kind));
-    requests.push_back(MakeRequest(part.ServerOfPartition(p), &writer));
+    requests.push_back(MakeRouted(meta, p, &writer));
   }
   return SubmitAsync<double>(
       std::move(requests),
@@ -1166,8 +1332,8 @@ PsFuture<Ack> PsClient::ColumnOpAsync(ColOpKind kind, RowRef dst,
   }
   const ColumnPartitioner& part = meta.partitioner;
   std::vector<ServerRequest> requests;
-  for (int p = 0; p < part.num_servers(); ++p) {
-    if (part.RangeWidth(p) == 0) continue;
+  for (const SpanTarget& target : SpanTargets(part)) {
+    const int p = target.partition;
     BufferWriter writer;
     writer.WriteU8(static_cast<uint8_t>(PsOpCode::kColumnOp));
     writer.WriteU8(static_cast<uint8_t>(kind));
@@ -1179,7 +1345,7 @@ PsFuture<Ack> PsClient::ColumnOpAsync(ColOpKind kind, RowRef dst,
       writer.WriteVarint(src.row);
     }
     writer.WriteF64(scalar);
-    requests.push_back(MakeRequest(part.ServerOfPartition(p), &writer));
+    requests.push_back(MakeRouted(meta, p, &writer));
   }
   return SubmitAsync<Ack>(std::move(requests), AckParse);
 }
@@ -1303,15 +1469,15 @@ PsFuture<double> PsClient::DotAsync(RowRef a, RowRef b) {
   }
   const ColumnPartitioner& part = meta.partitioner;
   std::vector<ServerRequest> requests;
-  for (int p = 0; p < part.num_servers(); ++p) {
-    if (part.RangeWidth(p) == 0) continue;
+  for (const SpanTarget& target : SpanTargets(part)) {
+    const int p = target.partition;
     BufferWriter writer;
     writer.WriteU8(static_cast<uint8_t>(PsOpCode::kDotPartial));
     writer.WriteVarint(a.matrix_id);
     writer.WriteVarint(a.row);
     writer.WriteVarint(b.matrix_id);
     writer.WriteVarint(b.row);
-    requests.push_back(MakeRequest(part.ServerOfPartition(p), &writer));
+    requests.push_back(MakeRouted(meta, p, &writer));
   }
   return SubmitAsync<double>(
       std::move(requests),
@@ -1341,8 +1507,8 @@ Status PsClient::Zip(const std::vector<RowRef>& rows, int udf_id) {
   }
   const ColumnPartitioner& part = meta.partitioner;
   std::vector<ServerRequest> requests;
-  for (int p = 0; p < part.num_servers(); ++p) {
-    if (part.RangeWidth(p) == 0) continue;
+  for (const SpanTarget& target : SpanTargets(part)) {
+    const int p = target.partition;
     BufferWriter writer;
     writer.WriteU8(static_cast<uint8_t>(PsOpCode::kZip));
     writer.WriteVarint(udf_id);
@@ -1351,7 +1517,7 @@ Status PsClient::Zip(const std::vector<RowRef>& rows, int udf_id) {
       writer.WriteVarint(r.matrix_id);
       writer.WriteVarint(r.row);
     }
-    requests.push_back(MakeRequest(part.ServerOfPartition(p), &writer));
+    requests.push_back(MakeRouted(meta, p, &writer));
   }
   return SubmitAsync<Ack>(std::move(requests), AckParse).Wait();
 }
@@ -1368,8 +1534,8 @@ Result<std::vector<std::vector<double>>> PsClient::ZipAggregate(
   }
   const ColumnPartitioner& part = meta.partitioner;
   std::vector<ServerRequest> requests;
-  for (int p = 0; p < part.num_servers(); ++p) {
-    if (part.RangeWidth(p) == 0) continue;
+  for (const SpanTarget& target : SpanTargets(part)) {
+    const int p = target.partition;
     BufferWriter writer;
     writer.WriteU8(static_cast<uint8_t>(PsOpCode::kZipAggregate));
     writer.WriteVarint(udf_id);
@@ -1378,7 +1544,7 @@ Result<std::vector<std::vector<double>>> PsClient::ZipAggregate(
       writer.WriteVarint(r.matrix_id);
       writer.WriteVarint(r.row);
     }
-    requests.push_back(MakeRequest(part.ServerOfPartition(p), &writer));
+    requests.push_back(MakeRouted(meta, p, &writer));
   }
   return SubmitAsync<Out>(
              std::move(requests),
@@ -1416,8 +1582,8 @@ PsFuture<std::vector<double>> PsClient::DotBatchAsync(
   }
   const ColumnPartitioner& part = meta.partitioner;
   std::vector<ServerRequest> requests;
-  for (int p = 0; p < part.num_servers(); ++p) {
-    if (part.RangeWidth(p) == 0) continue;
+  for (const SpanTarget& target : SpanTargets(part)) {
+    const int p = target.partition;
     BufferWriter writer;
     writer.WriteU8(static_cast<uint8_t>(PsOpCode::kDotBatch));
     writer.WriteVarint(pairs.size());
@@ -1427,7 +1593,7 @@ PsFuture<std::vector<double>> PsClient::DotBatchAsync(
       writer.WriteVarint(b.matrix_id);
       writer.WriteVarint(b.row);
     }
-    requests.push_back(MakeRequest(part.ServerOfPartition(p), &writer));
+    requests.push_back(MakeRouted(meta, p, &writer));
   }
   const size_t count = pairs.size();
   return SubmitAsync<Out>(
@@ -1464,8 +1630,8 @@ PsFuture<Ack> PsClient::AxpyBatchAsync(const std::vector<AxpyTask>& tasks) {
   }
   const ColumnPartitioner& part = meta.partitioner;
   std::vector<ServerRequest> requests;
-  for (int p = 0; p < part.num_servers(); ++p) {
-    if (part.RangeWidth(p) == 0) continue;
+  for (const SpanTarget& target : SpanTargets(part)) {
+    const int p = target.partition;
     BufferWriter writer;
     writer.WriteU8(static_cast<uint8_t>(PsOpCode::kAxpyBatch));
     writer.WriteVarint(tasks.size());
@@ -1476,7 +1642,7 @@ PsFuture<Ack> PsClient::AxpyBatchAsync(const std::vector<AxpyTask>& tasks) {
       writer.WriteVarint(t.src.row);
       writer.WriteF64(t.alpha);
     }
-    requests.push_back(MakeRequest(part.ServerOfPartition(p), &writer));
+    requests.push_back(MakeRouted(meta, p, &writer));
   }
   return SubmitAsync<Ack>(std::move(requests), AckParse);
 }
@@ -1495,10 +1661,9 @@ PsFuture<std::vector<std::vector<double>>> PsClient::PullRowsAsync(
   const ColumnPartitioner& part = meta.partitioner;
   std::vector<ServerRequest> requests;
   std::vector<std::pair<uint64_t, uint64_t>> windows;  // (lo, width)
-  for (int p = 0; p < part.num_servers(); ++p) {
-    uint64_t lo = part.RangeBegin(p);
-    uint64_t width = part.RangeWidth(p);
-    if (width == 0) continue;
+  for (const SpanTarget& target : SpanTargets(part)) {
+    const uint64_t lo = target.begin;
+    const uint64_t width = target.end - target.begin;
     BufferWriter writer;
     writer.WriteU8(static_cast<uint8_t>(PsOpCode::kPullRowsBatch));
     writer.WriteVarint(rows.size());
@@ -1506,7 +1671,7 @@ PsFuture<std::vector<std::vector<double>>> PsClient::PullRowsAsync(
       writer.WriteVarint(r.matrix_id);
       writer.WriteVarint(r.row);
     }
-    requests.push_back(MakeRequest(part.ServerOfPartition(p), &writer));
+    requests.push_back(MakeRouted(meta, target.partition, &writer));
     windows.emplace_back(lo, width);
   }
   const size_t num_rows = rows.size();
@@ -1560,10 +1725,9 @@ PsFuture<Ack> PsClient::PushRowsAsync(
   }
   const ColumnPartitioner& part = meta.partitioner;
   std::vector<ServerRequest> requests;
-  for (int p = 0; p < part.num_servers(); ++p) {
-    uint64_t lo = part.RangeBegin(p);
-    uint64_t width = part.RangeWidth(p);
-    if (width == 0) continue;
+  for (const SpanTarget& target : SpanTargets(part)) {
+    const uint64_t lo = target.begin;
+    const uint64_t width = target.end - target.begin;
     BufferWriter writer;
     writer.WriteU8(static_cast<uint8_t>(PsOpCode::kPushRowsBatch));
     writer.WriteVarint(rows.size());
@@ -1575,7 +1739,7 @@ PsFuture<Ack> PsClient::PushRowsAsync(
       writer.WriteF64Span(&deltas[i][lo], width);
       writer.EndSection();
     }
-    requests.push_back(MakeRequest(part.ServerOfPartition(p), &writer));
+    requests.push_back(MakeRouted(meta, target.partition, &writer));
   }
   return SubmitAsync<Ack>(std::move(requests), AckParse);
 }
@@ -1622,7 +1786,7 @@ PsFuture<std::vector<std::vector<double>>> PsClient::PullSparseRowsAsync(
       writer.WriteVarint(r.matrix_id);
       writer.WriteVarint(r.row);
     }
-    requests.push_back(MakeRequest(part.ServerOfPartition(p), &writer));
+    requests.push_back(MakeRouted(meta, p, &writer));
     runs.emplace_back(i, j);
     i = j;
   }
@@ -1722,7 +1886,7 @@ PsFuture<Ack> PsClient::PushSparseRowsAsync(
         writer.EndSection();
       }
     }
-    requests.push_back(MakeRequest(part.ServerOfPartition(p), &writer));
+    requests.push_back(MakeRouted(meta, p, &writer));
   }
   return SubmitAsync<Ack>(std::move(requests), AckParse);
 }
@@ -1731,11 +1895,14 @@ PsFuture<Ack> PsClient::ClockAdvanceAsync(int worker, uint64_t clock) {
   if (worker < 0) {
     return ReadyFuture<Ack>(Status::InvalidArgument("worker must be >= 0"));
   }
-  // Every server holds a full worker-clock vector for its key range, so the
-  // advance fans out to all of them. It is a tracked mutation: retries,
-  // dedup and crash recovery compose exactly as for a gradient push.
+  // Every active server holds a full worker-clock vector for its key
+  // ranges, so the advance fans out to the active snapshot. It is a tracked
+  // mutation: retries, dedup and crash recovery compose exactly as for a
+  // gradient push. If a migration decommissions a server while this advance
+  // is in flight, the rejection acks as a no-op — its clock table moved
+  // with its ranges and was max-merged at the new owners.
   std::vector<ServerRequest> requests;
-  for (int s = 0; s < master_->num_servers(); ++s) {
+  for (int s : master_->active_servers()) {
     BufferWriter writer;
     writer.WriteU8(static_cast<uint8_t>(PsOpCode::kClockAdvance));
     writer.WriteVarint(static_cast<uint64_t>(worker));
@@ -1754,8 +1921,8 @@ Status PsClient::MatrixInit(int matrix_id, uint32_t row_begin,
   PS2_ASSIGN_OR_RETURN(MatrixMeta meta, master_->GetMeta(matrix_id));
   const ColumnPartitioner& part = meta.partitioner;
   std::vector<ServerRequest> requests;
-  for (int p = 0; p < part.num_servers(); ++p) {
-    if (part.RangeWidth(p) == 0) continue;
+  for (const SpanTarget& target : SpanTargets(part)) {
+    const int p = target.partition;
     BufferWriter writer;
     writer.WriteU8(static_cast<uint8_t>(PsOpCode::kMatrixInit));
     writer.WriteVarint(matrix_id);
@@ -1763,7 +1930,7 @@ Status PsClient::MatrixInit(int matrix_id, uint32_t row_begin,
     writer.WriteVarint(row_end);
     writer.WriteF64(scale);
     writer.WriteU64(seed);
-    requests.push_back(MakeRequest(part.ServerOfPartition(p), &writer));
+    requests.push_back(MakeRouted(meta, p, &writer));
   }
   return SubmitAsync<Ack>(std::move(requests), AckParse).Wait();
 }

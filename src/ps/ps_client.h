@@ -212,9 +212,9 @@ class PsClient {
                                     const std::vector<SparseVector>& deltas,
                                     bool compress_counts = false);
 
-  /// Advances `worker`'s clock to `clock` in every server's worker-clock
-  /// vector (kClockAdvance fan-out; consistency/, DESIGN.md §11). Servers
-  /// max-merge, so the op is idempotent and retry-safe.
+  /// Advances `worker`'s clock to `clock` in every active server's
+  /// worker-clock vector (kClockAdvance fan-out; consistency/, DESIGN.md
+  /// §11). Servers max-merge, so the op is idempotent and retry-safe.
   PsFuture<Ack> ClockAdvanceAsync(int worker, uint64_t clock);
   /// Blocking wrapper around ClockAdvanceAsync.
   Status ClockAdvance(int worker, uint64_t clock);
@@ -228,6 +228,14 @@ class PsClient {
   /// window; callers repin to the current epoch and retry.
   PsFuture<std::vector<std::vector<double>>> ServingPullAsync(
       uint64_t epoch, const std::vector<ServingRead>& reads);
+
+  /// Runs one migration-control exchange (membership/, DESIGN.md §12):
+  /// seals `writer` into a request for `server`, drives it through the full
+  /// fault/retry/dedup machinery, and returns the raw response bytes.
+  /// Control opcodes are exempt from the routing-staleness check, so this
+  /// works against fenced and decommissioned servers — it is what un-fences
+  /// them.
+  Result<std::vector<uint8_t>> ControlCall(int server, BufferWriter* writer);
 
   /// \brief Observability of the async window (tests, benches).
   struct AsyncStats {
@@ -263,6 +271,15 @@ class PsClient {
     SharedBuf wire;        ///< filtered bytes; aliases payload when mask == 0
     uint8_t wire_mask = 0; ///< WireFrame::filter_mask for this request
     EncodeStats estats;    ///< per-request encode accounting
+    /// Routing identity for the `routing stale` re-route protocol
+    /// (DESIGN.md §12). Partition-routed requests (route_matrix >= 0)
+    /// re-aim via ServerOfPartition against a refetched meta; hash-routed
+    /// ones (hash_routed) re-home hash_ref over the fresh active list.
+    /// Untagged requests retry in place and never re-aim.
+    int route_matrix = -1;
+    int route_partition = -1;
+    bool hash_routed = false;
+    RowRef hash_ref;
   };
 
   /// Result of driving one request through the retry loop.
@@ -279,6 +296,7 @@ class PsClient {
     uint64_t kc_refs = 0;      ///< key-lists replaced by a cached-hash ref
     uint64_t kc_installs = 0;  ///< key-lists installed into the server cache
     uint64_t kc_misses = 0;    ///< keycache-miss round trips (re-encodes)
+    uint64_t routing_refetches = 0;  ///< routing-stale waits + re-aims
   };
 
   /// Parses the per-server responses (in request order) into the op's value.
@@ -303,6 +321,19 @@ class PsClient {
   /// marks, releases the buffer into a SharedBuf (no copy), and leaves the
   /// wire view aliasing the payload until EncodeRequest runs.
   ServerRequest MakeRequest(int server, BufferWriter* writer);
+
+  /// MakeRequest aimed by (matrix, partition): targets
+  /// `meta.partitioner.ServerOfPartition(partition)`, stamps
+  /// `meta.routing_epoch` into the header and records the routing identity
+  /// so ExecuteRequest can re-aim after a `routing stale` rejection.
+  ServerRequest MakeRouted(const MatrixMeta& meta, int partition,
+                           BufferWriter* writer);
+
+  /// MakeRequest for hash-homed hot-row traffic: targets
+  /// `active[HotHomeServer(ref, active.size())]` and records `ref` so a
+  /// stale rejection re-homes over the then-current active list.
+  ServerRequest MakeHashRouted(const MatrixMeta& meta, RowRef ref,
+                               BufferWriter* writer);
 
   /// Runs the filter chain over `req->payload` per this client's
   /// FilterConfig, filling `wire`/`wire_mask`/`estats`. With

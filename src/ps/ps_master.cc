@@ -4,23 +4,102 @@
 #include <optional>
 
 #include "common/logging.h"
+#include "membership/membership_manager.h"
 
 namespace ps2 {
 
 PsMaster::PsMaster(Cluster* cluster) : cluster_(cluster) {
   PS2_CHECK(cluster != nullptr);
+  // Allocate the whole elastic fleet up front (DESIGN.md §12): servers
+  // beyond spec.num_servers exist as idle processes so a later AddServer is
+  // a membership change, not an object-lifetime event — client seq streams
+  // and per-server metric tables stay stable across joins. With
+  // max_servers unset the fleet IS the initial set and nothing changes.
+  const int fleet = cluster->spec().EffectiveMaxServers();
   const int n = cluster->num_servers();
-  servers_.reserve(n);
-  for (int s = 0; s < n; ++s) {
+  servers_.reserve(fleet);
+  for (int s = 0; s < fleet; ++s) {
     servers_.push_back(std::make_unique<PsServer>(s, &udfs_));
     servers_.back()->SetMetrics(&cluster->metrics());
     servers_.back()->SetFilterConfig(cluster->spec().filters);
   }
+  active_.reserve(n);
+  for (int s = 0; s < n; ++s) active_.push_back(s);
+  retired_.assign(static_cast<size_t>(fleet), false);
   hotspot_ = std::make_unique<HotspotManager>(this);
   snapshots_ = std::make_unique<ModelSnapshotManager>(this);
+  membership_ = std::make_unique<MembershipManager>(this);
 }
 
 PsMaster::~PsMaster() = default;
+
+std::vector<int> PsMaster::active_servers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+int PsMaster::num_active_servers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(active_.size());
+}
+
+bool PsMaster::is_server_active(int server_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::binary_search(active_.begin(), active_.end(), server_id);
+}
+
+uint64_t PsMaster::routing_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return routing_epoch_;
+}
+
+Result<int> PsMaster::AddServer() { return membership_->AddServer(); }
+
+Status PsMaster::RemoveServer(int server_id) {
+  return membership_->RemoveServer(server_id);
+}
+
+Result<bool> PsMaster::RebalanceOnce(double min_skew) {
+  return membership_->RebalanceOnce(min_skew);
+}
+
+Result<int> PsMaster::ClaimableSpare() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int s = 0; s < static_cast<int>(servers_.size()); ++s) {
+    if (retired_[static_cast<size_t>(s)]) continue;
+    if (std::binary_search(active_.begin(), active_.end(), s)) continue;
+    return s;
+  }
+  return Status::FailedPrecondition(
+      "no spare server slots in the fleet (raise max_servers)");
+}
+
+std::vector<MatrixMeta> PsMaster::AllMetas() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MatrixMeta> metas;
+  metas.reserve(matrices_.size());
+  for (const auto& [id, state] : matrices_) metas.push_back(state.meta);
+  return metas;
+}
+
+void PsMaster::CommitRouting(const std::vector<MatrixMeta>& metas,
+                             std::vector<int> new_active, uint64_t epoch,
+                             int retired_server) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const MatrixMeta& meta : metas) {
+    auto it = matrices_.find(meta.id);
+    if (it == matrices_.end()) continue;  // freed mid-migration
+    it->second.meta.partitioner = meta.partitioner;
+    it->second.meta.routing_epoch = epoch;
+  }
+  active_ = std::move(new_active);
+  if (retired_server >= 0 &&
+      retired_server < static_cast<int>(retired_.size())) {
+    retired_[static_cast<size_t>(retired_server)] = true;
+  }
+  routing_epoch_ = epoch;
+  cluster_->metrics().Set("ps.migration_epoch", epoch);
+}
 
 Result<int> PsMaster::CreateMatrixInternal(MatrixOptions options,
                                            int rotation) {
@@ -28,19 +107,27 @@ Result<int> PsMaster::CreateMatrixInternal(MatrixOptions options,
   if (options.reserve_rows == 0) {
     return Status::InvalidArgument("reserve_rows must be > 0");
   }
-  int servers = options.num_servers > 0
-                    ? std::min(options.num_servers, num_servers())
-                    : num_servers();
+  // Partition count is fixed for the matrix lifetime at the FLEET scale
+  // (DESIGN.md §12): an elastic cluster that starts on 2 of 8 slots gets 8
+  // partitions so later joins take whole partitions instead of re-splitting
+  // ranges. With max_servers unset the fleet equals the active set and this
+  // reduces bit-exactly to the pre-elastic one-partition-per-server layout.
+  int partitions = options.num_servers > 0
+                       ? std::min(options.num_servers, num_servers())
+                       : num_servers();
   // Never split an alignment unit, and don't spread a tiny matrix over more
-  // servers than it has units.
+  // partitions than it has units.
   uint64_t units = options.dim / std::max<uint64_t>(1, options.alignment);
-  servers = static_cast<int>(
-      std::min<uint64_t>(static_cast<uint64_t>(servers), std::max<uint64_t>(units, 1)));
+  partitions = static_cast<int>(std::min<uint64_t>(
+      static_cast<uint64_t>(partitions), std::max<uint64_t>(units, 1)));
 
   MatrixMeta meta;
+  std::vector<int> active;
   {
     std::lock_guard<std::mutex> lock(mu_);
     meta.id = next_matrix_id_++;
+    meta.routing_epoch = routing_epoch_;
+    active = active_;
   }
   meta.name = options.name;
   meta.dim = options.dim;
@@ -48,11 +135,17 @@ Result<int> PsMaster::CreateMatrixInternal(MatrixOptions options,
   meta.storage = options.storage;
   PS2_ASSIGN_OR_RETURN(
       meta.partitioner,
-      ColumnPartitioner::Make(options.dim, servers, options.alignment,
-                              rotation % servers));
+      ColumnPartitioner::MakeElastic(options.dim, active, partitions,
+                                     options.alignment,
+                                     rotation % partitions));
+  return RegisterMatrix(std::move(meta));
+}
 
-  for (int s = 0; s < servers; ++s) {
-    PS2_RETURN_NOT_OK(servers_[s]->CreateMatrixShard(meta));
+Result<int> PsMaster::RegisterMatrix(MatrixMeta meta) {
+  for (auto& server : servers_) {
+    uint64_t begin = 0, end = 0;
+    if (!meta.partitioner.ServerSpan(server->id(), &begin, &end)) continue;
+    PS2_RETURN_NOT_OK(server->CreateMatrixShard(meta));
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -76,15 +169,26 @@ Result<int> PsMaster::CreateMatrix(const MatrixOptions& options) {
 Result<int> PsMaster::CreateAlignedMatrix(int base_matrix_id,
                                           const std::string& name,
                                           uint32_t reserve_rows) {
+  if (reserve_rows == 0) {
+    return Status::InvalidArgument("reserve_rows must be > 0");
+  }
   PS2_ASSIGN_OR_RETURN(MatrixMeta base, GetMeta(base_matrix_id));
-  MatrixOptions options;
-  options.name = name;
-  options.dim = base.dim;
-  options.reserve_rows = reserve_rows;
-  options.storage = base.storage;
-  options.alignment = base.partitioner.alignment();
-  options.num_servers = base.partitioner.num_servers();
-  return CreateMatrixInternal(options, base.partitioner.rotation());
+  // Copy the base partitioner verbatim rather than recomputing it: after a
+  // migration (or a rebalancer move) the base's assignment is no longer the
+  // canonical block layout, and co-location — the whole point of alignment —
+  // must track wherever the base's partitions actually live now.
+  MatrixMeta meta;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    meta.id = next_matrix_id_++;
+  }
+  meta.name = name;
+  meta.dim = base.dim;
+  meta.num_rows = reserve_rows;
+  meta.storage = base.storage;
+  meta.partitioner = base.partitioner;
+  meta.routing_epoch = base.routing_epoch;
+  return RegisterMatrix(std::move(meta));
 }
 
 Result<MatrixMeta> PsMaster::GetMeta(int matrix_id) const {
@@ -117,8 +221,11 @@ Status PsMaster::FreeMatrix(int matrix_id) {
     meta = it->second.meta;
     matrices_.erase(it);
   }
-  for (int s = 0; s < meta.partitioner.num_servers(); ++s) {
-    PS2_RETURN_NOT_OK(servers_[s]->FreeMatrixShard(matrix_id));
+  // Free wherever the shard actually lives — post-migration that is the
+  // partitioner's assignment, not servers 0..P-1.
+  for (auto& server : servers_) {
+    if (!server->HasMatrix(matrix_id)) continue;
+    PS2_RETURN_NOT_OK(server->FreeMatrixShard(matrix_id));
   }
   return Status::OK();
 }
@@ -141,6 +248,16 @@ Status PsMaster::CheckpointAll() {
 
 Result<SimTime> PsMaster::RecoverServerInternal(int server_id) {
   PsServer* server = servers_[server_id].get();
+  const ClusterSpec& cluster_spec = cluster_->spec();
+  if (server->decommissioned()) {
+    // A decommissioned server holds no ranges — only its dedup table, which
+    // survives the crash in our model (it is what answers applied-probes).
+    // Just restart the process; restoring a pre-decommission image would
+    // resurrect migrated state.
+    server->Revive();
+    cluster_->metrics().Add("ps.server_failures", 1);
+    return 10 * cluster_spec.rpc_latency_s;
+  }
   server->DropAllState();
   uint64_t restored_bytes = 0;
   // Single-lock check-and-fetch: Has()-then-Get() would race a concurrent
@@ -150,6 +267,27 @@ Result<SimTime> PsMaster::RecoverServerInternal(int server_id) {
     restored_bytes = image->size();
     PS2_RETURN_NOT_OK(server->RestoreState(*image));
   }
+  // The image's shard bounds may predate the latest committed migration
+  // (checkpoint taken before the epoch bump). The routing table is the
+  // authority: reconcile every shard to the server's current span and
+  // re-stamp the server's epoch so it resumes rejecting stale traffic.
+  uint64_t epoch;
+  std::vector<MatrixMeta> metas;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    epoch = routing_epoch_;
+    metas.reserve(matrices_.size());
+    for (const auto& [id, state] : matrices_) metas.push_back(state.meta);
+  }
+  uint64_t reconciled = 0;
+  for (const MatrixMeta& meta : metas) {
+    PS2_ASSIGN_OR_RETURN(bool changed, server->ReconcileShardBounds(meta));
+    if (changed) reconciled += 1;
+  }
+  if (reconciled > 0) {
+    cluster_->metrics().Add("ps.migration_reconciles", reconciled);
+  }
+  server->SetRoutingEpoch(epoch);
   server->Revive();
   // The recovered process lost its replica slots and bumped no epoch, so
   // client HotRowCaches would serve stale rows past staleness_epochs.

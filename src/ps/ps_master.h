@@ -27,6 +27,8 @@
 
 namespace ps2 {
 
+class MembershipManager;
+
 /// \brief Options for creating a distributed matrix (a co-located DCV group).
 struct MatrixOptions {
   std::string name = "matrix";
@@ -49,8 +51,34 @@ class PsMaster {
 
   Cluster* cluster() const { return cluster_; }
   UdfRegistry* udfs() { return &udfs_; }
+  /// Allocated fleet size (ClusterSpec::EffectiveMaxServers()): every server
+  /// process that exists, active or not. Per-server tables (client seq
+  /// streams, traffic vectors) are sized by this.
   int num_servers() const { return static_cast<int>(servers_.size()); }
   PsServer* server(int s) { return servers_[s].get(); }
+
+  // ---- Elastic membership (DESIGN.md §12) ----
+
+  /// Servers currently serving ranges, ascending. Starts as
+  /// {0..spec.num_servers-1}; AddServer/RemoveServer reshape it.
+  std::vector<int> active_servers() const;
+  int num_active_servers() const;
+  bool is_server_active(int server_id) const;
+  /// Current routing-table version; bumped once per committed migration.
+  uint64_t routing_epoch() const;
+
+  /// Activates a spare fleet slot and migrates it a balanced share of every
+  /// matrix's partitions. Fails when no spare (non-retired) server exists.
+  Result<int> AddServer();
+  /// Migrates `server_id`'s ranges to the remaining active servers, then
+  /// decommissions it (it keeps answering dedup probes, nothing else).
+  Status RemoveServer(int server_id);
+  /// One step of the skew-healing rebalancer: when busy-time skew across
+  /// active servers exceeds `min_skew` (max/mean), moves one edge partition
+  /// per matrix off the busiest server. Returns whether a move happened.
+  Result<bool> RebalanceOnce(double min_skew = 1.25);
+
+  MembershipManager* membership() const { return membership_.get(); }
 
   /// Hot-parameter management (statistics, replication, client caches).
   /// Always constructed; a no-op until HotspotManager::Enable.
@@ -110,12 +138,33 @@ class PsMaster {
   const CheckpointStore& checkpoints() const { return checkpoint_store_; }
 
  private:
+  friend class MembershipManager;
+
   struct MatrixState {
     MatrixMeta meta;
     uint32_t next_free_row = 1;  // row 0 belongs to the creating DCV
   };
 
   Result<int> CreateMatrixInternal(MatrixOptions options, int rotation);
+
+  /// Registers `meta` (id already assigned) and creates its shards on every
+  /// covered server. Shared by CreateMatrixInternal and CreateAlignedMatrix.
+  Result<int> RegisterMatrix(MatrixMeta meta);
+
+  /// Snapshot of all matrix metas, for migration planning.
+  std::vector<MatrixMeta> AllMetas() const;
+
+  /// Lowest fleet slot that is neither active nor retired — the join
+  /// candidate. FailedPrecondition when the fleet is exhausted.
+  Result<int> ClaimableSpare() const;
+
+  /// Installs migrated routing state: new partitioner snapshots (stamped
+  /// with `epoch`), the new active list, and the new routing epoch — in one
+  /// critical section, and only after every involved server committed, so a
+  /// meta a client fetches never stamps an epoch ahead of the servers'.
+  void CommitRouting(const std::vector<MatrixMeta>& metas,
+                     std::vector<int> new_active, uint64_t epoch,
+                     int retired_server);
 
   /// Shared drop + restore + revive + hotspot-refresh path for both
   /// recovery entry points. Returns the recovery stall (not yet charged).
@@ -126,10 +175,17 @@ class PsMaster {
   std::vector<std::unique_ptr<PsServer>> servers_;
   std::unique_ptr<HotspotManager> hotspot_;
   std::unique_ptr<ModelSnapshotManager> snapshots_;
+  std::unique_ptr<MembershipManager> membership_;
   CheckpointStore checkpoint_store_;
 
   mutable std::mutex mu_;
   std::map<int, MatrixState> matrices_;
+  /// Active server ids, ascending (guarded by mu_).
+  std::vector<int> active_;
+  /// Decommissioned fleet slots; they never rejoin (guarded by mu_).
+  std::vector<bool> retired_;
+  /// Routing-table version (guarded by mu_); 0 until the first migration.
+  uint64_t routing_epoch_ = 0;
   int next_matrix_id_ = 0;
   std::atomic<int> next_client_id_{0};
   /// Serializes recovery so concurrent retry loops hitting the same crashed

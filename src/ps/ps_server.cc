@@ -65,22 +65,17 @@ Status PsServer::CreateMatrixShard(const MatrixMeta& meta) {
   if (shards_.count(meta.id) > 0) {
     return Status::AlreadyExists("matrix shard already exists on server");
   }
-  // Which partition does this server store? Invert the rotation.
+  // This server's slice is the union span of its assigned partitions (block
+  // assignment keeps them contiguous — ps/partitioner.h).
   const ColumnPartitioner& part = meta.partitioner;
-  int partition = -1;
-  for (int p = 0; p < part.num_servers(); ++p) {
-    if (part.ServerOfPartition(p) == id_) {
-      partition = p;
-      break;
-    }
-  }
-  if (partition < 0) {
+  uint64_t begin = 0, end = 0;
+  if (!part.ServerSpan(id_, &begin, &end)) {
     return Status::InvalidArgument("server not covered by partitioner");
   }
   Shard shard;
   shard.meta = meta;
-  shard.begin = part.RangeBegin(partition);
-  shard.end = part.RangeEnd(partition);
+  shard.begin = begin;
+  shard.end = end;
   if (shard.dense()) {
     shard.dense_rows.assign(meta.num_rows,
                             std::vector<double>(shard.width(), 0.0));
@@ -103,6 +98,133 @@ Status PsServer::FreeMatrixShard(int matrix_id) {
 bool PsServer::HasMatrix(int matrix_id) const {
   std::lock_guard<std::mutex> lock(mu_);
   return shards_.count(matrix_id) > 0;
+}
+
+void PsServer::FenceForMigration() {
+  std::lock_guard<std::mutex> lock(mu_);
+  fenced_ = true;
+}
+
+void PsServer::SetRoutingEpoch(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (epoch > routing_epoch_) routing_epoch_ = epoch;
+}
+
+void PsServer::Decommission(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  decommissioned_ = true;
+  fenced_ = false;
+  if (epoch > routing_epoch_) routing_epoch_ = epoch;
+  // Shard contents were migrated away; drop them (the dedup table stays —
+  // it answers applied-probes for mutations this server absorbed before the
+  // migration, DESIGN.md §12).
+  shards_.clear();
+  replicas_.clear();
+  snapshots_.clear();
+  staged_.clear();
+}
+
+bool PsServer::fenced() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fenced_;
+}
+
+bool PsServer::decommissioned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return decommissioned_;
+}
+
+uint64_t PsServer::routing_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return routing_epoch_;
+}
+
+void PsServer::ResizeShardLocked(Shard* shard, uint64_t new_begin,
+                                 uint64_t new_end, uint64_t epoch) {
+  const uint64_t old_begin = shard->begin;
+  const uint64_t old_end = shard->end;
+  const uint64_t n_rows = shard->meta.num_rows;
+  if (shard->dense()) {
+    const uint64_t new_width = new_end - new_begin;
+    const uint64_t lo = std::max(old_begin, new_begin);
+    const uint64_t hi = std::min(old_end, new_end);
+    for (uint64_t r = 0; r < n_rows; ++r) {
+      std::vector<double> row(new_width, 0.0);
+      if (lo < hi) {
+        const double* src = shard->dense_rows[r].data() + (lo - old_begin);
+        std::copy(src, src + (hi - lo), row.data() + (lo - new_begin));
+      }
+      shard->dense_rows[r] = std::move(row);
+    }
+  } else {
+    for (uint64_t r = 0; r < n_rows; ++r) {
+      auto& map = shard->sparse_rows[r];
+      map.erase(map.begin(), map.lower_bound(new_begin));
+      map.erase(map.lower_bound(new_end), map.end());
+    }
+  }
+  shard->begin = new_begin;
+  shard->end = new_end;
+  // Fill the non-overlap from this epoch's staged ranges (installed by
+  // kRangeMigrate; the commit validated coverage before calling here).
+  const int matrix_id = shard->meta.id;
+  for (auto& [key, staged] : staged_) {
+    if (std::get<0>(key) != epoch || std::get<1>(key) != matrix_id) continue;
+    const uint64_t lo = std::max(staged.begin, new_begin);
+    const uint64_t hi = std::min(staged.end, new_end);
+    if (lo >= hi) continue;
+    for (uint64_t r = 0; r < n_rows && r < staged.num_rows; ++r) {
+      if (shard->dense()) {
+        const double* src = staged.dense_rows[r].data() + (lo - staged.begin);
+        std::copy(src, src + (hi - lo),
+                  shard->dense_rows[r].data() + (lo - new_begin));
+      } else {
+        const auto& src = staged.sparse_rows[r];
+        for (auto it = src.lower_bound(lo); it != src.end() && it->first < hi;
+             ++it) {
+          shard->sparse_rows[r][it->first] = it->second;
+        }
+      }
+    }
+  }
+  // The row layout changed under every row: stamp them all so the next
+  // snapshot publish re-copies, and so serving never aliases stale buffers.
+  for (uint64_t r = 0; r < n_rows; ++r) TouchRowLocked(shard, r);
+}
+
+Result<bool> PsServer::ReconcileShardBounds(const MatrixMeta& meta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t begin = 0, end = 0;
+  const bool covered = meta.partitioner.ServerSpan(id_, &begin, &end);
+  auto it = shards_.find(meta.id);
+  if (!covered) {
+    if (it == shards_.end()) return false;
+    shards_.erase(it);
+    return true;
+  }
+  if (it == shards_.end()) {
+    Shard shard;
+    shard.meta = meta;
+    shard.begin = begin;
+    shard.end = end;
+    if (shard.dense()) {
+      shard.dense_rows.assign(meta.num_rows,
+                              std::vector<double>(shard.width(), 0.0));
+    } else {
+      shard.sparse_rows.assign(meta.num_rows, {});
+    }
+    shard.row_versions.assign(meta.num_rows, 0);
+    shards_.emplace(meta.id, std::move(shard));
+    return true;
+  }
+  Shard& shard = it->second;
+  shard.meta = meta;
+  if (shard.begin == begin && shard.end == end) return false;
+  // Epoch 0 never matches a staged key, so this is a pure overlap-preserving
+  // resize: the non-overlap restores as zeros, the standard post-checkpoint
+  // loss semantics.
+  ResizeShardLocked(&shard, begin, end, /*epoch=*/0);
+  return true;
 }
 
 void PsServer::SetMetrics(MetricsRegistry* metrics) {
@@ -335,6 +457,40 @@ Result<PsServer::HandleResult> PsServer::HandleInternal(
   if (crashed_) {
     return Status::Unavailable("server is down (injected crash)");
   }
+  // Routing staleness (DESIGN.md §12): while fenced or after decommission —
+  // and for requests stamped with an out-of-date routing epoch — tracked
+  // data-plane traffic is bounced with FailedPrecondition so the client
+  // refetches the routing table and re-plans (mirrors the key-cache miss
+  // protocol: the seq is NOT consumed). Migration control ops are exempt:
+  // they are how the fence is lifted. For mutating requests the rejection
+  // carries an applied-probe — whether this (client, seq) already executed
+  // here — so a re-routed retry of a lost-response mutation never
+  // double-applies on the new owner.
+  if (header.tracked() && !frame.payload.empty()) {
+    const PsOpCode op = static_cast<PsOpCode>(frame.payload[0]);
+    if (!IsMigrationControlOpcode(op)) {
+      const char* why = nullptr;
+      if (decommissioned_) {
+        why = "decommissioned";
+      } else if (fenced_) {
+        why = "fenced";
+      } else if (header.routing_epoch != 0 &&
+                 header.routing_epoch <= routing_epoch_) {
+        // Stamps carry version + 1, so `<=` means "planned against a table
+        // older than mine" — including requests planned against the initial
+        // version-0 table arriving after the first migration committed.
+        why = "epoch";
+      }
+      if (why != nullptr) {
+        std::string msg = std::string("routing stale (") + why + ")";
+        if (IsMutatingOpcode(op) &&
+            IsDuplicateLocked(header.client_id, header.seq)) {
+          msg += " (applied)";
+        }
+        return Status::FailedPrecondition(msg);
+      }
+    }
+  }
   Slice payload = frame.payload;
   std::vector<uint8_t> decoded;  // keeps decoded bytes alive for HandleLocked
   auto decode = [&]() -> Status {
@@ -440,6 +596,12 @@ Result<PsServer::HandleResult> PsServer::HandleLocked(const RpcHeader& header,
       return HandleServingPull(&in);
     case PsOpCode::kClockAdvance:
       return HandleClockAdvance(&in);
+    case PsOpCode::kRangeExtract:
+      return HandleRangeExtract(&in);
+    case PsOpCode::kRangeMigrate:
+      return HandleRangeMigrate(&in);
+    case PsOpCode::kRoutingUpdate:
+      return HandleRoutingUpdate(&in);
   }
   return Status::InvalidArgument("unknown opcode");
 }
@@ -1346,6 +1508,240 @@ Result<PsServer::HandleResult> PsServer::HandleClockAdvance(BufferReader* in) {
   return out;
 }
 
+Result<PsServer::HandleResult> PsServer::HandleRangeExtract(BufferReader* in) {
+  // Non-mutating read of one matrix's column range [begin, end): the source
+  // leg of a migration move. Deliberately outside the dedup table — a retry
+  // must re-execute and re-produce the payload (a deduped empty ack would
+  // lose it). Re-reading is safe: the source is fenced, so the range cannot
+  // change between attempts.
+  PS2_ASSIGN_OR_RETURN(uint64_t matrix_id, in->ReadVarint());
+  PS2_ASSIGN_OR_RETURN(uint64_t begin, in->ReadVarint());
+  PS2_ASSIGN_OR_RETURN(uint64_t end, in->ReadVarint());
+  auto it = shards_.find(static_cast<int>(matrix_id));
+  if (it == shards_.end()) {
+    return Status::NotFound("matrix not found on server");
+  }
+  const Shard& shard = it->second;
+  if (begin >= end || begin < shard.begin || end > shard.end) {
+    return Status::FailedPrecondition("extract range not owned by server");
+  }
+  HandleResult out;
+  BufferWriter writer;
+  writer.WriteVarint(begin);
+  writer.WriteVarint(end);
+  writer.WriteVarint(shard.meta.dim);
+  writer.WriteVarint(shard.meta.num_rows);
+  writer.WriteU8(static_cast<uint8_t>(shard.meta.storage));
+  const uint64_t n = end - begin;
+  for (uint64_t r = 0; r < shard.meta.num_rows; ++r) {
+    if (shard.dense()) {
+      writer.BeginSection(SectionKind::kF64Values);
+      writer.WriteF64Span(shard.dense_rows[r].data() + (begin - shard.begin),
+                          n);
+      writer.EndSection();
+      out.server_ops += n;
+    } else {
+      const auto& map = shard.sparse_rows[r];
+      const auto lo = map.lower_bound(begin);
+      const auto hi = map.lower_bound(end);
+      uint64_t nnz = 0;
+      for (auto itc = lo; itc != hi; ++itc) ++nnz;
+      writer.WriteVarint(nnz);
+      uint64_t prev = 0;
+      for (auto itc = lo; itc != hi; ++itc) {
+        writer.WriteVarint(itc->first - prev);
+        prev = itc->first;
+      }
+      for (auto itc = lo; itc != hi; ++itc) writer.WriteF64(itc->second);
+      out.server_ops += nnz;
+    }
+  }
+  // The source's worker-clock view travels with the range: clock tables
+  // follow the range owner (DESIGN.md §11/§12), max-merged at commit.
+  writer.WriteVarint(worker_clocks_.size());
+  for (uint64_t c : worker_clocks_) writer.WriteVarint(c);
+  out.response_sections = writer.TakeSections();
+  out.response = writer.Release();
+  return out;
+}
+
+Result<PsServer::HandleResult> PsServer::HandleRangeMigrate(BufferReader* in) {
+  // Install leg: stages an extracted range under (epoch, matrix, begin),
+  // waiting for the epoch's commit. Mutating and tracked, but a replay is
+  // also value-idempotent — it overwrites its own key with identical bytes.
+  PS2_ASSIGN_OR_RETURN(uint64_t epoch, in->ReadVarint());
+  PS2_ASSIGN_OR_RETURN(uint64_t matrix_id, in->ReadVarint());
+  StagedRange staged;
+  PS2_ASSIGN_OR_RETURN(staged.begin, in->ReadVarint());
+  PS2_ASSIGN_OR_RETURN(staged.end, in->ReadVarint());
+  PS2_ASSIGN_OR_RETURN(staged.dim, in->ReadVarint());
+  PS2_ASSIGN_OR_RETURN(uint64_t num_rows, in->ReadVarint());
+  PS2_ASSIGN_OR_RETURN(uint8_t storage, in->ReadU8());
+  if (epoch == 0) return Status::InvalidArgument("migration epoch must be > 0");
+  if (staged.begin >= staged.end) {
+    return Status::InvalidArgument("empty staged range");
+  }
+  staged.num_rows = static_cast<uint32_t>(num_rows);
+  staged.storage = static_cast<MatrixStorage>(storage);
+  const uint64_t n = staged.end - staged.begin;
+  HandleResult out;
+  if (staged.storage == MatrixStorage::kDense) {
+    staged.dense_rows.reserve(num_rows);
+    for (uint64_t r = 0; r < num_rows; ++r) {
+      PS2_ASSIGN_OR_RETURN(std::vector<double> row, in->ReadF64Span(n));
+      staged.dense_rows.push_back(std::move(row));
+      out.server_ops += n;
+    }
+  } else {
+    staged.sparse_rows.assign(num_rows, {});
+    for (uint64_t r = 0; r < num_rows; ++r) {
+      PS2_ASSIGN_OR_RETURN(uint64_t nnz, in->ReadVarint());
+      if (nnz > in->remaining()) {
+        return Status::OutOfRange("nnz exceeds request buffer");
+      }
+      std::vector<uint64_t> cols(nnz);
+      uint64_t prev = 0;
+      for (uint64_t i = 0; i < nnz; ++i) {
+        PS2_ASSIGN_OR_RETURN(uint64_t delta, in->ReadVarint());
+        prev += delta;
+        if (prev < staged.begin || prev >= staged.end) {
+          return Status::OutOfRange("staged column outside range");
+        }
+        cols[i] = prev;
+      }
+      for (uint64_t i = 0; i < nnz; ++i) {
+        PS2_ASSIGN_OR_RETURN(double v, in->ReadF64());
+        staged.sparse_rows[r][cols[i]] = v;
+      }
+      out.server_ops += nnz;
+    }
+  }
+  PS2_ASSIGN_OR_RETURN(uint64_t n_clocks, in->ReadVarint());
+  staged.worker_clocks.resize(n_clocks, 0);
+  for (uint64_t w = 0; w < n_clocks; ++w) {
+    PS2_ASSIGN_OR_RETURN(staged.worker_clocks[w], in->ReadVarint());
+  }
+  staged_[std::make_tuple(epoch, static_cast<int>(matrix_id), staged.begin)] =
+      std::move(staged);
+  return out;
+}
+
+Result<PsServer::HandleResult> PsServer::HandleRoutingUpdate(BufferReader* in) {
+  // Commit leg (kRoutingUpdate): atomically applies this epoch's staged
+  // ranges, swaps shard bounds to the new routing table, installs the epoch
+  // and lifts the fence. Runs under mu_ like all of HandleLocked, so the
+  // data plane observes either the old or the new layout, never a mix.
+  PS2_ASSIGN_OR_RETURN(uint64_t epoch, in->ReadVarint());
+  if (epoch == 0) return Status::InvalidArgument("migration epoch must be > 0");
+  PS2_ASSIGN_OR_RETURN(uint64_t n_matrices, in->ReadVarint());
+  struct Entry {
+    int matrix_id;
+    uint64_t begin, end, dim;
+    uint32_t num_rows;
+    MatrixStorage storage;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(n_matrices);
+  for (uint64_t i = 0; i < n_matrices; ++i) {
+    Entry e;
+    PS2_ASSIGN_OR_RETURN(uint64_t m, in->ReadVarint());
+    PS2_ASSIGN_OR_RETURN(e.begin, in->ReadVarint());
+    PS2_ASSIGN_OR_RETURN(e.end, in->ReadVarint());
+    PS2_ASSIGN_OR_RETURN(e.dim, in->ReadVarint());
+    PS2_ASSIGN_OR_RETURN(uint64_t rows, in->ReadVarint());
+    PS2_ASSIGN_OR_RETURN(uint8_t storage, in->ReadU8());
+    e.matrix_id = static_cast<int>(m);
+    e.num_rows = static_cast<uint32_t>(rows);
+    e.storage = static_cast<MatrixStorage>(storage);
+    entries.push_back(e);
+  }
+  if (routing_epoch_ >= epoch && !fenced_) {
+    // Replay of an already-committed epoch that slipped past the dedup
+    // table (e.g. it rolled back with a crash). Committing is idempotent at
+    // the routing level; the staged state is gone, so just ack.
+    return HandleResult{};
+  }
+  // Validate coverage BEFORE mutating anything: for every matrix, the new
+  // range must be covered by the old range's overlap plus staged ranges. A
+  // gap means an install was lost mid-crash — the master re-installs and
+  // retries the commit.
+  for (const Entry& e : entries) {
+    if (e.begin >= e.end) continue;  // shard is dropped, nothing to cover
+    std::vector<std::pair<uint64_t, uint64_t>> covered;
+    auto it = shards_.find(e.matrix_id);
+    if (it != shards_.end()) {
+      const uint64_t lo = std::max(it->second.begin, e.begin);
+      const uint64_t hi = std::min(it->second.end, e.end);
+      if (lo < hi) covered.emplace_back(lo, hi);
+    }
+    for (const auto& [key, staged] : staged_) {
+      if (std::get<0>(key) != epoch || std::get<1>(key) != e.matrix_id) {
+        continue;
+      }
+      const uint64_t lo = std::max(staged.begin, e.begin);
+      const uint64_t hi = std::min(staged.end, e.end);
+      if (lo < hi) covered.emplace_back(lo, hi);
+    }
+    std::sort(covered.begin(), covered.end());
+    uint64_t reach = e.begin;
+    for (const auto& [lo, hi] : covered) {
+      if (lo > reach) break;
+      reach = std::max(reach, hi);
+    }
+    if (reach < e.end) {
+      return Status::FailedPrecondition(
+          "missing staged range for migration commit");
+    }
+  }
+  HandleResult out;
+  for (const Entry& e : entries) {
+    auto it = shards_.find(e.matrix_id);
+    if (e.begin >= e.end) {
+      if (it != shards_.end()) shards_.erase(it);
+      continue;
+    }
+    if (it == shards_.end()) {
+      // Joining server: create the shard from the commit's meta core. The
+      // partitioner snapshot inside the meta is not used on the server data
+      // path (bounds are explicit); the master refreshes it on publish.
+      Shard shard;
+      shard.meta.id = e.matrix_id;
+      shard.meta.dim = e.dim;
+      shard.meta.num_rows = e.num_rows;
+      shard.meta.storage = e.storage;
+      shard.meta.routing_epoch = epoch;
+      shard.begin = e.begin;
+      shard.end = e.begin;  // empty; ResizeShardLocked fills from staged
+      if (e.storage == MatrixStorage::kDense) {
+        shard.dense_rows.assign(e.num_rows, {});
+      } else {
+        shard.sparse_rows.assign(e.num_rows, {});
+      }
+      shard.row_versions.assign(e.num_rows, 0);
+      it = shards_.emplace(e.matrix_id, std::move(shard)).first;
+    }
+    ResizeShardLocked(&it->second, e.begin, e.end, epoch);
+    out.server_ops += static_cast<uint64_t>(e.num_rows) * (e.end - e.begin);
+  }
+  // Clock tables follow the range owner: max-merge every staged view.
+  for (const auto& [key, staged] : staged_) {
+    if (std::get<0>(key) != epoch) continue;
+    if (worker_clocks_.size() < staged.worker_clocks.size()) {
+      worker_clocks_.resize(staged.worker_clocks.size(), 0);
+    }
+    for (size_t w = 0; w < staged.worker_clocks.size(); ++w) {
+      worker_clocks_[w] = std::max(worker_clocks_[w], staged.worker_clocks[w]);
+    }
+  }
+  // Commit point: epoch forward, staged state consumed, fence lifted.
+  for (auto it = staged_.begin(); it != staged_.end();) {
+    it = std::get<0>(it->first) <= epoch ? staged_.erase(it) : ++it;
+  }
+  if (epoch > routing_epoch_) routing_epoch_ = epoch;
+  fenced_ = false;
+  return out;
+}
+
 void PsServer::InitWorkerClocks(int num_workers) {
   std::lock_guard<std::mutex> lock(mu_);
   worker_clocks_.assign(static_cast<size_t>(num_workers), 0);
@@ -1444,6 +1840,11 @@ std::vector<uint8_t> PsServer::SerializeState() const {
   for (const auto& [id, shard] : shards_) {
     writer.WriteVarint(static_cast<uint64_t>(id));
     writer.WriteU8(static_cast<uint8_t>(shard.meta.storage));
+    // Shard bounds are part of the image (DESIGN.md §12): with elastic
+    // membership a server's column span can change between checkpoints, so
+    // restore must not assume the current bounds match the checkpoint's.
+    writer.WriteVarint(shard.begin);
+    writer.WriteVarint(shard.end);
     if (shard.dense()) {
       writer.WriteVarint(shard.dense_rows.size());
       for (const auto& row : shard.dense_rows) writer.WritePodVector(row);
@@ -1505,6 +1906,8 @@ Status PsServer::RestoreState(const std::vector<uint8_t>& buffer) {
   for (uint64_t s = 0; s < n_shards; ++s) {
     PS2_ASSIGN_OR_RETURN(uint64_t id, in.ReadVarint());
     PS2_ASSIGN_OR_RETURN(uint8_t storage, in.ReadU8());
+    PS2_ASSIGN_OR_RETURN(uint64_t img_begin, in.ReadVarint());
+    PS2_ASSIGN_OR_RETURN(uint64_t img_end, in.ReadVarint());
     auto it = shards_.find(static_cast<int>(id));
     if (it == shards_.end()) {
       return Status::NotFound("checkpoint contains unknown matrix shard");
@@ -1513,15 +1916,24 @@ Status PsServer::RestoreState(const std::vector<uint8_t>& buffer) {
     if (static_cast<MatrixStorage>(storage) != shard.meta.storage) {
       return Status::Internal("checkpoint storage kind mismatch");
     }
+    if (img_begin > img_end) {
+      return Status::Internal("checkpoint shard bounds invalid");
+    }
     PS2_ASSIGN_OR_RETURN(uint64_t n_rows, in.ReadVarint());
     if (n_rows != shard.meta.num_rows) {
       return Status::Internal("checkpoint row count mismatch");
     }
+    // The image is authoritative for bounds: a checkpoint written before a
+    // migration restores the pre-migration span, and the master reconciles
+    // it against the current routing table afterwards
+    // (PsServer::ReconcileShardBounds — DESIGN.md §12).
+    shard.begin = img_begin;
+    shard.end = img_end;
     if (shard.dense()) {
       for (uint64_t r = 0; r < n_rows; ++r) {
         PS2_ASSIGN_OR_RETURN(std::vector<double> row,
                              in.ReadPodVector<double>());
-        if (row.size() != shard.width()) {
+        if (row.size() != img_end - img_begin) {
           return Status::Internal("checkpoint row width mismatch");
         }
         shard.dense_rows[r] = std::move(row);
@@ -1609,6 +2021,9 @@ void PsServer::DropAllState() {
     }
   }
   replicas_.clear();
+  // Staged migration ranges die with the process: a commit after recovery
+  // fails coverage validation and the master re-installs (DESIGN.md §12).
+  staged_.clear();
   // Published snapshots die with the process: the master republishes from
   // the restored shards after recovery (ModelSnapshotManager).
   snapshots_.clear();

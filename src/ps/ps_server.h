@@ -17,6 +17,7 @@
 #include <memory>
 #include <mutex>
 #include <set>
+#include <tuple>
 #include <vector>
 
 #include "common/metrics.h"
@@ -76,6 +77,40 @@ class PsServer {
   Status CreateMatrixShard(const MatrixMeta& meta);
   Status FreeMatrixShard(int matrix_id);
   bool HasMatrix(int matrix_id) const;
+
+  // ---- Elastic membership / resharding (membership/, DESIGN.md §12) ----
+
+  /// Suspends the tracked data plane for a migration: until the commit
+  /// (kRoutingUpdate) lands, tracked requests get the `routing stale
+  /// (fenced)` FailedPrecondition. Control plane, like CreateMatrixShard.
+  void FenceForMigration();
+
+  /// Installs the routing-table version this server enforces: a tracked
+  /// request stamped with an older (nonzero) epoch is rejected with
+  /// `routing stale (epoch)`. Called directly on servers not involved in a
+  /// migration; involved servers get their epoch from the commit op.
+  void SetRoutingEpoch(uint64_t epoch);
+
+  /// Permanently retires the server (RemoveServer): every tracked data-plane
+  /// request is rejected with `routing stale (decommissioned)`. The dedup
+  /// table is kept so rejections still answer the applied-probe (see
+  /// DESIGN.md §12); migration control ops keep working so in-flight
+  /// extracts can finish.
+  void Decommission(uint64_t epoch);
+
+  bool fenced() const;
+  bool decommissioned() const;
+  uint64_t routing_epoch() const;
+
+  /// Re-aligns the shard of `meta.id` with what `meta.partitioner` says this
+  /// server owns — the crash-recovery reconcile: a checkpoint written before
+  /// a migration restores the old bounds, and this rebuilds the shard at the
+  /// current bounds preserving the overlapping columns (the migrated-away or
+  /// not-yet-migrated remainder is zero-filled, same semantics as any other
+  /// post-checkpoint loss). Returns true if the bounds changed. If the
+  /// partitioner no longer assigns this server any columns the shard is
+  /// dropped; if the server has no shard but owns columns, one is created.
+  Result<bool> ReconcileShardBounds(const MatrixMeta& meta);
 
   // ---- Hot-parameter management (hotspot/, DESIGN.md §5d) ----
 
@@ -268,6 +303,26 @@ class PsServer {
     std::map<uint64_t, double> pending;
   };
 
+  /// State extracted from a source server and staged by a kRangeMigrate
+  /// install, waiting for the epoch's commit (kRoutingUpdate). Keyed by
+  /// (epoch, matrix, begin); a retried install overwrites its key, so
+  /// replays are idempotent. Soft state: a crash before the commit drops it
+  /// and the master re-installs (DESIGN.md §12).
+  struct StagedRange {
+    uint64_t begin = 0;
+    uint64_t end = 0;
+    uint64_t dim = 0;
+    uint32_t num_rows = 0;
+    MatrixStorage storage = MatrixStorage::kDense;
+    // Dense: num_rows x (end-begin). Sparse: per-row column -> value within
+    // [begin, end).
+    std::vector<std::vector<double>> dense_rows;
+    std::vector<std::map<uint64_t, double>> sparse_rows;
+    // Source server's worker clocks, max-merged at commit (clock tables
+    // follow the range owner — DESIGN.md §11/§12).
+    std::vector<uint64_t> worker_clocks;
+  };
+
   /// Sequence numbers already applied for one client (DESIGN.md §6).
   /// `floor` covers the contiguous prefix [1, floor]; out-of-order arrivals
   /// (bounded by the client's async window) sit in `seen` until the gap
@@ -335,6 +390,15 @@ class PsServer {
   Result<HandleResult> HandleHotPush(BufferReader* in);
   Result<HandleResult> HandleServingPull(BufferReader* in);
   Result<HandleResult> HandleClockAdvance(BufferReader* in);
+  Result<HandleResult> HandleRangeExtract(BufferReader* in);
+  Result<HandleResult> HandleRangeMigrate(BufferReader* in);
+  Result<HandleResult> HandleRoutingUpdate(BufferReader* in);
+
+  /// Rebuilds `shard` at [new_begin, new_end), preserving the overlap with
+  /// the old bounds and filling the rest from this epoch's staged ranges
+  /// (zero where nothing is staged — callers validate coverage first).
+  void ResizeShardLocked(Shard* shard, uint64_t new_begin, uint64_t new_end,
+                         uint64_t epoch);
 
   int id_;
   const UdfRegistry* udfs_;
@@ -359,6 +423,15 @@ class PsServer {
   FilterChain chain_;
   ServerKeyCache keycache_;
   bool crashed_ = false;
+  // Elastic membership (DESIGN.md §12). routing_epoch_ is the newest routing
+  // table version this server has enforced; tracked requests stamped with an
+  // older nonzero epoch are rejected (`routing stale`). fenced_ suspends the
+  // tracked data plane mid-migration; decommissioned_ is permanent.
+  uint64_t routing_epoch_ = 0;
+  bool fenced_ = false;
+  bool decommissioned_ = false;
+  // (epoch, matrix, begin) -> extracted state staged by kRangeMigrate.
+  std::map<std::tuple<uint64_t, int, uint64_t>, StagedRange> staged_;
   size_t stats_capacity_ = 0;  ///< 0 = access statistics off
   std::unique_ptr<AccessStats> stats_;
   // Observability (SetMetrics). `active_` counts Handle calls currently in

@@ -23,6 +23,11 @@ struct MatrixMeta {
   uint32_t num_rows = 0;   ///< reserved rows; `derive` hands these out
   MatrixStorage storage = MatrixStorage::kDense;
   ColumnPartitioner partitioner;
+  /// Routing-table version this partitioner snapshot belongs to. Clients
+  /// stamp it into RpcHeader::routing_epoch so a meta fetched before a
+  /// migration commit is rejected (and refetched) instead of silently
+  /// routing to the old owner. 0 until the first membership change.
+  uint64_t routing_epoch = 0;
 };
 
 /// \brief A half-open column window [begin, end) of a row.
@@ -103,6 +108,10 @@ enum class PsOpCode : uint8_t {
   kServingPull = 19,  ///< batched read from a published snapshot epoch
   // Consistency controller (DESIGN.md §11).
   kClockAdvance = 20,  ///< worker advances its clock in the server's vector
+  // Elastic membership / online resharding (DESIGN.md §12).
+  kRangeExtract = 21,   ///< read one matrix's column range off the old owner
+  kRangeMigrate = 22,   ///< stage an extracted range on the new owner
+  kRoutingUpdate = 23,  ///< fence / commit staged ranges / bump routing epoch
 };
 
 /// Stable short name of an opcode for metric tags and trace spans
@@ -131,12 +140,15 @@ constexpr const char* PsOpCodeName(PsOpCode op) {
     case PsOpCode::kHotPush: return "hot_push";
     case PsOpCode::kServingPull: return "serving_pull";
     case PsOpCode::kClockAdvance: return "clock_advance";
+    case PsOpCode::kRangeExtract: return "range_extract";
+    case PsOpCode::kRangeMigrate: return "range_migrate";
+    case PsOpCode::kRoutingUpdate: return "routing_update";
   }
   return "unknown";
 }
 
 /// Number of distinct PsOpCode values (for per-opcode metric tables).
-constexpr int kNumPsOpCodes = 21;
+constexpr int kNumPsOpCodes = 24;
 
 /// True for opcodes whose handlers mutate server state. Retrying one of
 /// these after an ambiguous failure (a lost *response*) would double-apply
@@ -159,6 +171,11 @@ constexpr bool IsMutatingOpcode(PsOpCode op) {
     // a max-merge (idempotent), but routing them through the dedup table
     // keeps the retry accounting uniform with the other mutations.
     case PsOpCode::kClockAdvance:
+    // Staging a migrated range overwrites the staging slot (idempotent), and
+    // routing updates are epoch-guarded, but both ride the dedup table so a
+    // replayed commit after a lost response acks instead of re-running.
+    case PsOpCode::kRangeMigrate:
+    case PsOpCode::kRoutingUpdate:
       return true;
     case PsOpCode::kPullDense:
     case PsOpCode::kPullSparse:
@@ -169,9 +186,28 @@ constexpr bool IsMutatingOpcode(PsOpCode op) {
     case PsOpCode::kPullRowsBatch:
     case PsOpCode::kPullSparseRowsBatch:
     case PsOpCode::kServingPull:
+    case PsOpCode::kRangeExtract:
       return false;
   }
   return false;
+}
+
+/// True for the membership/resharding control plane (DESIGN.md §12). These
+/// opcodes must keep flowing while a server is fenced or decommissioned —
+/// they are exactly what un-fences it — so PsServer's routing-staleness
+/// check exempts them, and PsClient never re-routes them.
+constexpr bool IsMigrationControlOpcode(PsOpCode op) {
+  return op == PsOpCode::kRangeExtract || op == PsOpCode::kRangeMigrate ||
+         op == PsOpCode::kRoutingUpdate;
+}
+
+/// Matches PsServer's routing-staleness rejection ("routing stale (fenced)",
+/// "... (decommissioned)", "... (epoch)", optionally suffixed " (applied)"
+/// when the mutation in question already executed on the rejecting server).
+/// Same FailedPrecondition refetch idiom as IsKeyCacheMiss (net/filters.h).
+inline bool IsRoutingStale(const Status& status) {
+  return status.IsFailedPrecondition() &&
+         status.message().rfind("routing stale", 0) == 0;
 }
 
 /// \brief Per-message identity riding the RPC framing (DESIGN.md §6).
@@ -188,6 +224,14 @@ struct RpcHeader {
   int client_id = -1;   ///< PsMaster::AllocateClientId(); -1 = untracked
   uint64_t seq = 0;     ///< per-(client, server) monotonic, starting at 1
   uint32_t attempt = 1; ///< 1 = first try; >1 = retry of the same seq
+  /// 1 + the routing-table version the sender planned this request against
+  /// (DESIGN.md §12). 0 = unstamped (clock broadcasts, control legs); the
+  /// +1 keeps "planned against the initial version-0 table" distinguishable
+  /// from "unstamped", so the FIRST migration can bounce in-flight requests
+  /// too. A server rejects a stamp at or below its own version with the
+  /// `routing stale` FailedPrecondition refetch protocol. Rides the fixed
+  /// Message::kHeaderBytes framing, so wire byte accounting is unchanged.
+  uint64_t routing_epoch = 0;
 
   bool tracked() const { return client_id >= 0; }
 };

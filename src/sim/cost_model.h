@@ -29,6 +29,17 @@ namespace ps2 {
 struct ClusterSpec {
   int num_workers = 20;
   int num_servers = 20;
+  /// Upper bound on the server fleet for elastic membership (DESIGN.md §12):
+  /// PsMaster preallocates this many server slots, of which `num_servers`
+  /// start active; AddServer activates the rest at runtime. 0 (default)
+  /// means "not elastic" — the fleet is exactly num_servers and every
+  /// pre-elastic trace is bit-identical.
+  int max_servers = 0;
+
+  /// Effective fleet-size bound (max_servers clamped up to num_servers).
+  int EffectiveMaxServers() const {
+    return max_servers > num_servers ? max_servers : num_servers;
+  }
 
   double net_bandwidth_bps = 1.25e9;  ///< bytes/sec per endpoint (10 Gbps)
   double io_bandwidth_bps = 3e8;      ///< bytes/sec reading input (HDFS-ish)
@@ -76,7 +87,9 @@ struct ClusterSpec {
 
   /// Returns InvalidArgument-style reasons as a bool+message free check.
   bool Valid() const {
-    return num_workers > 0 && num_servers > 0 && net_bandwidth_bps > 0 &&
+    return num_workers > 0 && num_servers > 0 &&
+           (max_servers == 0 || max_servers >= num_servers) &&
+           net_bandwidth_bps > 0 &&
            rpc_latency_s >= 0 && per_msg_overhead_s >= 0 && worker_flops > 0 &&
            server_flops > 0 && driver_flops > 0 && task_failure_prob >= 0 &&
            task_failure_prob < 1.0 && message_failure_prob >= 0 &&

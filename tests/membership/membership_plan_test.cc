@@ -1,0 +1,230 @@
+// Migration-planning properties (DESIGN.md §12): the block assignment the
+// planner diffs against must cover every partition, keep each server's
+// partitions contiguous (shards stay single-range), stay balanced, reduce
+// to the legacy layout on a full fleet, and produce minimal move sets —
+// and every committed migration must bump the routing epoch by exactly one.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "membership/membership_manager.h"
+#include "ps/partitioner.h"
+#include "ps/ps_master.h"
+
+namespace ps2 {
+namespace {
+
+// A representative sweep of (active list, partition count, rotation).
+struct Shape {
+  std::vector<int> active;
+  int partitions;
+  int rotation;
+};
+
+std::vector<Shape> Shapes() {
+  return {
+      {{0}, 1, 0},           {{0}, 8, 0},          {{0, 1}, 8, 0},
+      {{0, 1}, 8, 1},        {{0, 1, 2}, 8, 2},    {{0, 2, 5}, 16, 0},
+      {{1, 3, 4, 7}, 16, 3}, {{0, 1, 2, 3}, 4, 1}, {{0, 1, 2, 3, 4, 5}, 4, 0},
+      {{2, 9}, 7, 5},        {{0, 1, 2, 3}, 13, 2},
+  };
+}
+
+int BlocksOf(const Shape& s) {
+  return std::min<int>(static_cast<int>(s.active.size()), s.partitions);
+}
+
+TEST(MembershipPlanTest, EveryPartitionOwnedByExactlyOneActiveServer) {
+  for (const Shape& s : Shapes()) {
+    std::vector<int> a = ColumnPartitioner::BlockAssignment(
+        s.active, s.partitions, s.rotation);
+    ASSERT_EQ(a.size(), static_cast<size_t>(s.partitions));
+    for (int owner : a) {
+      EXPECT_TRUE(std::binary_search(s.active.begin(), s.active.end(), owner))
+          << "owner " << owner << " is not active";
+    }
+  }
+}
+
+TEST(MembershipPlanTest, PerServerPartitionsFormOneContiguousRun) {
+  for (const Shape& s : Shapes()) {
+    std::vector<int> a = ColumnPartitioner::BlockAssignment(
+        s.active, s.partitions, s.rotation);
+    // Once an owner's run ends, that owner must never reappear.
+    std::map<int, bool> closed;
+    for (size_t p = 0; p < a.size(); ++p) {
+      if (p > 0 && a[p] != a[p - 1]) closed[a[p - 1]] = true;
+      EXPECT_FALSE(closed[a[p]])
+          << "owner " << a[p] << " owns disjoint runs at partition " << p;
+    }
+  }
+}
+
+TEST(MembershipPlanTest, BlockSizesBalancedWithinOne) {
+  for (const Shape& s : Shapes()) {
+    std::vector<int> a = ColumnPartitioner::BlockAssignment(
+        s.active, s.partitions, s.rotation);
+    std::map<int, int> count;
+    for (int owner : a) count[owner] += 1;
+    const int blocks = BlocksOf(s);
+    EXPECT_EQ(static_cast<int>(count.size()), blocks);
+    for (const auto& [owner, n] : count) {
+      EXPECT_GE(n, s.partitions / blocks) << "owner " << owner;
+      EXPECT_LE(n, (s.partitions + blocks - 1) / blocks) << "owner " << owner;
+    }
+  }
+}
+
+TEST(MembershipPlanTest, FullFleetReducesToLegacyRotation) {
+  // With as many active servers as partitions, the block assignment must be
+  // exactly the pre-elastic (p + rotation) % n placement.
+  for (int n : {1, 2, 4, 7}) {
+    for (int rot = 0; rot < n; ++rot) {
+      std::vector<int> active(n);
+      for (int i = 0; i < n; ++i) active[i] = i;
+      std::vector<int> a =
+          ColumnPartitioner::BlockAssignment(active, n, rot);
+      for (int p = 0; p < n; ++p) {
+        EXPECT_EQ(a[p], (p + rot) % n) << "n=" << n << " rot=" << rot;
+      }
+    }
+  }
+}
+
+TEST(MembershipPlanTest, MakeElasticMatchesMakeOnFullFleet) {
+  std::vector<int> active{0, 1, 2, 3};
+  ColumnPartitioner legacy = *ColumnPartitioner::Make(1000, 4, 1, 2);
+  ColumnPartitioner elastic =
+      *ColumnPartitioner::MakeElastic(1000, active, 4, 1, 2);
+  EXPECT_TRUE(legacy.CoLocatedWith(elastic));
+  for (uint64_t col = 0; col < 1000; col += 13) {
+    EXPECT_EQ(legacy.ServerOfColumn(col), elastic.ServerOfColumn(col));
+  }
+}
+
+TEST(MembershipPlanTest, PlanIsPureFunctionOfMembership) {
+  // Join then leave the same server lands back on the original assignment,
+  // so a scale-up mistake is always cleanly reversible.
+  const std::vector<int> before{0, 1, 3};
+  const std::vector<int> during{0, 1, 2, 3};
+  std::vector<int> a0 = ColumnPartitioner::BlockAssignment(before, 16, 1);
+  std::vector<int> a1 = ColumnPartitioner::BlockAssignment(during, 16, 1);
+  std::vector<int> a2 = ColumnPartitioner::BlockAssignment(before, 16, 1);
+  EXPECT_NE(a0, a1);
+  EXPECT_EQ(a0, a2);
+}
+
+TEST(MembershipPlanTest, JoinGivesNewServerItsBalancedShareOnly) {
+  const std::vector<int> old_active{0, 1};
+  const std::vector<int> new_active{0, 1, 2};
+  std::vector<int> before =
+      ColumnPartitioner::BlockAssignment(old_active, 12, 0);
+  std::vector<int> after = ColumnPartitioner::BlockAssignment(new_active, 12, 0);
+  int to_joined = 0, moves = 0;
+  for (size_t p = 0; p < before.size(); ++p) {
+    if (before[p] != after[p]) ++moves;
+    if (after[p] == 2) {
+      ++to_joined;
+      EXPECT_NE(before[p], 2);
+    }
+  }
+  EXPECT_EQ(to_joined, 4);  // 12 partitions over 3 servers
+  // Minimality: a full reshuffle would move everything; the block plan must
+  // leave at least the new server's complement in place.
+  EXPECT_GT(moves, 0);
+  EXPECT_LE(moves, 12 - 4);
+}
+
+TEST(MembershipPlanTest, WithAssignmentRejectsSplitShards) {
+  ColumnPartitioner p = *ColumnPartitioner::MakeElastic(100, {0, 1}, 4);
+  // {0,1,0,1} gives server 0 two disjoint ranges — not a single shard.
+  EXPECT_FALSE(p.WithAssignment({0, 1, 0, 1}).ok());
+  EXPECT_TRUE(p.WithAssignment({0, 0, 1, 1}).ok());
+  EXPECT_TRUE(p.WithAssignment({0, 1, 1, 1}).ok());
+}
+
+TEST(MembershipPlanTest, WithAssignmentKeepsBoundariesFixed) {
+  ColumnPartitioner p = *ColumnPartitioner::MakeElastic(103, {0, 1}, 4);
+  ColumnPartitioner q = *p.WithAssignment({0, 0, 0, 1});
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(p.RangeBegin(i), q.RangeBegin(i));
+    EXPECT_EQ(p.RangeEnd(i), q.RangeEnd(i));
+  }
+  EXPECT_EQ(q.ServerOfPartition(2), 0);
+}
+
+class RoutingEpochTest : public ::testing::Test {
+ protected:
+  RoutingEpochTest() {
+    ClusterSpec spec;
+    spec.num_workers = 2;
+    spec.num_servers = 2;
+    spec.max_servers = 4;
+    cluster_ = std::make_unique<Cluster>(spec);
+    master_ = std::make_unique<PsMaster>(cluster_.get());
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<PsMaster> master_;
+};
+
+TEST_F(RoutingEpochTest, EpochBumpsByOnePerCommittedMigration) {
+  MatrixOptions mo;
+  mo.dim = 256;
+  mo.reserve_rows = 1;
+  const int a = *master_->CreateMatrix(mo);
+  const int b = *master_->CreateMatrix(mo);
+  EXPECT_EQ(master_->routing_epoch(), 0u);
+  EXPECT_EQ(master_->GetMeta(a)->routing_epoch, 0u);
+
+  ASSERT_TRUE(master_->AddServer().ok());
+  EXPECT_EQ(master_->routing_epoch(), 1u);
+  EXPECT_EQ(master_->GetMeta(a)->routing_epoch, 1u);
+  EXPECT_EQ(master_->GetMeta(b)->routing_epoch, 1u);
+  EXPECT_EQ(master_->membership()->last_migration().epoch, 1u);
+
+  ASSERT_TRUE(master_->AddServer().ok());
+  EXPECT_EQ(master_->routing_epoch(), 2u);
+
+  ASSERT_TRUE(master_->RemoveServer(0).ok());
+  EXPECT_EQ(master_->routing_epoch(), 3u);
+  EXPECT_EQ(master_->GetMeta(b)->routing_epoch, 3u);
+  EXPECT_EQ(master_->membership()->migrations(), 3u);
+
+  // A rebalance that finds nothing to do must not burn an epoch. The first
+  // call absorbs the busy time the migrations themselves accrued (and may
+  // legitimately move an edge); the second sees zero deltas and must no-op.
+  ASSERT_TRUE(master_->RebalanceOnce(1.25).ok());
+  const uint64_t settled = master_->routing_epoch();
+  Result<bool> moved = master_->RebalanceOnce(1.25);
+  ASSERT_TRUE(moved.ok());
+  EXPECT_FALSE(*moved);
+  EXPECT_EQ(master_->routing_epoch(), settled);
+}
+
+TEST_F(RoutingEpochTest, MigrationMoveCountMatchesAssignmentDiff) {
+  MatrixOptions mo;
+  mo.dim = 4096;
+  mo.reserve_rows = 1;
+  const int a = *master_->CreateMatrix(mo);
+  const int b = *master_->CreateMatrix(mo);
+  std::vector<int> before_a = master_->GetMeta(a)->partitioner.assignment();
+  std::vector<int> before_b = master_->GetMeta(b)->partitioner.assignment();
+
+  ASSERT_TRUE(master_->AddServer().ok());
+  std::vector<int> after_a = master_->GetMeta(a)->partitioner.assignment();
+  std::vector<int> after_b = master_->GetMeta(b)->partitioner.assignment();
+
+  uint64_t expected = 0;
+  for (size_t p = 0; p < before_a.size(); ++p) {
+    expected += before_a[p] != after_a[p] ? 1 : 0;
+    expected += before_b[p] != after_b[p] ? 1 : 0;
+  }
+  EXPECT_GT(expected, 0u);
+  EXPECT_EQ(master_->membership()->last_migration().moves, expected);
+}
+
+}  // namespace
+}  // namespace ps2

@@ -81,7 +81,11 @@ def is_gated(key):
     # sizes, virtual-time domain), and required to be IDENTICAL across SIMD
     # dispatch modes — CI compares a PS2_SIMD=off run against an auto run
     # with --tolerance 0 to prove the scalar and AVX2 backends equivalent.
-    return key in CHECK_KEYS or key.startswith("det.")
+    # "migrate." fields are the elastic-membership metrics written by
+    # bench/elastic_scaleout.cpp (bytes moved, routing epochs, rebalance
+    # virtual time, skew reduction): seed-deterministic outputs of the
+    # migration planner, gated so resharding regressions fail the bench job.
+    return key in CHECK_KEYS or key.startswith(("det.", "migrate."))
 
 
 def load_runs(path):

@@ -14,7 +14,10 @@
 // cluster's traffic metrics.
 
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "baselines/mllib_lr.h"
 #include "consistency/consistency.h"
@@ -47,6 +50,8 @@ namespace tools {
 namespace {
 
 const Flags* g_flags = nullptr;  ///< set once in Main, read by PrintReport
+
+int Usage();
 
 /// Writes --trace / --metrics-json outputs. Called from PrintReport so every
 /// workload path flushes observability data while its Cluster is alive.
@@ -105,6 +110,9 @@ ClusterSpec SpecFromFlags(const Flags& flags) {
   spec.message_failure_prob = flags.GetDouble("message-failure-prob", 0.0);
   spec.server_crash_prob = flags.GetDouble("server-crash-prob", 0.0);
   spec.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  // Fleet headroom for --scale-event=add:<t> (DESIGN.md §12). 0 = fleet ==
+  // --servers, the static pre-elastic cluster.
+  spec.max_servers = static_cast<int>(flags.GetInt("max-servers", 0));
   if (flags.Has("filters")) {
     Result<FilterConfig> parsed =
         FilterConfig::Parse(flags.GetString("filters", "off"));
@@ -138,8 +146,142 @@ ConsistencyPolicy ConsistencyFromFlags(const Flags& flags) {
   return policy;
 }
 
+/// Bugfix guard: a --consistency/--filters value that PARSES cleanly but
+/// references a cluster with zero servers or an empty model used to trip an
+/// assert deep inside ClusterSpec/matrix validation. Reject it up front
+/// with a usage error that names the offending flag. Returns true when the
+/// run must abort (caller returns Usage()).
+bool RejectDegenerateTopology(const Flags& flags, const ClusterSpec& spec,
+                              uint64_t model_dim, const char* dim_flag) {
+  for (const char* name : {"consistency", "filters"}) {
+    if (!flags.Has(name)) continue;
+    const std::string value = flags.GetString(name, "");
+    if (spec.num_servers <= 0) {
+      std::fprintf(stderr,
+                   "--%s=%s: no servers to apply it to (--servers=%d); "
+                   "need --servers >= 1\n",
+                   name, value.c_str(), spec.num_servers);
+      return true;
+    }
+    if (model_dim == 0) {
+      std::fprintf(stderr,
+                   "--%s=%s: the model is empty (--%s=0); need a non-zero "
+                   "dimension\n",
+                   name, value.c_str(), dim_flag);
+      return true;
+    }
+  }
+  return false;
+}
+
+/// \brief One --scale-event entry: add or remove a server once the virtual
+/// clock passes `at` seconds.
+struct ScaleEvent {
+  bool add = false;
+  double at = 0.0;
+  bool fired = false;
+};
+
+/// Parses `--scale-event=add:<t>,remove:<t>,...` (ONE comma-separated flag
+/// value; the flag parser keeps only the last occurrence of a repeated
+/// flag). Returns false on malformed input, naming the bad token.
+bool ParseScaleEvents(const std::string& raw, std::vector<ScaleEvent>* out) {
+  size_t pos = 0;
+  while (pos < raw.size()) {
+    size_t comma = raw.find(',', pos);
+    if (comma == std::string::npos) comma = raw.size();
+    const std::string token = raw.substr(pos, comma - pos);
+    pos = comma + 1;
+    const size_t colon = token.find(':');
+    ScaleEvent event;
+    if (colon != std::string::npos) {
+      const std::string kind = token.substr(0, colon);
+      event.add = kind == "add";
+      if (event.add || kind == "remove") {
+        const std::string when = token.substr(colon + 1);
+        char* end = nullptr;
+        event.at = std::strtod(when.c_str(), &end);
+        if (!when.empty() && end != nullptr && *end == '\0' &&
+            event.at >= 0.0) {
+          out->push_back(event);
+          continue;
+        }
+      }
+    }
+    std::fprintf(stderr,
+                 "--scale-event: bad entry '%s' (want add:<t>|remove:<t>, "
+                 "comma-separated, t in virtual seconds)\n",
+                 token.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Installs the --scale-event scheduler: a post-stage hook that fires each
+/// event the first time the virtual clock passes its time. `remove` always
+/// retires the highest active server id (deterministic and symmetric with
+/// `add`, which claims the lowest spare slot).
+void InstallScaleEvents(std::vector<ScaleEvent> events, Cluster* cluster,
+                        PsMaster* master) {
+  if (events.empty()) return;
+  auto shared = std::make_shared<std::vector<ScaleEvent>>(std::move(events));
+  cluster->RegisterPostStageHook([master, shared](Cluster& c) {
+    const double now = c.clock().Now();
+    for (ScaleEvent& event : *shared) {
+      if (event.fired || now < event.at) continue;
+      event.fired = true;
+      if (event.add) {
+        Result<int> added = master->AddServer();
+        if (added.ok()) {
+          std::printf("[t=%.3f] scale-out: server %d joined "
+                      "(routing epoch %llu)\n",
+                      now, *added,
+                      static_cast<unsigned long long>(
+                          master->routing_epoch()));
+        } else {
+          std::fprintf(stderr, "[t=%.3f] scale-out failed: %s\n", now,
+                       added.status().ToString().c_str());
+        }
+      } else {
+        const std::vector<int> active = master->active_servers();
+        const int victim = active.empty() ? -1 : active.back();
+        Status removed = victim >= 0 ? master->RemoveServer(victim)
+                                     : Status::FailedPrecondition(
+                                           "no active servers to remove");
+        if (removed.ok()) {
+          std::printf("[t=%.3f] scale-in: server %d left "
+                      "(routing epoch %llu)\n",
+                      now, victim,
+                      static_cast<unsigned long long>(
+                          master->routing_epoch()));
+        } else {
+          std::fprintf(stderr, "[t=%.3f] scale-in failed: %s\n", now,
+                       removed.ToString().c_str());
+        }
+      }
+    }
+  });
+}
+
+/// Parses + installs --scale-event for a workload runner. Returns false on
+/// a parse error (caller returns Usage()).
+bool SetupScaleEvents(const Flags& flags, Cluster* cluster, PsMaster* master) {
+  if (!flags.Has("scale-event")) return true;
+  std::vector<ScaleEvent> events;
+  if (!ParseScaleEvents(flags.GetString("scale-event", ""), &events)) {
+    return false;
+  }
+  InstallScaleEvents(std::move(events), cluster, master);
+  return true;
+}
+
 int RunGlmFamily(const Flags& flags, const std::string& family) {
   ClusterSpec spec = SpecFromFlags(flags);
+  if (RejectDegenerateTopology(
+          flags, spec, static_cast<uint64_t>(flags.GetInt("dim", 100000)),
+          "dim")) {
+    return Usage();
+  }
   Cluster cluster(spec);
   ClassificationSpec ds;
   ds.rows = static_cast<uint64_t>(flags.GetInt("rows", 50000));
@@ -150,6 +292,7 @@ int RunGlmFamily(const Flags& flags, const std::string& family) {
   std::printf("data: %zu examples x %llu features\n", data.Count(),
               static_cast<unsigned long long>(ds.dim));
   DcvContext ctx(&cluster);
+  if (!SetupScaleEvents(flags, &cluster, ctx.master())) return Usage();
 
   if (family == "lbfgs") {
     LbfgsOptions options;
@@ -231,6 +374,11 @@ int RunGlmFamily(const Flags& flags, const std::string& family) {
 
 int RunDeepWalk(const Flags& flags) {
   ClusterSpec spec = SpecFromFlags(flags);
+  if (RejectDegenerateTopology(
+          flags, spec, static_cast<uint64_t>(flags.GetInt("vertices", 5000)),
+          "vertices")) {
+    return Usage();
+  }
   Cluster cluster(spec);
   GraphSpec graph;
   graph.num_vertices = static_cast<uint32_t>(flags.GetInt("vertices", 5000));
@@ -240,6 +388,7 @@ int RunDeepWalk(const Flags& flags) {
   std::printf("corpus: %zu pairs from %u vertices\n", pairs.Count(),
               graph.num_vertices);
   DcvContext ctx(&cluster);
+  if (!SetupScaleEvents(flags, &cluster, ctx.master())) return Usage();
   DeepWalkOptions options;
   options.num_vertices = graph.num_vertices;
   options.embedding_dim =
@@ -259,6 +408,11 @@ int RunDeepWalk(const Flags& flags) {
 
 int RunGbdt(const Flags& flags) {
   ClusterSpec spec = SpecFromFlags(flags);
+  if (RejectDegenerateTopology(
+          flags, spec, static_cast<uint64_t>(flags.GetInt("features", 100)),
+          "features")) {
+    return Usage();
+  }
   Cluster cluster(spec);
   GbdtDataSpec ds;
   ds.rows = static_cast<uint64_t>(flags.GetInt("rows", 20000));
@@ -277,6 +431,7 @@ int RunGbdt(const Flags& flags) {
   Result<GbdtReport> report = Status::Internal("unset");
   if (system == "ps2") {
     DcvContext ctx(&cluster);
+    if (!SetupScaleEvents(flags, &cluster, ctx.master())) return Usage();
     report = TrainGbdtPs2(&ctx, data, options);
   } else if (system == "xgboost") {
     report = TrainGbdtXgboost(&cluster, data, options);
@@ -298,6 +453,11 @@ int RunGbdt(const Flags& flags) {
 /// offered/achieved QPS, shed rate and virtual latency percentiles.
 int RunServe(const Flags& flags) {
   ClusterSpec spec = SpecFromFlags(flags);
+  if (RejectDegenerateTopology(
+          flags, spec, static_cast<uint64_t>(flags.GetInt("dim", 10000)),
+          "dim")) {
+    return Usage();
+  }
   Cluster cluster(spec);
   PsMaster master(&cluster);
   PsClient client(&master);
@@ -373,6 +533,11 @@ int RunServe(const Flags& flags) {
 
 int RunLda(const Flags& flags) {
   ClusterSpec spec = SpecFromFlags(flags);
+  if (RejectDegenerateTopology(
+          flags, spec, static_cast<uint64_t>(flags.GetInt("vocab", 10000)),
+          "vocab")) {
+    return Usage();
+  }
   Cluster cluster(spec);
   CorpusSpec corpus;
   corpus.num_docs = static_cast<uint64_t>(flags.GetInt("docs", 5000));
@@ -382,6 +547,7 @@ int RunLda(const Flags& flags) {
   std::printf("corpus: %zu docs, vocab %u\n", docs.Count(),
               corpus.vocab_size);
   DcvContext ctx(&cluster);
+  if (!SetupScaleEvents(flags, &cluster, ctx.master())) return Usage();
   LdaOptions options;
   options.vocab_size = corpus.vocab_size;
   options.num_topics = static_cast<uint32_t>(flags.GetInt("topics", 50));
@@ -412,6 +578,12 @@ int Usage() {
       "              --consistency=bsp|ssp:<s>|asp (staleness regime for\n"
       "                lr/svm/lda/deepwalk; default bsp; lr/svm need\n"
       "                --optimizer=sgd for ssp/asp)\n"
+      "              --max-servers=N (fleet headroom for scale-out; default\n"
+      "                0 = fleet equals --servers)\n"
+      "              --scale-event=add:<t>,remove:<t>,... (elastic\n"
+      "                membership: join/retire a server once the virtual\n"
+      "                clock passes t seconds; remove retires the highest\n"
+      "                active id)\n"
       "lr/svm/fm:    --rows --dim --nnz --lr --batch-fraction --optimizer\n"
       "deepwalk:     --vertices --walks --embedding-dim --lr\n"
       "gbdt:         --rows --features --trees --depth --bins\n"
