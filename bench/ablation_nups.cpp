@@ -1,0 +1,155 @@
+// Ablation (DESIGN.md §13): per-key parameter management on word2vec.
+//
+// The workload's access mix has three populations by construction
+// (data/word2vec_gen.h): a Zipf head every worker hammers, per-partition
+// warm pools each dominated by one executor, and a uniform cold tail. The
+// sweep compares three management policies on the same corpus, all with
+// workers co-located with servers (ClusterSpec::colocate_workers):
+//
+//   shard-only   every key stays where round-robin creation put it;
+//   hotspot-only sketch-driven replication of the head (PR-2 machinery);
+//   full NuPS    replicate hot, relocate warm keys to their dominant
+//                accessor's co-located server, shard the cold tail.
+//
+// Full NuPS should cut pulled (server->worker) wire bytes by >= 1.5x vs
+// hotspot-only at a comparable final loss: the head is served from the
+// client cache either way, but only relocation turns the warm pools'
+// traffic into loopback.
+
+#include "bench/bench_common.h"
+#include "data/word2vec_gen.h"
+#include "dcv/dcv_context.h"
+#include "ml/word2vec.h"
+
+namespace {
+
+using namespace ps2;
+
+struct RunResult {
+  TrainReport report;
+  uint64_t pulled_bytes = 0;      // server -> worker, wire
+  uint64_t pushed_bytes = 0;      // worker -> server, wire
+  uint64_t loopback_bytes = 0;    // diverted: co-located worker<->server
+  uint64_t relocation_bytes = 0;  // warm-tier migration payload
+  uint64_t local_hits = 0;        // pulls served from the client cache
+  uint64_t replicated = 0, relocated = 0, cold = 0;
+};
+
+RunResult RunOnce(ParamMgmtMode mode) {
+  ClusterSpec spec;
+  spec.num_workers = 8;
+  spec.num_servers = 8;
+  spec.colocate_workers = true;
+  Cluster cluster(spec);
+
+  Word2VecCorpusSpec ds;
+  ds.vocab = 512;
+  ds.num_pairs = static_cast<uint64_t>(40000 * bench::Scale());
+  ds.hot_head = 24;
+  ds.warm_per_partition = 48;
+  ds.hot_fraction = 0.3;
+  ds.warm_fraction = 0.65;
+  ds.seed = 11;
+  Dataset<VertexPair> pairs = MakeWord2VecPairDataset(&cluster, ds).Cache();
+  pairs.Count();
+  std::vector<double> freq =
+      Word2VecKeyFrequencies(ds, pairs.num_partitions());
+
+  Word2VecOptions options;
+  options.vocab = ds.vocab;
+  options.embedding_dim = 16;
+  options.batch_size = 256;
+  options.negative_samples = 3;
+  options.epochs = 10;
+  options.seed = 5;
+  options.param_mgmt.mode = mode;
+  options.param_mgmt.hot_k = 24;
+  options.param_mgmt.warm_k = 384;
+  options.param_mgmt.dominance = 0.4;
+  options.param_mgmt.min_count = 8;
+  options.param_mgmt.hysteresis_ticks = 3;
+  options.param_mgmt.hotspot.top_k = 48;  // hot rows: 2 per hot key
+  options.param_mgmt.hotspot.min_pull_count = 8;
+  options.param_mgmt.hotspot.refresh_every = 1;
+  options.param_mgmt.hotspot.sync_every = 1;
+  options.param_mgmt.hotspot.staleness_epochs = 1;
+
+  cluster.metrics().Reset();
+  DcvContext ctx(&cluster);
+  Word2VecModel model;
+  RunResult out;
+  out.report = *TrainWord2VecPs2(&ctx, pairs, freq, options, &model);
+  out.pulled_bytes = cluster.metrics().Get("net.bytes_server_to_worker");
+  out.pushed_bytes = cluster.metrics().Get("net.bytes_worker_to_server");
+  out.loopback_bytes = cluster.metrics().Get("net.loopback_bytes");
+  out.relocation_bytes = cluster.metrics().Get("net.relocation_bytes");
+  out.local_hits = cluster.metrics().Get("net.local_pull_hits");
+  out.replicated = cluster.metrics().Get("nups.replicated");
+  out.relocated = cluster.metrics().Get("nups.relocated");
+  out.cold = cluster.metrics().Get("nups.cold");
+  return out;
+}
+
+void Report(bench::JsonReporter& json, const char* leg, const RunResult& r) {
+  std::printf("%-12s %-14llu %-14llu %-14llu %-10llu %-9.4f %-11.4f\n", leg,
+              static_cast<unsigned long long>(r.pulled_bytes),
+              static_cast<unsigned long long>(r.loopback_bytes),
+              static_cast<unsigned long long>(r.relocation_bytes),
+              static_cast<unsigned long long>(r.local_hits),
+              r.report.final_loss, r.report.total_time);
+  json.BeginRun(leg);
+  json.AddField("virtual_time_s", r.report.total_time);
+  json.AddField("pulled_bytes", static_cast<double>(r.pulled_bytes));
+  json.AddField("pushed_bytes", static_cast<double>(r.pushed_bytes));
+  json.AddField("loopback_bytes", static_cast<double>(r.loopback_bytes));
+  json.AddField("final_loss", r.report.final_loss);
+  json.AddField("local_pull_hits", static_cast<double>(r.local_hits));
+}
+
+}  // namespace
+
+int main() {
+  using namespace ps2;
+  bench::Header("Ablation: per-key parameter management on word2vec",
+                "shard-only vs hotspot-only vs full NuPS tiering "
+                "(DESIGN.md §13)");
+  bench::JsonReporter json("ablation_nups");
+
+  std::printf("%-12s %-14s %-14s %-14s %-10s %-9s %-11s\n", "leg", "pulled",
+              "loopback", "reloc bytes", "cache hits", "loss", "time");
+  RunResult shard = RunOnce(ParamMgmtMode::kOff);
+  RunResult hotspot = RunOnce(ParamMgmtMode::kHotspot);
+  RunResult nups = RunOnce(ParamMgmtMode::kNups);
+  Report(json, "shard_only", shard);
+  Report(json, "hotspot_only", hotspot);
+  Report(json, "nups", nups);
+  // The headline ratio the gate watches: pulled wire bytes, full NuPS vs
+  // hotspot-only, at comparable loss.
+  json.BeginRun("summary");
+  json.AddField("nups.pull_reduction_vs_hotspot",
+                static_cast<double>(hotspot.pulled_bytes) /
+                    static_cast<double>(nups.pulled_bytes));
+  json.AddField("nups.pull_reduction_vs_shard",
+                static_cast<double>(shard.pulled_bytes) /
+                    static_cast<double>(nups.pulled_bytes));
+  json.AddField("nups.relocation_bytes",
+                static_cast<double>(nups.relocation_bytes));
+  json.AddField("nups.replicated", static_cast<double>(nups.replicated));
+  json.AddField("nups.relocated", static_cast<double>(nups.relocated));
+  json.AddField("nups.cold", static_cast<double>(nups.cold));
+  json.AddField("loss_delta_vs_hotspot",
+                nups.report.final_loss - hotspot.report.final_loss);
+  json.Write();
+
+  const double reduction = static_cast<double>(hotspot.pulled_bytes) /
+                           static_cast<double>(nups.pulled_bytes);
+  std::printf("\npull reduction nups vs hotspot-only: %.2fx (gate >= 1.5x)\n",
+              reduction);
+  if (reduction < 1.5) {
+    std::fprintf(stderr,
+                 "FAIL: full NuPS pulled-byte reduction %.2fx < 1.5x\n",
+                 reduction);
+    return 1;
+  }
+  return 0;
+}

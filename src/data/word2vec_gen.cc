@@ -1,0 +1,139 @@
+#include "data/word2vec_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ps2 {
+
+namespace {
+
+/// Zipf weights over the hot head, normalized to sum 1.
+std::vector<double> HeadWeights(uint32_t hot_head, double exponent) {
+  std::vector<double> w(hot_head);
+  double total = 0.0;
+  for (uint32_t i = 0; i < hot_head; ++i) {
+    w[i] = 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    total += w[i];
+  }
+  for (double& x : w) x /= total;
+  return w;
+}
+
+/// Inverse-CDF sample from normalized weights.
+uint32_t SampleWeights(const std::vector<double>& w, Rng* rng) {
+  double u = rng->NextDouble();
+  double acc = 0.0;
+  for (uint32_t i = 0; i < w.size(); ++i) {
+    acc += w[i];
+    if (u < acc) return i;
+  }
+  return static_cast<uint32_t>(w.size() - 1);
+}
+
+/// First key of partition `pid`'s warm pool. Pools tile the key space after
+/// the hot head and wrap if vocab is too small to give every partition a
+/// private pool.
+uint32_t WarmBase(const Word2VecCorpusSpec& spec, size_t pid) {
+  const uint32_t tail = spec.vocab - spec.hot_head;
+  const uint64_t offset =
+      (static_cast<uint64_t>(pid) * spec.warm_per_partition) % tail;
+  return spec.hot_head + static_cast<uint32_t>(offset);
+}
+
+uint32_t WarmKey(const Word2VecCorpusSpec& spec, size_t pid, uint32_t i) {
+  const uint32_t tail = spec.vocab - spec.hot_head;
+  return spec.hot_head + (WarmBase(spec, pid) - spec.hot_head + i) % tail;
+}
+
+}  // namespace
+
+Status Word2VecCorpusSpec::Validate() const {
+  if (vocab == 0) return Status::InvalidArgument("vocab must be > 0");
+  if (num_pairs == 0) return Status::InvalidArgument("num_pairs must be > 0");
+  if (hot_head == 0 || hot_head >= vocab) {
+    return Status::InvalidArgument("hot_head must be in [1, vocab)");
+  }
+  if (warm_per_partition == 0 || warm_per_partition > vocab - hot_head) {
+    return Status::InvalidArgument(
+        "warm_per_partition must be in [1, vocab - hot_head]");
+  }
+  if (hot_fraction < 0 || warm_fraction < 0 ||
+      hot_fraction + warm_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "hot_fraction + warm_fraction must be in [0, 1]");
+  }
+  if (zipf_exponent < 0) {
+    return Status::InvalidArgument("zipf_exponent must be >= 0");
+  }
+  return Status::OK();
+}
+
+Dataset<VertexPair> MakeWord2VecPairDataset(Cluster* cluster,
+                                            const Word2VecCorpusSpec& spec) {
+  PS2_CHECK_OK(spec.Validate());
+  size_t parts = spec.num_partitions != 0
+                     ? spec.num_partitions
+                     : static_cast<size_t>(cluster->num_workers());
+  Word2VecCorpusSpec copy = spec;
+  return Dataset<VertexPair>::FromGenerator(
+      cluster, parts,
+      [copy, parts](size_t pid, Rng& rng) {
+        const std::vector<double> head =
+            HeadWeights(copy.hot_head, copy.zipf_exponent);
+        const uint64_t base = copy.num_pairs / parts;
+        const uint64_t extra = pid < copy.num_pairs % parts ? 1 : 0;
+        std::vector<VertexPair> pairs;
+        pairs.reserve(base + extra);
+        // Both words of a pair come from the same partition-flavoured
+        // mixture: hot head (Zipf), this partition's warm pool, or the
+        // uniform tail. Center and context sharing the distribution is the
+        // word2vec corpus shape, and it is what gives warm keys a dominant
+        // accessor for the relocation tier to find.
+        auto sample_key = [&](Rng& r) -> uint32_t {
+          const double mix = r.NextDouble();
+          if (mix < copy.hot_fraction) return SampleWeights(head, &r);
+          if (mix < copy.hot_fraction + copy.warm_fraction) {
+            return WarmKey(copy, pid,
+                           static_cast<uint32_t>(
+                               r.NextUint64(copy.warm_per_partition)));
+          }
+          return static_cast<uint32_t>(r.NextUint64(copy.vocab));
+        };
+        for (uint64_t i = 0; i < base + extra; ++i) {
+          const uint32_t u = sample_key(rng);
+          uint32_t v = sample_key(rng);
+          if (v == u) v = (v + 1) % copy.vocab;
+          pairs.push_back(VertexPair{u, v});
+        }
+        return pairs;
+      },
+      copy.io_bytes_per_pair, /*node_seed=*/copy.seed);
+}
+
+std::vector<double> Word2VecKeyFrequencies(const Word2VecCorpusSpec& spec,
+                                           size_t num_partitions) {
+  PS2_CHECK_OK(spec.Validate());
+  PS2_CHECK_GT(num_partitions, 0u);
+  std::vector<double> freq(spec.vocab, 0.0);
+  const std::vector<double> head =
+      HeadWeights(spec.hot_head, spec.zipf_exponent);
+  for (uint32_t i = 0; i < spec.hot_head; ++i) {
+    freq[i] += spec.hot_fraction * head[i];
+  }
+  const double warm_each =
+      spec.warm_fraction /
+      (static_cast<double>(num_partitions) * spec.warm_per_partition);
+  for (size_t p = 0; p < num_partitions; ++p) {
+    for (uint32_t i = 0; i < spec.warm_per_partition; ++i) {
+      freq[WarmKey(spec, p, i)] += warm_each;
+    }
+  }
+  const double tail_each =
+      (1.0 - spec.hot_fraction - spec.warm_fraction) / spec.vocab;
+  for (double& f : freq) f = std::pow(f + tail_each, 0.75);
+  return freq;
+}
+
+}  // namespace ps2

@@ -1,0 +1,57 @@
+#pragma once
+
+// Skewed skip-gram pair generator for the word2vec workload (DESIGN.md §13).
+//
+// NuPS-style per-key management only pays off when the access mix has three
+// distinguishable populations, so each partition draws its center words from
+// a mixture engineered to produce exactly that:
+//
+//   hot  — a small global head (keys [0, hot_head)), Zipf-weighted, sampled
+//          by EVERY partition: the replication tier's target.
+//   warm — a partition-private pool (keys hot_head + pid*warm_per_partition
+//          ...), sampled almost exclusively by one partition. Partitions map
+//          to executors round-robin (Cluster::ExecutorForPartition), so each
+//          warm key has a stable dominant accessor: the relocation tier's
+//          target.
+//   cold — the uniform tail over the rest of the vocabulary.
+//
+// Context words are drawn uniformly. Partition contents depend only on
+// (seed, pid), so lineage recomputation after an executor failure reproduces
+// identical pairs.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "data/types.h"
+#include "dataflow/dataset.h"
+
+namespace ps2 {
+
+/// \brief Shape of the synthetic word2vec corpus.
+struct Word2VecCorpusSpec {
+  uint32_t vocab = 2000;        ///< V: distinct words / keys
+  uint64_t num_pairs = 200000;  ///< total skip-gram pairs across partitions
+  size_t num_partitions = 0;    ///< 0 = cluster->num_workers()
+  double hot_fraction = 0.2;    ///< pair share drawn from the global head
+  uint32_t hot_head = 32;       ///< size of the global hot head
+  double warm_fraction = 0.6;   ///< pair share drawn from the private pool
+  uint32_t warm_per_partition = 64;  ///< warm pool size per partition
+  double zipf_exponent = 1.0;   ///< skew inside the hot head
+  uint64_t seed = 11;
+  uint64_t io_bytes_per_pair = 8;
+
+  Status Validate() const;
+};
+
+/// Builds the pair dataset (one generator partition per task).
+Dataset<VertexPair> MakeWord2VecPairDataset(Cluster* cluster,
+                                            const Word2VecCorpusSpec& spec);
+
+/// Expected center-word frequencies (unigram^0.75) matching the mixture —
+/// drives negative sampling, exactly like CorpusVertexFrequencies for
+/// DeepWalk. Computed analytically, so it needs no corpus pass.
+std::vector<double> Word2VecKeyFrequencies(const Word2VecCorpusSpec& spec,
+                                           size_t num_partitions);
+
+}  // namespace ps2

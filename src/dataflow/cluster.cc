@@ -60,6 +60,7 @@ void Cluster::RunStage(const std::string& name, size_t ntasks,
     ctx.executor_id = ExecutorForPartition(i);
     ctx.attempt = static_cast<int>(retry_fractions[i].size());
     ctx.rng = root_rng_.Split((stage_index << 20) ^ (i + 1));
+    per_task[i].colocated_server = spec_.ColocatedServer(ctx.executor_id);
     ctx.traffic = &per_task[i];
     ctx.cluster = this;
     TrafficScope scope(&per_task[i]);
@@ -141,6 +142,11 @@ void Cluster::RecordTraffic(const TaskTraffic& traffic) {
   // Routing-table refetches after a `routing stale` rejection (DESIGN.md
   // §12); the backoff they cost is folded into net.retry_backoff_time.
   metrics_.Add("net.routing_refetches", traffic.routing_refetches);
+  // Loopback exchanges with a co-located server (DESIGN.md §13): their
+  // messages and server ops are in the totals above, their bytes are not.
+  metrics_.Add("net.loopback_exchanges", traffic.loopback_exchanges);
+  metrics_.Add("net.loopback_bytes",
+               traffic.loopback_bytes_to + traffic.loopback_bytes_from);
   // Wire-vs-logical accounting (net/filters.h): the byte totals above are
   // wire bytes (what the cost model charges); these expose the pre-filter
   // payload sizes so benches can report the filter chain's ratio.

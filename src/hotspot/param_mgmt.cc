@@ -1,0 +1,264 @@
+#include "hotspot/param_mgmt.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "membership/membership_manager.h"
+#include "ps/ps_master.h"
+
+namespace ps2 {
+
+bool ParseParamMgmtMode(const std::string& text, ParamMgmtMode* mode) {
+  if (text == "off") {
+    *mode = ParamMgmtMode::kOff;
+  } else if (text == "hotspot") {
+    *mode = ParamMgmtMode::kHotspot;
+  } else if (text == "nups") {
+    *mode = ParamMgmtMode::kNups;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* ParamMgmtModeName(ParamMgmtMode mode) {
+  switch (mode) {
+    case ParamMgmtMode::kOff:
+      return "off";
+    case ParamMgmtMode::kHotspot:
+      return "hotspot";
+    case ParamMgmtMode::kNups:
+      return "nups";
+  }
+  return "off";
+}
+
+Status ParamMgmtOptions::Validate() const {
+  if (hot_k < 0) return Status::InvalidArgument("hot_k must be >= 0");
+  if (warm_k < 0) return Status::InvalidArgument("warm_k must be >= 0");
+  if (dominance <= 0.0 || dominance > 1.0) {
+    return Status::InvalidArgument("dominance must be in (0, 1]");
+  }
+  if (tick_every <= 0) return Status::InvalidArgument("tick_every must be > 0");
+  if (sync_every <= 0) return Status::InvalidArgument("sync_every must be > 0");
+  if (hysteresis_ticks <= 0) {
+    return Status::InvalidArgument("hysteresis_ticks must be > 0");
+  }
+  return Status::OK();
+}
+
+ParamMgmtManager::ParamMgmtManager(PsMaster* master,
+                                   const ParamMgmtOptions& options)
+    : master_(master), options_(options) {
+  PS2_CHECK(master != nullptr);
+}
+
+Status ParamMgmtManager::Enable() {
+  PS2_RETURN_NOT_OK(options_.Validate());
+  if (options_.mode == ParamMgmtMode::kHotspot) {
+    HotspotOptions hot = options_.hotspot;
+    hot.enabled = true;
+    return master_->hotspot()->Enable(hot);
+  }
+  return Status::OK();
+}
+
+Status ParamMgmtManager::RegisterKey(int key, int matrix_id,
+                                     uint32_t num_rows) {
+  if (key < 0) return Status::InvalidArgument("key must be >= 0");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (keys_.size() <= static_cast<size_t>(key)) {
+    keys_.resize(static_cast<size_t>(key) + 1);
+  }
+  PS2_ASSIGN_OR_RETURN(MatrixMeta meta, master_->GetMeta(matrix_id));
+  if (meta.partitioner.assignment().size() != 1) {
+    return Status::InvalidArgument(
+        "per-key management needs single-partition (home_server) matrices");
+  }
+  KeyState& ks = keys_[static_cast<size_t>(key)];
+  ks.matrix_id = matrix_id;
+  ks.num_rows = num_rows;
+  ks.home = meta.partitioner.ServerOfPartition(0);
+  ks.original_home = ks.home;
+  return Status::OK();
+}
+
+void ParamMgmtManager::RecordBatch(
+    int executor, const std::vector<std::pair<int, uint64_t>>& key_counts) {
+  if (options_.mode != ParamMgmtMode::kNups || executor < 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, count] : key_counts) {
+    if (key < 0 || static_cast<size_t>(key) >= keys_.size()) continue;
+    KeyState& ks = keys_[static_cast<size_t>(key)];
+    if (ks.counts.size() <= static_cast<size_t>(executor)) {
+      ks.counts.resize(static_cast<size_t>(executor) + 1, 0);
+    }
+    ks.counts[static_cast<size_t>(executor)] += count;
+    ks.total += count;
+  }
+}
+
+Status ParamMgmtManager::Tick() {
+  if (options_.mode == ParamMgmtMode::kOff) return Status::OK();
+  if (options_.mode == ParamMgmtMode::kHotspot) {
+    return master_->hotspot()->Tick();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++tick_;
+  bool synced = false;
+  if (tick_ % static_cast<uint64_t>(options_.tick_every) == 0) {
+    PS2_RETURN_NOT_OK(ClassifyLocked(&synced));
+  }
+  if (!synced && !hot_refs_.empty() &&
+      tick_ % static_cast<uint64_t>(options_.sync_every) == 0) {
+    return master_->hotspot()->SyncNow();
+  }
+  return Status::OK();
+}
+
+Status ParamMgmtManager::ClassifyLocked(bool* synced) {
+  *synced = false;
+  const ClusterSpec& spec = master_->cluster()->spec();
+  // Rank keys by recent total count; ties break toward the lower key so the
+  // ordering — and therefore every tiering decision — is deterministic.
+  std::vector<std::pair<uint64_t, int>> ranked;
+  ranked.reserve(keys_.size());
+  for (size_t k = 0; k < keys_.size(); ++k) {
+    const KeyState& ks = keys_[k];
+    if (ks.matrix_id < 0 || ks.total < options_.min_count) continue;
+    ranked.emplace_back(ks.total, static_cast<int>(k));
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+
+  // Hot tier: top hot_k keys, every row replicated everywhere.
+  std::vector<RowRef> hot;
+  std::vector<bool> is_hot(keys_.size(), false);
+  const size_t hot_n =
+      std::min(ranked.size(), static_cast<size_t>(options_.hot_k));
+  for (size_t i = 0; i < hot_n; ++i) {
+    const int key = ranked[i].second;
+    const KeyState& ks = keys_[static_cast<size_t>(key)];
+    is_hot[static_cast<size_t>(key)] = true;
+    for (uint32_t r = 0; r < ks.num_rows; ++r) {
+      RowRef ref;
+      ref.matrix_id = ks.matrix_id;
+      ref.row = r;
+      hot.push_back(ref);
+    }
+  }
+  std::sort(hot.begin(), hot.end(), [](const RowRef& a, const RowRef& b) {
+    return std::make_pair(a.matrix_id, a.row) <
+           std::make_pair(b.matrix_id, b.row);
+  });
+
+  // Warm tier: the next warm_k ranked keys. A key relocates when one
+  // executor owns at least `dominance` of its recent accesses, its
+  // co-located server is not already home, and the hysteresis window since
+  // its last move has passed.
+  std::map<int, int> moves;          // matrix id -> target server
+  std::vector<int> moving_keys;
+  const size_t warm_end =
+      std::min(ranked.size(), hot_n + static_cast<size_t>(options_.warm_k));
+  for (size_t i = hot_n; i < warm_end; ++i) {
+    const int key = ranked[i].second;
+    KeyState& ks = keys_[static_cast<size_t>(key)];
+    uint64_t best = 0;
+    int dominant = -1;
+    for (size_t e = 0; e < ks.counts.size(); ++e) {
+      if (ks.counts[e] > best) {
+        best = ks.counts[e];
+        dominant = static_cast<int>(e);
+      }
+    }
+    if (dominant < 0 ||
+        static_cast<double>(best) <
+            options_.dominance * static_cast<double>(ks.total)) {
+      continue;
+    }
+    int target = spec.ColocatedServer(dominant);
+    if (target < 0) target = dominant % spec.num_servers;
+    if (!master_->is_server_active(target) || target == ks.home) continue;
+    if (ks.last_move_tick != 0 &&
+        tick_ - ks.last_move_tick <
+            static_cast<uint64_t>(options_.hysteresis_ticks)) {
+      continue;
+    }
+    moves[ks.matrix_id] = target;
+    moving_keys.push_back(key);
+  }
+
+  // Decay: halve every count so the next window reflects the recent mix.
+  for (KeyState& ks : keys_) {
+    ks.total = 0;
+    for (uint64_t& c : ks.counts) {
+      c >>= 1;
+      ks.total += c;
+    }
+  }
+
+  if (hot != hot_refs_) {
+    PS2_RETURN_NOT_OK(master_->hotspot()->ReplicateNow(hot));
+    hot_refs_ = std::move(hot);
+    *synced = true;
+  }
+  if (!moves.empty()) {
+    PS2_ASSIGN_OR_RETURN(MigrationStats stats,
+                         master_->membership()->RelocateMatrices(moves));
+    MetricsRegistry& metrics = master_->cluster()->metrics();
+    metrics.Add("net.relocation_bytes", stats.bytes_moved);
+    metrics.Add("nups.relocations", stats.moves);
+    relocations_ += stats.moves;
+    for (int key : moving_keys) {
+      KeyState& ks = keys_[static_cast<size_t>(key)];
+      ks.home = moves[ks.matrix_id];
+      ks.last_move_tick = tick_;
+    }
+  }
+
+  // Per-tier gauges. A hot key counts as replicated even if an earlier
+  // window relocated it; relocated counts keys currently away from their
+  // creation home.
+  uint64_t replicated = 0, relocated = 0, cold = 0;
+  for (size_t k = 0; k < keys_.size(); ++k) {
+    const KeyState& ks = keys_[k];
+    if (ks.matrix_id < 0) continue;
+    if (is_hot[k]) {
+      ++replicated;
+    } else if (ks.home != ks.original_home) {
+      ++relocated;
+    } else {
+      ++cold;
+    }
+  }
+  MetricsRegistry& metrics = master_->cluster()->metrics();
+  metrics.Set("nups.replicated", replicated);
+  metrics.Set("nups.relocated", relocated);
+  metrics.Set("nups.cold", cold);
+  return Status::OK();
+}
+
+int ParamMgmtManager::HomeOf(int key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (key < 0 || static_cast<size_t>(key) >= keys_.size()) return -1;
+  return keys_[static_cast<size_t>(key)].home;
+}
+
+uint64_t ParamMgmtManager::relocated_keys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const KeyState& ks : keys_) {
+    if (ks.matrix_id >= 0 && ks.home != ks.original_home) ++n;
+  }
+  return n;
+}
+
+uint64_t ParamMgmtManager::relocations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return relocations_;
+}
+
+}  // namespace ps2

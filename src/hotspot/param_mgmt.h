@@ -1,0 +1,139 @@
+#pragma once
+
+// Per-key parameter management (DESIGN.md §13) — the NuPS generalization of
+// the hotspot subsystem: every key gets the management technique its access
+// pattern earns.
+//
+//   hot  — replicated in full on every server (hotspot/hotspot_manager.h,
+//          exactly the PR-2 machinery, driven explicitly from here).
+//   warm — *relocated*: the key's whole single-partition matrix
+//          (MatrixOptions::home_server) migrates to the server co-located
+//          with its dominant accessor, through the same epoch-stamped
+//          fence/extract/install/commit path joins and leaves use
+//          (membership/membership_manager.h). With ClusterSpec
+//          colocate_workers on, that accessor's traffic to the key becomes
+//          loopback — no NIC bytes at all.
+//   cold — untouched: plain sharded access.
+//
+// The classifier runs on the coordinator between stages (trainers call
+// Tick() once per iteration, like HotspotManager::Tick), off worker-side
+// access counts the trainer reports per batch. Counts halve every
+// classification window, so tiering tracks the recent access mix.
+// Relocation is rate-limited per key by a hysteresis window: a key whose
+// dominant accessor oscillates moves at most once per
+// `hysteresis_ticks` ticks, so two workers fighting over a key cannot make
+// it thrash across the wire.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "hotspot/hotspot_manager.h"
+
+namespace ps2 {
+
+class PsMaster;
+
+/// \brief Which per-key management policy a trainer runs.
+enum class ParamMgmtMode {
+  kOff,      ///< every key sharded; no statistics
+  kHotspot,  ///< PR-2 behaviour: sketch-driven hot replication only
+  kNups,     ///< full tiering: replicate hot, relocate warm, shard cold
+};
+
+/// Parses "off" / "hotspot" / "nups"; returns false on anything else.
+bool ParseParamMgmtMode(const std::string& text, ParamMgmtMode* mode);
+const char* ParamMgmtModeName(ParamMgmtMode mode);
+
+/// \brief Tuning knobs for the three-tier classifier.
+struct ParamMgmtOptions {
+  ParamMgmtMode mode = ParamMgmtMode::kOff;
+  /// Keys replicated everywhere (the hot tier size).
+  int hot_k = 32;
+  /// Keys considered for relocation per classification (the warm tier cap).
+  int warm_k = 256;
+  /// Minimum share of a key's recent accesses that one executor must own
+  /// before the key relocates to that executor's co-located server.
+  double dominance = 0.5;
+  /// Minimum recent access count before a key is tiered at all.
+  uint64_t min_count = 8;
+  /// Classify every this many ticks.
+  int tick_every = 1;
+  /// Reconcile hot replicas every this many ticks (kNups; kHotspot uses the
+  /// HotspotOptions cadence).
+  int sync_every = 1;
+  /// A key relocates at most once per this many ticks.
+  int hysteresis_ticks = 4;
+  /// Options forwarded to HotspotManager::Enable in kHotspot mode.
+  HotspotOptions hotspot;
+
+  Status Validate() const;
+};
+
+/// \brief Coordinator-side driver of per-key tiering.
+///
+/// Thread-safe. RecordBatch may be called from task threads; Tick must run
+/// between stages (it migrates keys, which must never straddle in-flight
+/// batched requests).
+class ParamMgmtManager {
+ public:
+  ParamMgmtManager(PsMaster* master, const ParamMgmtOptions& options);
+
+  /// Validates options and arms the chosen mode (kHotspot enables the
+  /// hotspot subsystem). Call once before training.
+  Status Enable();
+
+  const ParamMgmtOptions& options() const { return options_; }
+
+  /// Declares key `key` to live in matrix `matrix_id` (a single-partition
+  /// home_server matrix) with `num_rows` replicable rows. Keys must form a
+  /// dense 0..n-1 space.
+  Status RegisterKey(int key, int matrix_id, uint32_t num_rows);
+
+  /// Reports one task batch's access counts, attributed to `executor`.
+  void RecordBatch(int executor,
+                   const std::vector<std::pair<int, uint64_t>>& key_counts);
+
+  /// One trainer iteration: classify (every tick_every), replicate/relocate
+  /// on tier changes, sync hot replicas (every sync_every). No-op in kOff.
+  Status Tick();
+
+  /// Current home server of `key` (tests, benches).
+  int HomeOf(int key) const;
+  /// Keys whose home differs from where they were created.
+  uint64_t relocated_keys() const;
+  /// Relocations executed so far (a key moving twice counts twice).
+  uint64_t relocations() const;
+
+ private:
+  struct KeyState {
+    int matrix_id = -1;
+    uint32_t num_rows = 0;
+    int original_home = -1;
+    int home = -1;
+    /// Tick of the key's last relocation; 0 = never moved.
+    uint64_t last_move_tick = 0;
+    /// Recent access count per executor (decayed).
+    std::vector<uint64_t> counts;
+    uint64_t total = 0;
+  };
+
+  /// Re-tiers every registered key and executes the resulting replication
+  /// and relocation batch (mu_ held). Sets *synced when the hot set changed
+  /// (ReplicateNow already synced the replicas this tick).
+  Status ClassifyLocked(bool* synced);
+
+  PsMaster* master_;
+  ParamMgmtOptions options_;
+  mutable std::mutex mu_;
+  uint64_t tick_ = 0;
+  std::vector<KeyState> keys_;
+  /// Hot set installed last classification, sorted by (matrix, row).
+  std::vector<RowRef> hot_refs_;
+  uint64_t relocations_ = 0;
+};
+
+}  // namespace ps2

@@ -90,6 +90,29 @@ Status MembershipManager::RemoveServer(int server_id) {
       .status();
 }
 
+Result<MigrationStats> MembershipManager::RelocateMatrices(
+    const std::map<int, int>& targets) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> active = master_->active_servers();
+  std::map<int, std::vector<int>> plan;
+  for (const auto& [matrix_id, server] : targets) {
+    if (!std::binary_search(active.begin(), active.end(), server)) {
+      return Status::InvalidArgument("relocation target is not active");
+    }
+    PS2_ASSIGN_OR_RETURN(MatrixMeta meta, master_->GetMeta(matrix_id));
+    const std::vector<int>& assignment = meta.partitioner.assignment();
+    if (assignment.size() != 1) {
+      return Status::InvalidArgument(
+          "only single-partition (home_server) matrices can relocate");
+    }
+    if (assignment[0] == server) continue;  // already home
+    plan[matrix_id] = {server};
+  }
+  if (plan.empty()) return MigrationStats{};
+  return MigrateToAssignment(plan, std::move(active), /*removed=*/-1,
+                             /*joined=*/-1);
+}
+
 Result<bool> MembershipManager::RebalanceOnce(double min_skew) {
   std::lock_guard<std::mutex> lock(mu_);
   const std::vector<int> active = master_->active_servers();

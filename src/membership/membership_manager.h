@@ -76,6 +76,15 @@ class MembershipManager {
   /// partition-space neighbor. Returns whether a migration ran.
   Result<bool> RebalanceOnce(double min_skew);
 
+  /// Moves each listed matrix whole to its target server — the warm-tier
+  /// *relocation* leg of per-key parameter management (DESIGN.md §13). Only
+  /// single-partition matrices (MatrixOptions::home_server) can relocate;
+  /// targets must be active. The whole batch commits as ONE epoch-stamped
+  /// migration through the same fence/extract/install/commit path joins and
+  /// leaves use. Entries already on their target are skipped; an all-skip
+  /// batch returns zeroed stats without bumping the epoch.
+  Result<MigrationStats> RelocateMatrices(const std::map<int, int>& targets);
+
   /// Migrations committed so far (== current routing epoch delta).
   uint64_t migrations() const;
 

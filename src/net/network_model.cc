@@ -33,13 +33,17 @@ void TaskTraffic::RecordExchange(int server, uint64_t bytes_out,
   logical_bytes_to += logical_out;
   logical_bytes_from += logical_in;
   EnsureServers(static_cast<size_t>(server) + 1);
-  bytes_to_server[server] += bytes_out;
   msgs_to_server[server] += 1;
-  if (bytes_in > 0) {
-    bytes_from_server[server] += bytes_in;
-    msgs_from_server[server] += 1;
-  }
+  if (bytes_in > 0) msgs_from_server[server] += 1;
   server_ops[server] += ops_on_server;
+  if (server == colocated_server) {
+    loopback_exchanges += 1;
+    loopback_bytes_to += bytes_out;
+    loopback_bytes_from += bytes_in;
+    return;
+  }
+  bytes_to_server[server] += bytes_out;
+  if (bytes_in > 0) bytes_from_server[server] += bytes_in;
 }
 
 uint64_t TaskTraffic::TotalBytesToServers() const {
@@ -74,6 +78,9 @@ void TaskTraffic::MergeFrom(const TaskTraffic& other) {
   staleness_waits += other.staleness_waits;
   staleness_wait_time += other.staleness_wait_time;
   routing_refetches += other.routing_refetches;
+  loopback_exchanges += other.loopback_exchanges;
+  loopback_bytes_to += other.loopback_bytes_to;
+  loopback_bytes_from += other.loopback_bytes_from;
   logical_bytes_to += other.logical_bytes_to;
   logical_bytes_from += other.logical_bytes_from;
   keycache_hits += other.keycache_hits;
@@ -102,6 +109,10 @@ void TaskTraffic::Clear() {
   staleness_waits = 0;
   staleness_wait_time = 0.0;
   routing_refetches = 0;
+  colocated_server = -1;
+  loopback_exchanges = 0;
+  loopback_bytes_to = 0;
+  loopback_bytes_from = 0;
   logical_bytes_to = 0;
   logical_bytes_from = 0;
   keycache_hits = 0;

@@ -66,6 +66,17 @@ struct TaskTraffic {
   /// table. Each refetch also charges one retry backoff of worker stall.
   uint64_t routing_refetches = 0;
 
+  /// Server co-located with this task's executor (ClusterSpec
+  /// `colocate_workers`), or -1. Exchanges with it are loopback: messages
+  /// and server ops are recorded as usual (per-message overhead and server
+  /// compute are real), but the bytes land in the loopback counters below
+  /// instead of bytes_to_server / bytes_from_server, so no bandwidth term
+  /// ever charges them. Set per task by RunStage; never merged.
+  int colocated_server = -1;
+  uint64_t loopback_exchanges = 0;   ///< exchanges that stayed on-node
+  uint64_t loopback_bytes_to = 0;    ///< wire bytes to the co-located server
+  uint64_t loopback_bytes_from = 0;  ///< wire bytes back from it
+
   // Wire-vs-logical accounting (net/filters.h). bytes_to_server /
   // bytes_from_server hold WIRE bytes — what the cost model charges. The
   // logical totals hold the pre-filter payload sizes, so

@@ -484,6 +484,15 @@ PsClient::ExchangeOutcome PsClient::ExecuteRequest(ServerRequest& request) {
           r.emplace(PsServer::HandleResult{});
         }
         if (target >= 0) {
+          if (stamp <= request.header.routing_epoch) {
+            // Servers learn the new epoch before the master publishes the
+            // metas that carry it (MigrateToAssignment commits routing
+            // last), so a refetch in that window hands back the stamp that
+            // just bounced. Poll like a fence wait instead of spinning the
+            // round budget dry before the publish lands.
+            out.backoff += cluster->cost().RetryBackoff(1);
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+          }
           request.header.routing_epoch = stamp;
           if (target != request.server) {
             // A new owner is a new (client, server) seq stream. The old
@@ -687,6 +696,12 @@ PsFuture<T> PsClient::SubmitAsync(std::vector<ServerRequest> requests,
   auto state = std::make_shared<internal::PsFutureState<T>>();
   std::shared_ptr<AsyncCore> core = core_;
   const void* ctx = TrafficScope::Current();
+  // Loopback diversion is decided per exchange against the ISSUING task's
+  // co-located server; completions may run on pool threads, so the binding
+  // must travel with the op's private traffic record.
+  if (const TaskTraffic* ambient = TrafficScope::Current()) {
+    state->traffic.colocated_server = ambient->colocated_server;
+  }
   const PsOpCode first_op = requests.empty()
                                 ? static_cast<PsOpCode>(0xff)
                                 : PeekOpCode(requests[0].payload.slice());
@@ -1740,6 +1755,142 @@ PsFuture<Ack> PsClient::PushRowsAsync(
       writer.EndSection();
     }
     requests.push_back(MakeRouted(meta, target.partition, &writer));
+  }
+  return SubmitAsync<Ack>(std::move(requests), AckParse);
+}
+
+PsFuture<std::vector<std::vector<double>>> PsClient::PullOwnedRowsAsync(
+    const std::vector<RowRef>& rows) {
+  using Out = std::vector<std::vector<double>>;
+  if (rows.empty()) return ReadyFuture<Out>(Out{});
+  const size_t n = rows.size();
+  Out out(n);
+  std::map<int, MatrixMeta> metas;
+  std::map<int, std::vector<size_t>> by_server;  // owner -> row positions
+  uint64_t local_hits = 0, local_bytes = 0, local_ops = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const RowRef ref = rows[i];
+    auto it = metas.find(ref.matrix_id);
+    if (it == metas.end()) {
+      Result<MatrixMeta> meta_r = master_->GetMeta(ref.matrix_id);
+      if (!meta_r.ok()) return ReadyFuture<Out>(meta_r.status());
+      if (meta_r->partitioner.assignment().size() != 1) {
+        return ReadyFuture<Out>(Status::FailedPrecondition(
+            "PullOwnedRows requires single-partition matrices"));
+      }
+      it = metas.emplace(ref.matrix_id, std::move(*meta_r)).first;
+    }
+    const MatrixMeta& meta = it->second;
+    out[i].assign(meta.dim, 0.0);
+    if (cache_.HasHot() && cache_.HotDim(ref) == meta.dim &&
+        cache_.TryServeDense(ref, 0, meta.dim, out[i].data())) {
+      local_hits += 1;
+      local_bytes += meta.dim * sizeof(double);
+      local_ops += meta.dim;
+      continue;
+    }
+    by_server[meta.partitioner.ServerOfPartition(0)].push_back(i);
+  }
+  if (local_hits > 0) {
+    OpScope scope(master_->cluster());
+    TaskTraffic* t = scope.traffic();
+    t->worker_ops += local_ops;
+    t->local_pull_hits += local_hits;
+    t->local_pull_bytes += local_bytes;
+  }
+  if (by_server.empty()) return ReadyFuture<Out>(std::move(out));
+  std::vector<ServerRequest> requests;
+  std::vector<std::vector<size_t>> groups;
+  requests.reserve(by_server.size());
+  groups.reserve(by_server.size());
+  for (auto& [server, members] : by_server) {
+    BufferWriter writer;
+    writer.WriteU8(static_cast<uint8_t>(PsOpCode::kPullRowsBatch));
+    writer.WriteVarint(members.size());
+    for (size_t i : members) {
+      writer.WriteVarint(rows[i].matrix_id);
+      writer.WriteVarint(rows[i].row);
+    }
+    // Routed by the group's first row: every member shares the server, and
+    // a `routing stale` bounce re-aims the group to that row's new home.
+    requests.push_back(
+        MakeRouted(metas.at(rows[members[0]].matrix_id), 0, &writer));
+    groups.push_back(std::move(members));
+  }
+  return SubmitAsync<Out>(
+      std::move(requests),
+      [this, rows, groups = std::move(groups), out = std::move(out)](
+          std::vector<PsServer::HandleResult>&& results,
+          TaskTraffic*) mutable -> Result<Out> {
+        for (size_t g = 0; g < results.size(); ++g) {
+          BufferReader reader(results[g].response);
+          PS2_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
+          if (count != groups[g].size()) {
+            return Status::Internal("owned-rows pull count mismatch");
+          }
+          for (size_t i : groups[g]) {
+            PS2_ASSIGN_OR_RETURN(uint64_t w, reader.ReadVarint());
+            if (w != out[i].size()) {
+              return Status::Internal("owned-rows pull width mismatch");
+            }
+            PS2_ASSIGN_OR_RETURN(std::vector<double> values,
+                                 reader.ReadF64Span(w));
+            // A hot-but-stale row reached its owner anyway: the pull IS the
+            // refresh, so warm the cache with it.
+            if (cache_.HasHot() && cache_.HotDim(rows[i]) == w) {
+              cache_.Store(rows[i], values, cache_.epoch());
+            }
+            std::copy(values.begin(), values.end(), out[i].begin());
+          }
+        }
+        return std::move(out);
+      });
+}
+
+PsFuture<Ack> PsClient::PushOwnedRowsAsync(
+    const std::vector<RowRef>& rows,
+    const std::vector<std::vector<double>>& deltas) {
+  if (rows.empty()) return ReadyFuture<Ack>(Ack{});
+  if (rows.size() != deltas.size()) {
+    return ReadyFuture<Ack>(
+        Status::InvalidArgument("rows/deltas size mismatch"));
+  }
+  std::map<int, MatrixMeta> metas;
+  std::map<int, std::vector<size_t>> by_server;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const RowRef ref = rows[i];
+    auto it = metas.find(ref.matrix_id);
+    if (it == metas.end()) {
+      Result<MatrixMeta> meta_r = master_->GetMeta(ref.matrix_id);
+      if (!meta_r.ok()) return ReadyFuture<Ack>(meta_r.status());
+      if (meta_r->partitioner.assignment().size() != 1) {
+        return ReadyFuture<Ack>(Status::FailedPrecondition(
+            "PushOwnedRows requires single-partition matrices"));
+      }
+      it = metas.emplace(ref.matrix_id, std::move(*meta_r)).first;
+    }
+    if (deltas[i].size() != it->second.dim) {
+      return ReadyFuture<Ack>(
+          Status::InvalidArgument("row delta dimension mismatch"));
+    }
+    by_server[it->second.partitioner.ServerOfPartition(0)].push_back(i);
+  }
+  std::vector<ServerRequest> requests;
+  requests.reserve(by_server.size());
+  for (auto& [server, members] : by_server) {
+    BufferWriter writer;
+    writer.WriteU8(static_cast<uint8_t>(PsOpCode::kPushRowsBatch));
+    writer.WriteVarint(members.size());
+    for (size_t i : members) {
+      writer.WriteVarint(rows[i].matrix_id);
+      writer.WriteVarint(rows[i].row);
+      writer.WriteVarint(deltas[i].size());
+      writer.BeginSection(SectionKind::kF64Values);
+      writer.WriteF64Span(deltas[i].data(), deltas[i].size());
+      writer.EndSection();
+    }
+    requests.push_back(
+        MakeRouted(metas.at(rows[members[0]].matrix_id), 0, &writer));
   }
   return SubmitAsync<Ack>(std::move(requests), AckParse);
 }

@@ -212,6 +212,22 @@ class PsClient {
                                     const std::vector<SparseVector>& deltas,
                                     bool compress_counts = false);
 
+  /// Pulls each row's FULL vector, where rows may live in DIFFERENT
+  /// single-partition matrices (MatrixOptions::home_server — per-key
+  /// parameter management, DESIGN.md §13). Requests group by owning server
+  /// over kPullRowsBatch; hot rows fresh in the HotRowCache are served
+  /// locally, hot-but-stale rows warm the cache from the pull. Metas are
+  /// fetched per call, so a batch issued after a relocation tick routes to
+  /// the new homes; callers must not relocate mid-batch (trainers tick the
+  /// classifier at stage barriers).
+  PsFuture<std::vector<std::vector<double>>> PullOwnedRowsAsync(
+      const std::vector<RowRef>& rows);
+  /// Push counterpart: adds each full-width delta to its row at the owning
+  /// server, grouped by owner over kPushRowsBatch.
+  PsFuture<Ack> PushOwnedRowsAsync(
+      const std::vector<RowRef>& rows,
+      const std::vector<std::vector<double>>& deltas);
+
   /// Advances `worker`'s clock to `clock` in every active server's
   /// worker-clock vector (kClockAdvance fan-out; consistency/, DESIGN.md
   /// §11). Servers max-merge, so the op is idempotent and retry-safe.

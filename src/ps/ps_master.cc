@@ -133,6 +133,22 @@ Result<int> PsMaster::CreateMatrixInternal(MatrixOptions options,
   meta.dim = options.dim;
   meta.num_rows = options.reserve_rows;
   meta.storage = options.storage;
+  if (options.home_server >= 0) {
+    // Single-partition matrix pinned to one home (per-key management,
+    // DESIGN.md §13). The home must currently serve ranges; relocation
+    // later moves the whole partition via the migration path.
+    const bool active_home =
+        std::find(active.begin(), active.end(), options.home_server) !=
+        active.end();
+    if (!active_home) {
+      return Status::InvalidArgument("home_server is not an active server");
+    }
+    PS2_ASSIGN_OR_RETURN(
+        meta.partitioner,
+        ColumnPartitioner::MakeElastic(options.dim, {options.home_server}, 1,
+                                       options.alignment, 0));
+    return RegisterMatrix(std::move(meta));
+  }
   PS2_ASSIGN_OR_RETURN(
       meta.partitioner,
       ColumnPartitioner::MakeElastic(options.dim, active, partitions,

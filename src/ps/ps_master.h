@@ -41,6 +41,11 @@ struct MatrixOptions {
   uint64_t alignment = 1;
   /// Servers to spread over; 0 = all servers in the cluster.
   int num_servers = 0;
+  /// When >= 0, the matrix is NOT spread: it gets a single partition homed
+  /// on this server (per-key parameter management, DESIGN.md §13). Such a
+  /// matrix can later be relocated whole via
+  /// MembershipManager::RelocateMatrices. Overrides num_servers.
+  int home_server = -1;
 };
 
 /// \brief Owns the PS-servers, matrix metadata and fault-tolerance machinery.

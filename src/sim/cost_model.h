@@ -77,6 +77,21 @@ struct ClusterSpec {
   /// retry backoff is charged to the retrying worker.
   double consistency_poll_interval_s = 1e-3;
 
+  /// Co-locate executors with servers (DESIGN.md §13): worker e shares a
+  /// node with server (e % num_servers). Traffic between a task and its
+  /// co-located server is loopback — message overhead and server compute
+  /// are still charged, but the bytes never touch the NIC, so every
+  /// bandwidth term excludes them. Default off: pre-NuPS traces are
+  /// bit-identical.
+  bool colocate_workers = false;
+
+  /// Server sharing executor `executor_id`'s node, or -1 when co-location
+  /// is off.
+  int ColocatedServer(int executor_id) const {
+    return colocate_workers && executor_id >= 0 ? executor_id % num_servers
+                                                : -1;
+  }
+
   /// Wire filter chain applied to PS traffic (net/filters.h): key-set
   /// caching, delta/quant value coding, byte compression. Default off — the
   /// cost model then charges logical bytes, exactly as before. With filters

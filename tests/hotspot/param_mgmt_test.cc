@@ -1,0 +1,260 @@
+// Per-key parameter management (DESIGN.md §13): home_server matrices,
+// batch relocation, the owned-rows client builders, loopback accounting
+// for co-located workers, and the three-tier classifier.
+
+#include "hotspot/param_mgmt.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dcv/dcv_context.h"
+#include "membership/membership_manager.h"
+#include "ps/ps_client.h"
+#include "ps/ps_master.h"
+#include "ps/ps_server.h"
+
+namespace ps2 {
+namespace {
+
+class ParamMgmtTest : public ::testing::Test {
+ protected:
+  void Build(int workers, int servers, bool colocate) {
+    ClusterSpec spec;
+    spec.num_workers = workers;
+    spec.num_servers = servers;
+    spec.colocate_workers = colocate;
+    cluster_ = std::make_unique<Cluster>(spec);
+    ctx_ = std::make_unique<DcvContext>(cluster_.get());
+  }
+
+  PsMaster* master() { return ctx_->master(); }
+  PsClient* client() { return ctx_->client(); }
+
+  /// Creates a two-row per-key matrix homed on `server`.
+  int KeyMatrix(int server, uint64_t dim = 8) {
+    MatrixOptions mo;
+    mo.name = "key";
+    mo.dim = dim;
+    mo.reserve_rows = 2;
+    mo.home_server = server;
+    Result<int> id = master()->CreateMatrix(mo);
+    EXPECT_TRUE(id.ok()) << id.status();
+    return *id;
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<DcvContext> ctx_;
+};
+
+TEST(ParamMgmtModeTest, ParseRoundTrips) {
+  ParamMgmtMode mode;
+  ASSERT_TRUE(ParseParamMgmtMode("off", &mode));
+  EXPECT_EQ(mode, ParamMgmtMode::kOff);
+  ASSERT_TRUE(ParseParamMgmtMode("hotspot", &mode));
+  EXPECT_EQ(mode, ParamMgmtMode::kHotspot);
+  ASSERT_TRUE(ParseParamMgmtMode("nups", &mode));
+  EXPECT_EQ(mode, ParamMgmtMode::kNups);
+  EXPECT_FALSE(ParseParamMgmtMode("NUPS", &mode));
+  EXPECT_FALSE(ParseParamMgmtMode("", &mode));
+  EXPECT_STREQ(ParamMgmtModeName(ParamMgmtMode::kNups), "nups");
+}
+
+TEST(ParamMgmtOptionsTest, ValidateRejectsBadKnobs) {
+  ParamMgmtOptions options;
+  EXPECT_TRUE(options.Validate().ok());
+  options.hysteresis_ticks = 0;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+  options = ParamMgmtOptions{};
+  options.dominance = 0.0;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+  options = ParamMgmtOptions{};
+  options.dominance = 1.5;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+  options = ParamMgmtOptions{};
+  options.tick_every = 0;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+}
+
+TEST_F(ParamMgmtTest, HomeServerMatrixIsSinglePartition) {
+  Build(2, 3, /*colocate=*/false);
+  const int id = KeyMatrix(/*server=*/2);
+  Result<MatrixMeta> meta = master()->GetMeta(id);
+  ASSERT_TRUE(meta.ok());
+  ASSERT_EQ(meta->partitioner.assignment().size(), 1u);
+  EXPECT_EQ(meta->partitioner.ServerOfPartition(0), 2);
+
+  MatrixOptions bad;
+  bad.dim = 8;
+  bad.home_server = 99;
+  EXPECT_TRUE(master()->CreateMatrix(bad).status().IsInvalidArgument());
+}
+
+TEST_F(ParamMgmtTest, RelocateMatricesMovesValuesExactly) {
+  Build(2, 3, /*colocate=*/false);
+  const int id = KeyMatrix(/*server=*/0);
+  std::vector<double> values = {1.5, -2.25, 3.0, 0.5, -1.0, 7.0, 0.0, 4.5};
+  ASSERT_TRUE(
+      client()->PushOwnedRowsAsync({RowRef{id, 0}}, {values}).Wait().ok());
+
+  Result<MigrationStats> stats =
+      master()->membership()->RelocateMatrices({{id, 1}});
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->moves, 1u);
+  EXPECT_GT(stats->bytes_moved, 0u);
+  Result<MatrixMeta> meta = master()->GetMeta(id);
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta->partitioner.ServerOfPartition(0), 1);
+
+  Result<std::vector<std::vector<double>>> pulled =
+      client()->PullOwnedRowsAsync({RowRef{id, 0}}).Get();
+  ASSERT_TRUE(pulled.ok()) << pulled.status();
+  EXPECT_EQ((*pulled)[0], values);
+
+  // Already home: skipped, zeroed stats, no epoch churn.
+  Result<MigrationStats> again =
+      master()->membership()->RelocateMatrices({{id, 1}});
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->moves, 0u);
+  // Inactive target: rejected.
+  EXPECT_TRUE(master()
+                  ->membership()
+                  ->RelocateMatrices({{id, 7}})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(ParamMgmtTest, OwnedRowsRoundTripAcrossServers) {
+  Build(2, 3, /*colocate=*/false);
+  const int a = KeyMatrix(0), b = KeyMatrix(1), c = KeyMatrix(2);
+  std::vector<RowRef> refs = {RowRef{a, 0}, RowRef{b, 1}, RowRef{c, 0},
+                              RowRef{a, 1}};
+  std::vector<std::vector<double>> deltas(4, std::vector<double>(8, 0.0));
+  for (size_t r = 0; r < deltas.size(); ++r) {
+    for (size_t i = 0; i < 8; ++i) {
+      deltas[r][i] = static_cast<double>(r * 10 + i);
+    }
+  }
+  ASSERT_TRUE(client()->PushOwnedRowsAsync(refs, deltas).Wait().ok());
+  Result<std::vector<std::vector<double>>> pulled =
+      client()->PullOwnedRowsAsync(refs).Get();
+  ASSERT_TRUE(pulled.ok()) << pulled.status();
+  ASSERT_EQ(pulled->size(), refs.size());
+  for (size_t r = 0; r < refs.size(); ++r) EXPECT_EQ((*pulled)[r], deltas[r]);
+
+  // Spread (multi-partition) matrices are rejected up front.
+  Dcv spread = *ctx_->Dense(64, 2, 1, 0, "spread");
+  EXPECT_TRUE(client()
+                  ->PullOwnedRowsAsync({spread.ref()})
+                  .Get()
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST_F(ParamMgmtTest, OwnedPullServesHotRowsFromCache) {
+  Build(2, 2, /*colocate=*/false);
+  const int id = KeyMatrix(0);
+  std::vector<double> values(8, 3.0);
+  ASSERT_TRUE(
+      client()->PushOwnedRowsAsync({RowRef{id, 0}}, {values}).Wait().ok());
+  ASSERT_TRUE(master()->hotspot()->ReplicateNow({RowRef{id, 0}}).ok());
+
+  const uint64_t hits_before = cluster_->metrics().Get("net.local_pull_hits");
+  Result<std::vector<std::vector<double>>> pulled =
+      client()->PullOwnedRowsAsync({RowRef{id, 0}, RowRef{id, 1}}).Get();
+  ASSERT_TRUE(pulled.ok()) << pulled.status();
+  EXPECT_EQ((*pulled)[0], values);
+  EXPECT_EQ(cluster_->metrics().Get("net.local_pull_hits"), hits_before + 1);
+}
+
+TEST_F(ParamMgmtTest, ColocatedTrafficBecomesLoopback) {
+  Build(2, 2, /*colocate=*/true);
+  // Executor 0 co-locates with server 0; keys on both servers.
+  const int local = KeyMatrix(0), remote = KeyMatrix(1);
+  cluster_->RunStage("pull", 1, [&](TaskContext& task) {
+    (void)task;
+    ASSERT_TRUE(client()
+                    ->PullOwnedRowsAsync({RowRef{local, 0}, RowRef{remote, 0}})
+                    .Get()
+                    .ok());
+  });
+  EXPECT_GT(cluster_->metrics().Get("net.loopback_exchanges"), 0u);
+  EXPECT_GT(cluster_->metrics().Get("net.loopback_bytes"), 0u);
+  // The wire only carried the remote server's half.
+  EXPECT_GT(cluster_->metrics().Get("net.bytes_server_to_worker"), 0u);
+
+  // Same stage with colocation off moves strictly more wire bytes.
+  Build(2, 2, /*colocate=*/false);
+  const int l2 = KeyMatrix(0), r2 = KeyMatrix(1);
+  cluster_->RunStage("pull", 1, [&](TaskContext& task) {
+    (void)task;
+    ASSERT_TRUE(client()
+                    ->PullOwnedRowsAsync({RowRef{l2, 0}, RowRef{r2, 0}})
+                    .Get()
+                    .ok());
+  });
+  EXPECT_EQ(cluster_->metrics().Get("net.loopback_exchanges"), 0u);
+}
+
+TEST_F(ParamMgmtTest, ClassifierTiersHotWarmCold) {
+  Build(4, 4, /*colocate=*/true);
+  ParamMgmtOptions options;
+  options.mode = ParamMgmtMode::kNups;
+  options.hot_k = 1;
+  options.warm_k = 4;
+  options.dominance = 0.6;
+  options.min_count = 4;
+  options.hysteresis_ticks = 2;
+  ParamMgmtManager mgmt(master(), options);
+  ASSERT_TRUE(mgmt.Enable().ok());
+
+  // Key 0 hot (pulled by everyone), key 1 warm (dominated by executor 2,
+  // homed elsewhere), key 2 cold (barely touched).
+  std::vector<int> ids = {KeyMatrix(0), KeyMatrix(0), KeyMatrix(3)};
+  for (int k = 0; k < 3; ++k) {
+    ASSERT_TRUE(mgmt.RegisterKey(k, ids[k], 2).ok());
+  }
+  for (int e = 0; e < 4; ++e) mgmt.RecordBatch(e, {{0, 100}});
+  mgmt.RecordBatch(2, {{1, 90}});
+  mgmt.RecordBatch(3, {{1, 10}});
+  mgmt.RecordBatch(1, {{2, 2}});
+  ASSERT_TRUE(mgmt.Tick().ok());
+
+  // Hot: both rows replicated everywhere.
+  EXPECT_TRUE(master()->hotspot()->IsReplicated(RowRef{ids[0], 0}));
+  EXPECT_TRUE(master()->hotspot()->IsReplicated(RowRef{ids[0], 1}));
+  // Warm: relocated to executor 2's co-located server.
+  EXPECT_EQ(mgmt.HomeOf(1), 2);
+  EXPECT_EQ(mgmt.relocations(), 1u);
+  // Cold: under min_count, untouched.
+  EXPECT_EQ(mgmt.HomeOf(2), 3);
+  EXPECT_EQ(cluster_->metrics().Get("nups.replicated"), 1u);
+  EXPECT_EQ(cluster_->metrics().Get("nups.relocated"), 1u);
+  EXPECT_EQ(cluster_->metrics().Get("nups.cold"), 1u);
+  EXPECT_GT(cluster_->metrics().Get("net.relocation_bytes"), 0u);
+
+  // A key already home does not move again.
+  mgmt.RecordBatch(2, {{1, 90}});
+  ASSERT_TRUE(mgmt.Tick().ok());
+  EXPECT_EQ(mgmt.relocations(), 1u);
+}
+
+TEST_F(ParamMgmtTest, OffAndHotspotModesDelegate) {
+  Build(2, 2, /*colocate=*/false);
+  ParamMgmtOptions off;
+  ParamMgmtManager mgmt_off(master(), off);
+  ASSERT_TRUE(mgmt_off.Enable().ok());
+  ASSERT_TRUE(mgmt_off.Tick().ok());
+  EXPECT_FALSE(master()->hotspot()->enabled());
+
+  ParamMgmtOptions hs;
+  hs.mode = ParamMgmtMode::kHotspot;
+  hs.hotspot.top_k = 2;
+  ParamMgmtManager mgmt_hs(master(), hs);
+  ASSERT_TRUE(mgmt_hs.Enable().ok());
+  EXPECT_TRUE(master()->hotspot()->enabled());
+  ASSERT_TRUE(mgmt_hs.Tick().ok());
+}
+
+}  // namespace
+}  // namespace ps2

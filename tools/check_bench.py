@@ -72,6 +72,12 @@ CHECK_KEYS = (
     "coalesce_bytes_ratio",
     "epoch_stable",
     "loss_parity",
+    # Per-key parameter management (bench/ablation_nups.cpp). All
+    # virtual-time-domain and seed-deterministic: wire byte totals per leg,
+    # the loopback diversion, and the tiering census.
+    "pulled_bytes",
+    "pushed_bytes",
+    "loopback_bytes",
 )
 
 
@@ -85,7 +91,11 @@ def is_gated(key):
     # bench/elastic_scaleout.cpp (bytes moved, routing epochs, rebalance
     # virtual time, skew reduction): seed-deterministic outputs of the
     # migration planner, gated so resharding regressions fail the bench job.
-    return key in CHECK_KEYS or key.startswith(("det.", "migrate."))
+    # "nups." fields are the per-key tiering metrics written by
+    # bench/ablation_nups.cpp (pull-reduction ratios, relocation bytes, the
+    # replicated/relocated/cold census): deterministic classifier outputs,
+    # gated so a tiering regression fails the bench job.
+    return key in CHECK_KEYS or key.startswith(("det.", "migrate.", "nups."))
 
 
 def load_runs(path):
@@ -99,12 +109,15 @@ def load_runs(path):
     return doc.get("bench", os.path.basename(path)), runs
 
 
-def compare(bench, baseline_runs, result_runs, tolerance):
-    """Returns a list of failure strings (empty = pass)."""
+def compare(bench, baseline_runs, result_runs, tolerance, rows):
+    """Returns a list of failure strings (empty = pass). Appends one
+    (field, baseline, observed, delta, verdict) row per gated metric to
+    `rows` for the step-summary table."""
     failures = []
     for run_name, base_fields in baseline_runs.items():
         if run_name not in result_runs:
             failures.append(f"{bench}/{run_name}: run missing from results")
+            rows.append((f"{bench}/{run_name}", "-", "missing", "-", "FAIL"))
             continue
         got_fields = result_runs[run_name]
         for key, base in base_fields.items():
@@ -112,22 +125,49 @@ def compare(bench, baseline_runs, result_runs, tolerance):
                 continue
             if base is None:
                 continue  # null in baseline: value was non-finite, skip
+            field = f"{bench}/{run_name}/{key}"
             if key not in got_fields:
-                failures.append(f"{bench}/{run_name}/{key}: missing from results")
+                failures.append(f"{field}: missing from results")
+                rows.append((field, f"{base:g}", "missing", "-", "FAIL"))
                 continue
             got = got_fields[key]
             if got is None:
-                failures.append(f"{bench}/{run_name}/{key}: non-finite result")
+                failures.append(f"{field}: non-finite result")
+                rows.append((field, f"{base:g}", "non-finite", "-", "FAIL"))
                 continue
             denom = abs(base) if base != 0 else 1.0
             rel = abs(got - base) / denom
-            if rel > tolerance:
+            verdict = "OK" if rel <= tolerance else "FAIL"
+            rows.append((field, f"{base:g}", f"{got:g}", f"{rel * 100:+.1f}%",
+                         verdict))
+            if verdict == "FAIL":
                 failures.append(
-                    f"{bench}/{run_name}/{key}: baseline {base:g} vs "
+                    f"{field}: baseline {base:g} vs "
                     f"result {got:g} ({rel * 100:.1f}% off, "
                     f"tolerance {tolerance * 100:.0f}%)"
                 )
     return failures
+
+
+def write_step_summary(rows, tolerance, failures):
+    """Emits the gate table to $GITHUB_STEP_SUMMARY (no-op outside CI)."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path or not rows:
+        return
+    verdict = "FAIL" if failures else "PASS"
+    failed = sum(1 for r in rows if r[4] != "OK")
+    with open(path, "a") as f:
+        f.write(f"### Bench regression gate: {verdict} "
+                f"({len(rows)} gated metrics, {failed} failing, "
+                f"tolerance ±{tolerance * 100:.0f}%)\n\n")
+        f.write("| field | baseline | observed | delta | gate |\n")
+        f.write("|---|---:|---:|---:|---|\n")
+        # Failures first so they are visible without expanding anything.
+        for row in sorted(rows, key=lambda r: r[4] == "OK"):
+            mark = ":white_check_mark:" if row[4] == "OK" else ":x:"
+            f.write(f"| `{row[0]}` | {row[1]} | {row[2]} | {row[3]} "
+                    f"| {mark} {row[4]} |\n")
+        f.write("\n")
 
 
 def main():
@@ -172,15 +212,18 @@ def main():
         return 1
 
     failures = []
+    rows = []
     checked = 0
     for name in baselines:
         bench, baseline_runs = load_runs(os.path.join(args.baseline_dir, name))
         result_path = os.path.join(args.results_dir, name)
         if not os.path.exists(result_path):
             failures.append(f"{bench}: {name} missing from {args.results_dir}")
+            rows.append((f"{bench}", "-", "file missing", "-", "FAIL"))
             continue
         _, result_runs = load_runs(result_path)
-        failures.extend(compare(bench, baseline_runs, result_runs, args.tolerance))
+        failures.extend(
+            compare(bench, baseline_runs, result_runs, args.tolerance, rows))
         gated = sum(
             1
             for fields in baseline_runs.values()
@@ -190,6 +233,7 @@ def main():
         checked += gated
         print(f"check_bench: {bench}: {len(baseline_runs)} runs, {gated} gated metrics")
 
+    write_step_summary(rows, args.tolerance, failures)
     if failures:
         print(f"\ncheck_bench: FAIL — {len(failures)} regression(s):", file=sys.stderr)
         for f in failures:

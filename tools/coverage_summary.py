@@ -1,0 +1,231 @@
+#!/usr/bin/env python3
+"""Line-coverage aggregator over a gcc --coverage build tree.
+
+Walks the build directory for .gcda files, asks gcov for JSON intermediate
+output (no gcovr/lcov dependency — gcov ships with gcc), and aggregates
+per-line execution counts per source file. Emits:
+
+  * an lcov-format .info artifact (--lcov-out) for external viewers,
+  * a per-directory line-coverage table, also appended to
+    $GITHUB_STEP_SUMMARY when that is set,
+  * a soft gate: exit 1 if line coverage over --gate-prefix (default src/)
+    drops below the checked-in floor (--floor-file, tools/coverage_floor.txt).
+
+Usage:
+  tools/coverage_summary.py --build-dir build-cov [--source-root .]
+      [--lcov-out coverage.info] [--floor-file tools/coverage_floor.txt]
+
+Exit status: 0 = ok, 1 = coverage below floor or no data, 2 = usage error.
+"""
+
+import argparse
+import gzip
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def find_gcda(build_dir):
+    out = []
+    for root, _, files in os.walk(build_dir):
+        for name in files:
+            if name.endswith(".gcda"):
+                # Absolute: gcov runs from a different cwd than this script.
+                out.append(os.path.abspath(os.path.join(root, name)))
+    return sorted(out)
+
+
+def run_gcov(gcda_files, workdir):
+    """Runs gcov --json-format on the .gcda set; returns parsed JSON docs."""
+    docs = []
+    # Batch to keep command lines bounded.
+    for i in range(0, len(gcda_files), 64):
+        batch = gcda_files[i : i + 64]
+        proc = subprocess.run(
+            ["gcov", "--json-format", "--stdout"] + batch,
+            cwd=workdir,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            check=False,
+        )
+        # --stdout emits one JSON document per line per input file.
+        for line in proc.stdout.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                docs.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+    # A gcov that cannot read an input still emits a doc with empty "files",
+    # so gate on actual file records, not on document count.
+    if any(doc.get("files") for doc in docs):
+        return docs
+    # Older gcov without --stdout: fall back to .gcov.json.gz files.
+    docs = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for i in range(0, len(gcda_files), 64):
+            batch = gcda_files[i : i + 64]
+            subprocess.run(
+                ["gcov", "--json-format"] + batch,
+                cwd=tmp,
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL,
+                check=False,
+            )
+        for name in os.listdir(tmp):
+            if not name.endswith(".gcov.json.gz"):
+                continue
+            with gzip.open(os.path.join(tmp, name), "rt") as f:
+                try:
+                    docs.append(json.load(f))
+                except json.JSONDecodeError:
+                    continue
+    return docs
+
+
+def aggregate(docs, source_root):
+    """Returns {relpath: {line: max_count}} for files under source_root."""
+    source_root = os.path.abspath(source_root)
+    coverage = {}
+    for doc in docs:
+        for fentry in doc.get("files", []):
+            path = fentry.get("file", "")
+            if not os.path.isabs(path):
+                path = os.path.join(source_root, path)
+            path = os.path.abspath(path)
+            if not path.startswith(source_root + os.sep):
+                continue
+            rel = os.path.relpath(path, source_root)
+            lines = coverage.setdefault(rel, {})
+            for lentry in fentry.get("lines", []):
+                num = lentry.get("line_number")
+                count = lentry.get("count", 0)
+                if num is None:
+                    continue
+                lines[num] = max(lines.get(num, 0), count)
+    return coverage
+
+
+def write_lcov(coverage, path):
+    with open(path, "w") as f:
+        f.write("TN:\n")
+        for rel in sorted(coverage):
+            lines = coverage[rel]
+            f.write(f"SF:{rel}\n")
+            hit = 0
+            for num in sorted(lines):
+                count = lines[num]
+                f.write(f"DA:{num},{count}\n")
+                if count > 0:
+                    hit += 1
+            f.write(f"LH:{hit}\n")
+            f.write(f"LF:{len(lines)}\n")
+            f.write("end_of_record\n")
+
+
+def per_directory(coverage, depth=2):
+    """Aggregates {dir: (covered, total)} at `depth` path components."""
+    dirs = {}
+    for rel, lines in coverage.items():
+        parts = rel.split(os.sep)
+        key = os.sep.join(parts[: min(depth, max(1, len(parts) - 1))])
+        covered, total = dirs.get(key, (0, 0))
+        covered += sum(1 for c in lines.values() if c > 0)
+        total += len(lines)
+        dirs[key] = (covered, total)
+    return dirs
+
+
+def prefix_coverage(coverage, prefix):
+    covered = total = 0
+    for rel, lines in coverage.items():
+        if not rel.startswith(prefix):
+            continue
+        covered += sum(1 for c in lines.values() if c > 0)
+        total += len(lines)
+    return covered, total
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", required=True)
+    parser.add_argument("--source-root", default=".")
+    parser.add_argument("--lcov-out", default="")
+    parser.add_argument("--floor-file", default="tools/coverage_floor.txt")
+    parser.add_argument("--gate-prefix", default="src/")
+    args = parser.parse_args()
+
+    gcda = find_gcda(args.build_dir)
+    if not gcda:
+        print(f"coverage_summary: no .gcda files under {args.build_dir} "
+              "(build with --coverage and run the tests first)",
+              file=sys.stderr)
+        return 1
+    docs = run_gcov(gcda, args.build_dir)
+    coverage = aggregate(docs, args.source_root)
+    if not coverage:
+        print("coverage_summary: gcov produced no usable records",
+              file=sys.stderr)
+        return 1
+
+    if args.lcov_out:
+        write_lcov(coverage, args.lcov_out)
+        print(f"coverage_summary: wrote {args.lcov_out} "
+              f"({len(coverage)} source files)")
+
+    dirs = per_directory(coverage)
+    rows = []
+    for key in sorted(dirs):
+        covered, total = dirs[key]
+        pct = 100.0 * covered / total if total else 0.0
+        rows.append((key, covered, total, pct))
+    covered, total = prefix_coverage(coverage, args.gate_prefix)
+    gate_pct = 100.0 * covered / total if total else 0.0
+
+    width = max(len(r[0]) for r in rows)
+    print(f"{'directory':<{width}}  covered/total   line%")
+    for key, c, t, pct in rows:
+        print(f"{key:<{width}}  {c:>7}/{t:<7} {pct:6.1f}%")
+    print(f"{args.gate_prefix + ' (gate)':<{width}}  "
+          f"{covered:>7}/{total:<7} {gate_pct:6.1f}%")
+
+    floor = None
+    if args.floor_file and os.path.exists(args.floor_file):
+        with open(args.floor_file) as f:
+            for line in f:
+                line = line.split("#", 1)[0].strip()
+                if line:
+                    floor = float(line)
+                    break
+
+    summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary:
+        with open(summary, "a") as f:
+            f.write("### Line coverage\n\n")
+            f.write("| directory | covered | total | line % |\n")
+            f.write("|---|---:|---:|---:|\n")
+            for key, c, t, pct in rows:
+                f.write(f"| `{key}` | {c} | {t} | {pct:.1f}% |\n")
+            f.write(f"| **`{args.gate_prefix}` (gate)** | **{covered}** "
+                    f"| **{total}** | **{gate_pct:.1f}%** |\n\n")
+            if floor is not None:
+                verdict = "PASS" if gate_pct >= floor else "FAIL"
+                f.write(f"Floor ({args.floor_file}): {floor:.1f}% — "
+                        f"**{verdict}**\n\n")
+
+    if floor is not None and gate_pct < floor:
+        print(f"coverage_summary: FAIL — {args.gate_prefix} line coverage "
+              f"{gate_pct:.1f}% is below the floor {floor:.1f}% "
+              f"({args.floor_file})", file=sys.stderr)
+        return 1
+    if floor is not None:
+        print(f"coverage_summary: PASS — {gate_pct:.1f}% >= floor "
+              f"{floor:.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,7 +28,9 @@
 #include "data/corpus_gen.h"
 #include "data/gbdt_gen.h"
 #include "data/graph_gen.h"
+#include "data/word2vec_gen.h"
 #include "dcv/dcv_context.h"
+#include "hotspot/param_mgmt.h"
 #include "linalg/kernels/kernels.h"
 #include "ml/deepwalk.h"
 #include "ml/factorization_machine.h"
@@ -37,6 +39,7 @@
 #include "ml/lda/lda_trainer.h"
 #include "ml/linear_svm.h"
 #include "ml/logreg.h"
+#include "ml/word2vec.h"
 #include "obs/metrics_json.h"
 #include "obs/trace.h"
 #include "ps/ps_client.h"
@@ -406,6 +409,63 @@ int RunDeepWalk(const Flags& flags) {
   return 0;
 }
 
+/// Parses --param-mgmt with the --filters convention: warn and fall back to
+/// off rather than die deep inside a workload runner.
+ParamMgmtMode ParamMgmtFromFlags(const Flags& flags) {
+  ParamMgmtMode mode = ParamMgmtMode::kOff;
+  if (!flags.Has("param-mgmt")) return mode;
+  const std::string value = flags.GetString("param-mgmt", "off");
+  if (!ParseParamMgmtMode(value, &mode)) {
+    std::fprintf(stderr,
+                 "--param-mgmt=%s: unknown mode (off|hotspot|nups), "
+                 "running with off\n",
+                 value.c_str());
+    return ParamMgmtMode::kOff;
+  }
+  std::printf("param-mgmt: %s\n", ParamMgmtModeName(mode));
+  return mode;
+}
+
+int RunWord2Vec(const Flags& flags) {
+  ClusterSpec spec = SpecFromFlags(flags);
+  if (RejectDegenerateTopology(
+          flags, spec, static_cast<uint64_t>(flags.GetInt("vocab", 2000)),
+          "vocab")) {
+    return Usage();
+  }
+  // Per-key management relocates keys toward their dominant accessor's
+  // co-located server — that only pays off if loopback traffic is free, so
+  // the workload runs workers co-located with servers (DESIGN.md §13).
+  spec.colocate_workers = true;
+  Cluster cluster(spec);
+  Word2VecCorpusSpec corpus;
+  corpus.vocab = static_cast<uint32_t>(flags.GetInt("vocab", 2000));
+  corpus.num_pairs = static_cast<uint64_t>(flags.GetInt("pairs", 100000));
+  corpus.seed = spec.seed;
+  Dataset<VertexPair> pairs =
+      MakeWord2VecPairDataset(&cluster, corpus).Cache();
+  std::printf("corpus: %zu pairs over vocab %u\n", pairs.Count(),
+              corpus.vocab);
+  DcvContext ctx(&cluster);
+  if (!SetupScaleEvents(flags, &cluster, ctx.master())) return Usage();
+  Word2VecOptions options;
+  options.vocab = corpus.vocab;
+  options.embedding_dim =
+      static_cast<uint32_t>(flags.GetInt("embedding-dim", 32));
+  options.epochs = static_cast<int>(flags.GetInt("iterations", 5));
+  options.learning_rate = flags.GetDouble("lr", 0.025);
+  options.param_mgmt.mode = ParamMgmtFromFlags(flags);
+  Result<TrainReport> report = TrainWord2VecPs2(
+      &ctx, pairs, Word2VecKeyFrequencies(corpus, pairs.num_partitions()),
+      options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  PrintReport(*report, &cluster);
+  return 0;
+}
+
 int RunGbdt(const Flags& flags) {
   ClusterSpec spec = SpecFromFlags(flags);
   if (RejectDegenerateTopology(
@@ -565,7 +625,7 @@ int RunLda(const Flags& flags) {
 int Usage() {
   std::printf(
       "ps2run <workload> [--flags]\n"
-      "workloads: lr svm lbfgs fm deepwalk gbdt lda serve\n"
+      "workloads: lr svm lbfgs fm deepwalk word2vec gbdt lda serve\n"
       "common flags: --workers=N --servers=N --iterations=N --seed=N\n"
       "              --failure-prob=P --message-failure-prob=P\n"
       "              --server-crash-prob=P\n"
@@ -586,6 +646,10 @@ int Usage() {
       "                active id)\n"
       "lr/svm/fm:    --rows --dim --nnz --lr --batch-fraction --optimizer\n"
       "deepwalk:     --vertices --walks --embedding-dim --lr\n"
+      "word2vec:     --vocab --pairs --embedding-dim --lr\n"
+      "              --param-mgmt=off|hotspot|nups (per-key management:\n"
+      "                replicate hot / relocate warm / shard cold;\n"
+      "                default off)\n"
       "gbdt:         --rows --features --trees --depth --bins\n"
       "lda:          --docs --vocab --topics\n"
       "serve:        --rows --dim --qps --zipf --duration --batch-max\n"
@@ -625,6 +689,7 @@ int Main(int argc, char** argv) {
     return RunGlmFamily(flags, cmd);
   }
   if (cmd == "deepwalk") return RunDeepWalk(flags);
+  if (cmd == "word2vec") return RunWord2Vec(flags);
   if (cmd == "gbdt") return RunGbdt(flags);
   if (cmd == "lda") return RunLda(flags);
   if (cmd == "serve") return RunServe(flags);
